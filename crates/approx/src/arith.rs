@@ -1,0 +1,315 @@
+//! Approximate arithmetic units: truncated multipliers and lower-part-OR
+//! adders.
+//!
+//! §V: "approximate computing has gained popularity as a powerful
+//! methodology to design efficient hardware accelerators with limited power
+//! consumption and resource utilization \[12\], \[13\]" — and the workhorse
+//! techniques at the circuit level are precision-truncated multipliers
+//! (drop the low partial products) and segmented adders whose lower part is
+//! approximated by bitwise OR (the classic LOA). Both trade a bounded,
+//! characterisable error for large area/energy savings; this module
+//! implements them bit-exactly and quantifies both sides of the trade.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width truncated array multiplier: the `truncated` least
+/// significant columns of the partial-product array are discarded (with a
+/// constant correction of half an LSB of the kept part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruncatedMultiplier {
+    /// Operand width in bits (unsigned operands up to this width).
+    pub width: u32,
+    /// Partial-product columns dropped.
+    pub truncated: u32,
+}
+
+impl TruncatedMultiplier {
+    /// Creates a truncated multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 16, or `truncated >= 2*width`.
+    pub fn new(width: u32, truncated: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be 1..=16");
+        assert!(truncated < 2 * width, "cannot truncate the whole product");
+        Self { width, truncated }
+    }
+
+    /// Exact unsigned product (reference).
+    pub fn exact(&self, a: u16, b: u16) -> u32 {
+        let mask = (1u32 << self.width) - 1;
+        (a as u32 & mask) * (b as u32 & mask)
+    }
+
+    /// Approximate product: partial products below the truncation column are
+    /// dropped; a constant `2^(t-1)` compensates the mean error.
+    pub fn multiply(&self, a: u16, b: u16) -> u32 {
+        let mask = (1u32 << self.width) - 1;
+        let (a, b) = (a as u32 & mask, b as u32 & mask);
+        let mut sum = 0u64;
+        for i in 0..self.width {
+            if (a >> i) & 1 == 0 {
+                continue;
+            }
+            for j in 0..self.width {
+                if (b >> j) & 1 == 1 && i + j >= self.truncated {
+                    sum += 1u64 << (i + j);
+                }
+            }
+        }
+        if self.truncated > 0 {
+            sum += 1u64 << (self.truncated - 1); // mean-error compensation
+        }
+        sum as u32
+    }
+
+    /// Worst-case absolute error of the truncation (two-sided: the
+    /// compensation constant over-shoots when nothing was actually dropped,
+    /// a full set of dropped partial products under-shoots).
+    pub fn max_error(&self) -> u32 {
+        if self.truncated == 0 {
+            0
+        } else {
+            let dropped: u64 = (0..self.truncated)
+                .map(|c| {
+                    let pps = pps_in_column(c, self.width) as u64;
+                    pps << c
+                })
+                .sum();
+            let comp = 1u64 << (self.truncated - 1);
+            dropped.saturating_sub(comp).max(comp) as u32
+        }
+    }
+
+    /// Fraction of partial products eliminated (≈ area/energy saving of the
+    /// multiplier array).
+    pub fn pp_saving(&self) -> f64 {
+        let total = (self.width * self.width) as f64;
+        let dropped: u32 = (0..self.truncated)
+            .map(|c| pps_in_column(c, self.width))
+            .sum();
+        dropped as f64 / total
+    }
+}
+
+fn pps_in_column(col: u32, width: u32) -> u32 {
+    // Column c of a width×width array holds min(c+1, width, 2*width-1-c) pps.
+    (col + 1).min(width).min(2 * width - 1 - col)
+}
+
+/// A lower-part-OR adder (LOA): the low `approx_bits` are computed by
+/// bitwise OR (no carry chain), the upper part by an exact adder with no
+/// carry-in from the low part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoaAdder {
+    /// Total operand width.
+    pub width: u32,
+    /// Low bits approximated by OR.
+    pub approx_bits: u32,
+}
+
+impl LoaAdder {
+    /// Creates a LOA adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 32, or `approx_bits > width`.
+    pub fn new(width: u32, approx_bits: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be 1..=32");
+        assert!(approx_bits <= width, "cannot approximate more than width");
+        Self { width, approx_bits }
+    }
+
+    /// Exact sum (reference), carry-out preserved (`width+1`-bit result).
+    pub fn exact(&self, a: u32, b: u32) -> u64 {
+        let m = mask(self.width) as u64;
+        (a as u64 & m) + (b as u64 & m)
+    }
+
+    /// Approximate sum (carry-out preserved, like the exact reference).
+    pub fn add(&self, a: u32, b: u32) -> u64 {
+        let m = mask(self.width) as u64;
+        let (a, b) = (a as u64 & m, b as u64 & m);
+        if self.approx_bits == 0 {
+            return a + b;
+        }
+        let low_mask = mask(self.approx_bits) as u64;
+        let low = (a | b) & low_mask;
+        let high = ((a >> self.approx_bits) + (b >> self.approx_bits)) << self.approx_bits;
+        high | low
+    }
+
+    /// Worst-case absolute error (missed carry plus OR-vs-ADD slack).
+    pub fn max_error(&self) -> u32 {
+        if self.approx_bits == 0 {
+            0
+        } else {
+            // OR underestimates by up to low_mask-1; the missing carry into
+            // the upper part costs 2^approx_bits.
+            (1 << self.approx_bits) + mask(self.approx_bits) - 1
+        }
+    }
+
+    /// Carry-chain length eliminated (≈ delay/energy saving of the adder).
+    pub fn carry_saving(&self) -> f64 {
+        self.approx_bits as f64 / self.width as f64
+    }
+}
+
+fn mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// Error statistics of an approximate unit over an operand sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Maximum absolute error observed.
+    pub max_abs: u32,
+    /// Mean relative error (vs exact, skipping exact-zero results).
+    pub mean_rel: f64,
+}
+
+/// Characterises a truncated multiplier over a deterministic operand sweep.
+pub fn characterize_multiplier(m: &TruncatedMultiplier, samples: usize) -> ErrorStats {
+    let mut rng = f2_core::rng::rng_for(11, "arith-mul");
+    characterize(samples, |_| {
+        let a = rand::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
+        let b = rand::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
+        (m.multiply(a, b) as i64, m.exact(a, b) as i64)
+    })
+}
+
+/// Characterises a LOA adder over a deterministic operand sweep.
+pub fn characterize_adder(a: &LoaAdder, samples: usize) -> ErrorStats {
+    let mut rng = f2_core::rng::rng_for(12, "arith-add");
+    characterize(samples, |_| {
+        let x = rand::Rng::gen::<u32>(&mut rng) & mask(a.width);
+        let y = rand::Rng::gen::<u32>(&mut rng) & mask(a.width);
+        (a.add(x, y) as i64, a.exact(x, y) as i64)
+    })
+}
+
+fn characterize(samples: usize, mut f: impl FnMut(usize) -> (i64, i64)) -> ErrorStats {
+    let mut sum_abs = 0f64;
+    let mut max_abs = 0i64;
+    let mut sum_rel = 0f64;
+    let mut rel_count = 0usize;
+    for i in 0..samples {
+        let (approx, exact) = f(i);
+        let err = (approx - exact).abs();
+        sum_abs += err as f64;
+        max_abs = max_abs.max(err);
+        if exact != 0 {
+            sum_rel += err as f64 / exact as f64;
+            rel_count += 1;
+        }
+    }
+    ErrorStats {
+        mean_abs: sum_abs / samples.max(1) as f64,
+        max_abs: max_abs as u32,
+        mean_rel: sum_rel / rel_count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_truncation_is_exact() {
+        let m = TruncatedMultiplier::new(8, 0);
+        for a in [0u16, 1, 37, 255] {
+            for b in [0u16, 2, 99, 255] {
+                assert_eq!(m.multiply(a, b), m.exact(a, b));
+            }
+        }
+        assert_eq!(m.max_error(), 0);
+        assert_eq!(m.pp_saving(), 0.0);
+    }
+
+    #[test]
+    fn truncated_error_is_bounded() {
+        for trunc in [2u32, 4, 6] {
+            let m = TruncatedMultiplier::new(8, trunc);
+            let bound = m.max_error();
+            for a in (0..=255u16).step_by(7) {
+                for b in (0..=255u16).step_by(11) {
+                    let err = (m.multiply(a, b) as i64 - m.exact(a, b) as i64).abs();
+                    assert!(
+                        err as u32 <= bound,
+                        "t={trunc}: |{a}*{b}| error {err} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compensation_centers_the_error() {
+        let m = TruncatedMultiplier::new(8, 6);
+        let stats = characterize_multiplier(&m, 4000);
+        // Mean relative error stays small thanks to the compensation term.
+        // Small exact products inflate the relative metric; the compensated
+        // mean relative error stays within a few percent.
+        assert!(stats.mean_rel < 0.05, "mean rel err {}", stats.mean_rel);
+        assert!(stats.max_abs <= m.max_error());
+    }
+
+    #[test]
+    fn saving_grows_with_truncation() {
+        let mut last = -1.0;
+        for t in [0u32, 2, 4, 6, 8] {
+            let s = TruncatedMultiplier::new(8, t).pp_saving();
+            assert!(s > last);
+            last = s;
+        }
+        assert!(last > 0.4, "t=8 should drop >40% of partial products");
+    }
+
+    #[test]
+    fn loa_exact_when_not_approximating() {
+        let a = LoaAdder::new(16, 0);
+        assert_eq!(a.add(12345, 54321 & 0xFFFF), a.exact(12345, 54321 & 0xFFFF));
+        assert_eq!(a.max_error(), 0);
+    }
+
+    #[test]
+    fn loa_error_bounded() {
+        let adder = LoaAdder::new(16, 6);
+        let bound = adder.max_error();
+        for x in (0..=0xFFFFu32).step_by(997) {
+            for y in (0..=0xFFFFu32).step_by(1013) {
+                let err = (adder.add(x, y) as i64 - adder.exact(x, y) as i64).abs();
+                assert!(err as u32 <= bound, "error {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn loa_upper_bits_exact_when_low_is_zero() {
+        let adder = LoaAdder::new(16, 4);
+        // Operands with zero low parts: OR == ADD, no carry needed — exact.
+        assert_eq!(adder.add(0x1230, 0x0450), adder.exact(0x1230, 0x0450));
+    }
+
+    #[test]
+    fn adder_stats_track_approx_bits() {
+        let small = characterize_adder(&LoaAdder::new(16, 2), 4000);
+        let large = characterize_adder(&LoaAdder::new(16, 8), 4000);
+        assert!(large.mean_abs > small.mean_abs);
+        assert!(large.max_abs > small.max_abs);
+        assert!(LoaAdder::new(16, 8).carry_saving() > 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn over_truncation_panics() {
+        TruncatedMultiplier::new(8, 16);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the approximate-computing crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by approximate-accelerator modelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApproxError {
+    /// Image dimensions are invalid for the requested operation.
+    InvalidImage(String),
+    /// A kernel description is invalid (even size where odd needed, empty…).
+    InvalidKernel(String),
+    /// A model or accelerator parameter is out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::InvalidImage(msg) => write!(f, "invalid image: {msg}"),
+            ApproxError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+            ApproxError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for ApproxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<ApproxError>();
+        assert!(ApproxError::InvalidImage("x".into()).to_string().contains('x'));
+        assert!(!ApproxError::InvalidKernel("k".into()).to_string().is_empty());
+        assert!(!ApproxError::InvalidParameter("p".into()).to_string().is_empty());
+    }
+}

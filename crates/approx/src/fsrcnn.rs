@@ -1,0 +1,303 @@
+//! FSRCNN super-resolution inference (Dong et al., ECCV'16) with an
+//! exchangeable final upscaling layer.
+//!
+//! §V evaluates HTCONV inside "the pre-trained FSRCNN(25,5,1) model quantized
+//! at 16-bit fixed-point". Pre-trained weights are not available offline, so
+//! weights are generated as identity-plus-noise filters (each layer roughly
+//! preserves its input), which keeps the end-to-end image path meaningful and
+//! — crucially — keeps the *exact vs HTCONV* comparison bit-faithful: both
+//! variants run the identical network and differ only in the final layer.
+//!
+//! The deconvolution stage is factored as a 1×1 channel-collapse projection
+//! followed by the single-channel stride-2 TCONV of Fig. 3, so the HTCONV
+//! pseudo-code applies verbatim.
+
+use crate::conv::{conv2d_same, Kernel};
+use crate::htconv::{htconv_upscale2x, FoveaSpec, HtconvStats};
+use crate::image::Image;
+use crate::tconv::{bicubic_kernel, tconv_upscale2x};
+use f2_core::fixed::QFormat;
+use f2_core::rng::{rng_for, sample_normal};
+use serde::{Deserialize, Serialize};
+
+/// A multi-channel convolution layer with PReLU activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    // kernels[out][in]
+    kernels: Vec<Vec<Kernel>>,
+    bias: Vec<f64>,
+    prelu_alpha: f64,
+}
+
+impl ConvLayer {
+    /// Generates an identity-plus-noise layer mapping `in_ch → out_ch`
+    /// channels with `k × k` kernels.
+    pub fn generate(in_ch: usize, out_ch: usize, k: usize, noise: f64, seed: u64) -> Self {
+        let mut rng = rng_for(seed, "fsrcnn-layer");
+        let center = k / 2;
+        let kernels = (0..out_ch)
+            .map(|o| {
+                (0..in_ch)
+                    .map(|i| {
+                        let mut taps = vec![0.0; k * k];
+                        // Distribute identity mass over input channels so the
+                        // layer's output stays in the image's dynamic range.
+                        if i == o % in_ch {
+                            taps[center * k + center] = 1.0;
+                        }
+                        for t in taps.iter_mut() {
+                            *t += sample_normal(&mut rng, 0.0, noise);
+                        }
+                        Kernel::new(taps)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            kernels,
+            bias: vec![0.0; out_ch],
+            prelu_alpha: 0.1,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Runs the layer on a multi-channel feature map; returns the output map
+    /// and MAC count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` channel count differs from the layer's input arity.
+    pub fn forward(&self, input: &[Image]) -> (Vec<Image>, u64) {
+        assert_eq!(
+            input.len(),
+            self.kernels[0].len(),
+            "channel count mismatch"
+        );
+        let mut macs = 0;
+        let out = self
+            .kernels
+            .iter()
+            .zip(&self.bias)
+            .map(|(row, &b)| {
+                let mut acc = Image::zeros(input[0].height(), input[0].width());
+                for (ch, kern) in input.iter().zip(row) {
+                    let (c, m) = conv2d_same(ch, kern);
+                    macs += m;
+                    for r in 0..acc.height() {
+                        for cc in 0..acc.width() {
+                            acc.set(r, cc, acc.at(r, cc) + c.at(r, cc));
+                        }
+                    }
+                }
+                // Bias + PReLU.
+                let alpha = self.prelu_alpha;
+                Image::from_fn(acc.height(), acc.width(), |r, c| {
+                    let v = acc.at(r, c) + b;
+                    if v >= 0.0 {
+                        v
+                    } else {
+                        alpha * v
+                    }
+                })
+            })
+            .collect();
+        (out, macs)
+    }
+}
+
+/// Final-layer mode: the exact TCONV baseline or the foveated HTCONV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeconvMode {
+    /// Exact transposed convolution (Fig. 3 accurate branch everywhere).
+    Exact,
+    /// HTCONV with the given fovea.
+    Htconv(FoveaSpec),
+}
+
+/// The FSRCNN(d, s, m) model with an exchangeable upscaling layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsrcnnModel {
+    name: String,
+    layers: Vec<ConvLayer>,
+    collapse: ConvLayer,
+    deconv_kernel: Kernel,
+}
+
+impl FsrcnnModel {
+    /// Builds FSRCNN(d, s, m) with generated weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` or `s` is zero.
+    pub fn generate(d: usize, s: usize, m: usize, seed: u64) -> Self {
+        assert!(d > 0 && s > 0, "feature dimensions must be positive");
+        let mut layers = vec![ConvLayer::generate(1, d, 5, 0.01, seed ^ 1)];
+        layers.push(ConvLayer::generate(d, s, 1, 0.01, seed ^ 2));
+        for i in 0..m {
+            layers.push(ConvLayer::generate(s, s, 3, 0.01, seed ^ (3 + i as u64)));
+        }
+        layers.push(ConvLayer::generate(s, d, 1, 0.01, seed ^ 100));
+        // Channel-collapse projection d → 1 (averaging + noise).
+        let mut collapse = ConvLayer::generate(d, 1, 1, 0.002, seed ^ 200);
+        // Make the collapse an exact average so magnitudes stay normalised.
+        for row in &mut collapse.kernels {
+            for kern in row.iter_mut() {
+                *kern = Kernel::new(vec![1.0 / d as f64]);
+            }
+        }
+        Self {
+            name: format!("FSRCNN({d},{s},{m})"),
+            layers,
+            collapse,
+            // Bicubic: the sharpening taps a trained FSRCNN deconv converges
+            // toward, and a kernel whose odd phases genuinely differ from
+            // HTCONV's interpolation.
+            deconv_kernel: bicubic_kernel(),
+        }
+    }
+
+    /// Model name, e.g. `FSRCNN(25,5,1)`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the model on a low-resolution image.
+    ///
+    /// `quant` optionally quantises every intermediate feature map (the
+    /// paper's 16-bit fixed-point datapath).
+    pub fn run(&self, lr: &Image, mode: DeconvMode, quant: Option<QFormat>) -> FsrcnnOutput {
+        let maybe_q = |img: Image| -> Image {
+            match quant {
+                Some(f) => img.quantized(f),
+                None => img,
+            }
+        };
+        let mut features = vec![maybe_q(lr.clone())];
+        let mut conv_macs = 0;
+        for layer in &self.layers {
+            let (out, m) = layer.forward(&features);
+            conv_macs += m;
+            features = out.into_iter().map(&maybe_q).collect();
+        }
+        let (collapsed, m) = self.collapse.forward(&features);
+        conv_macs += m;
+        let pre_up = maybe_q(collapsed.into_iter().next().expect("collapse emits 1 channel"));
+        let (sr, deconv_stats) = match mode {
+            DeconvMode::Exact => {
+                let (img, macs) = tconv_upscale2x(&pre_up, &self.deconv_kernel);
+                (
+                    img,
+                    HtconvStats {
+                        macs,
+                        exact_macs: macs,
+                        ..HtconvStats::default()
+                    },
+                )
+            }
+            DeconvMode::Htconv(fovea) => htconv_upscale2x(&pre_up, &self.deconv_kernel, &fovea),
+        };
+        FsrcnnOutput {
+            image: maybe_q(sr),
+            conv_macs,
+            deconv: deconv_stats,
+        }
+    }
+}
+
+/// Output of one FSRCNN run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsrcnnOutput {
+    /// The super-resolved image (2× each dimension).
+    pub image: Image,
+    /// MACs spent in the convolutional body.
+    pub conv_macs: u64,
+    /// Statistics of the upscaling layer.
+    pub deconv: HtconvStats,
+}
+
+impl FsrcnnOutput {
+    /// Total MACs of the run.
+    pub fn total_macs(&self) -> u64 {
+        self.conv_macs + self.deconv.macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psnr::psnr;
+
+    fn q16() -> QFormat {
+        QFormat::new(16, 12).expect("valid format")
+    }
+
+    #[test]
+    fn output_is_double_resolution() {
+        let model = FsrcnnModel::generate(8, 3, 1, 1);
+        let lr = Image::synthetic(16, 16, 2);
+        let out = model.run(&lr, DeconvMode::Exact, None);
+        assert_eq!(out.image.height(), 32);
+        assert_eq!(out.image.width(), 32);
+        assert!(out.conv_macs > 0);
+    }
+
+    #[test]
+    fn htconv_mode_saves_deconv_macs() {
+        let model = FsrcnnModel::generate(8, 3, 1, 1);
+        let lr = Image::synthetic(16, 16, 2);
+        let exact = model.run(&lr, DeconvMode::Exact, None);
+        let fovea = FoveaSpec::centered_fraction(16, 16, 0.1);
+        let hybrid = model.run(&lr, DeconvMode::Htconv(fovea), None);
+        assert!(hybrid.deconv.macs < exact.deconv.macs / 2);
+        assert_eq!(hybrid.conv_macs, exact.conv_macs);
+    }
+
+    #[test]
+    fn exact_and_htconv_outputs_are_close() {
+        let model = FsrcnnModel::generate(8, 3, 1, 7);
+        let lr = Image::synthetic(24, 24, 3);
+        let exact = model.run(&lr, DeconvMode::Exact, None);
+        let fovea = FoveaSpec::centered_fraction(24, 24, 0.2);
+        let hybrid = model.run(&lr, DeconvMode::Htconv(fovea), None);
+        let p = psnr(&exact.image, &hybrid.image).expect("same dims");
+        assert!(p > 20.0, "approximation PSNR {p:.1} dB too low");
+    }
+
+    #[test]
+    fn quantisation_16bit_is_mild() {
+        let model = FsrcnnModel::generate(8, 3, 1, 7);
+        let lr = Image::synthetic(16, 16, 4);
+        let float = model.run(&lr, DeconvMode::Exact, None);
+        let fixed = model.run(&lr, DeconvMode::Exact, Some(q16()));
+        let p = psnr(&float.image, &fixed.image).expect("same dims");
+        assert!(p > 35.0, "16-bit quantisation PSNR {p:.1} dB");
+    }
+
+    #[test]
+    fn identity_ish_network_preserves_structure() {
+        // Identity-plus-noise weights should keep the SR output correlated
+        // with a plain bilinear upscale of the input.
+        let model = FsrcnnModel::generate(8, 3, 1, 9);
+        let lr = Image::synthetic(24, 24, 5);
+        let out = model.run(&lr, DeconvMode::Exact, None);
+        let (plain, _) = tconv_upscale2x(&lr, &bicubic_kernel());
+        let p = psnr(&plain, &out.image).expect("same dims");
+        assert!(p > 12.0, "network output diverged from image structure: {p:.1} dB");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = FsrcnnModel::generate(4, 2, 1, 42);
+        let b = FsrcnnModel::generate(4, 2, 1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FsrcnnModel::generate(25, 5, 1, 0).name(), "FSRCNN(25,5,1)");
+    }
+}

@@ -1,0 +1,249 @@
+//! Grayscale images and procedural test scenes.
+//!
+//! The paper evaluates on camera images (FSRCNN test sets); offline we
+//! substitute procedurally generated scenes with comparable structure —
+//! smooth shading, oriented edges and blob highlights — which is what the
+//! PSNR comparisons of §V actually exercise (upsampling quality on smooth vs
+//! edge content).
+
+use crate::error::ApproxError;
+use crate::Result;
+use f2_core::rng::{rng_for, sample_normal};
+use serde::{Deserialize, Serialize};
+
+/// A grayscale image with `f64` samples nominally in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    height: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "image dimensions must be positive");
+        Self {
+            height,
+            width,
+            data: vec![0.0; height * width],
+        }
+    }
+
+    /// Creates an image from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidImage`] if `data.len() != height*width`.
+    pub fn from_vec(height: usize, width: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != height * width {
+            return Err(ApproxError::InvalidImage(format!(
+                "expected {} samples, got {}",
+                height * width,
+                data.len()
+            )));
+        }
+        Ok(Self {
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Creates an image by evaluating `f(row, col)`.
+    pub fn from_fn(height: usize, width: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut img = Image::zeros(height, width);
+        for r in 0..height {
+            for c in 0..width {
+                img.set(r, c, f(r, c));
+            }
+        }
+        img
+    }
+
+    /// Procedurally generates a "natural-ish" scene: low-frequency shading,
+    /// two oriented edges, Gaussian highlights and mild sensor noise.
+    pub fn synthetic(height: usize, width: usize, seed: u64) -> Self {
+        let mut rng = rng_for(seed, "image");
+        let fx = 2.0 * std::f64::consts::PI * (1.5 + 2.0 * rand::Rng::gen::<f64>(&mut rng));
+        let fy = 2.0 * std::f64::consts::PI * (1.0 + 2.0 * rand::Rng::gen::<f64>(&mut rng));
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..4)
+            .map(|_| {
+                (
+                    rand::Rng::gen::<f64>(&mut rng),
+                    rand::Rng::gen::<f64>(&mut rng),
+                    0.03 + 0.08 * rand::Rng::gen::<f64>(&mut rng),
+                    0.3 + 0.4 * rand::Rng::gen::<f64>(&mut rng),
+                )
+            })
+            .collect();
+        let edge_pos = 0.3 + 0.4 * rand::Rng::gen::<f64>(&mut rng);
+        let mut img = Image::from_fn(height, width, |r, c| {
+            let y = r as f64 / height as f64;
+            let x = c as f64 / width as f64;
+            let mut v = 0.45 + 0.18 * (fx * x).sin() * (fy * y).cos();
+            for &(by, bx, bs, ba) in &blobs {
+                let d2 = (y - by).powi(2) + (x - bx).powi(2);
+                v += ba * (-d2 / (2.0 * bs * bs)).exp();
+            }
+            if x > edge_pos {
+                v += 0.2; // vertical step edge
+            }
+            if y > x {
+                v -= 0.08; // diagonal shading boundary
+            }
+            v
+        });
+        for v in &mut img.data {
+            *v = (*v + sample_normal(&mut rng, 0.0, 0.004)).clamp(0.0, 1.0);
+        }
+        img
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sample at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-bounds access.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col]
+    }
+
+    /// Sample with zero padding outside the image (signed coordinates).
+    pub fn at_padded(&self, row: isize, col: isize) -> f64 {
+        if row < 0 || col < 0 || row >= self.height as isize || col >= self.width as isize {
+            0.0
+        } else {
+            self.at(row as usize, col as usize)
+        }
+    }
+
+    /// Sample with edge-clamped coordinates.
+    pub fn at_clamped(&self, row: isize, col: isize) -> f64 {
+        let r = row.clamp(0, self.height as isize - 1) as usize;
+        let c = col.clamp(0, self.width as isize - 1) as usize;
+        self.at(r, c)
+    }
+
+    /// Writes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-bounds access.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// 2× box-filter downsampling (the LR-image generator of the §V flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidImage`] if either dimension is odd.
+    pub fn downsample2x(&self) -> Result<Image> {
+        if !self.height.is_multiple_of(2) || !self.width.is_multiple_of(2) {
+            return Err(ApproxError::InvalidImage(
+                "downsample2x needs even dimensions".to_string(),
+            ));
+        }
+        Ok(Image::from_fn(self.height / 2, self.width / 2, |r, c| {
+            (self.at(2 * r, 2 * c)
+                + self.at(2 * r + 1, 2 * c)
+                + self.at(2 * r, 2 * c + 1)
+                + self.at(2 * r + 1, 2 * c + 1))
+                / 4.0
+        }))
+    }
+
+    /// Quantises every sample to a fixed-point format and back (models the
+    /// 16-bit datapath of the §V accelerators).
+    pub fn quantized(&self, fmt: f2_core::fixed::QFormat) -> Image {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = fmt.quantize(*v).to_f64();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_in_range_and_deterministic() {
+        let a = Image::synthetic(32, 48, 5);
+        let b = Image::synthetic(32, 48, 5);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Scene should have contrast, not be flat.
+        let min = a.as_slice().iter().cloned().fold(1.0f64, f64::min);
+        let max = a.as_slice().iter().cloned().fold(0.0f64, f64::max);
+        assert!(max - min > 0.3, "contrast {}", max - min);
+    }
+
+    #[test]
+    fn different_seeds_different_scenes() {
+        assert_ne!(Image::synthetic(16, 16, 1), Image::synthetic(16, 16, 2));
+    }
+
+    #[test]
+    fn padded_and_clamped_access() {
+        let img = Image::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(img.at_padded(-1, 0), 0.0);
+        assert_eq!(img.at_padded(0, 5), 0.0);
+        assert_eq!(img.at_clamped(-1, 0), 0.0);
+        assert_eq!(img.at_clamped(5, 5), 3.0);
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = Image::from_vec(2, 2, vec![0.0, 1.0, 1.0, 2.0]).expect("valid");
+        let d = img.downsample2x().expect("even dims");
+        assert_eq!(d.height(), 1);
+        assert_eq!(d.at(0, 0), 1.0);
+    }
+
+    #[test]
+    fn downsample_rejects_odd() {
+        assert!(Image::zeros(3, 4).downsample2x().is_err());
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Image::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Image::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn quantized_moves_to_grid() {
+        let fmt = f2_core::fixed::QFormat::new(16, 8).expect("valid");
+        let img = Image::from_vec(1, 2, vec![0.123456, 0.9]).expect("valid");
+        let q = img.quantized(fmt);
+        for (orig, quant) in img.as_slice().iter().zip(q.as_slice()) {
+            assert!((orig - quant).abs() <= fmt.resolution());
+            // On-grid check: quantising again is a fixpoint.
+            assert_eq!(fmt.quantize(*quant).to_f64(), *quant);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Image-quality metrics: PSNR and MSE.
+//!
+//! Table I and the HTCONV evaluation quantify quality as peak
+//! signal-to-noise ratio against a reference image, with peak value 1.0
+//! (images are normalised to `[0, 1]`).
+
+use crate::error::ApproxError;
+use crate::image::Image;
+use crate::Result;
+
+/// Mean squared error between two images.
+///
+/// # Errors
+///
+/// Returns [`ApproxError::InvalidImage`] if the dimensions differ.
+pub fn mse(reference: &Image, candidate: &Image) -> Result<f64> {
+    if reference.height() != candidate.height() || reference.width() != candidate.width() {
+        return Err(ApproxError::InvalidImage(format!(
+            "dimension mismatch: {}x{} vs {}x{}",
+            reference.height(),
+            reference.width(),
+            candidate.height(),
+            candidate.width()
+        )));
+    }
+    let n = (reference.height() * reference.width()) as f64;
+    Ok(reference
+        .as_slice()
+        .iter()
+        .zip(candidate.as_slice())
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        / n)
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0). Identical images yield
+/// `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`ApproxError::InvalidImage`] if the dimensions differ.
+pub fn psnr(reference: &Image, candidate: &Image) -> Result<f64> {
+    let e = mse(reference, candidate)?;
+    if e == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / e).log10())
+}
+
+/// PSNR over the interior of the images, ignoring a `border`-pixel frame —
+/// the standard super-resolution evaluation protocol (boundary pixels are
+/// dominated by padding artefacts of the upsampling kernel, not by the
+/// method under test).
+///
+/// # Errors
+///
+/// Returns [`ApproxError::InvalidImage`] if the dimensions differ or the
+/// border leaves no interior.
+pub fn psnr_cropped(reference: &Image, candidate: &Image, border: usize) -> Result<f64> {
+    if reference.height() != candidate.height() || reference.width() != candidate.width() {
+        return Err(ApproxError::InvalidImage(
+            "dimension mismatch in cropped PSNR".to_string(),
+        ));
+    }
+    if reference.height() <= 2 * border || reference.width() <= 2 * border {
+        return Err(ApproxError::InvalidImage(format!(
+            "border {border} leaves no interior in {}x{}",
+            reference.height(),
+            reference.width()
+        )));
+    }
+    let h = reference.height() - 2 * border;
+    let w = reference.width() - 2 * border;
+    let crop = |img: &Image| {
+        Image::from_fn(h, w, |r, c| img.at(r + border, c + border))
+    };
+    psnr(&crop(reference), &crop(candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_infinite_psnr() {
+        let img = Image::synthetic(8, 8, 1);
+        assert_eq!(psnr(&img, &img).expect("same dims"), f64::INFINITY);
+        assert_eq!(mse(&img, &img).expect("same dims"), 0.0);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = Image::from_vec(1, 2, vec![0.0, 0.0]).expect("valid");
+        let b = Image::from_vec(1, 2, vec![0.1, 0.3]).expect("valid");
+        let e = mse(&a, &b).expect("same dims");
+        assert!((e - (0.01 + 0.09) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_of_uniform_offset() {
+        let a = Image::zeros(4, 4);
+        let b = Image::from_fn(4, 4, |_, _| 0.1);
+        // MSE = 0.01 => PSNR = 20 dB.
+        assert!((psnr(&a, &b).expect("same dims") - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(psnr(&Image::zeros(2, 2), &Image::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn cropped_psnr_ignores_border_artefacts() {
+        let reference = Image::synthetic(16, 16, 9);
+        let mut dirty = reference.clone();
+        // Corrupt only the outer frame.
+        for i in 0..16 {
+            dirty.set(0, i, 0.0);
+            dirty.set(15, i, 0.0);
+            dirty.set(i, 0, 0.0);
+            dirty.set(i, 15, 0.0);
+        }
+        assert!(psnr(&reference, &dirty).expect("dims") < 30.0);
+        assert_eq!(
+            psnr_cropped(&reference, &dirty, 1).expect("dims"),
+            f64::INFINITY
+        );
+        assert!(psnr_cropped(&reference, &dirty, 8).is_err());
+    }
+
+    #[test]
+    fn psnr_monotone_in_noise() {
+        let reference = Image::synthetic(16, 16, 3);
+        let mut small = reference.clone();
+        let mut large = reference.clone();
+        for r in 0..16 {
+            for c in 0..16 {
+                small.set(r, c, reference.at(r, c) + 0.01);
+                large.set(r, c, reference.at(r, c) + 0.05);
+            }
+        }
+        assert!(
+            psnr(&reference, &small).expect("dims") > psnr(&reference, &large).expect("dims")
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Aggressive power-of-two SoftMax approximation.
+//!
+//! §V cites an approximate SoftMax design "for power-efficient hardware
+//! implementations" (Spagnolo, Perri, Corsonello \[18\]). The hardware trick:
+//! after the usual max-subtraction, `e^x` is replaced by `2^round(x·log₂e)` —
+//! a barrel shift instead of an exponential unit — and the normalising
+//! division by the sum is replaced by a shift by `ceil(log₂ sum)`. The
+//! result is a distribution computed with only comparators, adders and
+//! shifters.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact softmax reference.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax_exact(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Hardware-style approximate softmax: power-of-two exponentials and a
+/// power-of-two normaliser.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax_approx(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let log2e = std::f64::consts::LOG2_E;
+    // 2^(round(d·log2e·8)/8): a shift by the integer part plus an 8-entry
+    // LUT for the three fractional exponent bits.
+    let pows: Vec<f64> = x
+        .iter()
+        .map(|&v| {
+            let shift = ((v - max) * log2e * 8.0).round() / 8.0;
+            if shift < -62.0 {
+                0.0
+            } else {
+                2f64.powf(shift)
+            }
+        })
+        .collect();
+    let sum: f64 = pows.iter().sum();
+    // Normalise by the nearest power of two ≥ sum (a shift, not a divide).
+    let norm_shift = sum.log2().ceil();
+    let norm = 2f64.powi(norm_shift as i32);
+    pows.into_iter().map(|p| p / norm).collect()
+}
+
+/// Error metrics of the approximation against the exact reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxError {
+    /// Maximum absolute probability error.
+    pub max_abs: f64,
+    /// Mean absolute probability error.
+    pub mean_abs: f64,
+    /// Whether the arg-max class is preserved.
+    pub argmax_preserved: bool,
+}
+
+/// Compares approximate vs exact softmax on one input vector.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn compare(x: &[f64]) -> SoftmaxError {
+    assert!(!x.is_empty(), "softmax comparison needs a non-empty input");
+    let exact = softmax_exact(x);
+    let approx = softmax_approx(x);
+    let abs: Vec<f64> = exact
+        .iter()
+        .zip(&approx)
+        .map(|(a, b)| (a - b).abs())
+        .collect();
+    let argmax = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    SoftmaxError {
+        max_abs: abs.iter().cloned().fold(0.0, f64::max),
+        mean_abs: abs.iter().sum::<f64>() / abs.len() as f64,
+        argmax_preserved: argmax(&exact) == argmax(&approx),
+    }
+}
+
+/// Hardware operation counts per softmax invocation of length `n`: the
+/// approximate unit needs no multipliers or exponential LUTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftmaxOps {
+    /// Comparator operations.
+    pub compares: u64,
+    /// Additions.
+    pub adds: u64,
+    /// Barrel shifts.
+    pub shifts: u64,
+    /// Exponential-function evaluations (0 for the approximate unit).
+    pub exp_evals: u64,
+    /// Divisions (0 for the approximate unit).
+    pub divides: u64,
+}
+
+/// Operation counts of the exact softmax datapath for `n` inputs.
+pub fn exact_ops(n: u64) -> SoftmaxOps {
+    SoftmaxOps {
+        compares: n,
+        adds: 2 * n, // subtraction + sum
+        shifts: 0,
+        exp_evals: n,
+        divides: n,
+    }
+}
+
+/// Operation counts of the approximate softmax datapath for `n` inputs.
+pub fn approx_ops(n: u64) -> SoftmaxOps {
+    SoftmaxOps {
+        compares: n,
+        adds: 2 * n,
+        shifts: 2 * n, // exponent shift + normaliser shift
+        exp_evals: 0,
+        divides: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_core::rng::rng_for;
+    use rand::Rng;
+
+    #[test]
+    fn exact_softmax_sums_to_one() {
+        let s = softmax_exact(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn approx_preserves_argmax_on_random_logits() {
+        let mut rng = rng_for(1, "softmax");
+        let mut preserved = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let x: Vec<f64> = (0..10).map(|_| rng.gen::<f64>() * 8.0 - 4.0).collect();
+            if compare(&x).argmax_preserved {
+                preserved += 1;
+            }
+        }
+        // [18]'s aggressive approximation keeps classification behaviour:
+        // the argmax survives except on quantisation-level near-ties.
+        assert!(
+            preserved as f64 / trials as f64 > 0.9,
+            "argmax preserved only {preserved}/{trials}"
+        );
+    }
+
+    #[test]
+    fn approx_error_is_bounded() {
+        let mut rng = rng_for(2, "softmax-err");
+        for _ in 0..100 {
+            let x: Vec<f64> = (0..16).map(|_| rng.gen::<f64>() * 6.0 - 3.0).collect();
+            let e = compare(&x);
+            // The power-of-two normaliser scales the whole distribution by
+            // up to 2x, so the dominant class can be off by up to ~0.5;
+            // relative ordering (argmax) is what the unit preserves.
+            assert!(e.max_abs < 0.5, "max abs error {}", e.max_abs);
+            assert!(e.mean_abs < 0.10, "mean abs error {}", e.mean_abs);
+        }
+    }
+
+    #[test]
+    fn approx_sum_is_at_most_one() {
+        // Normalising by a power of two ≥ sum keeps the mass ≤ 1 (by design:
+        // hardware avoids overflow rather than renormalising exactly).
+        let s = softmax_approx(&[0.5, 1.5, -0.3, 2.2]);
+        let total: f64 = s.iter().sum();
+        assert!(total <= 1.0 + 1e-12);
+        assert!(total > 0.5);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(softmax_exact(&[]).is_empty());
+        assert!(softmax_approx(&[]).is_empty());
+    }
+
+    #[test]
+    fn op_counts_eliminate_exp_and_div() {
+        let e = exact_ops(64);
+        let a = approx_ops(64);
+        assert_eq!(e.exp_evals, 64);
+        assert_eq!(e.divides, 64);
+        assert_eq!(a.exp_evals, 0);
+        assert_eq!(a.divides, 0);
+        assert!(a.shifts > 0);
+    }
+
+    #[test]
+    fn extreme_logits_do_not_overflow() {
+        let s = softmax_approx(&[-1000.0, 0.0, 1000.0]);
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!(s[2] > s[0]);
+    }
+}

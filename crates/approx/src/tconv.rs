@@ -1,0 +1,137 @@
+//! Exact 2× transposed convolution — the accurate baseline of Fig. 3.
+//!
+//! The reference follows the pseudo-code's formulation exactly: the input is
+//! zero-upsampled onto the even grid (`up(2i, 2j) = I(i, j)`) and each output
+//! phase accumulates `K(u, v) · up(·)` taps. This is the layer whose
+//! "computational complexity significantly higher than a traditional CONV
+//! layer" motivates HTCONV.
+
+use crate::conv::Kernel;
+use crate::image::Image;
+
+/// The classic 3×3 bilinear upsampling kernel for stride-2 TCONV
+/// (`[0.5, 1, 0.5] ⊗ [0.5, 1, 0.5]`): with zero-insertion upsampling it
+/// reproduces the input on even pixels and linearly interpolates the rest.
+pub fn bilinear_kernel() -> Kernel {
+    Kernel::new(vec![0.25, 0.5, 0.25, 0.5, 1.0, 0.5, 0.25, 0.5, 0.25])
+}
+
+/// The 7×7 Catmull-Rom (bicubic) upsampling kernel for stride-2 TCONV:
+/// separable taps `[-1/16, 0, 9/16, 1, 9/16, 0, -1/16]`. Its negative lobes
+/// sharpen edges, so — unlike the bilinear kernel — its odd output phases
+/// genuinely differ from the linear interpolation HTCONV substitutes,
+/// exposing the accuracy cost of the approximation.
+pub fn bicubic_kernel() -> Kernel {
+    let taps_1d = [-0.0625, 0.0, 0.5625, 1.0, 0.5625, 0.0, -0.0625];
+    let mut taps = Vec::with_capacity(49);
+    for u in taps_1d {
+        for v in taps_1d {
+            taps.push(u * v);
+        }
+    }
+    Kernel::new(taps)
+}
+
+/// Value of the zero-upsampled image `up` at signed coordinates: `I(i, j)`
+/// when both coordinates are even and in range, zero otherwise.
+pub(crate) fn up_at(input: &Image, r: isize, c: isize) -> f64 {
+    if r < 0 || c < 0 || r % 2 != 0 || c % 2 != 0 {
+        return 0.0;
+    }
+    input.at_padded(r / 2, c / 2)
+}
+
+/// Exact transposed convolution with stride 2 per the Fig. 3 accurate
+/// branch; returns the `2H × 2W` output and the MAC count (every output
+/// pixel accumulates the full `t × t` window, as the pseudo-code does).
+pub fn tconv_upscale2x(input: &Image, kernel: &Kernel) -> (Image, u64) {
+    let t = kernel.size() as isize;
+    let half = t / 2;
+    let (h, w) = (input.height(), input.width());
+    let out = Image::from_fn(2 * h, 2 * w, |r, c| {
+        let mut acc = 0.0;
+        for u in 0..t {
+            for v in 0..t {
+                acc += kernel.at(u as usize, v as usize)
+                    * up_at(input, r as isize + u - half, c as isize + v - half);
+            }
+        }
+        acc
+    });
+    let macs = (4 * h * w) as u64 * (t * t) as u64;
+    (out, macs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psnr::psnr;
+
+    #[test]
+    fn bilinear_preserves_even_pixels() {
+        let img = Image::synthetic(8, 8, 2);
+        let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!(
+                    (up.at(2 * r, 2 * c) - img.at(r, c)).abs() < 1e-12,
+                    "even pixel ({r},{c}) not preserved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoints() {
+        let img = Image::from_vec(1, 2, vec![0.0, 1.0]).expect("valid");
+        let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        // Midpoint between 0 and 1 is 0.5.
+        assert!((up.at(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_count_formula() {
+        let img = Image::zeros(4, 6);
+        let (_, macs) = tconv_upscale2x(&img, &bilinear_kernel());
+        assert_eq!(macs, 4 * 4 * 6 * 9);
+    }
+
+    #[test]
+    fn upscale_then_downsample_recovers_image() {
+        let img = Image::synthetic(16, 16, 3);
+        let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        let down = up.downsample2x().expect("even dims");
+        // Bilinear up + box down is close to identity on smooth content
+        // (zero padding at the border and box smoothing cap the PSNR).
+        assert!(psnr(&img, &down).expect("same dims") > 20.0);
+    }
+
+    #[test]
+    fn bicubic_preserves_even_pixels_and_sharpens() {
+        let img = Image::synthetic(12, 12, 8);
+        let (up, _) = tconv_upscale2x(&img, &bicubic_kernel());
+        for r in 2..10 {
+            for c in 2..10 {
+                assert!(
+                    (up.at(2 * r, 2 * c) - img.at(r, c)).abs() < 1e-12,
+                    "even pixel ({r},{c}) not preserved by bicubic"
+                );
+            }
+        }
+        // Odd phases differ from pure linear interpolation on edge content.
+        let (lin, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        let diff: f64 = (0..24)
+            .flat_map(|r| (0..24).map(move |c| (r, c)))
+            .map(|(r, c)| (up.at(r, c) - lin.at(r, c)).abs())
+            .sum();
+        assert!(diff > 0.1, "bicubic must differ from bilinear, diff {diff}");
+    }
+
+    #[test]
+    fn output_dims_double() {
+        let img = Image::zeros(5, 7);
+        let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        assert_eq!(up.height(), 10);
+        assert_eq!(up.width(), 14);
+    }
+}

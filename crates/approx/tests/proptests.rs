@@ -1,0 +1,113 @@
+//! Property-based tests of approximate-computing invariants.
+
+use f2_approx::arith::{LoaAdder, TruncatedMultiplier};
+use f2_approx::conv::{avg_pool, conv2d_same, max_pool, Kernel};
+use f2_approx::htconv::{htconv_upscale2x, FoveaSpec};
+use f2_approx::image::Image;
+use f2_approx::softmax::{softmax_approx, softmax_exact};
+use f2_approx::tconv::{bilinear_kernel, tconv_upscale2x};
+use proptest::prelude::*;
+
+proptest! {
+    /// Truncated multiplication error never exceeds the analytic bound.
+    #[test]
+    fn truncated_mul_bound(a in any::<u16>(), b in any::<u16>(), t in 0u32..12) {
+        let m = TruncatedMultiplier::new(8, t);
+        let err = (m.multiply(a, b) as i64 - m.exact(a, b) as i64).abs();
+        prop_assert!(err as u32 <= m.max_error());
+    }
+
+    /// LOA addition error never exceeds the analytic bound.
+    #[test]
+    fn loa_add_bound(a in any::<u32>(), b in any::<u32>(), k in 0u32..12) {
+        let adder = LoaAdder::new(16, k);
+        let err = (adder.add(a, b) as i64 - adder.exact(a, b) as i64).abs();
+        prop_assert!(err as u32 <= adder.max_error());
+    }
+
+    /// Convolution is linear: conv(αI) = α·conv(I).
+    #[test]
+    fn conv_linear(seed in any::<u64>(), alpha in 0.1f64..3.0) {
+        let img = Image::synthetic(12, 12, seed);
+        let mut scaled = img.clone();
+        for r in 0..12 {
+            for c in 0..12 {
+                scaled.set(r, c, img.at(r, c) * alpha);
+            }
+        }
+        let k = Kernel::boxcar(3);
+        let (a, _) = conv2d_same(&img, &k);
+        let (b, _) = conv2d_same(&scaled, &k);
+        for r in 0..12 {
+            for c in 0..12 {
+                prop_assert!((a.at(r, c) * alpha - b.at(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Max pool dominates average pool pointwise.
+    #[test]
+    fn max_pool_dominates_avg(seed in any::<u64>()) {
+        let img = Image::synthetic(16, 16, seed);
+        let mx = max_pool(&img, 2);
+        let av = avg_pool(&img, 2);
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert!(mx.at(r, c) >= av.at(r, c) - 1e-12);
+            }
+        }
+    }
+
+    /// HTCONV MAC accounting: macs + saved = exact, and savings track the
+    /// peripheral fraction exactly.
+    #[test]
+    fn htconv_mac_accounting(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let img = Image::synthetic(16, 16, seed);
+        let fovea = FoveaSpec::centered_fraction(16, 16, frac);
+        let (_, stats) = htconv_upscale2x(&img, &bilinear_kernel(), &fovea);
+        prop_assert_eq!(stats.foveal_pixels + stats.peripheral_pixels, 256);
+        let t2 = 9u64; // 3x3 kernel
+        let expect_macs = 256 * t2 + stats.foveal_pixels * 3 * t2;
+        prop_assert_eq!(stats.macs, expect_macs);
+        prop_assert_eq!(stats.interp_adds, stats.peripheral_pixels * 6);
+    }
+
+    /// HTCONV never *adds* MACs relative to exact TCONV.
+    #[test]
+    fn htconv_never_worse(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let img = Image::synthetic(12, 12, seed);
+        let fovea = FoveaSpec::centered_fraction(12, 12, frac);
+        let (_, exact_macs) = tconv_upscale2x(&img, &bilinear_kernel());
+        let (_, stats) = htconv_upscale2x(&img, &bilinear_kernel(), &fovea);
+        prop_assert!(stats.macs <= exact_macs);
+    }
+
+    /// Approximate softmax outputs are a sub-probability vector that
+    /// preserves the exact ordering of well-separated classes.
+    #[test]
+    fn softmax_approx_sane(logits in prop::collection::vec(-6.0f64..6.0, 2..20)) {
+        let s = softmax_approx(&logits);
+        let total: f64 = s.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        prop_assert!(s.iter().all(|&p| p >= 0.0));
+        // Ordering preserved for pairs separated by > 1 nat.
+        let exact = softmax_exact(&logits);
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if logits[i] > logits[j] + 1.0 {
+                    prop_assert!(s[i] >= s[j], "order broken vs exact {exact:?}");
+                }
+            }
+        }
+    }
+
+    /// Downsample then upscale preserves the image mean within tolerance.
+    #[test]
+    fn up_down_preserves_mean(seed in any::<u64>()) {
+        let img = Image::synthetic(16, 16, seed);
+        let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
+        let mean = |im: &Image| im.as_slice().iter().sum::<f64>() / im.as_slice().len() as f64;
+        // Bilinear zero-padding loses a little mass at the border only.
+        prop_assert!((mean(&img) - mean(&up)).abs() < 0.1);
+    }
+}

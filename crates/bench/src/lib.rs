@@ -1,0 +1,75 @@
+//! # f2-bench
+//!
+//! Benchmark harness regenerating every table and figure of the ICSC
+//! Flagship 2 overview paper. Each `src/bin/` binary reproduces one
+//! experiment (E1–E13 in `DESIGN.md`); Criterion micro-benches in
+//! `benches/` cover the hot kernels underneath them.
+//!
+//! Run e.g. `cargo run -p f2-bench --bin fig1_landscape --release`.
+
+use std::fmt::Display;
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned ASCII table.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn print_table<S: Display>(headers: &[&str], rows: &[Vec<S>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), headers.len(), "row arity mismatch");
+            r.iter().map(|c| c.to_string()).collect()
+        })
+        .collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let line = |cols: &[String]| {
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(cols) {
+            out.push_str(&format!("{c:<w$}  "));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in cells {
+        line(&row);
+    }
+}
+
+/// Formats a float with the given precision (table-cell helper).
+pub fn fmt(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Software-exact `bfloat16` arithmetic.
+//!
+//! The prototype Compute Unit of §VII (Fig. 9) "uses the BFloat16 precision
+//! for all major Transformer blocks". `Bf16` models that datapath bit-exactly:
+//! a `bfloat16` is the upper 16 bits of an IEEE-754 `f32`, so conversion
+//! truncates the mantissa to 7 bits (round-to-nearest-even) and arithmetic is
+//! performed by widening to `f32` and re-rounding — exactly what an FMA unit
+//! with bf16 inputs and bf16 output does.
+//!
+//! ```
+//! use f2_core::bf16::Bf16;
+//!
+//! let x = Bf16::from_f32(1.0 / 3.0);
+//! // bf16 has ~2-3 decimal digits of precision.
+//! assert!((x.to_f32() - 1.0 / 3.0).abs() < 3e-3);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 16-bit brain floating-point number (1 sign, 8 exponent, 7 mantissa bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Preserve NaN, set quiet bit so the truncated mantissa is not 0.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts from `f64` (via `f32`).
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Widens to `f32` (exact: every bf16 value is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Widens to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// True if the value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        self.to_f32().is_infinite()
+    }
+
+    /// Fused multiply-add with a wide (`f32`) accumulator: `self * b + acc`.
+    ///
+    /// This is the RedMule-style datapath: bf16 operands, f32 accumulation.
+    /// The result stays in f32 until the final downconversion.
+    pub fn mul_acc(self, b: Bf16, acc: f32) -> f32 {
+        self.to_f32() * b.to_f32() + acc
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(value: f32) -> Self {
+        Bf16::from_f32(value)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(value: Bf16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl Add for Bf16 {
+    type Output = Bf16;
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Bf16 {
+    type Output = Bf16;
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Bf16 {
+    type Output = Bf16;
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for Bf16 {
+    type Output = Bf16;
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+/// Dot product of two bf16 slices with f32 accumulation, the canonical
+/// mixed-precision GEMM inner loop of the §VII tensor core.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_bf16(a: &[Bf16], b: &[Bf16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    a.iter().zip(b).fold(0.0f32, |acc, (x, y)| x.mul_acc(*y, acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -256i32..=256 {
+            let v = i as f32;
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "integer {i} not exact");
+        }
+    }
+
+    #[test]
+    fn one_constant_matches() {
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::from_f32(1.0), Bf16::ONE);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next value;
+        // round-to-even keeps 1.0 (mantissa lsb 0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_bits(), 0x3F80);
+        // Next halfway up from bf16 odd mantissa rounds up.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn nan_and_infinity_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY), Bf16::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY), Bf16::NEG_INFINITY);
+        assert!(Bf16::INFINITY.is_infinite());
+    }
+
+    #[test]
+    fn neg_flips_sign_bit() {
+        let x = Bf16::from_f32(2.5);
+        assert_eq!((-x).to_f32(), -2.5);
+        assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn arithmetic_rounds_to_bf16() {
+        let a = Bf16::from_f32(1.0);
+        let b = Bf16::from_f32(3.0);
+        let q = a / b;
+        // Result must be a representable bf16 value.
+        assert_eq!(Bf16::from_f32(q.to_f32()), q);
+        assert!((q.to_f32() - 1.0 / 3.0).abs() < 3e-3);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_mantissa_width() {
+        // 7 explicit mantissa bits => max relative rounding error 2^-8.
+        for k in 0..200 {
+            let v = 1.0f32 + (k as f32) * 0.017;
+            let r = Bf16::from_f32(v).to_f32();
+            assert!(((r - v) / v).abs() <= 2.0f32.powi(-8), "v={v}");
+        }
+    }
+
+    #[test]
+    fn dot_product_accumulates_in_f32() {
+        let a: Vec<Bf16> = (0..64).map(|i| Bf16::from_f32(i as f32 / 64.0)).collect();
+        let b: Vec<Bf16> = (0..64).map(|_| Bf16::ONE).collect();
+        let got = dot_bf16(&a, &b);
+        let want: f32 = a.iter().map(|x| x.to_f32()).sum();
+        assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match in length")]
+    fn dot_length_mismatch_panics() {
+        dot_bf16(&[Bf16::ONE], &[]);
+    }
+}

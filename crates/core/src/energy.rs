@@ -1,0 +1,289 @@
+//! Per-operation energy models and technology-node scaling.
+//!
+//! The circuit-level arguments of §IV (A/D conversion dominates analog IMC;
+//! SRAM access ≫ MAC energy; NVM crossbars amortise weight movement) all
+//! reduce to per-operation energy bookkeeping. [`OpEnergy`] tabulates those
+//! energies for a technology node; [`EnergyLedger`] accumulates them over a
+//! simulated execution.
+//!
+//! Baseline energies are the widely-used 45 nm figures from Horowitz's
+//! ISSCC'14 keynote ("Computing's energy problem"), scaled to other nodes
+//! with a first-order Dennard-style factor. The absolute numbers only anchor
+//! the scale — every experiment in `EXPERIMENTS.md` compares *ratios*, which
+//! are robust to the calibration choice.
+
+use crate::kpi::{Joules, Picojoules};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Silicon technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 7 nm-class FinFET.
+    N7,
+    /// 12 nm FinFET (GlobalFoundries 12LP, the §VII Compute Unit node).
+    N12,
+    /// 16 nm FinFET.
+    N16,
+    /// 22 nm.
+    N22,
+    /// 28 nm planar (typical Kintex-7-era FPGA node).
+    N28,
+    /// 45 nm planar (the Horowitz calibration node).
+    N45,
+    /// 65 nm planar.
+    N65,
+}
+
+impl TechNode {
+    /// First-order energy scaling factor relative to the 45 nm calibration
+    /// node. Follows the roughly linear-with-node CV² trend observed across
+    /// published MAC-energy surveys.
+    pub fn energy_scale(self) -> f64 {
+        match self {
+            TechNode::N7 => 0.12,
+            TechNode::N12 => 0.20,
+            TechNode::N16 => 0.28,
+            TechNode::N22 => 0.42,
+            TechNode::N28 => 0.55,
+            TechNode::N45 => 1.0,
+            TechNode::N65 => 1.6,
+        }
+    }
+
+    /// Feature size in nanometres.
+    pub fn nanometers(self) -> f64 {
+        match self {
+            TechNode::N7 => 7.0,
+            TechNode::N12 => 12.0,
+            TechNode::N16 => 16.0,
+            TechNode::N22 => 22.0,
+            TechNode::N28 => 28.0,
+            TechNode::N45 => 45.0,
+            TechNode::N65 => 65.0,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometers())
+    }
+}
+
+/// Kinds of primitive operations tracked by the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 8-bit integer multiply-accumulate.
+    MacInt8,
+    /// 16-bit fixed-point multiply-accumulate.
+    MacInt16,
+    /// bfloat16 multiply-accumulate (f32 accumulation).
+    MacBf16,
+    /// 32-bit floating-point multiply-accumulate.
+    MacFp32,
+    /// 32-bit integer ALU operation.
+    AluInt32,
+    /// SRAM read of one 32-bit word (small local buffer, ≤32 KiB).
+    SramRead32,
+    /// SRAM write of one 32-bit word.
+    SramWrite32,
+    /// DRAM access of one 32-bit word.
+    DramAccess32,
+    /// One analog crossbar MAC (current summation on a bitline).
+    AnalogCrossbarMac,
+    /// One ADC conversion (8-bit SAR-class).
+    AdcConversion,
+    /// One DAC conversion / wordline drive.
+    DacConversion,
+    /// NVM cell program pulse (RRAM SET/RESET or PCM partial-SET).
+    NvmProgramPulse,
+    /// NVM cell read.
+    NvmRead,
+    /// One hop through an on-chip network router (32-bit flit).
+    NocHop,
+}
+
+/// Per-operation energy table for a technology node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpEnergy {
+    node: TechNode,
+    table: BTreeMap<OpKind, f64>, // picojoules
+}
+
+impl OpEnergy {
+    /// Builds the calibrated energy table for `node`.
+    pub fn for_node(node: TechNode) -> Self {
+        let s = node.energy_scale();
+        // 45 nm anchors (pJ), Horowitz ISSCC'14 plus IMC literature for the
+        // analog entries (Lepri et al., IEEE JEDS 2023).
+        let anchors = [
+            (OpKind::MacInt8, 0.23),
+            (OpKind::MacInt16, 0.85),
+            (OpKind::MacBf16, 1.2),
+            (OpKind::MacFp32, 4.6),
+            (OpKind::AluInt32, 0.1),
+            (OpKind::SramRead32, 5.0),
+            (OpKind::SramWrite32, 5.5),
+            (OpKind::DramAccess32, 640.0),
+            (OpKind::AnalogCrossbarMac, 0.025),
+            (OpKind::AdcConversion, 2.0),
+            (OpKind::DacConversion, 0.3),
+            (OpKind::NvmProgramPulse, 12.0),
+            (OpKind::NvmRead, 0.6),
+            (OpKind::NocHop, 0.9),
+        ];
+        let table = anchors.iter().map(|&(k, pj)| (k, pj * s)).collect();
+        Self { node, table }
+    }
+
+    /// Technology node this table is calibrated for.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Energy of one operation of `kind`.
+    pub fn energy(&self, kind: OpKind) -> Picojoules {
+        Picojoules::new(self.table[&kind])
+    }
+
+    /// Overrides a single entry (used by calibration sweeps / ablations).
+    pub fn with_override(mut self, kind: OpKind, energy: Picojoules) -> Self {
+        self.table.insert(kind, energy.value());
+        self
+    }
+}
+
+/// Accumulates operation counts and converts them to total energy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    counts: BTreeMap<OpKind, u64>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` operations of `kind`.
+    pub fn record(&mut self, kind: OpKind, n: u64) {
+        *self.counts.entry(kind).or_insert(0) += n;
+    }
+
+    /// Number of recorded operations of `kind`.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total recorded operations across all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total energy under the given per-op table.
+    pub fn total_energy(&self, table: &OpEnergy) -> Joules {
+        let pj: f64 = self
+            .counts
+            .iter()
+            .map(|(&k, &n)| table.energy(k).value() * n as f64)
+            .sum();
+        Picojoules::new(pj).to_joules()
+    }
+
+    /// Energy attributable to one op kind under the given table.
+    pub fn energy_of(&self, kind: OpKind, table: &OpEnergy) -> Joules {
+        Picojoules::new(table.energy(kind).value() * self.count(kind) as f64).to_joules()
+    }
+
+    /// Merges another ledger's counts into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (&k, &n) in &other.counts {
+            self.record(k, n);
+        }
+    }
+
+    /// Iterates over `(kind, count)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &n)| (k, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_monotonic_with_node() {
+        let nodes = [
+            TechNode::N7,
+            TechNode::N12,
+            TechNode::N16,
+            TechNode::N22,
+            TechNode::N28,
+            TechNode::N45,
+            TechNode::N65,
+        ];
+        for w in nodes.windows(2) {
+            assert!(
+                w[0].energy_scale() < w[1].energy_scale(),
+                "{:?} should be cheaper than {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn dram_dominates_sram_dominates_mac() {
+        let t = OpEnergy::for_node(TechNode::N45);
+        assert!(t.energy(OpKind::DramAccess32) > t.energy(OpKind::SramRead32));
+        assert!(t.energy(OpKind::SramRead32) > t.energy(OpKind::MacInt8));
+    }
+
+    #[test]
+    fn analog_mac_cheaper_than_digital_but_adc_is_not() {
+        let t = OpEnergy::for_node(TechNode::N45);
+        assert!(t.energy(OpKind::AnalogCrossbarMac) < t.energy(OpKind::MacInt8));
+        // The §IV bottleneck: one ADC conversion costs more than many analog MACs.
+        assert!(t.energy(OpKind::AdcConversion).value() > 10.0 * t.energy(OpKind::AnalogCrossbarMac).value());
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = EnergyLedger::new();
+        a.record(OpKind::MacInt8, 100);
+        a.record(OpKind::MacInt8, 50);
+        let mut b = EnergyLedger::new();
+        b.record(OpKind::MacInt8, 10);
+        b.record(OpKind::SramRead32, 5);
+        a.merge(&b);
+        assert_eq!(a.count(OpKind::MacInt8), 160);
+        assert_eq!(a.count(OpKind::SramRead32), 5);
+        assert_eq!(a.total_ops(), 165);
+    }
+
+    #[test]
+    fn total_energy_matches_hand_computation() {
+        let t = OpEnergy::for_node(TechNode::N45);
+        let mut l = EnergyLedger::new();
+        l.record(OpKind::MacInt8, 1000);
+        let want = 0.23 * 1000.0; // pJ
+        let got = l.total_energy(&t).to_picojoules().value();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn override_changes_single_entry() {
+        let t = OpEnergy::for_node(TechNode::N45)
+            .with_override(OpKind::AdcConversion, Picojoules::new(0.5));
+        assert_eq!(t.energy(OpKind::AdcConversion).value(), 0.5);
+        assert!((t.energy(OpKind::MacInt8).value() - 0.23).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_of_node() {
+        assert_eq!(TechNode::N12.to_string(), "12nm");
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types shared by the core substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by core substrate operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Tensor shapes were incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// A numeric format description was invalid (e.g. zero total bits).
+    InvalidFormat(String),
+    /// A parameter fell outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An index was outside the bounds of the addressed structure.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Size of the addressed dimension.
+        len: usize,
+    },
+    /// A workload or model description was internally inconsistent.
+    InvalidWorkload(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            CoreError::InvalidFormat(msg) => write!(f, "invalid numeric format: {msg}"),
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            CoreError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = CoreError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+        assert!(msg.starts_with("shape mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let errs = [
+            CoreError::InvalidFormat("x".into()),
+            CoreError::InvalidParameter {
+                name: "n".into(),
+                reason: "must be positive".into(),
+            },
+            CoreError::IndexOutOfBounds { index: 5, len: 3 },
+            CoreError::InvalidWorkload("cycle".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

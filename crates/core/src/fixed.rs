@@ -1,0 +1,333 @@
+//! Runtime-configurable fixed-point arithmetic (Q-format).
+//!
+//! The approximate accelerators of §V operate on 16-bit fixed-point data and
+//! weights, and the HLS/IMC flows sweep bit-widths during design-space
+//! exploration. This module provides a software-exact model of two's
+//! complement Q-format arithmetic with saturation and round-to-nearest, so
+//! every crate quantises identically.
+//!
+//! ```
+//! use f2_core::fixed::QFormat;
+//!
+//! let q = QFormat::new(16, 8)?; // 16 bits total, 8 fractional
+//! let x = q.quantize(3.14159);
+//! assert!((q.dequantize(x) - 3.14159).abs() < q.resolution());
+//! # Ok::<(), f2_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two's complement fixed-point format: `total_bits` including sign,
+/// of which `frac_bits` are fractional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    total_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Creates a Q-format with `total_bits` total width (including the sign
+    /// bit) and `frac_bits` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFormat`] if `total_bits` is 0, exceeds 63
+    /// (raw values are stored in `i64`), or is not strictly greater than
+    /// `frac_bits`.
+    pub fn new(total_bits: u8, frac_bits: u8) -> Result<Self> {
+        if total_bits == 0 || total_bits > 63 {
+            return Err(CoreError::InvalidFormat(format!(
+                "total_bits must be in 1..=63, got {total_bits}"
+            )));
+        }
+        if frac_bits >= total_bits {
+            return Err(CoreError::InvalidFormat(format!(
+                "frac_bits ({frac_bits}) must be < total_bits ({total_bits})"
+            )));
+        }
+        Ok(Self {
+            total_bits,
+            frac_bits,
+        })
+    }
+
+    /// Total bit width including the sign bit.
+    pub fn total_bits(self) -> u8 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Number of integer bits (excluding sign).
+    pub fn int_bits(self) -> u8 {
+        self.total_bits - self.frac_bits - 1
+    }
+
+    /// Smallest representable increment (one LSB).
+    pub fn resolution(self) -> f64 {
+        2f64.powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> f64 {
+        self.raw_max() as f64 * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(self) -> f64 {
+        self.raw_min() as f64 * self.resolution()
+    }
+
+    fn raw_max(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    fn raw_min(self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Quantises a real value to this format with round-to-nearest-even and
+    /// saturation at the format bounds.
+    pub fn quantize(self, value: f64) -> Fixed {
+        let scaled = value / self.resolution();
+        let rounded = round_half_even(scaled);
+        let raw = if rounded.is_nan() {
+            0
+        } else if rounded >= self.raw_max() as f64 {
+            self.raw_max()
+        } else if rounded <= self.raw_min() as f64 {
+            self.raw_min()
+        } else {
+            rounded as i64
+        };
+        Fixed { raw, fmt: self }
+    }
+
+    /// Reconstructs the real value of a quantised sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` was produced under a different format.
+    pub fn dequantize(self, x: Fixed) -> f64 {
+        debug_assert_eq!(x.fmt, self, "dequantize with mismatched format");
+        x.raw as f64 * self.resolution()
+    }
+
+    /// Creates a fixed-point value directly from a raw two's complement
+    /// integer, saturating to the format bounds.
+    pub fn from_raw(self, raw: i64) -> Fixed {
+        Fixed {
+            raw: raw.clamp(self.raw_min(), self.raw_max()),
+            fmt: self,
+        }
+    }
+
+    /// The zero value in this format.
+    pub fn zero(self) -> Fixed {
+        Fixed { raw: 0, fmt: self }
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits(), self.frac_bits)
+    }
+}
+
+fn round_half_even(x: f64) -> f64 {
+    let floor = x.floor();
+    let diff = x - floor;
+    if diff > 0.5 || (diff == 0.5 && (floor as i64) % 2 != 0) {
+        floor + 1.0
+    } else {
+        floor
+    }
+}
+
+/// A fixed-point sample: a raw two's complement integer tagged with its
+/// [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i64,
+    fmt: QFormat,
+}
+
+impl Fixed {
+    /// Raw two's complement integer representation.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The format this sample was quantised under.
+    pub fn format(self) -> QFormat {
+        self.fmt
+    }
+
+    /// Real value of the sample.
+    pub fn to_f64(self) -> f64 {
+        self.fmt.dequantize(self)
+    }
+
+    /// Saturating fixed-point addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the operands have different formats.
+    pub fn saturating_add(self, rhs: Fixed) -> Fixed {
+        debug_assert_eq!(self.fmt, rhs.fmt, "add with mismatched formats");
+        self.fmt.from_raw(self.raw + rhs.raw)
+    }
+
+    /// Saturating fixed-point subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the operands have different formats.
+    pub fn saturating_sub(self, rhs: Fixed) -> Fixed {
+        debug_assert_eq!(self.fmt, rhs.fmt, "sub with mismatched formats");
+        self.fmt.from_raw(self.raw - rhs.raw)
+    }
+
+    /// Fixed-point multiplication. The double-width product is rounded back
+    /// to `out` format (round-to-nearest, ties away from zero on the raw
+    /// product) and saturated.
+    pub fn mul_into(self, rhs: Fixed, out: QFormat) -> Fixed {
+        // Product has self.frac + rhs.frac fractional bits.
+        let prod = (self.raw as i128) * (rhs.raw as i128);
+        let prod_frac = self.fmt.frac_bits as i32 + rhs.fmt.frac_bits as i32;
+        let shift = prod_frac - out.frac_bits as i32;
+        let raw = if shift > 0 {
+            let half = 1i128 << (shift - 1);
+            let adj = if prod >= 0 { prod + half } else { prod - half + 1 };
+            adj >> shift
+        } else {
+            prod << (-shift)
+        };
+        let clamped = raw.clamp(out.raw_min() as i128, out.raw_max() as i128);
+        out.from_raw(clamped as i64)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// Quantises a slice of real values into a vector of raw fixed-point values
+/// under `fmt`, returning the raw integers (useful for bulk kernels that do
+/// their own integer arithmetic).
+pub fn quantize_slice(fmt: QFormat, values: &[f64]) -> Vec<i64> {
+    values.iter().map(|&v| fmt.quantize(v).raw()).collect()
+}
+
+/// Dequantises a slice of raw fixed-point integers back to real values.
+pub fn dequantize_slice(fmt: QFormat, raws: &[i64]) -> Vec<f64> {
+    raws.iter().map(|&r| r as f64 * fmt.resolution()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q16_8() -> QFormat {
+        QFormat::new(16, 8).expect("valid format")
+    }
+
+    #[test]
+    fn new_rejects_bad_formats() {
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(64, 8).is_err());
+        assert!(QFormat::new(8, 8).is_err());
+        assert!(QFormat::new(8, 9).is_err());
+        assert!(QFormat::new(16, 8).is_ok());
+    }
+
+    #[test]
+    fn quantize_round_trip_within_resolution() {
+        let q = q16_8();
+        for &v in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 100.5, -100.25] {
+            let x = q.quantize(v);
+            assert!(
+                (q.dequantize(x) - v).abs() <= q.resolution() / 2.0 + 1e-12,
+                "value {v} round-trip error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = q16_8();
+        assert_eq!(q.quantize(1e9).raw(), 32767);
+        assert_eq!(q.quantize(-1e9).raw(), -32768);
+        assert!((q.max_value() - 127.99609375).abs() < 1e-12);
+        assert_eq!(q.min_value(), -128.0);
+    }
+
+    #[test]
+    fn quantize_nan_is_zero() {
+        let q = q16_8();
+        assert_eq!(q.quantize(f64::NAN).raw(), 0);
+    }
+
+    #[test]
+    fn round_half_even_ties() {
+        assert_eq!(round_half_even(0.5), 0.0);
+        assert_eq!(round_half_even(1.5), 2.0);
+        assert_eq!(round_half_even(2.5), 2.0);
+        assert_eq!(round_half_even(-0.5), 0.0);
+        assert_eq!(round_half_even(-1.5), -2.0);
+    }
+
+    #[test]
+    fn saturating_add_sub() {
+        let q = q16_8();
+        let a = q.quantize(100.0);
+        let b = q.quantize(50.0);
+        assert!((a.saturating_add(b).to_f64() - q.max_value()).abs() < 1e-9);
+        assert!((a.saturating_sub(b).to_f64() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_matches_float_product() {
+        let q = q16_8();
+        let a = q.quantize(1.5);
+        let b = q.quantize(-2.25);
+        let p = a.mul_into(b, q);
+        assert!((p.to_f64() - (-3.375)).abs() <= q.resolution());
+    }
+
+    #[test]
+    fn mul_into_wider_format_is_exact() {
+        let q = q16_8();
+        let wide = QFormat::new(32, 16).expect("valid");
+        let a = q.quantize(1.5);
+        let b = q.quantize(2.25);
+        let p = a.mul_into(b, wide);
+        assert!((p.to_f64() - 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(q16_8().to_string(), "Q7.8");
+        let x = q16_8().quantize(1.5);
+        assert_eq!(x.to_string(), "1.5");
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let q = q16_8();
+        let vals = [0.25, -0.75, 12.125];
+        let raws = quantize_slice(q, &vals);
+        let back = dequantize_slice(q, &raws);
+        for (a, b) in vals.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Strongly-typed key performance indicators (KPIs).
+//!
+//! The paper evaluates every accelerator along the same axes: computational
+//! throughput (TOPS / GFLOPS), power (W), energy efficiency (TOPS/W),
+//! silicon area (mm²), and clock frequency (MHz). Newtypes keep these from
+//! being mixed up ([C-NEWTYPE]) and make unit algebra explicit: dividing
+//! [`Tops`] by [`Watts`] yields [`TopsPerWatt`].
+//!
+//! ```
+//! use f2_core::kpi::{Gflops, Watts};
+//!
+//! // Fig. 9: the prototype Compute Unit reaches 150 GFLOPS at 100 mW.
+//! let eff = Gflops::new(150.0) / Watts::new(0.1);
+//! assert!((eff.value() - 1500.0).abs() < 1e-9); // 1.5 TFLOPS/W
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a new quantity from a raw magnitude.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw magnitude.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            /// Ratio of two like quantities is a dimensionless `f64`.
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Tera-operations per second (10¹² ops/s), the throughput unit of Fig. 1.
+    Tops,
+    "TOPS"
+);
+unit!(
+    /// Giga floating-point operations per second (10⁹ FLOP/s).
+    Gflops,
+    "GFLOPS"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Energy in picojoules (10⁻¹² J); the natural unit for per-operation
+    /// energies of MAC units and memory accesses.
+    Picojoules,
+    "pJ"
+);
+unit!(
+    /// Clock frequency in megahertz.
+    Megahertz,
+    "MHz"
+);
+unit!(
+    /// Silicon area in square millimetres.
+    SquareMillimeters,
+    "mm^2"
+);
+unit!(
+    /// Energy efficiency in TOPS per watt — the y-axis of Fig. 1.
+    TopsPerWatt,
+    "TOPS/W"
+);
+unit!(
+    /// Energy efficiency in GFLOPS per watt.
+    GflopsPerWatt,
+    "GFLOPS/W"
+);
+unit!(
+    /// Wall-clock time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Memory or link bandwidth in gigabytes per second.
+    GigabytesPerSecond,
+    "GB/s"
+);
+unit!(
+    /// Pixel throughput in megapixels per second (Table I).
+    MegapixelsPerSecond,
+    "Mpixels/s"
+);
+unit!(
+    /// Pixel energy efficiency in megapixels per second per watt (Table I).
+    MegapixelsPerSecondPerWatt,
+    "Mpixels/s/W"
+);
+unit!(
+    /// Edit-distance throughput in tera cell-updates per second (§VI).
+    Tcups,
+    "TCUPS"
+);
+unit!(
+    /// Edit-distance energy efficiency in mega sequence-pairs per joule (§VI).
+    MpairPerJoule,
+    "Mpair/J"
+);
+
+impl Div<Watts> for Tops {
+    type Output = TopsPerWatt;
+    fn div(self, rhs: Watts) -> TopsPerWatt {
+        TopsPerWatt::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Watts> for Gflops {
+    type Output = GflopsPerWatt;
+    fn div(self, rhs: Watts) -> GflopsPerWatt {
+        GflopsPerWatt::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Watts> for MegapixelsPerSecond {
+    type Output = MegapixelsPerSecondPerWatt;
+    fn div(self, rhs: Watts) -> MegapixelsPerSecondPerWatt {
+        MegapixelsPerSecondPerWatt::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+impl Joules {
+    /// Converts to picojoules.
+    pub fn to_picojoules(self) -> Picojoules {
+        Picojoules::new(self.value() * 1e12)
+    }
+}
+
+impl Picojoules {
+    /// Converts to joules.
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.value() * 1e-12)
+    }
+}
+
+impl Tops {
+    /// Converts to GFLOPS-equivalent magnitude (1 TOPS = 1000 GOPS).
+    ///
+    /// The conversion treats one "op" as one FLOP, which is how mixed
+    /// integer/floating-point landscapes such as Fig. 1 are conventionally
+    /// normalised.
+    pub fn to_gflops(self) -> Gflops {
+        Gflops::new(self.value() * 1000.0)
+    }
+}
+
+impl Gflops {
+    /// Converts to TOPS-equivalent magnitude.
+    pub fn to_tops(self) -> Tops {
+        Tops::new(self.value() / 1000.0)
+    }
+}
+
+impl Megahertz {
+    /// Returns the frequency in hertz.
+    pub fn to_hertz(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Returns the clock period in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        debug_assert!(self.value() > 0.0, "clock frequency must be positive");
+        Seconds::new(1.0 / self.to_hertz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tops_per_watt_division() {
+        let eff = Tops::new(300.0) / Watts::new(100.0);
+        assert_eq!(eff, TopsPerWatt::new(3.0));
+    }
+
+    #[test]
+    fn gflops_per_watt_matches_cu_claim() {
+        // Fig. 9 CU: 150 GFLOPS, 1.5 TFLOPS/W => 0.1 W
+        let eff = Gflops::new(150.0) / Watts::new(0.1);
+        assert!((eff.value() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_algebra() {
+        let e = Watts::new(2.0) * Seconds::new(3.0);
+        assert_eq!(e, Joules::new(6.0));
+        assert_eq!(e / Seconds::new(3.0), Watts::new(2.0));
+    }
+
+    #[test]
+    fn picojoule_round_trip() {
+        let e = Joules::new(1.5e-9);
+        let pj = e.to_picojoules();
+        assert!((pj.value() - 1500.0).abs() < 1e-9);
+        assert!((pj.to_joules().value() - 1.5e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn tops_gflops_round_trip() {
+        let t = Tops::new(2.5);
+        assert!((t.to_gflops().value() - 2500.0).abs() < 1e-12);
+        assert!((t.to_gflops().to_tops().value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_period() {
+        let f = Megahertz::new(460.0);
+        let p = f.period();
+        assert!((p.value() - 1.0 / 460e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_includes_suffix_and_precision() {
+        assert_eq!(format!("{:.1}", Tops::new(209.64)), "209.6 TOPS");
+        assert_eq!(format!("{}", Watts::new(5.0)), "5 W");
+    }
+
+    #[test]
+    fn like_ratio_is_dimensionless() {
+        let r: f64 = Watts::new(10.0) / Watts::new(4.0);
+        assert!((r - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        assert_eq!(Watts::new(2.0) * 3.0, Watts::new(6.0));
+        assert_eq!(Watts::new(6.0) / 3.0, Watts::new(2.0));
+        assert_eq!(Watts::new(2.0) + Watts::new(1.0), Watts::new(3.0));
+        assert_eq!(Watts::new(2.0) - Watts::new(1.0), Watts::new(1.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Tops::new(1.0) < Tops::new(2.0));
+    }
+}

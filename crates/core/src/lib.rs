@@ -1,0 +1,43 @@
+//! # f2-core
+//!
+//! Shared substrate for the ICSC Flagship 2 reproduction.
+//!
+//! The DATE 2025 overview paper spans five research thrusts (HLS/DSE
+//! toolchains, in-memory computing, approximate FPGA accelerators,
+//! heterogeneous platforms, and RISC-V compute fabrics). All of them share a
+//! common vocabulary: performance/power/area KPIs, reduced-precision number
+//! formats, workload descriptions, and cost models. This crate provides that
+//! vocabulary so the thrust-specific crates (`f2-hls`, `f2-imc`, `f2-approx`,
+//! `f2-dna`, `f2-hetero`, `f2-scf`) compose cleanly.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use f2_core::kpi::{Tops, Watts};
+//! use f2_core::roofline::Roofline;
+//!
+//! // KPIs are strongly typed: TOPS / W division yields TOPS/W directly.
+//! let eff = Tops::new(209.6) / Watts::new(14.0);
+//! assert!((eff.value() - 14.97).abs() < 0.01);
+//!
+//! // Roofline models bound attainable performance.
+//! let a100ish = Roofline::new(312e12, 2.0e12);
+//! assert!(a100ish.attainable(1.0) <= 2.0e12);
+//! ```
+
+pub mod bf16;
+pub mod energy;
+pub mod error;
+pub mod fixed;
+pub mod kpi;
+pub mod pareto;
+pub mod platform;
+pub mod rng;
+pub mod roofline;
+pub mod tensor;
+pub mod workload;
+
+pub use error::CoreError;
+
+/// Convenience result alias used across `f2-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;

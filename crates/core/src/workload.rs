@@ -1,0 +1,13 @@
+//! Workload descriptions shared across the thrust crates.
+//!
+//! * [`dnn`] — layer-graph descriptions of deep neural networks with exact
+//!   MAC/parameter/activation accounting (used by `f2-imc`, `f2-approx`,
+//!   `f2-hetero`).
+//! * [`transformer`] — transformer block configurations and their FLOP
+//!   breakdown (used by `f2-scf`).
+//! * [`graph`] — sparse graphs in CSR form plus reference kernels
+//!   (BFS, SpMV, PageRank) for the §III irregular-workload experiments.
+
+pub mod dnn;
+pub mod graph;
+pub mod transformer;

@@ -1,0 +1,314 @@
+//! Sparse graphs in CSR form plus the §III reference kernels.
+//!
+//! SPARTA "has primarily been tested on graph processing kernels, to
+//! demonstrate its ability to generate efficient accelerators for irregular
+//! applications". This module provides the substrate: CSR storage, synthetic
+//! generators (uniform Erdős–Rényi-style and RMAT power-law), and golden
+//! software implementations of BFS, SpMV and PageRank that the HLS-generated
+//! accelerator models are validated against.
+
+use crate::error::CoreError;
+use crate::rng::rng_for;
+use crate::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A directed graph in compressed-sparse-row form with `f64` edge weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list over `num_nodes` vertices.
+    /// Duplicate edges are kept; self-loops are allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IndexOutOfBounds`] if an endpoint is ≥
+    /// `num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(u, v, _) in edges {
+            for x in [u, v] {
+                if x >= num_nodes {
+                    return Err(CoreError::IndexOutOfBounds {
+                        index: x,
+                        len: num_nodes,
+                    });
+                }
+            }
+        }
+        let mut row_ptr = vec![0usize; num_nodes + 1];
+        for &(u, _, _) in edges {
+            row_ptr[u + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; edges.len()];
+        let mut weights = vec![0f64; edges.len()];
+        let mut cursor = row_ptr.clone();
+        for &(u, v, w) in edges {
+            col_idx[cursor[u]] = v;
+            weights[cursor[u]] = w;
+            cursor[u] += 1;
+        }
+        Ok(Self {
+            row_ptr,
+            col_idx,
+            weights,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-neighbours of `u` with weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[u];
+        let hi = self.row_ptr[u + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.row_ptr[u + 1] - self.row_ptr[u]
+    }
+
+    /// CSR row-pointer array (length `num_nodes + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// CSR column-index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// CSR edge-weight array.
+    pub fn edge_weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Generates a uniform random directed graph with `num_nodes` vertices and
+/// `num_edges` edges (G(n, m) model), unit weights.
+pub fn gnm_random(num_nodes: usize, num_edges: usize, seed: u64) -> CsrGraph {
+    let mut rng = rng_for(seed, "gnm");
+    let edges: Vec<(usize, usize, f64)> = (0..num_edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..num_nodes),
+                rng.gen_range(0..num_nodes),
+                1.0,
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(num_nodes, &edges).expect("generated endpoints are in range")
+}
+
+/// Generates an RMAT power-law graph of `2^scale` vertices and
+/// `edge_factor × 2^scale` edges with the Graph500 (a,b,c,d) =
+/// (0.57, 0.19, 0.19, 0.05) partition probabilities, unit weights.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = rng_for(seed, "rmat");
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let edges: Vec<(usize, usize, f64)> = (0..m)
+        .map(|_| {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..scale {
+                let r: f64 = rng.gen();
+                let (du, dv) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (0, 1)
+                } else if r < a + b + c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            (u, v, 1.0)
+        })
+        .collect();
+    CsrGraph::from_edges(n, &edges).expect("generated endpoints are in range")
+}
+
+/// Breadth-first search from `src`; returns per-vertex level
+/// (`usize::MAX` = unreachable).
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs(graph: &CsrGraph, src: usize) -> Vec<usize> {
+    assert!(src < graph.num_nodes(), "source vertex out of range");
+    let mut level = vec![usize::MAX; graph.num_nodes()];
+    level[src] = 0;
+    let mut frontier = vec![src];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for (v, _) in graph.neighbors(u) {
+                if level[v] == usize::MAX {
+                    level[v] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Sparse matrix-vector product `y = A x` where `A` is the weighted
+/// adjacency matrix.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if `x.len() != num_nodes`.
+pub fn spmv(graph: &CsrGraph, x: &[f64]) -> Result<Vec<f64>> {
+    if x.len() != graph.num_nodes() {
+        return Err(CoreError::ShapeMismatch {
+            expected: vec![graph.num_nodes()],
+            actual: vec![x.len()],
+        });
+    }
+    Ok((0..graph.num_nodes())
+        .map(|u| graph.neighbors(u).map(|(v, w)| w * x[v]).sum())
+        .collect())
+}
+
+/// PageRank with damping `d`, run for `iters` iterations. Dangling mass is
+/// redistributed uniformly. Returns the final rank vector (sums to 1).
+pub fn pagerank(graph: &CsrGraph, d: f64, iters: usize) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let mut next = vec![(1.0 - d) / n as f64; n];
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let deg = graph.degree(u);
+            if deg == 0 {
+                dangling += rank[u];
+            } else {
+                let share = d * rank[u] / deg as f64;
+                for (v, _) in graph.neighbors(u) {
+                    next[v] += share;
+                }
+            }
+        }
+        let spread = d * dangling / n as f64;
+        for r in &mut next {
+            *r += spread;
+        }
+        rank = next;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        CsrGraph::from_edges(n, &edges).expect("valid edges")
+    }
+
+    #[test]
+    fn csr_structure_round_trip() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 2.0), (0, 2, 3.0), (2, 0, 1.0)]).expect("valid");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 0);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn csr_rejects_out_of_range() {
+        assert!(CsrGraph::from_edges(2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path_graph(5);
+        let levels = bfs(&g, 0);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        // From the far end nothing is reachable (directed).
+        let back = bfs(&g, 4);
+        assert_eq!(back[4], 0);
+        assert!(back[0..4].iter().all(|&l| l == usize::MAX));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).expect("valid");
+        let y = spmv(&g, &[1.0, 10.0, 100.0]).expect("shape");
+        assert_eq!(y, vec![20.0, 300.0, 4.0]);
+        assert!(spmv(&g, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_sink_high() {
+        // Star: everything points at node 0.
+        let edges: Vec<(usize, usize, f64)> = (1..10).map(|i| (i, 0, 1.0)).collect();
+        let g = CsrGraph::from_edges(10, &edges).expect("valid");
+        let pr = pagerank(&g, 0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rank mass {sum}");
+        assert!(pr[0] > pr[1] * 3.0, "hub should dominate");
+    }
+
+    #[test]
+    fn gnm_generates_requested_size() {
+        let g = gnm_random(100, 500, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        let a = gnm_random(50, 200, 9);
+        let b = gnm_random(50, 200, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8, 3);
+        assert_eq!(g.num_nodes(), 1024);
+        let mut degrees: Vec<usize> = (0..g.num_nodes()).map(|u| g.degree(u)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degrees[..10].iter().sum();
+        let total: usize = degrees.iter().sum();
+        // Power-law: top 1% of vertices should hold far more than 1% of edges.
+        assert!(
+            top1pct as f64 > 0.05 * total as f64,
+            "top-10 vertices hold {top1pct}/{total} edges"
+        );
+    }
+}

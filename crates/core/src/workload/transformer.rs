@@ -1,0 +1,275 @@
+//! Transformer block configurations and FLOP accounting.
+//!
+//! The §VII Compute Unit accelerates "all major Transformer blocks" in
+//! BFloat16. [`TransformerConfig`] describes an encoder block; the FLOP
+//! breakdown drives both the `f2-scf` kernel mapper and the Fig. 9 KPI
+//! reproduction.
+//!
+//! ```
+//! use f2_core::workload::transformer::TransformerConfig;
+//!
+//! let tiny = TransformerConfig::new(256, 4, 128, 1024)?;
+//! // GEMMs dominate: projections + attention + FFN.
+//! assert!(tiny.flops().gemm_fraction() > 0.9);
+//! # Ok::<(), f2_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one transformer encoder block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    d_model: usize,
+    heads: usize,
+    seq_len: usize,
+    d_ffn: usize,
+}
+
+impl TransformerConfig {
+    /// Creates a block configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if any dimension is zero or
+    /// `d_model` is not divisible by `heads`.
+    pub fn new(d_model: usize, heads: usize, seq_len: usize, d_ffn: usize) -> Result<Self> {
+        if d_model == 0 || heads == 0 || seq_len == 0 || d_ffn == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "dims".to_string(),
+                reason: "all transformer dimensions must be positive".to_string(),
+            });
+        }
+        if !d_model.is_multiple_of(heads) {
+            return Err(CoreError::InvalidParameter {
+                name: "heads".to_string(),
+                reason: format!("d_model ({d_model}) must be divisible by heads ({heads})"),
+            });
+        }
+        Ok(Self {
+            d_model,
+            heads,
+            seq_len,
+            d_ffn,
+        })
+    }
+
+    /// Model (embedding) dimension.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Feed-forward hidden dimension.
+    pub fn d_ffn(&self) -> usize {
+        self.d_ffn
+    }
+
+    /// Per-head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Exact FLOP breakdown of one forward pass of the block (1 MAC counted
+    /// as 2 FLOPs, the GFLOPS-accounting convention of §VII).
+    pub fn flops(&self) -> FlopBreakdown {
+        let n = self.seq_len as u64;
+        let d = self.d_model as u64;
+        let f = self.d_ffn as u64;
+        // QKV + output projections: 4 GEMMs of n×d×d.
+        let projections = 2 * 4 * n * d * d;
+        // Attention scores QK^T and context AV: 2 GEMMs of n×n×d (across heads).
+        let attention = 2 * 2 * n * n * d;
+        // FFN: two GEMMs n×d×f.
+        let ffn = 2 * 2 * n * d * f;
+        // Softmax: ~5 ops per score element per row (max, sub, exp, sum, div).
+        let softmax = 5 * (self.heads as u64) * n * n;
+        // Two LayerNorms: ~8 ops per element.
+        let layernorm = 2 * 8 * n * d;
+        FlopBreakdown {
+            projections,
+            attention,
+            ffn,
+            softmax,
+            layernorm,
+        }
+    }
+
+    /// Weight parameter count of the block.
+    pub fn params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let f = self.d_ffn as u64;
+        4 * d * d + 2 * d * f + 4 * d // projections + FFN + LN scale/bias
+    }
+
+    /// Activation footprint in elements for one forward pass (inputs,
+    /// attention matrix, FFN hidden).
+    pub fn activation_elems(&self) -> u64 {
+        let n = self.seq_len as u64;
+        let d = self.d_model as u64;
+        n * d * 4 + (self.heads as u64) * n * n + n * (self.d_ffn as u64)
+    }
+}
+
+/// FLOP counts per transformer sub-block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopBreakdown {
+    /// QKV and output projection GEMMs.
+    pub projections: u64,
+    /// QKᵀ and AV attention GEMMs.
+    pub attention: u64,
+    /// Feed-forward GEMMs.
+    pub ffn: u64,
+    /// Softmax elementwise work.
+    pub softmax: u64,
+    /// LayerNorm elementwise work.
+    pub layernorm: u64,
+}
+
+impl FlopBreakdown {
+    /// Total FLOPs.
+    pub fn total(&self) -> u64 {
+        self.projections + self.attention + self.ffn + self.softmax + self.layernorm
+    }
+
+    /// GEMM FLOPs (the part a tensor core can absorb).
+    pub fn gemm(&self) -> u64 {
+        self.projections + self.attention + self.ffn
+    }
+
+    /// Fraction of FLOPs that are GEMM-shaped.
+    pub fn gemm_fraction(&self) -> f64 {
+        self.gemm() as f64 / self.total() as f64
+    }
+}
+
+/// A named multi-block transformer model (e.g. a small BERT or ViT encoder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerModel {
+    name: String,
+    block: TransformerConfig,
+    num_blocks: usize,
+}
+
+impl TransformerModel {
+    /// Creates a model of `num_blocks` identical blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `num_blocks` is zero.
+    pub fn new(name: &str, block: TransformerConfig, num_blocks: usize) -> Result<Self> {
+        if num_blocks == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "num_blocks".to_string(),
+                reason: "must be positive".to_string(),
+            });
+        }
+        Ok(Self {
+            name: name.to_string(),
+            block,
+            num_blocks,
+        })
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-block configuration.
+    pub fn block(&self) -> &TransformerConfig {
+        &self.block
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Total forward FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.block.flops().total() * self.num_blocks as u64
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.block.params() * self.num_blocks as u64
+    }
+}
+
+/// The BERT-Base-like reference configuration used in the `f2-scf` benches.
+pub fn bert_base_block() -> TransformerConfig {
+    TransformerConfig::new(768, 12, 128, 3072).expect("static config is valid")
+}
+
+/// A MobileBERT-class tiny block for edge-scale runs.
+pub fn tiny_block() -> TransformerConfig {
+    TransformerConfig::new(128, 4, 64, 512).expect("static config is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(TransformerConfig::new(0, 1, 1, 1).is_err());
+        assert!(TransformerConfig::new(100, 3, 8, 64).is_err()); // 100 % 3 != 0
+        assert!(TransformerConfig::new(96, 3, 8, 64).is_ok());
+    }
+
+    #[test]
+    fn flops_hand_check_tiny() {
+        let c = TransformerConfig::new(4, 1, 2, 8).expect("valid");
+        let f = c.flops();
+        assert_eq!(f.projections, 2 * 4 * 2 * 16); // 256
+        assert_eq!(f.attention, 2 * 2 * 4 * 4); // 64
+        assert_eq!(f.ffn, 2 * 2 * 2 * 4 * 8); // 256
+        assert_eq!(f.softmax, 5 * 4);
+        assert_eq!(f.layernorm, 2 * 8 * 8);
+        assert_eq!(f.total(), 256 + 64 + 256 + 20 + 128);
+    }
+
+    #[test]
+    fn gemm_dominates_realistic_blocks() {
+        let f = bert_base_block().flops();
+        assert!(f.gemm_fraction() > 0.95, "gemm fraction {}", f.gemm_fraction());
+    }
+
+    #[test]
+    fn attention_grows_quadratically_with_seq_len() {
+        let short = TransformerConfig::new(256, 4, 64, 1024).expect("valid");
+        let long = TransformerConfig::new(256, 4, 256, 1024).expect("valid");
+        let ratio = long.flops().attention as f64 / short.flops().attention as f64;
+        assert!((ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_formula() {
+        let c = TransformerConfig::new(8, 2, 4, 16).expect("valid");
+        assert_eq!(c.params(), 4 * 64 + 2 * 8 * 16 + 32);
+    }
+
+    #[test]
+    fn model_scales_linearly() {
+        let m1 = TransformerModel::new("x", tiny_block(), 1).expect("valid");
+        let m12 = TransformerModel::new("x", tiny_block(), 12).expect("valid");
+        assert_eq!(m12.total_flops(), 12 * m1.total_flops());
+        assert!(TransformerModel::new("x", tiny_block(), 0).is_err());
+    }
+
+    #[test]
+    fn d_head() {
+        assert_eq!(bert_base_block().d_head(), 64);
+    }
+}

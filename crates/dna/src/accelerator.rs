@@ -1,0 +1,216 @@
+//! Systolic-array model of the Alveo U50 edit-distance accelerator \[35\].
+//!
+//! §VI: "Our solution uses nearly 90% of FPGA basic-block hardware
+//! resources, achieving about 90% computing efficiency while delivering a
+//! maximum throughput of 16.8 TCUPS and an energy efficiency of 46
+//! Mpair/Joule."
+//!
+//! The accelerator tiles Myers-style bit-parallel processing elements (each
+//! PE advances one 64-row block of the DP matrix per cycle) across the
+//! device fabric. Throughput is therefore
+//! `PEs × 64 cells × fmax × efficiency`, and the model exposes exactly the
+//! quantities the paper reports: TCUPS, Mpair/J, computing efficiency and
+//! resource utilisation. The host-side software baseline reuses the same
+//! kernels from [`crate::levenshtein`], so the speedup comparison is
+//! apples-to-apples on cell updates.
+
+use crate::error::DnaError;
+use crate::Result;
+use f2_core::kpi::{Megahertz, MpairPerJoule, Tcups, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the systolic edit-distance accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Bit-parallel processing elements instantiated.
+    pub pe_count: usize,
+    /// DP cells each PE updates per cycle (the Myers word width).
+    pub cells_per_pe: usize,
+    /// Achieved kernel clock.
+    pub fmax: Megahertz,
+    /// Fraction of cycles PEs do useful work (pipeline fill, strand-length
+    /// raggedness and HBM stalls).
+    pub compute_efficiency: f64,
+    /// Board power at load.
+    pub power: Watts,
+    /// Fraction of the device's LUT budget the design occupies.
+    pub resource_utilization: f64,
+}
+
+impl AcceleratorConfig {
+    /// The published Alveo U50 design point of \[35\].
+    pub fn alveo_u50() -> Self {
+        Self {
+            pe_count: 912,
+            cells_per_pe: 64,
+            fmax: Megahertz::new(320.0),
+            compute_efficiency: 0.90,
+            power: Watts::new(16.3),
+            resource_utilization: 0.90,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidParameter`] on zero/invalid fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.pe_count == 0 || self.cells_per_pe == 0 {
+            return Err(DnaError::InvalidParameter(
+                "PE array must be non-empty".to_string(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.compute_efficiency)
+            || !(0.0..=1.0).contains(&self.resource_utilization)
+        {
+            return Err(DnaError::InvalidParameter(
+                "efficiency/utilization must be fractions".to_string(),
+            ));
+        }
+        if self.fmax.value() <= 0.0 || self.power.value() <= 0.0 {
+            return Err(DnaError::InvalidParameter(
+                "clock and power must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sustained throughput in tera cell-updates per second.
+    pub fn throughput(&self) -> Tcups {
+        let cups = self.pe_count as f64
+            * self.cells_per_pe as f64
+            * self.fmax.to_hertz()
+            * self.compute_efficiency;
+        Tcups::new(cups / 1e12)
+    }
+
+    /// Sequence pairs compared per second for `len × len` strands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn pairs_per_second(&self, len: usize) -> f64 {
+        assert!(len > 0, "strand length must be positive");
+        self.throughput().value() * 1e12 / (len * len) as f64
+    }
+
+    /// Energy efficiency in mega sequence-pairs per joule for `len × len`
+    /// strands.
+    pub fn pair_efficiency(&self, len: usize) -> MpairPerJoule {
+        MpairPerJoule::new(self.pairs_per_second(len) / self.power.value() / 1e6)
+    }
+
+    /// Wall-clock seconds to compare `pairs` pairs of `len`-base strands.
+    pub fn batch_time(&self, pairs: u64, len: usize) -> f64 {
+        pairs as f64 / self.pairs_per_second(len)
+    }
+}
+
+/// A software (CPU) baseline calibrated from the bit-parallel kernel: a
+/// modern core sustains a few GCUPS per core with Myers' algorithm \[29\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuBaseline {
+    /// Cores used.
+    pub cores: usize,
+    /// Giga cell-updates per second per core.
+    pub gcups_per_core: f64,
+    /// Package power.
+    pub power: Watts,
+}
+
+impl CpuBaseline {
+    /// A 32-core server-class baseline.
+    pub fn server() -> Self {
+        Self {
+            cores: 32,
+            gcups_per_core: 2.5,
+            power: Watts::new(250.0),
+        }
+    }
+
+    /// Sustained throughput in TCUPS.
+    pub fn throughput(&self) -> Tcups {
+        Tcups::new(self.cores as f64 * self.gcups_per_core / 1000.0)
+    }
+
+    /// Energy efficiency for `len × len` strand pairs.
+    pub fn pair_efficiency(&self, len: usize) -> MpairPerJoule {
+        let pairs_per_s = self.throughput().value() * 1e12 / (len * len) as f64;
+        MpairPerJoule::new(pairs_per_s / self.power.value() / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alveo_reaches_published_tcups() {
+        let acc = AcceleratorConfig::alveo_u50();
+        let t = acc.throughput().value();
+        assert!(
+            (t - 16.8).abs() / 16.8 < 0.03,
+            "throughput {t:.2} TCUPS should match the published 16.8"
+        );
+    }
+
+    #[test]
+    fn alveo_reaches_published_pair_efficiency() {
+        let acc = AcceleratorConfig::alveo_u50();
+        // The paper's Mpair/J figure corresponds to ~150-base oligos.
+        let eff = acc.pair_efficiency(150).value();
+        assert!(
+            (eff - 46.0).abs() / 46.0 < 0.05,
+            "efficiency {eff:.1} Mpair/J should match the published 46"
+        );
+    }
+
+    #[test]
+    fn resource_and_compute_efficiency_near_90pct() {
+        let acc = AcceleratorConfig::alveo_u50();
+        assert!((acc.compute_efficiency - 0.9).abs() < 1e-9);
+        assert!((acc.resource_utilization - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_dominates_cpu_baseline() {
+        let acc = AcceleratorConfig::alveo_u50();
+        let cpu = CpuBaseline::server();
+        let speedup = acc.throughput().value() / cpu.throughput().value();
+        assert!(speedup > 100.0, "FPGA speedup {speedup:.0}x");
+        let energy_gain =
+            acc.pair_efficiency(150).value() / cpu.pair_efficiency(150).value();
+        assert!(energy_gain > 1000.0, "energy gain {energy_gain:.0}x");
+    }
+
+    #[test]
+    fn batch_time_scales_quadratically_with_length() {
+        let acc = AcceleratorConfig::alveo_u50();
+        let short = acc.batch_time(1_000_000, 100);
+        let long = acc.batch_time(1_000_000, 200);
+        assert!((long / short - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut acc = AcceleratorConfig::alveo_u50();
+        assert!(acc.validate().is_ok());
+        acc.pe_count = 0;
+        assert!(acc.validate().is_err());
+        let mut acc2 = AcceleratorConfig::alveo_u50();
+        acc2.compute_efficiency = 1.5;
+        assert!(acc2.validate().is_err());
+        let mut acc3 = AcceleratorConfig::alveo_u50();
+        acc3.power = Watts::new(0.0);
+        assert!(acc3.validate().is_err());
+    }
+
+    #[test]
+    fn throughput_linear_in_pes() {
+        let mut acc = AcceleratorConfig::alveo_u50();
+        let t1 = acc.throughput().value();
+        acc.pe_count *= 2;
+        assert!((acc.throughput().value() / t1 - 2.0).abs() < 1e-9);
+    }
+}

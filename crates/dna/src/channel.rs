@@ -1,0 +1,278 @@
+//! The DNA synthesis/sequencing noise channel of Fig. 6b.
+//!
+//! §VI: "A distinctive feature of the DNA channel is that the input consists
+//! of numerous strings of similar lengths that share a certain degree of
+//! similarity." The channel takes each synthesised oligo and emits a random
+//! number of noisy *reads*: per-base substitutions, insertions and deletions
+//! plus whole-strand dropout — the error processes real synthesis and
+//! nanopore/Illumina sequencing introduce.
+
+use crate::error::DnaError;
+use crate::sequence::{DnaBase, DnaSequence};
+use crate::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Channel error-rate configuration (per-base probabilities).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Substitution probability per base.
+    pub substitution: f64,
+    /// Insertion probability per base position.
+    pub insertion: f64,
+    /// Deletion probability per base.
+    pub deletion: f64,
+    /// Probability an oligo is never recovered at all.
+    pub dropout: f64,
+    /// Mean sequencing coverage (reads per oligo).
+    pub mean_coverage: f64,
+}
+
+impl ChannelModel {
+    /// A modern synthesis + Illumina-class profile (per-base error ≈ 0.7%).
+    pub fn typical() -> Self {
+        Self {
+            substitution: 0.004,
+            insertion: 0.0015,
+            deletion: 0.0015,
+            dropout: 0.005,
+            mean_coverage: 10.0,
+        }
+    }
+
+    /// A harsh nanopore-class profile (per-base error ≈ 6%).
+    pub fn harsh() -> Self {
+        Self {
+            substitution: 0.03,
+            insertion: 0.015,
+            deletion: 0.015,
+            dropout: 0.02,
+            mean_coverage: 20.0,
+        }
+    }
+
+    /// Validates that all probabilities are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidParameter`] if any rate is outside `[0, 1]`
+    /// or coverage is not positive.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("substitution", self.substitution),
+            ("insertion", self.insertion),
+            ("deletion", self.deletion),
+            ("dropout", self.dropout),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(DnaError::InvalidParameter(format!(
+                    "{name} probability {p} out of [0,1]"
+                )));
+            }
+        }
+        if self.mean_coverage <= 0.0 {
+            return Err(DnaError::InvalidParameter(
+                "mean coverage must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Corrupts a single strand once.
+    pub fn corrupt(&self, strand: &DnaSequence, rng: &mut impl Rng) -> DnaSequence {
+        let mut out = Vec::with_capacity(strand.len() + 4);
+        for &base in strand.bases() {
+            if rng.gen::<f64>() < self.insertion {
+                out.push(DnaBase::from_bits(rng.gen()));
+            }
+            if rng.gen::<f64>() < self.deletion {
+                continue;
+            }
+            if rng.gen::<f64>() < self.substitution {
+                // Substitute with one of the *other* three bases.
+                let mut b = DnaBase::from_bits(rng.gen());
+                while b == base {
+                    b = DnaBase::from_bits(rng.gen());
+                }
+                out.push(b);
+            } else {
+                out.push(base);
+            }
+        }
+        DnaSequence::from_bases(out)
+    }
+
+    /// Sequences one oligo: returns its reads (possibly none on dropout).
+    /// Coverage is Poisson-like (geometric mixture around the mean).
+    pub fn sequence(&self, strand: &DnaSequence, rng: &mut impl Rng) -> Vec<DnaSequence> {
+        if rng.gen::<f64>() < self.dropout {
+            return Vec::new();
+        }
+        let copies = sample_poisson(self.mean_coverage, rng).max(1);
+        (0..copies).map(|_| self.corrupt(strand, rng)).collect()
+    }
+
+    /// Sequences a whole pool of oligos, concatenating and shuffling reads
+    /// (the unordered pool a sequencer returns).
+    pub fn sequence_pool(
+        &self,
+        strands: &[DnaSequence],
+        rng: &mut impl Rng,
+    ) -> Vec<DnaSequence> {
+        let mut reads: Vec<DnaSequence> = strands
+            .iter()
+            .flat_map(|s| self.sequence(s, rng))
+            .collect();
+        // Fisher-Yates shuffle: the pool has no order.
+        for i in (1..reads.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            reads.swap(i, j);
+        }
+        reads
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the coverage means used here).
+fn sample_poisson(mean: f64, rng: &mut impl Rng) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerical guard for extreme means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein_dp;
+    use f2_core::rng::rng_for;
+
+    fn strand(len: usize, seed: u64) -> DnaSequence {
+        let mut rng = rng_for(seed, "strand");
+        DnaSequence::from_bases(
+            (0..len)
+                .map(|_| DnaBase::from_bits(rand::Rng::gen(&mut rng)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let ch = ChannelModel {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.0,
+            dropout: 0.0,
+            mean_coverage: 3.0,
+        };
+        let mut rng = rng_for(1, "ch");
+        let s = strand(100, 1);
+        assert_eq!(ch.corrupt(&s, &mut rng), s);
+        let reads = ch.sequence(&s, &mut rng);
+        assert!(!reads.is_empty());
+        assert!(reads.iter().all(|r| *r == s));
+    }
+
+    #[test]
+    fn error_rate_matches_configuration() {
+        let ch = ChannelModel {
+            substitution: 0.05,
+            insertion: 0.0,
+            deletion: 0.0,
+            dropout: 0.0,
+            mean_coverage: 1.0,
+        };
+        let mut rng = rng_for(2, "ch2");
+        let s = strand(400, 2);
+        let mut edits = 0u64;
+        let trials = 100;
+        for _ in 0..trials {
+            let c = ch.corrupt(&s, &mut rng);
+            edits += levenshtein_dp(&s, &c).distance.expect("exact") as u64;
+        }
+        let observed = edits as f64 / (trials * 400) as f64;
+        assert!(
+            (observed - 0.05).abs() < 0.01,
+            "observed substitution rate {observed}"
+        );
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let ch = ChannelModel {
+            substitution: 0.0,
+            insertion: 0.1,
+            deletion: 0.0,
+            dropout: 0.0,
+            mean_coverage: 1.0,
+        };
+        let mut rng = rng_for(3, "ch3");
+        let s = strand(300, 3);
+        let c = ch.corrupt(&s, &mut rng);
+        assert!(c.len() > s.len(), "insertions should lengthen the read");
+        let del = ChannelModel {
+            insertion: 0.0,
+            deletion: 0.1,
+            ..ch
+        };
+        let c2 = del.corrupt(&s, &mut rng);
+        assert!(c2.len() < s.len(), "deletions should shorten the read");
+    }
+
+    #[test]
+    fn dropout_loses_strands() {
+        let ch = ChannelModel {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.0,
+            dropout: 1.0,
+            mean_coverage: 5.0,
+        };
+        let mut rng = rng_for(4, "ch4");
+        assert!(ch.sequence(&strand(50, 4), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn coverage_mean_is_respected() {
+        let ch = ChannelModel {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.0,
+            dropout: 0.0,
+            mean_coverage: 8.0,
+        };
+        let mut rng = rng_for(5, "ch5");
+        let s = strand(20, 5);
+        let total: usize = (0..200).map(|_| ch.sequence(&s, &mut rng).len()).sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 8.0).abs() < 1.0, "mean coverage {mean}");
+    }
+
+    #[test]
+    fn pool_mixes_reads() {
+        let ch = ChannelModel::typical();
+        let mut rng = rng_for(6, "ch6");
+        let strands: Vec<DnaSequence> = (0..10).map(|i| strand(60, 100 + i)).collect();
+        let reads = ch.sequence_pool(&strands, &mut rng);
+        assert!(reads.len() > 50, "expected ~100 reads, got {}", reads.len());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let mut ch = ChannelModel::typical();
+        assert!(ch.validate().is_ok());
+        ch.substitution = 1.5;
+        assert!(ch.validate().is_err());
+        let mut ch2 = ChannelModel::typical();
+        ch2.mean_coverage = 0.0;
+        assert!(ch2.validate().is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! Payload framing: indexed oligos with checksums and XOR-parity erasure
+//! groups.
+//!
+//! Real DNA archives (Grass et al. \[25\]) wrap payloads in inner checksums
+//! and an outer erasure code so that strand dropout and residual consensus
+//! errors are recoverable. This codec implements that structure in its
+//! simplest dependable form: a 2-byte strand index, a 1-byte additive
+//! checksum, and one XOR-parity strand per group of data strands (any single
+//! missing strand per group is reconstructable).
+
+use crate::error::DnaError;
+use crate::sequence::DnaSequence;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Codec framing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodecConfig {
+    /// Payload bytes per strand.
+    pub data_per_strand: usize,
+    /// Data strands per parity group.
+    pub group_size: usize,
+}
+
+impl Default for CodecConfig {
+    /// 24 data bytes per strand (≈110-base oligos), groups of 8.
+    fn default() -> Self {
+        Self {
+            data_per_strand: 24,
+            group_size: 8,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidParameter`] on zero sizes.
+    pub fn validate(&self) -> Result<()> {
+        if self.data_per_strand == 0 || self.group_size == 0 {
+            return Err(DnaError::InvalidParameter(
+                "codec sizes must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Oligo length in bases for this configuration.
+    pub fn strand_bases(&self) -> usize {
+        (2 + self.data_per_strand + 1) * 4
+    }
+}
+
+/// An encoded archive: the synthesised oligo pool plus decode metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Archive {
+    /// All oligos (data strands then parity strands, but decoding does not
+    /// rely on order).
+    pub strands: Vec<DnaSequence>,
+    /// Original payload length in bytes.
+    pub payload_len: usize,
+    /// Framing parameters.
+    pub config: CodecConfig,
+}
+
+const PARITY_FLAG: u16 = 0x8000;
+
+fn checksum(bytes: &[u8]) -> u8 {
+    bytes.iter().fold(0u8, |acc, &b| acc.wrapping_mul(31).wrapping_add(b))
+}
+
+/// Index-seeded keystream byte. Scrambling each strand's payload with a
+/// per-index mask is the standard "randomization" step of DNA codecs: it
+/// decorrelates strands that carry similar data (and balances GC content),
+/// which is what keeps distinct oligos from merging in the clustering stage.
+fn keystream(index: u16, position: usize) -> u8 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (index as u64);
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h ^= position as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    (h >> 32) as u8
+}
+
+fn frame(index: u16, data: &[u8]) -> DnaSequence {
+    let mut bytes = Vec::with_capacity(3 + data.len());
+    bytes.extend_from_slice(&index.to_be_bytes());
+    bytes.extend(
+        data.iter()
+            .enumerate()
+            .map(|(i, &b)| b ^ keystream(index, i)),
+    );
+    bytes.push(checksum(&bytes));
+    DnaSequence::from_bytes(&bytes)
+}
+
+fn unframe(strand: &DnaSequence, data_len: usize) -> Option<(u16, Vec<u8>)> {
+    let bytes = strand.to_bytes();
+    if bytes.len() != 3 + data_len {
+        return None;
+    }
+    let (body, check) = bytes.split_at(bytes.len() - 1);
+    if checksum(body) != check[0] {
+        return None;
+    }
+    let index = u16::from_be_bytes([body[0], body[1]]);
+    let data = body[2..]
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| b ^ keystream(index, i))
+        .collect();
+    Some((index, data))
+}
+
+/// Encodes a payload into a constraint-compliant archive: every strand is
+/// rotation-coded ([`crate::constraints::rotation_encode`]), so the pool is
+/// homopolymer-free at a 1.5× length overhead.
+///
+/// # Errors
+///
+/// Same as [`encode`].
+pub fn encode_constrained(payload: &[u8], config: CodecConfig) -> Result<Archive> {
+    let mut archive = encode(payload, config)?;
+    archive.strands = archive
+        .strands
+        .iter()
+        .map(|s| crate::constraints::rotation_encode(&s.to_bytes()))
+        .collect();
+    Ok(archive)
+}
+
+/// Decodes an archive produced by [`encode_constrained`].
+///
+/// Strands whose rotation codewords are corrupt count as checksum rejects.
+///
+/// # Errors
+///
+/// Same as [`decode`].
+pub fn decode_constrained(
+    strands: &[DnaSequence],
+    payload_len: usize,
+    config: CodecConfig,
+) -> Result<(Vec<u8>, DecodeStats)> {
+    let mut rejects = 0usize;
+    let inner: Vec<DnaSequence> = strands
+        .iter()
+        .filter_map(|s| match crate::constraints::rotation_decode(s) {
+            Ok(bytes) => Some(DnaSequence::from_bytes(&bytes)),
+            Err(_) => {
+                rejects += 1;
+                None
+            }
+        })
+        .collect();
+    let (payload, mut stats) = decode(&inner, payload_len, config)?;
+    stats.rejected += rejects;
+    Ok((payload, stats))
+}
+
+/// Encodes a payload into an oligo archive.
+///
+/// # Errors
+///
+/// Returns [`DnaError::InvalidParameter`] for bad configs or payloads that
+/// need more than 2¹⁵ strands (index space).
+pub fn encode(payload: &[u8], config: CodecConfig) -> Result<Archive> {
+    config.validate()?;
+    let n_strands = payload.len().div_ceil(config.data_per_strand).max(1);
+    if n_strands as u64 >= PARITY_FLAG as u64 {
+        return Err(DnaError::InvalidParameter(format!(
+            "payload needs {n_strands} strands, exceeding the 15-bit index space"
+        )));
+    }
+    let mut strands = Vec::new();
+    for i in 0..n_strands {
+        let start = i * config.data_per_strand;
+        let end = (start + config.data_per_strand).min(payload.len());
+        let mut data = payload[start..end].to_vec();
+        data.resize(config.data_per_strand, 0);
+        strands.push(frame(i as u16, &data));
+    }
+    // Parity strands: XOR of each group's data blocks.
+    let n_groups = n_strands.div_ceil(config.group_size);
+    for g in 0..n_groups {
+        let mut parity = vec![0u8; config.data_per_strand];
+        for i in (g * config.group_size)..((g + 1) * config.group_size).min(n_strands) {
+            let start = i * config.data_per_strand;
+            for (k, p) in parity.iter_mut().enumerate() {
+                let idx = start + k;
+                *p ^= if idx < payload.len() { payload[idx] } else { 0 };
+            }
+        }
+        strands.push(frame(PARITY_FLAG | g as u16, &parity));
+    }
+    Ok(Archive {
+        strands,
+        payload_len: payload.len(),
+        config,
+    })
+}
+
+/// Statistics of a decode attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeStats {
+    /// Data strands recovered directly.
+    pub direct: usize,
+    /// Data strands reconstructed from parity.
+    pub parity_recovered: usize,
+    /// Data strands lost beyond repair.
+    pub lost: usize,
+    /// Strands whose checksum rejected them.
+    pub rejected: usize,
+}
+
+/// Decodes a set of recovered strands (post-consensus) back to the payload.
+///
+/// # Errors
+///
+/// Returns [`DnaError::DecodeFailure`] if any group lost more strands than
+/// parity can repair.
+pub fn decode(
+    strands: &[DnaSequence],
+    payload_len: usize,
+    config: CodecConfig,
+) -> Result<(Vec<u8>, DecodeStats)> {
+    config.validate()?;
+    let n_strands = payload_len.div_ceil(config.data_per_strand).max(1);
+    let mut data: Vec<Option<Vec<u8>>> = vec![None; n_strands];
+    let n_groups = n_strands.div_ceil(config.group_size);
+    let mut parity: Vec<Option<Vec<u8>>> = vec![None; n_groups];
+    let mut stats = DecodeStats::default();
+
+    for strand in strands {
+        match unframe(strand, config.data_per_strand) {
+            Some((index, bytes)) => {
+                if index & PARITY_FLAG != 0 {
+                    let g = (index & !PARITY_FLAG) as usize;
+                    if g < n_groups {
+                        parity[g] = Some(bytes);
+                    }
+                } else if (index as usize) < n_strands {
+                    if data[index as usize].is_none() {
+                        stats.direct += 1;
+                    }
+                    data[index as usize] = Some(bytes);
+                }
+            }
+            None => stats.rejected += 1,
+        }
+    }
+
+    // Parity repair: one missing strand per group is recoverable.
+    for g in 0..n_groups {
+        let members: Vec<usize> = ((g * config.group_size)
+            ..((g + 1) * config.group_size).min(n_strands))
+            .collect();
+        let missing: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| data[i].is_none())
+            .collect();
+        match (missing.len(), &parity[g]) {
+            (0, _) => {}
+            (1, Some(p)) => {
+                let mut rec = p.clone();
+                for &i in &members {
+                    if let Some(d) = &data[i] {
+                        for (r, b) in rec.iter_mut().zip(d) {
+                            *r ^= b;
+                        }
+                    }
+                }
+                data[missing[0]] = Some(rec);
+                stats.parity_recovered += 1;
+            }
+            (k, _) => {
+                stats.lost += k;
+            }
+        }
+    }
+
+    if stats.lost > 0 {
+        return Err(DnaError::DecodeFailure(format!(
+            "{} strands unrecoverable after parity repair",
+            stats.lost
+        )));
+    }
+
+    let mut payload = Vec::with_capacity(payload_len);
+    for d in data.into_iter() {
+        payload.extend_from_slice(&d.expect("all strands present after repair"));
+    }
+    payload.truncate(payload_len);
+    Ok((payload, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAYLOAD: &[u8] = b"In-memory computing minimises data movement between CPU and RAM.";
+
+    #[test]
+    fn round_trip_without_loss() {
+        let archive = encode(PAYLOAD, CodecConfig::default()).expect("encodable");
+        let (decoded, stats) =
+            decode(&archive.strands, archive.payload_len, archive.config).expect("decodable");
+        assert_eq!(decoded, PAYLOAD);
+        assert_eq!(stats.parity_recovered, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn strand_count_includes_parity() {
+        let cfg = CodecConfig {
+            data_per_strand: 8,
+            group_size: 4,
+        };
+        let archive = encode(&[0u8; 64], cfg).expect("encodable");
+        // 8 data strands + 2 parity strands.
+        assert_eq!(archive.strands.len(), 10);
+        assert_eq!(archive.strands[0].len(), cfg.strand_bases());
+    }
+
+    #[test]
+    fn single_loss_per_group_is_repaired() {
+        let cfg = CodecConfig {
+            data_per_strand: 8,
+            group_size: 4,
+        };
+        let archive = encode(PAYLOAD, cfg).expect("encodable");
+        let mut strands = archive.strands.clone();
+        strands.remove(2); // drop one data strand
+        let (decoded, stats) = decode(&strands, archive.payload_len, cfg).expect("repairable");
+        assert_eq!(decoded, PAYLOAD);
+        assert_eq!(stats.parity_recovered, 1);
+    }
+
+    #[test]
+    fn double_loss_in_group_fails() {
+        let cfg = CodecConfig {
+            data_per_strand: 8,
+            group_size: 4,
+        };
+        let archive = encode(PAYLOAD, cfg).expect("encodable");
+        let mut strands = archive.strands.clone();
+        strands.remove(1);
+        strands.remove(1); // two strands of group 0
+        assert!(decode(&strands, archive.payload_len, cfg).is_err());
+    }
+
+    #[test]
+    fn corrupted_strand_rejected_by_checksum() {
+        let archive = encode(PAYLOAD, CodecConfig::default()).expect("encodable");
+        let mut strands = archive.strands.clone();
+        // Flip one base in strand 0's payload region.
+        let bases = strands[0].bases_mut();
+        bases[20] = bases[20].complement();
+        let (decoded, stats) =
+            decode(&strands, archive.payload_len, archive.config).expect("repairable");
+        assert_eq!(decoded, PAYLOAD);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.parity_recovered, 1);
+    }
+
+    #[test]
+    fn constrained_archive_is_homopolymer_free_and_round_trips() {
+        use crate::constraints::{max_homopolymer, ConstraintSpec};
+        let cfg = CodecConfig::default();
+        let archive = encode_constrained(PAYLOAD, cfg).expect("encodable");
+        // The rotation code eliminates homopolymers outright and keeps GC
+        // loosely balanced (tight per-window GC shaping is a separate
+        // screening step in real flows).
+        let spec = ConstraintSpec {
+            max_homopolymer: 1,
+            gc_min: 0.2,
+            gc_max: 0.8,
+            gc_window: 50,
+        };
+        for strand in &archive.strands {
+            assert_eq!(max_homopolymer(strand), 1);
+            assert!(spec.check(strand).is_ok(), "constraint violated");
+            // 1.5x the dense strand length.
+            assert_eq!(strand.len(), cfg.strand_bases() * 3 / 2);
+        }
+        let (decoded, _) =
+            decode_constrained(&archive.strands, archive.payload_len, cfg).expect("decodable");
+        assert_eq!(decoded, PAYLOAD);
+    }
+
+    #[test]
+    fn constrained_decode_counts_corrupt_codewords() {
+        let cfg = CodecConfig {
+            data_per_strand: 8,
+            group_size: 4,
+        };
+        let archive = encode_constrained(PAYLOAD, cfg).expect("encodable");
+        let mut strands = archive.strands.clone();
+        // Corrupt one strand into an invalid rotation codeword (repeat).
+        let bases = strands[0].bases_mut();
+        bases[1] = bases[0];
+        let (decoded, stats) =
+            decode_constrained(&strands, archive.payload_len, cfg).expect("repairable");
+        assert_eq!(decoded, PAYLOAD);
+        assert!(stats.rejected >= 1);
+        assert_eq!(stats.parity_recovered, 1);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let archive = encode(&[], CodecConfig::default()).expect("encodable");
+        let (decoded, _) =
+            decode(&archive.strands, archive.payload_len, archive.config).expect("decodable");
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let cfg = CodecConfig {
+            data_per_strand: 1,
+            group_size: 8,
+        };
+        assert!(encode(&vec![0u8; 40_000], cfg).is_err());
+    }
+
+    #[test]
+    fn zero_config_rejected() {
+        assert!(encode(
+            b"x",
+            CodecConfig {
+                data_per_strand: 0,
+                group_size: 1
+            }
+        )
+        .is_err());
+    }
+}

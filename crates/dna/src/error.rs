@@ -1,0 +1,43 @@
+//! Error type for the DNA-storage crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by DNA-storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnaError {
+    /// A sequence contained an invalid character.
+    InvalidBase(char),
+    /// Codec framing was violated (bad length, bad index, checksum…).
+    CodecError(String),
+    /// Decoding failed to recover the payload.
+    DecodeFailure(String),
+    /// An accelerator or channel parameter was out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnaError::InvalidBase(c) => write!(f, "invalid DNA base {c:?}"),
+            DnaError::CodecError(msg) => write!(f, "codec error: {msg}"),
+            DnaError::DecodeFailure(msg) => write!(f, "decode failure: {msg}"),
+            DnaError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for DnaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<DnaError>();
+        assert!(DnaError::InvalidBase('x').to_string().contains('x'));
+        assert!(!DnaError::CodecError("short".into()).to_string().is_empty());
+    }
+}

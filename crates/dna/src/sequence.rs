@@ -1,0 +1,240 @@
+//! DNA alphabets and bit ⇄ base codecs.
+//!
+//! Fig. 6a: "the digital encoding of the bases" — two bits per nucleotide,
+//! `A=00, C=01, G=10, T=11` (the conventional mapping of DNA-storage
+//! codecs).
+
+use crate::error::DnaError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One nucleotide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DnaBase {
+    /// Adenine (bits `00`).
+    A,
+    /// Cytosine (bits `01`).
+    C,
+    /// Guanine (bits `10`).
+    G,
+    /// Thymine (bits `11`).
+    T,
+}
+
+impl DnaBase {
+    /// The four bases in bit order.
+    pub const ALL: [DnaBase; 4] = [DnaBase::A, DnaBase::C, DnaBase::G, DnaBase::T];
+
+    /// Two-bit encoding of the base.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            DnaBase::A => 0b00,
+            DnaBase::C => 0b01,
+            DnaBase::G => 0b10,
+            DnaBase::T => 0b11,
+        }
+    }
+
+    /// Base for a two-bit value (upper bits ignored).
+    pub fn from_bits(bits: u8) -> Self {
+        Self::ALL[(bits & 0b11) as usize]
+    }
+
+    /// Watson-Crick complement.
+    pub fn complement(self) -> Self {
+        match self {
+            DnaBase::A => DnaBase::T,
+            DnaBase::T => DnaBase::A,
+            DnaBase::C => DnaBase::G,
+            DnaBase::G => DnaBase::C,
+        }
+    }
+
+    /// Parses a character (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidBase`] for non-ACGT characters.
+    pub fn from_char(c: char) -> Result<Self> {
+        match c.to_ascii_uppercase() {
+            'A' => Ok(DnaBase::A),
+            'C' => Ok(DnaBase::C),
+            'G' => Ok(DnaBase::G),
+            'T' => Ok(DnaBase::T),
+            other => Err(DnaError::InvalidBase(other)),
+        }
+    }
+
+    /// Character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            DnaBase::A => 'A',
+            DnaBase::C => 'C',
+            DnaBase::G => 'G',
+            DnaBase::T => 'T',
+        }
+    }
+}
+
+impl fmt::Display for DnaBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// An oligonucleotide strand.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DnaSequence {
+    bases: Vec<DnaBase>,
+}
+
+impl DnaSequence {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a base vector.
+    pub fn from_bases(bases: Vec<DnaBase>) -> Self {
+        Self { bases }
+    }
+
+    /// Encodes bytes at 2 bits/base, MSB first (4 bases per byte).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bases = Vec::with_capacity(bytes.len() * 4);
+        for &b in bytes {
+            for shift in [6u8, 4, 2, 0] {
+                bases.push(DnaBase::from_bits(b >> shift));
+            }
+        }
+        Self { bases }
+    }
+
+    /// Decodes back to bytes (length must be a multiple of 4; trailing
+    /// partial bytes are dropped).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.bases
+            .chunks_exact(4)
+            .map(|quad| {
+                quad.iter()
+                    .fold(0u8, |acc, base| (acc << 2) | base.to_bits())
+            })
+            .collect()
+    }
+
+    /// Parses an ACGT string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnaError::InvalidBase`] on the first invalid character.
+    pub fn parse(s: &str) -> Result<Self> {
+        Ok(Self {
+            bases: s.chars().map(DnaBase::from_char).collect::<Result<_>>()?,
+        })
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Borrow of the bases.
+    pub fn bases(&self) -> &[DnaBase] {
+        &self.bases
+    }
+
+    /// Mutable borrow of the bases (used by the noise channel).
+    pub fn bases_mut(&mut self) -> &mut Vec<DnaBase> {
+        &mut self.bases
+    }
+
+    /// GC content in `[0, 1]` (a synthesis-quality constraint in real
+    /// pipelines); 0 for the empty strand.
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .bases
+            .iter()
+            .filter(|b| matches!(b, DnaBase::G | DnaBase::C))
+            .count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// Reverse complement of the strand.
+    pub fn reverse_complement(&self) -> DnaSequence {
+        DnaSequence {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for DnaSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_mapping_round_trip() {
+        for b in DnaBase::ALL {
+            assert_eq!(DnaBase::from_bits(b.to_bits()), b);
+        }
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let payload = b"The ICSC Flagship 2 project";
+        let seq = DnaSequence::from_bytes(payload);
+        assert_eq!(seq.len(), payload.len() * 4);
+        assert_eq!(seq.to_bytes(), payload);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let seq = DnaSequence::parse("ACGTacgt").expect("valid");
+        assert_eq!(seq.to_string(), "ACGTACGT");
+        assert!(DnaSequence::parse("ACGX").is_err());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in DnaBase::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+        let seq = DnaSequence::parse("ACGGT").expect("valid");
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn gc_content() {
+        let seq = DnaSequence::parse("GGCC").expect("valid");
+        assert_eq!(seq.gc_content(), 1.0);
+        let seq2 = DnaSequence::parse("AATT").expect("valid");
+        assert_eq!(seq2.gc_content(), 0.0);
+        let seq3 = DnaSequence::parse("ACGT").expect("valid");
+        assert_eq!(seq3.gc_content(), 0.5);
+        assert_eq!(DnaSequence::new().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn known_encoding() {
+        // 0b00011011 = A C G T
+        let seq = DnaSequence::from_bytes(&[0b0001_1011]);
+        assert_eq!(seq.to_string(), "ACGT");
+    }
+}

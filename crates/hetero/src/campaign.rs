@@ -1,0 +1,181 @@
+//! The §VI benchmarking campaign: a structured sweep over devices and
+//! storage configurations.
+//!
+//! "We conducted a benchmarking campaign on a relevant DL model for medical
+//! image segmentation by using the most appropriate profiling tools for CPU,
+//! GPU, and FPGA architectures in different stages of the DL pipeline …
+//! The results are a reference point for future optimization and trade-off
+//! analysis." [`run_campaign`] produces that reference point as data:
+//! every device × storage × phase combination with totals, bottlenecks and
+//! energy, plus the query helpers the trade-off analysis needs.
+
+use crate::device::{ComputeDevice, Phase};
+use crate::pipeline::{run_inference, run_training, PipelineReport, PipelineSpec, Stage};
+use crate::storage::StorageDevice;
+use serde::{Deserialize, Serialize};
+
+/// One campaign measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignEntry {
+    /// Pipeline phase.
+    pub phase: Phase,
+    /// Device name.
+    pub device: String,
+    /// Whether the device class can run this phase natively.
+    pub native: bool,
+    /// Storage name.
+    pub storage: String,
+    /// The full per-stage report.
+    pub report: PipelineReport,
+}
+
+/// The complete campaign result set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// All measurements.
+    pub entries: Vec<CampaignEntry>,
+}
+
+impl Campaign {
+    /// Entries of one phase.
+    pub fn phase(&self, phase: Phase) -> impl Iterator<Item = &CampaignEntry> {
+        self.entries.iter().filter(move |e| e.phase == phase)
+    }
+
+    /// The fastest entry of a phase (minimum total time), if any.
+    pub fn fastest(&self, phase: Phase) -> Option<&CampaignEntry> {
+        self.phase(phase).min_by(|a, b| {
+            a.report
+                .total_time
+                .partial_cmp(&b.report.total_time)
+                .expect("times are finite")
+        })
+    }
+
+    /// The most energy-efficient entry of a phase, if any.
+    pub fn most_efficient(&self, phase: Phase) -> Option<&CampaignEntry> {
+        self.phase(phase).min_by(|a, b| {
+            a.report
+                .energy
+                .value()
+                .partial_cmp(&b.report.energy.value())
+                .expect("energies are finite")
+        })
+    }
+
+    /// Histogram of bottleneck stages across the campaign.
+    pub fn bottleneck_histogram(&self) -> Vec<(Stage, usize)> {
+        let mut counts: std::collections::BTreeMap<u8, (Stage, usize)> = Default::default();
+        for e in &self.entries {
+            let s = e.report.bottleneck();
+            let key = s as u8;
+            counts.entry(key).or_insert((s, 0)).1 += 1;
+        }
+        counts.into_values().collect()
+    }
+
+    /// Best storage (by total time) for a given device and phase.
+    pub fn best_storage_for(&self, device: &str, phase: Phase) -> Option<&CampaignEntry> {
+        self.phase(phase)
+            .filter(|e| e.device == device)
+            .min_by(|a, b| {
+                a.report
+                    .total_time
+                    .partial_cmp(&b.report.total_time)
+                    .expect("times are finite")
+            })
+    }
+}
+
+/// Runs the full cross product: every campaign device × every I/O-path
+/// candidate × both phases. Devices that cannot train are recorded with
+/// `native = false` for the training phase (they fall back to the host
+/// path, as the real campaign did).
+pub fn run_campaign(spec: &PipelineSpec) -> Campaign {
+    let mut entries = Vec::new();
+    for device in ComputeDevice::campaign() {
+        for storage in StorageDevice::io_path_candidates() {
+            entries.push(CampaignEntry {
+                phase: Phase::Training,
+                device: device.name.clone(),
+                native: device.trains,
+                storage: storage.name.clone(),
+                report: run_training(spec, &device, &storage),
+            });
+            entries.push(CampaignEntry {
+                phase: Phase::Inference,
+                device: device.name.clone(),
+                native: true,
+                storage: storage.name.clone(),
+                report: run_inference(spec, &device, &storage),
+            });
+        }
+    }
+    Campaign { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> Campaign {
+        run_campaign(&PipelineSpec::segmentation_default())
+    }
+
+    #[test]
+    fn covers_full_cross_product() {
+        let c = campaign();
+        // 3 devices × 5 storage × 2 phases.
+        assert_eq!(c.entries.len(), 30);
+    }
+
+    #[test]
+    fn gpu_wins_training_fpga_wins_inference_energy() {
+        let c = campaign();
+        let fastest_training = c.fastest(Phase::Training).expect("entries");
+        assert!(
+            fastest_training.device.contains("A100"),
+            "fastest training on {}",
+            fastest_training.device
+        );
+        let best_energy = c.most_efficient(Phase::Inference).expect("entries");
+        assert!(
+            best_energy.device.contains("Alveo"),
+            "best inference energy on {}",
+            best_energy.device
+        );
+    }
+
+    #[test]
+    fn bottleneck_histogram_nonempty_and_mixed() {
+        let c = campaign();
+        let hist = c.bottleneck_histogram();
+        let total: usize = hist.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 30);
+        assert!(hist.len() >= 2, "expected multiple bottleneck kinds: {hist:?}");
+    }
+
+    #[test]
+    fn best_storage_is_fast_for_gpu_training() {
+        let c = campaign();
+        let best = c
+            .best_storage_for("A100-80GB", Phase::Training)
+            .expect("entries");
+        assert!(
+            best.storage == "PMem" || best.storage.contains("Computational") || best.storage.contains("Low-latency"),
+            "unexpected best storage {}",
+            best.storage
+        );
+    }
+
+    #[test]
+    fn non_training_devices_flagged() {
+        let c = campaign();
+        let fpga_training: Vec<_> = c
+            .phase(Phase::Training)
+            .filter(|e| e.device.contains("Alveo"))
+            .collect();
+        assert!(!fpga_training.is_empty());
+        assert!(fpga_training.iter().all(|e| !e.native));
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for the heterogeneous-platform crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by pipeline modelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeteroError {
+    /// A pipeline or device parameter is out of range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for HeteroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeteroError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for HeteroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<HeteroError>();
+        assert!(HeteroError::InvalidParameter("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,340 @@
+//! The Fig. 5 end-to-end DL pipeline simulator.
+//!
+//! §VI: "the overall performance and energy efficiency of typical AI
+//! applications … are contingent on optimizations applied across the
+//! complete software/hardware stack, as well as on the refinement of the
+//! end-to-end data flow between the data host and the accelerator."
+//!
+//! The simulator executes the medical-image-segmentation flow stage by
+//! stage: **load** (storage media + request latency) → **preprocess**
+//! (host-side, minus any in-storage offload) → **transfer** (host link) →
+//! **compute** (device roofline) → **postprocess**. Training epochs overlap
+//! the I/O path with compute up to an overlap efficiency; single-stream
+//! inference (the clinical deployment mode) accumulates stage latencies.
+
+use crate::device::{ComputeDevice, Phase};
+use crate::storage::StorageDevice;
+use f2_core::kpi::Joules;
+use f2_core::workload::dnn::{segmentation_unet, DnnModel};
+use serde::{Deserialize, Serialize};
+
+/// Workload and modelling parameters of one pipeline campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// The DNN under study.
+    pub model: DnnModel,
+    /// Bytes of one stored sample (e.g. one CT slice).
+    pub sample_bytes: f64,
+    /// Samples per epoch / inference batch campaign.
+    pub num_samples: u64,
+    /// Training epochs.
+    pub epochs: u32,
+    /// Host preprocessing cost (FLOP per stored byte).
+    pub preprocess_flops_per_byte: f64,
+    /// Host postprocessing cost (FLOP per sample).
+    pub postprocess_flops_per_sample: f64,
+    /// Effective host scalar throughput for pre/post processing (FLOP/s).
+    pub host_flops: f64,
+    /// Operational intensity of the training kernels (FLOP/byte).
+    pub train_oi: f64,
+    /// Operational intensity of the inference kernels (FLOP/byte).
+    pub infer_oi: f64,
+    /// Fraction of the shorter of {I/O path, compute} hidden by
+    /// double-buffered overlap during training.
+    pub overlap: f64,
+}
+
+impl PipelineSpec {
+    /// The §VI campaign: U-Net-class segmentation of 512×512 CT slices
+    /// (~0.5 MB/sample), 8192 slices per epoch.
+    pub fn segmentation_default() -> Self {
+        Self {
+            model: segmentation_unet(256, 256).expect("static dims are valid"),
+            sample_bytes: 0.5e6,
+            num_samples: 8192,
+            epochs: 1,
+            preprocess_flops_per_byte: 2.0,
+            postprocess_flops_per_sample: 1e6,
+            host_flops: 5e10,
+            train_oi: 8.0,
+            infer_oi: 20.0,
+            overlap: 0.6,
+        }
+    }
+
+    /// Forward FLOPs of one sample (2 FLOPs per MAC).
+    pub fn flops_per_sample_infer(&self) -> f64 {
+        2.0 * self.model.total_macs() as f64
+    }
+
+    /// Training FLOPs of one sample (forward + backward ≈ 3× forward).
+    pub fn flops_per_sample_train(&self) -> f64 {
+        3.0 * self.flops_per_sample_infer()
+    }
+
+    /// Total stored dataset bytes.
+    pub fn dataset_bytes(&self) -> f64 {
+        self.sample_bytes * self.num_samples as f64
+    }
+}
+
+/// Stages of the end-to-end flow (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Read from storage media.
+    Load,
+    /// Host-side decode/normalise.
+    Preprocess,
+    /// Host → accelerator transfer.
+    Transfer,
+    /// Train/infer kernels on the device.
+    Compute,
+    /// Host-side postprocessing.
+    Postprocess,
+}
+
+/// Per-stage timing report of one pipeline execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Device the compute phase ran on.
+    pub device: String,
+    /// Storage the data came from.
+    pub storage: String,
+    /// Stage times in seconds (unoverlapped view).
+    pub stage_times: Vec<(Stage, f64)>,
+    /// End-to-end time with overlap applied (s).
+    pub total_time: f64,
+    /// Energy estimate over the run.
+    pub energy: Joules,
+    /// Sustained samples per second.
+    pub throughput: f64,
+}
+
+impl PipelineReport {
+    /// The stage with the largest unoverlapped time.
+    pub fn bottleneck(&self) -> Stage {
+        self.stage_times
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .map(|&(s, _)| s)
+            .expect("stage list is never empty")
+    }
+
+    /// Time of one stage.
+    pub fn stage_time(&self, stage: Stage) -> f64 {
+        self.stage_times
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map(|&(_, t)| t)
+            .unwrap_or(0.0)
+    }
+}
+
+fn stage_times(
+    spec: &PipelineSpec,
+    device: &ComputeDevice,
+    storage: &StorageDevice,
+    phase: Phase,
+) -> Vec<(Stage, f64)> {
+    let stored = spec.dataset_bytes();
+    let host_bytes = storage.host_visible_bytes(stored);
+    let load = storage.read_time(stored, spec.num_samples);
+    let prep_flops =
+        stored * spec.preprocess_flops_per_byte * (1.0 - storage.preprocess_offload);
+    let preprocess = prep_flops / spec.host_flops;
+    // The CPU *is* the host: no transfer stage for it.
+    let transfer = if device.class == crate::device::DeviceClass::Cpu {
+        0.0
+    } else {
+        device.transfer_time(host_bytes)
+    };
+    let flops = match phase {
+        Phase::Training => spec.flops_per_sample_train(),
+        Phase::Inference => spec.flops_per_sample_infer(),
+    } * spec.num_samples as f64;
+    let oi = match phase {
+        Phase::Training => spec.train_oi,
+        Phase::Inference => spec.infer_oi,
+    };
+    let compute = device.compute_time(flops, oi, phase);
+    let post = spec.postprocess_flops_per_sample * spec.num_samples as f64 / spec.host_flops;
+    vec![
+        (Stage::Load, load),
+        (Stage::Preprocess, preprocess),
+        (Stage::Transfer, transfer),
+        (Stage::Compute, compute),
+        (Stage::Postprocess, post),
+    ]
+}
+
+/// Simulates training: epochs of double-buffered I/O-path/compute overlap.
+pub fn run_training(
+    spec: &PipelineSpec,
+    device: &ComputeDevice,
+    storage: &StorageDevice,
+) -> PipelineReport {
+    let times = stage_times(spec, device, storage, Phase::Training);
+    let io_path: f64 = times
+        .iter()
+        .filter(|(s, _)| matches!(s, Stage::Load | Stage::Preprocess | Stage::Transfer))
+        .map(|&(_, t)| t)
+        .sum();
+    let compute = times
+        .iter()
+        .find(|(s, _)| *s == Stage::Compute)
+        .map(|&(_, t)| t)
+        .expect("compute stage present");
+    let post = times
+        .iter()
+        .find(|(s, _)| *s == Stage::Postprocess)
+        .map(|&(_, t)| t)
+        .expect("postprocess stage present");
+    let epoch =
+        io_path.max(compute) + (1.0 - spec.overlap) * io_path.min(compute) + post;
+    let total = epoch * spec.epochs as f64;
+    let energy = f2_core::kpi::Watts::new(device.power.value()) * f2_core::kpi::Seconds::new(total)
+        + f2_core::kpi::Watts::new(storage.power.value())
+            * f2_core::kpi::Seconds::new(times[0].1 * spec.epochs as f64);
+    PipelineReport {
+        device: device.name.clone(),
+        storage: storage.name.clone(),
+        stage_times: times,
+        total_time: total,
+        energy,
+        throughput: spec.num_samples as f64 * spec.epochs as f64 / total,
+    }
+}
+
+/// Simulates single-stream inference over the campaign's samples: per-sample
+/// latency is the sum of the stage latencies (the clinical deployment mode),
+/// so throughput is `1 / per-sample latency`.
+pub fn run_inference(
+    spec: &PipelineSpec,
+    device: &ComputeDevice,
+    storage: &StorageDevice,
+) -> PipelineReport {
+    let times = stage_times(spec, device, storage, Phase::Inference);
+    let per_sample: f64 = times.iter().map(|&(_, t)| t).sum::<f64>() / spec.num_samples as f64;
+    let total = per_sample * spec.num_samples as f64;
+    let energy = f2_core::kpi::Watts::new(device.power.value()) * f2_core::kpi::Seconds::new(total)
+        + f2_core::kpi::Watts::new(storage.power.value())
+            * f2_core::kpi::Seconds::new(times[0].1);
+    PipelineReport {
+        device: device.name.clone(),
+        storage: storage.name.clone(),
+        stage_times: times,
+        total_time: total,
+        energy,
+        throughput: 1.0 / per_sample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec::segmentation_default()
+    }
+
+    #[test]
+    fn gpu_trains_faster_than_cpu() {
+        let s = spec();
+        let nvme = StorageDevice::nvme_ssd();
+        let gpu = run_training(&s, &ComputeDevice::datacenter_gpu(), &nvme);
+        let cpu = run_training(&s, &ComputeDevice::server_cpu(), &nvme);
+        assert!(
+            gpu.total_time < cpu.total_time / 2.0,
+            "gpu {:.2}s vs cpu {:.2}s",
+            gpu.total_time,
+            cpu.total_time
+        );
+    }
+
+    #[test]
+    fn fpga_has_best_inference_energy() {
+        let s = spec();
+        let nvme = StorageDevice::nvme_ssd();
+        let fpga = run_inference(&s, &ComputeDevice::fpga_card(), &nvme);
+        let gpu = run_inference(&s, &ComputeDevice::datacenter_gpu(), &nvme);
+        let cpu = run_inference(&s, &ComputeDevice::server_cpu(), &nvme);
+        assert!(
+            fpga.energy.value() < gpu.energy.value(),
+            "fpga {:.1} J vs gpu {:.1} J",
+            fpga.energy.value(),
+            gpu.energy.value()
+        );
+        assert!(fpga.energy.value() < cpu.energy.value());
+    }
+
+    #[test]
+    fn io_becomes_bottleneck_on_fast_accelerators() {
+        let s = spec();
+        let gpu = run_training(&s, &ComputeDevice::datacenter_gpu(), &StorageDevice::sata_ssd());
+        assert_eq!(gpu.bottleneck(), Stage::Load, "{:?}", gpu.stage_times);
+        // On the slow CPU compute dominates instead.
+        let cpu = run_training(&s, &ComputeDevice::server_cpu(), &StorageDevice::nvme_ssd());
+        assert_eq!(cpu.bottleneck(), Stage::Compute);
+    }
+
+    #[test]
+    fn computational_storage_training_gain_near_10pct() {
+        // §VI: "a training time reduction of up to 10%".
+        let s = spec();
+        let gpu = ComputeDevice::datacenter_gpu();
+        let base = run_training(&s, &gpu, &StorageDevice::nvme_ssd());
+        let cs = run_training(&s, &gpu, &StorageDevice::computational_storage());
+        let gain = 1.0 - cs.total_time / base.total_time;
+        assert!(
+            (0.02..=0.15).contains(&gain),
+            "training time reduction {gain:.3} should be in the 'up to 10%' band"
+        );
+    }
+
+    #[test]
+    fn computational_storage_inference_gain_near_10pct() {
+        // §VI: "inference throughput improvement of up to 10%".
+        let s = spec();
+        let fpga = ComputeDevice::fpga_card();
+        let base = run_inference(&s, &fpga, &StorageDevice::nvme_ssd());
+        let cs = run_inference(&s, &fpga, &StorageDevice::computational_storage());
+        let gain = cs.throughput / base.throughput - 1.0;
+        assert!(
+            (0.02..=0.2).contains(&gain),
+            "inference throughput gain {gain:.3} should be in the 'up to 10%' band"
+        );
+    }
+
+    #[test]
+    fn pmem_beats_sata_dramatically_on_io() {
+        let s = spec();
+        let gpu = ComputeDevice::datacenter_gpu();
+        let sata = run_training(&s, &gpu, &StorageDevice::sata_ssd());
+        let pmem = run_training(&s, &gpu, &StorageDevice::persistent_memory());
+        assert!(pmem.total_time < sata.total_time / 2.0);
+        assert!(pmem.stage_time(Stage::Load) < sata.stage_time(Stage::Load) / 10.0);
+    }
+
+    #[test]
+    fn epochs_scale_training_linearly() {
+        let mut s = spec();
+        let gpu = ComputeDevice::datacenter_gpu();
+        let one = run_training(&s, &gpu, &StorageDevice::nvme_ssd());
+        s.epochs = 4;
+        let four = run_training(&s, &gpu, &StorageDevice::nvme_ssd());
+        assert!((four.total_time / one.total_time - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let s = spec();
+        let r = run_training(
+            &s,
+            &ComputeDevice::datacenter_gpu(),
+            &StorageDevice::nvme_ssd(),
+        );
+        assert!(r.stage_time(Stage::Load) > 0.0);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.stage_times.len(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Storage-device models, including computational storage.
+//!
+//! §VI: "we started improving the end-to-end performance in DL by addressing
+//! the I/O path with the adoption of custom solutions such as the one in
+//! \[23\] based on the Computational Storage paradigm and even prospecting the
+//! use of advanced memory devices such as Persistent Memory modules or
+//! low-latency SSDs."
+//!
+//! A [`StorageDevice`] supplies read bandwidth and access latency; a
+//! computational-storage device additionally executes part of the
+//! preprocessing *inside the drive* (the FPGA-augmented enterprise SSD of
+//! \[23\]), shrinking both the bytes crossing the host interface and the
+//! host-side preprocessing work.
+
+use f2_core::kpi::{GigabytesPerSecond, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Kind of storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// SATA SSD.
+    SataSsd,
+    /// NVMe SSD.
+    NvmeSsd,
+    /// Low-latency (Optane-class) SSD.
+    LowLatencySsd,
+    /// Persistent-memory modules on the memory bus.
+    PersistentMemory,
+    /// NVMe SSD with an in-drive FPGA preprocessing engine.
+    ComputationalStorage,
+}
+
+/// A storage device in the I/O path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageDevice {
+    /// Device name.
+    pub name: String,
+    /// Device kind.
+    pub kind: StorageKind,
+    /// Sequential read bandwidth.
+    pub read_bandwidth: GigabytesPerSecond,
+    /// Per-request access latency (s).
+    pub access_latency: f64,
+    /// Device power at load.
+    pub power: Watts,
+    /// Fraction of preprocessing offloaded into the drive (0 for passive
+    /// devices).
+    pub preprocess_offload: f64,
+    /// Data-reduction factor of in-storage preprocessing (bytes leaving the
+    /// drive divided by bytes stored; 1.0 for passive devices).
+    pub output_ratio: f64,
+}
+
+impl StorageDevice {
+    /// SATA SSD baseline.
+    pub fn sata_ssd() -> Self {
+        Self {
+            name: "SATA SSD".to_string(),
+            kind: StorageKind::SataSsd,
+            read_bandwidth: GigabytesPerSecond::new(0.55),
+            access_latency: 80e-6,
+            power: Watts::new(4.0),
+            preprocess_offload: 0.0,
+            output_ratio: 1.0,
+        }
+    }
+
+    /// Enterprise NVMe SSD.
+    pub fn nvme_ssd() -> Self {
+        Self {
+            name: "NVMe SSD".to_string(),
+            kind: StorageKind::NvmeSsd,
+            read_bandwidth: GigabytesPerSecond::new(6.8),
+            access_latency: 12e-6,
+            power: Watts::new(12.0),
+            preprocess_offload: 0.0,
+            output_ratio: 1.0,
+        }
+    }
+
+    /// Low-latency SSD (Optane-class).
+    pub fn low_latency_ssd() -> Self {
+        Self {
+            name: "Low-latency SSD".to_string(),
+            kind: StorageKind::LowLatencySsd,
+            read_bandwidth: GigabytesPerSecond::new(7.2),
+            access_latency: 4e-6,
+            power: Watts::new(14.0),
+            preprocess_offload: 0.0,
+            output_ratio: 1.0,
+        }
+    }
+
+    /// Persistent memory on the DDR bus.
+    pub fn persistent_memory() -> Self {
+        Self {
+            name: "PMem".to_string(),
+            kind: StorageKind::PersistentMemory,
+            read_bandwidth: GigabytesPerSecond::new(38.0),
+            access_latency: 0.3e-6,
+            power: Watts::new(15.0),
+            preprocess_offload: 0.0,
+            output_ratio: 1.0,
+        }
+    }
+
+    /// Computational-storage SSD: NVMe media plus an in-drive FPGA that
+    /// decodes/normalises samples before they cross the host interface \[23\].
+    pub fn computational_storage() -> Self {
+        Self {
+            name: "Computational SSD".to_string(),
+            kind: StorageKind::ComputationalStorage,
+            read_bandwidth: GigabytesPerSecond::new(6.8),
+            access_latency: 12e-6,
+            power: Watts::new(18.0),
+            preprocess_offload: 0.5,
+            output_ratio: 0.8,
+        }
+    }
+
+    /// All I/O-path candidates evaluated in §VI.
+    pub fn io_path_candidates() -> Vec<StorageDevice> {
+        vec![
+            Self::sata_ssd(),
+            Self::nvme_ssd(),
+            Self::low_latency_ssd(),
+            Self::persistent_memory(),
+            Self::computational_storage(),
+        ]
+    }
+
+    /// Time (s) to read `bytes` of stored data as `requests` requests,
+    /// including the in-drive reduction for computational storage (the host
+    /// receives `bytes × output_ratio`).
+    pub fn read_time(&self, bytes: f64, requests: u64) -> f64 {
+        let media = bytes / (self.read_bandwidth.value() * 1e9);
+        media + requests as f64 * self.access_latency
+    }
+
+    /// Bytes that actually cross the host interface when `bytes` are read.
+    pub fn host_visible_bytes(&self, bytes: f64) -> f64 {
+        bytes * self.output_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ladder() {
+        let sata = StorageDevice::sata_ssd();
+        let nvme = StorageDevice::nvme_ssd();
+        let lls = StorageDevice::low_latency_ssd();
+        let pmem = StorageDevice::persistent_memory();
+        assert!(sata.read_bandwidth.value() < nvme.read_bandwidth.value());
+        assert!(nvme.read_bandwidth.value() <= lls.read_bandwidth.value());
+        assert!(lls.read_bandwidth.value() < pmem.read_bandwidth.value());
+    }
+
+    #[test]
+    fn latency_ladder() {
+        let candidates = StorageDevice::io_path_candidates();
+        let sata = &candidates[0];
+        let pmem = &candidates[3];
+        assert!(pmem.access_latency < sata.access_latency / 50.0);
+    }
+
+    #[test]
+    fn read_time_includes_latency() {
+        let d = StorageDevice::nvme_ssd();
+        let bulk = d.read_time(6.8e9, 1);
+        assert!((bulk - 1.0).abs() < 1e-3);
+        let many = d.read_time(6.8e9, 100_000);
+        assert!(many > bulk + 1.0);
+    }
+
+    #[test]
+    fn computational_storage_reduces_host_bytes() {
+        let cs = StorageDevice::computational_storage();
+        let nvme = StorageDevice::nvme_ssd();
+        assert!(cs.host_visible_bytes(1e9) < nvme.host_visible_bytes(1e9));
+        assert!(cs.preprocess_offload > 0.0);
+        assert_eq!(nvme.preprocess_offload, 0.0);
+    }
+}

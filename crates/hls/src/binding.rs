@@ -1,0 +1,259 @@
+//! Module binding: mapping scheduled operations onto functional-unit
+//! instances and registers.
+//!
+//! After scheduling, operations that execute in disjoint cycle windows can
+//! share one hardware unit. Binding solves that sharing problem with the
+//! classic left-edge algorithm over each unit class, then estimates the
+//! register file as the maximum number of simultaneously-live values.
+//! Sharing is not free: every extra operation on a unit adds an input
+//! multiplexer, which the FPGA model charges area and delay for.
+
+use crate::ir::{Dfg, NodeId};
+use crate::schedule::{unit_class, OpLatency, Schedule, UnitClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The binding of operations to unit instances plus derived statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binding {
+    /// For every bound node: `(class, instance index)`.
+    assignment: BTreeMap<usize, (UnitClass, usize)>,
+    /// Number of instances per class.
+    instances: BTreeMap<UnitClassKey, usize>,
+    /// Operations multiplexed onto the most-shared instance, per class.
+    max_share: BTreeMap<UnitClassKey, usize>,
+    /// Peak count of simultaneously live values (register estimate).
+    live_registers: usize,
+}
+
+/// `UnitClass` is `Copy+Eq` but not `Ord`; wrap it for BTreeMap keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+enum UnitClassKey {
+    Alu,
+    Multiplier,
+    MemPort,
+}
+
+impl From<UnitClass> for UnitClassKey {
+    fn from(c: UnitClass) -> Self {
+        match c {
+            UnitClass::Alu => UnitClassKey::Alu,
+            UnitClass::Multiplier => UnitClassKey::Multiplier,
+            UnitClass::MemPort => UnitClassKey::MemPort,
+        }
+    }
+}
+
+impl Binding {
+    /// Unit instance assigned to `id`, if the op occupies a unit.
+    pub fn instance_of(&self, id: NodeId) -> Option<(UnitClass, usize)> {
+        self.assignment.get(&id.0).copied()
+    }
+
+    /// Number of unit instances of `class`.
+    pub fn instances(&self, class: UnitClass) -> usize {
+        self.instances
+            .get(&UnitClassKey::from(class))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Largest number of operations sharing one instance of `class`
+    /// (determines mux width on that unit's inputs).
+    pub fn max_sharing(&self, class: UnitClass) -> usize {
+        self.max_share
+            .get(&UnitClassKey::from(class))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Estimated register count (peak simultaneously-live values).
+    pub fn live_registers(&self) -> usize {
+        self.live_registers
+    }
+}
+
+/// Binds a scheduled graph with the left-edge algorithm.
+///
+/// Each operation occupies its unit from `start` to `start + latency - 1`
+/// (issue-slot model for pipelined units would allow denser sharing; we bind
+/// conservatively on full occupancy, matching non-pipelined Bambu units).
+pub fn bind(graph: &Dfg, schedule: &Schedule, lat: &OpLatency) -> Binding {
+    // Group bound ops per class, sorted by start cycle (left edge).
+    let mut per_class: BTreeMap<UnitClassKey, Vec<(u32, u32, usize)>> = BTreeMap::new();
+    for (id, node) in graph.iter() {
+        if let Some(class) = unit_class(&node.kind) {
+            let s = schedule.start_of(id);
+            let e = s + lat.of(&node.kind).max(1) - 1;
+            per_class
+                .entry(UnitClassKey::from(class))
+                .or_default()
+                .push((s, e, id.0));
+        }
+    }
+
+    let mut assignment = BTreeMap::new();
+    let mut instances = BTreeMap::new();
+    let mut max_share = BTreeMap::new();
+
+    for (classk, mut ops) in per_class {
+        ops.sort_unstable();
+        // Left-edge: greedily pack intervals into instances.
+        let mut inst_end: Vec<u32> = Vec::new(); // last busy cycle per instance
+        let mut inst_count: Vec<usize> = Vec::new();
+        for (s, e, node_idx) in ops {
+            let slot = inst_end.iter().position(|&end| end < s);
+            let idx = match slot {
+                Some(i) => {
+                    inst_end[i] = e;
+                    inst_count[i] += 1;
+                    i
+                }
+                None => {
+                    inst_end.push(e);
+                    inst_count.push(1);
+                    inst_end.len() - 1
+                }
+            };
+            let class = match classk {
+                UnitClassKey::Alu => UnitClass::Alu,
+                UnitClassKey::Multiplier => UnitClass::Multiplier,
+                UnitClassKey::MemPort => UnitClass::MemPort,
+            };
+            assignment.insert(node_idx, (class, idx));
+        }
+        instances.insert(classk, inst_end.len());
+        max_share.insert(classk, inst_count.iter().copied().max().unwrap_or(0));
+    }
+
+    Binding {
+        assignment,
+        instances,
+        max_share,
+        live_registers: live_values(graph, schedule, lat),
+    }
+}
+
+/// Peak number of values live across any cycle boundary.
+fn live_values(graph: &Dfg, schedule: &Schedule, lat: &OpLatency) -> usize {
+    let users = graph.users();
+    let mut events: Vec<(u32, i32)> = Vec::new(); // (cycle, +1/-1)
+    for (id, node) in graph.iter() {
+        // Inputs and constants live in ports/LUTs, not datapath registers.
+        if users[id.0].is_empty() || !node.kind.needs_unit() {
+            continue;
+        }
+        let born = schedule.start_of(id) + lat.of(&node.kind);
+        let dies = users[id.0]
+            .iter()
+            .map(|u| schedule.start_of(*u))
+            .max()
+            .unwrap_or(born);
+        // Every unit result is latched in an output register, so a value is
+        // live from its producing boundary through its last consumption.
+        events.push((born, 1));
+        events.push((dies + 1, -1));
+    }
+    events.sort_unstable();
+    let mut live = 0i32;
+    let mut peak = 0i32;
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{dot_product_kernel, Dfg};
+    use crate::schedule::{list_schedule, ResourceBudget};
+
+    #[test]
+    fn serial_schedule_shares_units() {
+        let g = dot_product_kernel(8);
+        let lat = OpLatency::default();
+        let tight = list_schedule(&g, &lat, &ResourceBudget::new(1, 1, 1)).expect("feasible");
+        let b = bind(&g, &tight, &lat);
+        // One multiplier issue per cycle with full occupancy binding gives
+        // few instances; sharing must be > 1.
+        assert!(b.instances(UnitClass::Multiplier) <= 4);
+        assert!(b.max_sharing(UnitClass::Multiplier) >= 2);
+    }
+
+    #[test]
+    fn parallel_schedule_needs_more_units() {
+        let g = dot_product_kernel(8);
+        let lat = OpLatency::default();
+        let wide = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        let b = bind(&g, &wide, &lat);
+        // All 8 muls start at cycle 0 => 8 instances.
+        assert_eq!(b.instances(UnitClass::Multiplier), 8);
+        assert_eq!(b.max_sharing(UnitClass::Multiplier), 1);
+    }
+
+    #[test]
+    fn all_bound_ops_have_instances() {
+        let g = dot_product_kernel(6);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &ResourceBudget::new(2, 2, 2)).expect("feasible");
+        let b = bind(&g, &sch, &lat);
+        for (id, node) in g.iter() {
+            assert_eq!(
+                b.instance_of(id).is_some(),
+                unit_class(&node.kind).is_some(),
+                "binding presence mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_overlap_on_same_instance() {
+        let g = dot_product_kernel(12);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &ResourceBudget::new(2, 3, 1)).expect("feasible");
+        let b = bind(&g, &sch, &lat);
+        let mut by_instance: std::collections::HashMap<(u8, usize), Vec<(u32, u32)>> =
+            std::collections::HashMap::new();
+        for (id, node) in g.iter() {
+            if let Some((class, idx)) = b.instance_of(id) {
+                let tag = match class {
+                    UnitClass::Alu => 0u8,
+                    UnitClass::Multiplier => 1,
+                    UnitClass::MemPort => 2,
+                };
+                let s = sch.start_of(id);
+                let e = s + lat.of(&node.kind).max(1) - 1;
+                by_instance.entry((tag, idx)).or_default().push((s, e));
+            }
+        }
+        for ((_, _), mut ivs) in by_instance {
+            ivs.sort_unstable();
+            for w in ivs.windows(2) {
+                assert!(w[0].1 < w[1].0, "intervals {w:?} overlap on one instance");
+            }
+        }
+    }
+
+    #[test]
+    fn registers_grow_with_parallelism() {
+        let g = dot_product_kernel(16);
+        let lat = OpLatency::default();
+        let wide = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        let bw = bind(&g, &wide, &lat);
+        assert!(bw.live_registers() >= 8, "live {}", bw.live_registers());
+    }
+
+    #[test]
+    fn io_only_graph_binds_nothing() {
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        g.output("y", a);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        let b = bind(&g, &sch, &lat);
+        assert_eq!(b.instances(UnitClass::Alu), 0);
+        assert_eq!(b.live_registers(), 0);
+    }
+}

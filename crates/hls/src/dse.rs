@@ -1,0 +1,247 @@
+//! Design-space exploration over HLS knobs.
+//!
+//! The §III toolchain "allows designers to explore automatically the wide
+//! space of the architectural parameters … through performance and resource
+//! estimations". [`explore_kernel`] sweeps unroll factor and functional-unit
+//! budgets for a loop kernel, runs the full schedule→bind→implement flow at
+//! each point, and returns the latency/LUT/power trade-off with its Pareto
+//! front.
+
+use crate::binding::bind;
+use crate::fpga::{ComponentLibrary, FpgaDevice, Implementation};
+use crate::ir::Dfg;
+use crate::schedule::{list_schedule, min_initiation_interval, OpLatency, ResourceBudget};
+use crate::Result;
+use f2_core::pareto::{Direction, ParetoFront};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated HLS design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Loop unroll factor.
+    pub unroll: usize,
+    /// ALU budget.
+    pub alus: usize,
+    /// Multiplier budget.
+    pub multipliers: usize,
+    /// Memory-port budget.
+    pub mem_ports: usize,
+    /// Schedule latency for one kernel invocation (cycles).
+    pub latency_cycles: u32,
+    /// Pipelined initiation interval (cycles between invocations).
+    pub initiation_interval: u32,
+    /// Implementation estimate on the target device.
+    pub implementation: Implementation,
+    /// Effective throughput in kernel iterations per second
+    /// (`unroll × fmax / II`).
+    pub iterations_per_second: f64,
+}
+
+/// Result of an exploration: all points plus Pareto-optimal indices over
+/// (maximise throughput, minimise LUTs, minimise power).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    points: Vec<DesignPoint>,
+    front: ParetoFront,
+}
+
+impl Exploration {
+    /// All evaluated design points.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Indices of Pareto-optimal points.
+    pub fn front_indices(&self) -> &[usize] {
+        self.front.indices()
+    }
+
+    /// Pareto-optimal points.
+    pub fn front_points(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.front.indices().iter().map(move |&i| &self.points[i])
+    }
+
+    /// The point with the highest throughput.
+    ///
+    /// Returns `None` if the exploration is empty.
+    pub fn fastest(&self) -> Option<&DesignPoint> {
+        self.points.iter().max_by(|a, b| {
+            a.iterations_per_second
+                .partial_cmp(&b.iterations_per_second)
+                .expect("throughput is finite")
+        })
+    }
+
+    /// The Pareto point with the fewest LUTs.
+    ///
+    /// Returns `None` if the exploration is empty.
+    pub fn smallest(&self) -> Option<&DesignPoint> {
+        self.front_points().min_by_key(|p| p.implementation.resources.luts)
+    }
+}
+
+/// Explores `kernel_for(unroll)` across the given unroll factors and unit
+/// budgets on `device`.
+///
+/// Design points whose implementation does not fit the device are silently
+/// dropped (they are infeasible, not merely dominated); points whose budget
+/// cannot schedule the graph are dropped likewise.
+///
+/// # Errors
+///
+/// Returns an error only if *no* design point is feasible.
+pub fn explore_kernel(
+    kernel_for: impl Fn(usize) -> Dfg,
+    unrolls: &[usize],
+    budgets: &[(usize, usize, usize)],
+    lib: &ComponentLibrary,
+    device: &FpgaDevice,
+    lat: &OpLatency,
+) -> Result<Exploration> {
+    let mut points = Vec::new();
+    for &unroll in unrolls {
+        let graph = kernel_for(unroll);
+        for &(alus, multipliers, mem_ports) in budgets {
+            let budget = ResourceBudget::new(alus, multipliers, mem_ports);
+            let Ok(schedule) = list_schedule(&graph, lat, &budget) else {
+                continue;
+            };
+            let binding = bind(&graph, &schedule, lat);
+            let Ok(implementation) = implement_with_buffer(&binding, lib, device) else {
+                continue;
+            };
+            let ii = min_initiation_interval(&graph, &budget);
+            let ips = unroll as f64 * implementation.fmax.to_hertz() / ii as f64;
+            points.push(DesignPoint {
+                unroll,
+                alus,
+                multipliers,
+                mem_ports,
+                latency_cycles: schedule.latency(),
+                initiation_interval: ii,
+                implementation,
+                iterations_per_second: ips,
+            });
+        }
+    }
+    if points.is_empty() {
+        return Err(crate::HlsError::InfeasibleBudget(
+            "no feasible design point in the explored space".to_string(),
+        ));
+    }
+    let objectives: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.iterations_per_second,
+                p.implementation.resources.luts as f64,
+                p.implementation.power.value(),
+            ]
+        })
+        .collect();
+    let dirs = [
+        Direction::Maximize,
+        Direction::Minimize,
+        Direction::Minimize,
+    ];
+    let front = ParetoFront::from_points(&objectives, &dirs);
+    Ok(Exploration { points, front })
+}
+
+fn implement_with_buffer(
+    binding: &crate::binding::Binding,
+    lib: &ComponentLibrary,
+    device: &FpgaDevice,
+) -> Result<Implementation> {
+    crate::fpga::implement(binding, lib, device, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::dot_product_kernel;
+
+    fn small_exploration() -> Exploration {
+        explore_kernel(
+            dot_product_kernel,
+            &[1, 2, 4, 8],
+            &[(1, 1, 1), (2, 2, 2), (4, 4, 4), (16, 16, 16)],
+            &ComponentLibrary::new(16),
+            &FpgaDevice::xc7k410t(),
+            &OpLatency::default(),
+        )
+        .expect("feasible space")
+    }
+
+    #[test]
+    fn exploration_covers_space() {
+        let e = small_exploration();
+        assert_eq!(e.points().len(), 16);
+        assert!(!e.front_indices().is_empty());
+    }
+
+    #[test]
+    fn front_members_are_nondominated_in_throughput_or_area() {
+        let e = small_exploration();
+        let fastest = e.fastest().expect("non-empty");
+        // The globally fastest point must be on the front.
+        assert!(e
+            .front_points()
+            .any(|p| (p.iterations_per_second - fastest.iterations_per_second).abs() < 1e-9));
+    }
+
+    #[test]
+    fn unrolling_with_resources_increases_throughput() {
+        let e = small_exploration();
+        let u1 = e
+            .points()
+            .iter()
+            .find(|p| p.unroll == 1 && p.multipliers == 1)
+            .expect("point exists");
+        let u8 = e
+            .points()
+            .iter()
+            .find(|p| p.unroll == 8 && p.multipliers == 16)
+            .expect("point exists");
+        assert!(u8.iterations_per_second > 2.0 * u1.iterations_per_second);
+    }
+
+    #[test]
+    fn smaller_budget_smaller_area() {
+        let e = small_exploration();
+        let tight = e
+            .points()
+            .iter()
+            .find(|p| p.unroll == 8 && p.multipliers == 1)
+            .expect("point exists");
+        let loose = e
+            .points()
+            .iter()
+            .find(|p| p.unroll == 8 && p.multipliers == 16)
+            .expect("point exists");
+        assert!(tight.implementation.resources.dsps < loose.implementation.resources.dsps);
+        assert!(tight.initiation_interval > loose.initiation_interval);
+    }
+
+    #[test]
+    fn smallest_is_on_front() {
+        let e = small_exploration();
+        let s = e.smallest().expect("non-empty");
+        assert!(e
+            .front_points()
+            .any(|p| p.implementation.resources.luts == s.implementation.resources.luts));
+    }
+
+    #[test]
+    fn infeasible_space_errors() {
+        let err = explore_kernel(
+            dot_product_kernel,
+            &[4],
+            &[(1, 0, 1)], // zero multipliers: cannot schedule
+            &ComponentLibrary::new(16),
+            &FpgaDevice::xc7k410t(),
+            &OpLatency::default(),
+        );
+        assert!(err.is_err());
+    }
+}

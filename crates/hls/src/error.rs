@@ -1,0 +1,68 @@
+//! Error type for the HLS toolchain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the HLS flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsError {
+    /// The dataflow graph is malformed (bad operand arity, dangling node…).
+    InvalidGraph(String),
+    /// A resource budget cannot schedule the graph (e.g. zero units of a
+    /// required class).
+    InfeasibleBudget(String),
+    /// The design does not fit the target FPGA device.
+    DoesNotFit {
+        /// Resource that overflowed ("LUT", "DSP", …).
+        resource: String,
+        /// Amount required by the design.
+        required: u64,
+        /// Amount available on the device.
+        available: u64,
+    },
+    /// A SPARTA configuration parameter is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::InvalidGraph(msg) => write!(f, "invalid dataflow graph: {msg}"),
+            HlsError::InfeasibleBudget(msg) => write!(f, "infeasible resource budget: {msg}"),
+            HlsError::DoesNotFit {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "design does not fit device: needs {required} {resource}, only {available} available"
+            ),
+            HlsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HlsError::InvalidGraph("x".into()).to_string().contains("x"));
+        let e = HlsError::DoesNotFit {
+            resource: "DSP".into(),
+            required: 2000,
+            available: 1540,
+        };
+        assert!(e.to_string().contains("2000"));
+        assert!(e.to_string().contains("1540"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<HlsError>();
+    }
+}

@@ -1,0 +1,388 @@
+//! FPGA device library and post-binding implementation model.
+//!
+//! Turns a bound design into LUT/FF/DSP/BRAM counts and an fmax estimate for
+//! a concrete device. Component costs are first-order models of Xilinx
+//! 7-series/UltraScale fabric (32-bit operators); devices cover the boards
+//! used in the paper's experiments (Kintex-7 XC7K410T and Virtex-7 XC7VX485T
+//! from Table I, Alveo U50 from §VI).
+
+use crate::binding::Binding;
+use crate::error::HlsError;
+use crate::schedule::UnitClass;
+use crate::Result;
+use f2_core::kpi::{Megahertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device's available resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: String,
+    /// Available 6-input LUTs.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available DSP48-class slices.
+    pub dsps: u64,
+    /// Available block RAM in kilobytes.
+    pub bram_kb: u64,
+    /// Speed-grade base fabric frequency (achievable by a register-to-
+    /// register path through one LUT level plus routing).
+    pub base_clock: Megahertz,
+    /// Static power of the powered-on device.
+    pub static_power: Watts,
+}
+
+impl FpgaDevice {
+    /// Kintex-7 XC7K410T (Table I, rows \[15\] and "New").
+    pub fn xc7k410t() -> Self {
+        Self {
+            name: "XC7K410T".to_string(),
+            luts: 254_200,
+            ffs: 508_400,
+            dsps: 1540,
+            bram_kb: 3_537, // 28,620 Kb
+            base_clock: Megahertz::new(500.0),
+            static_power: Watts::new(0.25),
+        }
+    }
+
+    /// Virtex-7 XC7VX485T (Table I, row \[17\]).
+    pub fn xc7vx485t() -> Self {
+        Self {
+            name: "XC7VX485T".to_string(),
+            luts: 303_600,
+            ffs: 607_200,
+            dsps: 2800,
+            bram_kb: 4_590,
+            base_clock: Megahertz::new(500.0),
+            static_power: Watts::new(0.3),
+        }
+    }
+
+    /// Alveo U50 data-center card (§VI DNA accelerator).
+    pub fn alveo_u50() -> Self {
+        Self {
+            name: "Alveo U50".to_string(),
+            luts: 872_000,
+            ffs: 1_743_000,
+            dsps: 5952,
+            bram_kb: 28_000, // BRAM + URAM budget
+            base_clock: Megahertz::new(600.0),
+            static_power: Watts::new(10.0),
+        }
+    }
+}
+
+/// Resource usage of an implemented design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// LUTs consumed.
+    pub luts: u64,
+    /// Flip-flops consumed.
+    pub ffs: u64,
+    /// DSP slices consumed.
+    pub dsps: u64,
+    /// Block RAM consumed (KB).
+    pub bram_kb: u64,
+}
+
+impl ResourceUsage {
+    /// Component-wise sum.
+    pub fn plus(self, other: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            dsps: self.dsps + other.dsps,
+            bram_kb: self.bram_kb + other.bram_kb,
+        }
+    }
+
+    /// Utilisation fraction of the binding resource (LUT or DSP, whichever
+    /// is fuller) on `device`.
+    pub fn utilization(&self, device: &FpgaDevice) -> f64 {
+        let lut = self.luts as f64 / device.luts as f64;
+        let dsp = if device.dsps == 0 {
+            0.0
+        } else {
+            self.dsps as f64 / device.dsps as f64
+        };
+        let ff = self.ffs as f64 / device.ffs as f64;
+        let bram = if device.bram_kb == 0 {
+            0.0
+        } else {
+            self.bram_kb as f64 / device.bram_kb as f64
+        };
+        lut.max(dsp).max(ff).max(bram)
+    }
+}
+
+/// First-order 7-series component cost library at `width` data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentLibrary {
+    /// Operand bit width.
+    pub width: u32,
+}
+
+impl ComponentLibrary {
+    /// Library for `width`-bit operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        Self { width }
+    }
+
+    /// Cost of one ALU (add/sub/cmp/select share the carry chain).
+    pub fn alu(&self) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.width as u64,
+            ffs: self.width as u64,
+            dsps: 0,
+            bram_kb: 0,
+        }
+    }
+
+    /// Cost of one pipelined multiplier: DSP-mapped; one DSP48 handles
+    /// 18×25, wider operands tile quadratically.
+    pub fn multiplier(&self) -> ResourceUsage {
+        let tiles_x = (self.width as u64).div_ceil(17);
+        let tiles_y = (self.width as u64).div_ceil(24);
+        ResourceUsage {
+            luts: 4 * self.width as u64, // alignment / partial product glue
+            ffs: 2 * self.width as u64,
+            dsps: tiles_x * tiles_y,
+            bram_kb: 0,
+        }
+    }
+
+    /// Cost of one memory port controller.
+    pub fn mem_port(&self) -> ResourceUsage {
+        ResourceUsage {
+            luts: 60,
+            ffs: 80,
+            dsps: 0,
+            bram_kb: 0,
+        }
+    }
+
+    /// Cost of an `inputs`-to-1 multiplexer at the library width.
+    pub fn mux(&self, inputs: usize) -> ResourceUsage {
+        if inputs <= 1 {
+            return ResourceUsage::default();
+        }
+        // A 6-LUT implements a 4:1 mux bit-slice; layers of muxes.
+        let layers = (inputs as u64).div_ceil(4).max(1);
+        ResourceUsage {
+            luts: layers * self.width as u64 / 2,
+            ffs: 0,
+            dsps: 0,
+            bram_kb: 0,
+        }
+    }
+
+    /// Cost of `n` data registers.
+    pub fn registers(&self, n: usize) -> ResourceUsage {
+        ResourceUsage {
+            luts: 0,
+            ffs: n as u64 * self.width as u64,
+            dsps: 0,
+            bram_kb: 0,
+        }
+    }
+
+    /// Combinational delay (ns) added by an `inputs`-to-1 mux in front of a
+    /// shared unit.
+    fn mux_delay_ns(&self, inputs: usize) -> f64 {
+        if inputs <= 1 {
+            0.0
+        } else {
+            0.25 * ((inputs as f64).log2().ceil())
+        }
+    }
+}
+
+/// Complete implementation estimate of one accelerator datapath.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Implementation {
+    /// Aggregate resource usage.
+    pub resources: ResourceUsage,
+    /// Achievable clock.
+    pub fmax: Megahertz,
+    /// Estimated dynamic + static power at `fmax`.
+    pub power: Watts,
+}
+
+/// Implements a bound design on a device.
+///
+/// # Errors
+///
+/// Returns [`HlsError::DoesNotFit`] if any resource exceeds the device.
+pub fn implement(
+    binding: &Binding,
+    lib: &ComponentLibrary,
+    device: &FpgaDevice,
+    local_buffer_kb: u64,
+) -> Result<Implementation> {
+    let mut total = ResourceUsage {
+        bram_kb: local_buffer_kb,
+        ..ResourceUsage::default()
+    };
+    for (class, unit_cost) in [
+        (UnitClass::Alu, lib.alu()),
+        (UnitClass::Multiplier, lib.multiplier()),
+        (UnitClass::MemPort, lib.mem_port()),
+    ] {
+        let n = binding.instances(class) as u64;
+        total = total.plus(ResourceUsage {
+            luts: unit_cost.luts * n,
+            ffs: unit_cost.ffs * n,
+            dsps: unit_cost.dsps * n,
+            bram_kb: unit_cost.bram_kb * n,
+        });
+        // One input mux per shared instance, sized by worst sharing.
+        let share = binding.max_sharing(class);
+        if share > 1 {
+            let mux = lib.mux(share);
+            total = total.plus(ResourceUsage {
+                luts: mux.luts * n,
+                ffs: 0,
+                dsps: 0,
+                bram_kb: 0,
+            });
+        }
+    }
+    total = total.plus(lib.registers(binding.live_registers()));
+
+    for (resource, used, avail) in [
+        ("LUT", total.luts, device.luts),
+        ("FF", total.ffs, device.ffs),
+        ("DSP", total.dsps, device.dsps),
+        ("BRAM-KB", total.bram_kb, device.bram_kb),
+    ] {
+        if used > avail {
+            return Err(HlsError::DoesNotFit {
+                resource: resource.to_string(),
+                required: used,
+                available: avail,
+            });
+        }
+    }
+
+    // fmax: base clock degraded by the worst input mux and by congestion as
+    // utilisation approaches 1 (routing detours).
+    let worst_share = [UnitClass::Alu, UnitClass::Multiplier, UnitClass::MemPort]
+        .iter()
+        .map(|&c| binding.max_sharing(c))
+        .max()
+        .unwrap_or(0);
+    let base_period_ns = 1e3 / device.base_clock.value();
+    let util = total.utilization(device);
+    let congestion_ns = if util > 0.7 { (util - 0.7) * 4.0 } else { 0.0 };
+    let period_ns = base_period_ns + lib.mux_delay_ns(worst_share) + congestion_ns;
+    let fmax = Megahertz::new(1e3 / period_ns);
+
+    // Dynamic power: activity-weighted CV²f model per resource type.
+    let dyn_w = (total.luts as f64 * 6e-8
+        + total.ffs as f64 * 2e-8
+        + total.dsps as f64 * 2e-6
+        + total.bram_kb as f64 * 1.2e-6)
+        * fmax.value();
+    let power = Watts::new(dyn_w) + device.static_power;
+
+    Ok(Implementation {
+        resources: total,
+        fmax,
+        power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind;
+    use crate::ir::dot_product_kernel;
+    use crate::schedule::{list_schedule, OpLatency, ResourceBudget};
+
+    fn implement_dot(n: usize, budget: ResourceBudget) -> Implementation {
+        let g = dot_product_kernel(n);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &budget).expect("feasible");
+        let b = bind(&g, &sch, &lat);
+        implement(&b, &ComponentLibrary::new(32), &FpgaDevice::xc7k410t(), 64).expect("fits")
+    }
+
+    #[test]
+    fn devices_have_sensible_capacities() {
+        let k = FpgaDevice::xc7k410t();
+        let v = FpgaDevice::xc7vx485t();
+        let u = FpgaDevice::alveo_u50();
+        assert!(v.luts > k.luts);
+        assert!(u.luts > v.luts);
+        assert!(u.dsps > v.dsps);
+    }
+
+    #[test]
+    fn wider_designs_use_more_area_and_run_faster() {
+        let serial = implement_dot(16, ResourceBudget::new(1, 1, 1));
+        let parallel = implement_dot(16, ResourceBudget::unlimited());
+        assert!(parallel.resources.dsps > serial.resources.dsps);
+        // Serial design pays mux delay => lower fmax.
+        assert!(parallel.fmax.value() >= serial.fmax.value());
+        assert!(parallel.power.value() > serial.power.value());
+    }
+
+    #[test]
+    fn multiplier_tiles_with_width() {
+        let l16 = ComponentLibrary::new(16).multiplier();
+        let l32 = ComponentLibrary::new(32).multiplier();
+        let l64 = ComponentLibrary::new(64).multiplier();
+        assert!(l16.dsps <= l32.dsps);
+        assert!(l32.dsps < l64.dsps);
+        assert_eq!(l16.dsps, 1);
+    }
+
+    #[test]
+    fn mux_costs_scale() {
+        let lib = ComponentLibrary::new(32);
+        assert_eq!(lib.mux(1), ResourceUsage::default());
+        assert!(lib.mux(16).luts > lib.mux(4).luts);
+    }
+
+    #[test]
+    fn oversized_design_rejected() {
+        // A dot product too large for the DSP budget of the device.
+        let g = dot_product_kernel(2000);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        let b = bind(&g, &sch, &lat);
+        let err = implement(&b, &ComponentLibrary::new(32), &FpgaDevice::xc7k410t(), 0);
+        assert!(matches!(err, Err(HlsError::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn utilization_max_over_resources() {
+        let dev = FpgaDevice::xc7k410t();
+        let u = ResourceUsage {
+            luts: dev.luts / 2,
+            ffs: 0,
+            dsps: dev.dsps,
+            bram_kb: 0,
+        };
+        assert!((u.utilization(&dev) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_includes_static() {
+        let imp = implement_dot(4, ResourceBudget::unlimited());
+        assert!(imp.power.value() > FpgaDevice::xc7k410t().static_power.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn library_rejects_zero_width() {
+        ComponentLibrary::new(0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Accelerator interface models: AXI4 memory-mapped bursts, AXI4-Lite
+//! control, and AXI-Stream.
+//!
+//! §III: "Both tools support a set of optimization directives and standard
+//! accelerator interfaces" — in practice AXI4 masters for bulk data,
+//! AXI4-Lite slaves for control registers and AXI-Stream for dataflow
+//! chaining. What matters to DSE is each interface's *effective* bandwidth:
+//! handshake and address-phase overheads eat into the raw bus bandwidth as
+//! transfers shrink, which is why burst length is an HLS knob worth
+//! sweeping.
+
+use crate::error::HlsError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// An AXI4 memory-mapped master port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Axi4Master {
+    /// Data bus width in bytes (4, 8, 16, 32, 64, 128).
+    pub data_bytes: u32,
+    /// Beats per burst (1..=256 per AXI4).
+    pub burst_len: u32,
+    /// Cycles of address-phase + arbitration overhead per burst.
+    pub burst_overhead: u32,
+    /// Read-response latency of the memory behind the port (cycles).
+    pub memory_latency: u32,
+    /// Maximum outstanding transactions supported.
+    pub outstanding: u32,
+}
+
+impl Axi4Master {
+    /// A typical HLS default: 64-byte bus, 16-beat bursts, 4 outstanding.
+    pub fn hls_default() -> Self {
+        Self {
+            data_bytes: 64,
+            burst_len: 16,
+            burst_overhead: 4,
+            memory_latency: 60,
+            outstanding: 4,
+        }
+    }
+
+    /// Validates the AXI4 parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::InvalidConfig`] for out-of-spec parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !self.data_bytes.is_power_of_two() || !(4..=128).contains(&self.data_bytes) {
+            return Err(HlsError::InvalidConfig(format!(
+                "AXI4 data width {} bytes is out of spec",
+                self.data_bytes
+            )));
+        }
+        if !(1..=256).contains(&self.burst_len) {
+            return Err(HlsError::InvalidConfig(format!(
+                "AXI4 burst length {} is out of spec (1..=256)",
+                self.burst_len
+            )));
+        }
+        if self.outstanding == 0 {
+            return Err(HlsError::InvalidConfig(
+                "AXI4 needs at least one outstanding transaction".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cycles to move `bytes` of contiguous data.
+    ///
+    /// With enough outstanding transactions the address phases and memory
+    /// latency pipeline behind the data beats; otherwise each burst exposes
+    /// a share of the round-trip latency.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let beats = bytes.div_ceil(self.data_bytes as u64);
+        let bursts = beats.div_ceil(self.burst_len as u64);
+        let data_cycles = beats;
+        let per_burst_gap = (self.burst_overhead as u64
+            + self.memory_latency as u64 / self.outstanding as u64)
+            .saturating_sub(self.burst_len as u64);
+        // First burst pays the full latency and its address phase; later
+        // bursts expose only whatever gap pipelining cannot hide.
+        self.memory_latency as u64
+            + self.burst_overhead as u64
+            + data_cycles
+            + bursts.saturating_sub(1) * per_burst_gap
+    }
+
+    /// Effective bandwidth as a fraction of the raw bus bandwidth for
+    /// transfers of `bytes`.
+    pub fn efficiency(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let ideal = bytes.div_ceil(self.data_bytes as u64);
+        ideal as f64 / self.transfer_cycles(bytes) as f64
+    }
+}
+
+/// An AXI4-Lite control port: single-beat, fully serialised accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Axi4Lite {
+    /// Cycles per register access (address + data + response).
+    pub cycles_per_access: u32,
+}
+
+impl Axi4Lite {
+    /// A typical 32-bit control port.
+    pub fn control_default() -> Self {
+        Self {
+            cycles_per_access: 6,
+        }
+    }
+
+    /// Cycles to program an accelerator with `registers` control writes plus
+    /// one start command and one completion poll.
+    pub fn launch_cycles(&self, registers: u32) -> u64 {
+        (registers as u64 + 2) * self.cycles_per_access as u64
+    }
+}
+
+/// An AXI-Stream port: handshaked beats, no addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxiStream {
+    /// Data width in bytes.
+    pub data_bytes: u32,
+    /// Probability-free stall model: cycles lost per `stall_period` beats
+    /// due to back-pressure.
+    pub stall_per_period: u32,
+    /// Beats between back-pressure events.
+    pub stall_period: u32,
+}
+
+impl AxiStream {
+    /// A well-matched stream (2% back-pressure).
+    pub fn matched() -> Self {
+        Self {
+            data_bytes: 8,
+            stall_per_period: 1,
+            stall_period: 50,
+        }
+    }
+
+    /// Cycles to stream `bytes`.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        let beats = bytes.div_ceil(self.data_bytes as u64);
+        let stalls = beats / self.stall_period.max(1) as u64 * self.stall_per_period as u64;
+        beats + stalls
+    }
+}
+
+/// Picks the burst length that maximises AXI4 efficiency for a given
+/// transfer size (an HLS interface-directive sweep).
+pub fn best_burst_len(base: &Axi4Master, bytes: u64, candidates: &[u32]) -> u32 {
+    let mut best = (0.0f64, base.burst_len);
+    for &bl in candidates {
+        let cfg = Axi4Master {
+            burst_len: bl,
+            ..*base
+        };
+        if cfg.validate().is_err() {
+            continue;
+        }
+        let eff = cfg.efficiency(bytes);
+        if eff > best.0 {
+            best = (eff, bl);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_out_of_spec() {
+        let mut m = Axi4Master::hls_default();
+        assert!(m.validate().is_ok());
+        m.data_bytes = 3;
+        assert!(m.validate().is_err());
+        let mut m2 = Axi4Master::hls_default();
+        m2.burst_len = 300;
+        assert!(m2.validate().is_err());
+        let mut m3 = Axi4Master::hls_default();
+        m3.outstanding = 0;
+        assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn large_transfers_approach_full_bandwidth() {
+        let m = Axi4Master::hls_default();
+        let eff = m.efficiency(16 * 1024 * 1024);
+        assert!(eff > 0.7, "bulk efficiency {eff:.2}");
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        let m = Axi4Master::hls_default();
+        let small = m.efficiency(64);
+        let large = m.efficiency(1 << 20);
+        assert!(small < large / 5.0, "small {small:.3} vs large {large:.3}");
+    }
+
+    #[test]
+    fn longer_bursts_help_bulk_transfers() {
+        let base = Axi4Master::hls_default();
+        let short = Axi4Master {
+            burst_len: 1,
+            ..base
+        };
+        let long = Axi4Master {
+            burst_len: 64,
+            ..base
+        };
+        let bytes = 1 << 20;
+        assert!(
+            long.transfer_cycles(bytes) < short.transfer_cycles(bytes) / 2,
+            "long bursts must amortise overheads"
+        );
+    }
+
+    #[test]
+    fn outstanding_transactions_hide_latency() {
+        let blocking = Axi4Master {
+            outstanding: 1,
+            ..Axi4Master::hls_default()
+        };
+        let pipelined = Axi4Master {
+            outstanding: 8,
+            ..Axi4Master::hls_default()
+        };
+        let bytes = 1 << 18;
+        assert!(pipelined.transfer_cycles(bytes) <= blocking.transfer_cycles(bytes));
+    }
+
+    #[test]
+    fn best_burst_prefers_long_for_bulk() {
+        let base = Axi4Master::hls_default();
+        let best = best_burst_len(&base, 1 << 20, &[1, 4, 16, 64, 256]);
+        assert!(best >= 64, "bulk transfers want long bursts, got {best}");
+    }
+
+    #[test]
+    fn lite_launch_cost() {
+        let lite = Axi4Lite::control_default();
+        assert_eq!(lite.launch_cycles(6), 8 * 6);
+    }
+
+    #[test]
+    fn stream_includes_backpressure() {
+        let s = AxiStream::matched();
+        let clean = AxiStream {
+            stall_per_period: 0,
+            ..s
+        };
+        let bytes = 80_000;
+        assert!(s.transfer_cycles(bytes) > clean.transfer_cycles(bytes));
+        // ~2% overhead.
+        let overhead = s.transfer_cycles(bytes) as f64 / clean.transfer_cycles(bytes) as f64;
+        assert!(overhead < 1.05);
+    }
+
+    #[test]
+    fn zero_bytes_zero_cycles() {
+        assert_eq!(Axi4Master::hls_default().transfer_cycles(0), 0);
+        assert_eq!(Axi4Master::hls_default().efficiency(0), 0.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Dataflow intermediate representation (IR).
+//!
+//! Bambu consumes "compiler intermediate representations generated from AI
+//! frameworks" (§III). Our IR is the scheduling-relevant core of such an IR:
+//! a pure dataflow graph of arithmetic, memory and control-select operations.
+//! Node ids are assigned in construction order and operands must already
+//! exist, so every [`Dfg`] is a DAG by construction and node order is a valid
+//! topological order.
+//!
+//! ```
+//! use f2_hls::ir::{Dfg, OpKind};
+//!
+//! let mut g = Dfg::new();
+//! let x = g.input("x");
+//! let two = g.constant(2.0);
+//! let y = g.mul(x, two);
+//! g.output("y", y);
+//! assert_eq!(g.len(), 4);
+//! assert_eq!(g.node(y).kind, OpKind::Mul);
+//! ```
+
+use crate::error::HlsError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a [`Dfg`]; indices are construction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Comparison predicate for [`OpKind::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+/// Operation kind of a dataflow node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// External input port.
+    Input,
+    /// Compile-time constant.
+    Const(f64),
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Comparison producing a 1-bit value.
+    Cmp(CmpPred),
+    /// 2-way select: `operands = [cond, if_true, if_false]`.
+    Select,
+    /// Memory load: `operands = [address]`.
+    Load,
+    /// Memory store: `operands = [address, value]`.
+    Store,
+    /// External output port: `operands = [value]`.
+    Output,
+}
+
+impl OpKind {
+    /// Required operand count, or `None` if variable (none are today).
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Input | OpKind::Const(_) => 0,
+            OpKind::Load | OpKind::Output => 1,
+            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Cmp(_) => 2,
+            OpKind::Store => 2,
+            OpKind::Select => 3,
+        }
+    }
+
+    /// True for operations that occupy a hardware functional unit.
+    pub fn needs_unit(&self) -> bool {
+        !matches!(self, OpKind::Input | OpKind::Const(_) | OpKind::Output)
+    }
+}
+
+/// One IR node: an operation plus its operand edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Operand node ids (all strictly smaller than this node's id).
+    pub operands: Vec<NodeId>,
+    /// Optional user-facing name (inputs/outputs).
+    pub name: Option<String>,
+}
+
+/// A dataflow graph: nodes in topological (construction) order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates over `(id, node)` in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    fn push(&mut self, kind: OpKind, operands: Vec<NodeId>, name: Option<&str>) -> NodeId {
+        debug_assert_eq!(operands.len(), kind.arity(), "operand arity mismatch");
+        for op in &operands {
+            debug_assert!(op.0 < self.nodes.len(), "operand must already exist");
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            operands,
+            name: name.map(str::to_string),
+        });
+        id
+    }
+
+    /// Adds an input port.
+    pub fn input(&mut self, name: &str) -> NodeId {
+        self.push(OpKind::Input, vec![], Some(name))
+    }
+
+    /// Adds a constant.
+    pub fn constant(&mut self, value: f64) -> NodeId {
+        self.push(OpKind::Const(value), vec![], None)
+    }
+
+    /// Adds an addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(OpKind::Add, vec![a, b], None)
+    }
+
+    /// Adds a subtraction.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(OpKind::Sub, vec![a, b], None)
+    }
+
+    /// Adds a multiplication.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(OpKind::Mul, vec![a, b], None)
+    }
+
+    /// Adds a division.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(OpKind::Div, vec![a, b], None)
+    }
+
+    /// Adds a comparison.
+    pub fn cmp(&mut self, pred: CmpPred, a: NodeId, b: NodeId) -> NodeId {
+        self.push(OpKind::Cmp(pred), vec![a, b], None)
+    }
+
+    /// Adds a select.
+    pub fn select(&mut self, cond: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        self.push(OpKind::Select, vec![cond, t, f], None)
+    }
+
+    /// Adds a memory load from `addr`.
+    pub fn load(&mut self, addr: NodeId) -> NodeId {
+        self.push(OpKind::Load, vec![addr], None)
+    }
+
+    /// Adds a memory store of `value` at `addr`.
+    pub fn store(&mut self, addr: NodeId, value: NodeId) -> NodeId {
+        self.push(OpKind::Store, vec![addr, value], None)
+    }
+
+    /// Adds an output port fed by `value`.
+    pub fn output(&mut self, name: &str, value: NodeId) -> NodeId {
+        self.push(OpKind::Output, vec![value], Some(name))
+    }
+
+    /// Validates arity and edge direction of every node.
+    ///
+    /// Graphs built through the typed builder methods are always valid; this
+    /// exists for graphs deserialised from external tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::InvalidGraph`] on the first violation.
+    pub fn validate(&self) -> Result<()> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.operands.len() != n.kind.arity() {
+                return Err(HlsError::InvalidGraph(format!(
+                    "node %{i} has {} operands, kind {:?} needs {}",
+                    n.operands.len(),
+                    n.kind,
+                    n.kind.arity()
+                )));
+            }
+            for op in &n.operands {
+                if op.0 >= i {
+                    return Err(HlsError::InvalidGraph(format!(
+                        "node %{i} uses operand {op} that is not strictly earlier"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Users (consumers) of each node, as an adjacency list.
+    pub fn users(&self) -> Vec<Vec<NodeId>> {
+        let mut users = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for op in &n.operands {
+                users[op.0].push(NodeId(i));
+            }
+        }
+        users
+    }
+
+    /// Count of nodes that occupy functional units, per scheduling class.
+    pub fn op_histogram(&self) -> OpHistogram {
+        let mut h = OpHistogram::default();
+        for n in &self.nodes {
+            match n.kind {
+                OpKind::Add | OpKind::Sub | OpKind::Cmp(_) | OpKind::Select => h.alu += 1,
+                OpKind::Mul | OpKind::Div => h.mul += 1,
+                OpKind::Load | OpKind::Store => h.mem += 1,
+                _ => {}
+            }
+        }
+        h
+    }
+}
+
+/// Histogram of unit-occupying operations per resource class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpHistogram {
+    /// Add/sub/compare/select operations.
+    pub alu: usize,
+    /// Multiply/divide operations.
+    pub mul: usize,
+    /// Loads and stores.
+    pub mem: usize,
+}
+
+/// Builds the DFG of an `n`-tap dot product (`sum a[i]*b[i]`) with full
+/// unrolling — the inner loop of dense DNN layers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn dot_product_kernel(n: usize) -> Dfg {
+    assert!(n > 0, "dot product needs at least one tap");
+    let mut g = Dfg::new();
+    let mut terms = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = g.input(&format!("a{i}"));
+        let b = g.input(&format!("b{i}"));
+        terms.push(g.mul(a, b));
+    }
+    // Balanced adder tree (what an HLS tool builds for a reduction).
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        for pair in terms.chunks(2) {
+            if pair.len() == 2 {
+                next.push(g.add(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        terms = next;
+    }
+    g.output("sum", terms[0]);
+    g
+}
+
+/// Builds the DFG of one unrolled iteration block of a sparse row traversal
+/// (the SpMV/BFS inner loop): load column index, load vector value, multiply
+/// by the edge weight, accumulate.
+///
+/// `unroll` controls how many edges are processed per invocation.
+///
+/// # Panics
+///
+/// Panics if `unroll == 0`.
+pub fn sparse_row_kernel(unroll: usize) -> Dfg {
+    assert!(unroll > 0, "unroll factor must be positive");
+    let mut g = Dfg::new();
+    let base = g.input("edge_base");
+    let mut acc = g.constant(0.0);
+    for i in 0..unroll {
+        let off = g.constant(i as f64);
+        let addr = g.add(base, off);
+        let col = g.load(addr); // col_idx[e]
+        let w_addr = g.add(addr, off);
+        let w = g.load(w_addr); // weights[e]
+        let x = g.load(col); // x[col] — the irregular, latency-bound access
+        let prod = g.mul(w, x);
+        acc = g.add(acc, prod);
+    }
+    g.output("acc", acc);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_graphs() {
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.add(a, b);
+        g.output("c", c);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn validate_catches_bad_arity() {
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        g.output("y", a);
+        // Corrupt via serde round-trip surrogate: build a raw bad node.
+        let bad = g.clone();
+        // Simulate external corruption through the public API surface:
+        // deserialize a hand-crafted graph.
+        let json_nodes = Dfg {
+            nodes: vec![Node {
+                kind: OpKind::Add,
+                operands: vec![],
+                name: None,
+            }],
+        };
+        assert!(json_nodes.validate().is_err());
+        bad.validate().expect("original still valid");
+    }
+
+    #[test]
+    fn validate_catches_forward_edge() {
+        let g = Dfg {
+            nodes: vec![
+                Node {
+                    kind: OpKind::Load,
+                    operands: vec![NodeId(0)],
+                    name: None,
+                },
+            ],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn users_inverse_of_operands() {
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        let b = g.mul(a, a);
+        let c = g.add(b, a);
+        g.output("y", c);
+        let users = g.users();
+        assert_eq!(users[a.0].len(), 3); // mul twice + add once
+        assert_eq!(users[b.0], vec![c]);
+    }
+
+    #[test]
+    fn dot_product_structure() {
+        let g = dot_product_kernel(8);
+        assert!(g.validate().is_ok());
+        let h = g.op_histogram();
+        assert_eq!(h.mul, 8);
+        assert_eq!(h.alu, 7); // balanced tree: n-1 adds
+    }
+
+    #[test]
+    fn dot_product_odd_n() {
+        let g = dot_product_kernel(5);
+        let h = g.op_histogram();
+        assert_eq!(h.mul, 5);
+        assert_eq!(h.alu, 4);
+    }
+
+    #[test]
+    fn sparse_row_kernel_memory_heavy() {
+        let g = sparse_row_kernel(4);
+        assert!(g.validate().is_ok());
+        let h = g.op_histogram();
+        assert_eq!(h.mem, 12); // 3 loads per edge
+        assert_eq!(h.mul, 4);
+    }
+
+    #[test]
+    fn histogram_ignores_io() {
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        g.output("y", a);
+        assert_eq!(g.op_histogram(), OpHistogram::default());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(3).to_string(), "%3");
+    }
+}

@@ -1,0 +1,448 @@
+//! Operation scheduling: ASAP, ALAP and resource-constrained list scheduling.
+//!
+//! Scheduling is the core HLS phase: it assigns each dataflow operation to a
+//! start cycle such that data dependences and functional-unit budgets are
+//! respected. The implementation follows the classic formulation:
+//!
+//! * **ASAP** — earliest start respecting dependences only.
+//! * **ALAP** — latest start given the ASAP critical-path length.
+//! * **Mobility** — `alap - asap`; zero-mobility ops are on the critical path.
+//! * **List scheduling** — cycle-by-cycle greedy allocation of ready ops to
+//!   free units, prioritised by mobility (least slack first).
+
+use crate::error::HlsError;
+use crate::ir::{Dfg, NodeId, OpKind};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Functional-unit class an operation executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitClass {
+    /// Add/sub/compare/select units.
+    Alu,
+    /// Multiplier/divider units (DSP-mapped on FPGA).
+    Multiplier,
+    /// Memory ports.
+    MemPort,
+}
+
+/// Classifies an op kind into its unit class, or `None` for free ops
+/// (inputs, constants, outputs).
+pub fn unit_class(kind: &OpKind) -> Option<UnitClass> {
+    match kind {
+        OpKind::Add | OpKind::Sub | OpKind::Cmp(_) | OpKind::Select => Some(UnitClass::Alu),
+        OpKind::Mul | OpKind::Div => Some(UnitClass::Multiplier),
+        OpKind::Load | OpKind::Store => Some(UnitClass::MemPort),
+        OpKind::Input | OpKind::Const(_) | OpKind::Output => None,
+    }
+}
+
+/// Per-operation latency table in clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Add/sub/cmp/select latency.
+    pub alu: u32,
+    /// Multiply latency.
+    pub mul: u32,
+    /// Divide latency.
+    pub div: u32,
+    /// Load latency (local BRAM).
+    pub load: u32,
+    /// Store latency.
+    pub store: u32,
+}
+
+impl Default for OpLatency {
+    /// Typical FPGA pipelined-unit latencies at 32-bit width.
+    fn default() -> Self {
+        Self {
+            alu: 1,
+            mul: 3,
+            div: 18,
+            load: 2,
+            store: 1,
+        }
+    }
+}
+
+impl OpLatency {
+    /// Latency of one operation kind (0 for free ops).
+    pub fn of(&self, kind: &OpKind) -> u32 {
+        match kind {
+            OpKind::Add | OpKind::Sub | OpKind::Cmp(_) | OpKind::Select => self.alu,
+            OpKind::Mul => self.mul,
+            OpKind::Div => self.div,
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::Input | OpKind::Const(_) | OpKind::Output => 0,
+        }
+    }
+}
+
+/// Functional-unit budget for resource-constrained scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Available ALUs (`None` = unlimited).
+    pub alus: Option<usize>,
+    /// Available multipliers (`None` = unlimited).
+    pub multipliers: Option<usize>,
+    /// Available memory ports (`None` = unlimited).
+    pub mem_ports: Option<usize>,
+}
+
+impl ResourceBudget {
+    /// Budget with fixed unit counts.
+    pub fn new(alus: usize, multipliers: usize, mem_ports: usize) -> Self {
+        Self {
+            alus: Some(alus),
+            multipliers: Some(multipliers),
+            mem_ports: Some(mem_ports),
+        }
+    }
+
+    /// Unlimited budget (pure dependence-constrained scheduling).
+    pub fn unlimited() -> Self {
+        Self {
+            alus: None,
+            multipliers: None,
+            mem_ports: None,
+        }
+    }
+
+    fn limit(&self, class: UnitClass) -> Option<usize> {
+        match class {
+            UnitClass::Alu => self.alus,
+            UnitClass::Multiplier => self.multipliers,
+            UnitClass::MemPort => self.mem_ports,
+        }
+    }
+}
+
+/// A computed schedule: per-node start cycles plus the derived metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    start: Vec<u32>,
+    latency: u32,
+}
+
+impl Schedule {
+    /// Start cycle of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the scheduled graph.
+    pub fn start_of(&self, id: NodeId) -> u32 {
+        self.start[id.0]
+    }
+
+    /// Total schedule length in cycles (completion of the last operation).
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// All start cycles, indexed by node id.
+    pub fn starts(&self) -> &[u32] {
+        &self.start
+    }
+}
+
+/// ASAP schedule: each op starts as soon as all operands complete.
+pub fn asap(graph: &Dfg, lat: &OpLatency) -> Schedule {
+    let mut start = vec![0u32; graph.len()];
+    let mut latency = 0;
+    for (id, node) in graph.iter() {
+        let s = node
+            .operands
+            .iter()
+            .map(|op| start[op.0] + lat.of(&graph.node(*op).kind))
+            .max()
+            .unwrap_or(0);
+        start[id.0] = s;
+        latency = latency.max(s + lat.of(&node.kind));
+    }
+    Schedule { start, latency }
+}
+
+/// ALAP schedule for a given deadline (must be ≥ the ASAP latency).
+///
+/// # Panics
+///
+/// Panics if `deadline` is smaller than the ASAP latency of the graph.
+pub fn alap(graph: &Dfg, lat: &OpLatency, deadline: u32) -> Schedule {
+    let asap_len = asap(graph, lat).latency;
+    assert!(
+        deadline >= asap_len,
+        "deadline {deadline} below critical path {asap_len}"
+    );
+    let users = graph.users();
+    let mut start = vec![0u32; graph.len()];
+    for (id, node) in graph.iter().collect::<Vec<_>>().into_iter().rev() {
+        let own = lat.of(&node.kind);
+        let s = users[id.0]
+            .iter()
+            .map(|u| start[u.0].saturating_sub(own))
+            .min()
+            .unwrap_or(deadline - own);
+        start[id.0] = s;
+    }
+    Schedule {
+        start,
+        latency: deadline,
+    }
+}
+
+/// Mobility (slack) of every node for a given deadline.
+pub fn mobility(graph: &Dfg, lat: &OpLatency, deadline: u32) -> Vec<u32> {
+    let a = asap(graph, lat);
+    let l = alap(graph, lat, deadline);
+    a.start
+        .iter()
+        .zip(&l.start)
+        .map(|(&s_asap, &s_alap)| s_alap - s_asap)
+        .collect()
+}
+
+/// Resource-constrained list scheduling, prioritised by mobility.
+///
+/// Units are fully pipelined: a unit accepts a new operation every cycle, so
+/// the budget constrains *issues per cycle* per class (the standard HLS
+/// pipelined-unit model).
+///
+/// # Errors
+///
+/// Returns [`HlsError::InfeasibleBudget`] if any required unit class has a
+/// zero budget, and [`HlsError::InvalidGraph`] if the graph fails validation.
+pub fn list_schedule(graph: &Dfg, lat: &OpLatency, budget: &ResourceBudget) -> Result<Schedule> {
+    graph.validate()?;
+    // Feasibility: every used class must have at least one unit.
+    for (_, node) in graph.iter() {
+        if let Some(class) = unit_class(&node.kind) {
+            if budget.limit(class) == Some(0) {
+                return Err(HlsError::InfeasibleBudget(format!(
+                    "graph needs {class:?} units but budget is zero"
+                )));
+            }
+        }
+    }
+    let deadline = asap(graph, lat).latency.max(1);
+    let mob = mobility(graph, lat, deadline);
+
+    let n = graph.len();
+    let mut start = vec![u32::MAX; n];
+    let mut done = vec![false; n];
+    let mut finish = vec![0u32; n];
+    let mut remaining = n;
+    let mut cycle: u32 = 0;
+    let mut latency = 0;
+
+    while remaining > 0 {
+        let mut issued_alu = 0usize;
+        let mut issued_mul = 0usize;
+        let mut issued_mem = 0usize;
+        // Fixpoint within the cycle: zero-latency ops (inputs, constants,
+        // outputs) chain combinationally, so scheduling one can make its
+        // users ready in the same cycle.
+        loop {
+            // Ready: unscheduled, all operands finish by this cycle.
+            let mut ready: Vec<NodeId> = graph
+                .iter()
+                .filter(|(id, _)| !done[id.0])
+                .filter(|(_, node)| {
+                    node.operands
+                        .iter()
+                        .all(|op| done[op.0] && finish[op.0] <= cycle)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            // Least mobility first; ties by id for determinism.
+            ready.sort_by_key(|id| (mob[id.0], id.0));
+
+            let mut progressed = false;
+            for id in ready {
+                let node = graph.node(id);
+                let fits = match unit_class(&node.kind) {
+                    None => true,
+                    Some(UnitClass::Alu) => budget.alus.is_none_or(|l| issued_alu < l),
+                    Some(UnitClass::Multiplier) => {
+                        budget.multipliers.is_none_or(|l| issued_mul < l)
+                    }
+                    Some(UnitClass::MemPort) => budget.mem_ports.is_none_or(|l| issued_mem < l),
+                };
+                if !fits {
+                    continue;
+                }
+                match unit_class(&node.kind) {
+                    Some(UnitClass::Alu) => issued_alu += 1,
+                    Some(UnitClass::Multiplier) => issued_mul += 1,
+                    Some(UnitClass::MemPort) => issued_mem += 1,
+                    None => {}
+                }
+                start[id.0] = cycle;
+                finish[id.0] = cycle + lat.of(&node.kind);
+                done[id.0] = true;
+                remaining -= 1;
+                progressed = true;
+                latency = latency.max(finish[id.0]);
+            }
+            if !progressed {
+                break;
+            }
+        }
+        cycle += 1;
+        // Safety valve: a correct implementation always terminates; this
+        // guards against pathological budgets during development.
+        if cycle > 10 * deadline + n as u32 + 16 {
+            return Err(HlsError::InfeasibleBudget(
+                "list scheduling failed to converge".to_string(),
+            ));
+        }
+    }
+    Ok(Schedule { start, latency })
+}
+
+/// Minimum initiation interval for pipelined execution of `graph` under
+/// `budget` (resource-constrained MII; recurrence-free graphs only, which
+/// holds for all DAG kernels here).
+pub fn min_initiation_interval(graph: &Dfg, budget: &ResourceBudget) -> u32 {
+    let h = graph.op_histogram();
+    let per = |ops: usize, units: Option<usize>| -> u32 {
+        match units {
+            None => 1,
+            Some(0) => {
+                if ops == 0 {
+                    1
+                } else {
+                    u32::MAX
+                }
+            }
+            Some(u) => (ops as u32).div_ceil(u as u32).max(1),
+        }
+    };
+    per(h.alu, budget.alus)
+        .max(per(h.mul, budget.multipliers))
+        .max(per(h.mem, budget.mem_ports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{dot_product_kernel, Dfg};
+
+    fn diamond() -> Dfg {
+        // y = (a*b) + (a-b)
+        let mut g = Dfg::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        let s = g.sub(a, b);
+        let y = g.add(m, s);
+        g.output("y", y);
+        g
+    }
+
+    #[test]
+    fn asap_critical_path() {
+        let g = diamond();
+        let lat = OpLatency::default();
+        let sch = asap(&g, &lat);
+        // mul (3) then add (1) => latency 4.
+        assert_eq!(sch.latency(), 4);
+        assert_eq!(sch.start_of(crate::ir::NodeId(2)), 0); // mul
+        assert_eq!(sch.start_of(crate::ir::NodeId(4)), 3); // add waits for mul
+    }
+
+    #[test]
+    fn alap_pushes_slack_ops_late() {
+        let g = diamond();
+        let lat = OpLatency::default();
+        let sch = alap(&g, &lat, 4);
+        // sub has slack: ALAP start = add start (3) - sub latency (1) = 2.
+        assert_eq!(sch.start_of(crate::ir::NodeId(3)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below critical path")]
+    fn alap_rejects_tight_deadline() {
+        let g = diamond();
+        alap(&g, &OpLatency::default(), 2);
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path() {
+        let g = diamond();
+        let lat = OpLatency::default();
+        let mob = mobility(&g, &lat, 4);
+        assert_eq!(mob[2], 0); // mul is critical
+        assert_eq!(mob[3], 2); // sub has 2 cycles of slack
+    }
+
+    #[test]
+    fn list_schedule_matches_asap_when_unlimited() {
+        let g = dot_product_kernel(8);
+        let lat = OpLatency::default();
+        let a = asap(&g, &lat);
+        let l = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        assert_eq!(l.latency(), a.latency());
+    }
+
+    #[test]
+    fn list_schedule_serialises_under_tight_budget() {
+        let g = dot_product_kernel(8);
+        let lat = OpLatency::default();
+        let tight = list_schedule(&g, &lat, &ResourceBudget::new(1, 1, 1)).expect("feasible");
+        let loose = list_schedule(&g, &lat, &ResourceBudget::new(8, 8, 8)).expect("feasible");
+        assert!(tight.latency() > loose.latency());
+        // 8 muls through 1 multiplier: at least 8 issue cycles + pipeline.
+        assert!(tight.latency() >= 8);
+    }
+
+    #[test]
+    fn list_schedule_respects_dependences() {
+        let g = dot_product_kernel(16);
+        let lat = OpLatency::default();
+        let sch = list_schedule(&g, &lat, &ResourceBudget::new(2, 2, 2)).expect("feasible");
+        for (id, node) in g.iter() {
+            for op in &node.operands {
+                let op_finish = sch.start_of(*op) + lat.of(&g.node(*op).kind);
+                assert!(
+                    sch.start_of(id) >= op_finish,
+                    "node {id} starts before operand {op} finishes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn list_schedule_respects_budget_per_cycle() {
+        let g = dot_product_kernel(16);
+        let lat = OpLatency::default();
+        let budget = ResourceBudget::new(2, 3, 1);
+        let sch = list_schedule(&g, &lat, &budget).expect("feasible");
+        let mut mul_issues = std::collections::HashMap::new();
+        for (id, node) in g.iter() {
+            if unit_class(&node.kind) == Some(UnitClass::Multiplier) {
+                *mul_issues.entry(sch.start_of(id)).or_insert(0usize) += 1;
+            }
+        }
+        assert!(mul_issues.values().all(|&c| c <= 3));
+    }
+
+    #[test]
+    fn zero_budget_infeasible() {
+        let g = dot_product_kernel(4);
+        let lat = OpLatency::default();
+        let err = list_schedule(&g, &lat, &ResourceBudget::new(1, 0, 1));
+        assert!(matches!(err, Err(HlsError::InfeasibleBudget(_))));
+    }
+
+    #[test]
+    fn mii_formula() {
+        let g = dot_product_kernel(8); // 8 muls, 7 adds
+        assert_eq!(min_initiation_interval(&g, &ResourceBudget::unlimited()), 1);
+        assert_eq!(min_initiation_interval(&g, &ResourceBudget::new(7, 2, 1)), 4);
+        assert_eq!(min_initiation_interval(&g, &ResourceBudget::new(1, 8, 1)), 7);
+    }
+}

@@ -1,0 +1,632 @@
+//! SPARTA: Synthesis of PARallel multi-Threaded Accelerators — cycle-level
+//! performance model.
+//!
+//! §III: "Accelerators generated with SPARTA are based on a custom
+//! architecture that can exploit spatial parallelism and hide the latency of
+//! external memory accesses through context switching. Moreover, SPARTA
+//! includes a custom Network-on-Chip connecting multiple external memory
+//! channels to each accelerator, memory-side caching, and on-chip private
+//! memories for each accelerator."
+//!
+//! This module simulates exactly that template:
+//!
+//! * `accelerators` parallel lanes, each with `contexts_per_accel` hardware
+//!   thread contexts. A lane executes one context at a time; when a context
+//!   issues an external memory access, the lane switches to another ready
+//!   context (spending [`SpartaConfig::context_switch_penalty`] cycles),
+//!   hiding the access latency.
+//! * A NoC between lanes and `mem_channels` external memory channels; each
+//!   traversal costs [`SpartaConfig::noc_hop_latency`] cycles per direction.
+//! * Optional memory-side caches (direct-mapped, per channel).
+//!
+//! Workloads are memory traces generated from real graph kernels over real
+//! CSR graphs (see [`spmv_workload`] / [`bfs_workload`]), so the irregular
+//! access pattern the paper targets is preserved exactly.
+
+use crate::error::HlsError;
+use crate::Result;
+use f2_core::workload::graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Direct-mapped memory-side cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of cache lines per channel.
+    pub lines: usize,
+    /// Words per line.
+    pub line_words: usize,
+    /// Hit service latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// A small memory-side cache: 256 lines × 8 words, 4-cycle hits.
+    pub fn small() -> Self {
+        Self {
+            lines: 256,
+            line_words: 8,
+            hit_latency: 4,
+        }
+    }
+}
+
+/// SPARTA accelerator-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpartaConfig {
+    /// Number of parallel accelerator lanes (spatial parallelism).
+    pub accelerators: usize,
+    /// Hardware thread contexts per lane (latency hiding).
+    pub contexts_per_accel: usize,
+    /// External memory channels.
+    pub mem_channels: usize,
+    /// External memory access latency in cycles.
+    pub mem_latency: u32,
+    /// NoC latency per direction in cycles.
+    pub noc_hop_latency: u32,
+    /// Cycles lost when a lane switches contexts.
+    pub context_switch_penalty: u32,
+    /// Optional memory-side cache per channel.
+    pub cache: Option<CacheConfig>,
+}
+
+impl SpartaConfig {
+    /// The sequential HLS baseline: one lane, one context, no cache —
+    /// what a conventional (non-SPARTA) accelerator does.
+    pub fn sequential_baseline(mem_latency: u32) -> Self {
+        Self {
+            accelerators: 1,
+            contexts_per_accel: 1,
+            mem_channels: 1,
+            mem_latency,
+            noc_hop_latency: 2,
+            context_switch_penalty: 1,
+            cache: None,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::InvalidConfig`] if any count is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.accelerators == 0 || self.contexts_per_accel == 0 || self.mem_channels == 0 {
+            return Err(HlsError::InvalidConfig(
+                "accelerators, contexts and channels must be positive".to_string(),
+            ));
+        }
+        if self.mem_latency == 0 {
+            return Err(HlsError::InvalidConfig(
+                "memory latency must be positive".to_string(),
+            ));
+        }
+        if let Some(c) = self.cache {
+            if c.lines == 0 || c.line_words == 0 {
+                return Err(HlsError::InvalidConfig(
+                    "cache geometry must be positive".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One step of a task's execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Busy the lane datapath for the given cycles.
+    Compute(u32),
+    /// Load a word from external memory.
+    Load(u64),
+    /// Store a word to external memory.
+    Store(u64),
+}
+
+/// One work item (e.g. processing one vertex).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Execution trace of the task.
+    pub steps: Vec<Step>,
+}
+
+/// A full workload: an unordered bag of independent tasks (the OpenMP
+/// `parallel for` iteration space after SPARTA's front-end lowering).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Independent tasks.
+    pub tasks: Vec<Task>,
+}
+
+impl Workload {
+    /// Total compute cycles across all tasks.
+    pub fn total_compute(&self) -> u64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.steps)
+            .map(|s| match s {
+                Step::Compute(c) => *c as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total external memory operations across all tasks.
+    pub fn total_mem_ops(&self) -> u64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.steps)
+            .filter(|s| matches!(s, Step::Load(_) | Step::Store(_)))
+            .count() as u64
+    }
+}
+
+/// Execution statistics of one SPARTA simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpartaReport {
+    /// Total execution cycles (completion of the last task).
+    pub cycles: u64,
+    /// External memory operations issued.
+    pub mem_ops: u64,
+    /// Cache hits (0 without a cache).
+    pub cache_hits: u64,
+    /// Cache misses (equals `mem_ops` without a cache).
+    pub cache_misses: u64,
+    /// Cycles lanes spent computing (not waiting / switching).
+    pub busy_cycles: u64,
+}
+
+impl SpartaReport {
+    /// Fraction of lane-cycles spent on useful compute.
+    pub fn utilization(&self, cfg: &SpartaConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (self.cycles as f64 * cfg.accelerators as f64)
+    }
+
+    /// Cache hit rate in [0, 1]; 0 when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Channel {
+    next_free: u64,
+    tags: Vec<Option<u64>>,
+    line_words: u64,
+    hit_latency: u32,
+    cached: bool,
+}
+
+impl Channel {
+    fn new(cfg: &SpartaConfig) -> Self {
+        match cfg.cache {
+            Some(c) => Self {
+                next_free: 0,
+                tags: vec![None; c.lines],
+                line_words: c.line_words as u64,
+                hit_latency: c.hit_latency,
+                cached: true,
+            },
+            None => Self {
+                next_free: 0,
+                tags: Vec::new(),
+                line_words: 1,
+                hit_latency: 0,
+                cached: false,
+            },
+        }
+    }
+
+    /// Services a request arriving at `arrive`; returns `(completion, hit)`.
+    fn request(&mut self, addr: u64, arrive: u64, mem_latency: u32) -> (u64, bool) {
+        let start = self.next_free.max(arrive);
+        self.next_free = start + 1; // pipelined: one request accepted per cycle
+        if self.cached {
+            let line = addr / self.line_words;
+            let idx = (line % self.tags.len() as u64) as usize;
+            if self.tags[idx] == Some(line) {
+                return (start + self.hit_latency as u64, true);
+            }
+            self.tags[idx] = Some(line);
+            (start + mem_latency as u64, false)
+        } else {
+            (start + mem_latency as u64, false)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Context {
+    tasks: Vec<usize>, // indices into workload.tasks
+    task_pos: usize,
+    step_pos: usize,
+    ready: u64,
+    done: bool,
+}
+
+/// Runs the SPARTA simulation of `workload` under `cfg`.
+///
+/// Tasks are distributed round-robin over lanes, then round-robin over each
+/// lane's contexts — the static scheduling SPARTA's runtime applies to
+/// OpenMP parallel loops.
+///
+/// # Errors
+///
+/// Returns [`HlsError::InvalidConfig`] if the configuration is invalid.
+pub fn run(workload: &Workload, cfg: &SpartaConfig) -> Result<SpartaReport> {
+    cfg.validate()?;
+    let mut channels: Vec<Channel> = (0..cfg.mem_channels).map(|_| Channel::new(cfg)).collect();
+
+    // Distribute tasks.
+    let mut lanes: Vec<Vec<Context>> = (0..cfg.accelerators)
+        .map(|_| {
+            (0..cfg.contexts_per_accel)
+                .map(|_| Context {
+                    tasks: Vec::new(),
+                    task_pos: 0,
+                    step_pos: 0,
+                    ready: 0,
+                    done: false,
+                })
+                .collect()
+        })
+        .collect();
+    for (i, _) in workload.tasks.iter().enumerate() {
+        let lane = i % cfg.accelerators;
+        let ctx = (i / cfg.accelerators) % cfg.contexts_per_accel;
+        lanes[lane][ctx].tasks.push(i);
+    }
+    for lane in &mut lanes {
+        for ctx in lane.iter_mut() {
+            ctx.done = ctx.tasks.is_empty();
+        }
+    }
+
+    let mut report = SpartaReport {
+        cycles: 0,
+        mem_ops: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        busy_cycles: 0,
+    };
+
+    let mut lane_free = vec![0u64; cfg.accelerators];
+    let noc = cfg.noc_hop_latency as u64;
+
+    // Global earliest-issue event loop. Each iteration advances exactly one
+    // context by one step on its lane.
+    loop {
+        // Find the globally earliest issuable (lane, context).
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (l, lane) in lanes.iter().enumerate() {
+            for (c, ctx) in lane.iter().enumerate() {
+                if ctx.done {
+                    continue;
+                }
+                let t = lane_free[l].max(ctx.ready);
+                if best.is_none_or(|(bt, _, _)| t < bt) {
+                    best = Some((t, l, c));
+                }
+            }
+        }
+        let Some((t, l, c)) = best else { break };
+
+        let ctx = &mut lanes[l][c];
+        let task_idx = ctx.tasks[ctx.task_pos];
+        let step = workload.tasks[task_idx].steps[ctx.step_pos];
+
+        match step {
+            Step::Compute(n) => {
+                let end = t + n as u64;
+                lane_free[l] = end;
+                ctx.ready = end;
+                report.busy_cycles += n as u64;
+                report.cycles = report.cycles.max(end);
+            }
+            Step::Load(addr) | Step::Store(addr) => {
+                // One issue cycle on the lane, then the lane is free to run
+                // another context (after the switch penalty).
+                let issue_end = t + 1;
+                lane_free[l] = issue_end + cfg.context_switch_penalty as u64;
+                let ch = (addr / 8) as usize % cfg.mem_channels;
+                let arrive = issue_end + noc;
+                let (completion, hit) = channels[ch].request(addr, arrive, cfg.mem_latency);
+                ctx.ready = completion + noc;
+                report.mem_ops += 1;
+                if hit {
+                    report.cache_hits += 1;
+                } else {
+                    report.cache_misses += 1;
+                }
+                report.busy_cycles += 1;
+                report.cycles = report.cycles.max(ctx.ready);
+            }
+        }
+
+        // Advance the context's program counter.
+        ctx.step_pos += 1;
+        if ctx.step_pos >= workload.tasks[task_idx].steps.len() {
+            ctx.step_pos = 0;
+            ctx.task_pos += 1;
+            if ctx.task_pos >= ctx.tasks.len() {
+                ctx.done = true;
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Speedup of `cfg` over the sequential baseline on the same workload.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`run`].
+pub fn speedup_vs_baseline(workload: &Workload, cfg: &SpartaConfig) -> Result<f64> {
+    let base = run(workload, &SpartaConfig::sequential_baseline(cfg.mem_latency))?;
+    let opt = run(workload, cfg)?;
+    Ok(base.cycles as f64 / opt.cycles.max(1) as f64)
+}
+
+// Address-space layout for graph workloads (word addresses, 8-byte words).
+const ROW_PTR_BASE: u64 = 0;
+const COL_IDX_BASE: u64 = 1 << 24;
+const WEIGHT_BASE: u64 = 2 << 24;
+const VEC_X_BASE: u64 = 3 << 24;
+const VEC_Y_BASE: u64 = 4 << 24;
+
+/// Builds the SpMV memory trace over a CSR graph: per-vertex tasks that read
+/// the row extent, stream the column/weight arrays, gather `x[col]`
+/// irregularly, and write `y[u]`.
+pub fn spmv_workload(graph: &CsrGraph) -> Workload {
+    let row_ptr = graph.row_ptr();
+    let tasks = (0..graph.num_nodes())
+        .map(|u| {
+            let mut steps = vec![
+                Step::Load(ROW_PTR_BASE + u as u64),
+                Step::Load(ROW_PTR_BASE + u as u64 + 1),
+            ];
+            for e in row_ptr[u]..row_ptr[u + 1] {
+                let col = graph.col_idx()[e] as u64;
+                steps.push(Step::Load(COL_IDX_BASE + e as u64));
+                steps.push(Step::Load(WEIGHT_BASE + e as u64));
+                steps.push(Step::Load(VEC_X_BASE + col)); // irregular gather
+                steps.push(Step::Compute(2)); // multiply-accumulate
+            }
+            steps.push(Step::Store(VEC_Y_BASE + u as u64));
+            Task { steps }
+        })
+        .collect();
+    Workload { tasks }
+}
+
+/// Builds a BFS frontier-expansion trace: for every vertex, check its level
+/// and scan neighbours, touching the level array irregularly.
+pub fn bfs_workload(graph: &CsrGraph) -> Workload {
+    let row_ptr = graph.row_ptr();
+    let tasks = (0..graph.num_nodes())
+        .map(|u| {
+            let mut steps = vec![
+                Step::Load(VEC_X_BASE + u as u64), // level[u]
+                Step::Compute(1),                  // frontier membership test
+                Step::Load(ROW_PTR_BASE + u as u64),
+                Step::Load(ROW_PTR_BASE + u as u64 + 1),
+            ];
+            for e in row_ptr[u]..row_ptr[u + 1] {
+                let v = graph.col_idx()[e] as u64;
+                steps.push(Step::Load(COL_IDX_BASE + e as u64));
+                steps.push(Step::Load(VEC_X_BASE + v)); // level[v] — irregular
+                steps.push(Step::Compute(1));
+                steps.push(Step::Store(VEC_X_BASE + v)); // conditional update
+            }
+            Task { steps }
+        })
+        .collect();
+    Workload { tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_core::workload::graph::{gnm_random, rmat};
+
+    fn one_task(steps: Vec<Step>) -> Workload {
+        Workload {
+            tasks: vec![Task { steps }],
+        }
+    }
+
+    fn basic_cfg() -> SpartaConfig {
+        SpartaConfig {
+            accelerators: 1,
+            contexts_per_accel: 1,
+            mem_channels: 1,
+            mem_latency: 100,
+            noc_hop_latency: 2,
+            context_switch_penalty: 1,
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn pure_compute_cycle_count() {
+        let r = run(&one_task(vec![Step::Compute(10)]), &basic_cfg()).expect("valid");
+        assert_eq!(r.cycles, 10);
+        assert_eq!(r.busy_cycles, 10);
+        assert_eq!(r.mem_ops, 0);
+    }
+
+    #[test]
+    fn single_load_latency_hand_computed() {
+        // issue(1) + noc(2) + mem(100) + noc(2) = 105
+        let r = run(&one_task(vec![Step::Load(0)]), &basic_cfg()).expect("valid");
+        assert_eq!(r.cycles, 105);
+        assert_eq!(r.mem_ops, 1);
+        assert_eq!(r.cache_misses, 1);
+    }
+
+    #[test]
+    fn contexts_hide_memory_latency() {
+        // 8 tasks, each: load then compute. One context serialises the loads'
+        // latency; 8 contexts overlap them.
+        let task = || Task {
+            steps: vec![Step::Load(0), Step::Compute(5)],
+        };
+        let wl = Workload {
+            tasks: (0..8).map(|_| task()).collect(),
+        };
+        let seq = run(&wl, &basic_cfg()).expect("valid");
+        let mut cfg = basic_cfg();
+        cfg.contexts_per_accel = 8;
+        let par = run(&wl, &cfg).expect("valid");
+        assert!(
+            (par.cycles as f64) < 0.4 * seq.cycles as f64,
+            "contexts should hide latency: {} vs {}",
+            par.cycles,
+            seq.cycles
+        );
+    }
+
+    #[test]
+    fn spatial_parallelism_scales() {
+        let wl = Workload {
+            tasks: (0..32)
+                .map(|_| Task {
+                    steps: vec![Step::Compute(100)],
+                })
+                .collect(),
+        };
+        let one = run(&wl, &basic_cfg()).expect("valid");
+        let mut cfg = basic_cfg();
+        cfg.accelerators = 4;
+        let four = run(&wl, &cfg).expect("valid");
+        assert_eq!(one.cycles, 3200);
+        assert_eq!(four.cycles, 800);
+    }
+
+    #[test]
+    fn channel_contention_limits_throughput() {
+        // Many parallel loads through 1 channel vs 4 channels.
+        let wl = Workload {
+            tasks: (0..64)
+                .map(|i| Task {
+                    steps: vec![Step::Load(i * 8), Step::Load(i * 8 + 4096)],
+                })
+                .collect(),
+        };
+        let mut narrow = basic_cfg();
+        narrow.accelerators = 8;
+        narrow.contexts_per_accel = 8;
+        let mut wide = narrow;
+        wide.mem_channels = 4;
+        let n = run(&wl, &narrow).expect("valid");
+        let w = run(&wl, &wide).expect("valid");
+        assert!(w.cycles <= n.cycles);
+    }
+
+    #[test]
+    fn cache_captures_reuse() {
+        // The same address loaded repeatedly: first miss, then hits.
+        let wl = one_task(vec![Step::Load(64); 10]);
+        let mut cfg = basic_cfg();
+        cfg.cache = Some(CacheConfig::small());
+        let r = run(&wl, &cfg).expect("valid");
+        assert_eq!(r.cache_misses, 1);
+        assert_eq!(r.cache_hits, 9);
+        assert!(r.hit_rate() > 0.85);
+        let uncached = run(&wl, &basic_cfg()).expect("valid");
+        assert!(r.cycles < uncached.cycles);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let g = gnm_random(64, 256, 11);
+        let wl = spmv_workload(&g);
+        let mut cfg = basic_cfg();
+        cfg.accelerators = 2;
+        cfg.contexts_per_accel = 4;
+        let r = run(&wl, &cfg).expect("valid");
+        let u = r.utilization(&cfg);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn spmv_workload_counts_match_graph() {
+        let g = gnm_random(32, 128, 5);
+        let wl = spmv_workload(&g);
+        assert_eq!(wl.tasks.len(), 32);
+        // 2 row_ptr + 3 per edge + 1 store
+        assert_eq!(wl.total_mem_ops(), 2 * 32 + 3 * 128 + 32);
+        assert_eq!(wl.total_compute(), 2 * 128);
+    }
+
+    #[test]
+    fn sparta_beats_sequential_on_irregular_graphs() {
+        // The headline §III claim: multithreaded accelerators win on
+        // irregular workloads by hiding memory latency.
+        let g = rmat(8, 8, 3);
+        let wl = spmv_workload(&g);
+        let cfg = SpartaConfig {
+            accelerators: 4,
+            contexts_per_accel: 8,
+            mem_channels: 4,
+            mem_latency: 100,
+            noc_hop_latency: 2,
+            context_switch_penalty: 1,
+            cache: Some(CacheConfig::small()),
+        };
+        let s = speedup_vs_baseline(&wl, &cfg).expect("valid");
+        assert!(s > 4.0, "expected >4x speedup, got {s:.2}");
+    }
+
+    #[test]
+    fn more_contexts_never_hurt_much() {
+        let g = gnm_random(128, 512, 7);
+        let wl = bfs_workload(&g);
+        let mut prev: Option<u64> = None;
+        for ctxs in [1, 2, 4, 8] {
+            let mut cfg = basic_cfg();
+            cfg.contexts_per_accel = ctxs;
+            let r = run(&wl, &cfg).expect("valid");
+            if let Some(p) = prev {
+                assert!(
+                    r.cycles <= p + p / 10,
+                    "{ctxs} contexts regressed: {} vs {p}",
+                    r.cycles
+                );
+            }
+            prev = Some(r.cycles);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = basic_cfg();
+        cfg.accelerators = 0;
+        assert!(run(&Workload::default(), &cfg).is_err());
+        let mut cfg2 = basic_cfg();
+        cfg2.mem_latency = 0;
+        assert!(run(&Workload::default(), &cfg2).is_err());
+        let mut cfg3 = basic_cfg();
+        cfg3.cache = Some(CacheConfig {
+            lines: 0,
+            line_words: 8,
+            hit_latency: 2,
+        });
+        assert!(run(&Workload::default(), &cfg3).is_err());
+    }
+
+    #[test]
+    fn empty_workload_is_zero_cycles() {
+        let r = run(&Workload::default(), &basic_cfg()).expect("valid");
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.utilization(&basic_cfg()), 0.0);
+    }
+}

@@ -1,0 +1,610 @@
+//! Analog crossbar matrix-vector multiplication.
+//!
+//! §IV: MLC-capable NVM cells "enable efficient matrix-vector multiplication
+//! (MVM) when RRAM and PCM are arranged in crossbar array structures by
+//! leveraging physical laws such as Ohm's law for voltage-conductance
+//! multiplication and Kirchhoff's current law (KCL) for summation of memory
+//! currents in the same bitline/wordline."
+//!
+//! A [`Crossbar`] stores a real-valued weight matrix as *differential
+//! conductance pairs* (G⁺, G⁻), drives word lines with analog voltages, sums
+//! bit-line currents, and digitises the result through a configurable
+//! [`Adc`]. Device non-idealities (programming error, read noise, drift) and
+//! per-operation energy are tracked throughout, so circuit-level choices —
+//! ADC precision, analog accumulation — are measurable, reproducing the
+//! trade-off analysis of the paper.
+
+use crate::device::DeviceModel;
+use crate::error::ImcError;
+use crate::program::{program_array, ArrayProgramStats, Programmer};
+use crate::Result;
+use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Word-line read voltage (V).
+pub const READ_VOLTAGE: f64 = 0.2;
+
+/// A successive-approximation ADC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub bits: u32,
+}
+
+impl Adc {
+    /// Creates an ADC of the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or above 16.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "ADC resolution must be 1..=16 bits");
+        Self { bits }
+    }
+
+    /// Quantises a bipolar value to `bits` over ±`full_scale`.
+    pub fn quantize(&self, value: f64, full_scale: f64) -> f64 {
+        let levels = (1u64 << self.bits) as f64;
+        let lsb = 2.0 * full_scale / levels;
+        let clamped = value.clamp(-full_scale, full_scale);
+        (clamped / lsb).round() * lsb
+    }
+}
+
+/// A programmed crossbar holding one weight matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    device: DeviceModel,
+    g_pos: Matrix,
+    g_neg: Matrix,
+    weight_scale: f64,
+    current_time: f64,
+    program_stats: ArrayProgramStats,
+}
+
+impl Crossbar {
+    /// Programs `weights` (rows = inputs, cols = outputs) onto a crossbar of
+    /// `device` cells using `programmer`.
+    ///
+    /// Each weight maps to a differential pair: the signed magnitude goes on
+    /// the matching polarity's cell, the opposite cell rests at `g_min`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] if `weights` is all zeros (the
+    /// weight scale would be degenerate).
+    pub fn program<P: Programmer>(
+        device: DeviceModel,
+        weights: &Matrix,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let w_max = weights.max_abs();
+        if w_max == 0.0 {
+            return Err(ImcError::InvalidConfig(
+                "weight matrix is all zeros".to_string(),
+            ));
+        }
+        Self::program_with_scale(device, weights, w_max, programmer, rng)
+    }
+
+    /// Like [`Crossbar::program`], but normalises against an externally
+    /// supplied `weight_scale` instead of the matrix's own maximum.
+    ///
+    /// Tiled layers programmed with one *shared* scale produce column
+    /// currents in a common unit, which is what makes cross-tile **analog
+    /// accumulation** (summing currents before the ADC) numerically valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] if `weight_scale` is not positive
+    /// or any `|weight| > weight_scale`.
+    pub fn program_with_scale<P: Programmer>(
+        device: DeviceModel,
+        weights: &Matrix,
+        weight_scale: f64,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if weight_scale <= 0.0 {
+            return Err(ImcError::InvalidConfig(
+                "weight scale must be positive".to_string(),
+            ));
+        }
+        if weights.max_abs() > weight_scale * (1.0 + 1e-12) {
+            return Err(ImcError::InvalidConfig(format!(
+                "weight magnitude {} exceeds scale {weight_scale}",
+                weights.max_abs()
+            )));
+        }
+        let w_max = weight_scale;
+        let (rows, cols) = (weights.rows(), weights.cols());
+        let mut pos_targets = Vec::with_capacity(rows * cols);
+        let mut neg_targets = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let w = weights[(r, c)] / w_max; // normalised to [-1, 1]
+                pos_targets.push(w.max(0.0));
+                neg_targets.push((-w).max(0.0));
+            }
+        }
+        let (gp, sp) = program_array(programmer, &device, &pos_targets, rng);
+        let (gn, sn) = program_array(programmer, &device, &neg_targets, rng);
+        let g_pos = Matrix::from_vec(rows, cols, gp).expect("length matches geometry");
+        let g_neg = Matrix::from_vec(rows, cols, gn).expect("length matches geometry");
+        Ok(Self {
+            device,
+            g_pos,
+            g_neg,
+            weight_scale: w_max,
+            current_time: device.drift_t0,
+            program_stats: ArrayProgramStats {
+                total_pulses: sp.total_pulses + sn.total_pulses,
+                rms_error: ((sp.rms_error.powi(2) + sn.rms_error.powi(2)) / 2.0).sqrt(),
+                failures: sp.failures + sn.failures,
+            },
+        })
+    }
+
+    /// Array geometry `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.g_pos.rows(), self.g_pos.cols())
+    }
+
+    /// Statistics of the programming pass.
+    pub fn program_stats(&self) -> ArrayProgramStats {
+        self.program_stats
+    }
+
+    /// Device model of the cells.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Advances conductance drift to absolute time `t` (s since programming
+    /// reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` is earlier than the current time.
+    pub fn drift_to(&mut self, t: f64) {
+        debug_assert!(t >= self.current_time, "cannot drift backwards");
+        let ratio = (t / self.current_time).powf(-self.device.drift_nu);
+        self.g_pos.map_inplace(|g| g * ratio);
+        self.g_neg.map_inplace(|g| g * ratio);
+        self.current_time = t;
+    }
+
+    /// Drift-compensation gain the digital periphery should apply at the
+    /// current time ("accurate digital compensation of inaccuracies, such as
+    /// drift", §IV).
+    pub fn drift_compensation_gain(&self) -> f64 {
+        (self.current_time / self.device.drift_t0).powf(self.device.drift_nu)
+    }
+
+    /// ADC full-scale current for this array (µA): the expected worst-case
+    /// differential bit-line current at ~25% column activity.
+    pub fn adc_full_scale(&self) -> f64 {
+        0.25 * self.g_pos.rows() as f64 * READ_VOLTAGE * self.device.window()
+    }
+
+    /// Analog MVM `y = Wᵀ-style weights · x` with device read noise and ADC
+    /// quantisation. Inputs are normalised to `[-1, 1]` against `x_max`.
+    ///
+    /// `ledger` accrues the energy events of the operation: one DAC drive per
+    /// row, one analog MAC per cell, one ADC conversion per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    pub fn mvm(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        adc: &Adc,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        self.mvm_inner(x, x_max, Some(adc), true, rng, ledger)
+    }
+
+    /// Ideal MVM: no read noise, no ADC — the numerical reference used to
+    /// isolate individual non-idealities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    pub fn mvm_ideal(&self, x: &[f64], x_max: f64) -> Result<Vec<f64>> {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        let mut ledger = EnergyLedger::new();
+        self.mvm_inner(x, x_max, None, false, &mut rng, &mut ledger)
+    }
+
+    /// Bit-serial MVM: inputs are quantised to `input_bits` and driven one
+    /// bit-plane at a time with *binary* word-line drivers (no DACs), the
+    /// per-plane column currents are digitised and recombined by digital
+    /// shift-add.
+    ///
+    /// This is the alternative to the analog-input drive of [`Crossbar::mvm`]
+    /// that §IV weighs: analog inputs maximise parallelism (one pass, but a
+    /// DAC per row); bit-serial trades `input_bits×` more ADC passes for
+    /// DAC-free, variation-immune input delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows, or
+    /// [`ImcError::InvalidConfig`] if `input_bits` is 0 or above 12.
+    pub fn mvm_bit_serial(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        input_bits: u32,
+        adc: &Adc,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        let (rows, cols) = self.dims();
+        if x.len() != rows {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (rows, cols),
+                needed: (x.len(), cols),
+            });
+        }
+        if !(1..=12).contains(&input_bits) {
+            return Err(ImcError::InvalidConfig(format!(
+                "input_bits {input_bits} out of range 1..=12"
+            )));
+        }
+        // Signed-magnitude input quantisation.
+        let qmax = ((1u32 << input_bits) - 1) as f64;
+        let quantised: Vec<(f64, u32)> = x
+            .iter()
+            .map(|&v| {
+                let norm = (v / x_max).clamp(-1.0, 1.0);
+                (norm.signum(), (norm.abs() * qmax).round() as u32)
+            })
+            .collect();
+        let fs = self.adc_full_scale();
+        let mut y = vec![0.0; cols];
+        for bit in 0..input_bits {
+            // Binary drivers: ±READ_VOLTAGE or 0 — no DAC conversion events.
+            ledger.record(OpKind::AnalogCrossbarMac, (rows * cols * 2) as u64);
+            let mut currents = vec![0.0; cols];
+            for (r, &(sign, mag)) in quantised.iter().enumerate() {
+                if (mag >> bit) & 1 == 0 {
+                    continue;
+                }
+                let v = sign * READ_VOLTAGE;
+                for c in 0..cols {
+                    let gp = self.device.read(self.g_pos[(r, c)], rng);
+                    let gn = self.device.read(self.g_neg[(r, c)], rng);
+                    currents[c] += v * (gp - gn);
+                }
+            }
+            let plane_weight = (1u32 << bit) as f64 / qmax;
+            for (c, i) in currents.into_iter().enumerate() {
+                ledger.record(OpKind::AdcConversion, 1);
+                ledger.record(OpKind::AluInt32, 1); // shift-add recombine
+                let q = adc.quantize(i, fs);
+                y[c] += self.current_to_output(q, x_max) * plane_weight;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Raw analog column currents (µA) without digitisation — used by the
+    /// tile architecture for *analog accumulation* across arrays, which is
+    /// how the paper minimises A/D conversions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    pub fn column_currents(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        let (rows, cols) = self.dims();
+        if x.len() != rows {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (rows, cols),
+                needed: (x.len(), cols),
+            });
+        }
+        ledger.record(OpKind::DacConversion, rows as u64);
+        ledger.record(OpKind::AnalogCrossbarMac, (rows * cols * 2) as u64);
+        let mut currents = vec![0.0; cols];
+        for r in 0..rows {
+            let v = (x[r] / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
+            for c in 0..cols {
+                let gp = self.device.read(self.g_pos[(r, c)], rng);
+                let gn = self.device.read(self.g_neg[(r, c)], rng);
+                currents[c] += v * (gp - gn);
+            }
+        }
+        Ok(currents)
+    }
+
+    /// Converts a differential column current (µA) back to weight-domain
+    /// output units.
+    pub fn current_to_output(&self, current: f64, x_max: f64) -> f64 {
+        current * x_max * self.weight_scale / (READ_VOLTAGE * self.device.window())
+    }
+
+    fn mvm_inner(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        adc: Option<&Adc>,
+        noisy: bool,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        let (rows, cols) = self.dims();
+        if x.len() != rows {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (rows, cols),
+                needed: (x.len(), cols),
+            });
+        }
+        let mut currents = vec![0.0; cols];
+        for r in 0..rows {
+            let v = (x[r] / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
+            for c in 0..cols {
+                let (gp, gn) = if noisy {
+                    (
+                        self.device.read(self.g_pos[(r, c)], rng),
+                        self.device.read(self.g_neg[(r, c)], rng),
+                    )
+                } else {
+                    (self.g_pos[(r, c)], self.g_neg[(r, c)])
+                };
+                currents[c] += v * (gp - gn);
+            }
+        }
+        if noisy {
+            ledger.record(OpKind::DacConversion, rows as u64);
+            ledger.record(OpKind::AnalogCrossbarMac, (rows * cols * 2) as u64);
+        }
+        let fs = self.adc_full_scale();
+        Ok(currents
+            .into_iter()
+            .map(|i| {
+                let i = match adc {
+                    Some(a) => {
+                        ledger.record(OpKind::AdcConversion, 1);
+                        a.quantize(i, fs)
+                    }
+                    None => i,
+                };
+                self.current_to_output(i, x_max)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{OpenLoop, ProgramVerify};
+    use f2_core::rng::rng_for;
+
+    fn test_weights(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 7 + c * 13) % 19) as f64 / 9.5 - 1.0 // values in [-1, 0.9]
+        })
+    }
+
+    #[test]
+    fn ideal_mvm_matches_matmul() {
+        let w = test_weights(16, 8);
+        let mut rng = rng_for(1, "xbar");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid weights");
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 / 15.0) * 2.0 - 1.0).collect();
+        let y_ref = w.transposed().matvec(&x).expect("shape");
+        let y_xbar = xb.mvm_ideal(&x, 1.0).expect("shape");
+        for (a, b) in y_ref.iter().zip(&y_xbar) {
+            assert!(
+                (a - b).abs() < 0.05 * w.rows() as f64 * 0.1,
+                "ideal MVM error too large: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_mvm_close_to_ideal_with_pv() {
+        let w = test_weights(32, 8);
+        let mut rng = rng_for(2, "xbar2");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid weights");
+        let x = vec![0.5; 32];
+        let ideal = xb.mvm_ideal(&x, 1.0).expect("shape");
+        let mut ledger = EnergyLedger::new();
+        let noisy = xb
+            .mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)
+            .expect("shape");
+        let rms: f64 = (ideal
+            .iter()
+            .zip(&noisy)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            / 8.0)
+            .sqrt();
+        let signal: f64 = (ideal.iter().map(|v| v * v).sum::<f64>() / 8.0).sqrt();
+        assert!(rms < 0.2 * signal.max(0.5), "rms {rms} vs signal {signal}");
+    }
+
+    #[test]
+    fn open_loop_programming_degrades_mvm() {
+        let w = test_weights(32, 8);
+        let mut rng = rng_for(3, "xbar3");
+        let pv = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid");
+        let ol = Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        let x = vec![0.7; 32];
+        let y_ref = w.transposed().matvec(&x).expect("shape");
+        let err = |xb: &Crossbar| -> f64 {
+            let y = xb.mvm_ideal(&x, 1.0).expect("shape");
+            y.iter()
+                .zip(&y_ref)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(
+            err(&ol) > 2.0 * err(&pv),
+            "open loop {} should be much worse than P&V {}",
+            err(&ol),
+            err(&pv)
+        );
+    }
+
+    #[test]
+    fn mvm_energy_ledger_counts() {
+        let w = test_weights(16, 4);
+        let mut rng = rng_for(4, "xbar4");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        let mut ledger = EnergyLedger::new();
+        xb.mvm(&[0.1; 16], 1.0, &Adc::new(8), &mut rng, &mut ledger)
+            .expect("shape");
+        assert_eq!(ledger.count(OpKind::DacConversion), 16);
+        assert_eq!(ledger.count(OpKind::AnalogCrossbarMac), 16 * 4 * 2);
+        assert_eq!(ledger.count(OpKind::AdcConversion), 4);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let w = test_weights(8, 4);
+        let mut rng = rng_for(5, "xbar5");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        assert!(xb.mvm_ideal(&[1.0; 4], 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_rejected() {
+        let w = Matrix::zeros(4, 4);
+        let mut rng = rng_for(6, "xbar6");
+        assert!(Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).is_err());
+    }
+
+    #[test]
+    fn drift_shrinks_outputs_and_compensation_restores() {
+        let w = test_weights(16, 4);
+        let mut rng = rng_for(7, "xbar7");
+        let mut xb =
+            Crossbar::program(DeviceModel::pcm(), &w, &ProgramVerify::default(), &mut rng)
+                .expect("valid");
+        let x = vec![0.8; 16];
+        let before = xb.mvm_ideal(&x, 1.0).expect("shape");
+        xb.drift_to(1e6);
+        let after = xb.mvm_ideal(&x, 1.0).expect("shape");
+        let gain = xb.drift_compensation_gain();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a.abs() < b.abs() + 1e-9, "drift must not grow outputs");
+            // Compensation gain restores the pre-drift magnitude closely.
+            assert!((a * gain - b).abs() < 0.05 * b.abs().max(0.1));
+        }
+        assert!(gain > 1.5, "PCM at 1e6 s needs >1.5x compensation, got {gain}");
+    }
+
+    #[test]
+    fn adc_precision_controls_error() {
+        let w = test_weights(64, 8);
+        let mut rng = rng_for(8, "xbar8");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid");
+        let x: Vec<f64> = (0..64).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
+        let ideal = xb.mvm_ideal(&x, 1.0).expect("shape");
+        let err_for = |bits: u32| -> f64 {
+            let mut ledger = EnergyLedger::new();
+            let mut local_rng = rng_for(8, "xbar8-read");
+            let y = xb
+                .mvm(&x, 1.0, &Adc::new(bits), &mut local_rng, &mut ledger)
+                .expect("shape");
+            y.iter()
+                .zip(&ideal)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let coarse = err_for(3);
+        let fine = err_for(10);
+        assert!(fine < coarse, "10-bit ADC ({fine}) must beat 3-bit ({coarse})");
+    }
+
+    #[test]
+    fn adc_quantize_saturates() {
+        let adc = Adc::new(4);
+        assert_eq!(adc.quantize(100.0, 1.0), 1.0);
+        assert_eq!(adc.quantize(-100.0, 1.0), -1.0);
+        assert_eq!(adc.quantize(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC resolution")]
+    fn adc_rejects_zero_bits() {
+        Adc::new(0);
+    }
+
+    #[test]
+    fn bit_serial_matches_analog_input_mvm() {
+        let w = test_weights(32, 8);
+        let mut rng = rng_for(9, "xbar9");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid");
+        let x: Vec<f64> = (0..32).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
+        let ideal = xb.mvm_ideal(&x, 1.0).expect("shape");
+        let mut ledger = EnergyLedger::new();
+        let y = xb
+            .mvm_bit_serial(&x, 1.0, 8, &Adc::new(10), &mut rng, &mut ledger)
+            .expect("shape");
+        let rms: f64 = (ideal
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            / 8.0)
+            .sqrt();
+        let signal = (ideal.iter().map(|v| v * v).sum::<f64>() / 8.0).sqrt();
+        assert!(rms < 0.25 * signal.max(0.5), "rms {rms} vs signal {signal}");
+    }
+
+    #[test]
+    fn bit_serial_trades_dacs_for_adc_passes() {
+        let w = test_weights(16, 4);
+        let mut rng = rng_for(10, "xbar10");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        let x = vec![0.5; 16];
+        let mut analog = EnergyLedger::new();
+        xb.mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut analog)
+            .expect("shape");
+        let mut serial = EnergyLedger::new();
+        xb.mvm_bit_serial(&x, 1.0, 4, &Adc::new(8), &mut rng, &mut serial)
+            .expect("shape");
+        // Analog input: one DAC per row, one ADC pass.
+        assert_eq!(analog.count(OpKind::DacConversion), 16);
+        assert_eq!(analog.count(OpKind::AdcConversion), 4);
+        // Bit-serial: zero DACs, input_bits ADC passes.
+        assert_eq!(serial.count(OpKind::DacConversion), 0);
+        assert_eq!(serial.count(OpKind::AdcConversion), 4 * 4);
+    }
+
+    #[test]
+    fn bit_serial_rejects_bad_precision() {
+        let w = test_weights(8, 4);
+        let mut rng = rng_for(11, "xbar11");
+        let xb = Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        let mut ledger = EnergyLedger::new();
+        assert!(xb
+            .mvm_bit_serial(&[0.0; 8], 1.0, 0, &Adc::new(8), &mut rng, &mut ledger)
+            .is_err());
+        assert!(xb
+            .mvm_bit_serial(&[0.0; 8], 1.0, 13, &Adc::new(8), &mut rng, &mut ledger)
+            .is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Stochastic device models for RRAM and PCM computational memories.
+//!
+//! §IV: "both PCM and RRAM devices are characterized by non-ideal behavior in
+//! terms of variability, drift, and noise issues which severely limit the
+//! device performance." This module captures those three non-idealities with
+//! the standard compact models used in the IMC literature (Ielmini & Wong,
+//! Nature Electronics 2018; Lepri et al., IEEE JEDS 2023):
+//!
+//! * **Programming variability** — an open-loop pulse lands at the target
+//!   conductance plus Gaussian error proportional to the conductance window.
+//! * **Read noise** — every read adds zero-mean Gaussian noise (1/f + RTN
+//!   aggregate) proportional to the current conductance.
+//! * **Conductance drift** — PCM conductance decays as a power law
+//!   `g(t) = g(t₀) · (t/t₀)^(−ν)`; RRAM drifts far more weakly.
+//!
+//! Conductances are in microsiemens (µS); times in seconds.
+
+use crate::error::ImcError;
+use crate::Result;
+use f2_core::rng::sample_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Technology of a computational memory cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Resistive-switching RAM (1T1R HfO₂-class).
+    Rram,
+    /// Phase-change memory (GST mushroom-cell class).
+    Pcm,
+}
+
+/// Compact stochastic model of one memory technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Technology.
+    pub kind: DeviceKind,
+    /// Minimum programmable conductance (µS).
+    pub g_min: f64,
+    /// Maximum programmable conductance (µS).
+    pub g_max: f64,
+    /// Open-loop programming sigma, as a fraction of the conductance window.
+    pub program_sigma: f64,
+    /// Read-noise sigma as a fraction of the current conductance.
+    pub read_noise: f64,
+    /// Drift exponent ν of the power-law decay.
+    pub drift_nu: f64,
+    /// Reference time t₀ (s) at which programming is verified.
+    pub drift_t0: f64,
+}
+
+impl DeviceModel {
+    /// HfO₂ RRAM calibration (Milo et al., IEEE TED 2021 ranges).
+    pub fn rram() -> Self {
+        Self {
+            kind: DeviceKind::Rram,
+            g_min: 2.0,
+            g_max: 100.0,
+            program_sigma: 0.12,
+            read_noise: 0.01,
+            drift_nu: 0.005,
+            drift_t0: 1.0,
+        }
+    }
+
+    /// GST PCM calibration: stronger drift, slightly tighter programming.
+    pub fn pcm() -> Self {
+        Self {
+            kind: DeviceKind::Pcm,
+            g_min: 0.5,
+            g_max: 50.0,
+            program_sigma: 0.10,
+            read_noise: 0.015,
+            drift_nu: 0.05,
+            drift_t0: 1.0,
+        }
+    }
+
+    /// Conductance window width (µS).
+    pub fn window(&self) -> f64 {
+        self.g_max - self.g_min
+    }
+
+    /// Target conductance of MLC `level` out of `levels` equally spaced
+    /// states (level 0 = `g_min`, level `levels-1` = `g_max`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidDevice`] if `levels < 2` or
+    /// `level >= levels`.
+    pub fn level_conductance(&self, level: usize, levels: usize) -> Result<f64> {
+        if levels < 2 {
+            return Err(ImcError::InvalidDevice(format!(
+                "MLC needs at least 2 levels, got {levels}"
+            )));
+        }
+        if level >= levels {
+            return Err(ImcError::InvalidDevice(format!(
+                "level {level} out of range for {levels}-level cell"
+            )));
+        }
+        Ok(self.g_min + self.window() * level as f64 / (levels - 1) as f64)
+    }
+
+    /// Maps a normalised weight magnitude `w ∈ [0, 1]` to a conductance
+    /// target inside the window (the analog-MLC mapping of §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w` is outside `[0, 1]`.
+    pub fn weight_to_conductance(&self, w: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&w), "weight {w} not normalised");
+        self.g_min + self.window() * w
+    }
+
+    /// Inverse of [`DeviceModel::weight_to_conductance`].
+    pub fn conductance_to_weight(&self, g: f64) -> f64 {
+        ((g - self.g_min) / self.window()).clamp(0.0, 1.0)
+    }
+
+    /// One open-loop programming pulse aimed at `target` (µS): returns the
+    /// conductance actually reached, clamped to the device window.
+    pub fn program_open_loop(&self, target: f64, rng: &mut impl Rng) -> f64 {
+        let g = sample_normal(rng, target, self.program_sigma * self.window());
+        g.clamp(self.g_min, self.g_max)
+    }
+
+    /// A corrective pulse from conductance `from` toward `target`: moves a
+    /// fraction of the gap with pulse-to-pulse noise. Used by
+    /// program-and-verify.
+    pub fn program_step(&self, from: f64, target: f64, rng: &mut impl Rng) -> f64 {
+        let gap = target - from;
+        // Each trim pulse closes ~60% of the gap, with noise proportional to
+        // the step size plus a small absolute floor.
+        let noise_scale = 0.2 * gap.abs() + 0.005 * self.window();
+        let g = from + 0.6 * gap + sample_normal(rng, 0.0, noise_scale);
+        g.clamp(self.g_min, self.g_max)
+    }
+
+    /// Conductance after drifting from the verify time `t0` to time `t` (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t < drift_t0`.
+    pub fn drift(&self, g: f64, t: f64) -> f64 {
+        debug_assert!(t >= self.drift_t0, "drift time before reference");
+        g * (t / self.drift_t0).powf(-self.drift_nu)
+    }
+
+    /// One noisy read of a cell at conductance `g`.
+    pub fn read(&self, g: f64, rng: &mut impl Rng) -> f64 {
+        (g + sample_normal(rng, 0.0, self.read_noise * g)).max(0.0)
+    }
+
+    /// Cell area in F² (1T1R NVM vs 6T SRAM — the §IV density argument).
+    pub fn cell_area_f2(&self) -> f64 {
+        25.0
+    }
+}
+
+/// Area of a 6T SRAM bit-cell in F², for density comparisons against NVM.
+pub const SRAM_CELL_AREA_F2: f64 = 150.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_core::rng::rng_for;
+
+    #[test]
+    fn mlc_levels_span_window() {
+        let d = DeviceModel::rram();
+        assert_eq!(d.level_conductance(0, 4).expect("valid"), d.g_min);
+        assert_eq!(d.level_conductance(3, 4).expect("valid"), d.g_max);
+        let mid = d.level_conductance(1, 3).expect("valid");
+        assert!((mid - (d.g_min + d.g_max) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlc_rejects_bad_levels() {
+        let d = DeviceModel::rram();
+        assert!(d.level_conductance(0, 1).is_err());
+        assert!(d.level_conductance(4, 4).is_err());
+    }
+
+    #[test]
+    fn weight_mapping_round_trip() {
+        let d = DeviceModel::pcm();
+        for w in [0.0, 0.25, 0.5, 1.0] {
+            let g = d.weight_to_conductance(w);
+            assert!((d.conductance_to_weight(g) - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn open_loop_has_expected_spread() {
+        let d = DeviceModel::rram();
+        let mut rng = rng_for(3, "openloop");
+        let target = 50.0;
+        let n = 5000;
+        let shots: Vec<f64> = (0..n).map(|_| d.program_open_loop(target, &mut rng)).collect();
+        let mean = shots.iter().sum::<f64>() / n as f64;
+        let sd = (shots.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((mean - target).abs() < 0.5, "mean {mean}");
+        let expect_sd = d.program_sigma * d.window();
+        assert!((sd - expect_sd).abs() / expect_sd < 0.1, "sd {sd} vs {expect_sd}");
+    }
+
+    #[test]
+    fn program_step_converges_toward_target() {
+        let d = DeviceModel::rram();
+        let mut rng = rng_for(4, "step");
+        let mut g = d.g_min;
+        let target = 80.0;
+        for _ in 0..20 {
+            g = d.program_step(g, target, &mut rng);
+        }
+        assert!((g - target).abs() < 0.1 * d.window(), "g={g}");
+    }
+
+    #[test]
+    fn pcm_drifts_more_than_rram() {
+        let pcm = DeviceModel::pcm();
+        let rram = DeviceModel::rram();
+        let g0 = 30.0;
+        let t = 1e4;
+        let pcm_loss = 1.0 - pcm.drift(g0, t) / g0;
+        let rram_loss = 1.0 - rram.drift(g0, t) / g0;
+        assert!(pcm_loss > 5.0 * rram_loss, "pcm {pcm_loss} rram {rram_loss}");
+        assert!(pcm_loss > 0.3, "PCM should lose >30% over 4 decades");
+    }
+
+    #[test]
+    fn drift_is_identity_at_reference_time() {
+        let d = DeviceModel::pcm();
+        assert!((d.drift(10.0, d.drift_t0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_noise_is_proportional() {
+        let d = DeviceModel::rram();
+        let mut rng = rng_for(5, "read");
+        let n = 5000;
+        let g = 50.0;
+        let reads: Vec<f64> = (0..n).map(|_| d.read(g, &mut rng)).collect();
+        let mean = reads.iter().sum::<f64>() / n as f64;
+        assert!((mean - g).abs() < 0.1);
+        let sd = (reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((sd - d.read_noise * g).abs() < 0.1);
+    }
+
+    #[test]
+    fn nvm_denser_than_sram() {
+        assert!(DeviceModel::rram().cell_area_f2() * 4.0 < SRAM_CELL_AREA_F2);
+    }
+
+    #[test]
+    fn clamping_at_window_edges() {
+        let d = DeviceModel::rram();
+        let mut rng = rng_for(6, "clamp");
+        for _ in 0..100 {
+            let g = d.program_open_loop(d.g_max, &mut rng);
+            assert!(g >= d.g_min && g <= d.g_max);
+        }
+    }
+}

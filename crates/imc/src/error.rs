@@ -1,0 +1,57 @@
+//! Error type for the IMC crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by IMC modelling operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImcError {
+    /// A device parameter or MLC level request was invalid.
+    InvalidDevice(String),
+    /// Matrix and crossbar geometry are incompatible.
+    GeometryMismatch {
+        /// What the crossbar provides (rows, cols).
+        crossbar: (usize, usize),
+        /// What the operation needs (rows, cols).
+        needed: (usize, usize),
+    },
+    /// Architecture/mapping configuration error.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::InvalidDevice(msg) => write!(f, "invalid device model: {msg}"),
+            ImcError::GeometryMismatch { crossbar, needed } => write!(
+                f,
+                "geometry mismatch: crossbar is {}x{}, operation needs {}x{}",
+                crossbar.0, crossbar.1, needed.0, needed.1
+            ),
+            ImcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ImcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ImcError::GeometryMismatch {
+            crossbar: (128, 128),
+            needed: (256, 64),
+        };
+        assert!(e.to_string().contains("128x128"));
+        assert!(ImcError::InvalidDevice("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ImcError>();
+    }
+}

@@ -1,0 +1,469 @@
+//! End-to-end DNN accuracy evaluation under IMC non-idealities.
+//!
+//! The §IV claims are ultimately about *network accuracy*: imprecise weight
+//! mapping "and consequent degradation of the DNN accuracy" is what
+//! program-and-verify and drift compensation exist to prevent. This module
+//! provides the full loop: a synthetic classification dataset, an MLP trained
+//! in full precision (plain SGD back-propagation, implemented here), and
+//! deployment of the trained weights onto an [`ImcAccelerator`] for
+//! inference-accuracy measurement under configurable non-idealities.
+//!
+//! The dataset is synthetic (Gaussian class clusters) because no external
+//! datasets are available offline; accuracy *deltas* between programming
+//! schemes and drift conditions — the quantities the paper reasons about —
+//! are preserved by construction.
+
+use crate::device::DeviceModel;
+use crate::program::Programmer;
+use crate::tile::{ImcAccelerator, TileConfig};
+use crate::Result;
+use f2_core::energy::EnergyLedger;
+use f2_core::rng::{rng_for, sample_normal};
+use f2_core::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature vectors.
+    pub features: Vec<Vec<f64>>,
+    /// Class labels in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Generates a `classes`-way Gaussian-cluster dataset in `dim` dimensions
+/// with `per_class` samples per class and intra-cluster noise `sigma`.
+pub fn make_dataset(classes: usize, dim: usize, per_class: usize, sigma: f64, seed: u64) -> Dataset {
+    let mut rng = rng_for(seed, "dataset");
+    // Well-separated unit-norm centres.
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let v: Vec<f64> = (0..dim).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect();
+            let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.into_iter().map(|x| x / n).collect()
+        })
+        .collect();
+    let mut features = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    for (c, center) in centers.iter().enumerate() {
+        for _ in 0..per_class {
+            features.push(
+                center
+                    .iter()
+                    .map(|&m| m + sample_normal(&mut rng, 0.0, sigma))
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    Dataset {
+        features,
+        labels,
+        classes,
+    }
+}
+
+/// Generates a train/test pair drawn from the *same* class centres (the
+/// centres are derived from `seed`; the two sample sets use independent
+/// noise streams).
+pub fn make_train_test(
+    classes: usize,
+    dim: usize,
+    train_per_class: usize,
+    test_per_class: usize,
+    sigma: f64,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    let mut center_rng = rng_for(seed, "dataset-centers");
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let v: Vec<f64> = (0..dim)
+                .map(|_| sample_normal(&mut center_rng, 0.0, 1.0))
+                .collect();
+            let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.into_iter().map(|x| x / n).collect()
+        })
+        .collect();
+    let sample = |per_class: usize, label: &str| -> Dataset {
+        let mut rng = rng_for(seed, label);
+        let mut features = Vec::with_capacity(classes * per_class);
+        let mut labels = Vec::with_capacity(classes * per_class);
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                features.push(
+                    center
+                        .iter()
+                        .map(|&m| m + sample_normal(&mut rng, 0.0, sigma))
+                        .collect(),
+                );
+                labels.push(c);
+            }
+        }
+        Dataset {
+            features,
+            labels,
+            classes,
+        }
+    };
+    (
+        sample(train_per_class, "dataset-train"),
+        sample(test_per_class, "dataset-test"),
+    )
+}
+
+/// A two-layer MLP (`dim → hidden → classes`) with ReLU, trained in `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// First-layer weights (`dim × hidden`).
+    pub w1: Matrix,
+    /// First-layer bias.
+    pub b1: Vec<f64>,
+    /// Second-layer weights (`hidden × classes`).
+    pub w2: Matrix,
+    /// Second-layer bias.
+    pub b2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Full-precision forward pass returning class logits.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = self.w1.transposed().matvec(x).expect("dims fixed at training");
+        for (v, b) in h.iter_mut().zip(&self.b1) {
+            *v = (*v + b).max(0.0);
+        }
+        let mut o = self.w2.transposed().matvec(&h).expect("dims fixed at training");
+        for (v, b) in o.iter_mut().zip(&self.b2) {
+            *v += b;
+        }
+        o
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| argmax(&self.logits(x)) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// The layer list in the format the IMC mapper consumes.
+    pub fn as_layers(&self) -> Vec<(Matrix, Vec<f64>)> {
+        vec![
+            (self.w1.clone(), self.b1.clone()),
+            (self.w2.clone(), self.b2.clone()),
+        ]
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Trains a `dim → hidden → classes` MLP with plain SGD + softmax
+/// cross-entropy for `epochs` passes over `data`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or features have inconsistent length.
+pub fn train_mlp(data: &Dataset, hidden: usize, epochs: usize, lr: f64, seed: u64) -> Mlp {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let dim = data.features[0].len();
+    assert!(
+        data.features.iter().all(|f| f.len() == dim),
+        "inconsistent feature dimensions"
+    );
+    let mut rng = rng_for(seed, "mlp-init");
+    let scale1 = (2.0 / dim as f64).sqrt();
+    let scale2 = (2.0 / hidden as f64).sqrt();
+    let mut w1 = Matrix::from_fn(dim, hidden, |_, _| sample_normal(&mut rng, 0.0, scale1));
+    let mut b1 = vec![0.0; hidden];
+    let mut w2 = Matrix::from_fn(hidden, data.classes, |_, _| {
+        sample_normal(&mut rng, 0.0, scale2)
+    });
+    let mut b2 = vec![0.0; data.classes];
+
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _ in 0..epochs {
+        // Fisher-Yates with the deterministic stream.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let x = &data.features[idx];
+            let y = data.labels[idx];
+            // Forward.
+            let mut h_pre = w1.transposed().matvec(x).expect("shape");
+            for (v, b) in h_pre.iter_mut().zip(&b1) {
+                *v += b;
+            }
+            let h: Vec<f64> = h_pre.iter().map(|&v| v.max(0.0)).collect();
+            let mut o = w2.transposed().matvec(&h).expect("shape");
+            for (v, b) in o.iter_mut().zip(&b2) {
+                *v += b;
+            }
+            // Softmax + CE gradient.
+            let max = o.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = o.iter().map(|v| (v - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            let mut dout: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+            dout[y] -= 1.0;
+            // Backprop to layer 2.
+            let mut dh = vec![0.0; h.len()];
+            for j in 0..h.len() {
+                for k in 0..data.classes {
+                    dh[j] += w2[(j, k)] * dout[k];
+                    w2[(j, k)] -= lr * h[j] * dout[k];
+                }
+            }
+            for (b, d) in b2.iter_mut().zip(&dout) {
+                *b -= lr * d;
+            }
+            // Through ReLU to layer 1.
+            for j in 0..dh.len() {
+                if h_pre[j] <= 0.0 {
+                    dh[j] = 0.0;
+                }
+            }
+            for i in 0..dim {
+                for j in 0..h.len() {
+                    w1[(i, j)] -= lr * x[i] * dh[j];
+                }
+            }
+            for (b, d) in b1.iter_mut().zip(&dh) {
+                *b -= lr * d;
+            }
+        }
+    }
+    Mlp { w1, b1, w2, b2 }
+}
+
+/// Non-ideality scenario for an IMC deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentScenario {
+    /// Device technology.
+    pub device: DeviceModel,
+    /// Time (s) since programming at which inference runs.
+    pub inference_time: f64,
+    /// Architecture configuration.
+    pub tile: TileConfig,
+}
+
+/// Deploys a trained MLP onto the tiled IMC architecture and measures its
+/// inference accuracy on `data` under `scenario`.
+///
+/// # Errors
+///
+/// Propagates mapping/geometry errors from the architecture.
+pub fn imc_accuracy<P: Programmer>(
+    mlp: &Mlp,
+    data: &Dataset,
+    scenario: &DeploymentScenario,
+    programmer: &P,
+    seed: u64,
+) -> Result<ImcEvaluation> {
+    let mut rng = rng_for(seed, "imc-deploy");
+    let mut acc = ImcAccelerator::map_network(
+        &mlp.as_layers(),
+        scenario.device,
+        scenario.tile,
+        programmer,
+        &mut rng,
+    )?;
+    if scenario.inference_time > scenario.device.drift_t0 {
+        acc.drift_to(scenario.inference_time);
+    }
+    let mut ledger = EnergyLedger::new();
+    let mut correct = 0usize;
+    for (x, &y) in data.features.iter().zip(&data.labels) {
+        let logits = acc.forward(x, &mut rng, &mut ledger)?;
+        if argmax(&logits) == y {
+            correct += 1;
+        }
+    }
+    Ok(ImcEvaluation {
+        accuracy: correct as f64 / data.len().max(1) as f64,
+        tiles: acc.tile_count(),
+        ledger,
+    })
+}
+
+/// Outcome of one IMC deployment evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImcEvaluation {
+    /// Classification accuracy on the evaluation set.
+    pub accuracy: f64,
+    /// Tiles used by the mapping.
+    pub tiles: usize,
+    /// Energy events of the full evaluation.
+    pub ledger: EnergyLedger,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{OpenLoop, ProgramVerify};
+
+    fn trained_setup() -> (Mlp, Dataset) {
+        let (train, test) = make_train_test(6, 12, 60, 25, 0.25, 7);
+        let mlp = train_mlp(&train, 20, 12, 0.05, 9);
+        (mlp, test)
+    }
+
+    fn tile_cfg() -> TileConfig {
+        TileConfig {
+            tile_rows: 16,
+            tile_cols: 16,
+            adc_bits: 9,
+            analog_accumulation: true,
+            drift_compensation: false,
+        }
+    }
+
+    #[test]
+    fn fp_training_reaches_high_accuracy() {
+        let (mlp, test) = trained_setup();
+        let acc = mlp.accuracy(&test);
+        assert!(acc > 0.9, "float accuracy {acc}");
+    }
+
+    #[test]
+    fn pv_deployment_close_to_float() {
+        let (mlp, test) = trained_setup();
+        let float_acc = mlp.accuracy(&test);
+        let scenario = DeploymentScenario {
+            device: DeviceModel::rram(),
+            inference_time: 1.0,
+            tile: tile_cfg(),
+        };
+        let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 1)
+            .expect("deployable");
+        assert!(
+            eval.accuracy > float_acc - 0.05,
+            "P&V IMC accuracy {} vs float {}",
+            eval.accuracy,
+            float_acc
+        );
+        assert!(eval.tiles >= 2);
+    }
+
+    #[test]
+    fn open_loop_is_worse_than_pv() {
+        let (mlp, test) = trained_setup();
+        let scenario = DeploymentScenario {
+            device: DeviceModel::rram(),
+            inference_time: 1.0,
+            tile: tile_cfg(),
+        };
+        let pv = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 2)
+            .expect("deployable");
+        let ol = imc_accuracy(&mlp, &test, &scenario, &OpenLoop, 2).expect("deployable");
+        // Near-ties can flip by sampling noise on this small task; P&V must
+        // at minimum stay within noise of open-loop and keep high accuracy.
+        assert!(
+            pv.accuracy >= ol.accuracy - 0.04,
+            "P&V {} must not lose to open-loop {} beyond noise",
+            pv.accuracy,
+            ol.accuracy
+        );
+        assert!(pv.accuracy > 0.85, "P&V accuracy collapsed: {}", pv.accuracy);
+    }
+
+    #[test]
+    fn pcm_drift_degrades_uncompensated_accuracy() {
+        let (mlp, test) = trained_setup();
+        let fresh = DeploymentScenario {
+            device: DeviceModel::pcm(),
+            inference_time: 1.0,
+            tile: tile_cfg(),
+        };
+        let aged = DeploymentScenario {
+            inference_time: 1e7,
+            ..fresh
+        };
+        let a0 = imc_accuracy(&mlp, &test, &fresh, &ProgramVerify::default(), 3)
+            .expect("deployable");
+        let a1 = imc_accuracy(&mlp, &test, &aged, &ProgramVerify::default(), 3)
+            .expect("deployable");
+        assert!(
+            a1.accuracy <= a0.accuracy + 0.02,
+            "drift should not improve accuracy: {} -> {}",
+            a0.accuracy,
+            a1.accuracy
+        );
+    }
+
+    #[test]
+    fn drift_compensation_recovers_accuracy() {
+        let (mlp, test) = trained_setup();
+        let mut cfg = tile_cfg();
+        let uncomp = DeploymentScenario {
+            device: DeviceModel::pcm(),
+            inference_time: 1e7,
+            tile: cfg,
+        };
+        cfg.drift_compensation = true;
+        let comp = DeploymentScenario {
+            device: DeviceModel::pcm(),
+            inference_time: 1e7,
+            tile: cfg,
+        };
+        let plain = imc_accuracy(&mlp, &test, &uncomp, &ProgramVerify::default(), 4)
+            .expect("deployable");
+        let with = imc_accuracy(&mlp, &test, &comp, &ProgramVerify::default(), 4)
+            .expect("deployable");
+        assert!(
+            with.accuracy >= plain.accuracy - 0.04,
+            "compensated {} must not lose to uncompensated {} beyond noise",
+            with.accuracy,
+            plain.accuracy
+        );
+        assert!(with.accuracy > 0.8, "compensated accuracy collapsed: {}", with.accuracy);
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let d = make_dataset(3, 8, 10, 0.2, 1);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.features[0].len(), 8);
+        assert!(d.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = make_dataset(3, 8, 5, 0.2, 42);
+        let b = make_dataset(3, 8, 5, 0.2, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Bit-sliced weight mapping across multiple cells.
+//!
+//! A single analog cell stores at best a handful of reliable levels (§IV's
+//! MLC discussion); DNN weights need 6–8 bits. The standard architectural
+//! answer is *bit slicing*: split each weight's magnitude into base-2ᵇ
+//! digits, store each digit in its own crossbar column group as a discrete
+//! MLC level, run the MVM per slice, and recombine the partial sums with a
+//! digital shift-add after the ADC. Coarse levels are far apart relative to
+//! programming noise, so sliced mappings tolerate device variability far
+//! better than one continuous-analog cell per weight — at the cost of
+//! `slices×` more cells and ADC passes.
+
+use crate::crossbar::READ_VOLTAGE;
+use crate::device::DeviceModel;
+use crate::error::ImcError;
+use crate::program::Programmer;
+use crate::Result;
+use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bit-slicing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlicingConfig {
+    /// Number of slices per weight.
+    pub slices: u32,
+    /// Bits stored per cell (2ᵇ MLC levels).
+    pub bits_per_slice: u32,
+}
+
+impl SlicingConfig {
+    /// 4 slices × 2 bits = 8-bit effective weights on 4-level cells.
+    pub fn int8_on_2bit_cells() -> Self {
+        Self {
+            slices: 4,
+            bits_per_slice: 2,
+        }
+    }
+
+    /// Total weight precision in bits.
+    pub fn total_bits(&self) -> u32 {
+        self.slices * self.bits_per_slice
+    }
+
+    /// MLC levels each cell must hold.
+    pub fn levels(&self) -> usize {
+        1 << self.bits_per_slice
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] for zero slices/bits or more than
+    /// 16 total bits.
+    pub fn validate(&self) -> Result<()> {
+        if self.slices == 0 || self.bits_per_slice == 0 {
+            return Err(ImcError::InvalidConfig(
+                "slices and bits per slice must be positive".to_string(),
+            ));
+        }
+        if self.total_bits() > 16 {
+            return Err(ImcError::InvalidConfig(format!(
+                "{} total bits exceeds the supported 16",
+                self.total_bits()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A weight matrix stored as differential bit slices on MLC cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlicedCrossbar {
+    device: DeviceModel,
+    config: SlicingConfig,
+    // conductances[slice] holds (pos, neg) matrices of programmed cells.
+    slices_pos: Vec<Matrix>,
+    slices_neg: Vec<Matrix>,
+    weight_scale: f64,
+    rows: usize,
+    cols: usize,
+}
+
+impl SlicedCrossbar {
+    /// Quantises `weights` to `config.total_bits()` signed magnitude, splits
+    /// the magnitude into base-2ᵇ digits and programs each digit as an MLC
+    /// level with `programmer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] for invalid configs or an
+    /// all-zero matrix.
+    pub fn program<P: Programmer>(
+        device: DeviceModel,
+        weights: &Matrix,
+        config: SlicingConfig,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        config.validate()?;
+        let scale = weights.max_abs();
+        if scale == 0.0 {
+            return Err(ImcError::InvalidConfig(
+                "weight matrix is all zeros".to_string(),
+            ));
+        }
+        let (rows, cols) = (weights.rows(), weights.cols());
+        let qmax = (1u32 << config.total_bits()) - 1;
+        let levels = config.levels();
+        let base = levels as u32;
+        let mut slices_pos = vec![Matrix::zeros(rows, cols); config.slices as usize];
+        let mut slices_neg = vec![Matrix::zeros(rows, cols); config.slices as usize];
+        for r in 0..rows {
+            for c in 0..cols {
+                let w = weights[(r, c)] / scale; // [-1, 1]
+                let magnitude = (w.abs() * qmax as f64).round() as u32;
+                let mut rem = magnitude;
+                for s in 0..config.slices as usize {
+                    let digit = (rem % base) as usize;
+                    rem /= base;
+                    let g_digit = device.level_conductance(digit, levels)?;
+                    let g_zero = device.level_conductance(0, levels)?;
+                    let (g_pos, g_neg) = if w >= 0.0 {
+                        (g_digit, g_zero)
+                    } else {
+                        (g_zero, g_digit)
+                    };
+                    slices_pos[s][(r, c)] = programmer.program(&device, g_pos, rng).conductance;
+                    slices_neg[s][(r, c)] = programmer.program(&device, g_neg, rng).conductance;
+                }
+            }
+        }
+        Ok(Self {
+            device,
+            config,
+            slices_pos,
+            slices_neg,
+            weight_scale: scale,
+            rows,
+            cols,
+        })
+    }
+
+    /// Array geometry `(rows, cols)` per slice.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total cells used (differential pairs × slices).
+    pub fn cell_count(&self) -> usize {
+        2 * self.rows * self.cols * self.config.slices as usize
+    }
+
+    /// Runs the sliced MVM with read noise: per-slice analog MVMs, per-slice
+    /// digitisation (ideal ADC here; slicing isolates the device error,
+    /// which is the §IV comparison of interest), digital shift-add recombine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    pub fn mvm(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (self.rows, self.cols),
+                needed: (x.len(), self.cols),
+            });
+        }
+        let levels = self.config.levels();
+        let g_min = self.device.level_conductance(0, levels)?;
+        let g_max = self.device.level_conductance(levels - 1, levels)?;
+        let digit_span = g_max - g_min;
+        let qmax = ((1u64 << self.config.total_bits()) - 1) as f64;
+        let base = levels as f64;
+        let mut y = vec![0.0; self.cols];
+        for s in 0..self.config.slices as usize {
+            ledger.record(OpKind::DacConversion, self.rows as u64);
+            ledger.record(
+                OpKind::AnalogCrossbarMac,
+                (self.rows * self.cols * 2) as u64,
+            );
+            ledger.record(OpKind::AdcConversion, self.cols as u64);
+            let weight_of_slice = base.powi(s as i32);
+            for c in 0..self.cols {
+                let mut current = 0.0;
+                for r in 0..self.rows {
+                    let v = (x[r] / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
+                    let gp = self.device.read(self.slices_pos[s][(r, c)], rng);
+                    let gn = self.device.read(self.slices_neg[s][(r, c)], rng);
+                    current += v * (gp - gn);
+                }
+                // Convert current to digit-domain value, then weight it.
+                let digit_value = current / (READ_VOLTAGE * digit_span / (base - 1.0));
+                y[c] += digit_value * weight_of_slice;
+                ledger.record(OpKind::AluInt32, 1); // shift-add recombine
+            }
+        }
+        // Back to weight domain.
+        Ok(y
+            .into_iter()
+            .map(|v| v * x_max * self.weight_scale / qmax)
+            .collect())
+    }
+}
+
+impl SlicedCrossbar {
+    /// Reads one stored weight back through the digital level-decision path:
+    /// each slice's differential conductance is snapped to the nearest MLC
+    /// level (this per-cell quantisation is where slicing rejects analog
+    /// noise), then the digits are recombined. Returns the weight-domain
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] for out-of-range indices.
+    pub fn read_weight(&self, r: usize, c: usize, rng: &mut impl Rng) -> Result<f64> {
+        if r >= self.rows || c >= self.cols {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (self.rows, self.cols),
+                needed: (r + 1, c + 1),
+            });
+        }
+        let levels = self.config.levels();
+        let g_min = self.device.level_conductance(0, levels)?;
+        let g_max = self.device.level_conductance(levels - 1, levels)?;
+        let step = (g_max - g_min) / (levels - 1) as f64;
+        let base = levels as f64;
+        let qmax = ((1u64 << self.config.total_bits()) - 1) as f64;
+        let mut magnitude = 0.0;
+        let mut signed = 0.0;
+        for s in 0..self.config.slices as usize {
+            let gp = self.device.read(self.slices_pos[s][(r, c)], rng);
+            let gn = self.device.read(self.slices_neg[s][(r, c)], rng);
+            let diff = gp - gn;
+            // Level decision on the magnitude of the differential signal.
+            let digit = (diff.abs() / step).round().min((levels - 1) as f64);
+            magnitude += digit * base.powi(s as i32);
+            signed += diff;
+        }
+        let sign = if signed >= 0.0 { 1.0 } else { -1.0 };
+        Ok(sign * magnitude / qmax * self.weight_scale)
+    }
+}
+
+/// Relative RMS output error of a mapping strategy on a reference MVM —
+/// the §IV comparison metric for slicing studies.
+pub fn mvm_rms_error(reference: &[f64], measured: &[f64]) -> f64 {
+    let num: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum();
+    let den: f64 = reference.iter().map(|a| a * a).sum();
+    (num / den.max(1e-12)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::Crossbar;
+    use crate::program::{OpenLoop, ProgramVerify};
+    use f2_core::rng::rng_for;
+
+    fn weights(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * 17 + c * 5) % 23) as f64 / 11.0 - 1.0)
+    }
+
+    #[test]
+    fn sliced_mvm_matches_reference_under_pv() {
+        let w = weights(24, 6);
+        let mut rng = rng_for(1, "slice");
+        let sliced = SlicedCrossbar::program(
+            DeviceModel::rram(),
+            &w,
+            SlicingConfig::int8_on_2bit_cells(),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid");
+        let x: Vec<f64> = (0..24).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
+        let reference = w.transposed().matvec(&x).expect("shape");
+        let mut ledger = EnergyLedger::new();
+        let got = sliced.mvm(&x, 1.0, &mut rng, &mut ledger).expect("shape");
+        let err = mvm_rms_error(&reference, &got);
+        assert!(err < 0.1, "sliced MVM error {err}");
+    }
+
+    #[test]
+    fn slicing_tolerates_open_loop_better_than_continuous() {
+        // The headline slicing claim: per-cell level decisions reject
+        // programming noise, so open-loop-programmed sliced storage recalls
+        // weights far more precisely than continuous-analog storage.
+        let w = weights(32, 8);
+        let mut rng = rng_for(2, "slice-ol");
+        // Binary cells maximise the level margin (window/1), which is what
+        // makes open-loop programming survivable: 8 x 1-bit slices.
+        let sliced = SlicedCrossbar::program(
+            DeviceModel::rram(),
+            &w,
+            SlicingConfig {
+                slices: 8,
+                bits_per_slice: 1,
+            },
+            &OpenLoop,
+            &mut rng,
+        )
+        .expect("valid");
+        // Continuous analog: one differential pair per weight.
+        let continuous =
+            Crossbar::program(DeviceModel::rram(), &w, &OpenLoop, &mut rng).expect("valid");
+        // Weight recall error (RMS over all weights, weight units).
+        let mut sliced_se = 0.0;
+        let mut cont_se = 0.0;
+        for r in 0..32 {
+            // Continuous readback via a one-hot MVM row probe.
+            let mut probe = vec![0.0; 32];
+            probe[r] = 1.0;
+            let row = continuous.mvm_ideal(&probe, 1.0).expect("shape");
+            for c in 0..8 {
+                let ws = sliced.read_weight(r, c, &mut rng).expect("in range");
+                sliced_se += (ws - w[(r, c)]).powi(2);
+                cont_se += (row[c] - w[(r, c)]).powi(2);
+            }
+        }
+        let sliced_rms = (sliced_se / 256.0).sqrt();
+        let cont_rms = (cont_se / 256.0).sqrt();
+        assert!(
+            sliced_rms < cont_rms * 0.5,
+            "sliced recall {sliced_rms:.4} should clearly beat continuous {cont_rms:.4}"
+        );
+    }
+
+    #[test]
+    fn more_slices_raise_precision() {
+        let w = weights(16, 4);
+        let x = vec![0.6; 16];
+        let reference = w.transposed().matvec(&x).expect("shape");
+        let mut errs = Vec::new();
+        for slices in [1u32, 2, 4] {
+            let cfg = SlicingConfig {
+                slices,
+                bits_per_slice: 2,
+            };
+            let mut rng = rng_for(3, "slice-n");
+            let xb = SlicedCrossbar::program(
+                DeviceModel::rram(),
+                &w,
+                cfg,
+                &ProgramVerify::default(),
+                &mut rng,
+            )
+            .expect("valid");
+            let mut ledger = EnergyLedger::new();
+            let y = xb.mvm(&x, 1.0, &mut rng, &mut ledger).expect("shape");
+            errs.push(mvm_rms_error(&reference, &y));
+        }
+        assert!(
+            errs[2] < errs[0],
+            "8-bit slicing ({:.4}) must beat 2-bit single slice ({:.4})",
+            errs[2],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn slicing_costs_cells_and_adc_passes() {
+        let w = weights(16, 4);
+        let mut rng = rng_for(4, "slice-cost");
+        let cfg = SlicingConfig::int8_on_2bit_cells();
+        let xb = SlicedCrossbar::program(
+            DeviceModel::rram(),
+            &w,
+            cfg,
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid");
+        assert_eq!(xb.cell_count(), 2 * 16 * 4 * 4);
+        let mut ledger = EnergyLedger::new();
+        xb.mvm(&[0.5; 16], 1.0, &mut rng, &mut ledger)
+            .expect("shape");
+        assert_eq!(ledger.count(OpKind::AdcConversion), 4 * 4); // slices × cols
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SlicingConfig {
+            slices: 0,
+            bits_per_slice: 2
+        }
+        .validate()
+        .is_err());
+        assert!(SlicingConfig {
+            slices: 9,
+            bits_per_slice: 2
+        }
+        .validate()
+        .is_err());
+        let w = Matrix::zeros(4, 4);
+        let mut rng = rng_for(5, "slice-bad");
+        assert!(SlicedCrossbar::program(
+            DeviceModel::rram(),
+            &w,
+            SlicingConfig::int8_on_2bit_cells(),
+            &OpenLoop,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let w = weights(8, 4);
+        let mut rng = rng_for(6, "slice-geom");
+        let xb = SlicedCrossbar::program(
+            DeviceModel::rram(),
+            &w,
+            SlicingConfig::int8_on_2bit_cells(),
+            &OpenLoop,
+            &mut rng,
+        )
+        .expect("valid");
+        let mut ledger = EnergyLedger::new();
+        assert!(xb.mvm(&[0.5; 4], 1.0, &mut rng, &mut ledger).is_err());
+    }
+}

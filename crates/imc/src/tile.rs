@@ -1,0 +1,479 @@
+//! Multi-tile IMC architecture and weight-mapping compiler.
+//!
+//! §IV (architecture level): "it is essential to develop a multicore system
+//! that can harmonize and synchronize the analog MVM operations in each
+//! memory array, the digital activation and error compensation, and the data
+//! movement between the Processing Elements … a software compiler is
+//! essential to map the DNN layers and weights to the multiple cores."
+//!
+//! [`ImcAccelerator`] implements that system: each dense layer's weight
+//! matrix is partitioned by the mapping compiler into crossbar-sized blocks
+//! spread over [`ImcTileLayer`] tiles (all programmed with one shared scale);
+//! inference runs layer by layer with digital ReLU/bias, NoC transfers
+//! between layers, and either per-tile ADCs (digital accumulation) or
+//! cross-tile **analog accumulation** that shares one ADC pass per output
+//! column — the A/D-minimisation technique of \[11\].
+
+use crate::crossbar::{Adc, Crossbar};
+use crate::device::DeviceModel;
+use crate::error::ImcError;
+use crate::program::Programmer;
+use crate::Result;
+use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Architectural configuration of the tiled IMC system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// Crossbar rows per tile.
+    pub tile_rows: usize,
+    /// Crossbar columns per tile.
+    pub tile_cols: usize,
+    /// ADC resolution at the tile/column periphery.
+    pub adc_bits: u32,
+    /// Sum partial results in the analog domain before a single A/D pass
+    /// (true) or convert per tile and add digitally (false).
+    pub analog_accumulation: bool,
+    /// Apply digital drift compensation at read-out.
+    pub drift_compensation: bool,
+}
+
+impl Default for TileConfig {
+    /// 128×128 tiles, 8-bit ADCs, analog accumulation and compensation on.
+    fn default() -> Self {
+        Self {
+            tile_rows: 128,
+            tile_cols: 128,
+            adc_bits: 8,
+            analog_accumulation: true,
+            drift_compensation: true,
+        }
+    }
+}
+
+/// One dense layer mapped onto a grid of crossbar tiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImcTileLayer {
+    // tiles[rb][cb] holds rows rb*R..min((rb+1)R, in) × cols cb*C..
+    tiles: Vec<Vec<Crossbar>>,
+    bias: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl ImcTileLayer {
+    /// Maps `weights` (`in_dim × out_dim`) and `bias` onto tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::InvalidConfig`] on degenerate weights or if
+    /// `bias.len() != out_dim`.
+    pub fn map<P: Programmer>(
+        weights: &Matrix,
+        bias: &[f64],
+        device: DeviceModel,
+        cfg: &TileConfig,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if bias.len() != weights.cols() {
+            return Err(ImcError::InvalidConfig(format!(
+                "bias length {} != output dim {}",
+                bias.len(),
+                weights.cols()
+            )));
+        }
+        if cfg.tile_rows == 0 || cfg.tile_cols == 0 {
+            return Err(ImcError::InvalidConfig(
+                "tile geometry must be positive".to_string(),
+            ));
+        }
+        let scale = weights.max_abs();
+        if scale == 0.0 {
+            return Err(ImcError::InvalidConfig(
+                "layer weights are all zeros".to_string(),
+            ));
+        }
+        let (in_dim, out_dim) = (weights.rows(), weights.cols());
+        let row_blocks = in_dim.div_ceil(cfg.tile_rows);
+        let col_blocks = out_dim.div_ceil(cfg.tile_cols);
+        let mut tiles = Vec::with_capacity(row_blocks);
+        for rb in 0..row_blocks {
+            let r0 = rb * cfg.tile_rows;
+            let r1 = (r0 + cfg.tile_rows).min(in_dim);
+            let mut row = Vec::with_capacity(col_blocks);
+            for cb in 0..col_blocks {
+                let c0 = cb * cfg.tile_cols;
+                let c1 = (c0 + cfg.tile_cols).min(out_dim);
+                let block = Matrix::from_fn(r1 - r0, c1 - c0, |r, c| weights[(r0 + r, c0 + c)]);
+                row.push(Crossbar::program_with_scale(
+                    device, &block, scale, programmer, rng,
+                )?);
+            }
+            tiles.push(row);
+        }
+        Ok(Self {
+            tiles,
+            bias: bias.to_vec(),
+            in_dim,
+            out_dim,
+        })
+    }
+
+    /// Input/output dimensions `(in, out)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_dim, self.out_dim)
+    }
+
+    /// Number of tiles used by the layer.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+
+    /// Advances drift of every tile to time `t`.
+    pub fn drift_to(&mut self, t: f64) {
+        for row in &mut self.tiles {
+            for tile in row {
+                tile.drift_to(t);
+            }
+        }
+    }
+
+    /// Runs the layer on `x` (length `in_dim`), returning pre-activation
+    /// outputs. `x_max` is the analog input full-scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len() != in_dim`.
+    pub fn forward(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        cfg: &TileConfig,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        if x.len() != self.in_dim {
+            return Err(ImcError::GeometryMismatch {
+                crossbar: (self.in_dim, self.out_dim),
+                needed: (x.len(), self.out_dim),
+            });
+        }
+        let adc = Adc::new(cfg.adc_bits);
+        let mut y = vec![0.0; self.out_dim];
+        let row_blocks = self.tiles.len();
+        for (cb, _) in self.tiles[0].iter().enumerate() {
+            let c0 = cb * cfg.tile_cols;
+            if cfg.analog_accumulation {
+                // Sum raw currents across row blocks, convert once.
+                let cols = self.tiles[0][cb].dims().1;
+                let mut currents = vec![0.0; cols];
+                for rb in 0..row_blocks {
+                    let tile = &self.tiles[rb][cb];
+                    let r0 = rb * cfg.tile_rows;
+                    let rows = tile.dims().0;
+                    let xs = &x[r0..r0 + rows];
+                    let c = tile.column_currents(xs, x_max, rng, ledger)?;
+                    for (acc, i) in currents.iter_mut().zip(&c) {
+                        *acc += i;
+                    }
+                }
+                let fs = self.tiles[0][cb].adc_full_scale() * row_blocks as f64;
+                let comp = if cfg.drift_compensation {
+                    self.tiles[0][cb].drift_compensation_gain()
+                } else {
+                    1.0
+                };
+                for (j, i) in currents.into_iter().enumerate() {
+                    ledger.record(OpKind::AdcConversion, 1);
+                    let q = adc.quantize(i, fs);
+                    y[c0 + j] = self.tiles[0][cb].current_to_output(q, x_max) * comp;
+                }
+            } else {
+                // Convert per tile, accumulate digitally.
+                for rb in 0..row_blocks {
+                    let tile = &self.tiles[rb][cb];
+                    let r0 = rb * cfg.tile_rows;
+                    let rows = tile.dims().0;
+                    let xs = &x[r0..r0 + rows];
+                    let part = tile.mvm(xs, x_max, &adc, rng, ledger)?;
+                    let comp = if cfg.drift_compensation {
+                        tile.drift_compensation_gain()
+                    } else {
+                        1.0
+                    };
+                    for (j, p) in part.into_iter().enumerate() {
+                        y[c0 + j] += p * comp;
+                        ledger.record(OpKind::AluInt32, 1);
+                    }
+                }
+            }
+        }
+        for (v, b) in y.iter_mut().zip(&self.bias) {
+            *v += b;
+            ledger.record(OpKind::AluInt32, 1);
+        }
+        Ok(y)
+    }
+}
+
+/// A multi-layer IMC accelerator (dense layers with ReLU between them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImcAccelerator {
+    layers: Vec<ImcTileLayer>,
+    cfg: TileConfig,
+}
+
+impl ImcAccelerator {
+    /// Builds an accelerator by mapping each `(weights, bias)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors; also rejects an empty layer list and
+    /// mismatched inter-layer dimensions.
+    pub fn map_network<P: Programmer>(
+        layers: &[(Matrix, Vec<f64>)],
+        device: DeviceModel,
+        cfg: TileConfig,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(ImcError::InvalidConfig("no layers to map".to_string()));
+        }
+        for w in layers.windows(2) {
+            if w[0].0.cols() != w[1].0.rows() {
+                return Err(ImcError::InvalidConfig(format!(
+                    "layer dims mismatch: {} outputs feed {} inputs",
+                    w[0].0.cols(),
+                    w[1].0.rows()
+                )));
+            }
+        }
+        let mapped = layers
+            .iter()
+            .map(|(w, b)| ImcTileLayer::map(w, b, device, &cfg, programmer, rng))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            layers: mapped,
+            cfg,
+        })
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &TileConfig {
+        &self.cfg
+    }
+
+    /// Total tiles across all layers.
+    pub fn tile_count(&self) -> usize {
+        self.layers.iter().map(ImcTileLayer::tile_count).sum()
+    }
+
+    /// Advances drift of the whole chip to time `t`.
+    pub fn drift_to(&mut self, t: f64) {
+        for layer in &mut self.layers {
+            layer.drift_to(t);
+        }
+    }
+
+    /// Full forward pass with ReLU between layers (logits returned raw).
+    /// Inter-layer activations move over the on-chip network (one hop per
+    /// value, logged in `ledger`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from the layers.
+    pub fn forward(
+        &self,
+        x: &[f64],
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        let mut act = x.to_vec();
+        let mut x_max = act.iter().fold(1e-9f64, |m, v| m.max(v.abs()));
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward(&act, x_max, &self.cfg, rng, ledger)?;
+            ledger.record(OpKind::NocHop, y.len() as u64);
+            if i != last {
+                for v in &mut y {
+                    *v = v.max(0.0); // digital ReLU in the periphery
+                }
+                ledger.record(OpKind::AluInt32, y.len() as u64);
+            }
+            x_max = y.iter().fold(1e-9f64, |m, v| m.max(v.abs()));
+            act = y;
+        }
+        Ok(act)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramVerify;
+    use f2_core::rng::rng_for;
+
+    fn layer_weights(i: usize, o: usize) -> (Matrix, Vec<f64>) {
+        let w = Matrix::from_fn(i, o, |r, c| ((r * 13 + c * 7) % 21) as f64 / 10.0 - 1.0);
+        let b = (0..o).map(|j| (j % 3) as f64 * 0.1).collect();
+        (w, b)
+    }
+
+    fn small_cfg(analog: bool) -> TileConfig {
+        TileConfig {
+            tile_rows: 16,
+            tile_cols: 16,
+            adc_bits: 9,
+            analog_accumulation: analog,
+            drift_compensation: true,
+        }
+    }
+
+    #[test]
+    fn mapping_partitions_into_expected_tiles() {
+        let (w, b) = layer_weights(40, 33);
+        let mut rng = rng_for(1, "tile");
+        let layer = ImcTileLayer::map(
+            &w,
+            &b,
+            DeviceModel::rram(),
+            &small_cfg(true),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid layer");
+        // ceil(40/16)=3 row blocks × ceil(33/16)=3 col blocks.
+        assert_eq!(layer.tile_count(), 9);
+        assert_eq!(layer.dims(), (40, 33));
+    }
+
+    #[test]
+    fn layer_forward_approximates_dense() {
+        let (w, b) = layer_weights(32, 10);
+        let mut rng = rng_for(2, "tile2");
+        let cfg = small_cfg(true);
+        let layer = ImcTileLayer::map(
+            &w,
+            &b,
+            DeviceModel::rram(),
+            &cfg,
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid layer");
+        let x: Vec<f64> = (0..32).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
+        let mut want = w.transposed().matvec(&x).expect("shape");
+        for (v, bi) in want.iter_mut().zip(&b) {
+            *v += bi;
+        }
+        let mut ledger = EnergyLedger::new();
+        let got = layer
+            .forward(&x, 1.0, &cfg, &mut rng, &mut ledger)
+            .expect("shape");
+        let err: f64 = got
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = want.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err < 0.25 * norm.max(1.0), "err {err} vs norm {norm}");
+    }
+
+    #[test]
+    fn analog_accumulation_saves_adc_conversions() {
+        // The §IV / [11] claim: accumulate partial sums in analog to
+        // minimise A/D conversions.
+        let (w, b) = layer_weights(64, 16); // 4 row blocks of 16
+        let count_adc = |analog: bool| -> u64 {
+            let cfg = small_cfg(analog);
+            let mut local = rng_for(3, "tile3-map");
+            let mut rng = rng_for(3, "tile3-fwd");
+            let layer = ImcTileLayer::map(
+                &w,
+                &b,
+                DeviceModel::rram(),
+                &cfg,
+                &ProgramVerify::default(),
+                &mut local,
+            )
+            .expect("valid layer");
+            let mut ledger = EnergyLedger::new();
+            layer
+                .forward(&vec![0.5; 64], 1.0, &cfg, &mut rng, &mut ledger)
+                .expect("shape");
+            ledger.count(OpKind::AdcConversion)
+        };
+        let analog = count_adc(true);
+        let digital = count_adc(false);
+        assert_eq!(analog, 16);
+        assert_eq!(digital, 64); // 4 row blocks × 16 columns
+    }
+
+    #[test]
+    fn network_forward_runs_and_is_finite() {
+        let net = vec![layer_weights(20, 16), layer_weights(16, 8)];
+        let mut rng = rng_for(4, "tile4");
+        let acc = ImcAccelerator::map_network(
+            &net,
+            DeviceModel::rram(),
+            small_cfg(true),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid network");
+        let mut ledger = EnergyLedger::new();
+        let y = acc
+            .forward(&[0.3; 20], &mut rng, &mut ledger)
+            .expect("shape");
+        assert_eq!(y.len(), 8);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(ledger.count(OpKind::NocHop) > 0);
+    }
+
+    #[test]
+    fn mismatched_network_rejected() {
+        let net = vec![layer_weights(20, 16), layer_weights(15, 8)];
+        let mut rng = rng_for(5, "tile5");
+        assert!(ImcAccelerator::map_network(
+            &net,
+            DeviceModel::rram(),
+            small_cfg(true),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let mut rng = rng_for(6, "tile6");
+        assert!(ImcAccelerator::map_network(
+            &[],
+            DeviceModel::rram(),
+            small_cfg(true),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_bias_rejected() {
+        let (w, _) = layer_weights(8, 4);
+        let mut rng = rng_for(7, "tile7");
+        assert!(ImcTileLayer::map(
+            &w,
+            &[0.0; 3],
+            DeviceModel::rram(),
+            &small_cfg(true),
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,593 @@
+//! The RV32IM instruction-set simulator core.
+//!
+//! A single-issue in-order core model in the Snitch/CV32E40P class: 1 cycle
+//! per ALU op, 1-cycle multiplier, iterative divider, 2-cycle loads and a
+//! 1-cycle taken-branch penalty. The ISS is architecturally exact (register
+//! and memory state match the RV32IM spec); the cycle model is the standard
+//! first-order pipeline abstraction used for cluster sizing.
+
+use crate::error::ScfError;
+use crate::isa::{decode, AluOp, BranchCond, CsrOp, Instr, MemWidth, MulDivOp};
+use crate::memory::Memory;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HaltReason {
+    /// The program executed `ecall`.
+    Ecall,
+    /// The program executed `ebreak`.
+    Ebreak,
+}
+
+/// Statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Reason the core halted.
+    pub halt: HaltReason,
+    /// Instructions retired (including the halting instruction).
+    pub instructions: u64,
+    /// Modelled cycles consumed.
+    pub cycles: u64,
+}
+
+/// Cycle costs of the core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Base cost of any instruction.
+    pub base: u64,
+    /// Extra cycles for a load.
+    pub load_extra: u64,
+    /// Extra cycles for a taken branch / jump.
+    pub taken_branch_extra: u64,
+    /// Extra cycles for a multiply.
+    pub mul_extra: u64,
+    /// Extra cycles for a divide/remainder.
+    pub div_extra: u64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self {
+            base: 1,
+            load_extra: 1,
+            taken_branch_extra: 1,
+            mul_extra: 0,
+            div_extra: 7,
+        }
+    }
+}
+
+/// An RV32IM hart.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    cycle_model: CycleModel,
+    hart_id: u32,
+    cycle_counter: u64,
+    instret_counter: u64,
+}
+
+impl Cpu {
+    /// Creates a core with all registers zero and the PC at `reset_pc`.
+    pub fn new(reset_pc: u32) -> Self {
+        Self {
+            regs: [0; 32],
+            pc: reset_pc,
+            cycle_model: CycleModel::default(),
+            hart_id: 0,
+            cycle_counter: 0,
+            instret_counter: 0,
+        }
+    }
+
+    /// Sets the hart id visible through the `mhartid` CSR.
+    pub fn set_hart_id(&mut self, id: u32) {
+        self.hart_id = id;
+    }
+
+    /// Cycles the core has executed (the `cycle` CSR value).
+    pub fn cycle_counter(&self) -> u64 {
+        self.cycle_counter
+    }
+
+    fn csr_read(&self, csr: u16, pc: u32, word: u32) -> Result<u32> {
+        match csr {
+            0xC00 => Ok(self.cycle_counter as u32),
+            0xC80 => Ok((self.cycle_counter >> 32) as u32),
+            0xC02 => Ok(self.instret_counter as u32),
+            0xC82 => Ok((self.instret_counter >> 32) as u32),
+            0xF14 => Ok(self.hart_id),
+            _ => Err(ScfError::IllegalInstruction { pc, word }),
+        }
+    }
+
+    /// Replaces the cycle model (for calibration sweeps).
+    pub fn with_cycle_model(mut self, model: CycleModel) -> Self {
+        self.cycle_model = model;
+        self
+    }
+
+    /// Register value (`x0` always reads 0).
+    pub fn reg(&self, index: u8) -> u32 {
+        self.regs[index as usize]
+    }
+
+    /// Writes a register (`x0` writes are ignored, per spec).
+    pub fn set_reg(&mut self, index: u8, value: u32) {
+        if index != 0 {
+            self.regs[index as usize] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Runs until `ecall`/`ebreak` or the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScfError::Timeout`] if the budget runs out, and propagates
+    /// decode/memory faults.
+    pub fn run(&mut self, mem: &mut impl Memory, max_instructions: u64) -> Result<RunStats> {
+        let mut instructions = 0;
+        let mut cycles = 0;
+        while instructions < max_instructions {
+            let (halted, cost) = self.step(mem)?;
+            instructions += 1;
+            cycles += cost;
+            if let Some(halt) = halted {
+                return Ok(RunStats {
+                    halt,
+                    instructions,
+                    cycles,
+                });
+            }
+        }
+        Err(ScfError::Timeout)
+    }
+
+    /// Executes one instruction; returns the halt reason (if any) and its
+    /// cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and memory faults.
+    pub fn step(&mut self, mem: &mut impl Memory) -> Result<(Option<HaltReason>, u64)> {
+        let word = mem.load_u32(self.pc)?;
+        let instr = decode(word, self.pc)?;
+        let m = self.cycle_model;
+        let mut cost = m.base;
+        let mut next_pc = self.pc.wrapping_add(4);
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u32)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = self.pc.wrapping_add(offset as u32);
+                cost += m.taken_branch_extra;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+                cost += m.taken_branch_extra;
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                    cost += m.taken_branch_extra;
+                }
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let value = match width {
+                    MemWidth::B => mem.load_u8(addr)? as i8 as i32 as u32,
+                    MemWidth::Bu => mem.load_u8(addr)? as u32,
+                    MemWidth::H => mem.load_u16(addr)? as i16 as i32 as u32,
+                    MemWidth::Hu => mem.load_u16(addr)? as u32,
+                    MemWidth::W => mem.load_u32(addr)?,
+                };
+                self.set_reg(rd, value);
+                cost += m.load_extra;
+            }
+            Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let value = self.reg(rs2);
+                match width {
+                    MemWidth::B | MemWidth::Bu => mem.store_u8(addr, value as u8)?,
+                    MemWidth::H | MemWidth::Hu => mem.store_u16(addr, value as u16)?,
+                    MemWidth::W => mem.store_u32(addr, value)?,
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let value = alu(op, self.reg(rs1), imm as u32);
+                self.set_reg(rd, value);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let value = alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, value);
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let value = muldiv(op, a, b);
+                self.set_reg(rd, value);
+                cost += match op {
+                    MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => {
+                        m.mul_extra
+                    }
+                    _ => m.div_extra,
+                };
+            }
+            Instr::Ecall => {
+                self.pc = next_pc;
+                self.cycle_counter += cost;
+                self.instret_counter += 1;
+                return Ok((Some(HaltReason::Ecall), cost));
+            }
+            Instr::Ebreak => {
+                self.pc = next_pc;
+                self.cycle_counter += cost;
+                self.instret_counter += 1;
+                return Ok((Some(HaltReason::Ebreak), cost));
+            }
+            Instr::Fence => {}
+            Instr::Csr { op, rd, src, csr } => {
+                let old = self.csr_read(csr, self.pc, word)?;
+                self.set_reg(rd, old);
+                // Counter CSRs are read-only; set/clear with x0 (and any
+                // write form) leaves them unchanged in this model.
+                let _ = (op, src);
+                match op {
+                    CsrOp::Rw | CsrOp::Rwi => {}
+                    CsrOp::Rs | CsrOp::Rsi | CsrOp::Rc | CsrOp::Rci => {}
+                }
+            }
+        }
+        self.pc = next_pc;
+        self.cycle_counter += cost;
+        self.instret_counter += 1;
+        Ok((None, cost))
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulDivOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+        MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                a // overflow case per spec
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::asm;
+    use crate::memory::FlatMemory;
+
+    fn run_program(program: &[u32]) -> (Cpu, RunStats) {
+        let mut mem = FlatMemory::with_program(0, program);
+        let mut cpu = Cpu::new(0);
+        let stats = cpu.run(&mut mem, 100_000).expect("program halts");
+        (cpu, stats)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let (cpu, stats) = run_program(&[
+            asm::addi(1, 0, 21),
+            asm::addi(2, 0, 2),
+            asm::mul(3, 1, 2),
+            asm::ecall(),
+        ]);
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(stats.halt, HaltReason::Ecall);
+        assert_eq!(stats.instructions, 4);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let (cpu, _) = run_program(&[asm::addi(0, 0, 55), asm::ecall()]);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn fibonacci_loop() {
+        // x1=a, x2=b, x3=n countdown; computes fib(10) in x1.
+        let program = [
+            asm::addi(1, 0, 0),  // a = 0
+            asm::addi(2, 0, 1),  // b = 1
+            asm::addi(3, 0, 10), // n = 10
+            // loop:
+            asm::add(4, 1, 2),   // t = a + b
+            asm::addi(1, 2, 0),  // a = b
+            asm::addi(2, 4, 0),  // b = t
+            asm::addi(3, 3, -1), // n -= 1
+            asm::bne(3, 0, -16), // loop while n != 0
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(1), 55); // fib(10)
+    }
+
+    #[test]
+    fn memory_store_load() {
+        let program = [
+            asm::addi(1, 0, 1234),
+            asm::sw(1, 0, 0x100),
+            asm::lw(2, 0, 0x100),
+            asm::addi(3, 0, -1),
+            asm::sb(3, 0, 0x200),
+            asm::lbu(4, 0, 0x200),
+            asm::lb(5, 0, 0x200),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(2), 1234);
+        assert_eq!(cpu.reg(4), 0xFF);
+        assert_eq!(cpu.reg(5), u32::MAX); // sign-extended
+    }
+
+    #[test]
+    fn signed_unsigned_comparisons() {
+        let program = [
+            asm::addi(1, 0, -1),
+            asm::addi(2, 0, 1),
+            asm::slt(3, 1, 2),  // -1 < 1 signed => 1
+            asm::sltu(4, 1, 2), // 0xFFFFFFFF < 1 unsigned => 0
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(3), 1);
+        assert_eq!(cpu.reg(4), 0);
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let program = [
+            asm::addi(1, 0, -8),
+            asm::srai(2, 1, 1), // -4
+            asm::srli(3, 1, 28),
+            asm::slli(4, 1, 1), // -16
+            asm::andi(5, 1, 0xF),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(2) as i32, -4);
+        assert_eq!(cpu.reg(3), 0xF);
+        assert_eq!(cpu.reg(4) as i32, -16);
+        assert_eq!(cpu.reg(5), 8);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let program = [
+            asm::addi(1, 0, 7),
+            asm::addi(2, 0, 0),
+            asm::div(3, 1, 2),  // div by zero => -1
+            asm::rem(4, 1, 2),  // rem by zero => dividend
+            asm::divu(5, 1, 2), // => u32::MAX
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(3), u32::MAX);
+        assert_eq!(cpu.reg(4), 7);
+        assert_eq!(cpu.reg(5), u32::MAX);
+    }
+
+    #[test]
+    fn division_overflow_case() {
+        let program = [
+            asm::lui(1, 0x80000), // x1 = i32::MIN
+            asm::addi(2, 0, -1),
+            asm::div(3, 1, 2),
+            asm::rem(4, 1, 2),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(3), i32::MIN as u32);
+        assert_eq!(cpu.reg(4), 0);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let program = [
+            asm::jal(1, 8),     // jump over the next instruction
+            asm::addi(2, 0, 1), // skipped
+            asm::addi(3, 0, 7),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(1), 4); // link = pc+4
+        assert_eq!(cpu.reg(2), 0);
+        assert_eq!(cpu.reg(3), 7);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let program = [
+            asm::addi(1, 0, -2),
+            asm::addi(2, 0, 3),
+            asm::mulh(3, 1, 2),  // high bits of -6 => -1
+            asm::mulhu(4, 1, 2), // high bits of (2^32-2)*3
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(3), u32::MAX);
+        assert_eq!(cpu.reg(4), 2); // ((2^32-2)*3) >> 32 = 2
+    }
+
+    #[test]
+    fn cycle_model_charges_loads_and_branches() {
+        let straight = run_program(&[asm::addi(1, 0, 1), asm::ecall()]).1;
+        assert_eq!(straight.cycles, 2);
+        let with_load = run_program(&[asm::lw(1, 0, 0), asm::ecall()]).1;
+        assert_eq!(with_load.cycles, 3); // 1 + load_extra + ecall
+        let with_div = run_program(&[asm::div(1, 2, 3), asm::ecall()]).1;
+        assert_eq!(with_div.cycles, 9); // 1 + 7 + ecall
+    }
+
+    #[test]
+    fn runaway_program_times_out() {
+        // Infinite loop: jal x0, 0.
+        let mut mem = FlatMemory::with_program(0, &[asm::jal(0, 0)]);
+        let mut cpu = Cpu::new(0);
+        assert_eq!(cpu.run(&mut mem, 1000), Err(ScfError::Timeout));
+    }
+
+    #[test]
+    fn illegal_instruction_reported_with_pc() {
+        let mut mem = FlatMemory::with_program(0, &[0xFFFF_FFFF]);
+        let mut cpu = Cpu::new(0);
+        match cpu.run(&mut mem, 10) {
+            Err(ScfError::IllegalInstruction { pc, .. }) => assert_eq!(pc, 0),
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_csr_measures_elapsed_cycles() {
+        // rdcycle; three addis; rdcycle; difference must be 4 cycles
+        // (csr read is charged after the first read completes).
+        let program = [
+            asm::rdcycle(5),
+            asm::addi(1, 0, 1),
+            asm::addi(1, 1, 1),
+            asm::addi(1, 1, 1),
+            asm::rdcycle(6),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(6) - cpu.reg(5), 4);
+    }
+
+    #[test]
+    fn instret_counts_instructions() {
+        let program = [
+            asm::rdinstret(5),
+            asm::addi(1, 0, 7),
+            asm::rdinstret(6),
+            asm::ecall(),
+        ];
+        let (cpu, _) = run_program(&program);
+        assert_eq!(cpu.reg(6) - cpu.reg(5), 2);
+    }
+
+    #[test]
+    fn mhartid_reads_configured_id() {
+        let mut mem = FlatMemory::with_program(0, &[asm::rdhartid(5), asm::ecall()]);
+        let mut cpu = Cpu::new(0);
+        cpu.set_hart_id(3);
+        cpu.run(&mut mem, 10).expect("program halts");
+        assert_eq!(cpu.reg(5), 3);
+    }
+
+    #[test]
+    fn unknown_csr_is_illegal() {
+        let mut mem = FlatMemory::with_program(0, &[asm::csrrs(5, 0x123, 0), asm::ecall()]);
+        let mut cpu = Cpu::new(0);
+        assert!(matches!(
+            cpu.run(&mut mem, 10),
+            Err(ScfError::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn memcpy_kernel() {
+        // Copy 8 words from 0x400 to 0x500.
+        let mut mem = FlatMemory::new(64 * 1024);
+        for i in 0..8u32 {
+            mem.store_u32(0x400 + i * 4, 0x1000 + i).expect("in range");
+        }
+        let program = [
+            asm::addi(1, 0, 0x400), // src
+            asm::addi(2, 0, 0x500), // dst
+            asm::addi(3, 0, 8),     // count
+            // loop:
+            asm::lw(4, 1, 0),
+            asm::sw(4, 2, 0),
+            asm::addi(1, 1, 4),
+            asm::addi(2, 2, 4),
+            asm::addi(3, 3, -1),
+            asm::bne(3, 0, -20),
+            asm::ecall(),
+        ];
+        mem.load_program(0, &program);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, 10_000).expect("program halts");
+        for i in 0..8u32 {
+            assert_eq!(mem.load_u32(0x500 + i * 4).expect("in range"), 0x1000 + i);
+        }
+    }
+}

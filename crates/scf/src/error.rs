@@ -1,0 +1,61 @@
+//! Error type for the Scalable Compute Fabric crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by SCF simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScfError {
+    /// An instruction word could not be decoded.
+    IllegalInstruction {
+        /// Program counter of the fault.
+        pc: u32,
+        /// The offending instruction word.
+        word: u32,
+    },
+    /// A memory access fell outside the mapped range or was misaligned.
+    MemoryFault {
+        /// Faulting address.
+        addr: u32,
+        /// Human-readable cause.
+        cause: &'static str,
+    },
+    /// The core exceeded its step budget without halting.
+    Timeout,
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ScfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScfError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            ScfError::MemoryFault { addr, cause } => {
+                write!(f, "memory fault at {addr:#010x}: {cause}")
+            }
+            ScfError::Timeout => write!(f, "core did not halt within its step budget"),
+            ScfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ScfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<ScfError>();
+        let e = ScfError::IllegalInstruction {
+            pc: 0x100,
+            word: 0xdead_beef,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"));
+        assert!(e.to_string().contains("0x00000100"));
+    }
+}

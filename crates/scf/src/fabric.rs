@@ -1,0 +1,237 @@
+//! The Scalable Compute Fabric (Fig. 8): a host processor plus a mesh of
+//! Compute Units behind a NoC and HBM.
+//!
+//! §VII: "The next steps of the Flagship 2 activities include using this and
+//! other similar CUs to build a scaled-up SCF." The fabric model answers the
+//! sizing question that motivates the template: how does transformer
+//! inference throughput scale with CU count before the shared HBM and the
+//! NoC bisection saturate, and where does the fabric enter the >1 W regime
+//! the paper targets?
+
+use crate::cluster::ComputeUnit;
+use crate::error::ScfError;
+use crate::noc::NocConfig;
+use crate::Result;
+use f2_core::kpi::{Gflops, GigabytesPerSecond, Watts};
+use f2_core::workload::transformer::TransformerConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fabric-level configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Number of Compute Units (placed on the smallest square mesh that
+    /// holds them).
+    pub cu_count: usize,
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+    /// Aggregate HBM bandwidth shared by all CUs.
+    pub hbm_bandwidth: GigabytesPerSecond,
+    /// Host (CVA6-class) power overhead.
+    pub host_power: Watts,
+}
+
+impl FabricConfig {
+    /// An Occamy-class starting point: HBM2E stack, FlooNoC mesh.
+    pub fn occamy_class(cu_count: usize) -> Self {
+        Self {
+            cu_count,
+            noc: NocConfig::floonoc(),
+            hbm_bandwidth: GigabytesPerSecond::new(410.0),
+            host_power: Watts::new(1.5),
+        }
+    }
+}
+
+/// Report of fabric-level execution of a transformer workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricReport {
+    /// CUs instantiated.
+    pub cu_count: usize,
+    /// Aggregate achieved throughput.
+    pub achieved: Gflops,
+    /// Transformer blocks completed per second.
+    pub blocks_per_second: f64,
+    /// Total fabric power (CUs + host).
+    pub power: Watts,
+    /// True if HBM bandwidth (not CU compute) limits throughput.
+    pub hbm_bound: bool,
+    /// Fraction of linear-scaling throughput retained.
+    pub scaling_efficiency: f64,
+}
+
+/// The fabric simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalableComputeFabric {
+    config: FabricConfig,
+    cu: ComputeUnit,
+}
+
+impl ScalableComputeFabric {
+    /// Builds a fabric of identical `cu` instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScfError::InvalidConfig`] for zero CUs or an invalid NoC.
+    pub fn new(config: FabricConfig, cu: ComputeUnit) -> Result<Self> {
+        if config.cu_count == 0 {
+            return Err(ScfError::InvalidConfig(
+                "fabric needs at least one CU".to_string(),
+            ));
+        }
+        config.noc.validate()?;
+        Ok(Self { config, cu })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Runs batched transformer inference: each CU processes independent
+    /// sequences of `block` (data parallelism), all streaming weights and
+    /// activations from the shared HBM through the mesh.
+    pub fn run_transformer(&self, block: &TransformerConfig) -> FabricReport {
+        let per_cu = self.cu.run_transformer_block(block);
+        let clock_hz = self.cu.power_model().clock.to_hertz();
+        let block_time_s = per_cu.cycles.total() as f64 / clock_hz;
+        let cu_count = self.config.cu_count;
+
+        // Per-block HBM traffic: weights + input/output activations (bf16).
+        let bytes_per_block = (block.params() * 2 + block.activation_elems() * 2) as f64;
+        let compute_blocks_per_s = cu_count as f64 / block_time_s;
+        let hbm_blocks_per_s = self.config.hbm_bandwidth.value() * 1e9 / bytes_per_block;
+
+        // NoC bisection: on average half the HBM traffic crosses the mesh
+        // bisection of the side×side CU grid.
+        let side = (cu_count as f64).sqrt().ceil() as usize;
+        let bisection_bytes_per_s =
+            self.config.noc.mesh_bisection_bytes_per_cycle(side) * clock_hz;
+        let noc_blocks_per_s = 2.0 * bisection_bytes_per_s / bytes_per_block;
+
+        let blocks_per_second = compute_blocks_per_s
+            .min(hbm_blocks_per_s)
+            .min(noc_blocks_per_s);
+        let hbm_bound = blocks_per_second < compute_blocks_per_s;
+
+        let achieved = Gflops::new(blocks_per_second * per_cu.flops as f64 / 1e9);
+        // Power: only CUs doing useful work burn dynamic power.
+        let active_fraction = blocks_per_second / compute_blocks_per_s;
+        let power = Watts::new(
+            per_cu.power.value() * cu_count as f64 * active_fraction,
+        ) + self.config.host_power;
+        FabricReport {
+            cu_count,
+            achieved,
+            blocks_per_second,
+            power,
+            hbm_bound,
+            scaling_efficiency: active_fraction,
+        }
+    }
+}
+
+/// Sweeps CU count and returns the scaling curve (the Fig. 8 sizing study).
+pub fn scaling_sweep(
+    cu_counts: &[usize],
+    block: &TransformerConfig,
+    hbm: GigabytesPerSecond,
+) -> Result<Vec<FabricReport>> {
+    cu_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = FabricConfig::occamy_class(n);
+            cfg.hbm_bandwidth = hbm;
+            ScalableComputeFabric::new(cfg, ComputeUnit::prototype())
+                .map(|f| f.run_transformer(block))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_core::workload::transformer::bert_base_block;
+
+    #[test]
+    fn single_cu_matches_cluster_report() {
+        let fabric = ScalableComputeFabric::new(
+            FabricConfig::occamy_class(1),
+            ComputeUnit::prototype(),
+        )
+        .expect("valid");
+        let block = bert_base_block();
+        let report = fabric.run_transformer(&block);
+        let cu_report = ComputeUnit::prototype().run_transformer_block(&block);
+        assert!(!report.hbm_bound, "one CU should be compute bound");
+        assert!(
+            (report.achieved.value() - cu_report.achieved.value()).abs()
+                / cu_report.achieved.value()
+                < 0.05
+        );
+    }
+
+    #[test]
+    fn small_fabrics_scale_linearly() {
+        let block = bert_base_block();
+        let reports = scaling_sweep(&[1, 2, 4], &block, GigabytesPerSecond::new(410.0))
+            .expect("valid sweep");
+        let r1 = reports[0].achieved.value();
+        let r4 = reports[2].achieved.value();
+        assert!(
+            r4 / r1 > 3.5,
+            "4 CUs should nearly quadruple throughput ({r1:.0} -> {r4:.0})"
+        );
+        assert!(reports[2].scaling_efficiency > 0.85);
+    }
+
+    #[test]
+    fn large_fabrics_saturate_on_hbm() {
+        let block = bert_base_block();
+        let reports = scaling_sweep(
+            &[1, 8, 64, 512],
+            &block,
+            GigabytesPerSecond::new(410.0),
+        )
+        .expect("valid sweep");
+        let last = &reports[3];
+        assert!(last.hbm_bound, "512 CUs must exhaust 410 GB/s of HBM");
+        assert!(last.scaling_efficiency < 0.8);
+        // Throughput still grows monotonically (never regresses).
+        for w in reports.windows(2) {
+            assert!(w[1].achieved.value() >= w[0].achieved.value() * 0.99);
+        }
+    }
+
+    #[test]
+    fn more_hbm_delays_saturation() {
+        let block = bert_base_block();
+        let narrow = scaling_sweep(&[512], &block, GigabytesPerSecond::new(200.0))
+            .expect("valid sweep");
+        let wide = scaling_sweep(&[512], &block, GigabytesPerSecond::new(1600.0))
+            .expect("valid sweep");
+        assert!(wide[0].achieved.value() > narrow[0].achieved.value());
+    }
+
+    #[test]
+    fn fabric_enters_above_watt_regime() {
+        // The paper positions the SCF in the >1W HPC-inference range
+        // (Fig. 7): a modest CU count already crosses 1 W.
+        let block = bert_base_block();
+        let reports =
+            scaling_sweep(&[16], &block, GigabytesPerSecond::new(820.0)).expect("valid sweep");
+        assert!(
+            reports[0].power.value() > 1.0,
+            "16-CU fabric power {:.2} W",
+            reports[0].power.value()
+        );
+    }
+
+    #[test]
+    fn zero_cu_rejected() {
+        assert!(ScalableComputeFabric::new(
+            FabricConfig::occamy_class(0),
+            ComputeUnit::prototype()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,861 @@
+//! RV32IM instruction set: decoder and assembler helpers.
+//!
+//! The SCF's Compute Units are "clusters of one or more RISC-V cores
+//! oriented on computation, such as Snitch or CV32E40P" (§VII) — both
+//! RV32IM(+extensions) machines. This module implements the full RV32I base
+//! plus the M multiply/divide extension: a [`decode`] function from raw
+//! instruction words, and the [`asm`] encoder helpers the tests and kernels
+//! use to build programs without an external toolchain.
+
+use crate::error::ScfError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Register index (x0–x31).
+pub type Reg = u8;
+
+/// A decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load upper immediate.
+    Lui { rd: Reg, imm: i32 },
+    /// Add upper immediate to PC.
+    Auipc { rd: Reg, imm: i32 },
+    /// Jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// Jump and link register.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch.
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Memory load.
+    Load {
+        width: MemWidth,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        width: MemWidth,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// ALU operation with immediate.
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    /// Register-register ALU operation.
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// M-extension multiply/divide.
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// Environment call (halts the modelled core).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Memory fence (no-op in this single-issue model).
+    Fence,
+    /// Zicsr CSR access.
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        /// `rs1` for register forms, the 5-bit zimm for immediate forms.
+        src: Reg,
+        csr: u16,
+    },
+}
+
+/// Zicsr operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CsrOp {
+    /// Read/write.
+    Rw,
+    /// Read and set bits.
+    Rs,
+    /// Read and clear bits.
+    Rc,
+    /// Immediate read/write.
+    Rwi,
+    /// Immediate read-set.
+    Rsi,
+    /// Immediate read-clear.
+    Rci,
+}
+
+/// Branch condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Load/store access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// Signed byte.
+    B,
+    /// Signed half-word.
+    H,
+    /// Word.
+    W,
+    /// Unsigned byte.
+    Bu,
+    /// Unsigned half-word.
+    Hu,
+}
+
+/// Base-ISA ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition (SUB in register form with the alternate funct7).
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if signed less-than.
+    Slt,
+    /// Set if unsigned less-than.
+    Sltu,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+}
+
+/// M-extension operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MulDivOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of signed × signed.
+    Mulh,
+    /// High 32 bits of signed × unsigned.
+    Mulhsu,
+    /// High 32 bits of unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes one RV32IM instruction word.
+///
+/// # Errors
+///
+/// Returns [`ScfError::IllegalInstruction`] (with `pc`) for encodings
+/// outside RV32IM.
+pub fn decode(word: u32, pc: u32) -> Result<Instr> {
+    let illegal = || ScfError::IllegalInstruction { pc, word };
+    let opcode = bits(word, 6, 0);
+    let rd = bits(word, 11, 7) as Reg;
+    let funct3 = bits(word, 14, 12);
+    let rs1 = bits(word, 19, 15) as Reg;
+    let rs2 = bits(word, 24, 20) as Reg;
+    let funct7 = bits(word, 31, 25);
+
+    let imm_i = sign_extend(bits(word, 31, 20), 12);
+    let imm_s = sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12);
+    let imm_b = sign_extend(
+        (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1),
+        13,
+    );
+    let imm_u = (word & 0xFFFF_F000) as i32;
+    let imm_j = sign_extend(
+        (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1),
+        21,
+    );
+
+    match opcode {
+        0b0110111 => Ok(Instr::Lui { rd, imm: imm_u }),
+        0b0010111 => Ok(Instr::Auipc { rd, imm: imm_u }),
+        0b1101111 => Ok(Instr::Jal { rd, offset: imm_j }),
+        0b1100111 if funct3 == 0 => Ok(Instr::Jalr {
+            rd,
+            rs1,
+            offset: imm_i,
+        }),
+        0b1100011 => {
+            let cond = match funct3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: imm_b,
+            })
+        }
+        0b0000011 => {
+            let width = match funct3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b100 => MemWidth::Bu,
+                0b101 => MemWidth::Hu,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset: imm_i,
+            })
+        }
+        0b0100011 => {
+            let width = match funct3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset: imm_s,
+            })
+        }
+        0b0010011 => {
+            let op = match funct3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 if funct7 == 0 => AluOp::Sll,
+                0b101 if funct7 == 0 => AluOp::Srl,
+                0b101 if funct7 == 0b0100000 => AluOp::Sra,
+                _ => return Err(illegal()),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => rs2 as i32, // shamt
+                _ => imm_i,
+            };
+            Ok(Instr::OpImm { op, rd, rs1, imm })
+        }
+        0b0110011 => {
+            if funct7 == 0b0000001 {
+                let op = match funct3 {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    0b111 => MulDivOp::Remu,
+                    _ => return Err(illegal()),
+                };
+                return Ok(Instr::MulDiv { op, rd, rs1, rs2 });
+            }
+            let op = match (funct3, funct7) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b010, 0b0000000) => AluOp::Slt,
+                (0b011, 0b0000000) => AluOp::Sltu,
+                (0b100, 0b0000000) => AluOp::Xor,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0b0000000) => AluOp::Or,
+                (0b111, 0b0000000) => AluOp::And,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Op { op, rd, rs1, rs2 })
+        }
+        0b1110011 => {
+            let csr = bits(word, 31, 20) as u16;
+            let op = match funct3 {
+                0b000 => {
+                    return match csr {
+                        0 => Ok(Instr::Ecall),
+                        1 => Ok(Instr::Ebreak),
+                        _ => Err(illegal()),
+                    }
+                }
+                0b001 => CsrOp::Rw,
+                0b010 => CsrOp::Rs,
+                0b011 => CsrOp::Rc,
+                0b101 => CsrOp::Rwi,
+                0b110 => CsrOp::Rsi,
+                0b111 => CsrOp::Rci,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Csr {
+                op,
+                rd,
+                src: rs1,
+                csr,
+            })
+        }
+        0b0001111 => Ok(Instr::Fence),
+        _ => Err(illegal()),
+    }
+}
+
+/// Encoder helpers for building RV32IM programs in tests and kernels.
+///
+/// Panics (debug assertions) on out-of-range register or immediate values —
+/// these helpers are for statically-known programs.
+pub mod asm {
+    use super::Reg;
+
+    fn r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+        debug_assert!(rd < 32 && rs1 < 32 && rs2 < 32, "register out of range");
+        (funct7 << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (funct3 << 12)
+            | ((rd as u32) << 7)
+            | opcode
+    }
+
+    fn i(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+        debug_assert!((-2048..=2047).contains(&imm), "I-immediate out of range");
+        (((imm as u32) & 0xFFF) << 20)
+            | ((rs1 as u32) << 15)
+            | (funct3 << 12)
+            | ((rd as u32) << 7)
+            | opcode
+    }
+
+    fn s(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+        debug_assert!((-2048..=2047).contains(&imm), "S-immediate out of range");
+        let imm = imm as u32;
+        ((imm >> 5 & 0x7F) << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (funct3 << 12)
+            | ((imm & 0x1F) << 7)
+            | opcode
+    }
+
+    fn b(imm: i32, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
+        debug_assert!(
+            (-4096..=4095).contains(&imm) && imm % 2 == 0,
+            "B-immediate out of range"
+        );
+        let imm = imm as u32;
+        ((imm >> 12 & 1) << 31)
+            | ((imm >> 5 & 0x3F) << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (funct3 << 12)
+            | ((imm >> 1 & 0xF) << 8)
+            | ((imm >> 11 & 1) << 7)
+            | 0b1100011
+    }
+
+    /// `lui rd, imm` (imm is the value for bits 31:12).
+    pub fn lui(rd: Reg, imm20: i32) -> u32 {
+        (((imm20 as u32) & 0xF_FFFF) << 12) | ((rd as u32) << 7) | 0b0110111
+    }
+
+    /// `auipc rd, imm`.
+    pub fn auipc(rd: Reg, imm20: i32) -> u32 {
+        (((imm20 as u32) & 0xF_FFFF) << 12) | ((rd as u32) << 7) | 0b0010111
+    }
+
+    /// `jal rd, offset` (byte offset, even).
+    pub fn jal(rd: Reg, offset: i32) -> u32 {
+        debug_assert!(offset % 2 == 0, "JAL offset must be even");
+        let imm = offset as u32;
+        ((imm >> 20 & 1) << 31)
+            | ((imm >> 1 & 0x3FF) << 21)
+            | ((imm >> 11 & 1) << 20)
+            | ((imm >> 12 & 0xFF) << 12)
+            | ((rd as u32) << 7)
+            | 0b1101111
+    }
+
+    /// `jalr rd, rs1, offset`.
+    pub fn jalr(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b000, rd, 0b1100111)
+    }
+
+    /// `beq rs1, rs2, offset`.
+    pub fn beq(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b000)
+    }
+
+    /// `bne rs1, rs2, offset`.
+    pub fn bne(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b001)
+    }
+
+    /// `blt rs1, rs2, offset`.
+    pub fn blt(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b100)
+    }
+
+    /// `bge rs1, rs2, offset`.
+    pub fn bge(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b101)
+    }
+
+    /// `bltu rs1, rs2, offset`.
+    pub fn bltu(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b110)
+    }
+
+    /// `bgeu rs1, rs2, offset`.
+    pub fn bgeu(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+        b(offset, rs2, rs1, 0b111)
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b010, rd, 0b0000011)
+    }
+
+    /// `lb rd, offset(rs1)`.
+    pub fn lb(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b000, rd, 0b0000011)
+    }
+
+    /// `lbu rd, offset(rs1)`.
+    pub fn lbu(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b100, rd, 0b0000011)
+    }
+
+    /// `lh rd, offset(rs1)`.
+    pub fn lh(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b001, rd, 0b0000011)
+    }
+
+    /// `lhu rd, offset(rs1)`.
+    pub fn lhu(rd: Reg, rs1: Reg, offset: i32) -> u32 {
+        i(offset, rs1, 0b101, rd, 0b0000011)
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(rs2: Reg, rs1: Reg, offset: i32) -> u32 {
+        s(offset, rs2, rs1, 0b010, 0b0100011)
+    }
+
+    /// `sb rs2, offset(rs1)`.
+    pub fn sb(rs2: Reg, rs1: Reg, offset: i32) -> u32 {
+        s(offset, rs2, rs1, 0b000, 0b0100011)
+    }
+
+    /// `sh rs2, offset(rs1)`.
+    pub fn sh(rs2: Reg, rs1: Reg, offset: i32) -> u32 {
+        s(offset, rs2, rs1, 0b001, 0b0100011)
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        i(imm, rs1, 0b000, rd, 0b0010011)
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        i(imm, rs1, 0b010, rd, 0b0010011)
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        i(imm, rs1, 0b100, rd, 0b0010011)
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        i(imm, rs1, 0b110, rd, 0b0010011)
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        i(imm, rs1, 0b111, rd, 0b0010011)
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(rd: Reg, rs1: Reg, shamt: u8) -> u32 {
+        debug_assert!(shamt < 32, "shift amount out of range");
+        i(shamt as i32, rs1, 0b001, rd, 0b0010011)
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(rd: Reg, rs1: Reg, shamt: u8) -> u32 {
+        debug_assert!(shamt < 32, "shift amount out of range");
+        i(shamt as i32, rs1, 0b101, rd, 0b0010011)
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(rd: Reg, rs1: Reg, shamt: u8) -> u32 {
+        debug_assert!(shamt < 32, "shift amount out of range");
+        i((shamt as i32) | (0b0100000 << 5), rs1, 0b101, rd, 0b0010011)
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b000, rd, 0b0110011)
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0b0100000, rs2, rs1, 0b000, rd, 0b0110011)
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b001, rd, 0b0110011)
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b010, rd, 0b0110011)
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b011, rd, 0b0110011)
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b100, rd, 0b0110011)
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b101, rd, 0b0110011)
+    }
+
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0b0100000, rs2, rs1, 0b101, rd, 0b0110011)
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b110, rd, 0b0110011)
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(0, rs2, rs1, 0b111, rd, 0b0110011)
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b000, rd, 0b0110011)
+    }
+
+    /// `mulh rd, rs1, rs2`.
+    pub fn mulh(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b001, rd, 0b0110011)
+    }
+
+    /// `mulhu rd, rs1, rs2`.
+    pub fn mulhu(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b011, rd, 0b0110011)
+    }
+
+    /// `div rd, rs1, rs2`.
+    pub fn div(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b100, rd, 0b0110011)
+    }
+
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b101, rd, 0b0110011)
+    }
+
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b110, rd, 0b0110011)
+    }
+
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        r(1, rs2, rs1, 0b111, rd, 0b0110011)
+    }
+
+    /// `csrrs rd, csr, rs1`.
+    pub fn csrrs(rd: Reg, csr: u16, rs1: Reg) -> u32 {
+        ((csr as u32) << 20) | ((rs1 as u32) << 15) | (0b010 << 12) | ((rd as u32) << 7) | 0b1110011
+    }
+
+    /// `csrrw rd, csr, rs1`.
+    pub fn csrrw(rd: Reg, csr: u16, rs1: Reg) -> u32 {
+        ((csr as u32) << 20) | ((rs1 as u32) << 15) | (0b001 << 12) | ((rd as u32) << 7) | 0b1110011
+    }
+
+    /// `rdcycle rd` (pseudo-instruction: `csrrs rd, cycle, x0`).
+    pub fn rdcycle(rd: Reg) -> u32 {
+        csrrs(rd, 0xC00, 0)
+    }
+
+    /// `rdinstret rd`.
+    pub fn rdinstret(rd: Reg) -> u32 {
+        csrrs(rd, 0xC02, 0)
+    }
+
+    /// `csrr rd, mhartid`.
+    pub fn rdhartid(rd: Reg) -> u32 {
+        csrrs(rd, 0xF14, 0)
+    }
+
+    /// `ecall`.
+    pub fn ecall() -> u32 {
+        0b1110011
+    }
+
+    /// `ebreak`.
+    pub fn ebreak() -> u32 {
+        (1 << 20) | 0b1110011
+    }
+
+    /// `nop` (`addi x0, x0, 0`).
+    pub fn nop() -> u32 {
+        addi(0, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trip_rtype() {
+        let word = asm::add(3, 1, 2);
+        assert_eq!(
+            decode(word, 0).expect("valid"),
+            Instr::Op {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }
+        );
+        let word = asm::sub(5, 6, 7);
+        assert_eq!(
+            decode(word, 0).expect("valid"),
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: 5,
+                rs1: 6,
+                rs2: 7
+            }
+        );
+    }
+
+    #[test]
+    fn decode_itype_negative_imm() {
+        let word = asm::addi(1, 2, -5);
+        assert_eq!(
+            decode(word, 0).expect("valid"),
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: -5
+            }
+        );
+    }
+
+    #[test]
+    fn decode_known_golden_words() {
+        // Golden encodings cross-checked against the RISC-V spec examples.
+        // addi x1, x0, 1  => 0x00100093
+        assert_eq!(asm::addi(1, 0, 1), 0x0010_0093);
+        // add x3, x1, x2  => 0x002081B3
+        assert_eq!(asm::add(3, 1, 2), 0x0020_81B3);
+        // lui x5, 0x12345 => 0x123452B7
+        assert_eq!(asm::lui(5, 0x12345), 0x1234_52B7);
+        // ecall           => 0x00000073
+        assert_eq!(asm::ecall(), 0x0000_0073);
+        // lw x6, 8(x2)    => 0x00812303
+        assert_eq!(asm::lw(6, 2, 8), 0x0081_2303);
+        // sw x6, 12(x2)   => 0x00612623
+        assert_eq!(asm::sw(6, 2, 12), 0x0061_2623);
+        // mul x7, x5, x6  => 0x026283B3
+        assert_eq!(asm::mul(7, 5, 6), 0x0262_83B3);
+    }
+
+    #[test]
+    fn branch_offsets_round_trip() {
+        for off in [-4096, -128, -2, 2, 64, 4094] {
+            let word = asm::beq(1, 2, off);
+            match decode(word, 0).expect("valid") {
+                Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: 1,
+                    rs2: 2,
+                    offset,
+                } => assert_eq!(offset, off, "offset {off}"),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jal_offsets_round_trip() {
+        for off in [-1048576, -2048, -2, 2, 2048, 1048574] {
+            let word = asm::jal(1, off);
+            match decode(word, 0).expect("valid") {
+                Instr::Jal { rd: 1, offset } => assert_eq!(offset, off, "offset {off}"),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_offsets_round_trip() {
+        for off in [-2048, -1, 0, 1, 2047] {
+            let word = asm::sw(3, 4, off);
+            match decode(word, 0).expect("valid") {
+                Instr::Store {
+                    width: MemWidth::W,
+                    rs1: 4,
+                    rs2: 3,
+                    offset,
+                } => assert_eq!(offset, off),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_decode_with_shamt() {
+        assert_eq!(
+            decode(asm::slli(1, 2, 5), 0).expect("valid"),
+            Instr::OpImm {
+                op: AluOp::Sll,
+                rd: 1,
+                rs1: 2,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            decode(asm::srai(1, 2, 31), 0).expect("valid"),
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: 1,
+                rs1: 2,
+                imm: 31
+            }
+        );
+    }
+
+    #[test]
+    fn muldiv_family_decodes() {
+        let cases = [
+            (asm::mul(1, 2, 3), MulDivOp::Mul),
+            (asm::mulh(1, 2, 3), MulDivOp::Mulh),
+            (asm::mulhu(1, 2, 3), MulDivOp::Mulhu),
+            (asm::div(1, 2, 3), MulDivOp::Div),
+            (asm::divu(1, 2, 3), MulDivOp::Divu),
+            (asm::rem(1, 2, 3), MulDivOp::Rem),
+            (asm::remu(1, 2, 3), MulDivOp::Remu),
+        ];
+        for (word, want) in cases {
+            match decode(word, 0).expect("valid") {
+                Instr::MulDiv { op, .. } => assert_eq!(op, want),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_instructions_rejected() {
+        assert!(decode(0x0000_0000, 0x40).is_err());
+        assert!(decode(0xFFFF_FFFF, 0x40).is_err());
+        if let Err(ScfError::IllegalInstruction { pc, .. }) = decode(0, 0x40) {
+            assert_eq!(pc, 0x40);
+        } else {
+            panic!("expected IllegalInstruction");
+        }
+    }
+
+    #[test]
+    fn system_instructions() {
+        assert_eq!(decode(asm::ecall(), 0).expect("valid"), Instr::Ecall);
+        assert_eq!(decode(asm::ebreak(), 0).expect("valid"), Instr::Ebreak);
+    }
+
+    #[test]
+    fn csr_instructions_decode() {
+        assert_eq!(
+            decode(asm::rdcycle(5), 0).expect("valid"),
+            Instr::Csr {
+                op: CsrOp::Rs,
+                rd: 5,
+                src: 0,
+                csr: 0xC00
+            }
+        );
+        assert_eq!(
+            decode(asm::csrrw(1, 0x340, 2), 0).expect("valid"),
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: 1,
+                src: 2,
+                csr: 0x340
+            }
+        );
+    }
+}

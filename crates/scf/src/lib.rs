@@ -1,0 +1,52 @@
+//! # f2-scf
+//!
+//! Reproduction of the §VII thrust of the ICSC Flagship 2 paper: the
+//! **Scalable Compute Fabric (SCF)** — a RISC-V heterogeneous acceleration
+//! fabric for >1 W HPC deep-learning inference — and its prototype
+//! **Compute Unit** (Fig. 9: GF12nm, ~1.21 mm², up to 150 GFLOPS and
+//! 1.5 TFLOPS/W at 460 MHz / 0.55 V on BFloat16 transformer blocks).
+//!
+//! * [`isa`] / [`cpu`] — a from-scratch RV32IM instruction-set simulator
+//!   (decoder, encoder helpers and a cycle-counting core model) standing in
+//!   for the Snitch/CV32E40P compute cores.
+//! * [`memory`] — banked L1 TCDM with cycle-accurate bank-conflict
+//!   arbitration, plus flat memories and a DMA model.
+//! * [`tensor_core`] — a RedMule-style bf16 GEMM engine with f32
+//!   accumulation: bit-exact results plus cycle/energy accounting.
+//! * [`cluster`] — the Compute Unit: cores + TCDM + DMA + tensor core
+//!   executing full transformer blocks (GEMMs on the tensor core,
+//!   softmax/layernorm on the cores).
+//! * [`noc`] / [`fabric`] — a FlooNoC-style interconnect and the scaled-up
+//!   SCF of Fig. 8: many CUs, a CVA6-class host, HBM; throughput scaling.
+//! * [`power`] — the GF12 energy model behind the TFLOPS/W figures.
+//!
+//! ```
+//! use f2_scf::isa::asm;
+//! use f2_scf::cpu::{Cpu, HaltReason};
+//! use f2_scf::memory::FlatMemory;
+//!
+//! // A 3-instruction RV32 program: x5 = 2 + 40.
+//! let program = [asm::addi(5, 0, 2), asm::addi(5, 5, 40), asm::ecall()];
+//! let mut mem = FlatMemory::with_program(0, &program);
+//! let mut cpu = Cpu::new(0);
+//! let run = cpu.run(&mut mem, 100).expect("valid program");
+//! assert_eq!(run.halt, HaltReason::Ecall);
+//! assert_eq!(cpu.reg(5), 42);
+//! ```
+
+pub mod cluster;
+pub mod cpu;
+pub mod error;
+pub mod fabric;
+pub mod isa;
+pub mod memory;
+pub mod multicore;
+pub mod noc;
+pub mod power;
+pub mod tensor_core;
+pub mod vector;
+
+pub use error::ScfError;
+
+/// Convenience result alias used across `f2-scf`.
+pub type Result<T> = std::result::Result<T, ScfError>;

@@ -1,0 +1,478 @@
+//! Cycle-level multi-core cluster simulation: real RV32IM cores sharing a
+//! banked TCDM.
+//!
+//! The analytical Compute Unit model ([`crate::cluster`]) sizes transformer
+//! workloads; this module complements it with an *execution-driven*
+//! simulation in the Snitch-cluster style: N ISS cores run real RV32IM
+//! programs in cycle lockstep against the shared word-interleaved L1, and
+//! every same-cycle bank conflict stalls the losing core — the behaviour
+//! that makes TCDM banking a first-order design parameter of §VII's Compute
+//! Units.
+//!
+//! Memory map seen by each core:
+//!
+//! * `0x0000_0000 .. IMEM_SIZE` — per-core private instruction/data memory.
+//! * `TCDM_BASE ..` — the shared TCDM (word addressable).
+//!
+//! A core's hart id is pre-loaded into register `x10` (a0), matching the
+//! bare-metal convention, so one binary can be SPMD-parallelised.
+
+use crate::cpu::{Cpu, HaltReason};
+use crate::error::ScfError;
+use crate::memory::{FlatMemory, Memory, Tcdm};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the shared TCDM in every core's address space.
+pub const TCDM_BASE: u32 = 0x1000_0000;
+
+/// Per-core private memory size (bytes).
+pub const IMEM_SIZE: u32 = 64 * 1024;
+
+/// Configuration of the execution-driven cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticoreConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// TCDM banks (power of two).
+    pub tcdm_banks: usize,
+    /// TCDM words per bank.
+    pub tcdm_words_per_bank: usize,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl MulticoreConfig {
+    /// An 8-core, 32-bank Snitch-like cluster.
+    pub fn snitch_like() -> Self {
+        Self {
+            cores: 8,
+            tcdm_banks: 32,
+            tcdm_words_per_bank: 1024,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticoreReport {
+    /// Cycles until the last core halted.
+    pub cycles: u64,
+    /// Instructions retired per core.
+    pub instructions: Vec<u64>,
+    /// TCDM accesses observed.
+    pub tcdm_accesses: u64,
+    /// Cycles lost to TCDM bank conflicts (summed over cores).
+    pub conflict_stalls: u64,
+}
+
+impl MulticoreReport {
+    /// Conflict stalls per TCDM access (0 when there were no accesses).
+    pub fn conflict_rate(&self) -> f64 {
+        if self.tcdm_accesses == 0 {
+            0.0
+        } else {
+            self.conflict_stalls as f64 / self.tcdm_accesses as f64
+        }
+    }
+}
+
+/// Memory view of one core: private memory plus the shared TCDM window.
+struct CoreView<'a> {
+    private: &'a mut FlatMemory,
+    tcdm: &'a mut Tcdm,
+    stall_from_tcdm: u32,
+}
+
+impl CoreView<'_> {
+    fn tcdm_word(addr: u32) -> Result<usize> {
+        if !addr.is_multiple_of(4) {
+            return Err(ScfError::MemoryFault {
+                addr,
+                cause: "misaligned TCDM access",
+            });
+        }
+        Ok(((addr - TCDM_BASE) / 4) as usize)
+    }
+}
+
+impl Memory for CoreView<'_> {
+    fn load_u8(&mut self, addr: u32) -> Result<u8> {
+        if addr >= TCDM_BASE {
+            // Byte lanes of the TCDM word.
+            let word = self.tcdm.read_word(((addr - TCDM_BASE) / 4) as usize)?;
+            Ok((word >> (8 * (addr % 4))) as u8)
+        } else {
+            self.private.load_u8(addr)
+        }
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) -> Result<()> {
+        if addr >= TCDM_BASE {
+            let idx = ((addr - TCDM_BASE) / 4) as usize;
+            let lane = 8 * (addr % 4);
+            let word = self.tcdm.read_word(idx)?;
+            let word = (word & !(0xFF << lane)) | ((value as u32) << lane);
+            self.tcdm.write_word(idx, word)
+        } else {
+            self.private.store_u8(addr, value)
+        }
+    }
+
+    fn load_u32(&mut self, addr: u32) -> Result<u32> {
+        if addr >= TCDM_BASE {
+            let idx = CoreView::tcdm_word(addr)?;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
+            self.tcdm.read_word(idx)
+        } else {
+            if !addr.is_multiple_of(4) {
+                return Err(ScfError::MemoryFault {
+                    addr,
+                    cause: "misaligned word load",
+                });
+            }
+            self.private.load_u32(addr)
+        }
+    }
+
+    fn store_u32(&mut self, addr: u32, value: u32) -> Result<()> {
+        if addr >= TCDM_BASE {
+            let idx = CoreView::tcdm_word(addr)?;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
+            self.tcdm.write_word(idx, value)
+        } else {
+            self.private.store_u32(addr, value)
+        }
+    }
+}
+
+/// The execution-driven cluster.
+#[derive(Debug)]
+pub struct MulticoreCluster {
+    config: MulticoreConfig,
+    cpus: Vec<Cpu>,
+    private: Vec<FlatMemory>,
+    tcdm: Tcdm,
+}
+
+impl MulticoreCluster {
+    /// Builds a cluster where every core runs `program` (SPMD) from address
+    /// 0 with its hart id in `x10`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScfError::InvalidConfig`] for bad geometry.
+    pub fn spmd(config: MulticoreConfig, program: &[u32]) -> Result<Self> {
+        if config.cores == 0 {
+            return Err(ScfError::InvalidConfig(
+                "cluster needs at least one core".to_string(),
+            ));
+        }
+        let tcdm = Tcdm::new(config.tcdm_banks, config.tcdm_words_per_bank)?;
+        let mut cpus = Vec::with_capacity(config.cores);
+        let mut private = Vec::with_capacity(config.cores);
+        for hart in 0..config.cores {
+            let mut cpu = Cpu::new(0);
+            cpu.set_hart_id(hart as u32); // visible via the mhartid CSR
+            cpu.set_reg(10, hart as u32); // a0 = hart id (bare-metal ABI)
+            cpu.set_reg(11, config.cores as u32); // a1 = hart count
+            cpus.push(cpu);
+            private.push(FlatMemory::with_program(0, program));
+        }
+        Ok(Self {
+            config,
+            cpus,
+            private,
+            tcdm,
+        })
+    }
+
+    /// Direct access to the shared TCDM (for pre-loading operands and
+    /// reading back results).
+    pub fn tcdm_mut(&mut self) -> &mut Tcdm {
+        &mut self.tcdm
+    }
+
+    /// Borrow a core's register state.
+    pub fn cpu(&self, hart: usize) -> &Cpu {
+        &self.cpus[hart]
+    }
+
+    /// Runs all cores to completion in cycle lockstep.
+    ///
+    /// Each simulated cycle, every core whose stall counter is zero retires
+    /// one instruction; the instruction's own latency plus any TCDM conflict
+    /// stalls are charged to that core before it may issue again. The TCDM
+    /// arbiter resolves conflicts within the issuing cycle (first core index
+    /// wins, matching the cluster's fixed-priority interconnect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-core faults; returns [`ScfError::Timeout`] if any core
+    /// exceeds `max_cycles`.
+    pub fn run(&mut self) -> Result<MulticoreReport> {
+        let n = self.config.cores;
+        let mut halted = vec![false; n];
+        let mut stall = vec![0u64; n];
+        let mut instructions = vec![0u64; n];
+        let mut cycle: u64 = 0;
+
+        while halted.iter().any(|&h| !h) {
+            if cycle >= self.config.max_cycles {
+                return Err(ScfError::Timeout);
+            }
+            self.tcdm.tick(cycle);
+            for hart in 0..n {
+                if halted[hart] {
+                    continue;
+                }
+                if stall[hart] > 0 {
+                    stall[hart] -= 1;
+                    continue;
+                }
+                let mut view = CoreView {
+                    private: &mut self.private[hart],
+                    tcdm: &mut self.tcdm,
+                    stall_from_tcdm: 0,
+                };
+                let (halt, cost) = self.cpus[hart].step(&mut view)?;
+                instructions[hart] += 1;
+                // The issue cycle itself is this cycle; extra latency and
+                // conflict stalls block subsequent issues.
+                stall[hart] = cost.saturating_sub(1) + view.stall_from_tcdm as u64;
+                if let Some(HaltReason::Ecall | HaltReason::Ebreak) = halt {
+                    halted[hart] = true;
+                }
+            }
+            cycle += 1;
+        }
+        Ok(MulticoreReport {
+            cycles: cycle,
+            instructions,
+            tcdm_accesses: self.tcdm.accesses(),
+            conflict_stalls: self.tcdm.conflict_stalls(),
+        })
+    }
+}
+
+/// Builds the SPMD program `tcdm_out[i] = tcdm_a[i] + tcdm_b[i]` over `n`
+/// elements, statically strided across harts (`for i in hart..n step harts`).
+///
+/// Layout (word indices into the TCDM): `a` at 0, `b` at `n`, `out` at `2n`.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or too large for the immediate fields used.
+pub fn vector_add_program(n: u32) -> Vec<u32> {
+    use crate::isa::asm;
+    assert!(n > 0 && n < 1 << 10, "element count out of range");
+    let tcdm_hi = (TCDM_BASE >> 12) as i32;
+    vec![
+        // 0..=5: prologue — i = hart; base addresses of a, b, out.
+        asm::addi(5, 10, 0),       // x5  = i = hart id (a0)
+        asm::addi(31, 0, n as i32), // x31 = n
+        asm::lui(6, tcdm_hi),      // x6  = a_base = TCDM_BASE
+        asm::slli(7, 31, 2),       // x7  = n*4
+        asm::add(28, 6, 7),        // x28 = b_base
+        asm::add(29, 28, 7),       // x29 = out_base
+        // 6 (addr 24): loop head — exit when i >= n (done at addr 68).
+        asm::bge(5, 31, 44),
+        asm::slli(30, 5, 2),       // x30 = i*4
+        asm::add(12, 6, 30),
+        asm::lw(12, 12, 0),        // a[i]
+        asm::add(13, 28, 30),
+        asm::lw(13, 13, 0),        // b[i]
+        asm::add(12, 12, 13),
+        asm::add(13, 29, 30),
+        asm::sw(12, 13, 0),        // out[i]
+        asm::add(5, 5, 11),        // i += hart count (a1)
+        // 16 (addr 64): back to the loop head at addr 24.
+        asm::jal(0, -40),
+        // 17 (addr 68): done.
+        asm::ecall(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::asm;
+
+    #[test]
+    fn vector_add_spmd_is_correct() {
+        let n = 64u32;
+        let cfg = MulticoreConfig {
+            cores: 4,
+            tcdm_banks: 16,
+            tcdm_words_per_bank: 64,
+            max_cycles: 100_000,
+        };
+        let mut cluster =
+            MulticoreCluster::spmd(cfg, &vector_add_program(n)).expect("valid config");
+        for i in 0..n as usize {
+            cluster.tcdm_mut().write_word(i, i as u32).expect("in range");
+            cluster
+                .tcdm_mut()
+                .write_word(n as usize + i, 1000 + i as u32)
+                .expect("in range");
+        }
+        let report = cluster.run().expect("programs halt");
+        for i in 0..n as usize {
+            let got = cluster.tcdm_mut().read_word(2 * n as usize + i).expect("in range");
+            assert_eq!(got, 1000 + 2 * i as u32, "out[{i}]");
+        }
+        assert!(report.cycles > 0);
+        assert_eq!(report.instructions.len(), 4);
+        assert!(report.tcdm_accesses >= 3 * n as u64);
+    }
+
+    #[test]
+    fn more_cores_speed_up_spmd_kernels() {
+        let n = 256u32;
+        let mut cycles = Vec::new();
+        for cores in [1usize, 2, 4, 8] {
+            let cfg = MulticoreConfig {
+                cores,
+                tcdm_banks: 32,
+                tcdm_words_per_bank: 64,
+                max_cycles: 10_000_000,
+            };
+            let mut cluster =
+                MulticoreCluster::spmd(cfg, &vector_add_program(n)).expect("valid config");
+            let report = cluster.run().expect("programs halt");
+            cycles.push(report.cycles);
+        }
+        assert!(
+            (cycles[0] as f64) / (cycles[3] as f64) > 4.0,
+            "8 cores should be >4x faster than 1: {cycles:?}"
+        );
+        for w in cycles.windows(2) {
+            assert!(w[1] < w[0], "scaling must be monotone: {cycles:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_banks_mean_more_conflicts() {
+        let n = 256u32;
+        let conflict_rate = |banks: usize| -> f64 {
+            let cfg = MulticoreConfig {
+                cores: 8,
+                tcdm_banks: banks,
+                tcdm_words_per_bank: 2048 / banks,
+                max_cycles: 10_000_000,
+            };
+            let mut cluster =
+                MulticoreCluster::spmd(cfg, &vector_add_program(n)).expect("valid config");
+            cluster.run().expect("programs halt").conflict_rate()
+        };
+        let narrow = conflict_rate(2);
+        let wide = conflict_rate(32);
+        assert!(
+            narrow > wide,
+            "2 banks ({narrow:.3}) must conflict more than 32 ({wide:.3})"
+        );
+        assert!(narrow > 0.05, "8 cores on 2 banks must conflict, rate {narrow:.3}");
+    }
+
+    #[test]
+    fn private_memories_are_isolated() {
+        // Each hart stores its id to private address 0x200 and halts;
+        // private stores must not leak across cores.
+        let program = [
+            asm::sw(10, 0, 0x200), // store a0 (hart id)
+            asm::lw(5, 0, 0x200),
+            asm::ecall(),
+        ];
+        let cfg = MulticoreConfig {
+            cores: 4,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 1000,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        cluster.run().expect("programs halt");
+        for hart in 0..4 {
+            assert_eq!(cluster.cpu(hart).reg(5), hart as u32);
+        }
+    }
+
+    #[test]
+    fn tcdm_byte_access_round_trip() {
+        // One core writes bytes into a TCDM word and reads them back.
+        let program = [
+            asm::lui(6, (TCDM_BASE >> 12) as i32),
+            asm::addi(5, 0, 0x5A),
+            asm::sb(5, 6, 1), // byte lane 1
+            asm::lbu(7, 6, 1),
+            asm::lw(28, 6, 0),
+            asm::ecall(),
+        ];
+        let cfg = MulticoreConfig {
+            cores: 1,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 1000,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        cluster.run().expect("program halts");
+        assert_eq!(cluster.cpu(0).reg(7), 0x5A);
+        assert_eq!(cluster.cpu(0).reg(28), 0x5A00);
+    }
+
+    #[test]
+    fn mhartid_csr_distinguishes_cores() {
+        // Each hart stores mhartid (via the CSR, not the a0 convention) to
+        // TCDM[hartid] and its own cycle counter to TCDM[8 + hartid].
+        let program = [
+            asm::rdhartid(5),
+            asm::lui(6, (TCDM_BASE >> 12) as i32),
+            asm::slli(7, 5, 2),
+            asm::add(6, 6, 7),
+            asm::sw(5, 6, 0),
+            asm::rdcycle(28),
+            asm::sw(28, 6, 32),
+            asm::ecall(),
+        ];
+        let cfg = MulticoreConfig {
+            cores: 4,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 1000,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        cluster.run().expect("programs halt");
+        for hart in 0..4 {
+            assert_eq!(
+                cluster.tcdm_mut().read_word(hart).expect("in range"),
+                hart as u32
+            );
+            let cycles = cluster.tcdm_mut().read_word(8 + hart).expect("in range");
+            assert!(cycles > 0, "hart {hart} cycle CSR should be nonzero");
+        }
+    }
+
+    #[test]
+    fn runaway_cluster_times_out() {
+        let program = [asm::jal(0, 0)];
+        let cfg = MulticoreConfig {
+            cores: 2,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 500,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        assert_eq!(cluster.run(), Err(ScfError::Timeout));
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let cfg = MulticoreConfig {
+            cores: 0,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 100,
+        };
+        assert!(MulticoreCluster::spmd(cfg, &[asm::ecall()]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! FlooNoC-style on-chip interconnect model.
+//!
+//! §VII: CUs are "connected using a scalable interconnect, such as a
+//! hierarchical AXI or a Network-on-Chip \[47\]" — FlooNoC, a wide
+//! multi-Tb/s mesh. The model covers what fabric-level scaling needs:
+//! per-link bandwidth, per-hop latency, and bisection-limited aggregate
+//! throughput of a 2-D mesh.
+
+use crate::error::ScfError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// NoC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Payload bytes per link per cycle (FlooNoC: 64-byte / 512-bit links).
+    pub link_bytes_per_cycle: usize,
+    /// Router traversal latency per hop (cycles).
+    pub hop_latency: u64,
+}
+
+impl NocConfig {
+    /// FlooNoC-class wide link: 64 B/cycle, 1-cycle routers.
+    pub fn floonoc() -> Self {
+        Self {
+            link_bytes_per_cycle: 64,
+            hop_latency: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScfError::InvalidConfig`] for a zero-width link.
+    pub fn validate(&self) -> Result<()> {
+        if self.link_bytes_per_cycle == 0 {
+            return Err(ScfError::InvalidConfig(
+                "NoC link width must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cycles to move `bytes` over `hops` mesh hops (wormhole: head latency
+    /// plus serialisation).
+    pub fn transfer_cycles(&self, bytes: u64, hops: u32) -> u64 {
+        let serialization = bytes.div_ceil(self.link_bytes_per_cycle as u64);
+        self.hop_latency * hops as u64 + serialization
+    }
+
+    /// Average hop count between random endpoints of a `side × side` mesh.
+    pub fn mesh_average_hops(side: usize) -> f64 {
+        // E[|x1-x2|] for uniform endpoints on a line of `side` nodes is
+        // (side² - 1) / (3·side); a 2-D mesh doubles it.
+        if side <= 1 {
+            return 0.0;
+        }
+        let s = side as f64;
+        2.0 * (s * s - 1.0) / (3.0 * s)
+    }
+
+    /// Bisection bandwidth of a `side × side` mesh in bytes per cycle.
+    pub fn mesh_bisection_bytes_per_cycle(&self, side: usize) -> f64 {
+        (side * self.link_bytes_per_cycle) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycles_model() {
+        let noc = NocConfig::floonoc();
+        // 0 bytes: pure head latency.
+        assert_eq!(noc.transfer_cycles(0, 5), 5);
+        // One flit.
+        assert_eq!(noc.transfer_cycles(64, 1), 2);
+        // Serialisation dominates for bulk transfers.
+        assert_eq!(noc.transfer_cycles(64 * 100, 2), 102);
+    }
+
+    #[test]
+    fn mesh_hops_grow_with_side() {
+        let h2 = NocConfig::mesh_average_hops(2);
+        let h4 = NocConfig::mesh_average_hops(4);
+        let h8 = NocConfig::mesh_average_hops(8);
+        assert!(h2 < h4 && h4 < h8);
+        assert_eq!(NocConfig::mesh_average_hops(1), 0.0);
+        // For side=2: 2 * (4-1)/(3*2) = 1.0.
+        assert!((h2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_scales_with_side() {
+        let noc = NocConfig::floonoc();
+        assert_eq!(noc.mesh_bisection_bytes_per_cycle(4), 256.0);
+        assert_eq!(noc.mesh_bisection_bytes_per_cycle(8), 512.0);
+    }
+
+    #[test]
+    fn zero_link_rejected() {
+        let noc = NocConfig {
+            link_bytes_per_cycle: 0,
+            hop_latency: 1,
+        };
+        assert!(noc.validate().is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Spatz-style compact vector unit.
+//!
+//! §VII lists "vector processing units tightly-coupled to the cores \[48\]"
+//! (Spatz) among the CU's special-purpose options. For the transformer's
+//! elementwise phases (softmax, layernorm) a vector unit retires `lanes`
+//! elements per cycle instead of the scalar core's one-elements-per-loop
+//! pace, at the cost of per-instruction issue overhead and extra area. The
+//! model exposes exactly the trade the §VII ablation needs: elementwise
+//! cycle count and energy versus lane count.
+
+use crate::error::ScfError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Vector-unit configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorUnitConfig {
+    /// Parallel lanes (elements retired per cycle at full utilisation).
+    pub lanes: usize,
+    /// Hardware vector length (elements per vector instruction).
+    pub vlen: usize,
+    /// Issue/configuration overhead per vector instruction (cycles).
+    pub issue_overhead: u32,
+}
+
+impl VectorUnitConfig {
+    /// A Spatz-class unit: 8 lanes, 256-element vectors, 3-cycle issue.
+    pub fn spatz_like() -> Self {
+        Self {
+            lanes: 8,
+            vlen: 256,
+            issue_overhead: 3,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScfError::InvalidConfig`] for zero lanes/vlen or `vlen`
+    /// not a multiple of `lanes`.
+    pub fn validate(&self) -> Result<()> {
+        if self.lanes == 0 || self.vlen == 0 {
+            return Err(ScfError::InvalidConfig(
+                "vector unit needs lanes and vlen".to_string(),
+            ));
+        }
+        if !self.vlen.is_multiple_of(self.lanes) {
+            return Err(ScfError::InvalidConfig(format!(
+                "vlen {} must be a multiple of lanes {}",
+                self.vlen, self.lanes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Cycles to apply a `passes`-pass elementwise kernel (each pass touches
+    /// every element once, e.g. softmax ≈ 3 passes: max, exp-sum, divide)
+    /// over `elements` elements, including per-instruction FPU latency
+    /// `fpu_cycles` amortised across the vector.
+    pub fn elementwise_cycles(&self, elements: u64, passes: u32, fpu_cycles: u64) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        let per_pass_instr = elements.div_ceil(self.vlen as u64);
+        let chime = (self.vlen / self.lanes) as u64; // cycles per vector instr body
+        let per_pass = per_pass_instr * (chime + self.issue_overhead as u64 + fpu_cycles);
+        per_pass * passes as u64
+    }
+
+    /// Area estimate relative to one scalar core (Spatz reports ~1 core-area
+    /// per 2 lanes at matched technology).
+    pub fn core_area_equivalent(&self) -> f64 {
+        self.lanes as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatz_config_valid() {
+        assert!(VectorUnitConfig::spatz_like().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(VectorUnitConfig {
+            lanes: 0,
+            vlen: 8,
+            issue_overhead: 1
+        }
+        .validate()
+        .is_err());
+        assert!(VectorUnitConfig {
+            lanes: 8,
+            vlen: 12,
+            issue_overhead: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn cycles_scale_inversely_with_lanes() {
+        let narrow = VectorUnitConfig {
+            lanes: 2,
+            vlen: 256,
+            issue_overhead: 3,
+        };
+        let wide = VectorUnitConfig {
+            lanes: 16,
+            vlen: 256,
+            issue_overhead: 3,
+        };
+        let n = 100_000;
+        let c_narrow = narrow.elementwise_cycles(n, 3, 4);
+        let c_wide = wide.elementwise_cycles(n, 3, 4);
+        assert!(c_wide < c_narrow / 4, "wide {c_wide} vs narrow {c_narrow}");
+    }
+
+    #[test]
+    fn long_vectors_amortise_issue_overhead() {
+        let short = VectorUnitConfig {
+            lanes: 8,
+            vlen: 16,
+            issue_overhead: 10,
+        };
+        let long = VectorUnitConfig {
+            lanes: 8,
+            vlen: 512,
+            issue_overhead: 10,
+        };
+        let n = 65_536;
+        assert!(long.elementwise_cycles(n, 1, 0) < short.elementwise_cycles(n, 1, 0));
+    }
+
+    #[test]
+    fn zero_elements_zero_cycles() {
+        assert_eq!(VectorUnitConfig::spatz_like().elementwise_cycles(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn area_tracks_lanes() {
+        assert_eq!(VectorUnitConfig::spatz_like().core_area_equivalent(), 4.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! §VI end to end: archive data in synthetic DNA and read it back.
+//!
+//! Encodes a text payload into indexed oligos with parity, pushes them
+//! through the synthesis/sequencing noise channel, clusters and decodes the
+//! reads, and sizes the FPGA accelerator the decode step would need at
+//! archive scale.
+//!
+//! ```sh
+//! cargo run --release --example dna_archive
+//! ```
+
+use flagship2::dna::accelerator::{AcceleratorConfig, CpuBaseline};
+use flagship2::dna::channel::ChannelModel;
+use flagship2::dna::pipeline::{run_pipeline, PipelineConfig};
+
+const PAYLOAD: &[u8] = b"Data stored in DNA can endure for thousands of years with minimal \
+power consumption, reaching a density of approximately 100 PB per gram.";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Payload: {} bytes", PAYLOAD.len());
+
+    for (label, channel) in [
+        ("typical channel", ChannelModel::typical()),
+        ("harsh channel  ", ChannelModel::harsh()),
+    ] {
+        let cfg = PipelineConfig {
+            channel,
+            ..PipelineConfig::default()
+        };
+        let (recovered, report) = run_pipeline(PAYLOAD, &cfg, 7)?;
+        println!(
+            "{label}: {} oligos -> {} reads -> {} clusters; parity fixes {}; recovered: {}",
+            report.strands_written,
+            report.reads,
+            report.clusters,
+            report.decode.parity_recovered,
+            recovered.is_some()
+        );
+        if let Some(data) = recovered {
+            assert_eq!(data, PAYLOAD);
+        }
+        println!("  edit-distance calls spent in clustering: {}", report.distance_calls);
+    }
+
+    // Scale-up: what decoding a real archive costs, and why the FPGA matters.
+    let pairs: u64 = 1_000_000_000; // a billion read-pairs (small archive)
+    let fpga = AcceleratorConfig::alveo_u50();
+    let cpu = CpuBaseline::server();
+    println!("\nDecoding 1e9 strand pairs (150 bases):");
+    println!(
+        "  Alveo U50 model: {:.1} s at {:.1} TCUPS ({:.1} Mpair/J)",
+        fpga.batch_time(pairs, 150),
+        fpga.throughput().value(),
+        fpga.pair_efficiency(150).value()
+    );
+    let cpu_time = pairs as f64 / (cpu.throughput().value() * 1e12 / (150.0 * 150.0));
+    println!(
+        "  32-core CPU:     {:.0} s at {:.3} TCUPS — {:.0}x slower",
+        cpu_time,
+        cpu.throughput().value(),
+        cpu_time / fpga.batch_time(pairs, 150)
+    );
+    Ok(())
+}

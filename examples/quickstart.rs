@@ -1,0 +1,85 @@
+//! Quickstart: one stop on each of the five research thrusts.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use flagship2::core::kpi::{Gflops, Watts};
+use flagship2::core::rng::rng_for;
+use flagship2::core::tensor::Matrix;
+use flagship2::core::workload::graph::rmat;
+use flagship2::core::workload::transformer::bert_base_block;
+use flagship2::dna::pipeline::{run_pipeline, PipelineConfig};
+use flagship2::hls::ir::dot_product_kernel;
+use flagship2::hls::schedule::{list_schedule, OpLatency, ResourceBudget};
+use flagship2::hls::sparta::{run, spmv_workload, CacheConfig, SpartaConfig};
+use flagship2::imc::crossbar::{Adc, Crossbar};
+use flagship2::imc::device::DeviceModel;
+use flagship2::imc::program::ProgramVerify;
+use flagship2::scf::cluster::ComputeUnit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // §III — schedule a dot-product kernel under two resource budgets.
+    let kernel = dot_product_kernel(16);
+    let lat = OpLatency::default();
+    let fast = list_schedule(&kernel, &lat, &ResourceBudget::unlimited())?;
+    let small = list_schedule(&kernel, &lat, &ResourceBudget::new(2, 2, 1))?;
+    println!(
+        "[HLS]    dot-16 kernel: {} cycles unconstrained, {} cycles with 2 ALUs/2 MULs",
+        fast.latency(),
+        small.latency()
+    );
+
+    // §III — SPARTA hides memory latency on an irregular graph workload.
+    let graph = rmat(8, 8, 1);
+    let workload = spmv_workload(&graph);
+    let cfg = SpartaConfig {
+        accelerators: 4,
+        contexts_per_accel: 8,
+        mem_channels: 4,
+        mem_latency: 100,
+        noc_hop_latency: 2,
+        context_switch_penalty: 1,
+        cache: Some(CacheConfig::small()),
+    };
+    let base = run(&workload, &SpartaConfig::sequential_baseline(100))?;
+    let opt = run(&workload, &cfg)?;
+    println!(
+        "[SPARTA] SpMV on RMAT-8: {:.1}x speedup over the sequential baseline",
+        base.cycles as f64 / opt.cycles as f64
+    );
+
+    // §IV — program a weight matrix onto an RRAM crossbar and run an MVM.
+    let weights = Matrix::from_fn(32, 8, |r, c| ((r + 3 * c) % 11) as f64 / 5.0 - 1.0);
+    let mut rng = rng_for(7, "quickstart");
+    let xbar = Crossbar::program(DeviceModel::rram(), &weights, &ProgramVerify::default(), &mut rng)?;
+    let x = vec![0.5; 32];
+    let mut ledger = flagship2::core::energy::EnergyLedger::new();
+    let y = xbar.mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)?;
+    println!(
+        "[IMC]    32x8 analog MVM done: y[0] = {:.3}, {} analog MACs logged",
+        y[0],
+        ledger.count(flagship2::core::energy::OpKind::AnalogCrossbarMac)
+    );
+
+    // §VI — archive a message in DNA and recover it through a noisy channel.
+    let (recovered, report) = run_pipeline(b"flagship2", &PipelineConfig::default(), 42)?;
+    println!(
+        "[DNA]    stored 9 bytes in {} oligos, {} reads, recovered: {}",
+        report.strands_written,
+        report.reads,
+        recovered.is_some()
+    );
+
+    // §VII — run a BERT block on the prototype Compute Unit.
+    let cu = ComputeUnit::prototype();
+    let r = cu.run_transformer_block(&bert_base_block());
+    let eff = Gflops::new(r.achieved.value()) / Watts::new(r.power.value());
+    println!(
+        "[SCF]    BERT block on the CU: {:.0} GFLOPS at {:.0} mW = {:.2} TFLOPS/W",
+        r.achieved.value(),
+        r.power.value() * 1e3,
+        eff.value() / 1000.0
+    );
+    Ok(())
+}

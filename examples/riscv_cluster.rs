@@ -1,0 +1,37 @@
+//! Execution-driven §VII demo: real RV32IM programs on a multi-core cluster
+//! with a shared banked TCDM.
+//!
+//! ```sh
+//! cargo run --example riscv_cluster
+//! ```
+
+use flagship2::scf::multicore::{vector_add_program, MulticoreCluster, MulticoreConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256u32;
+    println!("SPMD kernel: out[i] = a[i] + b[i] over {n} elements\n");
+    for cores in [1usize, 4, 8] {
+        let cfg = MulticoreConfig {
+            cores,
+            tcdm_banks: 32,
+            tcdm_words_per_bank: 128,
+            max_cycles: 10_000_000,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &vector_add_program(n))?;
+        for i in 0..n as usize {
+            cluster.tcdm_mut().write_word(i, i as u32)?;
+            cluster.tcdm_mut().write_word(n as usize + i, 3 * i as u32)?;
+        }
+        let report = cluster.run()?;
+        // Verify the result the cores computed.
+        for i in 0..n as usize {
+            assert_eq!(cluster.tcdm_mut().read_word(2 * n as usize + i)?, 4 * i as u32);
+        }
+        let instrs: u64 = report.instructions.iter().sum();
+        println!(
+            "{cores} core(s): {:>7} cycles, {:>6} instructions retired, {} bank conflicts — result verified",
+            report.cycles, instrs, report.conflict_stalls
+        );
+    }
+    Ok(())
+}

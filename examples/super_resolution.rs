@@ -1,0 +1,62 @@
+//! §V end to end: foveated super-resolution with HTCONV.
+//!
+//! Upscales a synthetic 1080p-quarter scene with the exact TCONV baseline
+//! and the HTCONV approximation, reports MAC savings and PSNR, and sizes
+//! the FPGA implementation (the Table I "New" row).
+//!
+//! ```sh
+//! cargo run --release --example super_resolution
+//! ```
+
+use flagship2::approx::fpga_model::HtconvAcceleratorModel;
+use flagship2::approx::fsrcnn::{DeconvMode, FsrcnnModel};
+use flagship2::approx::htconv::FoveaSpec;
+use flagship2::approx::image::Image;
+use flagship2::approx::psnr::psnr_cropped;
+use flagship2::core::fixed::QFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hr = Image::synthetic(128, 128, 2024);
+    let lr = hr.downsample2x()?;
+    println!("Scene: {}x{} HR, downsampled to {}x{} LR", 128, 128, 64, 64);
+
+    let model = FsrcnnModel::generate(25, 5, 1, 7);
+    let q16 = QFormat::new(16, 12)?;
+    println!("Model: {} at 16-bit fixed point", model.name());
+
+    let exact = model.run(&lr, DeconvMode::Exact, Some(q16));
+    println!(
+        "exact TCONV:  {:>11} MACs, PSNR vs HR = {:.2} dB",
+        exact.total_macs(),
+        psnr_cropped(&hr, &exact.image, 6)?
+    );
+
+    for fovea_frac in [0.3, 0.15, 0.05] {
+        let fovea = FoveaSpec::centered_fraction(64, 64, fovea_frac);
+        let out = model.run(&lr, DeconvMode::Htconv(fovea), Some(q16));
+        println!(
+            "HTCONV {:>4.0}%: {:>11} MACs ({:.1}% deconv saving), PSNR vs HR = {:.2} dB",
+            fovea_frac * 100.0,
+            out.total_macs(),
+            out.deconv.mac_saving_vs_exact() * 100.0,
+            psnr_cropped(&hr, &out.image, 6)?
+        );
+    }
+
+    println!("\nFPGA implementation of the accelerator (Table I 'New' model):");
+    let row = HtconvAcceleratorModel::table1_new().implement();
+    println!(
+        "  {} @ {:.0} MHz: {:.1} Mpix/s, {} LUTs / {} FFs / {} DSPs / {:.0} KB BRAM",
+        row.technology,
+        row.fmax.value(),
+        row.out_throughput.value(),
+        row.luts,
+        row.ffs,
+        row.dsps,
+        row.bram_kb
+    );
+    if let Some(eff) = row.energy_efficiency() {
+        println!("  {:.2} W -> {:.1} Mpix/s/W", row.power.expect("modelled").value(), eff.value());
+    }
+    Ok(())
+}

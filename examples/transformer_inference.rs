@@ -1,0 +1,60 @@
+//! §VII end to end: transformer inference on the Compute Unit and the
+//! Scalable Compute Fabric.
+//!
+//! ```sh
+//! cargo run --release --example transformer_inference
+//! ```
+
+use flagship2::core::kpi::GigabytesPerSecond;
+use flagship2::core::workload::transformer::{bert_base_block, TransformerModel};
+use flagship2::scf::cluster::ComputeUnit;
+use flagship2::scf::fabric::{scaling_sweep, FabricConfig, ScalableComputeFabric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let block = bert_base_block();
+    let model = TransformerModel::new("BERT-base", block, 12)?;
+    println!(
+        "Workload: {} — {} blocks, {:.2} GFLOP per forward pass",
+        model.name(),
+        model.num_blocks(),
+        model.total_flops() as f64 / 1e9
+    );
+
+    let cu = ComputeUnit::prototype();
+    let r = cu.run_transformer_block(&block);
+    println!(
+        "\nPrototype CU (GF12, 460 MHz, 0.55 V): {:.0} GFLOPS, {:.0} mW, {:.2} TFLOPS/W",
+        r.achieved.value(),
+        r.power.value() * 1e3,
+        r.efficiency.value() / 1000.0
+    );
+    println!(
+        "  cycle split: {} GEMM / {} softmax / {} layernorm",
+        r.cycles.gemm, r.cycles.softmax, r.cycles.layernorm
+    );
+    let latency_s =
+        r.cycles.total() as f64 * model.num_blocks() as f64 / cu.power_model().clock.to_hertz();
+    println!("  full-model latency on one CU: {:.1} ms", latency_s * 1e3);
+
+    println!("\nScalable Compute Fabric (Fig. 8), single HBM2E stack:");
+    for report in scaling_sweep(&[4, 16, 64, 256], &block, GigabytesPerSecond::new(410.0))? {
+        println!(
+            "  {:>3} CUs: {:>7.2} TFLOPS, {:>6.0} blocks/s, {:>6.2} W, {}-bound",
+            report.cu_count,
+            report.achieved.value() / 1000.0,
+            report.blocks_per_second,
+            report.power.value(),
+            if report.hbm_bound { "memory" } else { "compute" }
+        );
+    }
+
+    // A custom fabric instance end to end.
+    let fabric = ScalableComputeFabric::new(FabricConfig::occamy_class(32), ComputeUnit::prototype())?;
+    let fr = fabric.run_transformer(&block);
+    println!(
+        "\n32-CU fabric serves {:.0} sequences/s through the full {}-block model",
+        fr.blocks_per_second / model.num_blocks() as f64,
+        model.num_blocks()
+    );
+    Ok(())
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration: flows that span multiple thrust crates through
+//! the facade, plus serde round-trips of the report types.
+
+use flagship2::core::pareto::{DesignSpace, Direction};
+use flagship2::core::rng::DEFAULT_SEED;
+use flagship2::core::workload::graph::{bfs, rmat};
+
+/// The core DSE engine drives the HLS flow: sweep SPARTA context counts and
+/// confirm the Pareto front prefers more contexts only while they pay off.
+#[test]
+fn core_dse_engine_explores_sparta_configs() {
+    use flagship2::hls::sparta::{run, spmv_workload, SpartaConfig};
+    let graph = rmat(8, 8, DEFAULT_SEED);
+    let wl = spmv_workload(&graph);
+    let space = DesignSpace::new()
+        .axis("contexts", [1.0, 2.0, 4.0, 8.0, 16.0])
+        .axis("channels", [1.0, 2.0, 4.0]);
+    let sweep = space.sweep(
+        &[Direction::Minimize, Direction::Minimize],
+        |point| {
+            let cfg = SpartaConfig {
+                accelerators: 2,
+                contexts_per_accel: point["contexts"] as usize,
+                mem_channels: point["channels"] as usize,
+                mem_latency: 100,
+                noc_hop_latency: 2,
+                context_switch_penalty: 1,
+                cache: None,
+            };
+            let r = run(&wl, &cfg).expect("valid config");
+            // Objectives: cycles, hardware cost proxy (contexts × channels).
+            vec![
+                r.cycles as f64,
+                point["contexts"] * 4.0 + point["channels"] * 8.0,
+            ]
+        },
+    );
+    assert_eq!(sweep.points().len(), 15);
+    let front: Vec<_> = sweep.front_entries().collect();
+    assert!(front.len() >= 3, "expected a trade-off front, got {}", front.len());
+    // The fastest point on the front uses many contexts.
+    let fastest = front
+        .iter()
+        .min_by(|a, b| a.1[0].partial_cmp(&b.1[0]).expect("finite"))
+        .expect("non-empty front");
+    assert!(fastest.0["contexts"] >= 8.0);
+}
+
+/// The SPARTA accelerator must compute the same BFS reachability the golden
+/// software kernel computes (the workload generator walks the same CSR).
+#[test]
+fn sparta_workload_covers_whole_graph() {
+    use flagship2::hls::sparta::{bfs_workload, spmv_workload};
+    let graph = rmat(8, 4, 3);
+    let levels = bfs(&graph, 0);
+    let reachable = levels.iter().filter(|&&l| l != usize::MAX).count();
+    assert!(reachable > 1, "test graph must be partly connected");
+    // One task per vertex in both generated workloads.
+    assert_eq!(bfs_workload(&graph).tasks.len(), graph.num_nodes());
+    assert_eq!(spmv_workload(&graph).tasks.len(), graph.num_nodes());
+}
+
+/// Train in float (imc crate), deploy on the IMC tile architecture, and
+/// check the energy ledger against the core energy model's invariants.
+#[test]
+fn imc_deployment_energy_is_dominated_by_analog_macs_not_adc_when_accumulating() {
+    use flagship2::core::energy::{OpEnergy, OpKind, TechNode};
+    use flagship2::imc::device::DeviceModel;
+    use flagship2::imc::eval::{imc_accuracy, make_train_test, train_mlp, DeploymentScenario};
+    use flagship2::imc::program::ProgramVerify;
+    use flagship2::imc::tile::TileConfig;
+    let (train, test) = make_train_test(4, 10, 40, 20, 0.25, 5);
+    let mlp = train_mlp(&train, 16, 10, 0.05, 6);
+    let scenario = DeploymentScenario {
+        device: DeviceModel::rram(),
+        inference_time: 1.0,
+        tile: TileConfig {
+            tile_rows: 16,
+            tile_cols: 16,
+            adc_bits: 8,
+            analog_accumulation: true,
+            drift_compensation: false,
+        },
+    };
+    let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 8)
+        .expect("deployable");
+    let table = OpEnergy::for_node(TechNode::N45);
+    let adc = eval.ledger.energy_of(OpKind::AdcConversion, &table).value();
+    let total = eval.ledger.total_energy(&table).value();
+    assert!(total > 0.0);
+    // With analog accumulation the ADC share stays bounded.
+    assert!(adc / total < 0.8, "ADC share {:.2}", adc / total);
+    assert!(eval.accuracy > 0.7);
+}
+
+/// The transformer workload definition (core) must agree with the CU
+/// simulator (scf) on FLOP counts.
+#[test]
+fn core_and_scf_agree_on_transformer_flops() {
+    use flagship2::core::workload::transformer::bert_base_block;
+    use flagship2::scf::cluster::ComputeUnit;
+    let block = bert_base_block();
+    let report = ComputeUnit::prototype().run_transformer_block(&block);
+    assert_eq!(report.flops, block.flops().total());
+}
+
+/// The RV32 ISS executes a real reduction and matches a host-side result.
+#[test]
+fn iss_sum_matches_host() {
+    use flagship2::scf::cpu::Cpu;
+    use flagship2::scf::isa::asm;
+    use flagship2::scf::memory::{FlatMemory, Memory};
+    let mut mem = FlatMemory::new(64 * 1024);
+    let values: Vec<u32> = (0..32).map(|i| i * i + 1).collect();
+    for (i, &v) in values.iter().enumerate() {
+        mem.store_u32(0x700 + (i as u32) * 4, v).expect("in range");
+    }
+    let program = [
+        asm::addi(1, 0, 0x700),  // ptr
+        asm::addi(2, 0, 32),     // count
+        asm::addi(3, 0, 0),      // acc
+        asm::lw(4, 1, 0),
+        asm::add(3, 3, 4),
+        asm::addi(1, 1, 4),
+        asm::addi(2, 2, -1),
+        asm::bne(2, 0, -16),
+        asm::ecall(),
+    ];
+    mem.load_program(0, &program);
+    let mut cpu = Cpu::new(0);
+    cpu.run(&mut mem, 100_000).expect("program halts");
+    assert_eq!(cpu.reg(3), values.iter().sum::<u32>());
+}
+
+/// Report types serialise (serde) and survive a JSON-free round-trip via
+/// the derived traits — the contract downstream tooling relies on.
+#[test]
+fn reports_are_clonable_comparable_and_serializable() {
+    fn assert_traits<T: Clone + PartialEq + serde::Serialize + Send + Sync>() {}
+    assert_traits::<flagship2::hls::sparta::SpartaReport>();
+    assert_traits::<flagship2::imc::program::ProgramOutcome>();
+    assert_traits::<flagship2::approx::htconv::HtconvStats>();
+    assert_traits::<flagship2::dna::pipeline::PipelineReport>();
+    assert_traits::<flagship2::hetero::pipeline::PipelineReport>();
+    assert_traits::<flagship2::scf::cluster::BlockReport>();
+    assert_traits::<flagship2::scf::fabric::FabricReport>();
+}
+
+/// The hetero campaign, the rotation-coded DNA pipeline and the vectorised
+/// CU all run end-to-end through the facade.
+#[test]
+fn new_subsystem_flows_compose() {
+    // Campaign query helpers.
+    use flagship2::hetero::campaign::run_campaign;
+    use flagship2::hetero::device::Phase;
+    use flagship2::hetero::pipeline::PipelineSpec;
+    let campaign = run_campaign(&PipelineSpec::segmentation_default());
+    assert_eq!(campaign.entries.len(), 30);
+    assert!(campaign.fastest(Phase::Training).is_some());
+
+    // Constraint-compliant DNA archive.
+    use flagship2::dna::codec::{decode_constrained, encode_constrained, CodecConfig};
+    use flagship2::dna::constraints::max_homopolymer;
+    let payload = b"homopolymer-free archive";
+    let archive = encode_constrained(payload, CodecConfig::default()).expect("encodable");
+    assert!(archive.strands.iter().all(|s| max_homopolymer(s) == 1));
+    let (decoded, _) = decode_constrained(&archive.strands, archive.payload_len, archive.config)
+        .expect("decodable");
+    assert_eq!(decoded, payload);
+
+    // Vector-augmented CU still agrees with the workload FLOP count.
+    use flagship2::core::workload::transformer::bert_base_block;
+    use flagship2::scf::cluster::{ComputeUnit, CuConfig};
+    use flagship2::scf::power::CuPowerModel;
+    let cu = ComputeUnit::new(CuConfig::prototype_with_vector(), CuPowerModel::gf12_prototype())
+        .expect("valid");
+    let r = cu.run_transformer_block(&bert_base_block());
+    assert_eq!(r.flops, bert_base_block().flops().total());
+}
+
+/// Loop pipelining and the AXI interface model compose into a throughput
+/// estimate: iterations/s = fmax / II, bounded by the AXI feed rate.
+#[test]
+fn pipelined_kernel_with_axi_feed() {
+    use flagship2::hls::interface::Axi4Master;
+    use flagship2::hls::pipeline::{mac_loop_kernel, modulo_schedule};
+    use flagship2::hls::schedule::{OpLatency, ResourceBudget};
+    let schedule = modulo_schedule(
+        &mac_loop_kernel(),
+        &OpLatency::default(),
+        &ResourceBudget::new(2, 2, 2),
+    )
+    .expect("feasible");
+    assert_eq!(schedule.ii(), 1);
+    // Each iteration consumes 8 bytes (two 32-bit operands).
+    let n = 1_000_000u64;
+    let compute_cycles = schedule.total_cycles(n);
+    // A wide 64-byte AXI port feeds the II=1 datapath easily…
+    let wide = Axi4Master::hls_default();
+    assert!(wide.transfer_cycles(8 * n) < compute_cycles);
+    // …but a 4-byte port cannot: the interface becomes the bottleneck —
+    // the insight interface DSE exists for.
+    let narrow = Axi4Master {
+        data_bytes: 4,
+        ..Axi4Master::hls_default()
+    };
+    assert!(narrow.transfer_cycles(8 * n) > compute_cycles);
+}
+
+/// Fixed-point and bf16 formats from core behave consistently when both are
+/// used to quantise the same image (approx crate).
+#[test]
+fn numeric_formats_compose_on_images() {
+    use flagship2::approx::image::Image;
+    use flagship2::core::bf16::Bf16;
+    use flagship2::core::fixed::QFormat;
+    let img = Image::synthetic(16, 16, 3);
+    let q = QFormat::new(16, 12).expect("valid format");
+    let fixed = img.quantized(q);
+    for (a, b) in img.as_slice().iter().zip(fixed.as_slice()) {
+        assert!((a - b).abs() <= q.resolution());
+        let bf = Bf16::from_f64(*a).to_f64();
+        assert!((a - bf).abs() < 0.01);
+    }
+}

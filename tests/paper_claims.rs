@@ -1,0 +1,238 @@
+//! Integration suite: one test per paper experiment (E1-E13 in DESIGN.md),
+//! each asserting the headline claim *shape* end-to-end through the public
+//! facade. These are the executable form of EXPERIMENTS.md.
+
+use flagship2::core::kpi::GigabytesPerSecond;
+use flagship2::core::platform::{
+    fig1_catalog, median_efficiency, riscv_sota_catalog, PlatformClass, PowerBand,
+};
+use flagship2::core::rng::DEFAULT_SEED;
+use flagship2::core::workload::dnn::fsrcnn;
+use flagship2::core::workload::graph::rmat;
+use flagship2::core::workload::transformer::bert_base_block;
+
+#[test]
+fn e1_fig1_landscape_ordering() {
+    let cat = fig1_catalog();
+    let median = |c| median_efficiency(&cat, c).expect("class has entries").value();
+    let cpu = median(PlatformClass::Cpu);
+    let gpu = median(PlatformClass::Gpu);
+    let cgra = median(PlatformClass::Cgra);
+    let fpga = median(PlatformClass::Fpga);
+    let sram = median(PlatformClass::NpuSramImc);
+    let nvm = median(PlatformClass::NpuNvmImc);
+    assert!(cpu < gpu && cpu < fpga, "CPUs least efficient");
+    assert!(cgra > fpga, "CGRA between FPGA and ASIC");
+    assert!(sram > gpu * 10.0 && nvm > gpu * 10.0, "IMC dominates");
+}
+
+#[test]
+fn e2_sparta_beats_sequential_hls() {
+    use flagship2::hls::sparta::{run, spmv_workload, CacheConfig, SpartaConfig};
+    let graph = rmat(9, 8, DEFAULT_SEED);
+    let wl = spmv_workload(&graph);
+    let base = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
+    let cfg = SpartaConfig {
+        accelerators: 4,
+        contexts_per_accel: 8,
+        mem_channels: 4,
+        mem_latency: 100,
+        noc_hop_latency: 2,
+        context_switch_penalty: 1,
+        cache: Some(CacheConfig::small()),
+    };
+    let opt = run(&wl, &cfg).expect("valid config");
+    assert!(
+        base.cycles as f64 / opt.cycles as f64 > 4.0,
+        "SPARTA speedup too small: {} vs {}",
+        base.cycles,
+        opt.cycles
+    );
+}
+
+#[test]
+fn e3_program_and_verify_protects_accuracy() {
+    use flagship2::imc::device::DeviceModel;
+    use flagship2::imc::eval::{imc_accuracy, make_train_test, train_mlp, DeploymentScenario};
+    use flagship2::imc::program::ProgramVerify;
+    use flagship2::imc::tile::TileConfig;
+    let (train, test) = make_train_test(6, 12, 60, 30, 0.25, 7);
+    let mlp = train_mlp(&train, 20, 12, 0.05, 9);
+    let float_acc = mlp.accuracy(&test);
+    let scenario = DeploymentScenario {
+        device: DeviceModel::rram(),
+        inference_time: 1.0,
+        tile: TileConfig {
+            tile_rows: 16,
+            tile_cols: 16,
+            adc_bits: 9,
+            analog_accumulation: true,
+            drift_compensation: false,
+        },
+    };
+    let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 3)
+        .expect("deployable");
+    assert!(float_acc > 0.9, "float accuracy {float_acc}");
+    assert!(
+        eval.accuracy > float_acc - 0.05,
+        "IMC accuracy {} too far below float {}",
+        eval.accuracy,
+        float_acc
+    );
+}
+
+#[test]
+fn e4_analog_imc_beats_digital_energy_and_adc_dominates() {
+    use flagship2::core::energy::{EnergyLedger, OpEnergy, OpKind, TechNode};
+    let table = OpEnergy::for_node(TechNode::N45);
+    // Analog 128x128 MVM event counts (from the crossbar model).
+    let mut analog = EnergyLedger::new();
+    analog.record(OpKind::DacConversion, 128);
+    analog.record(OpKind::AnalogCrossbarMac, 128 * 128 * 2);
+    analog.record(OpKind::AdcConversion, 128);
+    let mut digital = EnergyLedger::new();
+    digital.record(OpKind::MacInt8, 128 * 128);
+    digital.record(OpKind::SramRead32, 128 * 128 / 4);
+    let a = analog.total_energy(&table).value();
+    let d = digital.total_energy(&table).value();
+    assert!(d / a > 5.0, "analog advantage only {:.1}x", d / a);
+    let adc = analog.energy_of(OpKind::AdcConversion, &table).value();
+    assert!(adc / a > 0.2, "ADC share {:.2} should dominate analog cost", adc / a);
+}
+
+#[test]
+fn e5_htconv_saves_macs_with_small_psnr_loss() {
+    use flagship2::approx::htconv::{htconv_upscale2x, FoveaSpec};
+    use flagship2::approx::image::Image;
+    use flagship2::approx::psnr::psnr_cropped;
+    use flagship2::approx::tconv::{bicubic_kernel, tconv_upscale2x};
+    let hr = Image::synthetic(96, 96, 5);
+    let lr = hr.downsample2x().expect("even dims");
+    let (exact, _) = tconv_upscale2x(&lr, &bicubic_kernel());
+    let fovea = FoveaSpec::centered_fraction(48, 48, 0.15);
+    let (hybrid, stats) = htconv_upscale2x(&lr, &bicubic_kernel(), &fovea);
+    let pe = psnr_cropped(&hr, &exact, 6).expect("same dims");
+    let ph = psnr_cropped(&hr, &hybrid, 6).expect("same dims");
+    assert!(stats.mac_saving_vs_exact() > 0.6);
+    assert!((pe - ph) / pe < 0.10, "PSNR loss too large: {pe:.2} -> {ph:.2}");
+    // Model-level: approximate model saves >80% vs the FSRCNN(56,12,4) baseline.
+    let baseline = fsrcnn(56, 12, 4, 270, 480).expect("valid model");
+    let small = fsrcnn(25, 5, 1, 270, 480).expect("valid model");
+    let deconv: u64 = small
+        .layers()
+        .iter()
+        .filter(|l| l.name() == "deconv")
+        .map(|l| l.macs())
+        .sum();
+    let approx_macs = small.total_macs() - (deconv as f64 * 0.72) as u64;
+    assert!(
+        1.0 - approx_macs as f64 / baseline.total_macs() as f64 > 0.8,
+        "model-level MAC saving under 80%"
+    );
+}
+
+#[test]
+fn e6_table1_new_row_relations() {
+    use flagship2::approx::fpga_model::{chang2020_row, table1_rows};
+    let rows = table1_rows();
+    let new = &rows[2];
+    let chang = chang2020_row();
+    assert!(chang.luts as f64 / new.luts as f64 > 4.0);
+    assert!(new.fmax.value() > chang.fmax.value());
+    let gain = new.energy_efficiency().expect("modelled").value()
+        / chang.energy_efficiency().expect("published").value();
+    assert!(gain > 1.8, "efficiency gain {gain:.2}");
+}
+
+#[test]
+fn e7_platform_tradeoffs_hold() {
+    use flagship2::hetero::device::ComputeDevice;
+    use flagship2::hetero::pipeline::{run_inference, run_training, PipelineSpec};
+    use flagship2::hetero::storage::StorageDevice;
+    let spec = PipelineSpec::segmentation_default();
+    let nvme = StorageDevice::nvme_ssd();
+    let gpu_t = run_training(&spec, &ComputeDevice::datacenter_gpu(), &nvme);
+    let cpu_t = run_training(&spec, &ComputeDevice::server_cpu(), &nvme);
+    assert!(gpu_t.total_time < cpu_t.total_time / 2.0);
+    let fpga_i = run_inference(&spec, &ComputeDevice::fpga_card(), &nvme);
+    let gpu_i = run_inference(&spec, &ComputeDevice::datacenter_gpu(), &nvme);
+    assert!(fpga_i.energy.value() < gpu_i.energy.value());
+}
+
+#[test]
+fn e8_computational_storage_buys_about_ten_percent() {
+    use flagship2::hetero::device::ComputeDevice;
+    use flagship2::hetero::pipeline::{run_inference, run_training, PipelineSpec};
+    use flagship2::hetero::storage::StorageDevice;
+    let spec = PipelineSpec::segmentation_default();
+    let t_base = run_training(&spec, &ComputeDevice::datacenter_gpu(), &StorageDevice::nvme_ssd());
+    let t_cs = run_training(
+        &spec,
+        &ComputeDevice::datacenter_gpu(),
+        &StorageDevice::computational_storage(),
+    );
+    let train_gain = 1.0 - t_cs.total_time / t_base.total_time;
+    assert!((0.02..=0.15).contains(&train_gain), "training gain {train_gain:.3}");
+    let i_base = run_inference(&spec, &ComputeDevice::fpga_card(), &StorageDevice::nvme_ssd());
+    let i_cs = run_inference(
+        &spec,
+        &ComputeDevice::fpga_card(),
+        &StorageDevice::computational_storage(),
+    );
+    let infer_gain = i_cs.throughput / i_base.throughput - 1.0;
+    assert!((0.02..=0.2).contains(&infer_gain), "inference gain {infer_gain:.3}");
+}
+
+#[test]
+fn e9_dna_accelerator_published_figures() {
+    use flagship2::dna::accelerator::{AcceleratorConfig, CpuBaseline};
+    let fpga = AcceleratorConfig::alveo_u50();
+    assert!((fpga.throughput().value() - 16.8).abs() / 16.8 < 0.05);
+    assert!((fpga.pair_efficiency(150).value() - 46.0).abs() / 46.0 < 0.05);
+    assert!(fpga.throughput().value() / CpuBaseline::server().throughput().value() > 100.0);
+}
+
+#[test]
+fn e10_dna_pipeline_round_trip() {
+    use flagship2::dna::pipeline::{run_pipeline, PipelineConfig};
+    let payload = b"ICSC Flagship 2: architectures and design methodologies to accelerate AI workloads";
+    let (recovered, report) =
+        run_pipeline(payload, &PipelineConfig::default(), 42).expect("valid config");
+    assert!(report.payload_recovered, "typical channel must round-trip");
+    assert_eq!(recovered.expect("recovered").as_slice(), payload.as_slice());
+}
+
+#[test]
+fn e11_riscv_sota_clusters_sub_watt() {
+    let cat = riscv_sota_catalog();
+    let band = |b| {
+        cat.iter()
+            .filter(|p| PowerBand::classify(p.power) == b)
+            .count()
+    };
+    let mid = band(PowerBand::HundredMilliwattToWatt);
+    assert!(mid > band(PowerBand::SubHundredMilliwatt));
+    assert!(mid >= band(PowerBand::AboveWatt));
+}
+
+#[test]
+fn e12_compute_unit_kpis() {
+    use flagship2::scf::cluster::ComputeUnit;
+    let report = ComputeUnit::prototype().run_transformer_block(&bert_base_block());
+    assert!((120.0..=176.0).contains(&report.achieved.value()));
+    let tflops_w = report.efficiency.value() / 1000.0;
+    assert!((1.2..=1.8).contains(&tflops_w), "efficiency {tflops_w:.2}");
+    // Area matches the Fig. 9 figure (~1.21 mm2).
+    let area = ComputeUnit::prototype().power_model().area.value();
+    assert!((area - 1.21).abs() < 1e-9);
+}
+
+#[test]
+fn e13_fabric_scales_then_saturates() {
+    use flagship2::scf::fabric::scaling_sweep;
+    let reports = scaling_sweep(&[1, 4, 512], &bert_base_block(), GigabytesPerSecond::new(410.0))
+        .expect("valid sweep");
+    assert!(reports[1].achieved.value() / reports[0].achieved.value() > 3.5);
+    assert!(reports[2].hbm_bound);
+    assert!(reports[2].power.value() > 1.0, "fabric must enter the >1W regime");
+}
