@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI pipeline for the flagship2 workspace. Fully offline: the workspace is
+# hermetic (zero external crates — see tests/hermetic.rs), so every step
+# works without registry access. Run it locally before pushing; the GitHub
+# workflow (.github/workflows/ci.yml) runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# Tier-1 verify: release build + full workspace test suite.
+run cargo build --release --offline --workspace --all-targets
+run cargo test --quiet --offline --workspace
+
+# Style gates.
+run cargo fmt --all -- --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo
+echo "CI OK"

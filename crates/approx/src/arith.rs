@@ -10,12 +10,10 @@
 //! characterisable error for large area/energy savings; this module
 //! implements them bit-exactly and quantifies both sides of the trade.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width truncated array multiplier: the `truncated` least
 /// significant columns of the partial-product array are discarded (with a
 /// constant correction of half an LSB of the kept part).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TruncatedMultiplier {
     /// Operand width in bits (unsigned operands up to this width).
     pub width: u32,
@@ -100,7 +98,7 @@ fn pps_in_column(col: u32, width: u32) -> u32 {
 /// A lower-part-OR adder (LOA): the low `approx_bits` are computed by
 /// bitwise OR (no carry chain), the upper part by an exact adder with no
 /// carry-in from the low part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoaAdder {
     /// Total operand width.
     pub width: u32,
@@ -165,7 +163,7 @@ fn mask(bits: u32) -> u32 {
 }
 
 /// Error statistics of an approximate unit over an operand sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorStats {
     /// Mean absolute error.
     pub mean_abs: f64,
@@ -179,8 +177,8 @@ pub struct ErrorStats {
 pub fn characterize_multiplier(m: &TruncatedMultiplier, samples: usize) -> ErrorStats {
     let mut rng = f2_core::rng::rng_for(11, "arith-mul");
     characterize(samples, |_| {
-        let a = rand::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
-        let b = rand::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
+        let a = f2_core::rng::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
+        let b = f2_core::rng::Rng::gen::<u16>(&mut rng) & (mask(m.width) as u16);
         (m.multiply(a, b) as i64, m.exact(a, b) as i64)
     })
 }
@@ -189,8 +187,8 @@ pub fn characterize_multiplier(m: &TruncatedMultiplier, samples: usize) -> Error
 pub fn characterize_adder(a: &LoaAdder, samples: usize) -> ErrorStats {
     let mut rng = f2_core::rng::rng_for(12, "arith-add");
     characterize(samples, |_| {
-        let x = rand::Rng::gen::<u32>(&mut rng) & mask(a.width);
-        let y = rand::Rng::gen::<u32>(&mut rng) & mask(a.width);
+        let x = f2_core::rng::Rng::gen::<u32>(&mut rng) & mask(a.width);
+        let y = f2_core::rng::Rng::gen::<u32>(&mut rng) & mask(a.width);
         (a.add(x, y) as i64, a.exact(x, y) as i64)
     })
 }

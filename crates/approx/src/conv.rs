@@ -8,7 +8,7 @@
 use crate::image::Image;
 
 /// A square convolution kernel with its coefficients in row-major order.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     size: usize,
     taps: Vec<f64>,

@@ -34,8 +34,14 @@ mod tests {
     fn display_and_traits() {
         fn check<T: Send + Sync + Error>() {}
         check::<ApproxError>();
-        assert!(ApproxError::InvalidImage("x".into()).to_string().contains('x'));
-        assert!(!ApproxError::InvalidKernel("k".into()).to_string().is_empty());
-        assert!(!ApproxError::InvalidParameter("p".into()).to_string().is_empty());
+        assert!(ApproxError::InvalidImage("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(!ApproxError::InvalidKernel("k".into())
+            .to_string()
+            .is_empty());
+        assert!(!ApproxError::InvalidParameter("p".into())
+            .to_string()
+            .is_empty());
     }
 }

@@ -10,10 +10,9 @@
 //! CV²f power model. Calibration constants are documented inline.
 
 use f2_core::kpi::{Megahertz, MegapixelsPerSecond, MegapixelsPerSecondPerWatt, Watts};
-use serde::{Deserialize, Serialize};
 
 /// One row of Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Method label ("\[15\]", "\[17\]", "New").
     pub method: String,
@@ -86,7 +85,7 @@ pub fn adas2022_row() -> TableRow {
 }
 
 /// Architectural model of the HTCONV accelerator (Fig. 4 datapath).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HtconvAcceleratorModel {
     /// Input (LR) frame width in pixels.
     pub input_width: u32,
@@ -236,7 +235,10 @@ mod tests {
         assert!(new.fmax.value() > chang.fmax.value());
         let p_new = new.power.expect("modelled").value();
         let p_chang = chang.power.expect("published").value();
-        assert!(p_new < p_chang, "power {p_new:.2} W should beat {p_chang:.2} W");
+        assert!(
+            p_new < p_chang,
+            "power {p_new:.2} W should beat {p_chang:.2} W"
+        );
         assert!(
             (2.5..=5.0).contains(&p_new),
             "modelled power {p_new:.2} W should land near the published 3.7 W"
@@ -268,7 +270,10 @@ mod tests {
         // Table I: 753.04 vs 762.53 Mpixels/s — within ~5%.
         let new = new_row().out_throughput.value();
         let adas = adas2022_row().out_throughput.value();
-        assert!((new - adas).abs() / adas < 0.05, "new {new:.1} vs adas {adas:.1}");
+        assert!(
+            (new - adas).abs() / adas < 0.05,
+            "new {new:.1} vs adas {adas:.1}"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@ use crate::image::Image;
 use crate::tconv::{bicubic_kernel, tconv_upscale2x};
 use f2_core::fixed::QFormat;
 use f2_core::rng::{rng_for, sample_normal};
-use serde::{Deserialize, Serialize};
 
 /// A multi-channel convolution layer with PReLU activation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConvLayer {
     // kernels[out][in]
     kernels: Vec<Vec<Kernel>>,
@@ -72,11 +71,7 @@ impl ConvLayer {
     ///
     /// Panics if `input` channel count differs from the layer's input arity.
     pub fn forward(&self, input: &[Image]) -> (Vec<Image>, u64) {
-        assert_eq!(
-            input.len(),
-            self.kernels[0].len(),
-            "channel count mismatch"
-        );
+        assert_eq!(input.len(), self.kernels[0].len(), "channel count mismatch");
         let mut macs = 0;
         let out = self
             .kernels
@@ -110,7 +105,7 @@ impl ConvLayer {
 }
 
 /// Final-layer mode: the exact TCONV baseline or the foveated HTCONV.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DeconvMode {
     /// Exact transposed convolution (Fig. 3 accurate branch everywhere).
     Exact,
@@ -119,7 +114,7 @@ pub enum DeconvMode {
 }
 
 /// The FSRCNN(d, s, m) model with an exchangeable upscaling layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsrcnnModel {
     name: String,
     layers: Vec<ConvLayer>,
@@ -185,7 +180,12 @@ impl FsrcnnModel {
         }
         let (collapsed, m) = self.collapse.forward(&features);
         conv_macs += m;
-        let pre_up = maybe_q(collapsed.into_iter().next().expect("collapse emits 1 channel"));
+        let pre_up = maybe_q(
+            collapsed
+                .into_iter()
+                .next()
+                .expect("collapse emits 1 channel"),
+        );
         let (sr, deconv_stats) = match mode {
             DeconvMode::Exact => {
                 let (img, macs) = tconv_upscale2x(&pre_up, &self.deconv_kernel);
@@ -286,7 +286,10 @@ mod tests {
         let out = model.run(&lr, DeconvMode::Exact, None);
         let (plain, _) = tconv_upscale2x(&lr, &bicubic_kernel());
         let p = psnr(&plain, &out.image).expect("same dims");
-        assert!(p > 12.0, "network output diverged from image structure: {p:.1} dB");
+        assert!(
+            p > 12.0,
+            "network output diverged from image structure: {p:.1} dB"
+        );
     }
 
     #[test]

@@ -14,10 +14,9 @@
 use crate::conv::Kernel;
 use crate::image::Image;
 use crate::tconv::up_at;
-use serde::{Deserialize, Serialize};
 
 /// Circular foveal region in input-image coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FoveaSpec {
     /// Fovea centre row.
     pub center_row: f64,
@@ -58,7 +57,7 @@ impl FoveaSpec {
 }
 
 /// Operation counts of one HTCONV invocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HtconvStats {
     /// Multiply-accumulate operations executed.
     pub macs: u64,
@@ -140,8 +139,7 @@ pub fn htconv_upscale2x(input: &Image, kernel: &Kernel, fovea: &FoveaSpec) -> (I
             let (r, c) = (2 * i as isize, 2 * j as isize);
             let v_down = (even(r, c) + even(r + 2, c)) / 2.0;
             let v_right = (even(r, c) + even(r, c + 2)) / 2.0;
-            let v_diag =
-                (even(r, c) + even(r, c + 2) + even(r + 2, c) + even(r + 2, c + 2)) / 4.0;
+            let v_diag = (even(r, c) + even(r, c + 2) + even(r + 2, c) + even(r + 2, c + 2)) / 4.0;
             out.set(2 * i + 1, 2 * j, v_down);
             out.set(2 * i, 2 * j + 1, v_right);
             out.set(2 * i + 1, 2 * j + 1, v_diag);
@@ -278,3 +276,11 @@ mod tests {
         assert_eq!(s2.interp_adds, 64 * 6);
     }
 }
+
+f2_core::impl_to_json!(HtconvStats {
+    macs,
+    interp_adds,
+    exact_macs,
+    foveal_pixels,
+    peripheral_pixels
+});

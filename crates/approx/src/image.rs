@@ -9,10 +9,9 @@
 use crate::error::ApproxError;
 use crate::Result;
 use f2_core::rng::{rng_for, sample_normal};
-use serde::{Deserialize, Serialize};
 
 /// A grayscale image with `f64` samples nominally in `[0, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     height: usize,
     width: usize,
@@ -69,19 +68,19 @@ impl Image {
     /// two oriented edges, Gaussian highlights and mild sensor noise.
     pub fn synthetic(height: usize, width: usize, seed: u64) -> Self {
         let mut rng = rng_for(seed, "image");
-        let fx = 2.0 * std::f64::consts::PI * (1.5 + 2.0 * rand::Rng::gen::<f64>(&mut rng));
-        let fy = 2.0 * std::f64::consts::PI * (1.0 + 2.0 * rand::Rng::gen::<f64>(&mut rng));
+        let fx = 2.0 * std::f64::consts::PI * (1.5 + 2.0 * f2_core::rng::Rng::gen::<f64>(&mut rng));
+        let fy = 2.0 * std::f64::consts::PI * (1.0 + 2.0 * f2_core::rng::Rng::gen::<f64>(&mut rng));
         let blobs: Vec<(f64, f64, f64, f64)> = (0..4)
             .map(|_| {
                 (
-                    rand::Rng::gen::<f64>(&mut rng),
-                    rand::Rng::gen::<f64>(&mut rng),
-                    0.03 + 0.08 * rand::Rng::gen::<f64>(&mut rng),
-                    0.3 + 0.4 * rand::Rng::gen::<f64>(&mut rng),
+                    f2_core::rng::Rng::gen::<f64>(&mut rng),
+                    f2_core::rng::Rng::gen::<f64>(&mut rng),
+                    0.03 + 0.08 * f2_core::rng::Rng::gen::<f64>(&mut rng),
+                    0.3 + 0.4 * f2_core::rng::Rng::gen::<f64>(&mut rng),
                 )
             })
             .collect();
-        let edge_pos = 0.3 + 0.4 * rand::Rng::gen::<f64>(&mut rng);
+        let edge_pos = 0.3 + 0.4 * f2_core::rng::Rng::gen::<f64>(&mut rng);
         let mut img = Image::from_fn(height, width, |r, c| {
             let y = r as f64 / height as f64;
             let x = c as f64 / width as f64;

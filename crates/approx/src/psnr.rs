@@ -71,9 +71,7 @@ pub fn psnr_cropped(reference: &Image, candidate: &Image, border: usize) -> Resu
     }
     let h = reference.height() - 2 * border;
     let w = reference.width() - 2 * border;
-    let crop = |img: &Image| {
-        Image::from_fn(h, w, |r, c| img.at(r + border, c + border))
-    };
+    let crop = |img: &Image| Image::from_fn(h, w, |r, c| img.at(r + border, c + border));
     psnr(&crop(reference), &crop(candidate))
 }
 
@@ -139,8 +137,6 @@ mod tests {
                 large.set(r, c, reference.at(r, c) + 0.05);
             }
         }
-        assert!(
-            psnr(&reference, &small).expect("dims") > psnr(&reference, &large).expect("dims")
-        );
+        assert!(psnr(&reference, &small).expect("dims") > psnr(&reference, &large).expect("dims"));
     }
 }

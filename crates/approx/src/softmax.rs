@@ -8,8 +8,6 @@
 //! result is a distribution computed with only comparators, adders and
 //! shifters.
 
-use serde::{Deserialize, Serialize};
-
 /// Exact softmax reference.
 ///
 /// Returns an empty vector for empty input.
@@ -54,7 +52,7 @@ pub fn softmax_approx(x: &[f64]) -> Vec<f64> {
 }
 
 /// Error metrics of the approximation against the exact reference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoftmaxError {
     /// Maximum absolute probability error.
     pub max_abs: f64,
@@ -94,7 +92,7 @@ pub fn compare(x: &[f64]) -> SoftmaxError {
 
 /// Hardware operation counts per softmax invocation of length `n`: the
 /// approximate unit needs no multipliers or exponential LUTs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SoftmaxOps {
     /// Comparator operations.
     pub compares: u64,
@@ -134,7 +132,7 @@ pub fn approx_ops(n: u64) -> SoftmaxOps {
 mod tests {
     use super::*;
     use f2_core::rng::rng_for;
-    use rand::Rng;
+    use f2_core::rng::Rng;
 
     #[test]
     fn exact_softmax_sums_to_one() {

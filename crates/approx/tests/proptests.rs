@@ -6,28 +6,32 @@ use f2_approx::htconv::{htconv_upscale2x, FoveaSpec};
 use f2_approx::image::Image;
 use f2_approx::softmax::{softmax_approx, softmax_exact};
 use f2_approx::tconv::{bilinear_kernel, tconv_upscale2x};
-use proptest::prelude::*;
 
-proptest! {
+f2_core::ptest! {
     /// Truncated multiplication error never exceeds the analytic bound.
-    #[test]
-    fn truncated_mul_bound(a in any::<u16>(), b in any::<u16>(), t in 0u32..12) {
+    fn truncated_mul_bound(g) {
+        let a = g.u16();
+        let b = g.u16();
+        let t = g.u32_in(0..12);
         let m = TruncatedMultiplier::new(8, t);
         let err = (m.multiply(a, b) as i64 - m.exact(a, b) as i64).abs();
-        prop_assert!(err as u32 <= m.max_error());
+        assert!(err as u32 <= m.max_error());
     }
 
     /// LOA addition error never exceeds the analytic bound.
-    #[test]
-    fn loa_add_bound(a in any::<u32>(), b in any::<u32>(), k in 0u32..12) {
+    fn loa_add_bound(g) {
+        let a = g.u32();
+        let b = g.u32();
+        let k = g.u32_in(0..12);
         let adder = LoaAdder::new(16, k);
         let err = (adder.add(a, b) as i64 - adder.exact(a, b) as i64).abs();
-        prop_assert!(err as u32 <= adder.max_error());
+        assert!(err as u32 <= adder.max_error());
     }
 
     /// Convolution is linear: conv(αI) = α·conv(I).
-    #[test]
-    fn conv_linear(seed in any::<u64>(), alpha in 0.1f64..3.0) {
+    fn conv_linear(g) {
+        let seed = g.u64();
+        let alpha = g.f64_in(0.1, 3.0);
         let img = Image::synthetic(12, 12, seed);
         let mut scaled = img.clone();
         for r in 0..12 {
@@ -40,74 +44,84 @@ proptest! {
         let (b, _) = conv2d_same(&scaled, &k);
         for r in 0..12 {
             for c in 0..12 {
-                prop_assert!((a.at(r, c) * alpha - b.at(r, c)).abs() < 1e-9);
+                assert!((a.at(r, c) * alpha - b.at(r, c)).abs() < 1e-9);
             }
         }
     }
 
     /// Max pool dominates average pool pointwise.
-    #[test]
-    fn max_pool_dominates_avg(seed in any::<u64>()) {
-        let img = Image::synthetic(16, 16, seed);
+    fn max_pool_dominates_avg(g) {
+        let img = Image::synthetic(16, 16, g.u64());
         let mx = max_pool(&img, 2);
         let av = avg_pool(&img, 2);
         for r in 0..8 {
             for c in 0..8 {
-                prop_assert!(mx.at(r, c) >= av.at(r, c) - 1e-12);
+                assert!(mx.at(r, c) >= av.at(r, c) - 1e-12);
             }
         }
     }
 
     /// HTCONV MAC accounting: macs + saved = exact, and savings track the
     /// peripheral fraction exactly.
-    #[test]
-    fn htconv_mac_accounting(seed in any::<u64>(), frac in 0.0f64..1.0) {
+    fn htconv_mac_accounting(g) {
+        let seed = g.u64();
+        let frac = g.f64_in(0.0, 1.0);
         let img = Image::synthetic(16, 16, seed);
         let fovea = FoveaSpec::centered_fraction(16, 16, frac);
         let (_, stats) = htconv_upscale2x(&img, &bilinear_kernel(), &fovea);
-        prop_assert_eq!(stats.foveal_pixels + stats.peripheral_pixels, 256);
+        assert_eq!(stats.foveal_pixels + stats.peripheral_pixels, 256);
         let t2 = 9u64; // 3x3 kernel
         let expect_macs = 256 * t2 + stats.foveal_pixels * 3 * t2;
-        prop_assert_eq!(stats.macs, expect_macs);
-        prop_assert_eq!(stats.interp_adds, stats.peripheral_pixels * 6);
+        assert_eq!(stats.macs, expect_macs);
+        assert_eq!(stats.interp_adds, stats.peripheral_pixels * 6);
     }
 
     /// HTCONV never *adds* MACs relative to exact TCONV.
-    #[test]
-    fn htconv_never_worse(seed in any::<u64>(), frac in 0.0f64..1.0) {
+    fn htconv_never_worse(g) {
+        let seed = g.u64();
+        let frac = g.f64_in(0.0, 1.0);
         let img = Image::synthetic(12, 12, seed);
         let fovea = FoveaSpec::centered_fraction(12, 12, frac);
         let (_, exact_macs) = tconv_upscale2x(&img, &bilinear_kernel());
         let (_, stats) = htconv_upscale2x(&img, &bilinear_kernel(), &fovea);
-        prop_assert!(stats.macs <= exact_macs);
+        assert!(stats.macs <= exact_macs);
     }
 
     /// Approximate softmax outputs are a sub-probability vector that
     /// preserves the exact ordering of well-separated classes.
-    #[test]
-    fn softmax_approx_sane(logits in prop::collection::vec(-6.0f64..6.0, 2..20)) {
+    fn softmax_approx_sane(g) {
+        let logits = g.vec(2..20, |g| g.f64_in(-6.0, 6.0));
         let s = softmax_approx(&logits);
         let total: f64 = s.iter().sum();
-        prop_assert!(total <= 1.0 + 1e-9);
-        prop_assert!(s.iter().all(|&p| p >= 0.0));
+        assert!(total <= 1.0 + 1e-9);
+        assert!(s.iter().all(|&p| p >= 0.0));
         // Ordering preserved for pairs separated by > 1 nat.
         let exact = softmax_exact(&logits);
         for i in 0..logits.len() {
             for j in 0..logits.len() {
                 if logits[i] > logits[j] + 1.0 {
-                    prop_assert!(s[i] >= s[j], "order broken vs exact {exact:?}");
+                    assert!(s[i] >= s[j], "order broken vs exact {exact:?}");
                 }
             }
         }
     }
 
     /// Downsample then upscale preserves the image mean within tolerance.
-    #[test]
-    fn up_down_preserves_mean(seed in any::<u64>()) {
-        let img = Image::synthetic(16, 16, seed);
+    fn up_down_preserves_mean(g) {
+        let img = Image::synthetic(16, 16, g.u64());
         let (up, _) = tconv_upscale2x(&img, &bilinear_kernel());
         let mean = |im: &Image| im.as_slice().iter().sum::<f64>() / im.as_slice().len() as f64;
         // Bilinear zero-padding loses a little mass at the border only.
-        prop_assert!((mean(&img) - mean(&up)).abs() < 0.1);
+        assert!((mean(&img) - mean(&up)).abs() < 0.1);
     }
+}
+
+/// Regression pinned from the retired proptest seed file
+/// (`proptests.proptest-regressions`): `truncated_mul_bound` once shrank to
+/// `a = 0, b = 0, t = 1`, where a careless bound formula underflowed.
+#[test]
+fn truncated_mul_bound_regression_a0_b0_t1() {
+    let m = TruncatedMultiplier::new(8, 1);
+    let err = (m.multiply(0, 0) as i64 - m.exact(0, 0) as i64).abs();
+    assert!(err as u32 <= m.max_error());
 }

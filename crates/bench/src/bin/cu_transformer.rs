@@ -5,9 +5,9 @@
 //! banking.
 
 use f2_bench::{fmt, print_table, section};
-use f2_scf::cluster::{CuConfig, ComputeUnit};
-use f2_scf::power::CuPowerModel;
 use f2_core::workload::transformer::{bert_base_block, tiny_block, TransformerConfig};
+use f2_scf::cluster::{ComputeUnit, CuConfig};
+use f2_scf::power::CuPowerModel;
 
 fn block_table(cu: &ComputeUnit, blocks: &[(&str, TransformerConfig)]) {
     let mut rows = Vec::new();
@@ -26,8 +26,14 @@ fn block_table(cu: &ComputeUnit, blocks: &[(&str, TransformerConfig)]) {
     }
     print_table(
         &[
-            "Block", "FLOPs", "GEMM cyc", "Elementwise cyc", "GFLOPS", "Power mW",
-            "TFLOPS/W", "Array util %",
+            "Block",
+            "FLOPs",
+            "GEMM cyc",
+            "Elementwise cyc",
+            "GFLOPS",
+            "Power mW",
+            "TFLOPS/W",
+            "Array util %",
         ],
         &rows,
     );
@@ -87,7 +93,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, cfg) in [
         ("8 scalar cores", CuConfig::prototype()),
-        ("Spatz 8-lane vector unit", CuConfig::prototype_with_vector()),
+        (
+            "Spatz 8-lane vector unit",
+            CuConfig::prototype_with_vector(),
+        ),
     ] {
         let cu = ComputeUnit::new(cfg, CuPowerModel::gf12_prototype()).expect("valid config");
         let r = cu.run_transformer_block(&long);

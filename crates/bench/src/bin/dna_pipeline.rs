@@ -18,13 +18,16 @@ fn main() {
     section("Round trip across channel profiles");
     let mut rows = Vec::new();
     for (name, ch) in [
-        ("noiseless", ChannelModel {
-            substitution: 0.0,
-            insertion: 0.0,
-            deletion: 0.0,
-            dropout: 0.0,
-            mean_coverage: 5.0,
-        }),
+        (
+            "noiseless",
+            ChannelModel {
+                substitution: 0.0,
+                insertion: 0.0,
+                deletion: 0.0,
+                dropout: 0.0,
+                mean_coverage: 5.0,
+            },
+        ),
         ("typical (Illumina-class)", ChannelModel::typical()),
         ("harsh (nanopore-class)", ChannelModel::harsh()),
     ] {
@@ -44,7 +47,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["Channel", "Oligos", "Reads", "Clusters", "Parity fixes", "Recovered", "Dist calls"],
+        &[
+            "Channel",
+            "Oligos",
+            "Reads",
+            "Clusters",
+            "Parity fixes",
+            "Recovered",
+            "Dist calls",
+        ],
         &rows,
     );
 

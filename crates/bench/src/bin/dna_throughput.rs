@@ -20,7 +20,7 @@ fn software_kernels() {
             let s = |rng: &mut _| {
                 DnaSequence::from_bases(
                     (0..150)
-                        .map(|_| DnaBase::from_bits(rand::Rng::gen(rng)))
+                        .map(|_| DnaBase::from_bits(f2_core::rng::Rng::gen(rng)))
                         .collect(),
                 )
             };
@@ -81,12 +81,17 @@ fn accelerator_model() {
         ],
     ];
     print_table(
-        &["Platform", "TCUPS", "Mpairs/s", "Mpair/J", "Compute eff %", "Resource %"],
+        &[
+            "Platform",
+            "TCUPS",
+            "Mpairs/s",
+            "Mpair/J",
+            "Compute eff %",
+            "Resource %",
+        ],
         &rows,
     );
-    println!(
-        "\nPublished: 16.8 TCUPS, 46 Mpair/J, ~90% efficiency, ~90% resources."
-    );
+    println!("\nPublished: 16.8 TCUPS, 46 Mpair/J, ~90% efficiency, ~90% resources.");
     println!(
         "Speedup over CPU: {:.0}x throughput, {:.0}x energy efficiency.",
         fpga.throughput().value() / cpu.throughput().value(),

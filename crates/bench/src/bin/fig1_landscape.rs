@@ -22,7 +22,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["Platform", "Class", "Peak TOPS", "Power W", "TOPS/W"], &rows);
+    print_table(
+        &["Platform", "Class", "Peak TOPS", "Power W", "TOPS/W"],
+        &rows,
+    );
 
     section("Per-class median efficiency (the Fig. 1 'clusters')");
     let classes = [
@@ -38,8 +41,7 @@ fn main() {
     let rows: Vec<Vec<String>> = classes
         .iter()
         .filter_map(|&c| {
-            median_efficiency(&catalog, c)
-                .map(|m| vec![c.to_string(), fmt(m.value(), 2)])
+            median_efficiency(&catalog, c).map(|m| vec![c.to_string(), fmt(m.value(), 2)])
         })
         .collect();
     print_table(&["Class", "Median TOPS/W"], &rows);

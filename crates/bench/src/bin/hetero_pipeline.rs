@@ -42,7 +42,16 @@ fn main() {
         .map(|d| stage_row(&run_training(&spec, d, &nvme)))
         .collect();
     print_table(
-        &["Device", "Load", "Preproc", "Xfer", "Compute", "Postproc", "Total", "Bottleneck"],
+        &[
+            "Device",
+            "Load",
+            "Preproc",
+            "Xfer",
+            "Compute",
+            "Postproc",
+            "Total",
+            "Bottleneck",
+        ],
         &rows,
     );
 
@@ -57,8 +66,16 @@ fn main() {
     }
     print_table(
         &[
-            "Device", "Load", "Preproc", "Xfer", "Compute", "Postproc", "Total", "Bottleneck",
-            "Samples/s", "Energy J",
+            "Device",
+            "Load",
+            "Preproc",
+            "Xfer",
+            "Compute",
+            "Postproc",
+            "Total",
+            "Bottleneck",
+            "Samples/s",
+            "Energy J",
         ],
         &rows,
     );

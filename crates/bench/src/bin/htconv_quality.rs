@@ -41,7 +41,13 @@ fn layer_quality() {
         ]);
     }
     print_table(
-        &["Fovea frac", "MAC saving %", "PSNR exact dB", "PSNR HTCONV dB", "PSNR loss %"],
+        &[
+            "Fovea frac",
+            "MAC saving %",
+            "PSNR exact dB",
+            "PSNR HTCONV dB",
+            "PSNR loss %",
+        ],
         &rows,
     );
     println!("\nShape check: sub-10% PSNR loss at 70%+ layer-MAC saving (§V).");
@@ -61,8 +67,7 @@ fn model_level() {
         .filter(|l| l.name() == "deconv")
         .map(|l| l.macs())
         .sum();
-    let approx_macs =
-        small.total_macs() - (deconv_macs as f64 * fovea_saving) as u64;
+    let approx_macs = small.total_macs() - (deconv_macs as f64 * fovea_saving) as u64;
     let rows = vec![
         vec![
             baseline.name().to_string(),
@@ -107,10 +112,7 @@ fn end_to_end_inference() {
         vec![
             "HTCONV (15% fovea)".to_string(),
             hybrid.total_macs().to_string(),
-            fmt(
-                psnr(&exact.image, &hybrid.image).expect("same dims"),
-                2,
-            ),
+            fmt(psnr(&exact.image, &hybrid.image).expect("same dims"), 2),
         ],
     ];
     print_table(&["Final layer", "Total MACs", "PSNR vs exact (dB)"], &rows);

@@ -56,7 +56,13 @@ fn accuracy_table() {
     let mut rows = Vec::new();
     for (label, dev, t, comp, pv) in [
         ("RRAM P&V, t=1s", DeviceModel::rram(), 1.0, false, true),
-        ("RRAM open-loop, t=1s", DeviceModel::rram(), 1.0, false, false),
+        (
+            "RRAM open-loop, t=1s",
+            DeviceModel::rram(),
+            1.0,
+            false,
+            false,
+        ),
         ("PCM P&V, t=1s", DeviceModel::pcm(), 1.0, false, true),
         ("PCM P&V, t=1e7s", DeviceModel::pcm(), 1e7, false, true),
         ("PCM P&V, t=1e7s +comp", DeviceModel::pcm(), 1e7, true, true),

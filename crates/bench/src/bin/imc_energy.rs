@@ -7,7 +7,7 @@
 //! lands in the published 40-310 TOPS/W band across precisions.
 
 use f2_bench::{fmt, print_table, section};
-use f2_core::energy::{EnergyLedger, OpKind, OpEnergy, TechNode};
+use f2_core::energy::{EnergyLedger, OpEnergy, OpKind, TechNode};
 use f2_core::kpi::Megahertz;
 use f2_core::rng::rng_for;
 use f2_core::tensor::Matrix;
@@ -20,10 +20,17 @@ use f2_imc::tile::{ImcTileLayer, TileConfig};
 fn mvm_energy_breakdown() {
     section("128x128 MVM energy: analog IMC vs digital MAC baseline (45nm)");
     let table = OpEnergy::for_node(TechNode::N45);
-    let weights = Matrix::from_fn(128, 128, |r, c| ((r * 31 + c * 17) % 41) as f64 / 20.0 - 1.0);
+    let weights = Matrix::from_fn(128, 128, |r, c| {
+        ((r * 31 + c * 17) % 41) as f64 / 20.0 - 1.0
+    });
     let mut rng = rng_for(2, "e4");
-    let xbar = Crossbar::program(DeviceModel::rram(), &weights, &ProgramVerify::default(), &mut rng)
-        .expect("valid weights");
+    let xbar = Crossbar::program(
+        DeviceModel::rram(),
+        &weights,
+        &ProgramVerify::default(),
+        &mut rng,
+    )
+    .expect("valid weights");
     let x = vec![0.5; 128];
     let mut ledger = EnergyLedger::new();
     xbar.mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)
@@ -49,7 +56,10 @@ fn mvm_energy_breakdown() {
             "-".to_string(),
         ],
     ];
-    print_table(&["Implementation", "Energy (nJ/MVM)", "ADC share (%)"], &rows);
+    print_table(
+        &["Implementation", "Energy (nJ/MVM)", "ADC share (%)"],
+        &rows,
+    );
     println!(
         "Analog advantage: {:.1}x lower energy; ADC dominates the analog budget (§IV).",
         digital_total.value() / analog_total.value()
@@ -60,12 +70,18 @@ fn adc_ablation() {
     section("Ablation: ADC precision vs energy and output error (64x16 layer)");
     let weights = Matrix::from_fn(64, 16, |r, c| ((r * 13 + c * 7) % 23) as f64 / 11.0 - 1.0);
     let table = OpEnergy::for_node(TechNode::N45);
-    let mut rows = Vec::new();
-    for bits in [4u32, 6, 8, 10, 12] {
+    // Each precision point reprograms and evaluates a fresh crossbar from its
+    // own seeded RNG stream, so the points are independent — run them on the
+    // exec worker pool.
+    let rows = f2_core::exec::par_map(&[4u32, 6, 8, 10, 12], |&bits| {
         let mut rng = rng_for(3, "e4-adc");
-        let xbar =
-            Crossbar::program(DeviceModel::rram(), &weights, &ProgramVerify::default(), &mut rng)
-                .expect("valid weights");
+        let xbar = Crossbar::program(
+            DeviceModel::rram(),
+            &weights,
+            &ProgramVerify::default(),
+            &mut rng,
+        )
+        .expect("valid weights");
         let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
         let ideal = xbar.mvm_ideal(&x, 1.0).expect("valid geometry");
         let mut ledger = EnergyLedger::new();
@@ -85,12 +101,8 @@ fn adc_ablation() {
         let non_adc = ledger.total_energy(&table).to_picojoules().value()
             - ledger.count(OpKind::AdcConversion) as f64 * 2.0;
         let e = non_adc + ledger.count(OpKind::AdcConversion) as f64 * adc_pj;
-        rows.push(vec![
-            bits.to_string(),
-            fmt(e / 1000.0, 3),
-            fmt(rmse, 4),
-        ]);
-    }
+        vec![bits.to_string(), fmt(e / 1000.0, 3), fmt(rmse, 4)]
+    });
     print_table(&["ADC bits", "Energy (nJ/MVM)", "Output RMSE"], &rows);
 }
 
@@ -122,7 +134,12 @@ fn analog_accumulation() {
             .forward(&vec![0.5; 64], 1.0, &cfg, &mut rng, &mut ledger)
             .expect("valid geometry");
         rows.push(vec![
-            if analog { "analog accumulation" } else { "per-tile ADC" }.to_string(),
+            if analog {
+                "analog accumulation"
+            } else {
+                "per-tile ADC"
+            }
+            .to_string(),
             ledger.count(OpKind::AdcConversion).to_string(),
         ]);
     }
@@ -160,8 +177,13 @@ fn input_mode_ablation() {
     let weights = Matrix::from_fn(64, 16, |r, c| ((r * 11 + c * 3) % 19) as f64 / 9.0 - 1.0);
     let table = OpEnergy::for_node(TechNode::N45);
     let mut rng = rng_for(7, "e4-input");
-    let xbar = Crossbar::program(DeviceModel::rram(), &weights, &ProgramVerify::default(), &mut rng)
-        .expect("valid weights");
+    let xbar = Crossbar::program(
+        DeviceModel::rram(),
+        &weights,
+        &ProgramVerify::default(),
+        &mut rng,
+    )
+    .expect("valid weights");
     let x: Vec<f64> = (0..64).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
     let ideal = xbar.mvm_ideal(&x, 1.0).expect("valid geometry");
     let rmse = |y: &[f64]| -> f64 {
@@ -182,7 +204,10 @@ fn input_mode_ablation() {
             "analog input (1 pass)".to_string(),
             ledger.count(OpKind::DacConversion).to_string(),
             ledger.count(OpKind::AdcConversion).to_string(),
-            fmt(ledger.total_energy(&table).to_picojoules().value() / 1000.0, 3),
+            fmt(
+                ledger.total_energy(&table).to_picojoules().value() / 1000.0,
+                3,
+            ),
             fmt(rmse(&y), 4),
         ]);
     }
@@ -195,12 +220,21 @@ fn input_mode_ablation() {
             format!("bit-serial ({bits} passes)"),
             "0".to_string(),
             ledger.count(OpKind::AdcConversion).to_string(),
-            fmt(ledger.total_energy(&table).to_picojoules().value() / 1000.0, 3),
+            fmt(
+                ledger.total_energy(&table).to_picojoules().value() / 1000.0,
+                3,
+            ),
             fmt(rmse(&y), 4),
         ]);
     }
     print_table(
-        &["Input drive", "DACs", "ADC convs", "Energy nJ", "Output RMSE"],
+        &[
+            "Input drive",
+            "DACs",
+            "ADC convs",
+            "Energy nJ",
+            "Output RMSE",
+        ],
         &rows,
     );
     println!("Analog input maximises parallelism (one pass); bit-serial removes");

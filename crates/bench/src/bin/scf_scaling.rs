@@ -19,8 +19,8 @@ fn main() {
     ] {
         section(&format!("Throughput scaling, {label}"));
         let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-        let reports = scaling_sweep(&counts, &block, GigabytesPerSecond::new(hbm))
-            .expect("valid sweep");
+        let reports =
+            scaling_sweep(&counts, &block, GigabytesPerSecond::new(hbm)).expect("valid sweep");
         let rows: Vec<Vec<String>> = reports
             .iter()
             .map(|r| {
@@ -35,7 +35,14 @@ fn main() {
             })
             .collect();
         print_table(
-            &["CUs", "TFLOPS", "Blocks/s", "Power W", "Scaling %", "Bound by"],
+            &[
+                "CUs",
+                "TFLOPS",
+                "Blocks/s",
+                "Power W",
+                "Scaling %",
+                "Bound by",
+            ],
             &rows,
         );
     }

@@ -1,10 +1,10 @@
 //! E2 / §III — SPARTA parallel multi-threaded accelerators on irregular
 //! graph kernels.
 //!
-//! Reproduces the claim shape: SPARTA-generated accelerators (spatial lanes
-//! + hardware contexts + multi-channel NoC + memory-side cache) beat the
-//! sequential HLS baseline on irregular workloads, with speedup growing as
-//! memory latency rises (context switching hides it).
+//! Reproduces the claim shape: SPARTA-generated accelerators (spatial
+//! lanes plus hardware contexts, multi-channel NoC and memory-side cache)
+//! beat the sequential HLS baseline on irregular workloads, with speedup
+//! growing as memory latency rises (context switching hides it).
 
 use f2_bench::{fmt, print_table, section};
 use f2_core::rng::DEFAULT_SEED;
@@ -23,7 +23,9 @@ fn main() {
         ("SpMV", spmv_workload(&graph)),
         ("BFS", bfs_workload(&graph)),
     ] {
-        section(&format!("{name}: SPARTA configuration sweep (mem latency 100)"));
+        section(&format!(
+            "{name}: SPARTA configuration sweep (mem latency 100)"
+        ));
         let base = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
         let mut rows = Vec::new();
         for (accels, ctxs, chans, cache) in [
@@ -44,7 +46,10 @@ fn main() {
             };
             let r = run(&wl, &cfg).expect("valid config");
             rows.push(vec![
-                format!("{accels}x{ctxs}ctx/{chans}ch{}", if cache { "+cache" } else { "" }),
+                format!(
+                    "{accels}x{ctxs}ctx/{chans}ch{}",
+                    if cache { "+cache" } else { "" }
+                ),
                 r.cycles.to_string(),
                 fmt(base.cycles as f64 / r.cycles as f64, 2),
                 fmt(r.utilization(&cfg), 2),
@@ -79,7 +84,10 @@ fn main() {
             fmt(base.cycles as f64 / opt.cycles as f64, 2),
         ]);
     }
-    print_table(&["Mem latency", "Baseline cyc", "SPARTA cyc", "Speedup"], &rows);
+    print_table(
+        &["Mem latency", "Baseline cyc", "SPARTA cyc", "Speedup"],
+        &rows,
+    );
     println!("\nShape check: speedup grows with memory latency — the latency-hiding");
     println!("claim of the SPARTA template (§III).");
 }

@@ -6,8 +6,28 @@
 //! `benches/` cover the hot kernels underneath them.
 //!
 //! Run e.g. `cargo run -p f2-bench --bin fig1_landscape --release`.
+//!
+//! Setting `F2_BENCH_JSON=1` makes the binaries additionally emit
+//! machine-readable JSON lines (one [`emit_json`] call per table) for
+//! downstream tooling.
 
+use f2_core::json::{Json, ToJson};
 use std::fmt::Display;
+
+/// Environment variable switching on JSON line output in the bench bins.
+pub const JSON_ENV: &str = "F2_BENCH_JSON";
+
+/// Emits `value` as a labelled single-line JSON document on stdout when
+/// `F2_BENCH_JSON` is set to a non-empty value; a no-op otherwise.
+pub fn emit_json(label: &str, value: &impl ToJson) {
+    if std::env::var_os(JSON_ENV).is_some_and(|v| !v.is_empty()) {
+        let doc = Json::Obj(vec![
+            ("label".to_string(), label.to_json()),
+            ("data".to_string(), value.to_json()),
+        ]);
+        println!("{doc}");
+    }
+}
 
 /// Prints a section header.
 pub fn section(title: &str) {
@@ -41,7 +61,10 @@ pub fn print_table<S: Display>(headers: &[&str], rows: &[Vec<S>]) {
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in cells {
         line(&row);
     }
@@ -58,7 +81,7 @@ mod tests {
 
     #[test]
     fn fmt_precision() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(4.23456, 2), "4.23");
         assert_eq!(fmt(10.0, 0), "10");
     }
 

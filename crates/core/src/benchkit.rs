@@ -1,0 +1,255 @@
+//! Wall-clock micro-benchmark harness, replacing `criterion`.
+//!
+//! Deliberately small: per benchmark it warms up, auto-calibrates an
+//! iteration count so one sample lasts a few milliseconds, takes N timed
+//! samples, and reports min/median/mean per iteration. That is enough to
+//! compare kernels and catch order-of-magnitude regressions, which is all
+//! the bench bins ever used criterion for — with zero dependencies and
+//! sub-second default runtime per benchmark.
+//!
+//! ```no_run
+//! let mut h = f2_core::benchkit::Harness::from_env();
+//! let mut group = h.group("levenshtein");
+//! group.bench_function("dp", |b| b.iter(|| 2 + 2));
+//! ```
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work (re-export of [`std::hint::black_box`] under the familiar name).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Target wall time of one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Top-level harness: owns the benchmark filter and collects results.
+pub struct Harness {
+    filter: Option<String>,
+    results: Vec<Record>,
+}
+
+/// One benchmark's summary statistics (per-iteration times).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `group/function` label.
+    pub label: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Iterations per sample the calibrator settled on.
+    pub iters_per_sample: u64,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments: the first non-flag
+    /// argument (as passed by `cargo bench -- <filter>`) becomes a substring
+    /// filter on benchmark labels.
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// A harness without any CLI filter (library/test use).
+    pub fn new() -> Self {
+        Self {
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// All records measured so far.
+    pub fn results(&self) -> &[Record] {
+        &self.results
+    }
+
+    /// Prints the summary table. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!();
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        println!("{}", "-".repeat(84));
+        for r in &self.results {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12}",
+                r.label,
+                format_duration(r.min),
+                format_duration(r.median),
+                format_duration(r.mean),
+            );
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A named group of related benchmarks (mirrors criterion's `BenchmarkGroup`).
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Measures one benchmark; skipped (with a note) when a CLI filter does
+    /// not match.
+    pub fn bench_function(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            record: None,
+        };
+        f(&mut bencher);
+        let mut record = bencher
+            .record
+            .expect("bench_function closure must call Bencher::iter");
+        record.label = full.clone();
+        println!(
+            "{full}: median {} (min {}, {} iters/sample)",
+            format_duration(record.median),
+            format_duration(record.min),
+            record.iters_per_sample
+        );
+        self.harness.results.push(record);
+        self
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    record: Option<Record>,
+}
+
+impl Bencher {
+    /// Benchmarks `f`: calibrates iterations/sample, measures, records.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: grow the batch until it meets the target.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break elapsed / iters.max(1) as u32;
+            }
+            // Aim directly at the target from the observed rate.
+            let scale = (SAMPLE_TARGET.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+                .clamp(2.0, 100.0);
+            iters = ((iters as f64) * scale).ceil() as u64;
+        };
+        let _ = per_iter;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.record = Some(Record {
+            label: String::new(),
+            min,
+            median,
+            mean,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut h = Harness::new();
+        let mut group = h.group("smoke");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.label, "smoke/noop");
+        assert!(r.min <= r.median && r.median <= r.mean * 2);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            filter: Some("wanted".to_string()),
+            results: Vec::new(),
+        };
+        let mut group = h.group("g");
+        group.sample_size(3);
+        group.bench_function("other", |b| b.iter(|| 0u8));
+        group.bench_function("wanted_one", |b| b.iter(|| 0u8));
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].label, "g/wanted_one");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+    }
+}

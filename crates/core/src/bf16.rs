@@ -15,12 +15,11 @@
 //! assert!((x.to_f32() - 1.0 / 3.0).abs() < 3e-3);
 //! ```
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A 16-bit brain floating-point number (1 sign, 8 exponent, 7 mantissa bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Bf16(u16);
 
 impl Bf16 {
@@ -152,8 +151,14 @@ impl Neg for Bf16 {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot_bf16(a: &[Bf16], b: &[Bf16]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
-    a.iter().zip(b).fold(0.0f32, |acc, (x, y)| x.mul_acc(*y, acc))
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot product operands must match in length"
+    );
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |acc, (x, y)| x.mul_acc(*y, acc))
 }
 
 #[cfg(test)]

@@ -13,12 +13,11 @@
 //! are robust to the calibration choice.
 
 use crate::kpi::{Joules, Picojoules};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Silicon technology node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TechNode {
     /// 7 nm-class FinFET.
     N7,
@@ -73,7 +72,7 @@ impl fmt::Display for TechNode {
 }
 
 /// Kinds of primitive operations tracked by the energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
     /// 8-bit integer multiply-accumulate.
     MacInt8,
@@ -106,7 +105,7 @@ pub enum OpKind {
 }
 
 /// Per-operation energy table for a technology node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpEnergy {
     node: TechNode,
     table: BTreeMap<OpKind, f64>, // picojoules
@@ -156,7 +155,7 @@ impl OpEnergy {
 }
 
 /// Accumulates operation counts and converts them to total energy.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     counts: BTreeMap<OpKind, u64>,
 }
@@ -247,7 +246,10 @@ mod tests {
         let t = OpEnergy::for_node(TechNode::N45);
         assert!(t.energy(OpKind::AnalogCrossbarMac) < t.energy(OpKind::MacInt8));
         // The §IV bottleneck: one ADC conversion costs more than many analog MACs.
-        assert!(t.energy(OpKind::AdcConversion).value() > 10.0 * t.energy(OpKind::AnalogCrossbarMac).value());
+        assert!(
+            t.energy(OpKind::AdcConversion).value()
+                > 10.0 * t.energy(OpKind::AnalogCrossbarMac).value()
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Scoped-thread parallel executor.
+//!
+//! The DSE sweeps, IMC evaluation loops and bench bins all have the same
+//! shape: a pure function applied to a slice of independent inputs. This
+//! module runs that shape on `std::thread::scope` workers with static chunk
+//! partitioning — no external thread-pool crate, no work stealing, and
+//! *bit-identical* results to the sequential path: outputs land in input
+//! order regardless of worker count or scheduling.
+//!
+//! Worker count resolution, in priority order:
+//! 1. the explicit `threads` argument of the `*_threads` variants,
+//! 2. the `F2_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ```
+//! use f2_core::exec::par_map;
+//!
+//! let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "F2_THREADS";
+
+/// Resolves the default worker count: `F2_THREADS` if set and positive,
+/// otherwise the machine's available parallelism (at least 1).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on the default worker count. See
+/// [`par_map_threads`] for the guarantees.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_threads(num_threads(), items, f)
+}
+
+/// Runs `f` for every item on the default worker count, for side-effecting
+/// loops that produce no per-item value.
+pub fn par_for<T: Sync>(items: &[T], f: impl Fn(&T) + Sync) {
+    par_map_threads(num_threads(), items, f);
+}
+
+/// Maps `f` over `items` on exactly `threads` scoped workers.
+///
+/// Results are returned in input order: worker `w` owns the contiguous chunk
+/// `[w*chunk, (w+1)*chunk)` and writes each result into its slot, so the
+/// output is bit-identical to `items.iter().map(f).collect()` for any pure
+/// `f`, at any thread count. With `threads == 1` (or one item) no thread is
+/// spawned at all — the map runs on the caller's stack.
+///
+/// A panic in any worker propagates to the caller after all workers have
+/// been joined (the guarantee `std::thread::scope` provides).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or re-raises the first worker panic.
+pub fn par_map_threads<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot written by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let par = par_map_threads(threads, &items, |&x| x * 3 + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let out: Vec<u32> = par_map_threads(4, &[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_for_visits_every_item() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        par_for(&items, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_thread_equals_sequential() {
+        let items: Vec<f64> = (0..50).map(|i| i as f64 / 7.0).collect();
+        let seq: Vec<f64> = items.iter().map(|x| x.sin() * x.cos()).collect();
+        let one = par_map_threads(1, &items, |x| x.sin() * x.cos());
+        // Bit-identical, not approximately equal.
+        assert_eq!(seq.len(), one.len());
+        for (a, b) in seq.iter().zip(&one) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_threads(4, &[1u32, 2, 3, 4, 5, 6, 7, 8], |&x| {
+                assert!(x != 5, "worker dies on 5");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must cross the scope boundary");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = par_map_threads(0, &[1], |&x: &i32| x);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

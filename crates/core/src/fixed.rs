@@ -17,12 +17,11 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A two's complement fixed-point format: `total_bits` including sign,
 /// of which `frac_bits` are fractional.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QFormat {
     total_bits: u8,
     frac_bits: u8,
@@ -152,7 +151,7 @@ fn round_half_even(x: f64) -> f64 {
 
 /// A fixed-point sample: a raw two's complement integer tagged with its
 /// [`QFormat`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fixed {
     raw: i64,
     fmt: QFormat,
@@ -204,7 +203,11 @@ impl Fixed {
         let shift = prod_frac - out.frac_bits as i32;
         let raw = if shift > 0 {
             let half = 1i128 << (shift - 1);
-            let adj = if prod >= 0 { prod + half } else { prod - half + 1 };
+            let adj = if prod >= 0 {
+                prod + half
+            } else {
+                prod - half + 1
+            };
             adj >> shift
         } else {
             prod << (-shift)
@@ -252,7 +255,7 @@ mod tests {
     #[test]
     fn quantize_round_trip_within_resolution() {
         let q = q16_8();
-        for &v in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 100.5, -100.25] {
+        for &v in &[0.0, 1.0, -1.0, 3.140_59, -2.728_28, 100.5, -100.25] {
             let x = q.quantize(v);
             assert!(
                 (q.dequantize(x) - v).abs() <= q.resolution() / 2.0 + 1e-12,

@@ -16,14 +16,13 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Sub};
 
 macro_rules! unit {
     ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -87,6 +86,13 @@ macro_rules! unit {
         impl From<f64> for $name {
             fn from(value: f64) -> Self {
                 Self(value)
+            }
+        }
+
+        impl crate::json::ToJson for $name {
+            /// KPI quantities serialise as their bare magnitude.
+            fn to_json(&self) -> crate::json::Json {
+                crate::json::Json::Num(self.0)
             }
         }
     };

@@ -25,13 +25,17 @@
 //! assert!(a100ish.attainable(1.0) <= 2.0e12);
 //! ```
 
+pub mod benchkit;
 pub mod bf16;
 pub mod energy;
 pub mod error;
+pub mod exec;
 pub mod fixed;
+pub mod json;
 pub mod kpi;
 pub mod pareto;
 pub mod platform;
+pub mod ptest;
 pub mod rng;
 pub mod roofline;
 pub mod tensor;

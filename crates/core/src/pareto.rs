@@ -17,11 +17,10 @@
 //! assert_eq!(front.indices(), &[0, 1]);
 //! ```
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Optimisation direction of one objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Smaller is better (latency, power, area).
     Minimize,
@@ -62,7 +61,7 @@ pub fn dominates(a: &[f64], b: &[f64], dirs: &[Direction]) -> bool {
 }
 
 /// The non-dominated subset of a set of evaluated design points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParetoFront {
     indices: Vec<usize>,
 }
@@ -136,7 +135,10 @@ impl DesignSpace {
     /// Panics if `values` is empty or the axis name repeats.
     pub fn axis(mut self, name: &str, values: impl IntoIterator<Item = f64>) -> Self {
         let values: Vec<f64> = values.into_iter().collect();
-        assert!(!values.is_empty(), "axis `{name}` must have at least one value");
+        assert!(
+            !values.is_empty(),
+            "axis `{name}` must have at least one value"
+        );
         assert!(
             self.axes.iter().all(|(n, _)| n != name),
             "duplicate axis `{name}`"
@@ -196,7 +198,7 @@ impl DesignSpace {
     }
 
     /// Like [`DesignSpace::sweep`], but evaluates points on `threads` worker
-    /// threads (crossbeam scoped threads, static block partitioning).
+    /// threads ([`crate::exec::par_map_threads`], static block partitioning).
     /// Results are identical to the sequential sweep for any pure evaluator;
     /// use this for expensive simulations (e.g. cycle-level SPARTA runs per
     /// point).
@@ -208,22 +210,8 @@ impl DesignSpace {
     where
         F: Fn(&ParamPoint) -> Vec<f64> + Sync,
     {
-        assert!(threads > 0, "need at least one worker thread");
         let points: Vec<ParamPoint> = self.iter().collect();
-        let mut objectives: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-        let chunk = points.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for (point_chunk, obj_chunk) in points.chunks(chunk).zip(objectives.chunks_mut(chunk))
-            {
-                let eval = &eval;
-                scope.spawn(move |_| {
-                    for (p, o) in point_chunk.iter().zip(obj_chunk.iter_mut()) {
-                        *o = eval(p);
-                    }
-                });
-            }
-        })
-        .expect("sweep workers do not panic");
+        let objectives: Vec<Vec<f64>> = crate::exec::par_map_threads(threads, &points, &eval);
         for (i, o) in objectives.iter().enumerate() {
             assert_eq!(
                 o.len(),

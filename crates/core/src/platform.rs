@@ -8,11 +8,10 @@
 //! classification logic the figures' visual "clusters" rely on.
 
 use crate::kpi::{Tops, TopsPerWatt, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Platform class, the clustering key of Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PlatformClass {
     /// General-purpose CPU.
     Cpu,
@@ -49,7 +48,7 @@ impl fmt::Display for PlatformClass {
 }
 
 /// One published accelerator datapoint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Marketing or paper name.
     pub name: String,
@@ -131,7 +130,7 @@ pub fn riscv_sota_catalog() -> Vec<Platform> {
 }
 
 /// Power band used by Fig. 7's cluster analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerBand {
     /// Below 100 mW (deep edge).
     SubHundredMilliwatt,
@@ -244,7 +243,10 @@ mod tests {
             PowerBand::classify(Watts::new(0.5)),
             PowerBand::HundredMilliwattToWatt
         );
-        assert_eq!(PowerBand::classify(Watts::new(1.0)), PowerBand::HundredMilliwattToWatt);
+        assert_eq!(
+            PowerBand::classify(Watts::new(1.0)),
+            PowerBand::HundredMilliwattToWatt
+        );
         assert_eq!(PowerBand::classify(Watts::new(5.0)), PowerBand::AboveWatt);
     }
 

@@ -1,0 +1,525 @@
+//! In-tree property-based testing harness, replacing `proptest`.
+//!
+//! A property is a closure over a [`Gen`]: it draws random inputs and
+//! asserts invariants with ordinary `assert!`s. The runner executes many
+//! seeded cases; on failure it *shrinks* the counterexample
+//! hypothesis-style — every random draw is recorded as a raw `u64`, and the
+//! shrinker replays the property on mutated (smaller) draw streams until no
+//! mutation fails — then reports the seed and the shrunk stream for replay.
+//!
+//! Replay a failure deterministically with
+//! `F2_PTEST_SEED=<seed> cargo test <name>`, or pin it forever as a
+//! regression with [`replay`]. Case count is 64 by default
+//! (`F2_PTEST_CASES` overrides).
+//!
+//! ```
+//! f2_core::ptest! {
+//!     /// Addition commutes.
+//!     fn add_commutes(g) {
+//!         let (a, b) = (g.u32() as u64, g.u32() as u64);
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+use crate::rng::{fnv1a, ChaCha8Rng, Rng};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Environment variable pinning the runner to a single seed.
+pub const SEED_ENV: &str = "F2_PTEST_SEED";
+/// Environment variable overriding the number of cases per property.
+pub const CASES_ENV: &str = "F2_PTEST_CASES";
+/// Cases per property when `F2_PTEST_CASES` is unset.
+pub const DEFAULT_CASES: u64 = 64;
+/// Budget of shrink candidate executions per failure.
+const SHRINK_BUDGET: usize = 768;
+/// Cap on discarded (assumption-violating) cases per property.
+const MAX_DISCARDS: u64 = 4096;
+
+/// The random-input source handed to a property.
+///
+/// Every draw bottoms out in [`Gen::draw`], which records the raw `u64` so
+/// the shrinker can replay a mutated stream. When replaying, recorded values
+/// are served back in order and an exhausted stream pads with zeros — the
+/// convention that makes truncation a valid shrink.
+pub struct Gen {
+    rng: ChaCha8Rng,
+    replay: Option<Vec<u64>>,
+    draws: Vec<u64>,
+    pos: usize,
+}
+
+impl Gen {
+    fn fresh(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            replay: None,
+            draws: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn replaying(stream: Vec<u64>) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(0),
+            replay: Some(stream),
+            draws: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// One raw 64-bit draw — the atom every other generator is built from.
+    pub fn draw(&mut self) -> u64 {
+        let v = match &self.replay {
+            Some(stream) => stream.get(self.pos).copied().unwrap_or(0),
+            None => self.rng.gen(),
+        };
+        self.draws.push(v);
+        self.pos += 1;
+        v
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.draw()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.draw() as u32
+    }
+
+    /// Uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.draw() as u16
+    }
+
+    /// Uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.draw() as u8
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// The value is `lo + draw % span`, so smaller draws map to smaller
+    /// values and the shrinker's zero-push drives inputs toward `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.draw() % span
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.u64_in(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, range: std::ops::Range<i64>) -> i64 {
+        let span = (range.end as u64).wrapping_sub(range.start as u64);
+        assert!(span > 0, "empty range");
+        range.start.wrapping_add((self.draw() % span) as i64)
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    pub fn i32_in(&mut self, range: std::ops::Range<i32>) -> i32 {
+        self.i64_in(range.start as i64..range.end as i64) as i32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`; a zeroed draw shrinks toward `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unordered.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// An arbitrary `f32` that is neither NaN, infinite, nor subnormal.
+    pub fn f32_normal(&mut self) -> f32 {
+        loop {
+            let v = f32::from_bits(self.u32());
+            if v.is_normal() {
+                return v;
+            }
+        }
+    }
+
+    /// A vector with length drawn from `len`, elements from `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length range is empty.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut item: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| item(self)).collect()
+    }
+
+    /// A byte vector with length drawn from `len`.
+    pub fn bytes(&mut self, len: std::ops::Range<usize>) -> Vec<u8> {
+        self.vec(len, |g| g.u8())
+    }
+}
+
+/// Discards the current case when an assumption does not hold
+/// (the `prop_assume!` replacement). Discarded cases are not failures.
+pub fn assume(condition: bool) {
+    if !condition {
+        panic::panic_any(Discard);
+    }
+}
+
+/// Panic payload distinguishing a discarded case from a real failure.
+struct Discard;
+
+thread_local! {
+    /// True while this thread is executing a property case, so the global
+    /// panic hook stays silent for expected panics (shrink replays would
+    /// otherwise spam stderr).
+    static IN_PTEST: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_PTEST.with(Cell::get) {
+                default(info);
+            }
+        }));
+    });
+}
+
+enum CaseOutcome {
+    Pass,
+    Discarded,
+    Failed { message: String, draws: Vec<u64> },
+}
+
+fn run_case(prop: &impl Fn(&mut Gen), mut g: Gen) -> CaseOutcome {
+    install_quiet_hook();
+    IN_PTEST.with(|f| f.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(&mut g)));
+    IN_PTEST.with(|f| f.set(false));
+    match result {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<Discard>().is_some() {
+                CaseOutcome::Discarded
+            } else {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                CaseOutcome::Failed {
+                    message,
+                    draws: g.draws,
+                }
+            }
+        }
+    }
+}
+
+/// Shrinks a failing draw stream: first tries truncating the tail, then a
+/// binary-descent pass over each position, repeating until a full pass makes
+/// no progress or the budget runs out. Returns the smallest failing stream
+/// and its panic message.
+fn shrink(prop: &impl Fn(&mut Gen), mut best: Vec<u64>, mut message: String) -> (Vec<u64>, String) {
+    let mut budget = SHRINK_BUDGET;
+    let try_stream = |stream: Vec<u64>, budget: &mut usize| -> Option<(Vec<u64>, String)> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        match run_case(prop, Gen::replaying(stream)) {
+            CaseOutcome::Failed { message, draws } => Some((draws, message)),
+            _ => None,
+        }
+    };
+    loop {
+        let mut progressed = false;
+        // Truncation: drop the tail by halves (exhausted draws read as 0).
+        let mut keep = best.len() / 2;
+        while keep < best.len() && budget > 0 {
+            if let Some((d, m)) = try_stream(best[..keep].to_vec(), &mut budget) {
+                best = d;
+                message = m;
+                progressed = true;
+                break;
+            }
+            keep += (best.len() - keep).div_ceil(2).max(1);
+        }
+        // Per-position binary descent: repeatedly adopt the largest
+        // reduction `v - d` that still fails, halving `d` on a pass — this
+        // converges to a boundary value in O(log² v) trials.
+        for i in 0..best.len() {
+            'position: while budget > 0 {
+                let v = best[i];
+                if v == 0 {
+                    break;
+                }
+                let mut d = v;
+                while d > 0 && budget > 0 {
+                    let mut stream = best.clone();
+                    stream[i] = v - d;
+                    if let Some((draws, m)) = try_stream(stream, &mut budget) {
+                        best = draws;
+                        message = m;
+                        progressed = true;
+                        // A shorter control path may have dropped position i.
+                        if i >= best.len() {
+                            break 'position;
+                        }
+                        continue 'position;
+                    }
+                    d /= 2;
+                }
+                break;
+            }
+            if i >= best.len() {
+                break;
+            }
+        }
+        if !progressed || budget == 0 {
+            return (best, message);
+        }
+    }
+}
+
+fn cases_from_env() -> u64 {
+    std::env::var(CASES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Runs `prop` across many seeded random cases; panics with a replayable
+/// report on the first (shrunk) failure. Prefer the [`crate::ptest!`] macro
+/// over calling this directly.
+///
+/// # Panics
+///
+/// Panics if the property fails or discards every case.
+pub fn run(name: &str, prop: impl Fn(&mut Gen)) {
+    if let Ok(seed_text) = std::env::var(SEED_ENV) {
+        let seed = seed_text
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{SEED_ENV} must be a u64, got {seed_text:?}"));
+        run_one(name, seed, &prop);
+        return;
+    }
+    let cases = cases_from_env();
+    let mut executed = 0u64;
+    let mut discards = 0u64;
+    let mut case = 0u64;
+    while executed < cases {
+        // Per-test base seed: properties stay independent of each other and
+        // of their order in the file.
+        let seed = fnv1a(name.as_bytes()) ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case + 1));
+        case += 1;
+        match run_case(&prop, Gen::fresh(seed)) {
+            CaseOutcome::Pass => executed += 1,
+            CaseOutcome::Discarded => {
+                discards += 1;
+                assert!(
+                    discards < MAX_DISCARDS,
+                    "property `{name}`: {MAX_DISCARDS} cases discarded before \
+                     {cases} passed — loosen the assumptions"
+                );
+            }
+            CaseOutcome::Failed { message, draws } => {
+                let (shrunk, final_message) = shrink(&prop, draws, message);
+                panic!(
+                    "property `{name}` failed (case {case}, seed {seed}).\n\
+                     shrunk input stream: {shrunk:?}\n\
+                     replay exactly:  f2_core::ptest::replay(\"{name}\", &{shrunk:?}, ...)\n\
+                     replay the seed: {SEED_ENV}={seed} cargo test\n\
+                     panic: {final_message}"
+                );
+            }
+        }
+    }
+}
+
+/// Runs `prop` once with the given seed (the `F2_PTEST_SEED` path,
+/// callable directly).
+///
+/// # Panics
+///
+/// Propagates the property's panic, if any.
+pub fn run_one(name: &str, seed: u64, prop: &impl Fn(&mut Gen)) {
+    match run_case(prop, Gen::fresh(seed)) {
+        CaseOutcome::Pass | CaseOutcome::Discarded => {}
+        CaseOutcome::Failed { message, draws } => {
+            let (shrunk, final_message) = shrink(prop, draws, message);
+            panic!(
+                "property `{name}` failed under seed {seed}.\n\
+                 shrunk input stream: {shrunk:?}\n\
+                 panic: {final_message}"
+            );
+        }
+    }
+}
+
+/// Replays a recorded draw stream — the regression-pinning mechanism. Put
+/// the stream a failure report printed into a plain `#[test]` calling this,
+/// and the exact counterexample runs forever after.
+///
+/// # Panics
+///
+/// Propagates the property's panic if the pinned case still fails.
+pub fn replay(name: &str, draws: &[u64], prop: impl Fn(&mut Gen)) {
+    match run_case(&prop, Gen::replaying(draws.to_vec())) {
+        CaseOutcome::Pass | CaseOutcome::Discarded => {}
+        CaseOutcome::Failed { message, .. } => {
+            panic!("pinned regression `{name}` failed again: {message}")
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(g) { ... }` becomes a `#[test]`
+/// that runs the body as a property over the [`Gen`] argument.
+#[macro_export]
+macro_rules! ptest {
+    ($($(#[$meta:meta])* fn $name:ident($g:ident) $body:block)+) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::ptest::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |$g: &mut $crate::ptest::Gen| $body,
+            );
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::ptest! {
+        /// The harness itself: generated ranges respect their bounds.
+        fn ranges_respect_bounds(g) {
+            let lo = g.u64_in(0..100);
+            let hi = lo + 1 + g.u64_in(0..100);
+            let v = g.u64_in(lo..hi);
+            assert!(v >= lo && v < hi);
+            let f = g.f64_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+
+        /// Vectors honour their length range.
+        fn vec_length_in_range(g) {
+            let v = g.vec(3..17, |g| g.u8());
+            assert!((3..17).contains(&v.len()));
+        }
+
+        /// Assumptions discard without failing.
+        fn assume_discards(g) {
+            let v = g.u8();
+            crate::ptest::assume(v.is_multiple_of(2));
+            assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        // Property: fails whenever x >= 1000. Minimal counterexample is 1000;
+        // the shrinker must land on it exactly.
+        let prop = |g: &mut Gen| {
+            let x = g.u64_in(0..1_000_000);
+            assert!(x < 1000, "x too big: {x}");
+        };
+        let failure = match run_case(&prop, Gen::replaying(vec![999_999])) {
+            CaseOutcome::Failed { message, draws } => (draws, message),
+            _ => panic!("case must fail"),
+        };
+        let (shrunk, message) = shrink(&prop, failure.0, failure.1);
+        assert_eq!(shrunk, vec![1000], "shrinker must find the boundary");
+        assert!(message.contains("x too big: 1000"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_truncates_irrelevant_tail() {
+        // Only the first draw matters; the tail must shrink away to zeros.
+        let prop = |g: &mut Gen| {
+            let x = g.u64();
+            for _ in 0..10 {
+                let _ = g.u64();
+            }
+            assert!(x == 0, "nonzero head");
+        };
+        let stream: Vec<u64> = (1..=11).collect();
+        let failure = match run_case(&prop, Gen::replaying(stream)) {
+            CaseOutcome::Failed { message, draws } => (draws, message),
+            _ => panic!("case must fail"),
+        };
+        let (shrunk, _) = shrink(&prop, failure.0, failure.1);
+        assert_eq!(shrunk.iter().filter(|&&v| v != 0).count(), 1);
+        assert_eq!(shrunk[0], 1, "head shrinks to the smallest failing value");
+    }
+
+    #[test]
+    fn replay_reproduces_exact_values() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        replay("capture", &[5, 7, 9], |g| {
+            seen.borrow_mut().push(g.u64());
+            seen.borrow_mut().push(g.u64_in(0..100));
+            seen.borrow_mut().push(g.u64());
+        });
+        assert_eq!(*seen.borrow(), vec![5, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned regression")]
+    fn replay_fails_loudly_when_regression_returns() {
+        replay("returns", &[1], |g| {
+            assert_eq!(g.u64(), 0, "regression");
+        });
+    }
+
+    #[test]
+    fn exhausted_replay_pads_with_zeros() {
+        replay("padding", &[], |g| {
+            assert_eq!(g.u64(), 0);
+            assert_eq!(g.u64_in(3..10), 3);
+        });
+    }
+
+    #[test]
+    fn run_is_deterministic_across_invocations() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            run("determinism-probe", |g| {
+                seen.borrow_mut().push(g.u64());
+            });
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,22 +1,19 @@
-//! Deterministic random-number utilities.
+//! Deterministic random-number utilities, implemented from scratch.
 //!
 //! Every stochastic model in this reproduction (device variability, channel
 //! noise, synthetic workloads) must be reproducible run-to-run, so all crates
-//! derive their RNGs here: a ChaCha8 stream seeded from a global seed plus a
-//! stable label hash. Re-running any experiment with the same seed yields
-//! bit-identical results.
+//! derive their RNGs here: an in-tree ChaCha8 stream seeded from a global
+//! seed plus a stable label hash. Re-running any experiment with the same
+//! seed yields bit-identical results. No external crates are involved — the
+//! workspace builds with no registry access.
 //!
 //! ```
-//! use f2_core::rng::rng_for;
-//! use rand::Rng;
+//! use f2_core::rng::{rng_for, Rng};
 //!
 //! let mut a = rng_for(42, "crossbar");
 //! let mut b = rng_for(42, "crossbar");
 //! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 //! ```
-
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Default experiment seed used by benches and examples.
 pub const DEFAULT_SEED: u64 = 0xF1A6_5817;
@@ -31,7 +28,7 @@ pub fn rng_for(seed: u64, label: &str) -> ChaCha8Rng {
 
 /// 64-bit FNV-1a hash; stable across platforms and Rust versions (unlike
 /// `DefaultHasher`), which keeps experiment outputs reproducible.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -40,11 +37,320 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// SplitMix64 step: expands a 64-bit seed into a well-mixed key schedule.
+/// This is the standard seed-expansion function (Vigna); one step per output
+/// word decorrelates even adjacent integer seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sampling of a primitive from a raw 64-bit stream.
+///
+/// Implemented for the integer widths, `f32`/`f64` (uniform in `[0, 1)`),
+/// and `bool`, mirroring the subset of `rand::distributions::Standard` this
+/// workspace uses.
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+macro_rules! sample_int {
+    ($($t:ty),+) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut (impl Rng + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for u128 {
+    fn sample(rng: &mut (impl Rng + ?Sized)) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa precision.
+    fn sample(rng: &mut (impl Rng + ?Sized)) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with the full 24 bits of mantissa precision.
+    fn sample(rng: &mut (impl Rng + ?Sized)) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut (impl Rng + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly; implemented for `Range` and
+/// `RangeInclusive` over the integer types so `rng.gen_range(0..n)` reads
+/// exactly as it did under `rand`.
+pub trait SampleRange {
+    /// The element type produced by the range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> Self::Output;
+}
+
+/// Unbiased integer in `[0, span)` by rejection of the biased tail.
+fn uniform_u64(span: u64, rng: &mut (impl Rng + ?Sized)) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_u64(span, rng) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_u64(span + 1, rng) as $t)
+            }
+        }
+    )+};
+}
+sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+/// The deterministic random-number interface every stochastic model draws
+/// through. Only [`Rng::next_u64`] is required; everything else derives.
+pub trait Rng {
+    /// Returns the next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of any [`Sample`] type (`rng.gen::<f64>()`, …).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from an integer or float range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        f64::sample(self) < p
+    }
+
+    /// Convenience alias for `gen::<u64>()`.
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Convenience alias for `gen::<u32>()`.
+    fn gen_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Convenience alias for `gen::<f64>()`: uniform in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        f64::sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The ChaCha stream cipher core with 8 rounds, used as a deterministic PRNG.
+///
+/// ChaCha8 keeps the statistical quality of the full cipher at a fraction of
+/// the cost and is the same generator the workspace used via `rand_chacha`;
+/// this implementation is self-contained (RFC 7539 state layout, 64-bit
+/// block counter).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+const CHACHA_ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Builds a generator from a full 256-bit key.
+    pub fn from_key(key: [u32; 8]) -> Self {
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    /// Expands a 64-bit seed into a key via SplitMix64 (so nearby integer
+    /// seeds yield uncorrelated streams) and builds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut state);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        Self::from_key(key)
+    }
+
+    /// Runs the block function for the current counter into `buf`.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14-15 are the nonce; a fixed zero nonce is fine for a PRNG
+        // (stream separation happens through the key, via `rng_for` labels).
+        let initial = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial)) {
+            *out = s.wrapping_add(i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Returns the next 32-bit word of the keystream.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl Rng for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// A trivial counting generator for tests that need fully predictable
+/// values (`StepRng::new(0, 0)` always returns the initial value).
+#[derive(Debug, Clone)]
+pub struct StepRng {
+    value: u64,
+    step: u64,
+}
+
+impl StepRng {
+    /// Starts at `value`, advancing by `step` per draw.
+    pub fn new(value: u64, step: u64) -> Self {
+        Self { value, step }
+    }
+}
+
+impl Rng for StepRng {
+    fn next_u64(&mut self) -> u64 {
+        let v = self.value;
+        self.value = self.value.wrapping_add(self.step);
+        v
+    }
+}
+
 /// Draws a sample from a standard normal distribution using Box-Muller.
 ///
-/// `rand_distr` is not in the approved dependency set; Box-Muller over two
-/// uniforms is exact and sufficient for the Monte-Carlo device models.
-pub fn sample_standard_normal(rng: &mut impl rand::Rng) -> f64 {
+/// Box-Muller over two uniforms is exact and sufficient for the Monte-Carlo
+/// device models; no distribution crate is needed.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
     loop {
         let u1: f64 = rng.gen();
         if u1 <= f64::MIN_POSITIVE {
@@ -56,14 +362,13 @@ pub fn sample_standard_normal(rng: &mut impl rand::Rng) -> f64 {
 }
 
 /// Draws a normal sample with the given mean and standard deviation.
-pub fn sample_normal(rng: &mut impl rand::Rng, mean: f64, std_dev: f64) -> f64 {
+pub fn sample_normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
     mean + std_dev * sample_standard_normal(rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
@@ -83,11 +388,93 @@ mod tests {
     }
 
     #[test]
+    fn adjacent_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chacha_known_answer() {
+        // ChaCha8 block 0 for the all-zero key and nonce. First word of the
+        // keystream, checked against the independently-published test vector
+        // ("3e00ef2f..." little-endian).
+        let mut rng = ChaCha8Rng::from_key([0; 8]);
+        assert_eq!(rng.next_u32(), 0x2fef003e);
+    }
+
+    #[test]
     fn fnv1a_known_vector() {
         // FNV-1a of empty input is the offset basis.
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         // Known vector: "a".
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = rng_for(11, "float-range");
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            let w: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_bounds_uniformly() {
+        let mut rng = rng_for(12, "range");
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "counts {counts:?}");
+        }
+        // Inclusive ranges reach the upper endpoint.
+        assert!((0..1000).any(|_| rng.gen_range(0u32..=3) == 3));
+        // Single-element ranges are fine.
+        assert_eq!(rng.gen_range(7u64..=7), 7);
+        assert_eq!(rng.gen_range(-3i32..=-3), -3);
+    }
+
+    #[test]
+    fn gen_range_signed_spans_zero() {
+        let mut rng = rng_for(13, "signed");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = rng_for(14, "empty");
+        let _ = rng.gen_range(3u32..3);
+    }
+
+    #[test]
+    fn step_rng_is_constant_at_zero_step() {
+        let mut rng = StepRng::new(42, 0);
+        assert_eq!(rng.next_u64(), 42);
+        assert_eq!(rng.next_u64(), 42);
+        let mut counting = StepRng::new(0, 3);
+        assert_eq!(counting.next_u64(), 0);
+        assert_eq!(counting.next_u64(), 3);
+    }
+
+    #[test]
+    fn rng_trait_usable_through_mut_ref() {
+        fn draw(rng: &mut impl Rng) -> u64 {
+            rng.gen()
+        }
+        let mut rng = rng_for(15, "reborrow");
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -99,5 +486,15 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn monobit_balance() {
+        // Crude statistical sanity: ones density of the keystream ≈ 1/2.
+        let mut rng = rng_for(2, "monobit");
+        let ones: u32 = (0..1000).map(|_| rng.gen::<u64>().count_ones()).sum();
+        let total = 1000 * 64;
+        let density = ones as f64 / total as f64;
+        assert!((density - 0.5).abs() < 0.01, "density {density}");
     }
 }

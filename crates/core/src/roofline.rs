@@ -17,11 +17,9 @@
 //! assert_eq!(gpu.attainable(1e4), 312e12);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// A two-parameter roofline: peak compute (FLOP/s or OP/s) and peak memory
 /// bandwidth (bytes/s).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     peak_ops: f64,
     mem_bandwidth: f64,

@@ -16,11 +16,10 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
 /// Dense N-dimensional row-major tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor<T> {
     shape: Vec<usize>,
     data: Vec<T>,
@@ -141,7 +140,7 @@ impl<T> IndexMut<&[usize]> for Tensor<T> {
 
 /// Dense row-major matrix of `f64`, the workhorse 2-D type for kernels,
 /// crossbar conductance maps and images.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

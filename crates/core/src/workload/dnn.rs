@@ -23,11 +23,10 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// 2-D convolution geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2d {
     /// Input channel count.
     pub in_channels: usize,
@@ -50,7 +49,7 @@ impl Conv2d {
 
 /// 2-D transposed convolution (deconvolution) geometry, the §V upscaling
 /// layer. `stride` here is the upsampling factor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TConv2d {
     /// Input channel count.
     pub in_channels: usize,
@@ -71,7 +70,7 @@ impl TConv2d {
 }
 
 /// Kind and geometry of one network layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LayerKind {
     /// Standard convolution.
     Conv2d(Conv2d),
@@ -96,7 +95,7 @@ pub enum LayerKind {
 }
 
 /// A concrete layer instance: kind plus the input spatial size it runs at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     name: String,
     kind: LayerKind,
@@ -197,7 +196,11 @@ impl Layer {
                 // Gather formulation: every output pixel accumulates
                 // kernel²/stride² taps per input channel on average; the exact
                 // count equals in_pixels × k² × Cin × Cout (scatter view).
-                (self.in_height * self.in_width * t.kernel * t.kernel * t.in_channels
+                (self.in_height
+                    * self.in_width
+                    * t.kernel
+                    * t.kernel
+                    * t.in_channels
                     * t.out_channels) as u64
             }
             LayerKind::Dense {
@@ -233,7 +236,7 @@ impl fmt::Display for Layer {
 }
 
 /// A feed-forward DNN model: an ordered sequence of layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DnnModel {
     name: String,
     layers: Vec<Layer>,

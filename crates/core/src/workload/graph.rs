@@ -9,12 +9,11 @@
 
 use crate::error::CoreError;
 use crate::rng::rng_for;
+use crate::rng::Rng;
 use crate::Result;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A directed graph in compressed-sparse-row form with `f64` edge weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
@@ -202,6 +201,7 @@ pub fn spmv(graph: &CsrGraph, x: &[f64]) -> Result<Vec<f64>> {
 
 /// PageRank with damping `d`, run for `iters` iterations. Dangling mass is
 /// redistributed uniformly. Returns the final rank vector (sums to 1).
+#[allow(clippy::needless_range_loop)]
 pub fn pagerank(graph: &CsrGraph, d: f64, iters: usize) -> Vec<f64> {
     let n = graph.num_nodes();
     let mut rank = vec![1.0 / n as f64; n];

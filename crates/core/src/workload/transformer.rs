@@ -16,10 +16,9 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one transformer encoder block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransformerConfig {
     d_model: usize,
     heads: usize,
@@ -122,7 +121,7 @@ impl TransformerConfig {
 }
 
 /// FLOP counts per transformer sub-block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlopBreakdown {
     /// QKV and output projection GEMMs.
     pub projections: u64,
@@ -154,7 +153,7 @@ impl FlopBreakdown {
 }
 
 /// A named multi-block transformer model (e.g. a small BERT or ViT encoder).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerModel {
     name: String,
     block: TransformerConfig,
@@ -243,7 +242,11 @@ mod tests {
     #[test]
     fn gemm_dominates_realistic_blocks() {
         let f = bert_base_block().flops();
-        assert!(f.gemm_fraction() > 0.95, "gemm fraction {}", f.gemm_fraction());
+        assert!(
+            f.gemm_fraction() > 0.95,
+            "gemm fraction {}",
+            f.gemm_fraction()
+        );
     }
 
     #[test]

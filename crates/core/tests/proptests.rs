@@ -3,133 +3,137 @@
 use f2_core::bf16::Bf16;
 use f2_core::fixed::QFormat;
 use f2_core::pareto::{dominates, Direction, ParetoFront};
+use f2_core::ptest::assume;
 use f2_core::roofline::Roofline;
 use f2_core::tensor::Matrix;
 use f2_core::workload::graph::{bfs, gnm_random, pagerank, spmv};
-use proptest::prelude::*;
 
-proptest! {
+f2_core::ptest! {
     /// Quantisation error is bounded by half an LSB for in-range values.
-    #[test]
-    fn fixed_quantize_error_bounded(v in -100.0f64..100.0, frac in 4u8..16) {
+    fn fixed_quantize_error_bounded(g) {
+        let v = g.f64_in(-100.0, 100.0);
+        let frac = g.u64_in(4..16) as u8;
         let q = QFormat::new(24, frac).expect("valid format");
         let x = q.quantize(v);
         let err = (q.dequantize(x) - v).abs();
-        prop_assert!(err <= q.resolution() / 2.0 + 1e-12);
+        assert!(err <= q.resolution() / 2.0 + 1e-12);
     }
 
     /// Quantisation is idempotent: re-quantising a representable value is exact.
-    #[test]
-    fn fixed_quantize_idempotent(v in -1000.0f64..1000.0) {
+    fn fixed_quantize_idempotent(g) {
+        let v = g.f64_in(-1000.0, 1000.0);
         let q = QFormat::new(16, 6).expect("valid format");
         let once = q.quantize(v);
         let twice = q.quantize(once.to_f64());
-        prop_assert_eq!(once.raw(), twice.raw());
+        assert_eq!(once.raw(), twice.raw());
     }
 
     /// Saturating add never exceeds the format bounds.
-    #[test]
-    fn fixed_add_stays_in_range(a in -200.0f64..200.0, b in -200.0f64..200.0) {
+    fn fixed_add_stays_in_range(g) {
+        let a = g.f64_in(-200.0, 200.0);
+        let b = g.f64_in(-200.0, 200.0);
         let q = QFormat::new(16, 8).expect("valid format");
         let s = q.quantize(a).saturating_add(q.quantize(b));
-        prop_assert!(s.to_f64() <= q.max_value());
-        prop_assert!(s.to_f64() >= q.min_value());
+        assert!(s.to_f64() <= q.max_value());
+        assert!(s.to_f64() >= q.min_value());
     }
 
     /// bf16 round-trip error is within one part in 2^8 for normal values.
-    #[test]
-    fn bf16_relative_error(v in prop::num::f32::NORMAL) {
-        prop_assume!(v.abs() > 1e-30 && v.abs() < 1e30);
+    fn bf16_relative_error(g) {
+        let v = g.f32_normal();
+        assume(v.abs() > 1e-30 && v.abs() < 1e30);
         let r = Bf16::from_f32(v).to_f32();
-        prop_assert!(((r - v) / v).abs() <= 2.0f32.powi(-8));
+        assert!(((r - v) / v).abs() <= 2.0f32.powi(-8));
     }
 
     /// bf16 conversion is idempotent.
-    #[test]
-    fn bf16_idempotent(bits in any::<u16>()) {
-        let x = Bf16::from_bits(bits);
-        prop_assume!(!x.is_nan());
-        prop_assert_eq!(Bf16::from_f32(x.to_f32()), x);
+    fn bf16_idempotent(g) {
+        let x = Bf16::from_bits(g.u16());
+        assume(!x.is_nan());
+        assert_eq!(Bf16::from_f32(x.to_f32()), x);
     }
 
     /// Pareto dominance is irreflexive and antisymmetric.
-    #[test]
-    fn dominance_axioms(a in prop::collection::vec(0.0f64..10.0, 3),
-                        b in prop::collection::vec(0.0f64..10.0, 3)) {
+    fn dominance_axioms(g) {
+        let a: Vec<f64> = (0..3).map(|_| g.f64_in(0.0, 10.0)).collect();
+        let b: Vec<f64> = (0..3).map(|_| g.f64_in(0.0, 10.0)).collect();
         let dirs = [Direction::Minimize, Direction::Maximize, Direction::Minimize];
-        prop_assert!(!dominates(&a, &a, &dirs));
-        prop_assert!(!(dominates(&a, &b, &dirs) && dominates(&b, &a, &dirs)));
+        assert!(!dominates(&a, &a, &dirs));
+        assert!(!(dominates(&a, &b, &dirs) && dominates(&b, &a, &dirs)));
     }
 
     /// No point on a Pareto front is dominated by any input point.
-    #[test]
-    fn front_is_nondominated(pts in prop::collection::vec(
-        prop::collection::vec(0.0f64..10.0, 2), 1..30)) {
+    fn front_is_nondominated(g) {
+        let pts = g.vec(1..30, |g| {
+            vec![g.f64_in(0.0, 10.0), g.f64_in(0.0, 10.0)]
+        });
         let dirs = [Direction::Minimize, Direction::Minimize];
         let front = ParetoFront::from_points(&pts, &dirs);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for &i in front.indices() {
             for p in &pts {
-                prop_assert!(!dominates(p, &pts[i], &dirs));
+                assert!(!dominates(p, &pts[i], &dirs));
             }
         }
     }
 
     /// Roofline attainable performance never exceeds either roof.
-    #[test]
-    fn roofline_bounds(peak in 1.0f64..1e15, bw in 1.0f64..1e13, oi in 0.001f64..1e6) {
+    fn roofline_bounds(g) {
+        let peak = g.f64_in(1.0, 1e15);
+        let bw = g.f64_in(1.0, 1e13);
+        let oi = g.f64_in(0.001, 1e6);
         let r = Roofline::new(peak, bw);
         let p = r.attainable(oi);
-        prop_assert!(p <= peak + 1e-9);
-        prop_assert!(p <= oi * bw + 1e-9);
+        assert!(p <= peak + 1e-9);
+        assert!(p <= oi * bw + 1e-9);
     }
 
     /// Matrix transpose is an involution and preserves the Frobenius norm.
-    #[test]
-    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+    fn transpose_involution(g) {
+        let rows = g.usize_in(1..8);
+        let cols = g.usize_in(1..8);
+        let seed = g.u64();
         let m = Matrix::from_fn(rows, cols, |r, c| {
             ((seed as usize).wrapping_mul(r * 31 + c * 7) % 1000) as f64 / 10.0
         });
         let t = m.transposed();
-        prop_assert_eq!(t.transposed(), m.clone());
-        prop_assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-9);
+        assert_eq!(t.transposed(), m.clone());
+        assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-9);
     }
 
     /// SpMV is linear: A(x + y) = Ax + Ay.
-    #[test]
-    fn spmv_linearity(seed in any::<u64>()) {
-        let g = gnm_random(20, 60, seed);
+    fn spmv_linearity(g) {
+        let g_raph = gnm_random(20, 60, g.u64());
         let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..20).map(|i| (20 - i) as f64).collect();
         let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
-        let ax = spmv(&g, &x).expect("shape");
-        let ay = spmv(&g, &y).expect("shape");
-        let axy = spmv(&g, &xy).expect("shape");
+        let ax = spmv(&g_raph, &x).expect("shape");
+        let ay = spmv(&g_raph, &y).expect("shape");
+        let axy = spmv(&g_raph, &xy).expect("shape");
         for i in 0..20 {
-            prop_assert!((axy[i] - (ax[i] + ay[i])).abs() < 1e-9);
+            assert!((axy[i] - (ax[i] + ay[i])).abs() < 1e-9);
         }
     }
 
     /// BFS levels of neighbours differ by at most 1 along reachable edges.
-    #[test]
-    fn bfs_triangle_inequality(seed in any::<u64>()) {
-        let g = gnm_random(30, 90, seed);
-        let level = bfs(&g, 0);
+    fn bfs_triangle_inequality(g) {
+        let graph = gnm_random(30, 90, g.u64());
+        let level = bfs(&graph, 0);
         for u in 0..30 {
             if level[u] == usize::MAX { continue; }
-            for (v, _) in g.neighbors(u) {
-                prop_assert!(level[v] <= level[u] + 1);
+            for (v, _) in graph.neighbors(u) {
+                assert!(level[v] <= level[u] + 1);
             }
         }
     }
 
     /// PageRank mass is conserved for any graph.
-    #[test]
-    fn pagerank_mass_conserved(seed in any::<u64>(), iters in 1usize..20) {
-        let g = gnm_random(25, 50, seed);
-        let pr = pagerank(&g, 0.85, iters);
+    fn pagerank_mass_conserved(g) {
+        let graph = gnm_random(25, 50, g.u64());
+        let iters = g.usize_in(1..20);
+        let pr = pagerank(&graph, 0.85, iters);
         let sum: f64 = pr.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(pr.iter().all(|&r| r >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pr.iter().all(|&r| r >= 0.0));
     }
 }

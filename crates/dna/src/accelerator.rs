@@ -17,10 +17,9 @@
 use crate::error::DnaError;
 use crate::Result;
 use f2_core::kpi::{Megahertz, MpairPerJoule, Tcups, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the systolic edit-distance accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorConfig {
     /// Bit-parallel processing elements instantiated.
     pub pe_count: usize,
@@ -109,7 +108,7 @@ impl AcceleratorConfig {
 
 /// A software (CPU) baseline calibrated from the bit-parallel kernel: a
 /// modern core sustains a few GCUPS per core with Myers' algorithm \[29\].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuBaseline {
     /// Cores used.
     pub cores: usize,
@@ -179,8 +178,7 @@ mod tests {
         let cpu = CpuBaseline::server();
         let speedup = acc.throughput().value() / cpu.throughput().value();
         assert!(speedup > 100.0, "FPGA speedup {speedup:.0}x");
-        let energy_gain =
-            acc.pair_efficiency(150).value() / cpu.pair_efficiency(150).value();
+        let energy_gain = acc.pair_efficiency(150).value() / cpu.pair_efficiency(150).value();
         assert!(energy_gain > 1000.0, "energy gain {energy_gain:.0}x");
     }
 

@@ -9,10 +9,9 @@
 //! draft-anchored consensus built on it.
 
 use crate::sequence::{DnaBase, DnaSequence};
-use serde::{Deserialize, Serialize};
 
 /// One step of a pairwise alignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlignOp {
     /// Bases match.
     Match,
@@ -25,7 +24,7 @@ pub enum AlignOp {
 }
 
 /// A global alignment of a read against a draft.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alignment {
     /// Edit operations in draft order.
     pub ops: Vec<AlignOp>,
@@ -154,6 +153,10 @@ pub fn project_to_draft(
     project_with_insertions(draft, read, band).map(|(cols, _)| cols)
 }
 
+/// A read projected onto draft columns (`None` where the read has a
+/// deletion) plus its insertions as `(draft_position, base)` pairs.
+pub type Projection = (Vec<Option<DnaBase>>, Vec<(usize, DnaBase)>);
+
 /// Like [`project_to_draft`], but also returns the read's insertions as
 /// `(draft_position, base)` pairs — the base the read inserts *before* that
 /// draft column (`draft.len()` marks an append at the end).
@@ -161,7 +164,7 @@ pub fn project_with_insertions(
     draft: &DnaSequence,
     read: &DnaSequence,
     band: usize,
-) -> Option<(Vec<Option<DnaBase>>, Vec<(usize, DnaBase)>)> {
+) -> Option<Projection> {
     let alignment = align_banded(draft, read, band)?;
     let mut column = Vec::with_capacity(draft.len());
     let mut insertions = Vec::new();
@@ -283,7 +286,7 @@ mod tests {
     use crate::channel::ChannelModel;
     use crate::levenshtein::levenshtein_dp;
     use f2_core::rng::rng_for;
-    use rand::Rng;
+    use f2_core::rng::Rng;
 
     fn seq(s: &str) -> DnaSequence {
         DnaSequence::parse(s).expect("valid sequence")
@@ -393,8 +396,7 @@ mod tests {
         let mut recovered = 0;
         let trials = 10;
         for _ in 0..trials {
-            let reads: Vec<DnaSequence> =
-                (0..9).map(|_| ch.corrupt(&original, &mut rng)).collect();
+            let reads: Vec<DnaSequence> = (0..9).map(|_| ch.corrupt(&original, &mut rng)).collect();
             let refs: Vec<&DnaSequence> = reads.iter().collect();
             if consensus_aligned(&refs, 16) == original {
                 recovered += 1;

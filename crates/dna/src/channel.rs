@@ -10,11 +10,10 @@
 use crate::error::DnaError;
 use crate::sequence::{DnaBase, DnaSequence};
 use crate::Result;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use f2_core::rng::Rng;
 
 /// Channel error-rate configuration (per-base probabilities).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelModel {
     /// Substitution probability per base.
     pub substitution: f64,
@@ -114,15 +113,9 @@ impl ChannelModel {
 
     /// Sequences a whole pool of oligos, concatenating and shuffling reads
     /// (the unordered pool a sequencer returns).
-    pub fn sequence_pool(
-        &self,
-        strands: &[DnaSequence],
-        rng: &mut impl Rng,
-    ) -> Vec<DnaSequence> {
-        let mut reads: Vec<DnaSequence> = strands
-            .iter()
-            .flat_map(|s| self.sequence(s, rng))
-            .collect();
+    pub fn sequence_pool(&self, strands: &[DnaSequence], rng: &mut impl Rng) -> Vec<DnaSequence> {
+        let mut reads: Vec<DnaSequence> =
+            strands.iter().flat_map(|s| self.sequence(s, rng)).collect();
         // Fisher-Yates shuffle: the pool has no order.
         for i in (1..reads.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -159,7 +152,7 @@ mod tests {
         let mut rng = rng_for(seed, "strand");
         DnaSequence::from_bases(
             (0..len)
-                .map(|_| DnaBase::from_bits(rand::Rng::gen(&mut rng)))
+                .map(|_| DnaBase::from_bits(f2_core::rng::Rng::gen(&mut rng)))
                 .collect(),
         )
     }

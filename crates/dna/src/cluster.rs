@@ -10,10 +10,9 @@
 
 use crate::levenshtein::levenshtein_banded;
 use crate::sequence::{DnaBase, DnaSequence};
-use serde::{Deserialize, Serialize};
 
 /// Clustering parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Maximum edit distance to a cluster representative.
     pub distance_threshold: usize,
@@ -65,7 +64,7 @@ fn sketch_overlap_millis(a: [u64; 4], b: [u64; 4]) -> u32 {
 }
 
 /// Result of clustering a read pool.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     /// Read indices per cluster.
     pub clusters: Vec<Vec<usize>>,
@@ -176,7 +175,7 @@ mod tests {
     use super::*;
     use crate::channel::ChannelModel;
     use f2_core::rng::rng_for;
-    use rand::Rng;
+    use f2_core::rng::Rng;
 
     fn random_strand(len: usize, rng: &mut impl Rng) -> DnaSequence {
         DnaSequence::from_bases((0..len).map(|_| DnaBase::from_bits(rng.gen())).collect())

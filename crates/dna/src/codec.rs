@@ -11,10 +11,9 @@
 use crate::error::DnaError;
 use crate::sequence::DnaSequence;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Codec framing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodecConfig {
     /// Payload bytes per strand.
     pub data_per_strand: usize,
@@ -54,7 +53,7 @@ impl CodecConfig {
 }
 
 /// An encoded archive: the synthesised oligo pool plus decode metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Archive {
     /// All oligos (data strands then parity strands, but decoding does not
     /// rely on order).
@@ -68,7 +67,9 @@ pub struct Archive {
 const PARITY_FLAG: u16 = 0x8000;
 
 fn checksum(bytes: &[u8]) -> u8 {
-    bytes.iter().fold(0u8, |acc, &b| acc.wrapping_mul(31).wrapping_add(b))
+    bytes
+        .iter()
+        .fold(0u8, |acc, &b| acc.wrapping_mul(31).wrapping_add(b))
 }
 
 /// Index-seeded keystream byte. Scrambling each strand's payload with a
@@ -201,7 +202,7 @@ pub fn encode(payload: &[u8], config: CodecConfig) -> Result<Archive> {
 }
 
 /// Statistics of a decode attempt.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DecodeStats {
     /// Data strands recovered directly.
     pub direct: usize,
@@ -219,6 +220,7 @@ pub struct DecodeStats {
 ///
 /// Returns [`DnaError::DecodeFailure`] if any group lost more strands than
 /// parity can repair.
+#[allow(clippy::needless_range_loop)]
 pub fn decode(
     strands: &[DnaSequence],
     payload_len: usize,
@@ -252,9 +254,8 @@ pub fn decode(
 
     // Parity repair: one missing strand per group is recoverable.
     for g in 0..n_groups {
-        let members: Vec<usize> = ((g * config.group_size)
-            ..((g + 1) * config.group_size).min(n_strands))
-            .collect();
+        let members: Vec<usize> =
+            ((g * config.group_size)..((g + 1) * config.group_size).min(n_strands)).collect();
         let missing: Vec<usize> = members
             .iter()
             .copied()
@@ -436,3 +437,10 @@ mod tests {
         .is_err());
     }
 }
+
+f2_core::impl_to_json!(DecodeStats {
+    direct,
+    parity_recovered,
+    lost,
+    rejected
+});

@@ -12,10 +12,9 @@
 use crate::error::DnaError;
 use crate::sequence::{DnaBase, DnaSequence};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Biochemical constraints an oligo must satisfy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstraintSpec {
     /// Longest tolerated homopolymer run.
     pub max_homopolymer: usize,
@@ -160,9 +159,7 @@ pub fn rotation_decode(seq: &DnaSequence) -> Result<Vec<u8>> {
         let trit = successors
             .iter()
             .position(|&s| s == base)
-            .ok_or_else(|| {
-                DnaError::CodecError("base repeats its predecessor".to_string())
-            })?;
+            .ok_or_else(|| DnaError::CodecError("base repeats its predecessor".to_string()))?;
         trits.push(trit as u16);
         prev = Some(base);
         if trits.len() == 6 {
@@ -253,7 +250,7 @@ mod tests {
         }
         // And across random content.
         let mut rng = f2_core::rng::rng_for(5, "rotation");
-        let payload: Vec<u8> = (0..200).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let payload: Vec<u8> = (0..200).map(|_| f2_core::rng::Rng::gen(&mut rng)).collect();
         assert_eq!(max_homopolymer(&rotation_encode(&payload)), 1);
     }
 
@@ -284,7 +281,7 @@ mod tests {
     #[test]
     fn rotation_gc_stays_balanced() {
         let mut rng = f2_core::rng::rng_for(6, "rotation-gc");
-        let payload: Vec<u8> = (0..300).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let payload: Vec<u8> = (0..300).map(|_| f2_core::rng::Rng::gen(&mut rng)).collect();
         let encoded = rotation_encode(&payload);
         let (lo, hi) = gc_window_range(&encoded, 50);
         assert!(lo > 0.2 && hi < 0.8, "GC range {lo:.2}..{hi:.2}");

@@ -14,10 +14,9 @@
 //!   FPGA accelerator \[35\] parallelise.
 
 use crate::sequence::DnaSequence;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one distance computation, with work accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistanceResult {
     /// The edit distance (`None` if a banded search exceeded its band).
     pub distance: Option<usize>,
@@ -176,7 +175,7 @@ mod tests {
     use super::*;
     use crate::sequence::DnaSequence;
     use f2_core::rng::rng_for;
-    use rand::Rng;
+    use f2_core::rng::Rng;
 
     fn seq(s: &str) -> DnaSequence {
         DnaSequence::parse(s).expect("valid test sequence")
@@ -207,8 +206,8 @@ mod tests {
     fn myers_matches_dp_on_random_pairs() {
         let mut rng = rng_for(1, "myers");
         for _ in 0..50 {
-            let la = rng.gen_range(1..200);
-            let lb = rng.gen_range(1..200);
+            let la = rng.gen_range(1..200usize);
+            let lb = rng.gen_range(1..200usize);
             let a = random_seq(la, &mut rng);
             let b = random_seq(lb, &mut rng);
             let dp = levenshtein_dp(&a, &b).distance;
@@ -273,9 +272,8 @@ mod tests {
     fn distance_is_a_metric() {
         let mut rng = rng_for(5, "metric");
         let seqs: Vec<DnaSequence> = (0..6).map(|_| random_seq(30, &mut rng)).collect();
-        let d = |x: &DnaSequence, y: &DnaSequence| {
-            levenshtein_dp(x, y).distance.expect("exact") as i64
-        };
+        let d =
+            |x: &DnaSequence, y: &DnaSequence| levenshtein_dp(x, y).distance.expect("exact") as i64;
         for x in &seqs {
             assert_eq!(d(x, x), 0);
             for y in &seqs {

@@ -11,10 +11,9 @@ use crate::codec::{decode, encode, CodecConfig, DecodeStats};
 use crate::sequence::DnaSequence;
 use crate::Result;
 use f2_core::rng::rng_for;
-use serde::{Deserialize, Serialize};
 
 /// Consensus algorithm used to collapse each read cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConsensusMode {
     /// Length-filtered column voting (fast; substitution-robust).
     ColumnVote,
@@ -28,7 +27,7 @@ pub enum ConsensusMode {
 }
 
 /// Configuration of one pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Codec framing.
     pub codec: CodecConfig,
@@ -52,7 +51,7 @@ impl Default for PipelineConfig {
 }
 
 /// Statistics of one end-to-end run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
     /// Oligos synthesised.
     pub strands_written: usize,
@@ -176,23 +175,33 @@ mod tests {
     #[test]
     fn aligned_consensus_survives_harsher_channels() {
         // Indel-heavy channel where column voting starts failing.
-        let mut cfg = PipelineConfig::default();
-        cfg.channel = ChannelModel {
-            substitution: 0.01,
-            insertion: 0.012,
-            deletion: 0.012,
-            dropout: 0.0,
-            mean_coverage: 14.0,
+        let mut cfg = PipelineConfig {
+            channel: ChannelModel {
+                substitution: 0.01,
+                insertion: 0.012,
+                deletion: 0.012,
+                dropout: 0.0,
+                mean_coverage: 14.0,
+            },
+            ..PipelineConfig::default()
         };
         let mut column_ok = 0;
         let mut aligned_ok = 0;
         for seed in 0..6 {
             cfg.consensus = ConsensusMode::ColumnVote;
-            if run_pipeline(PAYLOAD, &cfg, seed).expect("valid config").1.payload_recovered {
+            if run_pipeline(PAYLOAD, &cfg, seed)
+                .expect("valid config")
+                .1
+                .payload_recovered
+            {
                 column_ok += 1;
             }
             cfg.consensus = ConsensusMode::Aligned { band: 16 };
-            if run_pipeline(PAYLOAD, &cfg, seed).expect("valid config").1.payload_recovered {
+            if run_pipeline(PAYLOAD, &cfg, seed)
+                .expect("valid config")
+                .1
+                .payload_recovered
+            {
                 aligned_ok += 1;
             }
         }
@@ -200,7 +209,10 @@ mod tests {
             aligned_ok >= column_ok,
             "aligned ({aligned_ok}/6) must not lose to column vote ({column_ok}/6)"
         );
-        assert!(aligned_ok >= 5, "aligned consensus should recover: {aligned_ok}/6");
+        assert!(
+            aligned_ok >= 5,
+            "aligned consensus should recover: {aligned_ok}/6"
+        );
     }
 
     #[test]
@@ -224,3 +236,12 @@ mod tests {
         );
     }
 }
+
+f2_core::impl_to_json!(PipelineReport {
+    strands_written,
+    reads,
+    clusters,
+    decode,
+    payload_recovered,
+    distance_calls,
+});

@@ -6,11 +6,10 @@
 
 use crate::error::DnaError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One nucleotide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DnaBase {
     /// Adenine (bits `00`).
     A,
@@ -84,7 +83,7 @@ impl fmt::Display for DnaBase {
 }
 
 /// An oligonucleotide strand.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct DnaSequence {
     bases: Vec<DnaBase>,
 }

@@ -1,77 +1,81 @@
 //! Property-based tests of DNA-storage invariants.
 
+use f2_core::ptest::Gen;
 use f2_dna::alignment::align_banded;
 use f2_dna::codec::{decode, encode, CodecConfig};
 use f2_dna::levenshtein::{levenshtein_banded, levenshtein_dp, levenshtein_myers};
 use f2_dna::sequence::{DnaBase, DnaSequence};
-use proptest::prelude::*;
 
-fn arb_sequence(max_len: usize) -> impl Strategy<Value = DnaSequence> {
-    prop::collection::vec(0u8..4, 0..max_len)
-        .prop_map(|v| DnaSequence::from_bases(v.into_iter().map(DnaBase::from_bits).collect()))
+fn gen_sequence(g: &mut Gen, max_len: usize) -> DnaSequence {
+    let bases = g.vec(0..max_len, |g| DnaBase::from_bits(g.u8() % 4));
+    DnaSequence::from_bases(bases)
 }
 
-proptest! {
+f2_core::ptest! {
     /// Bytes → bases → bytes is the identity.
-    #[test]
-    fn sequence_codec_round_trip(payload in prop::collection::vec(any::<u8>(), 0..200)) {
+    fn sequence_codec_round_trip(g) {
+        let payload = g.bytes(0..200);
         let seq = DnaSequence::from_bytes(&payload);
-        prop_assert_eq!(seq.to_bytes(), payload);
+        assert_eq!(seq.to_bytes(), payload);
     }
 
     /// Myers bit-parallel distance equals the DP reference for any pair.
-    #[test]
-    fn myers_equals_dp(a in arb_sequence(180), b in arb_sequence(180)) {
-        prop_assert_eq!(
+    fn myers_equals_dp(g) {
+        let a = gen_sequence(g, 180);
+        let b = gen_sequence(g, 180);
+        assert_eq!(
             levenshtein_myers(&a, &b).distance,
             levenshtein_dp(&a, &b).distance
         );
     }
 
     /// Banded distance is exact whenever it returns a value.
-    #[test]
-    fn banded_is_exact_when_it_answers(a in arb_sequence(120), b in arb_sequence(120),
-                                       band in 1usize..24) {
+    fn banded_is_exact_when_it_answers(g) {
+        let a = gen_sequence(g, 120);
+        let b = gen_sequence(g, 120);
+        let band = g.usize_in(1..24);
         if let Some(d) = levenshtein_banded(&a, &b, band).distance {
-            prop_assert_eq!(Some(d), levenshtein_dp(&a, &b).distance);
-            prop_assert!(d <= band);
+            assert_eq!(Some(d), levenshtein_dp(&a, &b).distance);
+            assert!(d <= band);
         }
     }
 
     /// Alignment cost equals edit distance whenever the band admits it, and
     /// the op list's geometry is consistent with both sequences.
-    #[test]
-    fn alignment_consistent(a in arb_sequence(80), b in arb_sequence(80)) {
+    fn alignment_consistent(g) {
+        let a = gen_sequence(g, 80);
+        let b = gen_sequence(g, 80);
         let d = levenshtein_dp(&a, &b).distance.expect("exact");
         if let Some(al) = align_banded(&a, &b, 30) {
-            prop_assert_eq!(al.cost, d);
+            assert_eq!(al.cost, d);
             let draft_len = al.ops.iter()
                 .filter(|op| !matches!(op, f2_dna::alignment::AlignOp::Insert)).count();
             let read_len = al.ops.iter()
                 .filter(|op| !matches!(op, f2_dna::alignment::AlignOp::Delete)).count();
-            prop_assert_eq!(draft_len, a.len());
-            prop_assert_eq!(read_len, b.len());
+            assert_eq!(draft_len, a.len());
+            assert_eq!(read_len, b.len());
         } else {
-            prop_assert!(d > 30);
+            assert!(d > 30);
         }
     }
 
     /// Archive encode/decode round-trips for arbitrary payloads and framing.
-    #[test]
-    fn archive_round_trip(payload in prop::collection::vec(any::<u8>(), 0..300),
-                          dps in 4usize..32, group in 1usize..9) {
+    fn archive_round_trip(g) {
+        let payload = g.bytes(0..300);
+        let dps = g.usize_in(4..32);
+        let group = g.usize_in(1..9);
         let cfg = CodecConfig { data_per_strand: dps, group_size: group };
         let archive = encode(&payload, cfg).expect("encodable");
         let (decoded, stats) = decode(&archive.strands, archive.payload_len, cfg)
             .expect("decodable");
-        prop_assert_eq!(decoded, payload);
-        prop_assert_eq!(stats.lost, 0);
+        assert_eq!(decoded, payload);
+        assert_eq!(stats.lost, 0);
     }
 
     /// Any single dropped strand is recovered by parity.
-    #[test]
-    fn single_erasure_repaired(payload in prop::collection::vec(any::<u8>(), 32..200),
-                               drop_idx in 0usize..8) {
+    fn single_erasure_repaired(g) {
+        let payload = g.bytes(32..200);
+        let drop_idx = g.usize_in(0..8);
         let cfg = CodecConfig { data_per_strand: 16, group_size: 4 };
         let archive = encode(&payload, cfg).expect("encodable");
         let n_data = payload.len().div_ceil(16);
@@ -79,15 +83,15 @@ proptest! {
         strands.remove(drop_idx % n_data);
         let (decoded, stats) = decode(&strands, archive.payload_len, cfg)
             .expect("repairable");
-        prop_assert_eq!(decoded, payload);
-        prop_assert_eq!(stats.parity_recovered, 1);
+        assert_eq!(decoded, payload);
+        assert_eq!(stats.parity_recovered, 1);
     }
 
     /// Reverse complement is an involution that preserves GC content.
-    #[test]
-    fn reverse_complement_involution(s in arb_sequence(100)) {
+    fn reverse_complement_involution(g) {
+        let s = gen_sequence(g, 100);
         let rc = s.reverse_complement();
-        prop_assert_eq!(rc.reverse_complement(), s.clone());
-        prop_assert!((rc.gc_content() - s.gc_content()).abs() < 1e-12);
+        assert_eq!(rc.reverse_complement(), s.clone());
+        assert!((rc.gc_content() - s.gc_content()).abs() < 1e-12);
     }
 }

@@ -12,10 +12,9 @@
 use crate::device::{ComputeDevice, Phase};
 use crate::pipeline::{run_inference, run_training, PipelineReport, PipelineSpec, Stage};
 use crate::storage::StorageDevice;
-use serde::{Deserialize, Serialize};
 
 /// One campaign measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignEntry {
     /// Pipeline phase.
     pub phase: Phase,
@@ -30,7 +29,7 @@ pub struct CampaignEntry {
 }
 
 /// The complete campaign result set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Campaign {
     /// All measurements.
     pub entries: Vec<CampaignEntry>,
@@ -152,7 +151,10 @@ mod tests {
         let hist = c.bottleneck_histogram();
         let total: usize = hist.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 30);
-        assert!(hist.len() >= 2, "expected multiple bottleneck kinds: {hist:?}");
+        assert!(
+            hist.len() >= 2,
+            "expected multiple bottleneck kinds: {hist:?}"
+        );
     }
 
     #[test]
@@ -162,7 +164,9 @@ mod tests {
             .best_storage_for("A100-80GB", Phase::Training)
             .expect("entries");
         assert!(
-            best.storage == "PMem" || best.storage.contains("Computational") || best.storage.contains("Low-latency"),
+            best.storage == "PMem"
+                || best.storage.contains("Computational")
+                || best.storage.contains("Low-latency"),
             "unexpected best storage {}",
             best.storage
         );

@@ -9,11 +9,10 @@
 
 use f2_core::kpi::{GigabytesPerSecond, Watts};
 use f2_core::roofline::Roofline;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Platform class of a compute device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// General-purpose server CPU.
     Cpu,
@@ -35,7 +34,7 @@ impl fmt::Display for DeviceClass {
 }
 
 /// A compute device in the heterogeneous node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputeDevice {
     /// Device name.
     pub name: String,
@@ -119,7 +118,7 @@ impl ComputeDevice {
 }
 
 /// Pipeline phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Model training (forward + backward, high precision).
     Training,
@@ -153,7 +152,10 @@ mod tests {
         let oi = 50.0;
         let fpga_real = fpga.infer_roofline.attainable(oi) / fpga.power.value();
         let gpu_real = gpu.infer_roofline.attainable(oi) / gpu.power.value();
-        assert!(fpga_real > gpu_real, "FPGA {fpga_real:.2e} vs GPU {gpu_real:.2e} ops/J at oi={oi}");
+        assert!(
+            fpga_real > gpu_real,
+            "FPGA {fpga_real:.2e} vs GPU {gpu_real:.2e} ops/J at oi={oi}"
+        );
         // At unconstrained peak the GPU wins raw throughput.
         assert!(gpu_eff > fpga_eff / 10.0);
     }

@@ -16,10 +16,9 @@ use crate::device::{ComputeDevice, Phase};
 use crate::storage::StorageDevice;
 use f2_core::kpi::Joules;
 use f2_core::workload::dnn::{segmentation_unet, DnnModel};
-use serde::{Deserialize, Serialize};
 
 /// Workload and modelling parameters of one pipeline campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSpec {
     /// The DNN under study.
     pub model: DnnModel,
@@ -79,7 +78,7 @@ impl PipelineSpec {
 }
 
 /// Stages of the end-to-end flow (Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Read from storage media.
     Load,
@@ -94,7 +93,7 @@ pub enum Stage {
 }
 
 /// Per-stage timing report of one pipeline execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
     /// Device the compute phase ran on.
     pub device: String,
@@ -139,8 +138,7 @@ fn stage_times(
     let stored = spec.dataset_bytes();
     let host_bytes = storage.host_visible_bytes(stored);
     let load = storage.read_time(stored, spec.num_samples);
-    let prep_flops =
-        stored * spec.preprocess_flops_per_byte * (1.0 - storage.preprocess_offload);
+    let prep_flops = stored * spec.preprocess_flops_per_byte * (1.0 - storage.preprocess_offload);
     let preprocess = prep_flops / spec.host_flops;
     // The CPU *is* the host: no transfer stage for it.
     let transfer = if device.class == crate::device::DeviceClass::Cpu {
@@ -189,8 +187,7 @@ pub fn run_training(
         .find(|(s, _)| *s == Stage::Postprocess)
         .map(|&(_, t)| t)
         .expect("postprocess stage present");
-    let epoch =
-        io_path.max(compute) + (1.0 - spec.overlap) * io_path.min(compute) + post;
+    let epoch = io_path.max(compute) + (1.0 - spec.overlap) * io_path.min(compute) + post;
     let total = epoch * spec.epochs as f64;
     let energy = f2_core::kpi::Watts::new(device.power.value()) * f2_core::kpi::Seconds::new(total)
         + f2_core::kpi::Watts::new(storage.power.value())
@@ -217,8 +214,7 @@ pub fn run_inference(
     let per_sample: f64 = times.iter().map(|&(_, t)| t).sum::<f64>() / spec.num_samples as f64;
     let total = per_sample * spec.num_samples as f64;
     let energy = f2_core::kpi::Watts::new(device.power.value()) * f2_core::kpi::Seconds::new(total)
-        + f2_core::kpi::Watts::new(storage.power.value())
-            * f2_core::kpi::Seconds::new(times[0].1);
+        + f2_core::kpi::Watts::new(storage.power.value()) * f2_core::kpi::Seconds::new(times[0].1);
     PipelineReport {
         device: device.name.clone(),
         storage: storage.name.clone(),
@@ -270,7 +266,11 @@ mod tests {
     #[test]
     fn io_becomes_bottleneck_on_fast_accelerators() {
         let s = spec();
-        let gpu = run_training(&s, &ComputeDevice::datacenter_gpu(), &StorageDevice::sata_ssd());
+        let gpu = run_training(
+            &s,
+            &ComputeDevice::datacenter_gpu(),
+            &StorageDevice::sata_ssd(),
+        );
         assert_eq!(gpu.bottleneck(), Stage::Load, "{:?}", gpu.stage_times);
         // On the slow CPU compute dominates instead.
         let cpu = run_training(&s, &ComputeDevice::server_cpu(), &StorageDevice::nvme_ssd());
@@ -338,3 +338,19 @@ mod tests {
         assert_eq!(r.stage_times.len(), 5);
     }
 }
+
+impl f2_core::json::ToJson for Stage {
+    /// Stages serialise as their name.
+    fn to_json(&self) -> f2_core::json::Json {
+        f2_core::json::Json::Str(format!("{self:?}"))
+    }
+}
+
+f2_core::impl_to_json!(PipelineReport {
+    device,
+    storage,
+    stage_times,
+    total_time,
+    energy,
+    throughput,
+});

@@ -13,10 +13,9 @@
 //! host-side preprocessing work.
 
 use f2_core::kpi::{GigabytesPerSecond, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Kind of storage device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageKind {
     /// SATA SSD.
     SataSsd,
@@ -31,7 +30,7 @@ pub enum StorageKind {
 }
 
 /// A storage device in the I/O path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageDevice {
     /// Device name.
     pub name: String,

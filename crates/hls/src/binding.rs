@@ -10,11 +10,10 @@
 
 use crate::ir::{Dfg, NodeId};
 use crate::schedule::{unit_class, OpLatency, Schedule, UnitClass};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The binding of operations to unit instances plus derived statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Binding {
     /// For every bound node: `(class, instance index)`.
     assignment: BTreeMap<usize, (UnitClass, usize)>,
@@ -27,7 +26,7 @@ pub struct Binding {
 }
 
 /// `UnitClass` is `Copy+Eq` but not `Ord`; wrap it for BTreeMap keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum UnitClassKey {
     Alu,
     Multiplier,

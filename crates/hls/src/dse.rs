@@ -13,10 +13,9 @@ use crate::ir::Dfg;
 use crate::schedule::{list_schedule, min_initiation_interval, OpLatency, ResourceBudget};
 use crate::Result;
 use f2_core::pareto::{Direction, ParetoFront};
-use serde::{Deserialize, Serialize};
 
 /// One evaluated HLS design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// Loop unroll factor.
     pub unroll: usize,
@@ -76,7 +75,8 @@ impl Exploration {
     ///
     /// Returns `None` if the exploration is empty.
     pub fn smallest(&self) -> Option<&DesignPoint> {
-        self.front_points().min_by_key(|p| p.implementation.resources.luts)
+        self.front_points()
+            .min_by_key(|p| p.implementation.resources.luts)
     }
 }
 

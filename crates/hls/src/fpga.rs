@@ -11,10 +11,9 @@ use crate::error::HlsError;
 use crate::schedule::UnitClass;
 use crate::Result;
 use f2_core::kpi::{Megahertz, Watts};
-use serde::{Deserialize, Serialize};
 
 /// An FPGA device's available resources.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaDevice {
     /// Device name.
     pub name: String,
@@ -75,7 +74,7 @@ impl FpgaDevice {
 }
 
 /// Resource usage of an implemented design.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResourceUsage {
     /// LUTs consumed.
     pub luts: u64,
@@ -118,7 +117,7 @@ impl ResourceUsage {
 }
 
 /// First-order 7-series component cost library at `width` data bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComponentLibrary {
     /// Operand bit width.
     pub width: u32,
@@ -205,7 +204,7 @@ impl ComponentLibrary {
 }
 
 /// Complete implementation estimate of one accelerator datapath.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Implementation {
     /// Aggregate resource usage.
     pub resources: ResourceUsage,

@@ -11,10 +11,9 @@
 
 use crate::error::HlsError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// An AXI4 memory-mapped master port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Axi4Master {
     /// Data bus width in bytes (4, 8, 16, 32, 64, 128).
     pub data_bytes: u32,
@@ -101,7 +100,7 @@ impl Axi4Master {
 }
 
 /// An AXI4-Lite control port: single-beat, fully serialised accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Axi4Lite {
     /// Cycles per register access (address + data + response).
     pub cycles_per_access: u32,
@@ -123,7 +122,7 @@ impl Axi4Lite {
 }
 
 /// An AXI-Stream port: handshaked beats, no addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AxiStream {
     /// Data width in bytes.
     pub data_bytes: u32,

@@ -21,11 +21,10 @@
 
 use crate::error::HlsError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node inside a [`Dfg`]; indices are construction order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -35,7 +34,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Comparison predicate for [`OpKind::Cmp`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpPred {
     /// Equal.
     Eq,
@@ -48,7 +47,7 @@ pub enum CmpPred {
 }
 
 /// Operation kind of a dataflow node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OpKind {
     /// External input port.
     Input,
@@ -93,7 +92,7 @@ impl OpKind {
 }
 
 /// One IR node: an operation plus its operand edges.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Operation kind.
     pub kind: OpKind,
@@ -104,7 +103,7 @@ pub struct Node {
 }
 
 /// A dataflow graph: nodes in topological (construction) order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dfg {
     nodes: Vec<Node>,
 }
@@ -264,7 +263,7 @@ impl Dfg {
 }
 
 /// Histogram of unit-occupying operations per resource class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpHistogram {
     /// Add/sub/compare/select operations.
     pub alu: usize,
@@ -371,13 +370,11 @@ mod tests {
     #[test]
     fn validate_catches_forward_edge() {
         let g = Dfg {
-            nodes: vec![
-                Node {
-                    kind: OpKind::Load,
-                    operands: vec![NodeId(0)],
-                    name: None,
-                },
-            ],
+            nodes: vec![Node {
+                kind: OpKind::Load,
+                operands: vec![NodeId(0)],
+                name: None,
+            }],
         };
         assert!(g.validate().is_err());
     }

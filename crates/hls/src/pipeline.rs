@@ -18,10 +18,9 @@ use crate::error::HlsError;
 use crate::ir::{Dfg, NodeId};
 use crate::schedule::{asap, unit_class, OpLatency, ResourceBudget, UnitClass};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A loop body plus its loop-carried dependences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopKernel {
     /// The loop body dataflow graph.
     pub body: Dfg,
@@ -105,7 +104,7 @@ fn longest_path(graph: &Dfg, from: NodeId, to: NodeId, lat: &OpLatency) -> Optio
 }
 
 /// A modulo schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuloSchedule {
     ii: u32,
     start: Vec<u32>,
@@ -343,7 +342,8 @@ mod tests {
         let lat = OpLatency::default();
         let s = modulo_schedule(&kernel, &lat, &ResourceBudget::new(4, 4, 2)).expect("feasible");
         assert_eq!(s.ii(), 6);
-        let wide = modulo_schedule(&kernel, &lat, &ResourceBudget::new(16, 8, 12)).expect("feasible");
+        let wide =
+            modulo_schedule(&kernel, &lat, &ResourceBudget::new(16, 8, 12)).expect("feasible");
         assert_eq!(wide.ii(), 1);
     }
 
@@ -390,10 +390,7 @@ mod tests {
         let s = modulo_schedule(&kernel, &lat, &ResourceBudget::unlimited()).expect("feasible");
         assert_eq!(s.total_cycles(0), 0);
         assert_eq!(s.total_cycles(1), s.latency() as u64);
-        assert_eq!(
-            s.total_cycles(10),
-            s.latency() as u64 + 9 * s.ii() as u64
-        );
+        assert_eq!(s.total_cycles(10), s.latency() as u64 + 9 * s.ii() as u64);
     }
 
     #[test]
@@ -405,21 +402,33 @@ mod tests {
             body: g.clone(),
             carried: vec![(NodeId(0), NodeId(9), 1)],
         };
-        assert!(modulo_schedule(&bad_edge, &OpLatency::default(), &ResourceBudget::unlimited())
-            .is_err());
+        assert!(modulo_schedule(
+            &bad_edge,
+            &OpLatency::default(),
+            &ResourceBudget::unlimited()
+        )
+        .is_err());
         let zero_dist = LoopKernel {
             body: g,
             carried: vec![(NodeId(0), NodeId(1), 0)],
         };
-        assert!(modulo_schedule(&zero_dist, &OpLatency::default(), &ResourceBudget::unlimited())
-            .is_err());
+        assert!(modulo_schedule(
+            &zero_dist,
+            &OpLatency::default(),
+            &ResourceBudget::unlimited()
+        )
+        .is_err());
     }
 
     #[test]
     fn zero_budget_rejected() {
         let kernel = mac_loop_kernel();
         assert!(matches!(
-            modulo_schedule(&kernel, &OpLatency::default(), &ResourceBudget::new(1, 0, 1)),
+            modulo_schedule(
+                &kernel,
+                &OpLatency::default(),
+                &ResourceBudget::new(1, 0, 1)
+            ),
             Err(HlsError::InfeasibleBudget(_))
         ));
     }

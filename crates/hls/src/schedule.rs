@@ -13,10 +13,9 @@
 use crate::error::HlsError;
 use crate::ir::{Dfg, NodeId, OpKind};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Functional-unit class an operation executes on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitClass {
     /// Add/sub/compare/select units.
     Alu,
@@ -38,7 +37,7 @@ pub fn unit_class(kind: &OpKind) -> Option<UnitClass> {
 }
 
 /// Per-operation latency table in clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpLatency {
     /// Add/sub/cmp/select latency.
     pub alu: u32,
@@ -80,7 +79,7 @@ impl OpLatency {
 }
 
 /// Functional-unit budget for resource-constrained scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceBudget {
     /// Available ALUs (`None` = unlimited).
     pub alus: Option<usize>,
@@ -119,7 +118,7 @@ impl ResourceBudget {
 }
 
 /// A computed schedule: per-node start cycles plus the derived metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     start: Vec<u32>,
     latency: u32,
@@ -442,7 +441,13 @@ mod tests {
     fn mii_formula() {
         let g = dot_product_kernel(8); // 8 muls, 7 adds
         assert_eq!(min_initiation_interval(&g, &ResourceBudget::unlimited()), 1);
-        assert_eq!(min_initiation_interval(&g, &ResourceBudget::new(7, 2, 1)), 4);
-        assert_eq!(min_initiation_interval(&g, &ResourceBudget::new(1, 8, 1)), 7);
+        assert_eq!(
+            min_initiation_interval(&g, &ResourceBudget::new(7, 2, 1)),
+            4
+        );
+        assert_eq!(
+            min_initiation_interval(&g, &ResourceBudget::new(1, 8, 1)),
+            7
+        );
     }
 }

@@ -26,10 +26,9 @@
 use crate::error::HlsError;
 use crate::Result;
 use f2_core::workload::graph::CsrGraph;
-use serde::{Deserialize, Serialize};
 
 /// Direct-mapped memory-side cache configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of cache lines per channel.
     pub lines: usize,
@@ -51,7 +50,7 @@ impl CacheConfig {
 }
 
 /// SPARTA accelerator-system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpartaConfig {
     /// Number of parallel accelerator lanes (spatial parallelism).
     pub accelerators: usize,
@@ -112,7 +111,7 @@ impl SpartaConfig {
 }
 
 /// One step of a task's execution trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
     /// Busy the lane datapath for the given cycles.
     Compute(u32),
@@ -123,7 +122,7 @@ pub enum Step {
 }
 
 /// One work item (e.g. processing one vertex).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Task {
     /// Execution trace of the task.
     pub steps: Vec<Step>,
@@ -131,7 +130,7 @@ pub struct Task {
 
 /// A full workload: an unordered bag of independent tasks (the OpenMP
 /// `parallel for` iteration space after SPARTA's front-end lowering).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Workload {
     /// Independent tasks.
     pub tasks: Vec<Task>,
@@ -161,7 +160,7 @@ impl Workload {
 }
 
 /// Execution statistics of one SPARTA simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpartaReport {
     /// Total execution cycles (completion of the last task).
     pub cycles: u64,
@@ -370,7 +369,10 @@ pub fn run(workload: &Workload, cfg: &SpartaConfig) -> Result<SpartaReport> {
 ///
 /// Propagates configuration errors from [`run`].
 pub fn speedup_vs_baseline(workload: &Workload, cfg: &SpartaConfig) -> Result<f64> {
-    let base = run(workload, &SpartaConfig::sequential_baseline(cfg.mem_latency))?;
+    let base = run(
+        workload,
+        &SpartaConfig::sequential_baseline(cfg.mem_latency),
+    )?;
     let opt = run(workload, cfg)?;
     Ok(base.cycles as f64 / opt.cycles.max(1) as f64)
 }
@@ -630,3 +632,11 @@ mod tests {
         assert_eq!(r.utilization(&basic_cfg()), 0.0);
     }
 }
+
+f2_core::impl_to_json!(SpartaReport {
+    cycles,
+    mem_ops,
+    cache_hits,
+    cache_misses,
+    busy_cycles
+});

@@ -4,21 +4,22 @@ use f2_hls::binding::bind;
 use f2_hls::ir::{dot_product_kernel, sparse_row_kernel};
 use f2_hls::pipeline::{modulo_schedule, LoopKernel};
 use f2_hls::schedule::{asap, list_schedule, unit_class, OpLatency, ResourceBudget, UnitClass};
-use proptest::prelude::*;
 
-proptest! {
+f2_core::ptest! {
     /// Any feasible list schedule respects every data dependence.
-    #[test]
-    fn schedules_respect_dependences(n in 1usize..24, alus in 1usize..8,
-                                     muls in 1usize..8, mems in 1usize..4) {
-        let g = dot_product_kernel(n);
+    fn schedules_respect_dependences(g) {
+        let n = g.usize_in(1..24);
+        let alus = g.usize_in(1..8);
+        let muls = g.usize_in(1..8);
+        let mems = g.usize_in(1..4);
+        let graph = dot_product_kernel(n);
         let lat = OpLatency::default();
-        let s = list_schedule(&g, &lat, &ResourceBudget::new(alus, muls, mems))
+        let s = list_schedule(&graph, &lat, &ResourceBudget::new(alus, muls, mems))
             .expect("positive budgets are feasible");
-        for (id, node) in g.iter() {
+        for (id, node) in graph.iter() {
             for op in &node.operands {
-                prop_assert!(
-                    s.start_of(id) >= s.start_of(*op) + lat.of(&g.node(*op).kind),
+                assert!(
+                    s.start_of(id) >= s.start_of(*op) + lat.of(&graph.node(*op).kind),
                     "dependence violated at {id}"
                 );
             }
@@ -27,46 +28,50 @@ proptest! {
 
     /// Constrained schedules are never faster than the ASAP bound, and the
     /// ASAP bound is achieved with unlimited resources.
-    #[test]
-    fn asap_is_a_lower_bound(n in 1usize..24, alus in 1usize..6, muls in 1usize..6) {
-        let g = dot_product_kernel(n);
+    fn asap_is_a_lower_bound(g) {
+        let n = g.usize_in(1..24);
+        let alus = g.usize_in(1..6);
+        let muls = g.usize_in(1..6);
+        let graph = dot_product_kernel(n);
         let lat = OpLatency::default();
-        let bound = asap(&g, &lat).latency();
-        let constrained = list_schedule(&g, &lat, &ResourceBudget::new(alus, muls, 2))
+        let bound = asap(&graph, &lat).latency();
+        let constrained = list_schedule(&graph, &lat, &ResourceBudget::new(alus, muls, 2))
             .expect("feasible");
-        prop_assert!(constrained.latency() >= bound);
-        let free = list_schedule(&g, &lat, &ResourceBudget::unlimited()).expect("feasible");
-        prop_assert_eq!(free.latency(), bound);
+        assert!(constrained.latency() >= bound);
+        let free = list_schedule(&graph, &lat, &ResourceBudget::unlimited()).expect("feasible");
+        assert_eq!(free.latency(), bound);
     }
 
     /// Per-cycle issue counts never exceed the budget.
-    #[test]
-    fn budgets_hold_each_cycle(n in 2usize..16, muls in 1usize..4) {
-        let g = dot_product_kernel(n);
+    fn budgets_hold_each_cycle(g) {
+        let n = g.usize_in(2..16);
+        let muls = g.usize_in(1..4);
+        let graph = dot_product_kernel(n);
         let lat = OpLatency::default();
         let budget = ResourceBudget::new(2, muls, 2);
-        let s = list_schedule(&g, &lat, &budget).expect("feasible");
+        let s = list_schedule(&graph, &lat, &budget).expect("feasible");
         let mut per_cycle = std::collections::HashMap::new();
-        for (id, node) in g.iter() {
+        for (id, node) in graph.iter() {
             if unit_class(&node.kind) == Some(UnitClass::Multiplier) {
                 *per_cycle.entry(s.start_of(id)).or_insert(0usize) += 1;
             }
         }
         for (&cycle, &count) in &per_cycle {
-            prop_assert!(count <= muls, "cycle {cycle} issues {count} > {muls}");
+            assert!(count <= muls, "cycle {cycle} issues {count} > {muls}");
         }
     }
 
     /// Binding never puts two overlapping operations on one instance.
-    #[test]
-    fn binding_instances_never_overlap(n in 2usize..16, muls in 1usize..4) {
-        let g = dot_product_kernel(n);
+    fn binding_instances_never_overlap(g) {
+        let n = g.usize_in(2..16);
+        let muls = g.usize_in(1..4);
+        let graph = dot_product_kernel(n);
         let lat = OpLatency::default();
-        let s = list_schedule(&g, &lat, &ResourceBudget::new(2, muls, 2)).expect("feasible");
-        let b = bind(&g, &s, &lat);
+        let s = list_schedule(&graph, &lat, &ResourceBudget::new(2, muls, 2)).expect("feasible");
+        let b = bind(&graph, &s, &lat);
         let mut intervals: std::collections::HashMap<(u8, usize), Vec<(u32, u32)>> =
             std::collections::HashMap::new();
-        for (id, node) in g.iter() {
+        for (id, node) in graph.iter() {
             if let Some((class, inst)) = b.instance_of(id) {
                 let tag = match class {
                     UnitClass::Alu => 0u8,
@@ -83,21 +88,22 @@ proptest! {
         for ivs in intervals.values_mut() {
             ivs.sort_unstable();
             for w in ivs.windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "overlap {w:?}");
+                assert!(w[0].1 < w[1].0, "overlap {w:?}");
             }
         }
     }
 
     /// Modulo scheduling: achieved II is at least both lower bounds, and the
     /// modulo reservation table is never oversubscribed.
-    #[test]
-    fn modulo_ii_respects_bounds(unroll in 1usize..4, mems in 1usize..4) {
+    fn modulo_ii_respects_bounds(g) {
+        let unroll = g.usize_in(1..4);
+        let mems = g.usize_in(1..4);
         let kernel = LoopKernel::parallel(sparse_row_kernel(unroll));
         let lat = OpLatency::default();
         let budget = ResourceBudget::new(4, 2, mems);
         let s = modulo_schedule(&kernel, &lat, &budget).expect("feasible");
         let res_mii = f2_hls::schedule::min_initiation_interval(&kernel.body, &budget);
-        prop_assert!(s.ii() >= res_mii);
+        assert!(s.ii() >= res_mii);
         let mut table = vec![0usize; s.ii() as usize];
         for (id, node) in kernel.body.iter() {
             if unit_class(&node.kind) == Some(UnitClass::MemPort) {
@@ -105,7 +111,7 @@ proptest! {
             }
         }
         for (slot, &count) in table.iter().enumerate() {
-            prop_assert!(count <= mems, "slot {slot}: {count} > {mems}");
+            assert!(count <= mems, "slot {slot}: {count} > {mems}");
         }
     }
 }

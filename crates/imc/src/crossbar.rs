@@ -19,15 +19,14 @@ use crate::error::ImcError;
 use crate::program::{program_array, ArrayProgramStats, Programmer};
 use crate::Result;
 use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::rng::Rng;
 use f2_core::tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Word-line read voltage (V).
 pub const READ_VOLTAGE: f64 = 0.2;
 
 /// A successive-approximation ADC model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Adc {
     /// Resolution in bits.
     pub bits: u32,
@@ -40,7 +39,10 @@ impl Adc {
     ///
     /// Panics if `bits` is 0 or above 16.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=16).contains(&bits), "ADC resolution must be 1..=16 bits");
+        assert!(
+            (1..=16).contains(&bits),
+            "ADC resolution must be 1..=16 bits"
+        );
         Self { bits }
     }
 
@@ -54,7 +56,7 @@ impl Adc {
 }
 
 /// A programmed crossbar holding one weight matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Crossbar {
     device: DeviceModel,
     g_pos: Matrix,
@@ -217,7 +219,7 @@ impl Crossbar {
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
     pub fn mvm_ideal(&self, x: &[f64], x_max: f64) -> Result<Vec<f64>> {
-        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        let mut rng = f2_core::rng::StepRng::new(0, 0);
         let mut ledger = EnergyLedger::new();
         self.mvm_inner(x, x_max, None, false, &mut rng, &mut ledger)
     }
@@ -236,6 +238,7 @@ impl Crossbar {
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows, or
     /// [`ImcError::InvalidConfig`] if `input_bits` is 0 or above 12.
+    #[allow(clippy::needless_range_loop)]
     pub fn mvm_bit_serial(
         &self,
         x: &[f64],
@@ -301,6 +304,7 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    #[allow(clippy::needless_range_loop)]
     pub fn column_currents(
         &self,
         x: &[f64],
@@ -335,6 +339,7 @@ impl Crossbar {
         current * x_max * self.weight_scale / (READ_VOLTAGE * self.device.window())
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn mvm_inner(
         &self,
         x: &[f64],
@@ -496,9 +501,8 @@ mod tests {
     fn drift_shrinks_outputs_and_compensation_restores() {
         let w = test_weights(16, 4);
         let mut rng = rng_for(7, "xbar7");
-        let mut xb =
-            Crossbar::program(DeviceModel::pcm(), &w, &ProgramVerify::default(), &mut rng)
-                .expect("valid");
+        let mut xb = Crossbar::program(DeviceModel::pcm(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid");
         let x = vec![0.8; 16];
         let before = xb.mvm_ideal(&x, 1.0).expect("shape");
         xb.drift_to(1e6);
@@ -509,7 +513,10 @@ mod tests {
             // Compensation gain restores the pre-drift magnitude closely.
             assert!((a * gain - b).abs() < 0.05 * b.abs().max(0.1));
         }
-        assert!(gain > 1.5, "PCM at 1e6 s needs >1.5x compensation, got {gain}");
+        assert!(
+            gain > 1.5,
+            "PCM at 1e6 s needs >1.5x compensation, got {gain}"
+        );
     }
 
     #[test]
@@ -534,7 +541,10 @@ mod tests {
         };
         let coarse = err_for(3);
         let fine = err_for(10);
-        assert!(fine < coarse, "10-bit ADC ({fine}) must beat 3-bit ({coarse})");
+        assert!(
+            fine < coarse,
+            "10-bit ADC ({fine}) must beat 3-bit ({coarse})"
+        );
     }
 
     #[test]

@@ -18,11 +18,10 @@
 use crate::error::ImcError;
 use crate::Result;
 use f2_core::rng::sample_normal;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use f2_core::rng::Rng;
 
 /// Technology of a computational memory cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Resistive-switching RAM (1T1R HfO₂-class).
     Rram,
@@ -31,7 +30,7 @@ pub enum DeviceKind {
 }
 
 /// Compact stochastic model of one memory technology.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceModel {
     /// Technology.
     pub kind: DeviceKind,
@@ -197,12 +196,17 @@ mod tests {
         let mut rng = rng_for(3, "openloop");
         let target = 50.0;
         let n = 5000;
-        let shots: Vec<f64> = (0..n).map(|_| d.program_open_loop(target, &mut rng)).collect();
+        let shots: Vec<f64> = (0..n)
+            .map(|_| d.program_open_loop(target, &mut rng))
+            .collect();
         let mean = shots.iter().sum::<f64>() / n as f64;
         let sd = (shots.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((mean - target).abs() < 0.5, "mean {mean}");
         let expect_sd = d.program_sigma * d.window();
-        assert!((sd - expect_sd).abs() / expect_sd < 0.1, "sd {sd} vs {expect_sd}");
+        assert!(
+            (sd - expect_sd).abs() / expect_sd < 0.1,
+            "sd {sd} vs {expect_sd}"
+        );
     }
 
     #[test]
@@ -225,7 +229,10 @@ mod tests {
         let t = 1e4;
         let pcm_loss = 1.0 - pcm.drift(g0, t) / g0;
         let rram_loss = 1.0 - rram.drift(g0, t) / g0;
-        assert!(pcm_loss > 5.0 * rram_loss, "pcm {pcm_loss} rram {rram_loss}");
+        assert!(
+            pcm_loss > 5.0 * rram_loss,
+            "pcm {pcm_loss} rram {rram_loss}"
+        );
         assert!(pcm_loss > 0.3, "PCM should lose >30% over 4 decades");
     }
 

@@ -16,11 +16,10 @@ use crate::error::ImcError;
 use crate::Result;
 use f2_core::energy::{EnergyLedger, OpKind, TechNode};
 use f2_core::kpi::{Megahertz, Tops, TopsPerWatt, Watts};
-use serde::{Deserialize, Serialize};
 
 /// A digital IMC macro: an SRAM array with per-column multipliers and an
 /// adder tree, computing signed integer MVMs bit-exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DimcMacro {
     rows: usize,
     cols: usize,
@@ -92,6 +91,7 @@ impl DimcMacro {
     /// # Errors
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    #[allow(clippy::needless_range_loop)]
     pub fn mvm(&self, x: &[i32], ledger: &mut EnergyLedger) -> Result<Vec<i64>> {
         if x.len() != self.rows {
             return Err(ImcError::GeometryMismatch {
@@ -135,8 +135,8 @@ impl DimcMacro {
         // 40-310 TOPS/W precision scaling).
         let width_scale = ((self.weight_bits * self.activation_bits) as f64 / 64.0).powf(0.6);
         let mac_pj = table.energy(OpKind::MacInt8).value() * 1.35 * width_scale;
-        let macs_per_s = (self.rows * self.cols) as f64 / self.activation_bits as f64
-            * self.clock.to_hertz();
+        let macs_per_s =
+            (self.rows * self.cols) as f64 / self.activation_bits as f64 * self.clock.to_hertz();
         Watts::new(macs_per_s * mac_pj * 1e-12)
     }
 
@@ -236,9 +236,7 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(DimcMacro::new(0, 4, 4, 4, &[], Megahertz::new(1.0), TechNode::N16).is_err());
-        assert!(
-            DimcMacro::new(2, 2, 9, 4, &[0; 4], Megahertz::new(1.0), TechNode::N16).is_err()
-        );
+        assert!(DimcMacro::new(2, 2, 9, 4, &[0; 4], Megahertz::new(1.0), TechNode::N16).is_err());
         assert!(DimcMacro::new(2, 2, 4, 4, &[0; 3], Megahertz::new(1.0), TechNode::N16).is_err());
     }
 

@@ -46,7 +46,9 @@ mod tests {
             needed: (256, 64),
         };
         assert!(e.to_string().contains("128x128"));
-        assert!(ImcError::InvalidDevice("x".into()).to_string().contains('x'));
+        assert!(ImcError::InvalidDevice("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -18,13 +18,12 @@ use crate::program::Programmer;
 use crate::tile::{ImcAccelerator, TileConfig};
 use crate::Result;
 use f2_core::energy::EnergyLedger;
+use f2_core::rng::Rng;
 use f2_core::rng::{rng_for, sample_normal};
 use f2_core::tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A labelled classification dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Feature vectors.
     pub features: Vec<Vec<f64>>,
@@ -48,12 +47,20 @@ impl Dataset {
 
 /// Generates a `classes`-way Gaussian-cluster dataset in `dim` dimensions
 /// with `per_class` samples per class and intra-cluster noise `sigma`.
-pub fn make_dataset(classes: usize, dim: usize, per_class: usize, sigma: f64, seed: u64) -> Dataset {
+pub fn make_dataset(
+    classes: usize,
+    dim: usize,
+    per_class: usize,
+    sigma: f64,
+    seed: u64,
+) -> Dataset {
     let mut rng = rng_for(seed, "dataset");
     // Well-separated unit-norm centres.
     let centers: Vec<Vec<f64>> = (0..classes)
         .map(|_| {
-            let v: Vec<f64> = (0..dim).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect();
+            let v: Vec<f64> = (0..dim)
+                .map(|_| sample_normal(&mut rng, 0.0, 1.0))
+                .collect();
             let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
             v.into_iter().map(|x| x / n).collect()
         })
@@ -127,7 +134,7 @@ pub fn make_train_test(
 }
 
 /// A two-layer MLP (`dim → hidden → classes`) with ReLU, trained in `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     /// First-layer weights (`dim × hidden`).
     pub w1: Matrix,
@@ -142,11 +149,19 @@ pub struct Mlp {
 impl Mlp {
     /// Full-precision forward pass returning class logits.
     pub fn logits(&self, x: &[f64]) -> Vec<f64> {
-        let mut h = self.w1.transposed().matvec(x).expect("dims fixed at training");
+        let mut h = self
+            .w1
+            .transposed()
+            .matvec(x)
+            .expect("dims fixed at training");
         for (v, b) in h.iter_mut().zip(&self.b1) {
             *v = (*v + b).max(0.0);
         }
-        let mut o = self.w2.transposed().matvec(&h).expect("dims fixed at training");
+        let mut o = self
+            .w2
+            .transposed()
+            .matvec(&h)
+            .expect("dims fixed at training");
         for (v, b) in o.iter_mut().zip(&self.b2) {
             *v += b;
         }
@@ -264,7 +279,7 @@ pub fn train_mlp(data: &Dataset, hidden: usize, epochs: usize, lr: f64, seed: u6
 }
 
 /// Non-ideality scenario for an IMC deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeploymentScenario {
     /// Device technology.
     pub device: DeviceModel,
@@ -313,6 +328,29 @@ pub fn imc_accuracy<P: Programmer>(
     })
 }
 
+/// Evaluates many deployment scenarios on the [`f2_core::exec`] worker pool.
+///
+/// Each scenario derives its randomness from the same `seed` through
+/// [`imc_accuracy`]'s per-deployment stream, so the result vector is
+/// identical to a sequential sweep, in input order, at any worker count.
+///
+/// # Errors
+///
+/// Returns the first mapping/geometry error.
+pub fn sweep_scenarios<P: Programmer + Sync>(
+    mlp: &Mlp,
+    data: &Dataset,
+    scenarios: &[DeploymentScenario],
+    programmer: &P,
+    seed: u64,
+) -> Result<Vec<ImcEvaluation>> {
+    f2_core::exec::par_map(scenarios, |scenario| {
+        imc_accuracy(mlp, data, scenario, programmer, seed)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Outcome of one IMC deployment evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ImcEvaluation {
@@ -346,6 +384,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scenario_sweep_matches_sequential() {
+        let (mlp, test) = trained_setup();
+        let scenarios: Vec<DeploymentScenario> = [1.0f64, 1e3, 1e6]
+            .iter()
+            .map(|&t| DeploymentScenario {
+                device: DeviceModel::pcm(),
+                inference_time: t,
+                tile: tile_cfg(),
+            })
+            .collect();
+        let parallel = sweep_scenarios(&mlp, &test, &scenarios, &ProgramVerify::default(), 5)
+            .expect("deployable");
+        let sequential: Vec<ImcEvaluation> = scenarios
+            .iter()
+            .map(|s| {
+                imc_accuracy(&mlp, &test, s, &ProgramVerify::default(), 5).expect("deployable")
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn fp_training_reaches_high_accuracy() {
         let (mlp, test) = trained_setup();
         let acc = mlp.accuracy(&test);
@@ -361,8 +421,8 @@ mod tests {
             inference_time: 1.0,
             tile: tile_cfg(),
         };
-        let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 1)
-            .expect("deployable");
+        let eval =
+            imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 1).expect("deployable");
         assert!(
             eval.accuracy > float_acc - 0.05,
             "P&V IMC accuracy {} vs float {}",
@@ -380,8 +440,8 @@ mod tests {
             inference_time: 1.0,
             tile: tile_cfg(),
         };
-        let pv = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 2)
-            .expect("deployable");
+        let pv =
+            imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 2).expect("deployable");
         let ol = imc_accuracy(&mlp, &test, &scenario, &OpenLoop, 2).expect("deployable");
         // Near-ties can flip by sampling noise on this small task; P&V must
         // at minimum stay within noise of open-loop and keep high accuracy.
@@ -391,7 +451,11 @@ mod tests {
             pv.accuracy,
             ol.accuracy
         );
-        assert!(pv.accuracy > 0.85, "P&V accuracy collapsed: {}", pv.accuracy);
+        assert!(
+            pv.accuracy > 0.85,
+            "P&V accuracy collapsed: {}",
+            pv.accuracy
+        );
     }
 
     #[test]
@@ -406,10 +470,10 @@ mod tests {
             inference_time: 1e7,
             ..fresh
         };
-        let a0 = imc_accuracy(&mlp, &test, &fresh, &ProgramVerify::default(), 3)
-            .expect("deployable");
-        let a1 = imc_accuracy(&mlp, &test, &aged, &ProgramVerify::default(), 3)
-            .expect("deployable");
+        let a0 =
+            imc_accuracy(&mlp, &test, &fresh, &ProgramVerify::default(), 3).expect("deployable");
+        let a1 =
+            imc_accuracy(&mlp, &test, &aged, &ProgramVerify::default(), 3).expect("deployable");
         assert!(
             a1.accuracy <= a0.accuracy + 0.02,
             "drift should not improve accuracy: {} -> {}",
@@ -433,17 +497,21 @@ mod tests {
             inference_time: 1e7,
             tile: cfg,
         };
-        let plain = imc_accuracy(&mlp, &test, &uncomp, &ProgramVerify::default(), 4)
-            .expect("deployable");
-        let with = imc_accuracy(&mlp, &test, &comp, &ProgramVerify::default(), 4)
-            .expect("deployable");
+        let plain =
+            imc_accuracy(&mlp, &test, &uncomp, &ProgramVerify::default(), 4).expect("deployable");
+        let with =
+            imc_accuracy(&mlp, &test, &comp, &ProgramVerify::default(), 4).expect("deployable");
         assert!(
             with.accuracy >= plain.accuracy - 0.04,
             "compensated {} must not lose to uncompensated {} beyond noise",
             with.accuracy,
             plain.accuracy
         );
-        assert!(with.accuracy > 0.8, "compensated accuracy collapsed: {}", with.accuracy);
+        assert!(
+            with.accuracy > 0.8,
+            "compensated accuracy collapsed: {}",
+            with.accuracy
+        );
     }
 
     #[test]

@@ -11,11 +11,10 @@
 //! trade-off.
 
 use crate::device::DeviceModel;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use f2_core::rng::Rng;
 
 /// Result of programming one cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgramOutcome {
     /// Final conductance reached (µS), as verified at `t₀`.
     pub conductance: f64,
@@ -35,7 +34,7 @@ pub trait Programmer {
 }
 
 /// Single-pulse open-loop programming (the imprecise baseline).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpenLoop;
 
 impl Programmer for OpenLoop {
@@ -49,7 +48,7 @@ impl Programmer for OpenLoop {
 }
 
 /// Iterative program-and-verify with a relative tolerance band.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgramVerify {
     /// Acceptance band as a fraction of the conductance window.
     pub tolerance: f64,
@@ -118,7 +117,7 @@ pub fn program_array<P: Programmer>(
 }
 
 /// Aggregate statistics of programming an array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayProgramStats {
     /// Pulses summed over all cells (∝ programming energy).
     pub total_pulses: u64,
@@ -217,3 +216,9 @@ mod tests {
         assert_eq!(stats.rms_error, 0.0);
     }
 }
+
+f2_core::impl_to_json!(ProgramOutcome {
+    conductance,
+    pulses,
+    converged
+});

@@ -16,12 +16,11 @@ use crate::error::ImcError;
 use crate::program::Programmer;
 use crate::Result;
 use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::rng::Rng;
 use f2_core::tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Bit-slicing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlicingConfig {
     /// Number of slices per weight.
     pub slices: u32,
@@ -71,7 +70,7 @@ impl SlicingConfig {
 }
 
 /// A weight matrix stored as differential bit slices on MLC cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlicedCrossbar {
     device: DeviceModel,
     config: SlicingConfig,
@@ -160,6 +159,7 @@ impl SlicedCrossbar {
     /// # Errors
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    #[allow(clippy::needless_range_loop)]
     pub fn mvm(
         &self,
         x: &[f64],
@@ -203,8 +203,7 @@ impl SlicedCrossbar {
             }
         }
         // Back to weight domain.
-        Ok(y
-            .into_iter()
+        Ok(y.into_iter()
             .map(|v| v * x_max * self.weight_scale / qmax)
             .collect())
     }
@@ -269,7 +268,9 @@ mod tests {
     use f2_core::rng::rng_for;
 
     fn weights(rows: usize, cols: usize) -> Matrix {
-        Matrix::from_fn(rows, cols, |r, c| ((r * 17 + c * 5) % 23) as f64 / 11.0 - 1.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 17 + c * 5) % 23) as f64 / 11.0 - 1.0
+        })
     }
 
     #[test]

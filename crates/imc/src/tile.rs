@@ -20,12 +20,11 @@ use crate::error::ImcError;
 use crate::program::Programmer;
 use crate::Result;
 use f2_core::energy::{EnergyLedger, OpKind};
+use f2_core::rng::Rng;
 use f2_core::tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Architectural configuration of the tiled IMC system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TileConfig {
     /// Crossbar rows per tile.
     pub tile_rows: usize,
@@ -54,7 +53,7 @@ impl Default for TileConfig {
 }
 
 /// One dense layer mapped onto a grid of crossbar tiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImcTileLayer {
     // tiles[rb][cb] holds rows rb*R..min((rb+1)R, in) × cols cb*C..
     tiles: Vec<Vec<Crossbar>>,
@@ -220,7 +219,7 @@ impl ImcTileLayer {
 }
 
 /// A multi-layer IMC accelerator (dense layers with ReLU between them).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImcAccelerator {
     layers: Vec<ImcTileLayer>,
     cfg: TileConfig,

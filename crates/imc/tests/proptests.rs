@@ -1,59 +1,63 @@
 //! Property-based tests of IMC device and circuit invariants.
 
 use f2_core::energy::EnergyLedger;
+use f2_core::ptest::assume;
 use f2_core::rng::rng_for;
 use f2_core::tensor::Matrix;
 use f2_imc::crossbar::{Adc, Crossbar};
 use f2_imc::device::DeviceModel;
 use f2_imc::program::{ProgramVerify, Programmer};
-use proptest::prelude::*;
 
-proptest! {
+f2_core::ptest! {
     /// Programmed conductances always stay inside the device window.
-    #[test]
-    fn programming_stays_in_window(target_frac in 0.0f64..1.0, seed in any::<u64>()) {
+    fn programming_stays_in_window(g) {
+        let target_frac = g.f64_in(0.0, 1.0);
+        let seed = g.u64();
         for dev in [DeviceModel::rram(), DeviceModel::pcm()] {
             let target = dev.g_min + target_frac * dev.window();
             let mut rng = rng_for(seed, "prop-prog");
             let out = ProgramVerify::default().program(&dev, target, &mut rng);
-            prop_assert!(out.conductance >= dev.g_min && out.conductance <= dev.g_max);
-            prop_assert!(out.pulses >= 1 && out.pulses <= 32);
+            assert!(out.conductance >= dev.g_min && out.conductance <= dev.g_max);
+            assert!(out.pulses >= 1 && out.pulses <= 32);
         }
     }
 
     /// Drift never increases conductance and is monotone in time.
-    #[test]
-    fn drift_monotone(g_frac in 0.01f64..1.0, t1 in 1.0f64..1e6, scale in 1.1f64..100.0) {
+    fn drift_monotone(g) {
+        let g_frac = g.f64_in(0.01, 1.0);
+        let t1 = g.f64_in(1.0, 1e6);
+        let scale = g.f64_in(1.1, 100.0);
         let dev = DeviceModel::pcm();
-        let g = dev.g_min + g_frac * dev.window();
-        let d1 = dev.drift(g, t1);
-        let d2 = dev.drift(g, t1 * scale);
-        prop_assert!(d1 <= g + 1e-12);
-        prop_assert!(d2 <= d1 + 1e-12);
-        prop_assert!(d2 > 0.0);
+        let cond = dev.g_min + g_frac * dev.window();
+        let d1 = dev.drift(cond, t1);
+        let d2 = dev.drift(cond, t1 * scale);
+        assert!(d1 <= cond + 1e-12);
+        assert!(d2 <= d1 + 1e-12);
+        assert!(d2 > 0.0);
     }
 
     /// MLC level targets are ordered and span the window.
-    #[test]
-    fn mlc_levels_ordered(levels in 2usize..16) {
+    fn mlc_levels_ordered(g) {
+        let levels = g.usize_in(2..16);
         let dev = DeviceModel::rram();
         let mut last = f64::NEG_INFINITY;
         for l in 0..levels {
-            let g = dev.level_conductance(l, levels).expect("in range");
-            prop_assert!(g > last);
-            last = g;
+            let cond = dev.level_conductance(l, levels).expect("in range");
+            assert!(cond > last);
+            last = cond;
         }
-        prop_assert!((dev.level_conductance(0, levels).expect("in range") - dev.g_min).abs() < 1e-12);
-        prop_assert!((last - dev.g_max).abs() < 1e-12);
+        assert!((dev.level_conductance(0, levels).expect("in range") - dev.g_min).abs() < 1e-12);
+        assert!((last - dev.g_max).abs() < 1e-12);
     }
 
     /// Ideal crossbar MVM is linear: scaling the input scales the output.
-    #[test]
-    fn crossbar_mvm_linear(scale in 0.1f64..1.0, seed in any::<u64>()) {
+    fn crossbar_mvm_linear(g) {
+        let scale = g.f64_in(0.1, 1.0);
+        let seed = g.u64();
         let w = Matrix::from_fn(12, 5, |r, c| {
             (((r * 7 + c * 3 + seed as usize) % 17) as f64) / 8.0 - 1.0
         });
-        prop_assume!(w.max_abs() > 0.0);
+        assume(w.max_abs() > 0.0);
         let mut rng = rng_for(seed, "prop-xbar");
         let xb = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
             .expect("valid weights");
@@ -62,33 +66,36 @@ proptest! {
         let y1 = xb.mvm_ideal(&x, 1.0).expect("shape");
         let y2 = xb.mvm_ideal(&xs, 1.0).expect("shape");
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a * scale - b).abs() < 1e-6, "{a} * {scale} vs {b}");
+            assert!((a * scale - b).abs() < 1e-6, "{a} * {scale} vs {b}");
         }
     }
 
     /// ADC quantisation is idempotent and bounded by full scale.
-    #[test]
-    fn adc_idempotent(value in -10.0f64..10.0, bits in 1u32..13, fs in 0.5f64..8.0) {
+    fn adc_idempotent(g) {
+        let value = g.f64_in(-10.0, 10.0);
+        let bits = g.u32_in(1..13);
+        let fs = g.f64_in(0.5, 8.0);
         let adc = Adc::new(bits);
         let q = adc.quantize(value, fs);
-        prop_assert!((adc.quantize(q, fs) - q).abs() < 1e-12);
-        prop_assert!(q.abs() <= fs + 1e-12);
+        assert!((adc.quantize(q, fs) - q).abs() < 1e-12);
+        assert!(q.abs() <= fs + 1e-12);
         // Error bounded by one LSB.
         let lsb = 2.0 * fs / (1u64 << bits) as f64;
         if value.abs() <= fs {
-            prop_assert!((q - value).abs() <= lsb / 2.0 + 1e-12);
+            assert!((q - value).abs() <= lsb / 2.0 + 1e-12);
         }
     }
 
     /// Energy ledgers merge additively.
-    #[test]
-    fn ledger_merge_additive(n1 in 0u64..1000, n2 in 0u64..1000) {
+    fn ledger_merge_additive(g) {
         use f2_core::energy::OpKind;
+        let n1 = g.u64_in(0..1000);
+        let n2 = g.u64_in(0..1000);
         let mut a = EnergyLedger::new();
         a.record(OpKind::AnalogCrossbarMac, n1);
         let mut b = EnergyLedger::new();
         b.record(OpKind::AnalogCrossbarMac, n2);
         a.merge(&b);
-        prop_assert_eq!(a.count(OpKind::AnalogCrossbarMac), n1 + n2);
+        assert_eq!(a.count(OpKind::AnalogCrossbarMac), n1 + n2);
     }
 }

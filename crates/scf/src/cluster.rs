@@ -18,10 +18,9 @@ use crate::vector::VectorUnitConfig;
 use crate::Result;
 use f2_core::kpi::{Gflops, GflopsPerWatt, Watts};
 use f2_core::workload::transformer::TransformerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one Compute Unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CuConfig {
     /// Number of RISC-V compute cores.
     pub cores: usize,
@@ -70,7 +69,7 @@ impl CuConfig {
 }
 
 /// Per-phase cycle breakdown of one transformer block.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockCycles {
     /// Tensor-core GEMM cycles (projections + attention + FFN).
     pub gemm: u64,
@@ -90,7 +89,7 @@ impl BlockCycles {
 }
 
 /// Report of running one transformer block on a CU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockReport {
     /// Cycle breakdown.
     pub cycles: BlockCycles,
@@ -117,9 +116,9 @@ pub fn calibrated_loop_cycles_per_element() -> f64 {
     const N: usize = 64;
     // for i in 0..N { y[i] = x[i] * 3 + 1 } — 6-instruction loop body.
     let program = [
-        asm::addi(1, 0, 0x400),        // x ptr
-        asm::addi(2, 0, 0x7C0),        // y ptr
-        asm::addi(3, 0, N as i32),     // count
+        asm::addi(1, 0, 0x400),    // x ptr
+        asm::addi(2, 0, 0x7C0),    // y ptr
+        asm::addi(3, 0, N as i32), // count
         // loop:
         asm::lw(4, 1, 0),
         asm::addi(5, 0, 3),
@@ -142,7 +141,7 @@ pub fn calibrated_loop_cycles_per_element() -> f64 {
 }
 
 /// One Compute Unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputeUnit {
     config: CuConfig,
     tensor: TensorCore,
@@ -214,8 +213,8 @@ impl ComputeUnit {
         let mut add = |m: usize, k: usize, nn: usize, count: u64| {
             let s = self.tensor.gemm_stats(m, k, nn);
             gemm_cycles += s.cycles * count;
-            ideal_cycles += count
-                * ((m * k * nn) as u64).div_ceil(self.config.tensor.fmas_per_cycle() as u64);
+            ideal_cycles +=
+                count * ((m * k * nn) as u64).div_ceil(self.config.tensor.fmas_per_cycle() as u64);
         };
         add(n, d, d, 4); // Q, K, V, O projections
         add(n, dh, n, h as u64); // QK^T per head
@@ -280,8 +279,7 @@ impl ComputeUnit {
             flops: flops.total(),
             achieved,
             power: avg_power,
-            efficiency: Gflops::new(flops.total() as f64 / energy.value() / 1e9)
-                / Watts::new(1.0),
+            efficiency: Gflops::new(flops.total() as f64 / energy.value() / 1e9) / Watts::new(1.0),
             gemm_utilization: ideal_cycles as f64 / gemm_cycles.max(1) as f64,
         }
     }
@@ -322,7 +320,11 @@ mod tests {
         let cu = ComputeUnit::prototype();
         let r = cu.run_transformer_block(&bert_base_block());
         assert!(r.cycles.gemm > r.cycles.softmax + r.cycles.layernorm);
-        assert!(r.gemm_utilization > 0.7, "utilization {}", r.gemm_utilization);
+        assert!(
+            r.gemm_utilization > 0.7,
+            "utilization {}",
+            r.gemm_utilization
+        );
     }
 
     #[test]
@@ -391,3 +393,18 @@ mod tests {
         assert!(ComputeUnit::new(cfg, CuPowerModel::gf12_prototype()).is_err());
     }
 }
+
+f2_core::impl_to_json!(BlockCycles {
+    gemm,
+    softmax,
+    layernorm,
+    exposed_dma
+});
+f2_core::impl_to_json!(BlockReport {
+    cycles,
+    flops,
+    achieved,
+    power,
+    efficiency,
+    gemm_utilization,
+});

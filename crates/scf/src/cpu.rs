@@ -10,10 +10,9 @@ use crate::error::ScfError;
 use crate::isa::{decode, AluOp, BranchCond, CsrOp, Instr, MemWidth, MulDivOp};
 use crate::memory::Memory;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Why a run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HaltReason {
     /// The program executed `ecall`.
     Ecall,
@@ -22,7 +21,7 @@ pub enum HaltReason {
 }
 
 /// Statistics of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
     /// Reason the core halted.
     pub halt: HaltReason,
@@ -33,7 +32,7 @@ pub struct RunStats {
 }
 
 /// Cycle costs of the core model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleModel {
     /// Base cost of any instruction.
     pub base: u64,
@@ -60,7 +59,7 @@ impl Default for CycleModel {
 }
 
 /// An RV32IM hart.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cpu {
     regs: [u32; 32],
     pc: u32,

@@ -14,10 +14,9 @@ use crate::noc::NocConfig;
 use crate::Result;
 use f2_core::kpi::{Gflops, GigabytesPerSecond, Watts};
 use f2_core::workload::transformer::TransformerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Fabric-level configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Number of Compute Units (placed on the smallest square mesh that
     /// holds them).
@@ -43,7 +42,7 @@ impl FabricConfig {
 }
 
 /// Report of fabric-level execution of a transformer workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricReport {
     /// CUs instantiated.
     pub cu_count: usize,
@@ -60,7 +59,7 @@ pub struct FabricReport {
 }
 
 /// The fabric simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalableComputeFabric {
     config: FabricConfig,
     cu: ComputeUnit,
@@ -104,8 +103,7 @@ impl ScalableComputeFabric {
         // NoC bisection: on average half the HBM traffic crosses the mesh
         // bisection of the side×side CU grid.
         let side = (cu_count as f64).sqrt().ceil() as usize;
-        let bisection_bytes_per_s =
-            self.config.noc.mesh_bisection_bytes_per_cycle(side) * clock_hz;
+        let bisection_bytes_per_s = self.config.noc.mesh_bisection_bytes_per_cycle(side) * clock_hz;
         let noc_blocks_per_s = 2.0 * bisection_bytes_per_s / bytes_per_block;
 
         let blocks_per_second = compute_blocks_per_s
@@ -116,9 +114,8 @@ impl ScalableComputeFabric {
         let achieved = Gflops::new(blocks_per_second * per_cu.flops as f64 / 1e9);
         // Power: only CUs doing useful work burn dynamic power.
         let active_fraction = blocks_per_second / compute_blocks_per_s;
-        let power = Watts::new(
-            per_cu.power.value() * cu_count as f64 * active_fraction,
-        ) + self.config.host_power;
+        let power = Watts::new(per_cu.power.value() * cu_count as f64 * active_fraction)
+            + self.config.host_power;
         FabricReport {
             cu_count,
             achieved,
@@ -154,11 +151,9 @@ mod tests {
 
     #[test]
     fn single_cu_matches_cluster_report() {
-        let fabric = ScalableComputeFabric::new(
-            FabricConfig::occamy_class(1),
-            ComputeUnit::prototype(),
-        )
-        .expect("valid");
+        let fabric =
+            ScalableComputeFabric::new(FabricConfig::occamy_class(1), ComputeUnit::prototype())
+                .expect("valid");
         let block = bert_base_block();
         let report = fabric.run_transformer(&block);
         let cu_report = ComputeUnit::prototype().run_transformer_block(&block);
@@ -173,8 +168,8 @@ mod tests {
     #[test]
     fn small_fabrics_scale_linearly() {
         let block = bert_base_block();
-        let reports = scaling_sweep(&[1, 2, 4], &block, GigabytesPerSecond::new(410.0))
-            .expect("valid sweep");
+        let reports =
+            scaling_sweep(&[1, 2, 4], &block, GigabytesPerSecond::new(410.0)).expect("valid sweep");
         let r1 = reports[0].achieved.value();
         let r4 = reports[2].achieved.value();
         assert!(
@@ -187,12 +182,8 @@ mod tests {
     #[test]
     fn large_fabrics_saturate_on_hbm() {
         let block = bert_base_block();
-        let reports = scaling_sweep(
-            &[1, 8, 64, 512],
-            &block,
-            GigabytesPerSecond::new(410.0),
-        )
-        .expect("valid sweep");
+        let reports = scaling_sweep(&[1, 8, 64, 512], &block, GigabytesPerSecond::new(410.0))
+            .expect("valid sweep");
         let last = &reports[3];
         assert!(last.hbm_bound, "512 CUs must exhaust 410 GB/s of HBM");
         assert!(last.scaling_efficiency < 0.8);
@@ -205,10 +196,10 @@ mod tests {
     #[test]
     fn more_hbm_delays_saturation() {
         let block = bert_base_block();
-        let narrow = scaling_sweep(&[512], &block, GigabytesPerSecond::new(200.0))
-            .expect("valid sweep");
-        let wide = scaling_sweep(&[512], &block, GigabytesPerSecond::new(1600.0))
-            .expect("valid sweep");
+        let narrow =
+            scaling_sweep(&[512], &block, GigabytesPerSecond::new(200.0)).expect("valid sweep");
+        let wide =
+            scaling_sweep(&[512], &block, GigabytesPerSecond::new(1600.0)).expect("valid sweep");
         assert!(wide[0].achieved.value() > narrow[0].achieved.value());
     }
 
@@ -235,3 +226,12 @@ mod tests {
         .is_err());
     }
 }
+
+f2_core::impl_to_json!(FabricReport {
+    cu_count,
+    achieved,
+    blocks_per_second,
+    power,
+    hbm_bound,
+    scaling_efficiency,
+});

@@ -9,13 +9,12 @@
 
 use crate::error::ScfError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Register index (x0–x31).
 pub type Reg = u8;
 
 /// A decoded RV32IM instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// Load upper immediate.
     Lui { rd: Reg, imm: i32 },
@@ -84,7 +83,7 @@ pub enum Instr {
 }
 
 /// Zicsr operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CsrOp {
     /// Read/write.
     Rw,
@@ -101,7 +100,7 @@ pub enum CsrOp {
 }
 
 /// Branch condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BranchCond {
     /// Equal.
     Eq,
@@ -118,7 +117,7 @@ pub enum BranchCond {
 }
 
 /// Load/store access width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemWidth {
     /// Signed byte.
     B,
@@ -133,7 +132,7 @@ pub enum MemWidth {
 }
 
 /// Base-ISA ALU operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AluOp {
     /// Addition (SUB in register form with the alternate funct7).
     Add,
@@ -158,7 +157,7 @@ pub enum AluOp {
 }
 
 /// M-extension operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MulDivOp {
     /// Low 32 bits of the product.
     Mul,

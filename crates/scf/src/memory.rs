@@ -9,7 +9,6 @@
 
 use crate::error::ScfError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Byte-addressable memory interface used by the ISS core.
 pub trait Memory {
@@ -101,7 +100,7 @@ pub trait Memory {
 }
 
 /// A flat byte memory of fixed size starting at address 0.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatMemory {
     bytes: Vec<u8>,
 }
@@ -176,7 +175,7 @@ impl Memory for FlatMemory {
 }
 
 /// Banked, word-interleaved L1 TCDM with per-cycle conflict accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tcdm {
     banks: usize,
     words_per_bank: usize,
@@ -305,7 +304,7 @@ impl Tcdm {
 }
 
 /// Cluster DMA engine: bulk HBM ⇄ TCDM transfers at a fixed word rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dma {
     /// Words moved per cycle when streaming.
     pub words_per_cycle: f64,

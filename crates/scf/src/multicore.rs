@@ -21,7 +21,6 @@ use crate::cpu::{Cpu, HaltReason};
 use crate::error::ScfError;
 use crate::memory::{FlatMemory, Memory, Tcdm};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Base address of the shared TCDM in every core's address space.
 pub const TCDM_BASE: u32 = 0x1000_0000;
@@ -30,7 +29,7 @@ pub const TCDM_BASE: u32 = 0x1000_0000;
 pub const IMEM_SIZE: u32 = 64 * 1024;
 
 /// Configuration of the execution-driven cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MulticoreConfig {
     /// Number of cores.
     pub cores: usize,
@@ -55,7 +54,7 @@ impl MulticoreConfig {
 }
 
 /// Outcome of one cluster run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MulticoreReport {
     /// Cycles until the last core halted.
     pub cycles: u64,
@@ -270,23 +269,23 @@ pub fn vector_add_program(n: u32) -> Vec<u32> {
     let tcdm_hi = (TCDM_BASE >> 12) as i32;
     vec![
         // 0..=5: prologue — i = hart; base addresses of a, b, out.
-        asm::addi(5, 10, 0),       // x5  = i = hart id (a0)
+        asm::addi(5, 10, 0),        // x5  = i = hart id (a0)
         asm::addi(31, 0, n as i32), // x31 = n
-        asm::lui(6, tcdm_hi),      // x6  = a_base = TCDM_BASE
-        asm::slli(7, 31, 2),       // x7  = n*4
-        asm::add(28, 6, 7),        // x28 = b_base
-        asm::add(29, 28, 7),       // x29 = out_base
+        asm::lui(6, tcdm_hi),       // x6  = a_base = TCDM_BASE
+        asm::slli(7, 31, 2),        // x7  = n*4
+        asm::add(28, 6, 7),         // x28 = b_base
+        asm::add(29, 28, 7),        // x29 = out_base
         // 6 (addr 24): loop head — exit when i >= n (done at addr 68).
         asm::bge(5, 31, 44),
-        asm::slli(30, 5, 2),       // x30 = i*4
+        asm::slli(30, 5, 2), // x30 = i*4
         asm::add(12, 6, 30),
-        asm::lw(12, 12, 0),        // a[i]
+        asm::lw(12, 12, 0), // a[i]
         asm::add(13, 28, 30),
-        asm::lw(13, 13, 0),        // b[i]
+        asm::lw(13, 13, 0), // b[i]
         asm::add(12, 12, 13),
         asm::add(13, 29, 30),
-        asm::sw(12, 13, 0),        // out[i]
-        asm::add(5, 5, 11),        // i += hart count (a1)
+        asm::sw(12, 13, 0), // out[i]
+        asm::add(5, 5, 11), // i += hart count (a1)
         // 16 (addr 64): back to the loop head at addr 24.
         asm::jal(0, -40),
         // 17 (addr 68): done.
@@ -294,10 +293,84 @@ pub fn vector_add_program(n: u32) -> Vec<u32> {
     ]
 }
 
+/// Runs the same SPMD `program` across many cluster configurations on the
+/// [`f2_core::exec`] worker pool — the multi-core hot path of the TCDM
+/// banking and core-scaling ablations.
+///
+/// `setup` initialises each freshly built cluster (typically preloading TCDM
+/// operands) before it runs. Every simulation is independent and
+/// deterministic, so the reports come back in input order and are identical
+/// to a sequential sweep at any worker count.
+///
+/// # Errors
+///
+/// Returns the first configuration or simulation error.
+pub fn sweep_configs(
+    configs: &[MulticoreConfig],
+    program: &[u32],
+    setup: impl Fn(&mut MulticoreCluster) + Sync,
+) -> Result<Vec<MulticoreReport>> {
+    f2_core::exec::par_map(configs, |cfg| {
+        let mut cluster = MulticoreCluster::spmd(*cfg, program)?;
+        setup(&mut cluster);
+        cluster.run()
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::isa::asm;
+
+    #[test]
+    fn parallel_config_sweep_matches_sequential() {
+        let n = 64u32;
+        let program = vector_add_program(n);
+        let configs: Vec<MulticoreConfig> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&banks| MulticoreConfig {
+                cores: 4,
+                tcdm_banks: banks,
+                tcdm_words_per_bank: 1024 / banks,
+                max_cycles: 1_000_000,
+            })
+            .collect();
+        let setup = |cluster: &mut MulticoreCluster| {
+            for i in 0..n as usize {
+                cluster
+                    .tcdm_mut()
+                    .write_word(i, i as u32)
+                    .expect("in range");
+                cluster
+                    .tcdm_mut()
+                    .write_word(n as usize + i, 3 * i as u32)
+                    .expect("in range");
+            }
+        };
+        let parallel = sweep_configs(&configs, &program, setup).expect("programs halt");
+        let sequential: Vec<MulticoreReport> = configs
+            .iter()
+            .map(|cfg| {
+                let mut cluster = MulticoreCluster::spmd(*cfg, &program).expect("valid config");
+                setup(&mut cluster);
+                cluster.run().expect("programs halt")
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sweep_surfaces_config_errors() {
+        let bad = MulticoreConfig {
+            cores: 0,
+            tcdm_banks: 8,
+            tcdm_words_per_bank: 64,
+            max_cycles: 1000,
+        };
+        assert!(sweep_configs(&[bad], &vector_add_program(8), |_| {}).is_err());
+    }
 
     #[test]
     fn vector_add_spmd_is_correct() {
@@ -311,7 +384,10 @@ mod tests {
         let mut cluster =
             MulticoreCluster::spmd(cfg, &vector_add_program(n)).expect("valid config");
         for i in 0..n as usize {
-            cluster.tcdm_mut().write_word(i, i as u32).expect("in range");
+            cluster
+                .tcdm_mut()
+                .write_word(i, i as u32)
+                .expect("in range");
             cluster
                 .tcdm_mut()
                 .write_word(n as usize + i, 1000 + i as u32)
@@ -319,7 +395,10 @@ mod tests {
         }
         let report = cluster.run().expect("programs halt");
         for i in 0..n as usize {
-            let got = cluster.tcdm_mut().read_word(2 * n as usize + i).expect("in range");
+            let got = cluster
+                .tcdm_mut()
+                .read_word(2 * n as usize + i)
+                .expect("in range");
             assert_eq!(got, 1000 + 2 * i as u32, "out[{i}]");
         }
         assert!(report.cycles > 0);
@@ -372,7 +451,10 @@ mod tests {
             narrow > wide,
             "2 banks ({narrow:.3}) must conflict more than 32 ({wide:.3})"
         );
-        assert!(narrow > 0.05, "8 cores on 2 banks must conflict, rate {narrow:.3}");
+        assert!(
+            narrow > 0.05,
+            "8 cores on 2 banks must conflict, rate {narrow:.3}"
+        );
     }
 
     #[test]
@@ -476,3 +558,10 @@ mod tests {
         assert!(MulticoreCluster::spmd(cfg, &[asm::ecall()]).is_err());
     }
 }
+
+f2_core::impl_to_json!(MulticoreReport {
+    cycles,
+    instructions,
+    tcdm_accesses,
+    conflict_stalls,
+});

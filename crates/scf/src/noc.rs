@@ -8,10 +8,9 @@
 
 use crate::error::ScfError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// NoC parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocConfig {
     /// Payload bytes per link per cycle (FlooNoC: 64-byte / 512-bit links).
     pub link_bytes_per_cycle: usize,

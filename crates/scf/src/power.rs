@@ -8,10 +8,9 @@
 //! so the TFLOPS/W a workload achieves is *derived*, not asserted.
 
 use f2_core::kpi::{Joules, Megahertz, SquareMillimeters, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Per-event energies of the CU at a given operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CuPowerModel {
     /// Energy of one bf16 FMA in the tensor array (pJ).
     pub fma_pj: f64,
@@ -78,7 +77,7 @@ impl CuPowerModel {
 }
 
 /// Event counts accumulated by the CU simulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CuEnergyEvents {
     /// bf16 FMA operations executed by the tensor array.
     pub fma_ops: u64,

@@ -10,10 +10,9 @@
 use crate::error::ScfError;
 use crate::Result;
 use f2_core::bf16::Bf16;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of the PE array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TensorCoreConfig {
     /// PE rows (output-tile rows).
     pub rows: usize,
@@ -34,7 +33,7 @@ impl TensorCoreConfig {
 }
 
 /// Execution statistics of one GEMM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmStats {
     /// Modelled cycles.
     pub cycles: u64,
@@ -45,7 +44,7 @@ pub struct GemmStats {
 }
 
 /// The tensor core engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TensorCore {
     config: TensorCoreConfig,
 }
@@ -161,7 +160,12 @@ mod tests {
         let exact = 0.001f32.to_bits(); // bf16(0.001) ~ 0.0010071
         let _ = exact;
         let expected = Bf16::from_f32(0.001).to_f32() * k as f32;
-        assert!((c[0] - expected).abs() / expected < 1e-3, "c {} vs {}", c[0], expected);
+        assert!(
+            (c[0] - expected).abs() / expected < 1e-3,
+            "c {} vs {}",
+            c[0],
+            expected
+        );
     }
 
     #[test]
@@ -192,9 +196,7 @@ mod tests {
     fn invalid_dims_rejected() {
         let tc = TensorCore::new(TensorCoreConfig::prototype()).expect("valid");
         assert!(tc.gemm(&[], &[], 0, 1, 1).is_err());
-        assert!(tc
-            .gemm(&[Bf16::ONE; 4], &[Bf16::ONE; 3], 2, 2, 2)
-            .is_err());
+        assert!(tc.gemm(&[Bf16::ONE; 4], &[Bf16::ONE; 3], 2, 2, 2).is_err());
         assert!(TensorCore::new(TensorCoreConfig { rows: 0, cols: 4 }).is_err());
     }
 

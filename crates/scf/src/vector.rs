@@ -10,10 +10,9 @@
 
 use crate::error::ScfError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Vector-unit configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VectorUnitConfig {
     /// Parallel lanes (elements retired per cycle at full utilisation).
     pub lanes: usize,
@@ -138,7 +137,10 @@ mod tests {
 
     #[test]
     fn zero_elements_zero_cycles() {
-        assert_eq!(VectorUnitConfig::spatz_like().elementwise_cycles(0, 3, 4), 0);
+        assert_eq!(
+            VectorUnitConfig::spatz_like().elementwise_cycles(0, 3, 4),
+            0
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use f2_scf::cpu::Cpu;
 use f2_scf::isa::{asm, decode};
 use f2_scf::memory::FlatMemory;
-use proptest::prelude::*;
 
 /// Runs a 2-operand program: x1 = a; x2 = b; x3 = op(x1, x2); ecall.
 fn run_binop(build: impl Fn(u8, u8, u8) -> u32, a: u32, b: u32) -> u32 {
@@ -29,42 +28,45 @@ fn run_binop(build: impl Fn(u8, u8, u8) -> u32, a: u32, b: u32) -> u32 {
     cpu.reg(3)
 }
 
-proptest! {
+f2_core::ptest! {
     /// Constant loading via lui+addi reproduces any 32-bit value.
-    #[test]
-    fn constant_loading_exact(v in any::<u32>()) {
+    fn constant_loading_exact(g) {
+        let v = g.u32();
         let got = run_binop(|rd, rs1, _| asm::add(rd, rs1, 0), v, 0);
-        prop_assert_eq!(got, v);
+        assert_eq!(got, v);
     }
 
     /// ALU register ops match host semantics.
-    #[test]
-    fn alu_matches_host(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(run_binop(asm::add, a, b), a.wrapping_add(b));
-        prop_assert_eq!(run_binop(asm::sub, a, b), a.wrapping_sub(b));
-        prop_assert_eq!(run_binop(asm::xor, a, b), a ^ b);
-        prop_assert_eq!(run_binop(asm::or, a, b), a | b);
-        prop_assert_eq!(run_binop(asm::and, a, b), a & b);
-        prop_assert_eq!(run_binop(asm::sltu, a, b), u32::from(a < b));
-        prop_assert_eq!(run_binop(asm::slt, a, b), u32::from((a as i32) < (b as i32)));
+    fn alu_matches_host(g) {
+        let a = g.u32();
+        let b = g.u32();
+        assert_eq!(run_binop(asm::add, a, b), a.wrapping_add(b));
+        assert_eq!(run_binop(asm::sub, a, b), a.wrapping_sub(b));
+        assert_eq!(run_binop(asm::xor, a, b), a ^ b);
+        assert_eq!(run_binop(asm::or, a, b), a | b);
+        assert_eq!(run_binop(asm::and, a, b), a & b);
+        assert_eq!(run_binop(asm::sltu, a, b), u32::from(a < b));
+        assert_eq!(run_binop(asm::slt, a, b), u32::from((a as i32) < (b as i32)));
     }
 
     /// Shifts use the low 5 bits of the shift amount, as the spec demands.
-    #[test]
-    fn shifts_match_host(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(run_binop(asm::sll, a, b), a.wrapping_shl(b & 31));
-        prop_assert_eq!(run_binop(asm::srl, a, b), a.wrapping_shr(b & 31));
-        prop_assert_eq!(
+    fn shifts_match_host(g) {
+        let a = g.u32();
+        let b = g.u32();
+        assert_eq!(run_binop(asm::sll, a, b), a.wrapping_shl(b & 31));
+        assert_eq!(run_binop(asm::srl, a, b), a.wrapping_shr(b & 31));
+        assert_eq!(
             run_binop(asm::sra, a, b),
             ((a as i32).wrapping_shr(b & 31)) as u32
         );
     }
 
     /// M-extension matches host semantics, including the division edge cases.
-    #[test]
-    fn muldiv_matches_host(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(run_binop(asm::mul, a, b), a.wrapping_mul(b));
-        prop_assert_eq!(
+    fn muldiv_matches_host(g) {
+        let a = g.u32();
+        let b = g.u32();
+        assert_eq!(run_binop(asm::mul, a, b), a.wrapping_mul(b));
+        assert_eq!(
             run_binop(asm::mulhu, a, b),
             (((a as u64) * (b as u64)) >> 32) as u32
         );
@@ -75,16 +77,18 @@ proptest! {
         } else {
             ((a as i32) / (b as i32)) as u32
         };
-        prop_assert_eq!(run_binop(asm::div, a, b), div);
+        assert_eq!(run_binop(asm::div, a, b), div);
         let remu = if b == 0 { a } else { a % b };
-        prop_assert_eq!(run_binop(asm::remu, a, b), remu);
+        assert_eq!(run_binop(asm::remu, a, b), remu);
     }
 
     /// Every encoder output decodes back to *something* (no illegal
     /// encodings escape the assembler).
-    #[test]
-    fn encoders_always_decode(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
-                              imm in -2048i32..2048) {
+    fn encoders_always_decode(g) {
+        let rd = g.u8() % 32;
+        let rs1 = g.u8() % 32;
+        let rs2 = g.u8() % 32;
+        let imm = g.i32_in(-2048..2048);
         for word in [
             asm::add(rd, rs1, rs2),
             asm::sub(rd, rs1, rs2),
@@ -94,13 +98,13 @@ proptest! {
             asm::sw(rs2, rs1, imm),
             asm::jalr(rd, rs1, imm),
         ] {
-            prop_assert!(decode(word, 0).is_ok(), "word {word:#010x} failed to decode");
+            assert!(decode(word, 0).is_ok(), "word {word:#010x} failed to decode");
         }
     }
 
     /// Memory round-trip through the ISS store/load path.
-    #[test]
-    fn store_load_round_trip(v in any::<u32>()) {
+    fn store_load_round_trip(g) {
+        let v = g.u32();
         let mut program = Vec::new();
         let low = v & 0xFFF;
         let high = (v >> 12).wrapping_add((low >> 11) & 1) as i32;
@@ -112,6 +116,6 @@ proptest! {
         let mut mem = FlatMemory::with_program(0, &program);
         let mut cpu = Cpu::new(0);
         cpu.run(&mut mem, 100).expect("program halts");
-        prop_assert_eq!(cpu.reg(2), v);
+        assert_eq!(cpu.reg(2), v);
     }
 }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(data) = recovered {
             assert_eq!(data, PAYLOAD);
         }
-        println!("  edit-distance calls spent in clustering: {}", report.distance_calls);
+        println!(
+            "  edit-distance calls spent in clustering: {}",
+            report.distance_calls
+        );
     }
 
     // Scale-up: what decoding a real archive costs, and why the FPGA matters.

@@ -52,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §IV — program a weight matrix onto an RRAM crossbar and run an MVM.
     let weights = Matrix::from_fn(32, 8, |r, c| ((r + 3 * c) % 11) as f64 / 5.0 - 1.0);
     let mut rng = rng_for(7, "quickstart");
-    let xbar = Crossbar::program(DeviceModel::rram(), &weights, &ProgramVerify::default(), &mut rng)?;
+    let xbar = Crossbar::program(
+        DeviceModel::rram(),
+        &weights,
+        &ProgramVerify::default(),
+        &mut rng,
+    )?;
     let x = vec![0.5; 32];
     let mut ledger = flagship2::core::energy::EnergyLedger::new();
     let y = xbar.mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)?;

@@ -20,12 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cluster = MulticoreCluster::spmd(cfg, &vector_add_program(n))?;
         for i in 0..n as usize {
             cluster.tcdm_mut().write_word(i, i as u32)?;
-            cluster.tcdm_mut().write_word(n as usize + i, 3 * i as u32)?;
+            cluster
+                .tcdm_mut()
+                .write_word(n as usize + i, 3 * i as u32)?;
         }
         let report = cluster.run()?;
         // Verify the result the cores computed.
         for i in 0..n as usize {
-            assert_eq!(cluster.tcdm_mut().read_word(2 * n as usize + i)?, 4 * i as u32);
+            assert_eq!(
+                cluster.tcdm_mut().read_word(2 * n as usize + i)?,
+                4 * i as u32
+            );
         }
         let instrs: u64 = report.instructions.iter().sum();
         println!(

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row.bram_kb
     );
     if let Some(eff) = row.energy_efficiency() {
-        println!("  {:.2} W -> {:.1} Mpix/s/W", row.power.expect("modelled").value(), eff.value());
+        println!(
+            "  {:.2} W -> {:.1} Mpix/s/W",
+            row.power.expect("modelled").value(),
+            eff.value()
+        );
     }
     Ok(())
 }

@@ -44,12 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.achieved.value() / 1000.0,
             report.blocks_per_second,
             report.power.value(),
-            if report.hbm_bound { "memory" } else { "compute" }
+            if report.hbm_bound {
+                "memory"
+            } else {
+                "compute"
+            }
         );
     }
 
     // A custom fabric instance end to end.
-    let fabric = ScalableComputeFabric::new(FabricConfig::occamy_class(32), ComputeUnit::prototype())?;
+    let fabric =
+        ScalableComputeFabric::new(FabricConfig::occamy_class(32), ComputeUnit::prototype())?;
     let fr = fabric.run_transformer(&block);
     println!(
         "\n32-CU fabric serves {:.0} sequences/s through the full {}-block model",

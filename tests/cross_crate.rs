@@ -1,5 +1,5 @@
 //! Cross-crate integration: flows that span multiple thrust crates through
-//! the facade, plus serde round-trips of the report types.
+//! the facade, plus JSON round-trips of the report types.
 
 use flagship2::core::pareto::{DesignSpace, Direction};
 use flagship2::core::rng::DEFAULT_SEED;
@@ -15,29 +15,30 @@ fn core_dse_engine_explores_sparta_configs() {
     let space = DesignSpace::new()
         .axis("contexts", [1.0, 2.0, 4.0, 8.0, 16.0])
         .axis("channels", [1.0, 2.0, 4.0]);
-    let sweep = space.sweep(
-        &[Direction::Minimize, Direction::Minimize],
-        |point| {
-            let cfg = SpartaConfig {
-                accelerators: 2,
-                contexts_per_accel: point["contexts"] as usize,
-                mem_channels: point["channels"] as usize,
-                mem_latency: 100,
-                noc_hop_latency: 2,
-                context_switch_penalty: 1,
-                cache: None,
-            };
-            let r = run(&wl, &cfg).expect("valid config");
-            // Objectives: cycles, hardware cost proxy (contexts × channels).
-            vec![
-                r.cycles as f64,
-                point["contexts"] * 4.0 + point["channels"] * 8.0,
-            ]
-        },
-    );
+    let sweep = space.sweep(&[Direction::Minimize, Direction::Minimize], |point| {
+        let cfg = SpartaConfig {
+            accelerators: 2,
+            contexts_per_accel: point["contexts"] as usize,
+            mem_channels: point["channels"] as usize,
+            mem_latency: 100,
+            noc_hop_latency: 2,
+            context_switch_penalty: 1,
+            cache: None,
+        };
+        let r = run(&wl, &cfg).expect("valid config");
+        // Objectives: cycles, hardware cost proxy (contexts × channels).
+        vec![
+            r.cycles as f64,
+            point["contexts"] * 4.0 + point["channels"] * 8.0,
+        ]
+    });
     assert_eq!(sweep.points().len(), 15);
     let front: Vec<_> = sweep.front_entries().collect();
-    assert!(front.len() >= 3, "expected a trade-off front, got {}", front.len());
+    assert!(
+        front.len() >= 3,
+        "expected a trade-off front, got {}",
+        front.len()
+    );
     // The fastest point on the front uses many contexts.
     let fastest = front
         .iter()
@@ -82,8 +83,8 @@ fn imc_deployment_energy_is_dominated_by_analog_macs_not_adc_when_accumulating()
             drift_compensation: false,
         },
     };
-    let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 8)
-        .expect("deployable");
+    let eval =
+        imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 8).expect("deployable");
     let table = OpEnergy::for_node(TechNode::N45);
     let adc = eval.ledger.energy_of(OpKind::AdcConversion, &table).value();
     let total = eval.ledger.total_energy(&table).value();
@@ -116,9 +117,9 @@ fn iss_sum_matches_host() {
         mem.store_u32(0x700 + (i as u32) * 4, v).expect("in range");
     }
     let program = [
-        asm::addi(1, 0, 0x700),  // ptr
-        asm::addi(2, 0, 32),     // count
-        asm::addi(3, 0, 0),      // acc
+        asm::addi(1, 0, 0x700), // ptr
+        asm::addi(2, 0, 32),    // count
+        asm::addi(3, 0, 0),     // acc
         asm::lw(4, 1, 0),
         asm::add(3, 3, 4),
         asm::addi(1, 1, 4),
@@ -132,11 +133,11 @@ fn iss_sum_matches_host() {
     assert_eq!(cpu.reg(3), values.iter().sum::<u32>());
 }
 
-/// Report types serialise (serde) and survive a JSON-free round-trip via
-/// the derived traits — the contract downstream tooling relies on.
+/// Report types serialise to JSON via `f2_core::json::ToJson` and keep the
+/// derived traits — the contract downstream tooling relies on.
 #[test]
 fn reports_are_clonable_comparable_and_serializable() {
-    fn assert_traits<T: Clone + PartialEq + serde::Serialize + Send + Sync>() {}
+    fn assert_traits<T: Clone + PartialEq + flagship2::core::json::ToJson + Send + Sync>() {}
     assert_traits::<flagship2::hls::sparta::SpartaReport>();
     assert_traits::<flagship2::imc::program::ProgramOutcome>();
     assert_traits::<flagship2::approx::htconv::HtconvStats>();
@@ -144,6 +145,27 @@ fn reports_are_clonable_comparable_and_serializable() {
     assert_traits::<flagship2::hetero::pipeline::PipelineReport>();
     assert_traits::<flagship2::scf::cluster::BlockReport>();
     assert_traits::<flagship2::scf::fabric::FabricReport>();
+}
+
+/// A serialised report must parse back into an equivalent JSON document with
+/// its fields intact.
+#[test]
+fn report_json_round_trips() {
+    use flagship2::core::json::{Json, ToJson};
+    use flagship2::hls::sparta::{run, spmv_workload, SpartaConfig};
+    let graph = rmat(6, 4, DEFAULT_SEED);
+    let report = run(
+        &spmv_workload(&graph),
+        &SpartaConfig::sequential_baseline(100),
+    )
+    .expect("valid config");
+    let doc = report.to_json();
+    let parsed = Json::parse(&doc.encode()).expect("well-formed");
+    assert_eq!(parsed, doc);
+    assert_eq!(
+        parsed.get("cycles").and_then(Json::as_f64),
+        Some(report.cycles as f64)
+    );
 }
 
 /// The hetero campaign, the rotation-coded DNA pipeline and the vectorised
@@ -172,8 +194,11 @@ fn new_subsystem_flows_compose() {
     use flagship2::core::workload::transformer::bert_base_block;
     use flagship2::scf::cluster::{ComputeUnit, CuConfig};
     use flagship2::scf::power::CuPowerModel;
-    let cu = ComputeUnit::new(CuConfig::prototype_with_vector(), CuPowerModel::gf12_prototype())
-        .expect("valid");
+    let cu = ComputeUnit::new(
+        CuConfig::prototype_with_vector(),
+        CuPowerModel::gf12_prototype(),
+    )
+    .expect("valid");
     let r = cu.run_transformer_block(&bert_base_block());
     assert_eq!(r.flops, bert_base_block().flops().total());
 }

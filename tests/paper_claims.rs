@@ -14,7 +14,11 @@ use flagship2::core::workload::transformer::bert_base_block;
 #[test]
 fn e1_fig1_landscape_ordering() {
     let cat = fig1_catalog();
-    let median = |c| median_efficiency(&cat, c).expect("class has entries").value();
+    let median = |c| {
+        median_efficiency(&cat, c)
+            .expect("class has entries")
+            .value()
+    };
     let cpu = median(PlatformClass::Cpu);
     let gpu = median(PlatformClass::Gpu);
     let cgra = median(PlatformClass::Cgra);
@@ -70,8 +74,8 @@ fn e3_program_and_verify_protects_accuracy() {
             drift_compensation: false,
         },
     };
-    let eval = imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 3)
-        .expect("deployable");
+    let eval =
+        imc_accuracy(&mlp, &test, &scenario, &ProgramVerify::default(), 3).expect("deployable");
     assert!(float_acc > 0.9, "float accuracy {float_acc}");
     assert!(
         eval.accuracy > float_acc - 0.05,
@@ -97,7 +101,11 @@ fn e4_analog_imc_beats_digital_energy_and_adc_dominates() {
     let d = digital.total_energy(&table).value();
     assert!(d / a > 5.0, "analog advantage only {:.1}x", d / a);
     let adc = analog.energy_of(OpKind::AdcConversion, &table).value();
-    assert!(adc / a > 0.2, "ADC share {:.2} should dominate analog cost", adc / a);
+    assert!(
+        adc / a > 0.2,
+        "ADC share {:.2} should dominate analog cost",
+        adc / a
+    );
 }
 
 #[test]
@@ -114,7 +122,10 @@ fn e5_htconv_saves_macs_with_small_psnr_loss() {
     let pe = psnr_cropped(&hr, &exact, 6).expect("same dims");
     let ph = psnr_cropped(&hr, &hybrid, 6).expect("same dims");
     assert!(stats.mac_saving_vs_exact() > 0.6);
-    assert!((pe - ph) / pe < 0.10, "PSNR loss too large: {pe:.2} -> {ph:.2}");
+    assert!(
+        (pe - ph) / pe < 0.10,
+        "PSNR loss too large: {pe:.2} -> {ph:.2}"
+    );
     // Model-level: approximate model saves >80% vs the FSRCNN(56,12,4) baseline.
     let baseline = fsrcnn(56, 12, 4, 270, 480).expect("valid model");
     let small = fsrcnn(25, 5, 1, 270, 480).expect("valid model");
@@ -165,22 +176,36 @@ fn e8_computational_storage_buys_about_ten_percent() {
     use flagship2::hetero::pipeline::{run_inference, run_training, PipelineSpec};
     use flagship2::hetero::storage::StorageDevice;
     let spec = PipelineSpec::segmentation_default();
-    let t_base = run_training(&spec, &ComputeDevice::datacenter_gpu(), &StorageDevice::nvme_ssd());
+    let t_base = run_training(
+        &spec,
+        &ComputeDevice::datacenter_gpu(),
+        &StorageDevice::nvme_ssd(),
+    );
     let t_cs = run_training(
         &spec,
         &ComputeDevice::datacenter_gpu(),
         &StorageDevice::computational_storage(),
     );
     let train_gain = 1.0 - t_cs.total_time / t_base.total_time;
-    assert!((0.02..=0.15).contains(&train_gain), "training gain {train_gain:.3}");
-    let i_base = run_inference(&spec, &ComputeDevice::fpga_card(), &StorageDevice::nvme_ssd());
+    assert!(
+        (0.02..=0.15).contains(&train_gain),
+        "training gain {train_gain:.3}"
+    );
+    let i_base = run_inference(
+        &spec,
+        &ComputeDevice::fpga_card(),
+        &StorageDevice::nvme_ssd(),
+    );
     let i_cs = run_inference(
         &spec,
         &ComputeDevice::fpga_card(),
         &StorageDevice::computational_storage(),
     );
     let infer_gain = i_cs.throughput / i_base.throughput - 1.0;
-    assert!((0.02..=0.2).contains(&infer_gain), "inference gain {infer_gain:.3}");
+    assert!(
+        (0.02..=0.2).contains(&infer_gain),
+        "inference gain {infer_gain:.3}"
+    );
 }
 
 #[test]
@@ -195,7 +220,8 @@ fn e9_dna_accelerator_published_figures() {
 #[test]
 fn e10_dna_pipeline_round_trip() {
     use flagship2::dna::pipeline::{run_pipeline, PipelineConfig};
-    let payload = b"ICSC Flagship 2: architectures and design methodologies to accelerate AI workloads";
+    let payload =
+        b"ICSC Flagship 2: architectures and design methodologies to accelerate AI workloads";
     let (recovered, report) =
         run_pipeline(payload, &PipelineConfig::default(), 42).expect("valid config");
     assert!(report.payload_recovered, "typical channel must round-trip");
@@ -230,9 +256,16 @@ fn e12_compute_unit_kpis() {
 #[test]
 fn e13_fabric_scales_then_saturates() {
     use flagship2::scf::fabric::scaling_sweep;
-    let reports = scaling_sweep(&[1, 4, 512], &bert_base_block(), GigabytesPerSecond::new(410.0))
-        .expect("valid sweep");
+    let reports = scaling_sweep(
+        &[1, 4, 512],
+        &bert_base_block(),
+        GigabytesPerSecond::new(410.0),
+    )
+    .expect("valid sweep");
     assert!(reports[1].achieved.value() / reports[0].achieved.value() > 3.5);
     assert!(reports[2].hbm_bound);
-    assert!(reports[2].power.value() > 1.0, "fabric must enter the >1W regime");
+    assert!(
+        reports[2].power.value() > 1.0,
+        "fabric must enter the >1W regime"
+    );
 }
