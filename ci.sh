@@ -20,5 +20,10 @@ run cargo test --quiet --offline --workspace
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Experiment smoke: run the whole registry at quick fidelity and pipe the
+# KPI reports through the golden comparator (tests/golden/*.json).
+F2="./target/release/f2"
+run bash -c "$F2 run all --quick --json | $F2 check"
+
 echo
 echo "CI OK"

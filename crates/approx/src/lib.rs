@@ -36,6 +36,7 @@
 pub mod arith;
 pub mod conv;
 pub mod error;
+pub mod experiments;
 pub mod fpga_model;
 pub mod fsrcnn;
 pub mod htconv;

@@ -1,175 +1,11 @@
-//! Micro-benchmarks of the hot kernels behind the E1-E13 experiments: edit
-//! distance, crossbar MVM, HTCONV, HLS scheduling, the RV32 ISS, and the
-//! bf16 tensor-core GEMM. Runs on the in-tree `f2_core::benchkit` harness
-//! (`cargo bench -- <filter>` selects by substring).
+//! `cargo bench` entry point over the kernel micro-benchmarks, whose
+//! definitions live in [`flagship2::kernels`] (also runnable as
+//! `f2 run kernels`). `cargo bench -- <filter>` selects by substring.
 
-use f2_approx::htconv::{htconv_upscale2x, FoveaSpec};
-use f2_approx::image::Image;
-use f2_approx::tconv::{bicubic_kernel, tconv_upscale2x};
 use f2_core::benchkit::Harness;
-use f2_core::bf16::Bf16;
-use f2_core::rng::rng_for;
-use f2_core::rng::Rng;
-use f2_core::tensor::Matrix;
-use f2_core::workload::graph::rmat;
-use f2_dna::levenshtein::{levenshtein_banded, levenshtein_dp, levenshtein_myers};
-use f2_dna::sequence::{DnaBase, DnaSequence};
-use f2_hls::ir::dot_product_kernel;
-use f2_hls::schedule::{list_schedule, OpLatency, ResourceBudget};
-use f2_hls::sparta::{run as sparta_run, spmv_workload, CacheConfig, SpartaConfig};
-use f2_imc::crossbar::{Adc, Crossbar};
-use f2_imc::device::DeviceModel;
-use f2_imc::program::ProgramVerify;
-use f2_scf::cluster::ComputeUnit;
-use f2_scf::cpu::Cpu;
-use f2_scf::isa::asm;
-use f2_scf::memory::FlatMemory;
-use f2_scf::tensor_core::{TensorCore, TensorCoreConfig};
-
-fn random_strand(len: usize, rng: &mut impl Rng) -> DnaSequence {
-    DnaSequence::from_bases((0..len).map(|_| DnaBase::from_bits(rng.gen())).collect())
-}
-
-fn bench_levenshtein(h: &mut Harness) {
-    let mut group = h.group("levenshtein_150bp");
-    group.sample_size(30);
-    let mut rng = rng_for(1, "bench-lev");
-    let a = random_strand(150, &mut rng);
-    let b = random_strand(150, &mut rng);
-    group.bench_function("exact_dp", |bch| bch.iter(|| levenshtein_dp(&a, &b)));
-    group.bench_function("banded_k16", |bch| {
-        bch.iter(|| levenshtein_banded(&a, &b, 16))
-    });
-    group.bench_function("myers_bitparallel", |bch| {
-        bch.iter(|| levenshtein_myers(&a, &b))
-    });
-}
-
-fn bench_crossbar(h: &mut Harness) {
-    let mut group = h.group("crossbar_mvm_64x64");
-    group.sample_size(20);
-    let weights = Matrix::from_fn(64, 64, |r, cc| ((r * 7 + cc) % 19) as f64 / 9.0 - 1.0);
-    let mut rng = rng_for(2, "bench-xbar");
-    let xbar = Crossbar::program(
-        DeviceModel::rram(),
-        &weights,
-        &ProgramVerify::default(),
-        &mut rng,
-    )
-    .expect("valid weights");
-    let x = vec![0.5; 64];
-    group.bench_function("ideal", |bch| {
-        bch.iter(|| xbar.mvm_ideal(&x, 1.0).expect("valid geometry"))
-    });
-    group.bench_function("noisy_8b_adc", |bch| {
-        let adc = Adc::new(8);
-        let mut rng = rng_for(2, "bench-xbar-noisy");
-        bch.iter(|| {
-            let mut ledger = f2_core::energy::EnergyLedger::new();
-            xbar.mvm(&x, 1.0, &adc, &mut rng, &mut ledger)
-                .expect("valid geometry")
-        })
-    });
-}
-
-fn bench_htconv(h: &mut Harness) {
-    let mut group = h.group("upscale2x_64");
-    group.sample_size(20);
-    let lr = Image::synthetic(64, 64, 3);
-    let kernel = bicubic_kernel();
-    group.bench_function("exact_tconv", |bch| {
-        bch.iter(|| tconv_upscale2x(&lr, &kernel))
-    });
-    for frac in [0.3, 0.1] {
-        let fovea = FoveaSpec::centered_fraction(64, 64, frac);
-        group.bench_function(&format!("htconv_fovea/{frac}"), |bch| {
-            bch.iter(|| htconv_upscale2x(&lr, &kernel, &fovea))
-        });
-    }
-}
-
-fn bench_hls(h: &mut Harness) {
-    let mut group = h.group("hls_list_schedule");
-    group.sample_size(20);
-    let graph = dot_product_kernel(64);
-    let lat = OpLatency::default();
-    group.bench_function("dot64_budget_4_4_2", |bch| {
-        bch.iter(|| list_schedule(&graph, &lat, &ResourceBudget::new(4, 4, 2)).expect("feasible"))
-    });
-}
-
-fn bench_sparta(h: &mut Harness) {
-    let mut group = h.group("sparta_spmv_rmat8");
-    group.sample_size(10);
-    let graph = rmat(8, 8, 5);
-    let wl = spmv_workload(&graph);
-    let cfg = SpartaConfig {
-        accelerators: 4,
-        contexts_per_accel: 8,
-        mem_channels: 4,
-        mem_latency: 100,
-        noc_hop_latency: 2,
-        context_switch_penalty: 1,
-        cache: Some(CacheConfig::small()),
-    };
-    group.bench_function("simulate", |bch| {
-        bch.iter(|| sparta_run(&wl, &cfg).expect("valid config"))
-    });
-}
-
-fn bench_iss(h: &mut Harness) {
-    let mut group = h.group("rv32_iss");
-    group.sample_size(20);
-    // 1000-iteration arithmetic loop.
-    let program = [
-        asm::addi(1, 0, 0),
-        asm::addi(2, 0, 1000),
-        asm::add(1, 1, 2),
-        asm::addi(2, 2, -1),
-        asm::bne(2, 0, -8),
-        asm::ecall(),
-    ];
-    group.bench_function("loop_3k_instr", |bch| {
-        bch.iter(|| {
-            let mut mem = FlatMemory::with_program(0, &program);
-            let mut cpu = Cpu::new(0);
-            cpu.run(&mut mem, 100_000).expect("program halts")
-        })
-    });
-}
-
-fn bench_tensor_core(h: &mut Harness) {
-    let mut group = h.group("bf16_gemm");
-    group.sample_size(10);
-    let tc = TensorCore::new(TensorCoreConfig::prototype()).expect("valid");
-    let a: Vec<Bf16> = (0..64 * 64)
-        .map(|i| Bf16::from_f32(i as f32 / 4096.0))
-        .collect();
-    let b = a.clone();
-    group.bench_function("64x64x64_exact", |bch| {
-        bch.iter(|| tc.gemm(&a, &b, 64, 64, 64).expect("valid dims"))
-    });
-}
-
-fn bench_cu_model(h: &mut Harness) {
-    let mut group = h.group("cu_transformer_model");
-    group.sample_size(20);
-    let cu = ComputeUnit::prototype();
-    let block = f2_core::workload::transformer::bert_base_block();
-    group.bench_function("bert_block_report", |bch| {
-        bch.iter(|| cu.run_transformer_block(&block))
-    });
-}
 
 fn main() {
     let mut h = Harness::from_env();
-    bench_levenshtein(&mut h);
-    bench_crossbar(&mut h);
-    bench_htconv(&mut h);
-    bench_hls(&mut h);
-    bench_sparta(&mut h);
-    bench_iss(&mut h);
-    bench_tensor_core(&mut h);
-    bench_cu_model(&mut h);
+    flagship2::kernels::register_benches(&mut h);
     h.finish();
 }

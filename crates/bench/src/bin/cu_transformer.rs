@@ -1,128 +1,8 @@
-//! E12 / Fig. 9 — the prototype Compute Unit on BFloat16 transformer blocks.
-//!
-//! Reproduces "up to 150 GFLOPS and 1.5 TFLOPS/W at 460 MHz, 0.55 V" plus
-//! the per-phase cycle breakdown and ablations over core count and TCDM
-//! banking.
+//! Thin wrapper kept for compatibility: forwards to `f2 run cu_transformer`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::workload::transformer::{bert_base_block, tiny_block, TransformerConfig};
-use f2_scf::cluster::{ComputeUnit, CuConfig};
-use f2_scf::power::CuPowerModel;
+use std::process::ExitCode;
 
-fn block_table(cu: &ComputeUnit, blocks: &[(&str, TransformerConfig)]) {
-    let mut rows = Vec::new();
-    for (name, block) in blocks {
-        let r = cu.run_transformer_block(block);
-        rows.push(vec![
-            name.to_string(),
-            r.flops.to_string(),
-            r.cycles.gemm.to_string(),
-            (r.cycles.softmax + r.cycles.layernorm).to_string(),
-            fmt(r.achieved.value(), 1),
-            fmt(r.power.value() * 1000.0, 1),
-            fmt(r.efficiency.value() / 1000.0, 2),
-            fmt(r.gemm_utilization * 100.0, 1),
-        ]);
-    }
-    print_table(
-        &[
-            "Block",
-            "FLOPs",
-            "GEMM cyc",
-            "Elementwise cyc",
-            "GFLOPS",
-            "Power mW",
-            "TFLOPS/W",
-            "Array util %",
-        ],
-        &rows,
-    );
-}
-
-fn main() {
-    let cu = ComputeUnit::prototype();
-    println!(
-        "Prototype CU: {} cores + {}x{} bf16 tensor array, {} KiB TCDM,",
-        cu.config().cores,
-        cu.config().tensor.rows,
-        cu.config().tensor.cols,
-        cu.config().tcdm_kib
-    );
-    println!(
-        "GF12 @ {:.0} MHz / {:.2} V, area {} mm2; ISS-calibrated scalar loop: {:.1} cyc/elem",
-        cu.power_model().clock.value(),
-        cu.power_model().vdd,
-        cu.power_model().area.value(),
-        cu.loop_cycles_per_element()
-    );
-
-    section("Fig. 9 KPIs on transformer blocks");
-    block_table(
-        &cu,
-        &[
-            ("BERT-base (n=128)", bert_base_block()),
-            ("tiny (n=64,d=128)", tiny_block()),
-            (
-                "long-seq (n=512,d=768)",
-                TransformerConfig::new(768, 12, 512, 3072).expect("valid config"),
-            ),
-        ],
-    );
-    println!("\nPublished: up to 150 GFLOPS, 1.5 TFLOPS/W on transformer blocks.");
-
-    section("Ablation: core count (elementwise scaling)");
-    let mut rows = Vec::new();
-    for cores in [2usize, 4, 8, 16] {
-        let cfg = CuConfig {
-            cores,
-            ..CuConfig::prototype()
-        };
-        let cu = ComputeUnit::new(cfg, CuPowerModel::gf12_prototype()).expect("valid config");
-        let r = cu.run_transformer_block(&bert_base_block());
-        rows.push(vec![
-            cores.to_string(),
-            (r.cycles.softmax + r.cycles.layernorm).to_string(),
-            fmt(r.achieved.value(), 1),
-            fmt(r.efficiency.value() / 1000.0, 2),
-        ]);
-    }
-    print_table(&["Cores", "Elementwise cyc", "GFLOPS", "TFLOPS/W"], &rows);
-
-    section("Ablation: elementwise engine — scalar cores vs Spatz vector unit");
-    let long = TransformerConfig::new(768, 12, 512, 3072).expect("valid config");
-    let mut rows = Vec::new();
-    for (label, cfg) in [
-        ("8 scalar cores", CuConfig::prototype()),
-        (
-            "Spatz 8-lane vector unit",
-            CuConfig::prototype_with_vector(),
-        ),
-    ] {
-        let cu = ComputeUnit::new(cfg, CuPowerModel::gf12_prototype()).expect("valid config");
-        let r = cu.run_transformer_block(&long);
-        rows.push(vec![
-            label.to_string(),
-            (r.cycles.softmax + r.cycles.layernorm).to_string(),
-            fmt(r.achieved.value(), 1),
-            fmt(r.efficiency.value() / 1000.0, 2),
-        ]);
-    }
-    print_table(&["Engine", "Elementwise cyc", "GFLOPS", "TFLOPS/W"], &rows);
-
-    section("Ablation: supply voltage (CV^2 scaling)");
-    let mut rows = Vec::new();
-    for vdd in [0.55, 0.65, 0.8] {
-        let cu = ComputeUnit::new(
-            CuConfig::prototype(),
-            CuPowerModel::gf12_prototype().at_voltage(vdd),
-        )
-        .expect("valid config");
-        let r = cu.run_transformer_block(&bert_base_block());
-        rows.push(vec![
-            fmt(vdd, 2),
-            fmt(r.power.value() * 1000.0, 1),
-            fmt(r.efficiency.value() / 1000.0, 2),
-        ]);
-    }
-    print_table(&["Vdd", "Power mW", "TFLOPS/W"], &rows);
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "cu_transformer"))
 }

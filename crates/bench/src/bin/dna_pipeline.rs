@@ -1,85 +1,8 @@
-//! E10 / Fig. 6b — end-to-end DNA storage channel round trip.
-//!
-//! Reproduces the DNAssim-style simulation: payload -> oligos -> noisy
-//! channel -> clustering -> consensus -> decode, sweeping the channel error
-//! rate to find where recovery breaks down.
+//! Thin wrapper kept for compatibility: forwards to `f2 run dna_pipeline`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_dna::channel::ChannelModel;
-use f2_dna::pipeline::{run_pipeline, PipelineConfig};
+use std::process::ExitCode;
 
-const PAYLOAD: &[u8] = b"The ICSC Italian National Research Center for High-Performance \
-Computing, Big Data, and Quantum Computing is a central hub for supercomputing \
-infrastructure, supported by ten specialized research spokes.";
-
-fn main() {
-    println!("Payload: {} bytes", PAYLOAD.len());
-
-    section("Round trip across channel profiles");
-    let mut rows = Vec::new();
-    for (name, ch) in [
-        (
-            "noiseless",
-            ChannelModel {
-                substitution: 0.0,
-                insertion: 0.0,
-                deletion: 0.0,
-                dropout: 0.0,
-                mean_coverage: 5.0,
-            },
-        ),
-        ("typical (Illumina-class)", ChannelModel::typical()),
-        ("harsh (nanopore-class)", ChannelModel::harsh()),
-    ] {
-        let cfg = PipelineConfig {
-            channel: ch,
-            ..PipelineConfig::default()
-        };
-        let (_, report) = run_pipeline(PAYLOAD, &cfg, 42).expect("valid config");
-        rows.push(vec![
-            name.to_string(),
-            report.strands_written.to_string(),
-            report.reads.to_string(),
-            report.clusters.to_string(),
-            report.decode.parity_recovered.to_string(),
-            report.payload_recovered.to_string(),
-            report.distance_calls.to_string(),
-        ]);
-    }
-    print_table(
-        &[
-            "Channel",
-            "Oligos",
-            "Reads",
-            "Clusters",
-            "Parity fixes",
-            "Recovered",
-            "Dist calls",
-        ],
-        &rows,
-    );
-
-    section("Substitution-rate sweep (recovery probability over 5 seeds)");
-    let mut rows = Vec::new();
-    for sub in [0.005, 0.01, 0.02, 0.05, 0.1] {
-        let cfg = PipelineConfig {
-            channel: ChannelModel {
-                substitution: sub,
-                ..ChannelModel::typical()
-            },
-            ..PipelineConfig::default()
-        };
-        let ok = (0..5)
-            .filter(|&seed| {
-                run_pipeline(PAYLOAD, &cfg, seed)
-                    .map(|(_, r)| r.payload_recovered)
-                    .unwrap_or(false)
-            })
-            .count();
-        rows.push(vec![fmt(sub * 100.0, 1), format!("{ok}/5")]);
-    }
-    print_table(&["Substitution %", "Recovered"], &rows);
-    println!("\nShape check: clean recovery at realistic error rates, graceful");
-    println!("breakdown as the channel degrades — the decoding workload whose");
-    println!("cost motivates the FPGA accelerator (§VI).");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "dna_pipeline"))
 }

@@ -1,116 +1,8 @@
-//! E9 / §VI — the FPGA edit-distance accelerator for DNA storage.
-//!
-//! Reproduces the published Alveo U50 figures (16.8 TCUPS, 46 Mpair/J, ~90%
-//! computing efficiency at ~90% resource use) from the systolic-array model,
-//! compares against CPU baselines, and benchmarks the *actual* software
-//! kernels of `f2-dna` to ground the CUPS unit.
+//! Thin wrapper kept for compatibility: forwards to `f2 run dna_throughput`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::rng::rng_for;
-use f2_dna::accelerator::{AcceleratorConfig, CpuBaseline};
-use f2_dna::levenshtein::{levenshtein_banded, levenshtein_dp, levenshtein_myers};
-use f2_dna::sequence::{DnaBase, DnaSequence};
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn software_kernels() {
-    section("Software kernel throughput (this machine, 150-base pairs)");
-    let mut rng = rng_for(5, "e9");
-    let pairs: Vec<(DnaSequence, DnaSequence)> = (0..200)
-        .map(|_| {
-            let s = |rng: &mut _| {
-                DnaSequence::from_bases(
-                    (0..150)
-                        .map(|_| DnaBase::from_bits(f2_core::rng::Rng::gen(rng)))
-                        .collect(),
-                )
-            };
-            (s(&mut rng), s(&mut rng))
-        })
-        .collect();
-    let mut rows = Vec::new();
-    for (name, f) in [
-        (
-            "exact DP",
-            Box::new(|a: &DnaSequence, b: &DnaSequence| levenshtein_dp(a, b).cell_updates)
-                as Box<dyn Fn(&DnaSequence, &DnaSequence) -> u64>,
-        ),
-        (
-            "banded (k=16)",
-            Box::new(|a: &DnaSequence, b: &DnaSequence| levenshtein_banded(a, b, 16).cell_updates),
-        ),
-        (
-            "Myers bit-parallel",
-            Box::new(|a: &DnaSequence, b: &DnaSequence| levenshtein_myers(a, b).cell_updates),
-        ),
-    ] {
-        let start = Instant::now();
-        let mut cells = 0u64;
-        for (a, b) in &pairs {
-            cells += f(a, b);
-        }
-        let dt = start.elapsed().as_secs_f64();
-        rows.push(vec![
-            name.to_string(),
-            fmt(cells as f64 / dt / 1e9, 2),
-            fmt(pairs.len() as f64 / dt / 1e3, 1),
-        ]);
-    }
-    print_table(&["Kernel", "GCUPS", "kpairs/s"], &rows);
-}
-
-fn accelerator_model() {
-    section("Alveo U50 accelerator model vs baselines (150-base pairs)");
-    let fpga = AcceleratorConfig::alveo_u50();
-    let cpu = CpuBaseline::server();
-    let rows = vec![
-        vec![
-            "Alveo U50 systolic [35]".to_string(),
-            fmt(fpga.throughput().value(), 1),
-            fmt(fpga.pairs_per_second(150) / 1e6, 0),
-            fmt(fpga.pair_efficiency(150).value(), 1),
-            fmt(fpga.compute_efficiency * 100.0, 0),
-            fmt(fpga.resource_utilization * 100.0, 0),
-        ],
-        vec![
-            "32-core CPU (Myers)".to_string(),
-            fmt(cpu.throughput().value(), 3),
-            fmt(cpu.throughput().value() * 1e12 / (150.0 * 150.0) / 1e6, 1),
-            fmt(cpu.pair_efficiency(150).value(), 3),
-            "-".to_string(),
-            "-".to_string(),
-        ],
-    ];
-    print_table(
-        &[
-            "Platform",
-            "TCUPS",
-            "Mpairs/s",
-            "Mpair/J",
-            "Compute eff %",
-            "Resource %",
-        ],
-        &rows,
-    );
-    println!("\nPublished: 16.8 TCUPS, 46 Mpair/J, ~90% efficiency, ~90% resources.");
-    println!(
-        "Speedup over CPU: {:.0}x throughput, {:.0}x energy efficiency.",
-        fpga.throughput().value() / cpu.throughput().value(),
-        fpga.pair_efficiency(150).value() / cpu.pair_efficiency(150).value()
-    );
-
-    section("Ablation: strand length vs pair throughput (quadratic cell count)");
-    let mut rows = Vec::new();
-    for len in [100usize, 150, 200, 300] {
-        rows.push(vec![
-            len.to_string(),
-            fmt(fpga.pairs_per_second(len) / 1e6, 0),
-            fmt(fpga.pair_efficiency(len).value(), 1),
-        ]);
-    }
-    print_table(&["Strand length", "Mpairs/s", "Mpair/J"], &rows);
-}
-
-fn main() {
-    software_kernels();
-    accelerator_model();
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "dna_throughput"))
 }

@@ -1,0 +1,10 @@
+//! The unified experiment runner — see `f2 --help` and
+//! [`f2_bench::runner`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::main_with(&registry, &args))
+}

@@ -1,50 +1,8 @@
-//! E1 / Fig. 1 — the TOPS/W landscape of state-of-the-art AI accelerators.
-//!
-//! Regenerates the scatter data (peak TOPS, power, TOPS/W, class) and the
-//! per-class medians whose ordering the paper's narrative relies on:
-//! CPU ≪ GPU ≈ FPGA < CGRA < NPU < IMC-augmented NPUs.
+//! Thin wrapper kept for compatibility: forwards to `f2 run fig1_landscape`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::platform::{fig1_catalog, median_efficiency, PlatformClass};
+use std::process::ExitCode;
 
-fn main() {
-    section("Fig. 1 — AI accelerator landscape (peak throughput vs efficiency)");
-    let catalog = fig1_catalog();
-    let rows: Vec<Vec<String>> = catalog
-        .iter()
-        .map(|p| {
-            vec![
-                p.name.clone(),
-                p.class.to_string(),
-                fmt(p.peak.value(), 1),
-                fmt(p.power.value(), 3),
-                fmt(p.efficiency().value(), 2),
-            ]
-        })
-        .collect();
-    print_table(
-        &["Platform", "Class", "Peak TOPS", "Power W", "TOPS/W"],
-        &rows,
-    );
-
-    section("Per-class median efficiency (the Fig. 1 'clusters')");
-    let classes = [
-        PlatformClass::Cpu,
-        PlatformClass::Gpu,
-        PlatformClass::Fpga,
-        PlatformClass::Cgra,
-        PlatformClass::Npu,
-        PlatformClass::RiscV,
-        PlatformClass::NpuSramImc,
-        PlatformClass::NpuNvmImc,
-    ];
-    let rows: Vec<Vec<String>> = classes
-        .iter()
-        .filter_map(|&c| {
-            median_efficiency(&catalog, c).map(|m| vec![c.to_string(), fmt(m.value(), 2)])
-        })
-        .collect();
-    print_table(&["Class", "Median TOPS/W"], &rows);
-    println!("\nShape check: CPUs are least efficient; IMC-augmented NPUs dominate,");
-    println!("with analog NVM IMC above digital SRAM IMC — matching Fig. 1.");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "fig1_landscape"))
 }

@@ -1,44 +1,8 @@
-//! E11 / Fig. 7 — RISC-V acceleration state of the art.
-//!
-//! Regenerates the power/performance scatter and the power-band histogram
-//! behind the paper's observation that current RISC-V DNN/transformer
-//! accelerators "cluster, especially in the 100mW-1W power range", leaving
-//! the >1W HPC-inference niche open for the SCF.
+//! Thin wrapper kept for compatibility: forwards to `f2 run fig7_riscv_sota`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::platform::{riscv_sota_catalog, PowerBand};
-use std::collections::BTreeMap;
+use std::process::ExitCode;
 
-fn main() {
-    section("Fig. 7 — RISC-V DNN/transformer accelerators");
-    let catalog = riscv_sota_catalog();
-    let rows: Vec<Vec<String>> = catalog
-        .iter()
-        .map(|p| {
-            vec![
-                p.name.clone(),
-                fmt(p.peak.value() * 1000.0, 1), // GOPS
-                fmt(p.power.value(), 3),
-                fmt(p.efficiency().value(), 2),
-                PowerBand::classify(p.power).to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &["Architecture", "Peak GOPS", "Power W", "TOPS/W", "Band"],
-        &rows,
-    );
-
-    section("Power-band histogram");
-    let mut bands: BTreeMap<PowerBand, usize> = BTreeMap::new();
-    for p in &catalog {
-        *bands.entry(PowerBand::classify(p.power)).or_insert(0) += 1;
-    }
-    let rows: Vec<Vec<String>> = bands
-        .iter()
-        .map(|(b, n)| vec![b.to_string(), n.to_string()])
-        .collect();
-    print_table(&["Band", "Architectures"], &rows);
-    println!("\nShape check: the 100mW-1W band holds the plurality of designs;");
-    println!("the >1W band is sparse — the gap the ICSC Flagship 2 SCF targets.");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "fig7_riscv_sota"))
 }

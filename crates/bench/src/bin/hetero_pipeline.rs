@@ -1,84 +1,8 @@
-//! E7 / §VI — benchmarking campaign on the medical-image-segmentation DL
-//! pipeline across CPU / GPU / FPGA.
-//!
-//! Reproduces the profiling tables: per-stage times, bottleneck
-//! identification, and the platform trade-off (GPU fastest training, FPGA
-//! best inference energy).
+//! Thin wrapper kept for compatibility: forwards to `f2 run hetero_pipeline`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_hetero::device::ComputeDevice;
-use f2_hetero::pipeline::{run_inference, run_training, PipelineSpec, Stage};
-use f2_hetero::storage::StorageDevice;
+use std::process::ExitCode;
 
-fn stage_row(report: &f2_hetero::pipeline::PipelineReport) -> Vec<String> {
-    let t = |s| fmt(report.stage_time(s) * 1e3, 1);
-    vec![
-        report.device.clone(),
-        t(Stage::Load),
-        t(Stage::Preprocess),
-        t(Stage::Transfer),
-        t(Stage::Compute),
-        t(Stage::Postprocess),
-        fmt(report.total_time * 1e3, 1),
-        format!("{:?}", report.bottleneck()),
-    ]
-}
-
-fn main() {
-    let spec = PipelineSpec::segmentation_default();
-    let nvme = StorageDevice::nvme_ssd();
-    println!(
-        "Workload: {} ({} MACs/sample), {} samples of {:.1} KB",
-        spec.model.name(),
-        spec.model.total_macs(),
-        spec.num_samples,
-        spec.sample_bytes / 1e3
-    );
-
-    section("Training epoch profile per device (ms, NVMe storage)");
-    let rows: Vec<Vec<String>> = ComputeDevice::campaign()
-        .iter()
-        .filter(|d| d.trains)
-        .map(|d| stage_row(&run_training(&spec, d, &nvme)))
-        .collect();
-    print_table(
-        &[
-            "Device",
-            "Load",
-            "Preproc",
-            "Xfer",
-            "Compute",
-            "Postproc",
-            "Total",
-            "Bottleneck",
-        ],
-        &rows,
-    );
-
-    section("Inference profile per device (ms for the campaign, NVMe)");
-    let mut rows = Vec::new();
-    for d in ComputeDevice::campaign() {
-        let r = run_inference(&spec, &d, &nvme);
-        let mut row = stage_row(&r);
-        row.push(fmt(r.throughput, 0));
-        row.push(fmt(r.energy.value(), 1));
-        rows.push(row);
-    }
-    print_table(
-        &[
-            "Device",
-            "Load",
-            "Preproc",
-            "Xfer",
-            "Compute",
-            "Postproc",
-            "Total",
-            "Bottleneck",
-            "Samples/s",
-            "Energy J",
-        ],
-        &rows,
-    );
-    println!("\nShape check: GPU wins training time; FPGA wins inference energy;");
-    println!("fast accelerators expose the I/O path as the bottleneck (§VI).");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "hetero_pipeline"))
 }

@@ -1,125 +1,8 @@
-//! E5 / Fig. 3 + §V — HTCONV MAC saving vs PSNR.
-//!
-//! Reproduces: (a) the foveated HTCONV layer saves the bulk of the exact
-//! TCONV's MACs with a PSNR reduction below 10%; (b) the full approximate
-//! model (FSRCNN(25,5,1)+HTCONV) saves >80% of the MACs of the
-//! FSRCNN(56,12,4) baseline; (c) the fovea-fraction ablation.
+//! Thin wrapper kept for compatibility: forwards to `f2 run htconv_quality`.
 
-use f2_approx::fsrcnn::{DeconvMode, FsrcnnModel};
-use f2_approx::htconv::{htconv_upscale2x, FoveaSpec};
-use f2_approx::image::Image;
-use f2_approx::psnr::{psnr, psnr_cropped};
-use f2_approx::tconv::{bicubic_kernel, tconv_upscale2x};
-use f2_bench::{fmt, print_table, section};
-use f2_core::workload::dnn::fsrcnn;
+use std::process::ExitCode;
 
-fn layer_quality() {
-    section("HTCONV layer: fovea fraction vs MAC saving and PSNR (96x96 scenes)");
-    let scenes: Vec<Image> = (0..4).map(|s| Image::synthetic(96, 96, 100 + s)).collect();
-    let mut rows = Vec::new();
-    for frac in [1.0, 0.5, 0.3, 0.15, 0.05, 0.0] {
-        let mut saving = 0.0;
-        let mut psnr_exact = 0.0;
-        let mut psnr_hybrid = 0.0;
-        for hr in &scenes {
-            let lr = hr.downsample2x().expect("even dims");
-            let fovea = FoveaSpec::centered_fraction(48, 48, frac);
-            let (exact, _) = tconv_upscale2x(&lr, &bicubic_kernel());
-            let (hybrid, stats) = htconv_upscale2x(&lr, &bicubic_kernel(), &fovea);
-            saving += stats.mac_saving_vs_exact();
-            psnr_exact += psnr_cropped(hr, &exact, 6).expect("same dims");
-            psnr_hybrid += psnr_cropped(hr, &hybrid, 6).expect("same dims");
-        }
-        let n = scenes.len() as f64;
-        let (saving, pe, ph) = (saving / n, psnr_exact / n, psnr_hybrid / n);
-        rows.push(vec![
-            fmt(frac, 2),
-            fmt(saving * 100.0, 1),
-            fmt(pe, 2),
-            fmt(ph, 2),
-            fmt((pe - ph) / pe * 100.0, 2),
-        ]);
-    }
-    print_table(
-        &[
-            "Fovea frac",
-            "MAC saving %",
-            "PSNR exact dB",
-            "PSNR HTCONV dB",
-            "PSNR loss %",
-        ],
-        &rows,
-    );
-    println!("\nShape check: sub-10% PSNR loss at 70%+ layer-MAC saving (§V).");
-}
-
-fn model_level() {
-    section("Model-level MACs (1080p -> 4K, per frame): approximate vs baseline");
-    let h = 1080 / 2;
-    let w = 1920 / 2;
-    let baseline = fsrcnn(56, 12, 4, h, w).expect("valid model");
-    let small = fsrcnn(25, 5, 1, h, w).expect("valid model");
-    // HTCONV variant: the deconv layer's MACs shrink by the measured saving.
-    let fovea_saving = 0.72; // 15% fovea, from the table above
-    let deconv_macs: u64 = small
-        .layers()
-        .iter()
-        .filter(|l| l.name() == "deconv")
-        .map(|l| l.macs())
-        .sum();
-    let approx_macs = small.total_macs() - (deconv_macs as f64 * fovea_saving) as u64;
-    let rows = vec![
-        vec![
-            baseline.name().to_string(),
-            baseline.total_macs().to_string(),
-            fmt(0.0, 1),
-        ],
-        vec![
-            small.name().to_string(),
-            small.total_macs().to_string(),
-            fmt(
-                (1.0 - small.total_macs() as f64 / baseline.total_macs() as f64) * 100.0,
-                1,
-            ),
-        ],
-        vec![
-            format!("{} + HTCONV", small.name()),
-            approx_macs.to_string(),
-            fmt(
-                (1.0 - approx_macs as f64 / baseline.total_macs() as f64) * 100.0,
-                1,
-            ),
-        ],
-    ];
-    print_table(&["Model", "MACs/frame", "Saving vs baseline %"], &rows);
-    println!("\nShape check: the approximate model saves >80% of the baseline's");
-    println!("MACs — the §V headline claim.");
-}
-
-fn end_to_end_inference() {
-    section("End-to-end FSRCNN(8,3,1) inference, exact vs HTCONV final layer");
-    let model = FsrcnnModel::generate(8, 3, 1, 42);
-    let lr = Image::synthetic(48, 48, 7);
-    let exact = model.run(&lr, DeconvMode::Exact, None);
-    let fovea = FoveaSpec::centered_fraction(48, 48, 0.15);
-    let hybrid = model.run(&lr, DeconvMode::Htconv(fovea), None);
-    let rows = vec![
-        vec![
-            "exact TCONV".to_string(),
-            exact.total_macs().to_string(),
-            "-".to_string(),
-        ],
-        vec![
-            "HTCONV (15% fovea)".to_string(),
-            hybrid.total_macs().to_string(),
-            fmt(psnr(&exact.image, &hybrid.image).expect("same dims"), 2),
-        ],
-    ];
-    print_table(&["Final layer", "Total MACs", "PSNR vs exact (dB)"], &rows);
-}
-
-fn main() {
-    layer_quality();
-    model_level();
-    end_to_end_inference();
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "htconv_quality"))
 }

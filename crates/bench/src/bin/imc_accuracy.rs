@@ -1,104 +1,8 @@
-//! E3 / §IV (device level) — program-and-verify vs open-loop programming.
-//!
-//! Reproduces: (a) P&V collapses the conductance-error distribution at the
-//! cost of more pulses; (b) deployed-DNN accuracy is retained under P&V and
-//! degraded by open-loop programming; (c) PCM drift erodes accuracy over
-//! time and digital compensation restores it.
+//! Thin wrapper kept for compatibility: forwards to `f2 run imc_accuracy`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::rng::rng_for;
-use f2_imc::device::DeviceModel;
-use f2_imc::eval::{imc_accuracy, make_train_test, train_mlp, DeploymentScenario};
-use f2_imc::program::{program_array, OpenLoop, ProgramVerify, Programmer};
-use f2_imc::tile::TileConfig;
+use std::process::ExitCode;
 
-fn programming_table() {
-    section("Programming error vs pulse budget (RRAM, 2000 cells)");
-    let dev = DeviceModel::rram();
-    let weights: Vec<f64> = (0..2000).map(|i| (i % 101) as f64 / 100.0).collect();
-    let mut rows = Vec::new();
-    let mut rng = rng_for(1, "e3-open");
-    let (_, ol) = program_array(&OpenLoop, &dev, &weights, &mut rng);
-    rows.push(vec![
-        "open-loop".to_string(),
-        fmt(ol.rms_error * 100.0, 2),
-        fmt(ol.total_pulses as f64 / weights.len() as f64, 1),
-    ]);
-    for tol in [0.05, 0.02, 0.01, 0.005] {
-        let pv = ProgramVerify {
-            tolerance: tol,
-            max_pulses: 64,
-        };
-        let mut rng = rng_for(1, "e3-pv");
-        let (_, st) = program_array(&pv, &dev, &weights, &mut rng);
-        rows.push(vec![
-            format!("P&V tol {:.1}%", tol * 100.0),
-            fmt(st.rms_error * 100.0, 2),
-            fmt(st.total_pulses as f64 / weights.len() as f64, 1),
-        ]);
-    }
-    print_table(&["Scheme", "RMS error (% window)", "Pulses/cell"], &rows);
-}
-
-fn accuracy_table() {
-    section("Deployed MLP accuracy (6-class synthetic task, tiled IMC)");
-    let (train, test) = make_train_test(6, 12, 80, 40, 0.25, 7);
-    let mlp = train_mlp(&train, 20, 15, 0.05, 9);
-    println!("float32 reference accuracy: {:.3}", mlp.accuracy(&test));
-
-    let tile = TileConfig {
-        tile_rows: 16,
-        tile_cols: 16,
-        adc_bits: 9,
-        analog_accumulation: true,
-        drift_compensation: false,
-    };
-    let mut rows = Vec::new();
-    for (label, dev, t, comp, pv) in [
-        ("RRAM P&V, t=1s", DeviceModel::rram(), 1.0, false, true),
-        (
-            "RRAM open-loop, t=1s",
-            DeviceModel::rram(),
-            1.0,
-            false,
-            false,
-        ),
-        ("PCM P&V, t=1s", DeviceModel::pcm(), 1.0, false, true),
-        ("PCM P&V, t=1e7s", DeviceModel::pcm(), 1e7, false, true),
-        ("PCM P&V, t=1e7s +comp", DeviceModel::pcm(), 1e7, true, true),
-    ] {
-        let scenario = DeploymentScenario {
-            device: dev,
-            inference_time: t,
-            tile: TileConfig {
-                drift_compensation: comp,
-                ..tile
-            },
-        };
-        let eval = if pv {
-            run(&mlp, &test, &scenario, &ProgramVerify::default())
-        } else {
-            run(&mlp, &test, &scenario, &OpenLoop)
-        };
-        rows.push(vec![label.to_string(), fmt(eval, 3)]);
-    }
-    print_table(&["Scenario", "Accuracy"], &rows);
-    println!("\nShape check: P&V ≈ float; open-loop loses accuracy; PCM drift");
-    println!("erodes it over 7 decades; digital compensation restores it (§IV).");
-}
-
-fn run<P: Programmer>(
-    mlp: &f2_imc::eval::Mlp,
-    test: &f2_imc::eval::Dataset,
-    scenario: &DeploymentScenario,
-    programmer: &P,
-) -> f64 {
-    imc_accuracy(mlp, test, scenario, programmer, 11)
-        .expect("deployment is valid")
-        .accuracy
-}
-
-fn main() {
-    programming_table();
-    accuracy_table();
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "imc_accuracy"))
 }

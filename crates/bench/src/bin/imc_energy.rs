@@ -1,250 +1,8 @@
-//! E4 / §IV (circuit level) — analog IMC vs digital baselines, the ADC
-//! bottleneck, analog accumulation, and the DIMC efficiency band.
-//!
-//! Reproduces: analog crossbar MACs are orders of magnitude cheaper than
-//! digital MACs, but A/D conversion dominates the analog energy budget;
-//! analog accumulation across tiles cuts the ADC count; SRAM digital IMC
-//! lands in the published 40-310 TOPS/W band across precisions.
+//! Thin wrapper kept for compatibility: forwards to `f2 run imc_energy`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::energy::{EnergyLedger, OpEnergy, OpKind, TechNode};
-use f2_core::kpi::Megahertz;
-use f2_core::rng::rng_for;
-use f2_core::tensor::Matrix;
-use f2_imc::crossbar::{Adc, Crossbar};
-use f2_imc::device::DeviceModel;
-use f2_imc::dimc::DimcMacro;
-use f2_imc::program::ProgramVerify;
-use f2_imc::tile::{ImcTileLayer, TileConfig};
+use std::process::ExitCode;
 
-fn mvm_energy_breakdown() {
-    section("128x128 MVM energy: analog IMC vs digital MAC baseline (45nm)");
-    let table = OpEnergy::for_node(TechNode::N45);
-    let weights = Matrix::from_fn(128, 128, |r, c| {
-        ((r * 31 + c * 17) % 41) as f64 / 20.0 - 1.0
-    });
-    let mut rng = rng_for(2, "e4");
-    let xbar = Crossbar::program(
-        DeviceModel::rram(),
-        &weights,
-        &ProgramVerify::default(),
-        &mut rng,
-    )
-    .expect("valid weights");
-    let x = vec![0.5; 128];
-    let mut ledger = EnergyLedger::new();
-    xbar.mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)
-        .expect("valid geometry");
-
-    let analog_total = ledger.total_energy(&table);
-    let adc_share = ledger.energy_of(OpKind::AdcConversion, &table);
-    // Digital baseline: 128x128 8-bit MACs + SRAM weight reads.
-    let mut digital = EnergyLedger::new();
-    digital.record(OpKind::MacInt8, 128 * 128);
-    digital.record(OpKind::SramRead32, 128 * 128 / 4);
-    let digital_total = digital.total_energy(&table);
-
-    let rows = vec![
-        vec![
-            "analog crossbar (8b ADC)".to_string(),
-            fmt(analog_total.to_picojoules().value() / 1000.0, 2),
-            fmt(adc_share.value() / analog_total.value() * 100.0, 1),
-        ],
-        vec![
-            "digital MAC + SRAM".to_string(),
-            fmt(digital_total.to_picojoules().value() / 1000.0, 2),
-            "-".to_string(),
-        ],
-    ];
-    print_table(
-        &["Implementation", "Energy (nJ/MVM)", "ADC share (%)"],
-        &rows,
-    );
-    println!(
-        "Analog advantage: {:.1}x lower energy; ADC dominates the analog budget (§IV).",
-        digital_total.value() / analog_total.value()
-    );
-}
-
-fn adc_ablation() {
-    section("Ablation: ADC precision vs energy and output error (64x16 layer)");
-    let weights = Matrix::from_fn(64, 16, |r, c| ((r * 13 + c * 7) % 23) as f64 / 11.0 - 1.0);
-    let table = OpEnergy::for_node(TechNode::N45);
-    // Each precision point reprograms and evaluates a fresh crossbar from its
-    // own seeded RNG stream, so the points are independent — run them on the
-    // exec worker pool.
-    let rows = f2_core::exec::par_map(&[4u32, 6, 8, 10, 12], |&bits| {
-        let mut rng = rng_for(3, "e4-adc");
-        let xbar = Crossbar::program(
-            DeviceModel::rram(),
-            &weights,
-            &ProgramVerify::default(),
-            &mut rng,
-        )
-        .expect("valid weights");
-        let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
-        let ideal = xbar.mvm_ideal(&x, 1.0).expect("valid geometry");
-        let mut ledger = EnergyLedger::new();
-        let got = xbar
-            .mvm(&x, 1.0, &Adc::new(bits), &mut rng, &mut ledger)
-            .expect("valid geometry");
-        let rmse: f64 = (got
-            .iter()
-            .zip(&ideal)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
-            / 16.0)
-            .sqrt();
-        // SAR ADC energy scales ~2x per extra bit; rebuild the total with a
-        // precision-scaled conversion cost (anchor: 2 pJ at 8 bits).
-        let adc_pj = 2.0 * 2f64.powi(bits as i32 - 8);
-        let non_adc = ledger.total_energy(&table).to_picojoules().value()
-            - ledger.count(OpKind::AdcConversion) as f64 * 2.0;
-        let e = non_adc + ledger.count(OpKind::AdcConversion) as f64 * adc_pj;
-        vec![bits.to_string(), fmt(e / 1000.0, 3), fmt(rmse, 4)]
-    });
-    print_table(&["ADC bits", "Energy (nJ/MVM)", "Output RMSE"], &rows);
-}
-
-fn analog_accumulation() {
-    section("Analog accumulation: A/D conversions per 64x16 layer (16-row tiles)");
-    let weights = Matrix::from_fn(64, 16, |r, c| ((r * 3 + c) % 13) as f64 / 6.0 - 1.0);
-    let bias = vec![0.0; 16];
-    let mut rows = Vec::new();
-    for analog in [false, true] {
-        let cfg = TileConfig {
-            tile_rows: 16,
-            tile_cols: 16,
-            adc_bits: 8,
-            analog_accumulation: analog,
-            drift_compensation: false,
-        };
-        let mut rng = rng_for(4, "e4-acc");
-        let layer = ImcTileLayer::map(
-            &weights,
-            &bias,
-            DeviceModel::rram(),
-            &cfg,
-            &ProgramVerify::default(),
-            &mut rng,
-        )
-        .expect("valid layer");
-        let mut ledger = EnergyLedger::new();
-        layer
-            .forward(&vec![0.5; 64], 1.0, &cfg, &mut rng, &mut ledger)
-            .expect("valid geometry");
-        rows.push(vec![
-            if analog {
-                "analog accumulation"
-            } else {
-                "per-tile ADC"
-            }
-            .to_string(),
-            ledger.count(OpKind::AdcConversion).to_string(),
-        ]);
-    }
-    print_table(&["Scheme", "ADC conversions"], &rows);
-    println!("Analog accumulation divides conversions by the row-block count ([11]).");
-}
-
-fn dimc_band() {
-    section("SRAM digital IMC: precision vs TOPS/W (ISSCC'23 band: 40-310)");
-    let weights: Vec<i32> = (0..128 * 128).map(|i| (i % 15) - 7).collect();
-    let mut rows = Vec::new();
-    for bits in [1u32, 2, 4, 8] {
-        let m = DimcMacro::new(
-            128,
-            128,
-            bits,
-            bits,
-            &weights,
-            Megahertz::new(500.0),
-            TechNode::N16,
-        )
-        .expect("valid macro");
-        rows.push(vec![
-            format!("{bits}b x {bits}b"),
-            fmt(m.peak_throughput().value(), 2),
-            fmt(m.power().value() * 1000.0, 1),
-            fmt(m.efficiency().value(), 0),
-        ]);
-    }
-    print_table(&["Precision", "Peak TOPS", "Power mW", "TOPS/W"], &rows);
-}
-
-fn input_mode_ablation() {
-    section("Ablation: analog-input vs bit-serial input drive (64x16 layer)");
-    let weights = Matrix::from_fn(64, 16, |r, c| ((r * 11 + c * 3) % 19) as f64 / 9.0 - 1.0);
-    let table = OpEnergy::for_node(TechNode::N45);
-    let mut rng = rng_for(7, "e4-input");
-    let xbar = Crossbar::program(
-        DeviceModel::rram(),
-        &weights,
-        &ProgramVerify::default(),
-        &mut rng,
-    )
-    .expect("valid weights");
-    let x: Vec<f64> = (0..64).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
-    let ideal = xbar.mvm_ideal(&x, 1.0).expect("valid geometry");
-    let rmse = |y: &[f64]| -> f64 {
-        (y.iter()
-            .zip(&ideal)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
-            / 16.0)
-            .sqrt()
-    };
-    let mut rows = Vec::new();
-    {
-        let mut ledger = EnergyLedger::new();
-        let y = xbar
-            .mvm(&x, 1.0, &Adc::new(8), &mut rng, &mut ledger)
-            .expect("valid geometry");
-        rows.push(vec![
-            "analog input (1 pass)".to_string(),
-            ledger.count(OpKind::DacConversion).to_string(),
-            ledger.count(OpKind::AdcConversion).to_string(),
-            fmt(
-                ledger.total_energy(&table).to_picojoules().value() / 1000.0,
-                3,
-            ),
-            fmt(rmse(&y), 4),
-        ]);
-    }
-    for bits in [2u32, 4, 8] {
-        let mut ledger = EnergyLedger::new();
-        let y = xbar
-            .mvm_bit_serial(&x, 1.0, bits, &Adc::new(8), &mut rng, &mut ledger)
-            .expect("valid geometry");
-        rows.push(vec![
-            format!("bit-serial ({bits} passes)"),
-            "0".to_string(),
-            ledger.count(OpKind::AdcConversion).to_string(),
-            fmt(
-                ledger.total_energy(&table).to_picojoules().value() / 1000.0,
-                3,
-            ),
-            fmt(rmse(&y), 4),
-        ]);
-    }
-    print_table(
-        &[
-            "Input drive",
-            "DACs",
-            "ADC convs",
-            "Energy nJ",
-            "Output RMSE",
-        ],
-        &rows,
-    );
-    println!("Analog input maximises parallelism (one pass); bit-serial removes");
-    println!("DACs at the cost of one ADC pass per input bit (§IV trade-off).");
-}
-
-fn main() {
-    mvm_energy_breakdown();
-    adc_ablation();
-    analog_accumulation();
-    input_mode_ablation();
-    dimc_band();
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "imc_energy"))
 }

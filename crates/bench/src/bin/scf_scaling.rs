@@ -1,52 +1,8 @@
-//! E13 / Fig. 8 — Scalable Compute Fabric sizing study.
-//!
-//! Reproduces the fabric-scaling behaviour the SCF template is designed
-//! around: near-linear throughput growth with CU count until the shared
-//! HBM (or NoC bisection) saturates, and entry into the >1 W power regime
-//! the paper targets.
+//! Thin wrapper kept for compatibility: forwards to `f2 run scf_scaling`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::kpi::GigabytesPerSecond;
-use f2_core::workload::transformer::bert_base_block;
-use f2_scf::fabric::scaling_sweep;
+use std::process::ExitCode;
 
-fn main() {
-    let block = bert_base_block();
-
-    for (label, hbm) in [
-        ("single HBM2E stack (410 GB/s)", 410.0),
-        ("dual stack (820 GB/s)", 820.0),
-    ] {
-        section(&format!("Throughput scaling, {label}"));
-        let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-        let reports =
-            scaling_sweep(&counts, &block, GigabytesPerSecond::new(hbm)).expect("valid sweep");
-        let rows: Vec<Vec<String>> = reports
-            .iter()
-            .map(|r| {
-                vec![
-                    r.cu_count.to_string(),
-                    fmt(r.achieved.value() / 1000.0, 2),
-                    fmt(r.blocks_per_second, 0),
-                    fmt(r.power.value(), 2),
-                    fmt(r.scaling_efficiency * 100.0, 0),
-                    if r.hbm_bound { "memory" } else { "compute" }.to_string(),
-                ]
-            })
-            .collect();
-        print_table(
-            &[
-                "CUs",
-                "TFLOPS",
-                "Blocks/s",
-                "Power W",
-                "Scaling %",
-                "Bound by",
-            ],
-            &rows,
-        );
-    }
-    println!("\nShape check: linear scaling until HBM saturates; doubling HBM");
-    println!("moves the knee out; fabric power crosses 1 W within a handful of");
-    println!("CUs — the >1W HPC-inference regime of Fig. 7/8.");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "scf_scaling"))
 }

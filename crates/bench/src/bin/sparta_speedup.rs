@@ -1,93 +1,8 @@
-//! E2 / §III — SPARTA parallel multi-threaded accelerators on irregular
-//! graph kernels.
-//!
-//! Reproduces the claim shape: SPARTA-generated accelerators (spatial
-//! lanes plus hardware contexts, multi-channel NoC and memory-side cache)
-//! beat the sequential HLS baseline on irregular workloads, with speedup
-//! growing as memory latency rises (context switching hides it).
+//! Thin wrapper kept for compatibility: forwards to `f2 run sparta_speedup`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_core::rng::DEFAULT_SEED;
-use f2_core::workload::graph::rmat;
-use f2_hls::sparta::{bfs_workload, run, spmv_workload, CacheConfig, SpartaConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let graph = rmat(10, 8, DEFAULT_SEED);
-    println!(
-        "Workload graphs: RMAT scale-10 ({} vertices, {} edges, power-law)",
-        graph.num_nodes(),
-        graph.num_edges()
-    );
-
-    for (name, wl) in [
-        ("SpMV", spmv_workload(&graph)),
-        ("BFS", bfs_workload(&graph)),
-    ] {
-        section(&format!(
-            "{name}: SPARTA configuration sweep (mem latency 100)"
-        ));
-        let base = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
-        let mut rows = Vec::new();
-        for (accels, ctxs, chans, cache) in [
-            (1, 1, 1, false),
-            (1, 8, 1, false),
-            (1, 8, 4, false),
-            (4, 8, 4, false),
-            (4, 8, 4, true),
-        ] {
-            let cfg = SpartaConfig {
-                accelerators: accels,
-                contexts_per_accel: ctxs,
-                mem_channels: chans,
-                mem_latency: 100,
-                noc_hop_latency: 2,
-                context_switch_penalty: 1,
-                cache: cache.then(CacheConfig::small),
-            };
-            let r = run(&wl, &cfg).expect("valid config");
-            rows.push(vec![
-                format!(
-                    "{accels}x{ctxs}ctx/{chans}ch{}",
-                    if cache { "+cache" } else { "" }
-                ),
-                r.cycles.to_string(),
-                fmt(base.cycles as f64 / r.cycles as f64, 2),
-                fmt(r.utilization(&cfg), 2),
-                fmt(r.hit_rate(), 2),
-            ]);
-        }
-        print_table(
-            &["Config", "Cycles", "Speedup", "Lane util", "Cache hit"],
-            &rows,
-        );
-    }
-
-    section("Ablation: speedup vs external memory latency (4x8ctx/4ch+cache)");
-    let wl = spmv_workload(&graph);
-    let mut rows = Vec::new();
-    for lat in [25u32, 50, 100, 200, 400] {
-        let cfg = SpartaConfig {
-            accelerators: 4,
-            contexts_per_accel: 8,
-            mem_channels: 4,
-            mem_latency: lat,
-            noc_hop_latency: 2,
-            context_switch_penalty: 1,
-            cache: Some(CacheConfig::small()),
-        };
-        let base = run(&wl, &SpartaConfig::sequential_baseline(lat)).expect("valid config");
-        let opt = run(&wl, &cfg).expect("valid config");
-        rows.push(vec![
-            lat.to_string(),
-            base.cycles.to_string(),
-            opt.cycles.to_string(),
-            fmt(base.cycles as f64 / opt.cycles as f64, 2),
-        ]);
-    }
-    print_table(
-        &["Mem latency", "Baseline cyc", "SPARTA cyc", "Speedup"],
-        &rows,
-    );
-    println!("\nShape check: speedup grows with memory latency — the latency-hiding");
-    println!("claim of the SPARTA template (§III).");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "sparta_speedup"))
 }

@@ -1,45 +1,8 @@
-//! E8 / §VI — I/O-path optimisation with computational storage, persistent
-//! memory and low-latency SSDs.
-//!
-//! Reproduces: "a training time reduction of up to 10% and inference
-//! throughput improvement of up to 10%" from the computational-storage
-//! path, plus the wider storage ladder.
+//! Thin wrapper kept for compatibility: forwards to `f2 run storage_io`.
 
-use f2_bench::{fmt, print_table, section};
-use f2_hetero::device::ComputeDevice;
-use f2_hetero::pipeline::{run_inference, run_training, PipelineSpec};
-use f2_hetero::storage::StorageDevice;
+use std::process::ExitCode;
 
-fn main() {
-    let spec = PipelineSpec::segmentation_default();
-    let gpu = ComputeDevice::datacenter_gpu();
-    let fpga = ComputeDevice::fpga_card();
-    let base_train = run_training(&spec, &gpu, &StorageDevice::nvme_ssd());
-    let base_infer = run_inference(&spec, &fpga, &StorageDevice::nvme_ssd());
-
-    section("GPU training epoch vs storage device");
-    let mut rows = Vec::new();
-    for s in StorageDevice::io_path_candidates() {
-        let r = run_training(&spec, &gpu, &s);
-        rows.push(vec![
-            s.name.clone(),
-            fmt(r.total_time * 1e3, 1),
-            fmt((1.0 - r.total_time / base_train.total_time) * 100.0, 1),
-        ]);
-    }
-    print_table(&["Storage", "Epoch ms", "vs NVMe %"], &rows);
-
-    section("FPGA inference throughput vs storage device");
-    let mut rows = Vec::new();
-    for s in StorageDevice::io_path_candidates() {
-        let r = run_inference(&spec, &fpga, &s);
-        rows.push(vec![
-            s.name.clone(),
-            fmt(r.throughput, 0),
-            fmt((r.throughput / base_infer.throughput - 1.0) * 100.0, 1),
-        ]);
-    }
-    print_table(&["Storage", "Samples/s", "vs NVMe %"], &rows);
-    println!("\nShape check: computational storage buys ~10% on both paths —");
-    println!("the §VI 'up to 10%' claims.");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "storage_io"))
 }

@@ -1,47 +1,8 @@
-//! E6 / Table I — FPGA implementation comparison of super-resolution
-//! accelerators.
-//!
-//! Rows \[15\] and \[17\] are published literature values (inputs to the table,
-//! as in the paper); the "New" row is computed by the `f2-approx`
-//! architectural model of the Fig. 4 HTCONV datapath.
+//! Thin wrapper kept for compatibility: forwards to `f2 run table1_fpga`.
 
-use f2_approx::fpga_model::table1_rows;
-use f2_bench::{fmt, print_table, section};
+use std::process::ExitCode;
 
-fn main() {
-    section("Table I — comparison to FPGA-based SotA super-resolution");
-    let rows: Vec<Vec<String>> = table1_rows()
-        .iter()
-        .map(|r| {
-            vec![
-                r.method.clone(),
-                format!("{}x{}", r.in_resolution.0, r.in_resolution.1),
-                format!("({},{})", r.bitwidth.0, r.bitwidth.1),
-                r.technology.clone(),
-                fmt(r.fmax.value(), 0),
-                fmt(r.out_throughput.value(), 2),
-                r.luts.to_string(),
-                r.ffs.to_string(),
-                r.dsps.to_string(),
-                fmt(r.bram_kb, 1),
-                r.power
-                    .map(|p| fmt(p.value(), 2))
-                    .unwrap_or_else(|| "NA".to_string()),
-                r.energy_efficiency()
-                    .map(|e| fmt(e.value(), 1))
-                    .unwrap_or_else(|| "NA".to_string()),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "Method", "In res", "Bits", "Device", "Fmax MHz", "Mpix/s", "LUTs", "FFs", "DSPs",
-            "BRAM KB", "Power W", "Mpix/s/W",
-        ],
-        &rows,
-    );
-    println!("\nPaper row 'New': 222 MHz, 753.04 Mpix/s, 28080 LUTs, 81791 FFs,");
-    println!("1750 DSPs, 542.25 KB, 3.7 W, 203.5 Mpix/s/W — compare the computed row.");
-    println!("Shape check: ~6x fewer LUTs and ~2.2x better Mpix/s/W than [15],");
-    println!("throughput parity with [17].");
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "table1_fpga"))
 }

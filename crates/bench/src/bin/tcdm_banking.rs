@@ -1,129 +1,8 @@
-//! E12 ablation — TCDM banking sensitivity, execution-driven.
-//!
-//! DESIGN.md calls out "TCDM banking factor" as a §VII design choice to
-//! ablate. Unlike the analytical CU model, this ablation *executes real
-//! RV32IM programs* on the multi-core cluster simulator: eight Snitch-like
-//! ISS cores run an SPMD vector kernel against the shared L1 while the bank
-//! count sweeps, exposing the conflict-rate knee that sizes the interleaving.
-//!
-//! The per-configuration simulations are independent, so the sweep itself
-//! runs on the `f2_core::exec` worker pool; the binary cross-checks the
-//! parallel sweep against a sequential one (bit-identical reports) and
-//! prints the host-side speedup.
+//! Thin wrapper kept for compatibility: forwards to `f2 run tcdm_banking`.
 
-use std::time::Instant;
+use std::process::ExitCode;
 
-use f2_bench::{emit_json, fmt, print_table, section};
-use f2_core::exec;
-use f2_scf::multicore::{
-    sweep_configs, vector_add_program, MulticoreCluster, MulticoreConfig, MulticoreReport,
-};
-
-const N: u32 = 512;
-
-fn preload(cluster: &mut MulticoreCluster) {
-    for i in 0..N as usize {
-        cluster
-            .tcdm_mut()
-            .write_word(i, i as u32)
-            .expect("in range");
-        cluster
-            .tcdm_mut()
-            .write_word(N as usize + i, 7 * i as u32)
-            .expect("in range");
-    }
-}
-
-fn run_sequential(configs: &[MulticoreConfig], program: &[u32]) -> Vec<MulticoreReport> {
-    configs
-        .iter()
-        .map(|cfg| {
-            let mut cluster = MulticoreCluster::spmd(*cfg, program).expect("valid config");
-            preload(&mut cluster);
-            cluster.run().expect("programs halt")
-        })
-        .collect()
-}
-
-fn main() {
-    let program = vector_add_program(N);
-
-    section("8-core SPMD vector-add (512 elements): TCDM banks vs conflicts");
-    let configs: Vec<MulticoreConfig> = [1usize, 2, 4, 8, 16, 32, 64]
-        .iter()
-        .map(|&banks| MulticoreConfig {
-            cores: 8,
-            tcdm_banks: banks,
-            tcdm_words_per_bank: 4096 / banks,
-            max_cycles: 50_000_000,
-        })
-        .collect();
-
-    let t_seq = Instant::now();
-    let sequential = run_sequential(&configs, &program);
-    let t_seq = t_seq.elapsed();
-
-    let t_par = Instant::now();
-    let reports = sweep_configs(&configs, &program, preload).expect("programs halt");
-    let t_par = t_par.elapsed();
-
-    assert_eq!(
-        reports, sequential,
-        "parallel sweep must be bit-identical to the sequential sweep"
-    );
-
-    let mut rows = Vec::new();
-    for (cfg, report) in configs.iter().zip(&reports) {
-        rows.push(vec![
-            cfg.tcdm_banks.to_string(),
-            report.cycles.to_string(),
-            report.tcdm_accesses.to_string(),
-            report.conflict_stalls.to_string(),
-            fmt(report.conflict_rate(), 3),
-        ]);
-        emit_json(&format!("tcdm_banking/banks_{}", cfg.tcdm_banks), report);
-    }
-    print_table(
-        &[
-            "Banks",
-            "Cycles",
-            "TCDM accesses",
-            "Conflict stalls",
-            "Stalls/access",
-        ],
-        &rows,
-    );
-    println!("\nShape check: conflicts collapse once banks >= 2x cores — the");
-    println!("interleaving rule Snitch-class clusters (and the Fig. 9 CU) follow.");
-    println!(
-        "\nHost sweep: sequential {:.1} ms, parallel {:.1} ms on {} workers \
-         ({:.2}x, identical reports).",
-        t_seq.as_secs_f64() * 1e3,
-        t_par.as_secs_f64() * 1e3,
-        exec::num_threads(),
-        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
-    );
-
-    section("Core-count scaling at 32 banks (execution-driven)");
-    let scaling: Vec<MulticoreConfig> = [1usize, 2, 4, 8, 16]
-        .iter()
-        .map(|&cores| MulticoreConfig {
-            cores,
-            tcdm_banks: 32,
-            tcdm_words_per_bank: 128,
-            max_cycles: 50_000_000,
-        })
-        .collect();
-    let reports = sweep_configs(&scaling, &program, |_| {}).expect("programs halt");
-    let base = reports[0].cycles;
-    let mut rows = Vec::new();
-    for (cfg, report) in scaling.iter().zip(&reports) {
-        rows.push(vec![
-            cfg.cores.to_string(),
-            report.cycles.to_string(),
-            fmt(base as f64 / report.cycles as f64, 2),
-        ]);
-        emit_json(&format!("tcdm_banking/cores_{}", cfg.cores), report);
-    }
-    print_table(&["Cores", "Cycles", "Speedup"], &rows);
+fn main() -> ExitCode {
+    let registry = flagship2::experiments::registry();
+    ExitCode::from(f2_bench::runner::forward(&registry, "tcdm_banking"))
 }

@@ -1,26 +1,54 @@
 //! # f2-bench
 //!
 //! Benchmark harness regenerating every table and figure of the ICSC
-//! Flagship 2 overview paper. Each `src/bin/` binary reproduces one
-//! experiment (E1–E13 in `DESIGN.md`); Criterion micro-benches in
-//! `benches/` cover the hot kernels underneath them.
+//! Flagship 2 overview paper, built on the unified experiment registry in
+//! [`flagship2::experiments`].
 //!
-//! Run e.g. `cargo run -p f2-bench --bin fig1_landscape --release`.
+//! The single entry point is the `f2` runner:
 //!
-//! Setting `F2_BENCH_JSON=1` makes the binaries additionally emit
-//! machine-readable JSON lines (one [`emit_json`] call per table) for
-//! downstream tooling.
+//! ```text
+//! cargo run -p f2-bench --release --bin f2 -- list
+//! cargo run -p f2-bench --release --bin f2 -- run all --quick
+//! cargo run -p f2-bench --release --bin f2 -- run imc_energy --json
+//! ```
+//!
+//! The historical per-experiment binaries (`fig1_landscape`,
+//! `sparta_speedup`, …) still exist as thin wrappers that forward to the
+//! runner, so older invocations keep working.
+//!
+//! Table/number formatting lives in [`f2_core::experiment::render`]
+//! (re-exported here for the wrappers); golden-KPI snapshot plumbing in
+//! [`f2_core::experiment::golden`].
 
+pub use f2_core::experiment::render::{fmt, print_table, section};
 use f2_core::json::{Json, ToJson};
-use std::fmt::Display;
 
-/// Environment variable switching on JSON line output in the bench bins.
+pub mod runner;
+
+/// Deprecated environment alias for `f2 run --json`: setting it to a truthy
+/// value (anything but empty, `0` or `false`) switches on JSON line output.
 pub const JSON_ENV: &str = "F2_BENCH_JSON";
 
-/// Emits `value` as a labelled single-line JSON document on stdout when
-/// `F2_BENCH_JSON` is set to a non-empty value; a no-op otherwise.
+/// Returns whether the deprecated [`JSON_ENV`] alias asks for JSON output.
+///
+/// Unset, empty, `"0"` and `"false"` (any case) mean *off* — historically
+/// any non-empty value (including `0`) enabled it, which surprised every
+/// scripted caller.
+pub fn json_env_enabled() -> bool {
+    std::env::var(JSON_ENV)
+        .map(|v| f2_core::experiment::golden::env_flag_enabled(&v))
+        .unwrap_or(false)
+}
+
+/// Emits `value` as a labelled single-line JSON document on stdout when the
+/// deprecated [`JSON_ENV`] alias is enabled; a no-op otherwise.
+///
+/// Superseded by [`f2_core::experiment::ExperimentCtx::record`], which
+/// collects structured records independent of any environment variable and
+/// lets the runner decide how to emit them.
+#[deprecated(note = "use ExperimentCtx::record and `f2 run --json` instead")]
 pub fn emit_json(label: &str, value: &impl ToJson) {
-    if std::env::var_os(JSON_ENV).is_some_and(|v| !v.is_empty()) {
+    if json_env_enabled() {
         let doc = Json::Obj(vec![
             ("label".to_string(), label.to_json()),
             ("data".to_string(), value.to_json()),
@@ -29,70 +57,24 @@ pub fn emit_json(label: &str, value: &impl ToJson) {
     }
 }
 
-/// Prints a section header.
-pub fn section(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-/// Prints an aligned ASCII table.
-///
-/// # Panics
-///
-/// Panics if a row's arity differs from the header's.
-pub fn print_table<S: Display>(headers: &[&str], rows: &[Vec<S>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            assert_eq!(r.len(), headers.len(), "row arity mismatch");
-            r.iter().map(|c| c.to_string()).collect()
-        })
-        .collect();
-    for row in &cells {
-        for (w, c) in widths.iter_mut().zip(row) {
-            *w = (*w).max(c.len());
-        }
-    }
-    let line = |cols: &[String]| {
-        let mut out = String::new();
-        for (w, c) in widths.iter().zip(cols) {
-            out.push_str(&format!("{c:<w$}  "));
-        }
-        println!("{}", out.trim_end());
-    };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-    );
-    for row in cells {
-        line(&row);
-    }
-}
-
-/// Formats a float with the given precision (table-cell helper).
-pub fn fmt(value: f64, precision: usize) -> String {
-    format!("{value:.precision$}")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn fmt_precision() {
+    fn fmt_reexport_works() {
         assert_eq!(fmt(4.23456, 2), "4.23");
         assert_eq!(fmt(10.0, 0), "10");
     }
 
     #[test]
-    fn table_prints_without_panicking() {
+    fn table_reexport_prints_without_panicking() {
         print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
     }
 
     #[test]
     #[should_panic(expected = "row arity mismatch")]
-    fn table_rejects_ragged_rows() {
+    fn table_reexport_rejects_ragged_rows() {
         print_table(&["a", "b"], &[vec!["1".to_string()]]);
     }
 }

@@ -1,0 +1,422 @@
+//! Implementation of the `f2` command-line runner.
+//!
+//! One binary drives every experiment in the registry:
+//!
+//! ```text
+//! f2 list [--json]                 # inventory: names, tags, summaries
+//! f2 run <name|tag|all> [flags]    # run a selection
+//! f2 check [--golden <dir>]        # compare `--json` lines on stdin to snapshots
+//! ```
+//!
+//! `run` flags: `--quick` (reduced problem sizes, the fidelity the golden
+//! snapshots pin), `--json` (machine-readable lines instead of tables),
+//! `--threads N`, `--seed N`. The deprecated `F2_BENCH_JSON` environment
+//! alias still switches `--json` on.
+//!
+//! `check` closes the CI loop as a plain UNIX pipe:
+//!
+//! ```text
+//! f2 run all --quick --json | f2 check
+//! ```
+
+use std::io::BufRead;
+use std::path::PathBuf;
+
+use f2_core::experiment::{golden, ExperimentCtx, ExperimentReport, Registry};
+use f2_core::json::{Json, ToJson};
+
+/// Options of the `run` subcommand.
+pub struct RunOptions {
+    /// Experiment name, tag, or `all`.
+    pub selector: String,
+    /// Reduced problem sizes (the fidelity golden snapshots pin).
+    pub quick: bool,
+    /// Emit machine-readable JSON lines instead of human-readable tables.
+    pub json: bool,
+    /// Worker threads for `ExperimentCtx::exec` sweeps.
+    pub threads: usize,
+    /// Root seed for all experiment randomness.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            selector: "all".to_string(),
+            quick: false,
+            json: crate::json_env_enabled(),
+            threads: f2_core::exec::num_threads(),
+            seed: f2_core::rng::DEFAULT_SEED,
+        }
+    }
+}
+
+/// A parsed `f2` invocation.
+pub enum Command {
+    /// `f2 list [--json]`
+    List {
+        /// Emit the inventory as one JSON document.
+        json: bool,
+    },
+    /// `f2 run <selector> [flags]`
+    Run(RunOptions),
+    /// `f2 check [--golden <dir>]`
+    Check {
+        /// Snapshot directory (defaults to the repo's `tests/golden`).
+        golden_dir: PathBuf,
+    },
+}
+
+/// The repo-local default snapshot directory, resolved at compile time.
+fn default_golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+Usage: f2 <command>
+
+Commands:
+  list [--json]                      list every registered experiment
+  run <name|tag|all> [flags]         run a selection of experiments
+      --quick                        reduced problem sizes (snapshot fidelity)
+      --json                         machine-readable JSON lines
+      --threads <N>                  worker threads for sweeps
+      --seed <N>                     root seed (default 0xF1A65817)
+  check [--golden <dir>]             verify `run --json` lines piped on stdin
+                                     against the golden KPI snapshots
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing command")?;
+    match cmd.as_str() {
+        "list" => {
+            let mut json = false;
+            for a in it {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other => return Err(format!("unknown `list` flag {other}")),
+                }
+            }
+            Ok(Command::List { json })
+        }
+        "run" => {
+            let mut opts = RunOptions::default();
+            let mut selector = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => opts.quick = true,
+                    "--json" => opts.json = true,
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        opts.threads = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid thread count {v}"))?;
+                    }
+                    "--seed" => {
+                        let v = it.next().ok_or("--seed needs a value")?;
+                        opts.seed = v.parse::<u64>().map_err(|_| format!("invalid seed {v}"))?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown `run` flag {flag}"));
+                    }
+                    name => {
+                        if selector.replace(name.to_string()).is_some() {
+                            return Err("multiple selectors; pass one name, tag or `all`".into());
+                        }
+                    }
+                }
+            }
+            opts.selector = selector.ok_or("missing selector: a name, tag or `all`")?;
+            Ok(Command::Run(opts))
+        }
+        "check" => {
+            let mut golden_dir = default_golden_dir();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--golden" => {
+                        golden_dir = PathBuf::from(it.next().ok_or("--golden needs a value")?);
+                    }
+                    other => return Err(format!("unknown `check` flag {other}")),
+                }
+            }
+            Ok(Command::Check { golden_dir })
+        }
+        "--help" | "-h" | "help" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+/// Prints the experiment inventory.
+pub fn list(registry: &Registry, json: bool) {
+    if json {
+        let entries: Vec<Json> = registry
+            .entries()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("name".to_string(), e.name().to_json()),
+                    ("summary".to_string(), e.summary().to_json()),
+                    (
+                        "tags".to_string(),
+                        Json::Arr(e.tags().iter().map(|t| t.to_json()).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        println!("{}", Json::Arr(entries));
+        return;
+    }
+    let rows: Vec<Vec<String>> = registry
+        .entries()
+        .iter()
+        .map(|e| {
+            vec![
+                e.name().to_string(),
+                e.tags().join(","),
+                e.summary().to_string(),
+            ]
+        })
+        .collect();
+    crate::print_table(&["Experiment", "Tags", "Summary"], &rows);
+    println!("\nRun one with `f2 run <name>`, a group with `f2 run <tag>`, or everything");
+    println!("with `f2 run all`. Tags: {}", registry.tags().join(", "));
+}
+
+/// Runs the selected experiments; returns the process exit code.
+///
+/// In `--json` mode each experiment contributes its structured records
+/// (`{"label": ..., "data": ...}` lines, the old `F2_BENCH_JSON` format)
+/// followed by one report line (`{"experiment": ..., "kpis": [...]}`).
+pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
+    let selected = match registry.select(&opts.selector) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("f2 run: {e}");
+            eprintln!("known selectors: all, an experiment name, or one of the tags");
+            eprintln!("from `f2 list`");
+            return 2;
+        }
+    };
+    let mut failures = 0;
+    for exp in selected {
+        let mut ctx = if opts.json {
+            ExperimentCtx::quiet(opts.seed, opts.quick, opts.threads)
+        } else {
+            println!("\n##### {} — {}", exp.name(), exp.summary());
+            ExperimentCtx::new(opts.seed, opts.quick, opts.threads)
+        };
+        match exp.run(&mut ctx) {
+            Ok(report) => {
+                if opts.json {
+                    for (label, data) in ctx.records() {
+                        let doc = Json::Obj(vec![
+                            ("label".to_string(), label.to_json()),
+                            ("data".to_string(), data.clone()),
+                        ]);
+                        println!("{doc}");
+                    }
+                    println!("{}", report.to_json());
+                }
+            }
+            Err(e) => {
+                eprintln!("f2 run: experiment {} failed: {e}", exp.name());
+                failures += 1;
+            }
+        }
+    }
+    u8::from(failures > 0)
+}
+
+/// Verifies `run --json` report lines against the golden snapshots.
+///
+/// Reads `input` line by line, ignores anything that is not a JSON
+/// experiment report (table text, notes, record lines), and compares each
+/// report against `golden_dir/<experiment>.json` with the per-KPI relative
+/// tolerances stored in the snapshot. Returns the process exit code: `0`
+/// when at least one report was seen and every one matched.
+pub fn check(input: &mut dyn BufRead, golden_dir: &std::path::Path) -> u8 {
+    let mut reports = 0usize;
+    let mut failures = Vec::new();
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("f2 check: stdin: {e}");
+                return 2;
+            }
+        };
+        let Ok(doc) = Json::parse(&line) else {
+            continue;
+        };
+        if doc.get("experiment").is_none() || doc.get("kpis").is_none() {
+            continue;
+        }
+        let actual = match ExperimentReport::from_json(&doc) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("malformed report line: {e}"));
+                continue;
+            }
+        };
+        reports += 1;
+        let path = golden::snapshot_path(golden_dir, &actual.experiment);
+        match golden::load(&path) {
+            Ok(expected) => {
+                for diff in golden::compare(&expected, &actual) {
+                    failures.push(format!("{}: {diff}", actual.experiment));
+                }
+            }
+            Err(e) => failures.push(format!(
+                "{}: no golden snapshot ({e}); run the golden test with F2_BLESS=1",
+                actual.experiment
+            )),
+        }
+    }
+    if reports == 0 {
+        eprintln!("f2 check: no report lines on stdin; pipe `f2 run <sel> --json` in");
+        return 2;
+    }
+    for f in &failures {
+        eprintln!("f2 check: {f}");
+    }
+    if failures.is_empty() {
+        eprintln!("f2 check: {reports} report(s) matched the golden snapshots");
+        0
+    } else {
+        eprintln!(
+            "f2 check: {} failure(s) across {reports} report(s)",
+            failures.len()
+        );
+        1
+    }
+}
+
+/// Full CLI entry point used by `src/bin/f2.rs`.
+pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
+    match parse_args(args) {
+        Ok(Command::List { json }) => {
+            list(registry, json);
+            0
+        }
+        Ok(Command::Run(opts)) => run(registry, &opts),
+        Ok(Command::Check { golden_dir }) => {
+            let stdin = std::io::stdin();
+            let mut lock = stdin.lock();
+            check(&mut lock, &golden_dir)
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+    }
+}
+
+/// Entry point for the legacy one-experiment wrapper binaries: runs `name`
+/// at full fidelity with default seed/threads, honouring the deprecated
+/// `F2_BENCH_JSON` alias.
+pub fn forward(registry: &Registry, name: &str) -> u8 {
+    eprintln!("note: this binary is a thin wrapper; prefer `f2 run {name}`");
+    run(
+        registry,
+        &RunOptions {
+            selector: name.to_string(),
+            ..RunOptions::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let Command::Run(opts) = parse_args(&args(&[
+            "run",
+            "imc",
+            "--quick",
+            "--json",
+            "--threads",
+            "3",
+            "--seed",
+            "7",
+        ]))
+        .expect("parses") else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.selector, "imc");
+        assert!(opts.quick && opts.json);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["run"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_list_and_check() {
+        assert!(matches!(
+            parse_args(&args(&["list", "--json"])),
+            Ok(Command::List { json: true })
+        ));
+        let Command::Check { golden_dir } =
+            parse_args(&args(&["check", "--golden", "/tmp/g"])).expect("parses")
+        else {
+            panic!("expected check");
+        };
+        assert_eq!(golden_dir, PathBuf::from("/tmp/g"));
+    }
+
+    #[test]
+    fn check_ignores_non_report_lines_and_flags_missing_snapshots() {
+        let dir = std::env::temp_dir().join("f2-check-test-missing");
+        let input = b"plain text\n{\"label\":\"x\",\"data\":1}\n\
+            {\"experiment\":\"ghost\",\"kpis\":[]}\n";
+        let code = check(&mut &input[..], &dir);
+        assert_eq!(code, 1, "missing snapshot must fail the check");
+    }
+
+    #[test]
+    fn check_requires_at_least_one_report() {
+        let dir = std::env::temp_dir().join("f2-check-test-empty");
+        let code = check(&mut &b"no json here\n"[..], &dir);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn check_passes_against_a_matching_snapshot() {
+        use f2_core::experiment::{Kpi, DEFAULT_KPI_TOL};
+        let dir = std::env::temp_dir().join("f2-check-test-match");
+        let report = ExperimentReport {
+            experiment: "demo".to_string(),
+            kpis: vec![Kpi {
+                name: "x".to_string(),
+                value: 2.0,
+                tol: DEFAULT_KPI_TOL,
+            }],
+        };
+        golden::save(&golden::snapshot_path(&dir, "demo"), &report).expect("writable tmp");
+        let line = format!("{}\n", report.to_json());
+        let code = check(&mut line.as_bytes(), &dir);
+        assert_eq!(code, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Golden-KPI regression snapshots.
+//!
+//! Every experiment's quick-mode KPI report is pinned in a snapshot file
+//! (`tests/golden/<name>.json` at the workspace root). The comparator diffs
+//! a freshly produced [`ExperimentReport`] against its snapshot with a
+//! per-KPI relative tolerance, so any future change that shifts a reproduced
+//! number fails loudly — in `cargo test` (`tests/golden_kpis.rs`) and in CI
+//! (`f2 run all --quick --json | f2 check`).
+//!
+//! Refresh workflow after an intentional model change:
+//! `F2_BLESS=1 cargo test --test golden_kpis`, then review the snapshot
+//! diff like any other code change.
+
+use super::ExperimentReport;
+use crate::json::{Json, ToJson};
+use std::path::{Path, PathBuf};
+
+/// Environment variable that switches the snapshot test from *compare* to
+/// *rewrite* mode. `"0"` / `"false"` / empty count as unset.
+pub const BLESS_ENV: &str = "F2_BLESS";
+
+/// True when the current process was asked to rewrite snapshots.
+pub fn bless_requested() -> bool {
+    std::env::var(BLESS_ENV).is_ok_and(|v| env_flag_enabled(&v))
+}
+
+/// Shared truthiness rule for the workspace's boolean env vars: unset, empty,
+/// `"0"` and `"false"` (any case) are off; everything else is on.
+pub fn env_flag_enabled(value: &str) -> bool {
+    let v = value.trim();
+    !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
+/// Path of the snapshot file for `experiment` inside `dir`.
+pub fn snapshot_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("{experiment}.json"))
+}
+
+/// Loads and parses one snapshot file.
+///
+/// # Errors
+///
+/// Returns a human-readable description on I/O or parse failure.
+pub fn load(path: &Path) -> Result<ExperimentReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+    let doc =
+        Json::parse(&text).map_err(|e| format!("malformed snapshot {}: {e}", path.display()))?;
+    ExperimentReport::from_json(&doc)
+        .map_err(|e| format!("invalid snapshot {}: {e}", path.display()))
+}
+
+/// Writes `report` as a pretty-printed snapshot (one KPI per line, so
+/// snapshot diffs in review stay readable).
+///
+/// # Errors
+///
+/// Returns a human-readable description on I/O failure.
+pub fn save(path: &Path, report: &ExperimentReport) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let mut text = encode_pretty(&report.to_json());
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Pretty-prints a JSON document with two-space indentation.
+pub fn encode_pretty(doc: &Json) -> String {
+    let mut out = String::new();
+    write_pretty(doc, 0, &mut out);
+    out
+}
+
+fn write_pretty(doc: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    match doc {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in members.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&Json::Str(key.clone()).encode());
+                out.push_str(": ");
+                write_pretty(value, indent + 1, out);
+                out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.encode()),
+    }
+}
+
+/// Diffs `actual` against the `expected` snapshot. Returns one message per
+/// mismatch; an empty vector means the reports agree.
+///
+/// A KPI matches when `|actual - expected| <= tol * max(1, |expected|)` with
+/// the *snapshot's* tolerance — relative for large magnitudes, absolute near
+/// zero. Missing and unexpected KPIs are mismatches: the KPI set itself is
+/// part of the pinned surface.
+pub fn compare(expected: &ExperimentReport, actual: &ExperimentReport) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.experiment != actual.experiment {
+        diffs.push(format!(
+            "experiment name mismatch: snapshot `{}` vs actual `{}`",
+            expected.experiment, actual.experiment
+        ));
+    }
+    for want in &expected.kpis {
+        match actual.kpis.iter().find(|k| k.name == want.name) {
+            None => diffs.push(format!("KPI `{}` missing from the run", want.name)),
+            Some(got) => {
+                let bound = want.tol * want.value.abs().max(1.0);
+                let dev = (got.value - want.value).abs();
+                if dev > bound {
+                    diffs.push(format!(
+                        "KPI `{}`: expected {} ± {:.3e}, got {} (deviation {:.3e})",
+                        want.name, want.value, bound, got.value, dev
+                    ));
+                }
+            }
+        }
+    }
+    for got in &actual.kpis {
+        if !expected.kpis.iter().any(|k| k.name == got.name) {
+            diffs.push(format!("unexpected new KPI `{}` = {}", got.name, got.value));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Kpi;
+
+    fn report(kpis: &[(&str, f64, f64)]) -> ExperimentReport {
+        ExperimentReport {
+            experiment: "t".to_string(),
+            kpis: kpis
+                .iter()
+                .map(|&(name, value, tol)| Kpi {
+                    name: name.to_string(),
+                    value,
+                    tol,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_match() {
+        let r = report(&[("a", 1.0, 1e-6), ("b", -2.5, 1e-6)]);
+        assert!(compare(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn deviation_beyond_tolerance_is_flagged() {
+        let want = report(&[("a", 100.0, 1e-3)]);
+        let within = report(&[("a", 100.05, 1e-3)]);
+        let beyond = report(&[("a", 100.2, 1e-3)]);
+        assert!(compare(&want, &within).is_empty());
+        let diffs = compare(&want, &beyond);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("KPI `a`"));
+    }
+
+    #[test]
+    fn near_zero_uses_absolute_tolerance() {
+        let want = report(&[("z", 0.0, 1e-6)]);
+        assert!(compare(&want, &report(&[("z", 5e-7, 1e-6)])).is_empty());
+        assert!(!compare(&want, &report(&[("z", 5e-6, 1e-6)])).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_kpis_are_flagged() {
+        let want = report(&[("a", 1.0, 1e-6)]);
+        let got = report(&[("b", 1.0, 1e-6)]);
+        let diffs = compare(&want, &got);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs[0].contains("missing"));
+        assert!(diffs[1].contains("unexpected"));
+    }
+
+    #[test]
+    fn env_flag_truthiness() {
+        for off in ["", "0", "false", "FALSE", " 0 "] {
+            assert!(!env_flag_enabled(off), "{off:?} must be off");
+        }
+        for on in ["1", "true", "yes", "2"] {
+            assert!(env_flag_enabled(on), "{on:?} must be on");
+        }
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let r = report(&[("a", 1.5, 1e-6)]);
+        let pretty = encode_pretty(&r.to_json());
+        assert!(pretty.contains("\n  \"kpis\": ["));
+        let doc = Json::parse(&pretty).expect("pretty output parses");
+        assert_eq!(ExperimentReport::from_json(&doc).expect("valid"), r);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("f2-golden-test");
+        let r = report(&[("a", 1.25, 1e-6), ("b", 3.0, 1e-3)]);
+        let path = snapshot_path(&dir, "t");
+        save(&path, &r).expect("writable");
+        assert_eq!(load(&path).expect("readable"), r);
+        std::fs::remove_file(&path).ok();
+    }
+}

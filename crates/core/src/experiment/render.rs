@@ -1,0 +1,104 @@
+//! Text rendering for experiment output: section headings, aligned ASCII
+//! tables and float formatting.
+//!
+//! This is the single home of the helpers that used to be copy-pasted into
+//! `f2-bench`; the [`ExperimentCtx`](super::ExperimentCtx) sink methods
+//! render through the `*_string` variants so output can be printed live or
+//! buffered for tests.
+
+use std::fmt::Display;
+
+/// Formats a float with the given precision (table-cell helper).
+pub fn fmt(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+/// Renders a section heading (leading blank line included).
+pub fn section_heading(title: &str) -> String {
+    format!("\n=== {title} ===")
+}
+
+/// Prints a section heading to stdout.
+pub fn section(title: &str) {
+    println!("{}", section_heading(title));
+}
+
+/// Renders an aligned ASCII table with a header underline; every line is
+/// newline-terminated.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn table_string<S: Display>(headers: &[&str], rows: &[Vec<S>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), headers.len(), "row arity mismatch");
+            r.iter().map(|c| c.to_string()).collect()
+        })
+        .collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cols: &[String], out: &mut String| {
+        let mut text = String::new();
+        for (w, c) in widths.iter().zip(cols) {
+            text.push_str(&format!("{c:<w$}  "));
+        }
+        out.push_str(text.trim_end());
+        out.push('\n');
+    };
+    line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in &cells {
+        line(row, &mut out);
+    }
+    out
+}
+
+/// Prints an aligned ASCII table to stdout.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn print_table<S: Display>(headers: &[&str], rows: &[Vec<S>]) {
+    print!("{}", table_string(headers, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(4.23456, 2), "4.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let text = table_string(&["a", "bb"], &[vec!["123".to_string(), "4".to_string()]]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a    bb");
+        assert_eq!(lines[2], "123  4");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        table_string(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn section_has_heading_markers() {
+        assert_eq!(section_heading("x"), "\n=== x ===");
+    }
+}

@@ -30,6 +30,7 @@ pub mod bf16;
 pub mod energy;
 pub mod error;
 pub mod exec;
+pub mod experiment;
 pub mod fixed;
 pub mod json;
 pub mod kpi;

@@ -2,7 +2,7 @@
 
 use f2_core::bf16::Bf16;
 use f2_core::fixed::QFormat;
-use f2_core::pareto::{dominates, Direction, ParetoFront};
+use f2_core::pareto::{dominates, DesignSpace, Direction, ParetoFront};
 use f2_core::ptest::assume;
 use f2_core::roofline::Roofline;
 use f2_core::tensor::Matrix;
@@ -136,4 +136,41 @@ f2_core::ptest! {
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(pr.iter().all(|&r| r >= 0.0));
     }
+
+    /// A parallel DSE sweep is identical to the sequential one — same
+    /// points, objectives and Pareto frontier — at any worker count.
+    fn pareto_sweep_parallel_matches_sequential(g) {
+        let xs = g.vec(1..6, |g| g.f64_in(0.0, 10.0));
+        let ys = g.vec(1..6, |g| g.f64_in(0.0, 10.0));
+        let threads = g.usize_in(1..9);
+        let space = DesignSpace::new()
+            .axis("x", xs)
+            .axis("y", ys);
+        let dirs = [Direction::Minimize, Direction::Maximize];
+        let eval = |p: &f2_core::pareto::ParamPoint| {
+            let x = p["x"];
+            let y = p["y"];
+            vec![x * x + y, x - y * y]
+        };
+        let sequential = space.sweep(&dirs, eval);
+        let parallel = space.sweep_parallel(&dirs, threads, eval);
+        assert_eq!(sequential, parallel);
+    }
+}
+
+/// A panicking evaluator must bring down `sweep_parallel`, not produce a
+/// truncated sweep (mirrors the `exec` panic-propagation guarantee).
+#[test]
+fn pareto_sweep_parallel_propagates_panics() {
+    let space = DesignSpace::new().axis("x", (0..16).map(f64::from));
+    let result = std::panic::catch_unwind(|| {
+        space.sweep_parallel(&[Direction::Minimize], 4, |p| {
+            assert!(p["x"] < 10.0, "synthetic evaluator failure");
+            vec![p["x"]]
+        })
+    });
+    assert!(
+        result.is_err(),
+        "evaluator panic must propagate to the caller"
+    );
 }

@@ -35,6 +35,7 @@ pub mod cluster;
 pub mod codec;
 pub mod constraints;
 pub mod error;
+pub mod experiments;
 pub mod levenshtein;
 pub mod pipeline;
 pub mod sequence;

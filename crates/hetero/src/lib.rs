@@ -29,6 +29,7 @@
 pub mod campaign;
 pub mod device;
 pub mod error;
+pub mod experiments;
 pub mod pipeline;
 pub mod storage;
 

@@ -47,6 +47,7 @@
 pub mod binding;
 pub mod dse;
 pub mod error;
+pub mod experiments;
 pub mod fpga;
 pub mod interface;
 pub mod ir;

@@ -38,6 +38,7 @@ pub mod device;
 pub mod dimc;
 pub mod error;
 pub mod eval;
+pub mod experiments;
 pub mod program;
 pub mod slicing;
 pub mod tile;

@@ -37,6 +37,7 @@
 pub mod cluster;
 pub mod cpu;
 pub mod error;
+pub mod experiments;
 pub mod fabric;
 pub mod isa;
 pub mod memory;

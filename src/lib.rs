@@ -24,6 +24,9 @@
 //! assert!((eff.value() - 1500.0).abs() < 1e-9);
 //! ```
 
+pub mod experiments;
+pub mod kernels;
+
 pub use f2_approx as approx;
 pub use f2_core as core;
 pub use f2_dna as dna;
