@@ -25,5 +25,12 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 F2="./target/release/f2"
 run bash -c "$F2 run all --quick --json | $F2 check"
 
+# Observability smoke: a traced quick run must produce a well-formed
+# Chrome trace with one span per registered experiment and per-worker
+# executor spans (--threads 2 guarantees the parallel path is exercised).
+TRACE=/tmp/f2-trace.json
+run bash -c "$F2 run all --quick --threads 2 --trace $TRACE > /dev/null"
+run "$F2" check-trace "$TRACE" --require-experiments --require-workers
+
 echo
 echo "CI OK"

@@ -167,9 +167,18 @@ impl Experiment for HtconvQuality {
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        self.layer_quality(ctx);
-        self.model_level(ctx);
-        self.end_to_end_inference(ctx);
+        {
+            let _phase = ctx.span("htconv:layer_quality");
+            self.layer_quality(ctx);
+        }
+        {
+            let _phase = ctx.span("htconv:model_level");
+            self.model_level(ctx);
+        }
+        {
+            let _phase = ctx.span("htconv:end_to_end");
+            self.end_to_end_inference(ctx);
+        }
         Ok(ctx.report(self.name()))
     }
 }
@@ -197,6 +206,7 @@ impl Experiment for Table1Fpga {
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         ctx.section("Table I — comparison to FPGA-based SotA super-resolution");
+        let _phase = ctx.span("table1:assemble");
         let all_rows = table1_rows();
         let rows: Vec<Vec<String>> = all_rows
             .iter()

@@ -10,13 +10,19 @@
 //!
 //! `run` flags: `--quick` (reduced problem sizes, the fidelity the golden
 //! snapshots pin), `--json` (machine-readable lines instead of tables),
-//! `--threads N`, `--seed N`. The deprecated `F2_BENCH_JSON` environment
-//! alias still switches `--json` on.
+//! `--threads N`, `--seed N`, `--trace <out.json>` (Chrome/Perfetto trace
+//! of the run) and `--metrics` (trace summary appended to the output). The
+//! deprecated `F2_BENCH_JSON` environment alias still switches `--json`
+//! on, and `F2_TRACE` switches `--trace` on (`F2_TRACE=1` writes
+//! `f2-trace.json`, any other truthy value is used as the output path).
 //!
-//! `check` closes the CI loop as a plain UNIX pipe:
+//! `check` closes the CI loop as a plain UNIX pipe, and `check-trace`
+//! validates a trace file the same way CI does:
 //!
 //! ```text
 //! f2 run all --quick --json | f2 check
+//! f2 run all --quick --trace /tmp/trace.json
+//! f2 check-trace /tmp/trace.json --require-experiments
 //! ```
 
 use std::io::BufRead;
@@ -24,6 +30,25 @@ use std::path::PathBuf;
 
 use f2_core::experiment::{golden, ExperimentCtx, ExperimentReport, Registry};
 use f2_core::json::{Json, ToJson};
+
+/// Environment variable enabling `--trace` without a flag: truthy values
+/// switch tracing on; anything that is not `1`/`true` is the output path.
+pub const TRACE_ENV: &str = "F2_TRACE";
+
+/// Resolves [`TRACE_ENV`] to a trace output path, honouring the workspace
+/// truthiness rule (empty, `0` and `false` mean off).
+fn trace_env_path() -> Option<PathBuf> {
+    let raw = std::env::var(TRACE_ENV).ok()?;
+    if !golden::env_flag_enabled(&raw) {
+        return None;
+    }
+    let trimmed = raw.trim();
+    if trimmed.eq_ignore_ascii_case("1") || trimmed.eq_ignore_ascii_case("true") {
+        Some(PathBuf::from("f2-trace.json"))
+    } else {
+        Some(PathBuf::from(trimmed))
+    }
+}
 
 /// Options of the `run` subcommand.
 pub struct RunOptions {
@@ -37,6 +62,10 @@ pub struct RunOptions {
     pub threads: usize,
     /// Root seed for all experiment randomness.
     pub seed: u64,
+    /// Write a Chrome trace-event JSON of the run to this path.
+    pub trace: Option<PathBuf>,
+    /// Append the human-readable trace summary to the run output.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -47,6 +76,8 @@ impl Default for RunOptions {
             json: crate::json_env_enabled(),
             threads: f2_core::exec::num_threads(),
             seed: f2_core::rng::DEFAULT_SEED,
+            trace: trace_env_path(),
+            metrics: false,
         }
     }
 }
@@ -64,6 +95,15 @@ pub enum Command {
     Check {
         /// Snapshot directory (defaults to the repo's `tests/golden`).
         golden_dir: PathBuf,
+    },
+    /// `f2 check-trace <file> [--require-experiments] [--require-workers]`
+    CheckTrace {
+        /// Trace file written by `run --trace`.
+        path: PathBuf,
+        /// Demand one `experiment:<name>` span per registered experiment.
+        require_experiments: bool,
+        /// Demand per-worker executor spans (`exec:worker`).
+        require_workers: bool,
     },
 }
 
@@ -83,8 +123,15 @@ Commands:
       --json                         machine-readable JSON lines
       --threads <N>                  worker threads for sweeps
       --seed <N>                     root seed (default 0xF1A65817)
+      --trace <out.json>             write a Chrome/Perfetto trace of the run
+                                     (or set F2_TRACE=<path>)
+      --metrics                      append the trace summary (hot spans,
+                                     counters, quantiles) to the output
   check [--golden <dir>]             verify `run --json` lines piped on stdin
                                      against the golden KPI snapshots
+  check-trace <file> [flags]         validate a trace written by `run --trace`
+      --require-experiments          demand one span per registered experiment
+      --require-workers              demand per-worker executor spans
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -125,6 +172,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--seed needs a value")?;
                         opts.seed = v.parse::<u64>().map_err(|_| format!("invalid seed {v}"))?;
                     }
+                    "--trace" => {
+                        opts.trace = Some(PathBuf::from(
+                            it.next().ok_or("--trace needs an output path")?,
+                        ));
+                    }
+                    "--metrics" => opts.metrics = true,
                     flag if flag.starts_with('-') => {
                         return Err(format!("unknown `run` flag {flag}"));
                     }
@@ -149,6 +202,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Check { golden_dir })
+        }
+        "check-trace" => {
+            let mut path = None;
+            let mut require_experiments = false;
+            let mut require_workers = false;
+            for a in it {
+                match a.as_str() {
+                    "--require-experiments" => require_experiments = true,
+                    "--require-workers" => require_workers = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown `check-trace` flag {flag}"));
+                    }
+                    file => {
+                        if path.replace(PathBuf::from(file)).is_some() {
+                            return Err("multiple trace files; pass exactly one".into());
+                        }
+                    }
+                }
+            }
+            Ok(Command::CheckTrace {
+                path: path.ok_or("missing trace file: pass the `run --trace` output")?,
+                require_experiments,
+                require_workers,
+            })
         }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
@@ -196,6 +273,12 @@ pub fn list(registry: &Registry, json: bool) {
 /// In `--json` mode each experiment contributes its structured records
 /// (`{"label": ..., "data": ...}` lines, the old `F2_BENCH_JSON` format)
 /// followed by one report line (`{"experiment": ..., "kpis": [...]}`).
+///
+/// With `--trace`/`--metrics` a [`f2_core::trace`] session wraps the whole
+/// run: each experiment gets an `experiment:<name>` span (sections and
+/// executor workers nest underneath), the Chrome trace goes to the
+/// `--trace` path, and `--metrics` appends the summary — to stdout in
+/// human mode, to stderr in `--json` mode so report pipes stay clean.
 pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
     let selected = match registry.select(&opts.selector) {
         Ok(s) => s,
@@ -206,8 +289,10 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
             return 2;
         }
     };
+    let session = (opts.trace.is_some() || opts.metrics).then(f2_core::trace::session);
     let mut failures = 0;
     for exp in selected {
+        let _span = f2_core::trace::span(&format!("experiment:{}", exp.name()));
         let mut ctx = if opts.json {
             ExperimentCtx::quiet(opts.seed, opts.quick, opts.threads)
         } else {
@@ -233,7 +318,110 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
             }
         }
     }
+    if let Some(session) = session {
+        let trace_report = session.finish();
+        if opts.metrics {
+            let summary = trace_report.summary();
+            if opts.json {
+                eprintln!("{summary}");
+            } else {
+                println!("{summary}");
+            }
+        }
+        if let Some(path) = &opts.trace {
+            match std::fs::write(path, trace_report.to_chrome_json().encode()) {
+                Ok(()) => eprintln!(
+                    "f2 run: wrote {} span(s) to {} (open in Perfetto or chrome://tracing)",
+                    trace_report.spans.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("f2 run: cannot write trace to {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
     u8::from(failures > 0)
+}
+
+/// Validates a Chrome trace-event file written by `run --trace`: the JSON
+/// must parse, `traceEvents` must contain at least one complete
+/// (`"ph":"X"`) span, and every span must carry `name`/`ts`/`dur`/`tid`.
+/// `require_experiments` additionally demands one `experiment:<name>` span
+/// per registry entry; `require_workers` demands `exec:worker` spans.
+/// Returns the process exit code (0 valid, 1 invalid, 2 unreadable).
+pub fn check_trace(
+    registry: &Registry,
+    path: &std::path::Path,
+    require_experiments: bool,
+    require_workers: bool,
+) -> u8 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("f2 check-trace: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("f2 check-trace: {}: malformed JSON: {e}", path.display());
+            return 1;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_array) else {
+        eprintln!(
+            "f2 check-trace: {}: missing `traceEvents` array",
+            path.display()
+        );
+        return 1;
+    };
+    let mut failures = Vec::new();
+    let mut span_names = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let name = event.get("name").and_then(Json::as_str);
+        let well_formed = name.is_some()
+            && event.get("ts").and_then(Json::as_f64).is_some()
+            && event.get("dur").and_then(Json::as_f64).is_some()
+            && event.get("tid").and_then(Json::as_f64).is_some();
+        match name {
+            Some(n) if well_formed => span_names.push(n.to_string()),
+            _ => failures.push(format!("event {i}: span event missing name/ts/dur/tid")),
+        }
+    }
+    if span_names.is_empty() {
+        failures.push("no complete (\"ph\":\"X\") span events".to_string());
+    }
+    if require_experiments {
+        for exp in registry.entries() {
+            let want = format!("experiment:{}", exp.name());
+            if !span_names.iter().any(|n| n == &want) {
+                failures.push(format!("missing span `{want}`"));
+            }
+        }
+    }
+    if require_workers && !span_names.iter().any(|n| n == "exec:worker") {
+        failures.push("missing per-worker executor spans (`exec:worker`)".to_string());
+    }
+    for f in &failures {
+        eprintln!("f2 check-trace: {}: {f}", path.display());
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "f2 check-trace: {}: {} span(s) across {} event(s), well-formed",
+            path.display(),
+            span_names.len(),
+            events.len()
+        );
+        0
+    } else {
+        1
+    }
 }
 
 /// Verifies `run --json` report lines against the golden snapshots.
@@ -313,6 +501,11 @@ pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
             let mut lock = stdin.lock();
             check(&mut lock, &golden_dir)
         }
+        Ok(Command::CheckTrace {
+            path,
+            require_experiments,
+            require_workers,
+        }) => check_trace(registry, &path, require_experiments, require_workers),
         Err(msg) => {
             eprintln!("{msg}");
             2
@@ -337,6 +530,7 @@ pub fn forward(registry: &Registry, name: &str) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use f2_core::experiment::Experiment;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -353,14 +547,18 @@ mod tests {
             "3",
             "--seed",
             "7",
+            "--trace",
+            "/tmp/t.json",
+            "--metrics",
         ]))
         .expect("parses") else {
             panic!("expected run");
         };
         assert_eq!(opts.selector, "imc");
-        assert!(opts.quick && opts.json);
+        assert!(opts.quick && opts.json && opts.metrics);
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.json")));
     }
 
     #[test]
@@ -368,8 +566,32 @@ mod tests {
         assert!(parse_args(&args(&["run"])).is_err());
         assert!(parse_args(&args(&["run", "a", "b"])).is_err());
         assert!(parse_args(&args(&["run", "a", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "--trace"])).is_err());
+        assert!(parse_args(&args(&["check-trace"])).is_err());
+        assert!(parse_args(&args(&["check-trace", "a.json", "b.json"])).is_err());
+        assert!(parse_args(&args(&["check-trace", "a.json", "--nope"])).is_err());
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_check_trace() {
+        let Command::CheckTrace {
+            path,
+            require_experiments,
+            require_workers,
+        } = parse_args(&args(&[
+            "check-trace",
+            "/tmp/t.json",
+            "--require-experiments",
+        ]))
+        .expect("parses")
+        else {
+            panic!("expected check-trace");
+        };
+        assert_eq!(path, PathBuf::from("/tmp/t.json"));
+        assert!(require_experiments);
+        assert!(!require_workers);
     }
 
     #[test]
@@ -400,6 +622,105 @@ mod tests {
         let dir = std::env::temp_dir().join("f2-check-test-empty");
         let code = check(&mut &b"no json here\n"[..], &dir);
         assert_eq!(code, 2);
+    }
+
+    /// Minimal experiment exercising sections and a parallel sweep, so a
+    /// traced run produces section and `exec:worker` spans.
+    struct TracedDemo;
+
+    impl Experiment for TracedDemo {
+        fn name(&self) -> &'static str {
+            "traced_demo"
+        }
+        fn summary(&self) -> &'static str {
+            "runner trace test fixture"
+        }
+        fn tags(&self) -> &'static [&'static str] {
+            &["demo"]
+        }
+        fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
+            ctx.section("sweep");
+            let items: Vec<u64> = (0..16).collect();
+            let out = ctx.exec(&items, |&x| x * x);
+            ctx.counter_add("demo.points", out.len() as u64);
+            ctx.kpi("sum", out.iter().sum::<u64>() as f64);
+            Ok(ctx.report(self.name()))
+        }
+    }
+
+    #[test]
+    fn run_writes_a_validatable_trace() {
+        let mut registry = Registry::new();
+        registry.register(Box::new(TracedDemo));
+        let path = std::env::temp_dir().join("f2-runner-trace-test.json");
+        let opts = RunOptions {
+            selector: "all".to_string(),
+            quick: true,
+            json: true,
+            threads: 2,
+            seed: 1,
+            trace: Some(path.clone()),
+            metrics: false,
+        };
+        assert_eq!(run(&registry, &opts), 0);
+        // The CI validation path accepts it, including the strict flags.
+        assert_eq!(check_trace(&registry, &path, true, true), 0);
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let doc = Json::parse(&text).expect("well-formed");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"experiment:traced_demo"));
+        assert!(names.contains(&"section:sweep"));
+        assert!(names.contains(&"exec:worker"));
+        // The ctx counter made it into the exported counter events.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("demo.points")
+        }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_trace_rejects_missing_malformed_and_empty() {
+        let registry = Registry::new();
+        let dir = std::env::temp_dir();
+        let missing = dir.join("f2-check-trace-missing.json");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(check_trace(&registry, &missing, false, false), 2);
+        let bad = dir.join("f2-check-trace-bad.json");
+        std::fs::write(&bad, "{not json").expect("writable tmp");
+        assert_eq!(check_trace(&registry, &bad, false, false), 1);
+        let empty = dir.join("f2-check-trace-empty.json");
+        std::fs::write(&empty, "{\"traceEvents\":[]}").expect("writable tmp");
+        assert_eq!(check_trace(&registry, &empty, false, false), 1);
+        let _ = std::fs::remove_file(&bad);
+        let _ = std::fs::remove_file(&empty);
+    }
+
+    #[test]
+    fn check_trace_enforces_required_spans() {
+        let mut registry = Registry::new();
+        registry.register(Box::new(TracedDemo));
+        let path = std::env::temp_dir().join("f2-check-trace-partial.json");
+        // A well-formed trace with one unrelated span: fine standalone,
+        // rejected under either strict flag.
+        std::fs::write(
+            &path,
+            "{\"traceEvents\":[{\"name\":\"other\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1}]}",
+        )
+        .expect("writable tmp");
+        assert_eq!(check_trace(&registry, &path, false, false), 0);
+        assert_eq!(check_trace(&registry, &path, true, false), 1);
+        assert_eq!(check_trace(&registry, &path, false, true), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -19,20 +19,60 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use crate::trace;
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "F2_THREADS";
 
+/// How an `F2_THREADS` override string parsed. Split out of
+/// [`num_threads`] so every parse path is unit-testable without touching
+/// the process environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsOverride {
+    /// Variable unset (or blank): use the machine default.
+    Unset,
+    /// A positive integer override.
+    Threads(usize),
+    /// Set but not a positive integer; carries the raw value for the
+    /// warning.
+    Invalid(String),
+}
+
+/// Parses the raw value of [`THREADS_ENV`] (pass `None` when unset).
+pub fn parse_threads_override(value: Option<&str>) -> ThreadsOverride {
+    let Some(raw) = value else {
+        return ThreadsOverride::Unset;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return ThreadsOverride::Unset;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => ThreadsOverride::Threads(n),
+        _ => ThreadsOverride::Invalid(raw.to_string()),
+    }
+}
+
 /// Resolves the default worker count: `F2_THREADS` if set and positive,
-/// otherwise the machine's available parallelism (at least 1).
+/// otherwise the machine's available parallelism (at least 1). An invalid
+/// override (`F2_THREADS=abc`, `=0`, `=-3`) is reported once on stderr and
+/// ignored rather than silently swallowed.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    let machine_default = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match parse_threads_override(std::env::var(THREADS_ENV).ok().as_deref()) {
+        ThreadsOverride::Threads(n) => n,
+        ThreadsOverride::Unset => machine_default(),
+        ThreadsOverride::Invalid(raw) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid {THREADS_ENV}={raw:?} \
+                     (expected a positive integer); using the machine default"
+                );
+            });
+            machine_default()
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Maps `f` over `items` on the default worker count. See
@@ -58,6 +98,12 @@ pub fn par_for<T: Sync>(items: &[T], f: impl Fn(&T) + Sync) {
 /// A panic in any worker propagates to the caller after all workers have
 /// been joined (the guarantee `std::thread::scope` provides).
 ///
+/// When a [`trace`] session is live on the calling thread, each worker
+/// records an `exec:worker` span plus an `exec.worker_ms` histogram sample,
+/// and the call sets an `exec.chunk_imbalance` gauge
+/// (`(max - min) / max` over per-worker wall-clock) — the static-chunking
+/// balance signal. None of this runs when tracing is off.
+///
 /// # Panics
 ///
 /// Panics if `threads` is zero, or re-raises the first worker panic.
@@ -68,21 +114,55 @@ pub fn par_map_threads<T: Sync, R: Send>(
 ) -> Vec<R> {
     assert!(threads > 0, "need at least one worker thread");
     if threads == 1 || items.len() <= 1 {
+        let _span = trace::span("exec:inline");
         return items.iter().map(f).collect();
     }
+    let tracing = trace::active();
+    if tracing {
+        trace::counter("exec.par_map.calls", 1);
+        trace::counter("exec.par_map.items", items.len() as u64);
+    }
+    let handoff = trace::handoff();
     let chunk = items.len().div_ceil(threads);
+    let workers = items.len().div_ceil(chunk);
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
+    let mut worker_secs = vec![0.0f64; workers];
     std::thread::scope(|scope| {
-        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+        for ((item_chunk, out_chunk), secs) in items
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(worker_secs.iter_mut())
+        {
             let f = &f;
+            let handoff = handoff.clone();
             scope.spawn(move || {
-                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
+                let attachment = handoff.attach();
+                let timer = attachment.as_ref().map(|_| std::time::Instant::now());
+                {
+                    let _span = trace::span("exec:worker");
+                    for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
                 }
+                if let Some(t) = timer {
+                    *secs = t.elapsed().as_secs_f64();
+                }
+                // `attachment` drops here, merging this worker's records
+                // into the session before the scope observes completion.
             });
         }
     });
+    if tracing {
+        let max = worker_secs.iter().copied().fold(0.0f64, f64::max);
+        let min = worker_secs.iter().copied().fold(f64::INFINITY, f64::min);
+        if max > 0.0 {
+            trace::gauge("exec.chunk_imbalance", (max - min) / max);
+        }
+        for secs in &worker_secs {
+            trace::observe("exec.worker_ms", secs * 1e3);
+        }
+    }
     out.into_iter()
         .map(|slot| slot.expect("every slot written by its worker"))
         .collect()
@@ -151,5 +231,50 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_override_parse_paths() {
+        use ThreadsOverride::*;
+        // Unset or blank: machine default.
+        assert_eq!(parse_threads_override(None), Unset);
+        assert_eq!(parse_threads_override(Some("")), Unset);
+        assert_eq!(parse_threads_override(Some("   ")), Unset);
+        // Valid positive integers (whitespace tolerated).
+        assert_eq!(parse_threads_override(Some("1")), Threads(1));
+        assert_eq!(parse_threads_override(Some(" 8 ")), Threads(8));
+        assert_eq!(parse_threads_override(Some("128")), Threads(128));
+        // Invalid values are reported, not silently ignored.
+        assert_eq!(parse_threads_override(Some("abc")), Invalid("abc".into()));
+        assert_eq!(parse_threads_override(Some("0")), Invalid("0".into()));
+        assert_eq!(parse_threads_override(Some("-3")), Invalid("-3".into()));
+        assert_eq!(parse_threads_override(Some("2.5")), Invalid("2.5".into()));
+        assert_eq!(parse_threads_override(Some(" 4x ")), Invalid(" 4x ".into()));
+    }
+
+    #[test]
+    fn par_map_emits_worker_spans_and_balance_metrics() {
+        let session = trace::session();
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_threads(4, &items, |&x| x + 1);
+        assert_eq!(out.len(), 64);
+        let report = session.finish();
+        assert_eq!(report.span_count("exec:worker"), 4);
+        assert_eq!(report.counter("exec.par_map.calls"), 1);
+        assert_eq!(report.counter("exec.par_map.items"), 64);
+        let imbalance = report.gauge("exec.chunk_imbalance").expect("gauge set");
+        assert!((0.0..=1.0).contains(&imbalance));
+        assert_eq!(report.histogram("exec.worker_ms").expect("hist").count, 4);
+    }
+
+    #[test]
+    fn par_map_inline_path_is_traced_without_workers() {
+        let session = trace::session();
+        let out = par_map_threads(1, &[1u64, 2, 3], |&x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        let report = session.finish();
+        assert_eq!(report.span_count("exec:inline"), 1);
+        assert_eq!(report.span_count("exec:worker"), 0);
+        assert_eq!(report.counter("exec.par_map.calls"), 0);
     }
 }

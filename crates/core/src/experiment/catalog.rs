@@ -42,6 +42,7 @@ impl Experiment for Fig1Landscape {
 
     fn run(&self, ctx: &mut ExperimentCtx) -> Result<ExperimentReport> {
         ctx.section("Fig. 1 — AI accelerator landscape (peak throughput vs efficiency)");
+        let _phase = ctx.span("catalog:fig1_landscape");
         let catalog = fig1_catalog();
         let rows: Vec<Vec<String>> = catalog
             .iter()
@@ -94,6 +95,7 @@ impl Experiment for Fig7RiscvSota {
 
     fn run(&self, ctx: &mut ExperimentCtx) -> Result<ExperimentReport> {
         ctx.section("Fig. 7 — RISC-V DNN/transformer accelerators");
+        let _phase = ctx.span("catalog:fig7_riscv_sota");
         let catalog = riscv_sota_catalog();
         let rows: Vec<Vec<String>> = catalog
             .iter()

@@ -142,6 +142,9 @@ pub struct ExperimentCtx {
     output: Output,
     kpis: Vec<Kpi>,
     records: Vec<(String, Json)>,
+    /// Open trace span for the current section (auto-closed when the next
+    /// section starts or the report is drained).
+    section_span: Option<crate::trace::SpanGuard>,
 }
 
 impl ExperimentCtx {
@@ -159,6 +162,7 @@ impl ExperimentCtx {
             output: Output::Stdout,
             kpis: Vec::new(),
             records: Vec::new(),
+            section_span: None,
         }
     }
 
@@ -214,10 +218,32 @@ impl ExperimentCtx {
         }
     }
 
-    /// Emits a section heading.
+    /// Emits a section heading. Under a live [`crate::trace`] session the
+    /// section is also wrapped in a `section:<title>` span, closed when the
+    /// next section starts (or at [`ExperimentCtx::report`]).
     pub fn section(&mut self, title: &str) {
+        self.section_span = None; // close the previous section's span first
         let text = render::section_heading(title);
         self.emit(&text);
+        self.section_span = Some(crate::trace::span(&format!("section:{title}")));
+    }
+
+    /// Opens a trace span named `label`; it closes when the returned guard
+    /// drops. A no-op unless a [`crate::trace`] session is live. Use around
+    /// an experiment's dominant phases (sweep, simulate, decode, evaluate).
+    pub fn span(&self, label: &str) -> crate::trace::SpanGuard {
+        crate::trace::span(label)
+    }
+
+    /// Increments the named trace counter by one (no-op when tracing is
+    /// off). See [`ExperimentCtx::counter_add`] for arbitrary deltas.
+    pub fn counter(&self, name: &str) {
+        crate::trace::counter(name, 1);
+    }
+
+    /// Adds `delta` to the named trace counter (no-op when tracing is off).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        crate::trace::counter(name, delta);
     }
 
     /// Emits an aligned ASCII table.
@@ -291,6 +317,7 @@ impl ExperimentCtx {
     /// Drains the collected KPIs into the experiment's report. Call exactly
     /// once, at the end of [`Experiment::run`].
     pub fn report(&mut self, experiment: &str) -> ExperimentReport {
+        self.section_span = None; // close the trailing section's span
         ExperimentReport {
             experiment: experiment.to_string(),
             kpis: std::mem::take(&mut self.kpis),
@@ -525,6 +552,32 @@ mod tests {
             name: "a",
             tags: &[],
         }));
+    }
+
+    #[test]
+    fn ctx_sections_and_spans_are_traced() {
+        let session = crate::trace::session();
+        let mut ctx = ExperimentCtx::quiet(1, true, 1);
+        ctx.section("alpha");
+        {
+            let _inner = ctx.span("inner");
+        }
+        ctx.section("beta"); // closes section:alpha
+        ctx.counter("demo.events");
+        ctx.counter_add("demo.events", 2);
+        let _ = ctx.report("t"); // closes section:beta
+        let report = session.finish();
+        assert_eq!(report.span_count("section:alpha"), 1);
+        assert_eq!(report.span_count("section:beta"), 1);
+        assert_eq!(report.span_count("inner"), 1);
+        assert_eq!(report.counter("demo.events"), 3);
+        let alpha = report
+            .spans
+            .iter()
+            .find(|s| s.name == "section:alpha")
+            .unwrap();
+        let inner = report.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(alpha.id));
     }
 
     #[test]

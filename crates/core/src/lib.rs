@@ -40,6 +40,7 @@ pub mod ptest;
 pub mod rng;
 pub mod roofline;
 pub mod tensor;
+pub mod trace;
 pub mod workload;
 
 pub use error::CoreError;

@@ -203,6 +203,12 @@ impl DesignSpace {
     /// use this for expensive simulations (e.g. cycle-level SPARTA runs per
     /// point).
     ///
+    /// Under a live [`crate::trace`] session this records one
+    /// `pareto.sweep_parallel.calls` increment and one
+    /// `pareto.sweep_parallel.points` increment per evaluated point; the
+    /// per-point counts merge across workers, so the total is independent
+    /// of `threads`.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero or the evaluator returns the wrong arity.
@@ -210,8 +216,12 @@ impl DesignSpace {
     where
         F: Fn(&ParamPoint) -> Vec<f64> + Sync,
     {
+        crate::trace::counter("pareto.sweep_parallel.calls", 1);
         let points: Vec<ParamPoint> = self.iter().collect();
-        let objectives: Vec<Vec<f64>> = crate::exec::par_map_threads(threads, &points, &eval);
+        let objectives: Vec<Vec<f64>> = crate::exec::par_map_threads(threads, &points, |point| {
+            crate::trace::counter("pareto.sweep_parallel.points", 1);
+            eval(point)
+        });
         for (i, o) in objectives.iter().enumerate() {
             assert_eq!(
                 o.len(),

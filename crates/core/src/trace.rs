@@ -1,0 +1,853 @@
+//! Hermetic structured observability: spans, metrics and trace export.
+//!
+//! The Flagship 2 claims are quantitative (latency, energy, throughput), so
+//! the runner needs to see *where* time goes inside an experiment — how the
+//! [`crate::exec`] worker chunks balance, which sweep dominates, how often a
+//! hot path fires. This module is that measurement substrate, in-tree and
+//! zero-dependency like the rest of the workspace:
+//!
+//! * **Spans** — RAII guards ([`span`]) with monotonic wall-clock timing,
+//!   a per-thread id and parent links, collected into lock-free per-thread
+//!   buffers and merged when the [`Session`] finishes.
+//! * **Metrics** — named [`counter`]s, [`gauge`]s and log-scale
+//!   [`Histogram`]s ([`observe`]) with p50/p90/p99 quantiles.
+//! * **Exporters** — a human summary table ([`TraceReport::summary`], hot
+//!   spans by self-time plus metric quantiles) and Chrome trace-event JSON
+//!   ([`TraceReport::to_chrome_json`]), loadable in `chrome://tracing` and
+//!   Perfetto.
+//!
+//! Tracing is **off by default** and zero-cost when off: every entry point
+//! first checks one relaxed [`AtomicBool`] load and returns a no-op.
+//! Collection starts when a [`session`] begins and only the session's
+//! thread tree records — the starting thread plus any worker threads the
+//! executor hands a [`Handoff`] to — so concurrent untraced work (other
+//! tests in the same process, say) never pollutes a session.
+//!
+//! Timings vary run to run, but the trace *content* — span names and
+//! counts, counter totals — is deterministic for a fixed configuration,
+//! which is what the CI trace validation pins.
+//!
+//! ```
+//! use f2_core::trace;
+//!
+//! let session = trace::session();
+//! {
+//!     let _outer = trace::span("sweep");
+//!     let _inner = trace::span("simulate");
+//!     trace::counter("points", 3);
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.span_count("simulate"), 1);
+//! assert_eq!(report.counter("points"), 3);
+//! assert!(!trace::active());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Global on/off switch — the only cost a disabled call site pays.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Session generation; bumping it invalidates every stale per-thread buffer.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Per-session thread-id allocator (0 is reserved for metadata events).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Records merged from threads that already exited.
+static GLOBAL: Mutex<Merged> = Mutex::new(Merged::new());
+/// Serialises sessions: the collector is global state, so only one trace
+/// session can run at a time (later callers block).
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One finished span: name, timing, thread and parent link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span label (stable and deterministic; timings are not).
+    pub name: String,
+    /// Session-unique id (`tid << 32 | per-thread sequence`).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Session-scoped thread id.
+    pub tid: u64,
+    /// Start, in microseconds since the session began.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// Log-scale histogram: buckets at half-power-of-two resolution covering
+/// `2^-30 .. 2^34` (~1e-9 to ~1.7e10), plus exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+/// Bucket count: index 0 holds non-positive underflow, the rest are
+/// half-power-of-two steps from 2^-30 up.
+const HIST_BUCKETS: usize = 128;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        let idx = ((value.log2() + 30.0) * 2.0).floor();
+        idx.clamp(1.0, (HIST_BUCKETS - 1) as f64) as usize
+    }
+
+    /// Representative (upper-edge) value of a bucket.
+    fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            0.0
+        } else {
+            ((index as f64 + 1.0) / 2.0 - 30.0).exp2()
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`), accurate to the bucket's ~41%
+    /// width and clamped into the observed `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Everything a thread (or the merged session) has collected.
+#[derive(Debug)]
+struct Merged {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Merged {
+    const fn new() -> Self {
+        Self {
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn absorb(&mut self, other: Merged) {
+        self.spans.extend(other.spans);
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        // Gauges are last-write-wins in merge order; in practice they are
+        // set from the session's root thread, so the order is stable.
+        self.gauges.extend(other.gauges);
+        for (k, v) in other.hists {
+            self.hists.entry(k).or_default().merge(&v);
+        }
+    }
+}
+
+/// Per-thread collection buffer: records land here without any locking and
+/// are merged into [`GLOBAL`] when the thread exits (or the session drains
+/// its own thread explicitly).
+struct LocalBuf {
+    generation: u64,
+    tid: u64,
+    epoch: Instant,
+    next_seq: u64,
+    stack: Vec<u64>,
+    records: Merged,
+}
+
+impl LocalBuf {
+    fn new(generation: u64, epoch: Instant) -> Self {
+        Self {
+            generation,
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            epoch,
+            next_seq: 0,
+            stack: Vec::new(),
+            records: Merged::new(),
+        }
+    }
+
+    fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        // Only flush buffers that belong to the live session; stale
+        // generations (a thread that outlived its session) are discarded.
+        if self.generation == GENERATION.load(Ordering::Relaxed) {
+            lock(&GLOBAL).absorb(std::mem::replace(&mut self.records, Merged::new()));
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` on this thread's buffer if the thread is attached to the live
+/// session; the no-op path for everything else.
+fn with_live_buf<R>(f: impl FnOnce(&mut LocalBuf) -> R) -> Option<R> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) if buf.generation == generation => Some(f(buf)),
+            _ => None,
+        }
+    })
+}
+
+/// True when tracing is enabled *and* the current thread records into the
+/// live session. Use to gate instrumentation-only work (extra timers).
+pub fn active() -> bool {
+    with_live_buf(|_| ()).is_some()
+}
+
+/// An open span; the span is recorded when the guard drops. Obtained from
+/// [`span`] — a no-op shell when tracing is off.
+#[must_use = "a span measures the scope of its guard; bind it to a variable"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    start_us: f64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else {
+            return;
+        };
+        with_live_buf(|buf| {
+            let end_us = buf.now_us();
+            if let Some(pos) = buf.stack.iter().rposition(|&id| id == open.id) {
+                buf.stack.remove(pos);
+            }
+            let tid = buf.tid;
+            buf.records.spans.push(SpanRecord {
+                name: open.name,
+                id: open.id,
+                parent: open.parent,
+                tid,
+                start_us: open.start_us,
+                dur_us: end_us - open.start_us,
+            });
+        });
+    }
+}
+
+/// Opens a nested span named `name`; it closes (and is recorded) when the
+/// returned guard drops. A cheap no-op when tracing is off or the calling
+/// thread is not part of the live session.
+pub fn span(name: &str) -> SpanGuard {
+    SpanGuard(with_live_buf(|buf| {
+        let id = (buf.tid << 32) | buf.next_seq;
+        buf.next_seq += 1;
+        let parent = buf.stack.last().copied();
+        buf.stack.push(id);
+        ActiveSpan {
+            name: name.to_string(),
+            id,
+            parent,
+            start_us: buf.now_us(),
+        }
+    }))
+}
+
+/// Adds `delta` to the named counter (created at zero on first use).
+/// Counters merge by summation across threads, so totals are
+/// thread-count-independent for a fixed workload.
+pub fn counter(name: &str, delta: u64) {
+    with_live_buf(|buf| {
+        *buf.records.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Sets the named gauge to `value` (last write wins).
+pub fn gauge(name: &str, value: f64) {
+    with_live_buf(|buf| {
+        buf.records.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records one observation into the named log-scale histogram.
+pub fn observe(name: &str, value: f64) {
+    with_live_buf(|buf| {
+        buf.records
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    });
+}
+
+/// Capability to attach a worker thread to the live session, captured on a
+/// parent thread and moved into the worker (see
+/// [`crate::exec::par_map_threads`]).
+#[derive(Clone)]
+pub struct Handoff(Option<(u64, Instant)>);
+
+/// Captures the current thread's session membership for handing to a child
+/// thread. Inert (and free) when the current thread is not recording.
+pub fn handoff() -> Handoff {
+    Handoff(with_live_buf(|buf| (buf.generation, buf.epoch)))
+}
+
+impl Handoff {
+    /// Attaches the calling thread to the session this handoff came from;
+    /// the thread records until the returned guard drops, which merges its
+    /// buffer into the session. Returns `None` (and records nothing) when
+    /// the handoff is inert or the session has already ended.
+    ///
+    /// The merge must happen via the guard, not thread exit: scoped
+    /// threads signal completion before their thread-locals are destroyed,
+    /// so a drop-at-exit flush would race with the session drain.
+    pub fn attach(&self) -> Option<Attachment> {
+        let (generation, epoch) = self.0?;
+        if generation != GENERATION.load(Ordering::Relaxed) {
+            return None;
+        }
+        LOCAL.with(|cell| {
+            cell.replace(Some(LocalBuf::new(generation, epoch)));
+        });
+        Some(Attachment(()))
+    }
+}
+
+/// A worker thread's live session attachment (see [`Handoff::attach`]).
+/// Dropping it merges the thread's buffered records into the session.
+#[must_use = "records merge into the session when this guard drops"]
+pub struct Attachment(());
+
+impl Drop for Attachment {
+    fn drop(&mut self) {
+        LOCAL.with(|cell| {
+            drop(cell.replace(None)); // LocalBuf::drop flushes if still live
+        });
+    }
+}
+
+/// An exclusive trace-collection session. Create with [`session`], stop and
+/// collect with [`Session::finish`]. Dropping without finishing discards
+/// the collected data.
+pub struct Session {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+/// Begins a trace session: enables collection, attaches the current thread
+/// and resets all buffers. Blocks until any other live session finishes —
+/// the collector is global, so sessions are serialised.
+pub fn session() -> Session {
+    let guard = lock(&SESSION);
+    let generation = GENERATION.fetch_add(1, Ordering::SeqCst) + 1;
+    NEXT_TID.store(1, Ordering::Relaxed);
+    *lock(&GLOBAL) = Merged::new();
+    let epoch = Instant::now();
+    LOCAL.with(|cell| {
+        cell.replace(Some(LocalBuf::new(generation, epoch)));
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    Session { _exclusive: guard }
+}
+
+impl Session {
+    /// Stops collection and returns everything recorded: the merged spans
+    /// of every attached thread plus the metric totals. Spans still open at
+    /// finish are discarded.
+    pub fn finish(self) -> TraceReport {
+        ENABLED.store(false, Ordering::SeqCst);
+        // Merge the root thread's buffer (worker threads merged on exit).
+        LOCAL.with(|cell| {
+            let buf = cell.replace(None);
+            drop(buf); // LocalBuf::drop flushes into GLOBAL
+        });
+        let merged = std::mem::replace(&mut *lock(&GLOBAL), Merged::new());
+        let mut spans = merged.spans;
+        spans.sort_by(|a, b| {
+            a.start_us
+                .partial_cmp(&b.start_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        TraceReport {
+            spans,
+            counters: merged.counters.into_iter().collect(),
+            gauges: merged.gauges.into_iter().collect(),
+            histograms: merged.hists.into_iter().collect(),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The drained result of a [`Session`]: spans plus metric totals, with the
+/// metric lists sorted by name (deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// All finished spans, sorted by start time.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TraceReport {
+    /// Number of spans with exactly this name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total of the named counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Final value of the named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Per-span self time: duration minus the duration of direct children.
+    fn self_times(&self) -> Vec<f64> {
+        let mut child_sum: BTreeMap<u64, f64> = BTreeMap::new();
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                *child_sum.entry(p).or_insert(0.0) += s.dur_us;
+            }
+        }
+        self.spans
+            .iter()
+            .map(|s| (s.dur_us - child_sum.get(&s.id).copied().unwrap_or(0.0)).max(0.0))
+            .collect()
+    }
+
+    /// Human-readable summary: hot spans by aggregate self-time, counter
+    /// totals, gauges and histogram quantiles.
+    pub fn summary(&self) -> String {
+        use crate::experiment::render::{fmt, table_string};
+        let mut out = String::from("\n=== trace summary ===\n");
+        // Aggregate spans by name.
+        let self_times = self.self_times();
+        let mut by_name: BTreeMap<&str, (usize, f64, f64)> = BTreeMap::new();
+        for (s, &self_us) in self.spans.iter().zip(&self_times) {
+            let e = by_name.entry(&s.name).or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+            e.2 += self_us;
+        }
+        let total_self: f64 = self_times.iter().sum();
+        let mut hot: Vec<(&str, (usize, f64, f64))> = by_name.into_iter().collect();
+        hot.sort_by(|a, b| {
+            b.1 .2
+                .partial_cmp(&a.1 .2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        let rows: Vec<Vec<String>> = hot
+            .iter()
+            .take(20)
+            .map(|(name, (count, total, selft))| {
+                vec![
+                    (*name).to_string(),
+                    count.to_string(),
+                    fmt(total / 1e3, 2),
+                    fmt(selft / 1e3, 2),
+                    fmt(
+                        if total_self > 0.0 {
+                            selft / total_self * 100.0
+                        } else {
+                            0.0
+                        },
+                        1,
+                    ),
+                ]
+            })
+            .collect();
+        if rows.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        } else {
+            out.push_str(&table_string(
+                &["Span", "Count", "Total ms", "Self ms", "Self %"],
+                &rows,
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(n, v)| vec![n.clone(), v.to_string()])
+                .collect();
+            out.push_str(&table_string(&["Counter", "Total"], &rows));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            let rows: Vec<Vec<String>> = self
+                .gauges
+                .iter()
+                .map(|(n, v)| vec![n.clone(), fmt(*v, 4)])
+                .collect();
+            out.push_str(&table_string(&["Gauge", "Value"], &rows));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms\n");
+            let rows: Vec<Vec<String>> = self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    vec![
+                        n.clone(),
+                        h.count.to_string(),
+                        fmt(h.quantile(0.5), 3),
+                        fmt(h.quantile(0.9), 3),
+                        fmt(h.quantile(0.99), 3),
+                        fmt(h.max, 3),
+                    ]
+                })
+                .collect();
+            out.push_str(&table_string(
+                &["Histogram", "Count", "p50", "p90", "p99", "Max"],
+                &rows,
+            ));
+        }
+        out
+    }
+
+    /// Exports the session as Chrome trace-event JSON (the
+    /// `chrome://tracing` / Perfetto "JSON Array with metadata" format):
+    /// spans become complete (`"ph":"X"`) events with microsecond
+    /// timestamps, counters become `"ph":"C"` events at the end of the
+    /// session.
+    pub fn to_chrome_json(&self) -> Json {
+        fn obj(members: Vec<(&str, Json)>) -> Json {
+            Json::Obj(
+                members
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        }
+        let mut events = vec![obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(0.0)),
+            (
+                "args",
+                obj(vec![("name", Json::Str("f2 experiment runner".into()))]),
+            ),
+        ])];
+        let mut end_ts = 0.0f64;
+        for s in &self.spans {
+            end_ts = end_ts.max(s.start_us + s.dur_us);
+            let mut args = vec![("id", Json::Num(s.id as f64))];
+            if let Some(p) = s.parent {
+                args.push(("parent", Json::Num(p as f64)));
+            }
+            events.push(obj(vec![
+                ("name", Json::Str(s.name.clone())),
+                ("cat", Json::Str("f2".into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", Json::Num(s.start_us)),
+                ("dur", Json::Num(s.dur_us)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(s.tid as f64)),
+                ("args", obj(args)),
+            ]));
+        }
+        for (name, value) in &self.counters {
+            events.push(obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::Num(end_ts)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(0.0)),
+                ("args", obj(vec![("value", Json::Num(*value as f64))])),
+            ]));
+        }
+        obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracing_is_a_no_op() {
+        assert!(!active());
+        let _s = span("ignored");
+        counter("ignored", 5);
+        gauge("ignored", 1.0);
+        observe("ignored", 1.0);
+        // Nothing panicked and nothing is recorded: a fresh session starts
+        // empty.
+        let report = session().finish();
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_parent_links() {
+        let session = session();
+        assert!(active());
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            let _sibling = span("sibling");
+        }
+        let report = session.finish();
+        assert_eq!(report.spans.len(), 3);
+        let outer = report.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = report.spans.iter().find(|s| s.name == "inner").unwrap();
+        let sibling = report.spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert!(outer.dur_us >= inner.dur_us);
+    }
+
+    #[test]
+    fn worker_threads_merge_via_handoff() {
+        let session = session();
+        let h = handoff();
+        let items: Vec<u64> = (0..10).collect();
+        std::thread::scope(|scope| {
+            for chunk in items.chunks(5) {
+                let h = h.clone();
+                scope.spawn(move || {
+                    let _att = h.attach().expect("session is live");
+                    let _s = span("worker");
+                    for &i in chunk {
+                        counter("items", 1);
+                        observe("value", i as f64 + 1.0);
+                    }
+                });
+            }
+        });
+        let report = session.finish();
+        assert_eq!(report.span_count("worker"), 2);
+        assert_eq!(report.counter("items"), 10);
+        let hist = report.histogram("value").expect("recorded");
+        assert_eq!(hist.count, 10);
+        assert_eq!(hist.min, 1.0);
+        assert_eq!(hist.max, 10.0);
+        // Two distinct worker tids.
+        let mut tids: Vec<u64> = report.spans.iter().map(|s| s.tid).collect();
+        tids.dedup();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn unattached_threads_do_not_record() {
+        let session = session();
+        counter("mine", 1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // No handoff: this thread must stay silent.
+                assert!(!active());
+                counter("mine", 100);
+                let _s = span("ghost");
+            });
+        });
+        let report = session.finish();
+        assert_eq!(report.counter("mine"), 1);
+        assert_eq!(report.span_count("ghost"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let session = session();
+        gauge("g", 1.0);
+        gauge("g", 2.5);
+        let report = session.finish();
+        assert_eq!(report.gauge("g"), Some(2.5));
+        assert_eq!(report.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.observe(i as f64);
+        }
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= h.min && p99 <= h.max);
+        // Log-bucket accuracy: within the ~41% bucket width.
+        assert!((p50 / 500.0) < 1.5 && (p50 / 500.0) > 0.65, "p50={p50}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_edge_values() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(1e300); // clamps into the top bucket
+        assert_eq!(h.count, 3);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed() {
+        let session = session();
+        {
+            let _a = span("phase:a");
+            counter("n", 2);
+        }
+        let report = session.finish();
+        let encoded = report.to_chrome_json().encode();
+        let doc = Json::parse(&encoded).expect("well-formed JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 1);
+        assert_eq!(
+            complete[0].get("name").and_then(Json::as_str),
+            Some("phase:a")
+        );
+        assert!(complete[0].get("ts").and_then(Json::as_f64).is_some());
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn summary_lists_hot_spans_and_metrics() {
+        let session = session();
+        {
+            let _a = span("hot");
+        }
+        counter("events", 7);
+        gauge("imbalance", 0.25);
+        observe("lat", 3.0);
+        let report = session.finish();
+        let text = report.summary();
+        assert!(text.contains("trace summary"));
+        assert!(text.contains("hot"));
+        assert!(text.contains("events"));
+        assert!(text.contains("imbalance"));
+        assert!(text.contains("lat"));
+    }
+
+    #[test]
+    fn sessions_reset_state() {
+        let s1 = session();
+        counter("c", 5);
+        let r1 = s1.finish();
+        assert_eq!(r1.counter("c"), 5);
+        let s2 = session();
+        let r2 = s2.finish();
+        assert_eq!(r2.counter("c"), 0, "new session starts clean");
+    }
+}

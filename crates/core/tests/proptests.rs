@@ -1,12 +1,27 @@
 //! Property-based tests over the core substrate invariants.
 
 use f2_core::bf16::Bf16;
+use f2_core::experiment::{ExperimentReport, Kpi};
 use f2_core::fixed::QFormat;
+use f2_core::json::{Json, ToJson};
 use f2_core::pareto::{dominates, DesignSpace, Direction, ParetoFront};
-use f2_core::ptest::assume;
+use f2_core::ptest::{assume, Gen};
 use f2_core::roofline::Roofline;
 use f2_core::tensor::Matrix;
+use f2_core::trace;
 use f2_core::workload::graph::{bfs, gnm_random, pagerank, spmv};
+
+/// Draws a name stressing the JSON string path: escapes, whitespace,
+/// non-ASCII, the works.
+fn json_hostile_name(g: &mut Gen) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'B', 'z', '0', '9', '_', '/', '.', '-', ' ', '"', '\\', '\n', '\t', 'é', 'µ', '🧪',
+    ];
+    let len = g.usize_in(0..12);
+    (0..len)
+        .map(|_| ALPHABET[g.usize_in(0..ALPHABET.len())])
+        .collect()
+}
 
 f2_core::ptest! {
     /// Quantisation error is bounded by half an LSB for in-range values.
@@ -138,11 +153,15 @@ f2_core::ptest! {
     }
 
     /// A parallel DSE sweep is identical to the sequential one — same
-    /// points, objectives and Pareto frontier — at any worker count.
+    /// points, objectives and Pareto frontier — at any worker count, and
+    /// the merged `pareto.sweep_parallel.points` counter equals the point
+    /// count (thread-count-independent: per-worker increments must merge
+    /// without loss or double-counting).
     fn pareto_sweep_parallel_matches_sequential(g) {
         let xs = g.vec(1..6, |g| g.f64_in(0.0, 10.0));
         let ys = g.vec(1..6, |g| g.f64_in(0.0, 10.0));
         let threads = g.usize_in(1..9);
+        let points = xs.len() * ys.len();
         let space = DesignSpace::new()
             .axis("x", xs)
             .axis("y", ys);
@@ -153,9 +172,93 @@ f2_core::ptest! {
             vec![x * x + y, x - y * y]
         };
         let sequential = space.sweep(&dirs, eval);
+        let session = trace::session();
         let parallel = space.sweep_parallel(&dirs, threads, eval);
+        let report = session.finish();
         assert_eq!(sequential, parallel);
+        assert_eq!(report.counter("pareto.sweep_parallel.calls"), 1);
+        assert_eq!(
+            report.counter("pareto.sweep_parallel.points"),
+            points as u64,
+            "counter total must not depend on threads={threads}"
+        );
     }
+
+    /// An [`ExperimentReport`] survives the JSON round trip exactly —
+    /// report → `to_json` → encode → parse → `from_json` is the identity,
+    /// including hostile KPI names and full-precision f64 values.
+    fn experiment_report_json_round_trip(g) {
+        let report = ExperimentReport {
+            experiment: json_hostile_name(g),
+            kpis: g.vec(0..8, |g| Kpi {
+                name: json_hostile_name(g),
+                value: g.f64_in(-1e9, 1e9),
+                tol: g.f64_in(0.0, 0.5),
+            }),
+        };
+        let encoded = report.to_json().encode();
+        let doc = Json::parse(&encoded).expect("report encoding is well-formed JSON");
+        let back = ExperimentReport::from_json(&doc).expect("round trip parses");
+        assert_eq!(back, report);
+    }
+}
+
+/// `ExperimentReport::from_json` rejects structurally malformed documents
+/// with a message naming the first offending member, and defaults a
+/// missing `tol`.
+#[test]
+fn experiment_report_from_json_malformed_inputs() {
+    for (text, expect) in [
+        (r#"{"kpis":[]}"#, "missing `experiment`"),
+        (r#"{"experiment":7,"kpis":[]}"#, "missing `experiment`"),
+        (r#"{"experiment":"x"}"#, "missing `kpis`"),
+        (r#"{"experiment":"x","kpis":3}"#, "missing `kpis`"),
+        (
+            r#"{"experiment":"x","kpis":[{"value":1,"tol":0}]}"#,
+            "missing `name`",
+        ),
+        (
+            r#"{"experiment":"x","kpis":[{"name":7,"value":1}]}"#,
+            "missing `name`",
+        ),
+        (
+            r#"{"experiment":"x","kpis":[{"name":"k","tol":0}]}"#,
+            "missing `value`",
+        ),
+        (
+            r#"{"experiment":"x","kpis":[{"name":"k","value":"nope"}]}"#,
+            "missing `value`",
+        ),
+    ] {
+        let doc = Json::parse(text).expect("test inputs are well-formed JSON");
+        let err = ExperimentReport::from_json(&doc).expect_err(text);
+        assert!(err.contains(expect), "{text}: got error {err:?}");
+    }
+    // A missing `tol` is not an error: it takes the default tolerance.
+    let doc = Json::parse(r#"{"experiment":"x","kpis":[{"name":"k","value":2}]}"#).unwrap();
+    let report = ExperimentReport::from_json(&doc).expect("tol is optional");
+    assert_eq!(report.kpis[0].tol, f2_core::experiment::DEFAULT_KPI_TOL);
+}
+
+/// The sweep counter total is invariant across explicit worker counts for
+/// a fixed design space (the deterministic companion to the property test
+/// above, pinning one space across many thread counts).
+#[test]
+fn pareto_sweep_counter_is_thread_count_invariant() {
+    let space = DesignSpace::new()
+        .axis("x", (0..12).map(f64::from))
+        .axis("y", [1.0, 2.0, 3.0]);
+    let dirs = [Direction::Minimize, Direction::Minimize];
+    let eval = |p: &f2_core::pareto::ParamPoint| vec![p["x"] + p["y"], p["x"] * p["y"]];
+    let mut totals = Vec::new();
+    for threads in [1, 2, 3, 5, 8, 64] {
+        let session = trace::session();
+        let sweep = space.sweep_parallel(&dirs, threads, eval);
+        let report = session.finish();
+        assert_eq!(sweep.points().len(), 36);
+        totals.push(report.counter("pareto.sweep_parallel.points"));
+    }
+    assert_eq!(totals, vec![36; 6]);
 }
 
 /// A panicking evaluator must bring down `sweep_parallel`, not produce a

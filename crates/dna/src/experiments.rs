@@ -161,8 +161,14 @@ impl Experiment for DnaThroughput {
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        self.software_kernels(ctx);
-        self.accelerator_model(ctx);
+        {
+            let _phase = ctx.span("dna:software_kernels");
+            self.software_kernels(ctx);
+        }
+        {
+            let _phase = ctx.span("dna:accelerator_model");
+            self.accelerator_model(ctx);
+        }
         Ok(ctx.report(self.name()))
     }
 }
@@ -191,6 +197,7 @@ impl Experiment for DnaPipeline {
         ctx.note(&format!("Payload: {} bytes", PAYLOAD.len()));
 
         ctx.section("Round trip across channel profiles");
+        let roundtrip_phase = ctx.span("dna:roundtrip_profiles");
         let mut rows = Vec::new();
         for (name, slug, ch) in [
             (
@@ -216,6 +223,7 @@ impl Experiment for DnaPipeline {
                 ..PipelineConfig::default()
             };
             let (_, report) = run_pipeline(PAYLOAD, &cfg, 42).expect("valid config");
+            ctx.counter_add("dna.distance_calls", report.distance_calls);
             rows.push(vec![
                 name.to_string(),
                 report.strands_written.to_string(),
@@ -254,9 +262,11 @@ impl Experiment for DnaPipeline {
         } else {
             (&[0.005, 0.01, 0.02, 0.05, 0.1], 5)
         };
+        drop(roundtrip_phase);
         ctx.section(&format!(
             "Substitution-rate sweep (recovery probability over {seeds} seeds)"
         ));
+        let _phase = ctx.span("dna:substitution_sweep");
         let results = ctx.exec(subs, |&sub| {
             let cfg = PipelineConfig {
                 channel: ChannelModel {

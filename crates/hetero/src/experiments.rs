@@ -68,9 +68,11 @@ impl Experiment for HeteroPipeline {
         ));
 
         ctx.section("Training epoch profile per device (ms, NVMe storage)");
+        let training_phase = ctx.span("hetero:training_profile");
         let mut rows = Vec::new();
         for d in ComputeDevice::campaign().iter().filter(|d| d.trains) {
             let r = run_training(&spec, d, &nvme);
+            ctx.counter("hetero.pipeline_runs");
             ctx.kpi(
                 &format!("training/{}_epoch_ms", kpi_slug(&r.device)),
                 r.total_time * 1e3,
@@ -91,10 +93,13 @@ impl Experiment for HeteroPipeline {
             &rows,
         );
 
+        drop(training_phase);
         ctx.section("Inference profile per device (ms for the campaign, NVMe)");
+        let _phase = ctx.span("hetero:inference_profile");
         let mut rows = Vec::new();
         for d in ComputeDevice::campaign() {
             let r = run_inference(&spec, &d, &nvme);
+            ctx.counter("hetero.pipeline_runs");
             ctx.kpi(
                 &format!("inference/{}_samples_per_s", kpi_slug(&r.device)),
                 r.throughput,
@@ -158,6 +163,7 @@ impl Experiment for StorageIo {
         let base_infer = run_inference(&spec, &fpga, &StorageDevice::nvme_ssd());
 
         ctx.section("GPU training epoch vs storage device");
+        let training_phase = ctx.span("storage:training_ladder");
         let mut rows = Vec::new();
         for s in StorageDevice::io_path_candidates() {
             let r = run_training(&spec, &gpu, &s);
@@ -174,7 +180,9 @@ impl Experiment for StorageIo {
         }
         ctx.table(&["Storage", "Epoch ms", "vs NVMe %"], &rows);
 
+        drop(training_phase);
         ctx.section("FPGA inference throughput vs storage device");
+        let _phase = ctx.span("storage:inference_ladder");
         let mut rows = Vec::new();
         for s in StorageDevice::io_path_candidates() {
             let r = run_inference(&spec, &fpga, &s);

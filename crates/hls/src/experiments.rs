@@ -46,6 +46,7 @@ impl Experiment for SpartaSpeedup {
             ctx.section(&format!(
                 "{name}: SPARTA configuration sweep (mem latency 100)"
             ));
+            let _phase = ctx.span(&format!("sparta:{name}_sweep"));
             let base = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
             let sweep = [
                 (1, 1, 1, false),
@@ -98,6 +99,7 @@ impl Experiment for SpartaSpeedup {
         }
 
         ctx.section("Ablation: speedup vs external memory latency (4x8ctx/4ch+cache)");
+        let _phase = ctx.span("sparta:latency_ablation");
         let wl = spmv_workload(&graph);
         let latencies: &[u32] = if ctx.quick() {
             &[25, 100, 400]

@@ -172,8 +172,14 @@ impl Experiment for ImcAccuracy {
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        self.programming_table(ctx);
-        self.accuracy_table(ctx);
+        {
+            let _phase = ctx.span("imc:programming");
+            self.programming_table(ctx);
+        }
+        {
+            let _phase = ctx.span("imc:accuracy");
+            self.accuracy_table(ctx);
+        }
         Ok(ctx.report(self.name()))
     }
 }
@@ -464,11 +470,19 @@ impl Experiment for ImcEnergy {
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        self.mvm_energy_breakdown(ctx);
-        self.adc_ablation(ctx);
-        self.analog_accumulation(ctx);
-        self.input_mode_ablation(ctx);
-        self.dimc_band(ctx);
+        for (label, phase) in [
+            (
+                "imc:mvm_energy",
+                Self::mvm_energy_breakdown as fn(&Self, &mut ExperimentCtx),
+            ),
+            ("imc:adc_ablation", Self::adc_ablation),
+            ("imc:analog_accumulation", Self::analog_accumulation),
+            ("imc:input_mode_ablation", Self::input_mode_ablation),
+            ("imc:dimc_band", Self::dimc_band),
+        ] {
+            let _phase = ctx.span(label);
+            phase(self, ctx);
+        }
         Ok(ctx.report(self.name()))
     }
 }

@@ -95,6 +95,7 @@ impl Experiment for CuTransformer {
         ));
 
         ctx.section("Fig. 9 KPIs on transformer blocks");
+        let blocks_phase = ctx.span("cu:transformer_blocks");
         self.block_table(
             ctx,
             &cu,
@@ -110,7 +111,9 @@ impl Experiment for CuTransformer {
         );
         ctx.note("\nPublished: up to 150 GFLOPS, 1.5 TFLOPS/W on transformer blocks.");
 
+        drop(blocks_phase);
         ctx.section("Ablation: core count (elementwise scaling)");
+        let _phase = ctx.span("cu:ablations");
         let mut rows = Vec::new();
         for cores in [2usize, 4, 8, 16] {
             let cfg = CuConfig {
@@ -263,6 +266,7 @@ impl Experiment for TcdmBanking {
             })
             .collect();
 
+        let banks_phase = ctx.span("tcdm:banks_sweep");
         let t_seq = Instant::now();
         let sequential = Self::run_sequential(&configs, &program, &preload);
         let t_seq = t_seq.elapsed();
@@ -270,6 +274,7 @@ impl Experiment for TcdmBanking {
         let t_par = Instant::now();
         let reports = sweep_configs(&configs, &program, &preload).expect("programs halt");
         let t_par = t_par.elapsed();
+        drop(banks_phase);
 
         assert_eq!(
             reports, sequential,
@@ -317,6 +322,7 @@ impl Experiment for TcdmBanking {
         ));
 
         ctx.section("Core-count scaling at 32 banks (execution-driven)");
+        let _phase = ctx.span("tcdm:core_scaling");
         let core_counts: &[usize] = if ctx.quick() {
             &[1, 2, 8]
         } else {
@@ -385,6 +391,7 @@ impl Experiment for ScfScaling {
             ("dual stack (820 GB/s)", "hbm820", 820.0),
         ] {
             ctx.section(&format!("Throughput scaling, {label}"));
+            let _phase = ctx.span(&format!("scf:scaling_{slug}"));
             let reports =
                 scaling_sweep(counts, &block, GigabytesPerSecond::new(hbm)).expect("valid sweep");
             let mut knee = None;

@@ -197,6 +197,7 @@ impl Experiment for KernelBenches {
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         ctx.section("Kernel micro-benchmarks (wall-clock, this machine)");
+        let _phase = ctx.span("kernels:harness");
         let mut h = Harness::new();
         register_benches(&mut h);
         let rows: Vec<Vec<String>> = h
