@@ -26,10 +26,11 @@ F2="./target/release/f2"
 run bash -c "$F2 run all --quick --json | $F2 check"
 
 # Observability smoke: a traced quick run must produce a well-formed
-# Chrome trace with one span per registered experiment and per-worker
-# executor spans (--threads 2 guarantees the parallel path is exercised).
+# Chrome trace with one span per registered experiment, per-worker
+# executor spans, and finite `exec.chunk_imbalance` gauges (--threads 8
+# exercises the work-stealing path on the skewed experiment sweeps).
 TRACE=/tmp/f2-trace.json
-run bash -c "$F2 run all --quick --threads 2 --trace $TRACE > /dev/null"
+run bash -c "$F2 run all --quick --threads 8 --trace $TRACE > /dev/null"
 run "$F2" check-trace "$TRACE" --require-experiments --require-workers
 
 echo

@@ -36,8 +36,10 @@ impl HtconvQuality {
         } else {
             &[1.0, 0.5, 0.3, 0.15, 0.05, 0.0]
         };
-        let mut rows = Vec::new();
-        for &frac in fracs {
+        // Fovea fractions are independent full-image convolutions with
+        // wildly different MAC counts — exactly the skewed shape the
+        // work-stealing pool schedules well.
+        let frac_results = ctx.exec().map(fracs, |&frac| {
             let mut saving = 0.0;
             let mut psnr_exact = 0.0;
             let mut psnr_hybrid = 0.0;
@@ -51,7 +53,10 @@ impl HtconvQuality {
                 psnr_hybrid += psnr_cropped(hr, &hybrid, 6).expect("same dims");
             }
             let n = scenes.len() as f64;
-            let (saving, pe, ph) = (saving / n, psnr_exact / n, psnr_hybrid / n);
+            (saving / n, psnr_exact / n, psnr_hybrid / n)
+        });
+        let mut rows = Vec::new();
+        for (&frac, &(saving, pe, ph)) in fracs.iter().zip(&frac_results) {
             let loss_pct = (pe - ph) / pe * 100.0;
             rows.push(vec![
                 fmt(frac, 2),

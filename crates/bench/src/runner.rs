@@ -349,7 +349,10 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
 /// must parse, `traceEvents` must contain at least one complete
 /// (`"ph":"X"`) span, and every span must carry `name`/`ts`/`dur`/`tid`.
 /// `require_experiments` additionally demands one `experiment:<name>` span
-/// per registry entry; `require_workers` demands `exec:worker` spans.
+/// per registry entry; `require_workers` demands `exec:worker` spans plus at
+/// least one `exec.chunk_imbalance` gauge event. Every `exec.chunk_imbalance`
+/// gauge present must carry a finite value (non-finite values encode as JSON
+/// `null`).
 /// Returns the process exit code (0 valid, 1 invalid, 2 unreadable).
 pub fn check_trace(
     registry: &Registry,
@@ -380,11 +383,28 @@ pub fn check_trace(
     };
     let mut failures = Vec::new();
     let mut span_names = Vec::new();
+    let mut imbalance_events = 0usize;
     for (i, event) in events.iter().enumerate() {
-        if event.get("ph").and_then(Json::as_str) != Some("X") {
+        let ph = event.get("ph").and_then(Json::as_str);
+        let name = event.get("name").and_then(Json::as_str);
+        // Non-finite gauge values encode as JSON `null` and would silently
+        // poison downstream trace viewers — reject them here.
+        if ph == Some("C") && name == Some("exec.chunk_imbalance") {
+            imbalance_events += 1;
+            match event
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+            {
+                Some(v) if v.is_finite() => {}
+                _ => failures.push(format!(
+                    "event {i}: `exec.chunk_imbalance` value missing or non-finite"
+                )),
+            }
+        }
+        if ph != Some("X") {
             continue;
         }
-        let name = event.get("name").and_then(Json::as_str);
         let well_formed = name.is_some()
             && event.get("ts").and_then(Json::as_f64).is_some()
             && event.get("dur").and_then(Json::as_f64).is_some()
@@ -405,8 +425,13 @@ pub fn check_trace(
             }
         }
     }
-    if require_workers && !span_names.iter().any(|n| n == "exec:worker") {
-        failures.push("missing per-worker executor spans (`exec:worker`)".to_string());
+    if require_workers {
+        if !span_names.iter().any(|n| n == "exec:worker") {
+            failures.push("missing per-worker executor spans (`exec:worker`)".to_string());
+        }
+        if imbalance_events == 0 {
+            failures.push("missing `exec.chunk_imbalance` gauge events".to_string());
+        }
     }
     for f in &failures {
         eprintln!("f2 check-trace: {}: {f}", path.display());
@@ -641,7 +666,7 @@ mod tests {
         fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
             ctx.section("sweep");
             let items: Vec<u64> = (0..16).collect();
-            let out = ctx.exec(&items, |&x| x * x);
+            let out = ctx.exec().map(&items, |&x| x * x);
             ctx.counter_add("demo.points", out.len() as u64);
             ctx.kpi("sum", out.iter().sum::<u64>() as f64);
             Ok(ctx.report(self.name()))
@@ -720,6 +745,24 @@ mod tests {
         assert_eq!(check_trace(&registry, &path, false, false), 0);
         assert_eq!(check_trace(&registry, &path, true, false), 1);
         assert_eq!(check_trace(&registry, &path, false, true), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_trace_rejects_non_finite_imbalance_gauges() {
+        let registry = Registry::new();
+        let path = std::env::temp_dir().join("f2-check-trace-nan-gauge.json");
+        // A NaN gauge encodes as JSON `null`; even without the strict flags
+        // the validator must flag it.
+        std::fs::write(
+            &path,
+            "{\"traceEvents\":[{\"name\":\"other\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1},\
+             {\"name\":\"exec.chunk_imbalance\",\"ph\":\"C\",\"ts\":0,\
+             \"pid\":1,\"tid\":1,\"args\":{\"value\":null}}]}",
+        )
+        .expect("writable tmp");
+        assert_eq!(check_trace(&registry, &path, false, false), 1);
         let _ = std::fs::remove_file(&path);
     }
 

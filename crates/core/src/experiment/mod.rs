@@ -130,15 +130,20 @@ enum Output {
 /// randomness, parallelism, fidelity and output.
 ///
 /// Experiments must derive all randomness via [`ExperimentCtx::rng_for`],
-/// run sweeps through [`ExperimentCtx::exec`], honour
+/// run sweeps through the shared executor pool ([`ExperimentCtx::exec`]
+/// returns a [`crate::exec::Pool`] — `ctx.exec().map(items, f)`), honour
 /// [`ExperimentCtx::quick`] by shrinking problem sizes (not skipping
 /// claims), and report results through the sink methods
 /// ([`ExperimentCtx::section`] / [`ExperimentCtx::table`] /
 /// [`ExperimentCtx::note`] / [`ExperimentCtx::kpi`]) instead of `println!`.
+///
+/// The pool is resolved **once**, when the context is built — experiments
+/// never re-read `F2_THREADS` per parallel call, and every sweep in a run
+/// shares one scheduling policy.
 pub struct ExperimentCtx {
     seed: u64,
     quick: bool,
-    threads: usize,
+    pool: crate::exec::Pool,
     output: Output,
     kpis: Vec<Kpi>,
     records: Vec<(String, Json)>,
@@ -154,11 +159,10 @@ impl ExperimentCtx {
     ///
     /// Panics if `threads` is zero.
     pub fn new(seed: u64, quick: bool, threads: usize) -> Self {
-        assert!(threads > 0, "need at least one worker thread");
         Self {
             seed,
             quick,
-            threads,
+            pool: crate::exec::Pool::new(threads),
             output: Output::Stdout,
             kpis: Vec::new(),
             records: Vec::new(),
@@ -190,9 +194,9 @@ impl ExperimentCtx {
         self.quick
     }
 
-    /// The worker-thread budget for [`ExperimentCtx::exec`].
+    /// The worker-thread budget of the shared executor pool.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
     /// Derives the deterministic RNG stream for `label`, scoped to the run's
@@ -201,11 +205,14 @@ impl ExperimentCtx {
         crate::rng::rng_for(self.seed, label)
     }
 
-    /// Maps `f` over `items` on the context's thread budget with
-    /// bit-identical, input-ordered results
-    /// ([`crate::exec::par_map_threads`]).
-    pub fn exec<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-        crate::exec::par_map_threads(self.threads, items, f)
+    /// The run's shared work-stealing executor ([`crate::exec::Pool`]),
+    /// resolved once at context construction. Use it for every parallel
+    /// region: `ctx.exec().map(items, f)` for ordered data-parallel maps,
+    /// `for_each` for side-effecting loops, `scope` for indexed task
+    /// fan-out — all with bit-identical, input-ordered results at any
+    /// worker count.
+    pub fn exec(&self) -> &crate::exec::Pool {
+        &self.pool
     }
 
     fn emit(&mut self, text: &str) {
@@ -525,11 +532,13 @@ mod tests {
     }
 
     #[test]
-    fn ctx_exec_matches_sequential() {
+    fn ctx_exec_pool_matches_sequential() {
         let ctx = ExperimentCtx::quiet(1, false, 3);
+        assert_eq!(ctx.exec().threads(), 3);
+        assert_eq!(ctx.threads(), 3);
         let items: Vec<u64> = (0..17).collect();
         assert_eq!(
-            ctx.exec(&items, |&x| x * x),
+            ctx.exec().map(&items, |&x| x * x),
             items.iter().map(|&x| x * x).collect::<Vec<_>>()
         );
     }

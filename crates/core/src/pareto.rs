@@ -197,17 +197,11 @@ impl DesignSpace {
         }
     }
 
-    /// Like [`DesignSpace::sweep`], but evaluates points on `threads` worker
-    /// threads ([`crate::exec::par_map_threads`], static block partitioning).
-    /// Results are identical to the sequential sweep for any pure evaluator;
-    /// use this for expensive simulations (e.g. cycle-level SPARTA runs per
-    /// point).
-    ///
-    /// Under a live [`crate::trace`] session this records one
-    /// `pareto.sweep_parallel.calls` increment and one
-    /// `pareto.sweep_parallel.points` increment per evaluated point; the
-    /// per-point counts merge across workers, so the total is independent
-    /// of `threads`.
+    /// Like [`DesignSpace::sweep`], but evaluates points on `threads`
+    /// worker threads. Convenience wrapper over [`DesignSpace::sweep_with`]
+    /// constructing a throwaway [`crate::exec::Pool`]; callers that already
+    /// hold a pool (experiments do, via `ExperimentCtx::exec()`) should
+    /// pass it to `sweep_with` instead.
     ///
     /// # Panics
     ///
@@ -216,9 +210,32 @@ impl DesignSpace {
     where
         F: Fn(&ParamPoint) -> Vec<f64> + Sync,
     {
+        self.sweep_with(dirs, &crate::exec::Pool::new(threads), eval)
+    }
+
+    /// Evaluates every point on `pool`'s work-stealing workers
+    /// ([`crate::exec::Pool::map`]) — the executor made for exactly this
+    /// shape: per-point cost in a design-space sweep varies wildly, and
+    /// self-scheduling keeps all workers busy through the expensive
+    /// region. Results are identical to the sequential sweep for any pure
+    /// evaluator, at any worker count.
+    ///
+    /// Under a live [`crate::trace`] session this records one
+    /// `pareto.sweep_parallel.calls` increment and one
+    /// `pareto.sweep_parallel.points` increment per evaluated point; the
+    /// per-point counts merge across workers, so the total is independent
+    /// of the pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluator returns the wrong arity.
+    pub fn sweep_with<F>(&self, dirs: &[Direction], pool: &crate::exec::Pool, eval: F) -> Sweep
+    where
+        F: Fn(&ParamPoint) -> Vec<f64> + Sync,
+    {
         crate::trace::counter("pareto.sweep_parallel.calls", 1);
         let points: Vec<ParamPoint> = self.iter().collect();
-        let objectives: Vec<Vec<f64>> = crate::exec::par_map_threads(threads, &points, |point| {
+        let objectives: Vec<Vec<f64>> = pool.map(&points, |point| {
             crate::trace::counter("pareto.sweep_parallel.points", 1);
             eval(point)
         });
@@ -373,6 +390,17 @@ mod tests {
             assert_eq!(par.objectives(), seq.objectives(), "threads={threads}");
             assert_eq!(par.front(), seq.front());
         }
+    }
+
+    #[test]
+    fn sweep_with_shared_pool_matches_sequential() {
+        let space = DesignSpace::new().axis("x", (0..13).map(f64::from));
+        let eval = |p: &ParamPoint| vec![p["x"], 100.0 - p["x"]];
+        let seq = space.sweep(&MIN2, eval);
+        let pool = crate::exec::Pool::with_min_chunk(3, 1);
+        let par = space.sweep_with(&MIN2, &pool, eval);
+        assert_eq!(par.objectives(), seq.objectives());
+        assert_eq!(par.front(), seq.front());
     }
 
     #[test]

@@ -364,7 +364,7 @@ pub fn observe(name: &str, value: f64) {
 
 /// Capability to attach a worker thread to the live session, captured on a
 /// parent thread and moved into the worker (see
-/// [`crate::exec::par_map_threads`]).
+/// [`crate::exec::Pool::map`]).
 #[derive(Clone)]
 pub struct Handoff(Option<(u64, Instant)>);
 
@@ -615,8 +615,8 @@ impl TraceReport {
     /// Exports the session as Chrome trace-event JSON (the
     /// `chrome://tracing` / Perfetto "JSON Array with metadata" format):
     /// spans become complete (`"ph":"X"`) events with microsecond
-    /// timestamps, counters become `"ph":"C"` events at the end of the
-    /// session.
+    /// timestamps, counters and gauges become `"ph":"C"` events at the
+    /// end of the session.
     pub fn to_chrome_json(&self) -> Json {
         fn obj(members: Vec<(&str, Json)>) -> Json {
             Json::Obj(
@@ -662,6 +662,20 @@ impl TraceReport {
                 ("pid", Json::Num(1.0)),
                 ("tid", Json::Num(0.0)),
                 ("args", obj(vec![("value", Json::Num(*value as f64))])),
+            ]));
+        }
+        // Gauges export like counters; a non-finite gauge would encode as
+        // JSON `null` and poison downstream consumers, so producers must
+        // keep gauges finite (`f2 check-trace` enforces this for the
+        // executor's `exec.chunk_imbalance`).
+        for (name, value) in &self.gauges {
+            events.push(obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::Num(end_ts)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(0.0)),
+                ("args", obj(vec![("value", Json::Num(*value))])),
             ]));
         }
         obj(vec![
@@ -799,6 +813,7 @@ mod tests {
         {
             let _a = span("phase:a");
             counter("n", 2);
+            gauge("balance", 0.25);
         }
         let report = session.finish();
         let encoded = report.to_chrome_json().encode();
@@ -820,6 +835,19 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+        // Gauges ride along as counter events with their float value.
+        let balance = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("balance"))
+            .expect("gauge exported");
+        assert_eq!(balance.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            balance
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
     }
 
     #[test]

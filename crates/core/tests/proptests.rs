@@ -1,6 +1,7 @@
 //! Property-based tests over the core substrate invariants.
 
 use f2_core::bf16::Bf16;
+use f2_core::exec::Pool;
 use f2_core::experiment::{ExperimentReport, Kpi};
 use f2_core::fixed::QFormat;
 use f2_core::json::{Json, ToJson};
@@ -10,6 +11,16 @@ use f2_core::roofline::Roofline;
 use f2_core::tensor::Matrix;
 use f2_core::trace;
 use f2_core::workload::graph::{bfs, gnm_random, pagerank, spmv};
+
+/// Burns CPU proportional to `units` and folds the work into the returned
+/// value, so the imbalance cannot be optimised away.
+fn weighted_work(x: u64, units: u64) -> u64 {
+    let mut acc = x;
+    for i in 0..units * 50 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
 
 /// Draws a name stressing the JSON string path: escapes, whitespace,
 /// non-ASCII, the works.
@@ -182,6 +193,50 @@ f2_core::ptest! {
             points as u64,
             "counter total must not depend on threads={threads}"
         );
+    }
+
+    /// `Pool::map` equals the sequential map — same values, same order —
+    /// under adversarial per-item runtimes (uniform, front-loaded,
+    /// back-loaded, single hot item) at arbitrary thread counts and
+    /// minimum chunk sizes. The stealing schedule must never reorder,
+    /// drop or duplicate results.
+    fn pool_map_matches_sequential_under_skew(g) {
+        let len = g.usize_in(0..65);
+        let threads = g.usize_in(1..10);
+        let min_chunk = g.usize_in(1..5);
+        let profile = g.usize_in(0..4);
+        let hot = g.usize_in(0..len.max(1));
+        let items: Vec<u64> = (0..len as u64).collect();
+        let weight = |i: usize| -> u64 {
+            match profile {
+                0 => 1,                                           // uniform
+                1 => if i < len / 4 { 16 } else { 1 },            // front-loaded
+                2 => if i >= len - len / 4 { 16 } else { 1 },     // back-loaded
+                _ => if i == hot { 64 } else { 1 },               // single hot item
+            }
+        };
+        let f = |&x: &u64| weighted_work(x, weight(x as usize));
+        let sequential: Vec<u64> = items.iter().map(f).collect();
+        let pool = Pool::with_min_chunk(threads, min_chunk);
+        assert_eq!(pool.map(&items, f), sequential,
+            "threads={threads} min_chunk={min_chunk} profile={profile}");
+    }
+
+    /// A panic at an arbitrary item must propagate out of `Pool::map` at
+    /// any thread count — including through the stealing parallel path —
+    /// never hang a worker or return a truncated result.
+    fn pool_map_propagates_panics(g) {
+        let threads = g.usize_in(1..9);
+        let poison = g.usize_in(0..48);
+        let items: Vec<usize> = (0..48).collect();
+        let pool = Pool::with_min_chunk(threads, 1);
+        let result = std::panic::catch_unwind(|| {
+            pool.map(&items, |&x| {
+                assert!(x != poison, "synthetic worker failure");
+                x * 2
+            })
+        });
+        assert!(result.is_err(), "panic at item {poison} must reach the caller");
     }
 
     /// An [`ExperimentReport`] survives the JSON round trip exactly —

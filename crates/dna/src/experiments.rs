@@ -267,7 +267,7 @@ impl Experiment for DnaPipeline {
             "Substitution-rate sweep (recovery probability over {seeds} seeds)"
         ));
         let _phase = ctx.span("dna:substitution_sweep");
-        let results = ctx.exec(subs, |&sub| {
+        let results = ctx.exec().map(subs, |&sub| {
             let cfg = PipelineConfig {
                 channel: ChannelModel {
                     substitution: sub,

@@ -69,15 +69,21 @@ impl Experiment for HeteroPipeline {
 
         ctx.section("Training epoch profile per device (ms, NVMe storage)");
         let training_phase = ctx.span("hetero:training_profile");
+        // Device profiles are independent analytic models with very
+        // different costs — run the campaign on the shared executor pool.
+        let trainers: Vec<ComputeDevice> = ComputeDevice::campaign()
+            .into_iter()
+            .filter(|d| d.trains)
+            .collect();
+        let reports = ctx.exec().map(&trainers, |d| run_training(&spec, d, &nvme));
         let mut rows = Vec::new();
-        for d in ComputeDevice::campaign().iter().filter(|d| d.trains) {
-            let r = run_training(&spec, d, &nvme);
+        for r in &reports {
             ctx.counter("hetero.pipeline_runs");
             ctx.kpi(
                 &format!("training/{}_epoch_ms", kpi_slug(&r.device)),
                 r.total_time * 1e3,
             );
-            rows.push(stage_row(&r));
+            rows.push(stage_row(r));
         }
         ctx.table(
             &[
@@ -96,9 +102,10 @@ impl Experiment for HeteroPipeline {
         drop(training_phase);
         ctx.section("Inference profile per device (ms for the campaign, NVMe)");
         let _phase = ctx.span("hetero:inference_profile");
+        let devices = ComputeDevice::campaign();
+        let reports = ctx.exec().map(&devices, |d| run_inference(&spec, d, &nvme));
         let mut rows = Vec::new();
-        for d in ComputeDevice::campaign() {
-            let r = run_inference(&spec, &d, &nvme);
+        for r in &reports {
             ctx.counter("hetero.pipeline_runs");
             ctx.kpi(
                 &format!("inference/{}_samples_per_s", kpi_slug(&r.device)),
@@ -108,7 +115,7 @@ impl Experiment for HeteroPipeline {
                 &format!("inference/{}_energy_j", kpi_slug(&r.device)),
                 r.energy.value(),
             );
-            let mut row = stage_row(&r);
+            let mut row = stage_row(r);
             row.push(fmt(r.throughput, 0));
             row.push(fmt(r.energy.value(), 1));
             rows.push(row);

@@ -57,7 +57,7 @@ impl Experiment for SpartaSpeedup {
             ];
             // Configuration points are independent cycle-level simulations —
             // run them on the context's worker budget.
-            let reports = ctx.exec(&sweep, |&(accels, ctxs, chans, cache)| {
+            let reports = ctx.exec().map(&sweep, |&(accels, ctxs, chans, cache)| {
                 let cfg = SpartaConfig {
                     accelerators: accels,
                     contexts_per_accel: ctxs,
@@ -106,7 +106,7 @@ impl Experiment for SpartaSpeedup {
         } else {
             &[25, 50, 100, 200, 400]
         };
-        let results = ctx.exec(latencies, |&lat| {
+        let results = ctx.exec().map(latencies, |&lat| {
             let cfg = SpartaConfig {
                 accelerators: 4,
                 contexts_per_accel: 8,

@@ -328,7 +328,8 @@ pub fn imc_accuracy<P: Programmer>(
     })
 }
 
-/// Evaluates many deployment scenarios on the [`f2_core::exec`] worker pool.
+/// Evaluates many deployment scenarios on `pool`'s work-stealing workers
+/// ([`f2_core::exec::Pool`]).
 ///
 /// Each scenario derives its randomness from the same `seed` through
 /// [`imc_accuracy`]'s per-deployment stream, so the result vector is
@@ -338,13 +339,14 @@ pub fn imc_accuracy<P: Programmer>(
 ///
 /// Returns the first mapping/geometry error.
 pub fn sweep_scenarios<P: Programmer + Sync>(
+    pool: &f2_core::exec::Pool,
     mlp: &Mlp,
     data: &Dataset,
     scenarios: &[DeploymentScenario],
     programmer: &P,
     seed: u64,
 ) -> Result<Vec<ImcEvaluation>> {
-    f2_core::exec::par_map(scenarios, |scenario| {
+    pool.map(scenarios, |scenario| {
         imc_accuracy(mlp, data, scenario, programmer, seed)
     })
     .into_iter()
@@ -394,8 +396,10 @@ mod tests {
                 tile: tile_cfg(),
             })
             .collect();
-        let parallel = sweep_scenarios(&mlp, &test, &scenarios, &ProgramVerify::default(), 5)
-            .expect("deployable");
+        let pool = f2_core::exec::Pool::new(3);
+        let parallel =
+            sweep_scenarios(&pool, &mlp, &test, &scenarios, &ProgramVerify::default(), 5)
+                .expect("deployable");
         let sequential: Vec<ImcEvaluation> = scenarios
             .iter()
             .map(|s| {

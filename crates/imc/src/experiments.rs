@@ -265,7 +265,7 @@ impl ImcEnergy {
         // its own seeded RNG stream, so the points are independent — run them
         // on the context's worker budget.
         let seed = ctx.seed();
-        let results = ctx.exec(bits_list, |&bits| {
+        let results = ctx.exec().map(bits_list, |&bits| {
             let mut rng = f2_core::rng::rng_for(seed, "e4-adc");
             let xbar = Crossbar::program(
                 DeviceModel::rram(),

@@ -272,7 +272,8 @@ impl Experiment for TcdmBanking {
         let t_seq = t_seq.elapsed();
 
         let t_par = Instant::now();
-        let reports = sweep_configs(&configs, &program, &preload).expect("programs halt");
+        let reports =
+            sweep_configs(ctx.exec(), &configs, &program, &preload).expect("programs halt");
         let t_par = t_par.elapsed();
         drop(banks_phase);
 
@@ -337,7 +338,7 @@ impl Experiment for TcdmBanking {
                 max_cycles: 50_000_000,
             })
             .collect();
-        let reports = sweep_configs(&scaling, &program, |_| {}).expect("programs halt");
+        let reports = sweep_configs(ctx.exec(), &scaling, &program, |_| {}).expect("programs halt");
         let base = reports[0].cycles;
         let mut rows = Vec::new();
         for (cfg, report) in scaling.iter().zip(&reports) {

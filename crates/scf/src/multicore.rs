@@ -293,9 +293,11 @@ pub fn vector_add_program(n: u32) -> Vec<u32> {
     ]
 }
 
-/// Runs the same SPMD `program` across many cluster configurations on the
-/// [`f2_core::exec`] worker pool — the multi-core hot path of the TCDM
-/// banking and core-scaling ablations.
+/// Runs the same SPMD `program` across many cluster configurations on
+/// `pool`'s work-stealing workers ([`f2_core::exec::Pool`]) — the
+/// multi-core hot path of the TCDM banking and core-scaling ablations,
+/// where per-configuration simulation cost varies by orders of magnitude
+/// (a 16-core cluster simulates far longer than a single core).
 ///
 /// `setup` initialises each freshly built cluster (typically preloading TCDM
 /// operands) before it runs. Every simulation is independent and
@@ -306,11 +308,12 @@ pub fn vector_add_program(n: u32) -> Vec<u32> {
 ///
 /// Returns the first configuration or simulation error.
 pub fn sweep_configs(
+    pool: &f2_core::exec::Pool,
     configs: &[MulticoreConfig],
     program: &[u32],
     setup: impl Fn(&mut MulticoreCluster) + Sync,
 ) -> Result<Vec<MulticoreReport>> {
-    f2_core::exec::par_map(configs, |cfg| {
+    pool.map(configs, |cfg| {
         let mut cluster = MulticoreCluster::spmd(*cfg, program)?;
         setup(&mut cluster);
         cluster.run()
@@ -349,7 +352,8 @@ mod tests {
                     .expect("in range");
             }
         };
-        let parallel = sweep_configs(&configs, &program, setup).expect("programs halt");
+        let pool = f2_core::exec::Pool::new(4);
+        let parallel = sweep_configs(&pool, &configs, &program, setup).expect("programs halt");
         let sequential: Vec<MulticoreReport> = configs
             .iter()
             .map(|cfg| {
@@ -369,7 +373,8 @@ mod tests {
             tcdm_words_per_bank: 64,
             max_cycles: 1000,
         };
-        assert!(sweep_configs(&[bad], &vector_add_program(8), |_| {}).is_err());
+        let pool = f2_core::exec::Pool::new(2);
+        assert!(sweep_configs(&pool, &[bad], &vector_add_program(8), |_| {}).is_err());
     }
 
     #[test]
