@@ -33,5 +33,13 @@ TRACE=/tmp/f2-trace.json
 run bash -c "$F2 run all --quick --threads 8 --trace $TRACE > /dev/null"
 run "$F2" check-trace "$TRACE" --require-experiments --require-workers
 
+# Perf smoke: run the curated hot-kernel suite at quick fidelity and
+# compare p10 times against the committed baseline. Wall-clock numbers
+# are machine-dependent (never KPIs), so the threshold is generous —
+# this only catches order-of-magnitude regressions.
+BENCH=/tmp/f2-bench.json
+run bash -c "$F2 bench --quick --out $BENCH > /dev/null"
+run "$F2" check-bench BENCH_PR5.json --current "$BENCH" --max-regress 50
+
 echo
 echo "CI OK"

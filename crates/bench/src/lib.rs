@@ -24,6 +24,7 @@ pub use f2_core::experiment::render::{fmt, print_table, section};
 use f2_core::json::{Json, ToJson};
 
 pub mod runner;
+pub mod suite;
 
 /// Deprecated environment alias for `f2 run --json`: setting it to a truthy
 /// value (anything but empty, `0` or `false`) switches on JSON line output.

@@ -82,6 +82,37 @@ impl Default for RunOptions {
     }
 }
 
+/// Options of the `bench` subcommand.
+pub struct BenchOptions {
+    /// Reduced problem sizes (the configuration committed baselines and the
+    /// CI smoke use).
+    pub quick: bool,
+    /// Measured samples per benchmark.
+    pub samples: usize,
+    /// Substring filter on `group/function` labels.
+    pub filter: Option<String>,
+    /// Worker threads for the pool-based kernels.
+    pub threads: usize,
+    /// Write the `f2-bench-v1` JSON report to this path.
+    pub out: Option<PathBuf>,
+    /// Write a Chrome trace-event JSON of the run (one `bench:<label>`
+    /// span per kernel) to this path.
+    pub trace: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            samples: f2_core::benchkit::samples_from_env(),
+            filter: None,
+            threads: f2_core::exec::num_threads(),
+            out: None,
+            trace: trace_env_path(),
+        }
+    }
+}
+
 /// A parsed `f2` invocation.
 pub enum Command {
     /// `f2 list [--json]`
@@ -104,6 +135,18 @@ pub enum Command {
         require_experiments: bool,
         /// Demand per-worker executor spans (`exec:worker`).
         require_workers: bool,
+    },
+    /// `f2 bench [flags]`
+    Bench(BenchOptions),
+    /// `f2 check-bench <baseline.json> [--current <file>] [--max-regress <pct>]`
+    CheckBench {
+        /// Committed baseline report (`f2 bench --out`).
+        baseline: PathBuf,
+        /// Current report to compare; omitted = run the suite now with the
+        /// baseline's own quick/samples/threads configuration.
+        current: Option<PathBuf>,
+        /// Allowed p10 slowdown per kernel, in percent.
+        max_regress: f64,
     },
 }
 
@@ -132,6 +175,20 @@ Commands:
   check-trace <file> [flags]         validate a trace written by `run --trace`
       --require-experiments          demand one span per registered experiment
       --require-workers              demand per-worker executor spans
+  bench [flags]                      run the curated hot-kernel suite
+      --quick                        smaller sizes (baseline/CI configuration)
+      --samples <N>                  measured samples per benchmark
+                                     (or set F2_BENCH_SAMPLES)
+      --filter <substr>              only labels containing the substring
+      --threads <N>                  worker threads for pool-based kernels
+      --out <report.json>            write the f2-bench-v1 JSON report
+      --trace <out.json>             write a Chrome/Perfetto trace (one
+                                     bench:<label> span per kernel)
+  check-bench <baseline.json> [flags]  compare against a committed baseline
+      --current <report.json>        compare this report instead of running
+                                     the suite now
+      --max-regress <pct>            allowed p10 slowdown per kernel
+                                     (default 50)
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -225,6 +282,80 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 path: path.ok_or("missing trace file: pass the `run --trace` output")?,
                 require_experiments,
                 require_workers,
+            })
+        }
+        "bench" => {
+            let mut opts = BenchOptions::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => opts.quick = true,
+                    "--samples" => {
+                        let v = it.next().ok_or("--samples needs a value")?;
+                        opts.samples = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid sample count {v}"))?;
+                    }
+                    "--filter" => {
+                        opts.filter = Some(it.next().ok_or("--filter needs a value")?.to_string());
+                    }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        opts.threads = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid thread count {v}"))?;
+                    }
+                    "--out" => {
+                        opts.out = Some(PathBuf::from(
+                            it.next().ok_or("--out needs an output path")?,
+                        ));
+                    }
+                    "--trace" => {
+                        opts.trace = Some(PathBuf::from(
+                            it.next().ok_or("--trace needs an output path")?,
+                        ));
+                    }
+                    other => return Err(format!("unknown `bench` flag {other}")),
+                }
+            }
+            Ok(Command::Bench(opts))
+        }
+        "check-bench" => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut max_regress = 50.0f64;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--current" => {
+                        current = Some(PathBuf::from(
+                            it.next().ok_or("--current needs a report path")?,
+                        ));
+                    }
+                    "--max-regress" => {
+                        let v = it.next().ok_or("--max-regress needs a percentage")?;
+                        max_regress = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|p| p.is_finite() && *p >= 0.0)
+                            .ok_or_else(|| format!("invalid regression bound {v}"))?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown `check-bench` flag {flag}"));
+                    }
+                    file => {
+                        if baseline.replace(PathBuf::from(file)).is_some() {
+                            return Err("multiple baselines; pass exactly one".into());
+                        }
+                    }
+                }
+            }
+            Ok(Command::CheckBench {
+                baseline: baseline.ok_or("missing baseline: pass a `bench --out` report")?,
+                current,
+                max_regress,
             })
         }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
@@ -513,6 +644,220 @@ pub fn check(input: &mut dyn BufRead, golden_dir: &std::path::Path) -> u8 {
     }
 }
 
+/// Runs the curated hot-kernel suite (see [`crate::suite`]); returns the
+/// process exit code. The human-readable table always goes to stdout; the
+/// machine-readable `f2-bench-v1` report is written only via `--out`, and
+/// `--trace` wraps the run in a [`f2_core::trace`] session so every kernel
+/// gets a `bench:<label>` span.
+pub fn bench(opts: &BenchOptions) -> u8 {
+    let session = opts.trace.is_some().then(f2_core::trace::session);
+    let cfg = crate::suite::SuiteConfig {
+        quick: opts.quick,
+        samples: opts.samples,
+        filter: opts.filter.clone(),
+        threads: opts.threads,
+    };
+    let harness = crate::suite::run_suite(&cfg);
+    harness.finish();
+    let mut failures = 0;
+    if harness.results().is_empty() {
+        eprintln!("f2 bench: no benchmark matched the filter");
+        failures += 1;
+    } else if let Some(out) = &opts.out {
+        let doc = crate::suite::suite_json(&harness, &cfg);
+        match std::fs::write(out, format!("{}\n", doc.encode())) {
+            Ok(()) => eprintln!(
+                "f2 bench: wrote {} record(s) to {}",
+                harness.results().len(),
+                out.display()
+            ),
+            Err(e) => {
+                eprintln!("f2 bench: cannot write report to {}: {e}", out.display());
+                failures += 1;
+            }
+        }
+    }
+    if let Some(session) = session {
+        let trace_report = session.finish();
+        if let Some(path) = &opts.trace {
+            match std::fs::write(path, trace_report.to_chrome_json().encode()) {
+                Ok(()) => eprintln!(
+                    "f2 bench: wrote {} span(s) to {}",
+                    trace_report.spans.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("f2 bench: cannot write trace to {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    u8::from(failures > 0)
+}
+
+/// A parsed `f2-bench-v1` report: run configuration plus per-label p10
+/// nanoseconds, in file order.
+struct BenchDoc {
+    quick: bool,
+    samples: usize,
+    threads: usize,
+    p10_ns: Vec<(String, f64)>,
+}
+
+/// Loads and validates a bench report; the error carries the exit code
+/// (2 unreadable, 1 malformed) and the message to print.
+fn load_bench_doc(path: &std::path::Path) -> Result<BenchDoc, (u8, String)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| (2, format!("cannot read {}: {e}", path.display())))?;
+    let doc =
+        Json::parse(&text).map_err(|e| (1, format!("{}: malformed JSON: {e}", path.display())))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(crate::suite::SCHEMA) {
+        return Err((
+            1,
+            format!(
+                "{}: not a `{}` document",
+                path.display(),
+                crate::suite::SCHEMA
+            ),
+        ));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or_else(|| (1, format!("{}: missing `records` array", path.display())))?;
+    let mut p10_ns = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let label = r
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| (1, format!("{}: record {i} missing `label`", path.display())))?;
+        let p10 = r
+            .get("p10_ns")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| {
+                (
+                    1,
+                    format!("{}: record {i} missing a finite `p10_ns`", path.display()),
+                )
+            })?;
+        p10_ns.push((label.to_string(), p10));
+    }
+    Ok(BenchDoc {
+        quick: doc.get("quick").and_then(Json::as_bool).unwrap_or(false),
+        samples: doc
+            .get("samples")
+            .and_then(Json::as_f64)
+            .map_or_else(f2_core::benchkit::samples_from_env, |v| v as usize),
+        threads: doc
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map_or_else(f2_core::exec::num_threads, |v| v as usize),
+        p10_ns,
+    })
+}
+
+/// Compares two reports label by label on p10; returns the failure
+/// messages. A baseline label missing from `current` is a failure (the
+/// kernel silently vanished from the suite); extra current labels are fine
+/// (new kernels need a blessed baseline first).
+fn compare_bench(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    max_regress: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (label, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(l, _)| l == label) else {
+            failures.push(format!("{label}: missing from the current run"));
+            continue;
+        };
+        let allowed = base * (1.0 + max_regress / 100.0);
+        if *cur > allowed {
+            failures.push(format!(
+                "{label}: p10 {:.0} ns vs baseline {:.0} ns (+{:.1}%, allowed +{max_regress:.1}%)",
+                cur,
+                base,
+                (cur / base - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+/// Verifies the current suite timings against a committed baseline report.
+///
+/// Compares p10 per label — the outlier-robust statistic `benchkit`
+/// records exactly for this purpose — and fails any kernel more than
+/// `max_regress` percent slower. Without `--current` the suite runs
+/// in-process using the baseline's own quick/samples/threads
+/// configuration. Wall-clock numbers are machine-dependent, so baselines
+/// only mean something on the machine that produced them; CI regenerates
+/// its own current run and uses a generous bound.
+/// Returns the process exit code (0 ok, 1 regressed/malformed,
+/// 2 unreadable).
+pub fn check_bench(
+    baseline: &std::path::Path,
+    current: Option<&std::path::Path>,
+    max_regress: f64,
+) -> u8 {
+    let base = match load_bench_doc(baseline) {
+        Ok(d) => d,
+        Err((code, msg)) => {
+            eprintln!("f2 check-bench: {msg}");
+            return code;
+        }
+    };
+    let cur_p10 = match current {
+        Some(path) => match load_bench_doc(path) {
+            Ok(d) => d.p10_ns,
+            Err((code, msg)) => {
+                eprintln!("f2 check-bench: {msg}");
+                return code;
+            }
+        },
+        None => {
+            eprintln!(
+                "f2 check-bench: no --current report; running the suite \
+                 (quick={}, samples={}, threads={})",
+                base.quick, base.samples, base.threads
+            );
+            let cfg = crate::suite::SuiteConfig {
+                quick: base.quick,
+                samples: base.samples,
+                filter: None,
+                threads: base.threads,
+            };
+            let harness = crate::suite::run_suite(&cfg);
+            harness
+                .results()
+                .iter()
+                .map(|r| (r.label.clone(), r.p10.as_nanos() as f64))
+                .collect()
+        }
+    };
+    let failures = compare_bench(&base.p10_ns, &cur_p10, max_regress);
+    for f in &failures {
+        eprintln!("f2 check-bench: {f}");
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "f2 check-bench: {} kernel(s) within +{max_regress:.1}% of {}",
+            base.p10_ns.len(),
+            baseline.display()
+        );
+        0
+    } else {
+        eprintln!(
+            "f2 check-bench: {} regression(s) across {} kernel(s)",
+            failures.len(),
+            base.p10_ns.len()
+        );
+        1
+    }
+}
+
 /// Full CLI entry point used by `src/bin/f2.rs`.
 pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
     match parse_args(args) {
@@ -531,6 +876,12 @@ pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
             require_experiments,
             require_workers,
         }) => check_trace(registry, &path, require_experiments, require_workers),
+        Ok(Command::Bench(opts)) => bench(&opts),
+        Ok(Command::CheckBench {
+            baseline,
+            current,
+            max_regress,
+        }) => check_bench(&baseline, current.as_deref(), max_regress),
         Err(msg) => {
             eprintln!("{msg}");
             2
@@ -764,6 +1115,170 @@ mod tests {
         .expect("writable tmp");
         assert_eq!(check_trace(&registry, &path, false, false), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let Command::Bench(opts) = parse_args(&args(&[
+            "bench",
+            "--quick",
+            "--samples",
+            "5",
+            "--filter",
+            "imc/",
+            "--threads",
+            "2",
+            "--out",
+            "/tmp/b.json",
+            "--trace",
+            "/tmp/bt.json",
+        ]))
+        .expect("parses") else {
+            panic!("expected bench");
+        };
+        assert!(opts.quick);
+        assert_eq!(opts.samples, 5);
+        assert_eq!(opts.filter.as_deref(), Some("imc/"));
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.out, Some(PathBuf::from("/tmp/b.json")));
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/bt.json")));
+        assert!(parse_args(&args(&["bench", "--samples", "0"])).is_err());
+        assert!(parse_args(&args(&["bench", "positional"])).is_err());
+    }
+
+    #[test]
+    fn parses_check_bench() {
+        let Command::CheckBench {
+            baseline,
+            current,
+            max_regress,
+        } = parse_args(&args(&["check-bench", "BENCH.json"])).expect("parses")
+        else {
+            panic!("expected check-bench");
+        };
+        assert_eq!(baseline, PathBuf::from("BENCH.json"));
+        assert_eq!(current, None);
+        assert_eq!(max_regress, 50.0);
+        let Command::CheckBench { max_regress, .. } = parse_args(&args(&[
+            "check-bench",
+            "b.json",
+            "--current",
+            "c.json",
+            "--max-regress",
+            "25",
+        ]))
+        .expect("parses") else {
+            panic!("expected check-bench");
+        };
+        assert_eq!(max_regress, 25.0);
+        assert!(parse_args(&args(&["check-bench"])).is_err());
+        assert!(parse_args(&args(&["check-bench", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["check-bench", "a", "--max-regress", "-5"])).is_err());
+    }
+
+    fn bench_doc(records: &[(&str, u64)]) -> String {
+        let recs: Vec<String> = records
+            .iter()
+            .map(|(l, p10)| {
+                format!(
+                    "{{\"label\":\"{l}\",\"min_ns\":{p10},\"p10_ns\":{p10},\
+                     \"median_ns\":{p10},\"mean_ns\":{p10},\"iters_per_sample\":1}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"f2-bench-v1\",\"threads\":1,\"quick\":true,\
+             \"samples\":3,\"records\":[{}]}}",
+            recs.join(",")
+        )
+    }
+
+    #[test]
+    fn check_bench_flags_a_synthetic_regression() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("f2-check-bench-base.json");
+        let fast = dir.join("f2-check-bench-fast.json");
+        let slow = dir.join("f2-check-bench-slow.json");
+        std::fs::write(&base, bench_doc(&[("g/a", 100), ("g/b", 200)])).expect("writable tmp");
+        std::fs::write(&fast, bench_doc(&[("g/a", 110), ("g/b", 150)])).expect("writable tmp");
+        std::fs::write(&slow, bench_doc(&[("g/a", 400), ("g/b", 200)])).expect("writable tmp");
+        assert_eq!(check_bench(&base, Some(&fast), 50.0), 0);
+        assert_eq!(check_bench(&base, Some(&slow), 50.0), 1);
+        // A tighter bound turns the mild slowdown into a failure too.
+        assert_eq!(check_bench(&base, Some(&fast), 5.0), 1);
+        for p in [&base, &fast, &slow] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn check_bench_fails_on_vanished_kernels_and_bad_files() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("f2-check-bench-base2.json");
+        let partial = dir.join("f2-check-bench-partial.json");
+        std::fs::write(&base, bench_doc(&[("g/a", 100), ("g/b", 200)])).expect("writable tmp");
+        std::fs::write(&partial, bench_doc(&[("g/a", 100)])).expect("writable tmp");
+        assert_eq!(
+            check_bench(&base, Some(&partial), 50.0),
+            1,
+            "baseline kernel missing from current must fail"
+        );
+        // Extra current kernels are fine.
+        assert_eq!(check_bench(&partial, Some(&base), 50.0), 0);
+        let missing = dir.join("f2-check-bench-missing.json");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(check_bench(&missing, Some(&base), 50.0), 2);
+        let bad = dir.join("f2-check-bench-bad.json");
+        std::fs::write(&bad, "{not json").expect("writable tmp");
+        assert_eq!(check_bench(&bad, Some(&base), 50.0), 1);
+        let wrong = dir.join("f2-check-bench-wrong-schema.json");
+        std::fs::write(&wrong, "{\"schema\":\"other\",\"records\":[]}").expect("writable tmp");
+        assert_eq!(check_bench(&wrong, Some(&base), 50.0), 1);
+        for p in [&base, &partial, &bad, &wrong] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn compare_bench_reports_percentages() {
+        let base = vec![("g/a".to_string(), 100.0)];
+        let cur = vec![("g/a".to_string(), 300.0)];
+        let failures = compare_bench(&base, &cur, 50.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("+200.0%"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn bench_subcommand_writes_a_checkable_report() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("f2-bench-report-test.json");
+        let trace = dir.join("f2-bench-trace-test.json");
+        let opts = BenchOptions {
+            quick: true,
+            samples: 3,
+            filter: Some("dna/channel".to_string()),
+            threads: 1,
+            out: Some(out.clone()),
+            trace: Some(trace.clone()),
+        };
+        assert_eq!(bench(&opts), 0);
+        // The report round-trips through check-bench against itself.
+        assert_eq!(check_bench(&out, Some(&out), 50.0), 0);
+        // The trace holds the kernel's bench span and passes validation.
+        let registry = Registry::new();
+        assert_eq!(check_trace(&registry, &trace, false, false), 0);
+        let text = std::fs::read_to_string(&trace).expect("trace written");
+        assert!(text.contains("bench:dna/channel"));
+        // An all-excluding filter is an error.
+        let none = BenchOptions {
+            filter: Some("no-such-kernel".to_string()),
+            out: None,
+            trace: None,
+            ..opts
+        };
+        assert_eq!(bench(&none), 1);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

@@ -13,8 +13,14 @@
 //! group.bench_function("dp", |b| b.iter(|| 2 + 2));
 //! ```
 
+use crate::json::{Json, ToJson};
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
+
+/// Environment variable overriding the default number of measured samples
+/// per benchmark (`f2 bench --samples` wins over it). Invalid values are
+/// reported once on stderr and ignored, like `F2_EXEC_MIN_CHUNK`.
+pub const SAMPLES_ENV: &str = "F2_BENCH_SAMPLES";
 
 /// Opaque value barrier preventing the optimiser from deleting benchmarked
 /// work (re-export of [`std::hint::black_box`] under the familiar name).
@@ -27,9 +33,17 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(5);
 /// Default number of measured samples per benchmark.
 const DEFAULT_SAMPLES: usize = 15;
 
+/// Resolves the default sample count: [`SAMPLES_ENV`] if set and a positive
+/// integer, otherwise [`DEFAULT_SAMPLES`]; always at least 3 so the median
+/// and p10 stay meaningful.
+pub fn samples_from_env() -> usize {
+    crate::exec::env_knob(SAMPLES_ENV, || DEFAULT_SAMPLES).max(3)
+}
+
 /// Top-level harness: owns the benchmark filter and collects results.
 pub struct Harness {
     filter: Option<String>,
+    samples: usize,
     results: Vec<Record>,
 }
 
@@ -40,12 +54,38 @@ pub struct Record {
     pub label: String,
     /// Fastest sample.
     pub min: Duration,
+    /// 10th-percentile sample (sorted index `samples / 10`): robust to the
+    /// occasional slow outlier a shared machine injects, unlike `min` which
+    /// rewards one lucky sample — the statistic `check-bench` compares.
+    pub p10: Duration,
     /// Median sample.
     pub median: Duration,
     /// Mean over all samples.
     pub mean: Duration,
     /// Iterations per sample the calibrator settled on.
     pub iters_per_sample: u64,
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".to_string(), self.label.to_json()),
+            ("min_ns".to_string(), (self.min.as_nanos() as u64).to_json()),
+            ("p10_ns".to_string(), (self.p10.as_nanos() as u64).to_json()),
+            (
+                "median_ns".to_string(),
+                (self.median.as_nanos() as u64).to_json(),
+            ),
+            (
+                "mean_ns".to_string(),
+                (self.mean.as_nanos() as u64).to_json(),
+            ),
+            (
+                "iters_per_sample".to_string(),
+                self.iters_per_sample.to_json(),
+            ),
+        ])
+    }
 }
 
 impl Harness {
@@ -58,6 +98,7 @@ impl Harness {
             .find(|a| !a.starts_with('-') && a != "bench");
         Self {
             filter,
+            samples: samples_from_env(),
             results: Vec::new(),
         }
     }
@@ -66,16 +107,29 @@ impl Harness {
     pub fn new() -> Self {
         Self {
             filter: None,
+            samples: samples_from_env(),
             results: Vec::new(),
         }
     }
 
+    /// Overrides the default sample count for groups opened after this
+    /// call (the `f2 bench --samples` knob); clamped to at least 3.
+    pub fn set_samples(&mut self, samples: usize) {
+        self.samples = samples.max(3);
+    }
+
+    /// Restricts `bench_function` to labels containing `filter`.
+    pub fn set_filter(&mut self, filter: Option<String>) {
+        self.filter = filter;
+    }
+
     /// Opens a named benchmark group.
     pub fn group(&mut self, name: &str) -> Group<'_> {
+        let samples = self.samples;
         Group {
             harness: self,
             name: name.to_string(),
-            samples: DEFAULT_SAMPLES,
+            samples,
         }
     }
 
@@ -88,15 +142,16 @@ impl Harness {
     pub fn finish(&self) {
         println!();
         println!(
-            "{:<44} {:>12} {:>12} {:>12}",
-            "benchmark", "min", "median", "mean"
+            "{:<44} {:>12} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "p10", "median", "mean"
         );
-        println!("{}", "-".repeat(84));
+        println!("{}", "-".repeat(97));
         for r in &self.results {
             println!(
-                "{:<44} {:>12} {:>12} {:>12}",
+                "{:<44} {:>12} {:>12} {:>12} {:>12}",
                 r.label,
                 format_duration(r.min),
+                format_duration(r.p10),
                 format_duration(r.median),
                 format_duration(r.mean),
             );
@@ -125,7 +180,10 @@ impl Group<'_> {
     }
 
     /// Measures one benchmark; skipped (with a note) when a CLI filter does
-    /// not match.
+    /// not match. When a [`crate::trace`] session is live the whole
+    /// measurement (warm-up, calibration and samples) runs under a
+    /// `bench:<group/label>` span, so `f2 bench --trace` output is
+    /// Perfetto-inspectable per kernel.
     pub fn bench_function(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let full = format!("{}/{}", self.name, label);
         if let Some(filter) = &self.harness.filter {
@@ -133,6 +191,7 @@ impl Group<'_> {
                 return self;
             }
         }
+        let _span = crate::trace::span(&format!("bench:{full}"));
         let mut bencher = Bencher {
             samples: self.samples,
             record: None,
@@ -189,11 +248,13 @@ impl Bencher {
         }
         times.sort_unstable();
         let min = times[0];
+        let p10 = times[times.len() / 10];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
         self.record = Some(Record {
             label: String::new(),
             min,
+            p10,
             median,
             mean,
             iters_per_sample: iters,
@@ -228,16 +289,51 @@ mod tests {
         assert_eq!(h.results().len(), 1);
         let r = &h.results()[0];
         assert_eq!(r.label, "smoke/noop");
-        assert!(r.min <= r.median && r.median <= r.mean * 2);
+        assert!(r.min <= r.p10 && r.p10 <= r.median && r.median <= r.mean * 2);
         assert!(r.iters_per_sample >= 1);
     }
 
     #[test]
-    fn filter_skips_nonmatching() {
-        let mut h = Harness {
-            filter: Some("wanted".to_string()),
-            results: Vec::new(),
+    fn record_serialises_to_json_in_ns() {
+        let r = Record {
+            label: "g/f".to_string(),
+            min: Duration::from_nanos(100),
+            p10: Duration::from_nanos(110),
+            median: Duration::from_nanos(150),
+            mean: Duration::from_nanos(160),
+            iters_per_sample: 42,
         };
+        assert_eq!(
+            r.to_json().encode(),
+            r#"{"label":"g/f","min_ns":100,"p10_ns":110,"median_ns":150,"mean_ns":160,"iters_per_sample":42}"#
+        );
+    }
+
+    #[test]
+    fn harness_samples_knob_clamps_and_propagates() {
+        let mut h = Harness::new();
+        h.set_samples(1);
+        assert_eq!(h.samples, 3, "clamped to the statistical minimum");
+        h.set_samples(7);
+        let group = h.group("g");
+        assert_eq!(group.samples, 7);
+    }
+
+    #[test]
+    fn bench_function_emits_a_labelled_span() {
+        let session = crate::trace::session();
+        let mut h = Harness::new();
+        h.set_samples(3);
+        h.group("spanned")
+            .bench_function("noop", |b| b.iter(|| 1u8));
+        let report = session.finish();
+        assert_eq!(report.span_count("bench:spanned/noop"), 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness::new();
+        h.set_filter(Some("wanted".to_string()));
         let mut group = h.group("g");
         group.sample_size(3);
         group.bench_function("other", |b| b.iter(|| 0u8));

@@ -86,8 +86,9 @@ pub fn parse_threads_override(value: Option<&str>) -> ThreadsOverride {
 }
 
 /// Resolves a positive-integer env knob, warning once per knob on an
-/// invalid value and falling back to `default`.
-fn env_knob(var: &'static str, default: impl FnOnce() -> usize) -> usize {
+/// invalid value and falling back to `default`. Shared with
+/// [`crate::benchkit`] for `F2_BENCH_SAMPLES`.
+pub(crate) fn env_knob(var: &'static str, default: impl FnOnce() -> usize) -> usize {
     match parse_threads_override(std::env::var(var).ok().as_deref()) {
         ThreadsOverride::Threads(n) => n,
         ThreadsOverride::Unset => default(),
@@ -381,41 +382,6 @@ impl Pool {
     }
 }
 
-/// Maps `f` over `items` on a fresh environment-sized pool.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct an `exec::Pool` once and call `pool.map(items, f)`"
-)]
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    Pool::from_env().map(items, f)
-}
-
-/// Runs `f` for every item on a fresh environment-sized pool.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct an `exec::Pool` once and call `pool.for_each(items, f)`"
-)]
-pub fn par_for<T: Sync>(items: &[T], f: impl Fn(&T) + Sync) {
-    Pool::from_env().for_each(items, f);
-}
-
-/// Maps `f` over `items` on a fresh `threads`-wide pool.
-///
-/// # Panics
-///
-/// Panics if `threads` is zero, or re-raises the first worker panic.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct an `exec::Pool` once and call `pool.map(items, f)`"
-)]
-pub fn par_map_threads<T: Sync, R: Send>(
-    threads: usize,
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    Pool::new(threads).map(items, f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,20 +513,6 @@ mod tests {
         }
         // A min_chunk larger than the input collapses to one chunk.
         assert_eq!(chunk_schedule(10, 2, 64), vec![10]);
-    }
-
-    #[test]
-    fn deprecated_shims_forward_to_a_pool() {
-        #![allow(deprecated)]
-        let items: Vec<u64> = (0..31).collect();
-        let seq: Vec<u64> = items.iter().map(|&x| x + 7).collect();
-        assert_eq!(par_map(&items, |&x| x + 7), seq);
-        assert_eq!(par_map_threads(3, &items, |&x| x + 7), seq);
-        let count = AtomicUsize::new(0);
-        par_for(&items, |_| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 31);
     }
 
     #[test]

@@ -272,6 +272,34 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Transposed matrix-vector product `selfᵀ * x`, without materialising
+    /// the transpose.
+    ///
+    /// Bit-identical to `self.transposed().matvec(x)`: that path folds
+    /// `out[j] = Σₖ self[(k,j)]·x[k]` from `0.0` in ascending `k`, and the
+    /// row-major accumulation loop below performs the same additions on
+    /// every output element in the same order — it only reorders the
+    /// (independent) per-element accumulators, not any floating-point op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(CoreError::ShapeMismatch {
+                expected: vec![self.rows],
+                actual: vec![x.len()],
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &xk) in self.data.chunks_exact(self.cols).zip(x) {
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w * xk;
+            }
+        }
+        Ok(out)
+    }
+
     /// Transposed copy.
     pub fn transposed(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
@@ -348,6 +376,19 @@ mod tests {
     fn matvec_shape_error() {
         let m = Matrix::zeros(2, 3);
         assert!(m.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_bit_identical_to_transposed_matvec() {
+        let m = Matrix::from_fn(7, 5, |r, c| ((r * 13 + c * 7) % 17) as f64 / 3.0 - 1.7);
+        let x: Vec<f64> = (0..7).map(|i| (i as f64).sin() * 2.5).collect();
+        let fast = m.matvec_t(&x).expect("shape");
+        let slow = m.transposed().matvec(&x).expect("shape");
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(m.matvec_t(&[1.0; 5]).is_err());
     }
 
     #[test]

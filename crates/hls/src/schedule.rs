@@ -173,21 +173,26 @@ pub fn alap(graph: &Dfg, lat: &OpLatency, deadline: u32) -> Schedule {
         deadline >= asap_len,
         "deadline {deadline} below critical path {asap_len}"
     );
-    let users = graph.users();
+    Schedule {
+        start: alap_starts(graph, lat, deadline, &graph.users()),
+        latency: deadline,
+    }
+}
+
+/// ALAP start cycles for a deadline already known to be feasible, reusing a
+/// precomputed user (reverse-edge) table.
+fn alap_starts(graph: &Dfg, lat: &OpLatency, deadline: u32, users: &[Vec<NodeId>]) -> Vec<u32> {
     let mut start = vec![0u32; graph.len()];
-    for (id, node) in graph.iter().collect::<Vec<_>>().into_iter().rev() {
-        let own = lat.of(&node.kind);
-        let s = users[id.0]
+    for i in (0..graph.len()).rev() {
+        let own = lat.of(&graph.node(NodeId(i)).kind);
+        let s = users[i]
             .iter()
             .map(|u| start[u.0].saturating_sub(own))
             .min()
             .unwrap_or(deadline - own);
-        start[id.0] = s;
+        start[i] = s;
     }
-    Schedule {
-        start,
-        latency: deadline,
-    }
+    start
 }
 
 /// Mobility (slack) of every node for a given deadline.
@@ -223,18 +228,51 @@ pub fn list_schedule(graph: &Dfg, lat: &OpLatency, budget: &ResourceBudget) -> R
             }
         }
     }
-    let deadline = asap(graph, lat).latency.max(1);
-    let mob = mobility(graph, lat, deadline);
-
     let n = graph.len();
+    let users = graph.users();
+    let asap_sch = asap(graph, lat);
+    let deadline = asap_sch.latency.max(1);
+    // Mobility computed in place: one ASAP pass and one ALAP pass total
+    // (`mobility()` would redo ASAP twice more).
+    let alap_start = alap_starts(graph, lat, deadline, &users);
+    let mob: Vec<u32> = asap_sch
+        .start
+        .iter()
+        .zip(&alap_start)
+        .map(|(&s_asap, &s_alap)| s_alap - s_asap)
+        .collect();
+
     let mut start = vec![u32::MAX; n];
-    let mut done = vec![false; n];
-    let mut finish = vec![0u32; n];
     let mut remaining = n;
     let mut cycle: u32 = 0;
     let mut latency = 0;
+    // Dependence tracking by operand counting: `ops_left[i]` is the number
+    // of operand edges of node `i` not yet satisfied at the current cycle
+    // (`users` lists one entry per edge, so duplicate operands balance).
+    // A node is ready exactly when its count hits zero, so `avail` is
+    // always the same set the historical full rescan produced — and since
+    // issue order is normalised by the total (mobility, id) sort below,
+    // the resulting schedule is identical.
+    let mut ops_left: Vec<usize> = (0..n)
+        .map(|i| graph.node(NodeId(i)).operands.len())
+        .collect();
+    let mut avail: Vec<NodeId> = (0..n).filter(|&i| ops_left[i] == 0).map(NodeId).collect();
+    // Event wheel: nodes whose results become usable at cycle `c` sit in
+    // `completing[c]` and release their users' counts when `c` starts.
+    let mut completing: Vec<Vec<NodeId>> = Vec::new();
+    let mut newly: Vec<NodeId> = Vec::new();
 
     while remaining > 0 {
+        if let Some(list) = completing.get_mut(cycle as usize) {
+            for id in std::mem::take(list) {
+                for &u in &users[id.0] {
+                    ops_left[u.0] -= 1;
+                    if ops_left[u.0] == 0 {
+                        avail.push(u);
+                    }
+                }
+            }
+        }
         let mut issued_alu = 0usize;
         let mut issued_mul = 0usize;
         let mut issued_mem = 0usize;
@@ -242,25 +280,15 @@ pub fn list_schedule(graph: &Dfg, lat: &OpLatency, budget: &ResourceBudget) -> R
         // outputs) chain combinationally, so scheduling one can make its
         // users ready in the same cycle.
         loop {
-            // Ready: unscheduled, all operands finish by this cycle.
-            let mut ready: Vec<NodeId> = graph
-                .iter()
-                .filter(|(id, _)| !done[id.0])
-                .filter(|(_, node)| {
-                    node.operands
-                        .iter()
-                        .all(|op| done[op.0] && finish[op.0] <= cycle)
-                })
-                .map(|(id, _)| id)
-                .collect();
-            if ready.is_empty() {
+            if avail.is_empty() {
                 break;
             }
-            // Least mobility first; ties by id for determinism.
-            ready.sort_by_key(|id| (mob[id.0], id.0));
+            // Least mobility first; ties by id for determinism (a total
+            // order, so the pre-sort order of `avail` cannot matter).
+            avail.sort_unstable_by_key(|id| (mob[id.0], id.0));
 
             let mut progressed = false;
-            for id in ready {
+            for &id in &avail {
                 let node = graph.node(id);
                 let fits = match unit_class(&node.kind) {
                     None => true,
@@ -280,12 +308,29 @@ pub fn list_schedule(graph: &Dfg, lat: &OpLatency, budget: &ResourceBudget) -> R
                     None => {}
                 }
                 start[id.0] = cycle;
-                finish[id.0] = cycle + lat.of(&node.kind);
-                done[id.0] = true;
+                let finish = cycle + lat.of(&node.kind);
                 remaining -= 1;
                 progressed = true;
-                latency = latency.max(finish[id.0]);
+                latency = latency.max(finish);
+                if finish == cycle {
+                    // Zero-latency: users can become ready within this
+                    // cycle's fixpoint (next iteration, like the rescan).
+                    for &u in &users[id.0] {
+                        ops_left[u.0] -= 1;
+                        if ops_left[u.0] == 0 {
+                            newly.push(u);
+                        }
+                    }
+                } else {
+                    let f = finish as usize;
+                    if completing.len() <= f {
+                        completing.resize_with(f + 1, Vec::new);
+                    }
+                    completing[f].push(id);
+                }
             }
+            avail.retain(|id| start[id.0] == u32::MAX);
+            avail.append(&mut newly);
             if !progressed {
                 break;
             }

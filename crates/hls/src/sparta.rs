@@ -243,8 +243,7 @@ impl Channel {
 
 #[derive(Debug, Clone)]
 struct Context {
-    tasks: Vec<usize>, // indices into workload.tasks
-    task_pos: usize,
+    task_pos: usize, // tasks this context has fully executed
     step_pos: usize,
     ready: u64,
     done: bool,
@@ -263,30 +262,24 @@ pub fn run(workload: &Workload, cfg: &SpartaConfig) -> Result<SpartaReport> {
     cfg.validate()?;
     let mut channels: Vec<Channel> = (0..cfg.mem_channels).map(|_| Channel::new(cfg)).collect();
 
-    // Distribute tasks.
-    let mut lanes: Vec<Vec<Context>> = (0..cfg.accelerators)
-        .map(|_| {
-            (0..cfg.contexts_per_accel)
-                .map(|_| Context {
-                    tasks: Vec::new(),
-                    task_pos: 0,
-                    step_pos: 0,
-                    ready: 0,
-                    done: false,
-                })
-                .collect()
+    // Tasks are distributed round-robin over lanes, then over each lane's
+    // contexts: task i runs on lane `i % A`, context `(i / A) % C`, so the
+    // k-th task of context (l, c) is `l + A * (c + C * k)` — computed on
+    // the fly instead of materialising per-context task lists. Contexts
+    // are stored flat as `l * C + c`, matching the lane-major scan order
+    // of the event loop below.
+    let a = cfg.accelerators;
+    let cpa = cfg.contexts_per_accel;
+    let n_tasks = workload.tasks.len();
+    let task_of = |l: usize, c: usize, k: usize| l + a * (c + cpa * k);
+    let mut ctxs: Vec<Context> = (0..a * cpa)
+        .map(|i| Context {
+            task_pos: 0,
+            step_pos: 0,
+            ready: 0,
+            done: task_of(i / cpa, i % cpa, 0) >= n_tasks,
         })
         .collect();
-    for (i, _) in workload.tasks.iter().enumerate() {
-        let lane = i % cfg.accelerators;
-        let ctx = (i / cfg.accelerators) % cfg.contexts_per_accel;
-        lanes[lane][ctx].tasks.push(i);
-    }
-    for lane in &mut lanes {
-        for ctx in lane.iter_mut() {
-            ctx.done = ctx.tasks.is_empty();
-        }
-    }
 
     let mut report = SpartaReport {
         cycles: 0,
@@ -302,23 +295,27 @@ pub fn run(workload: &Workload, cfg: &SpartaConfig) -> Result<SpartaReport> {
     // Global earliest-issue event loop. Each iteration advances exactly one
     // context by one step on its lane.
     loop {
-        // Find the globally earliest issuable (lane, context).
-        let mut best: Option<(u64, usize, usize)> = None;
-        for (l, lane) in lanes.iter().enumerate() {
-            for (c, ctx) in lane.iter().enumerate() {
+        // Find the globally earliest issuable (lane, context). Scanning
+        // lane-major slices keeps the flat index ascending (the tie-break
+        // order) while hoisting the lane-free lookup out of the inner loop.
+        let mut best: Option<(u64, usize)> = None;
+        for (l, lane_ctxs) in ctxs.chunks_exact(cpa).enumerate() {
+            let lf = lane_free[l];
+            for (c, ctx) in lane_ctxs.iter().enumerate() {
                 if ctx.done {
                     continue;
                 }
-                let t = lane_free[l].max(ctx.ready);
-                if best.is_none_or(|(bt, _, _)| t < bt) {
-                    best = Some((t, l, c));
+                let t = lf.max(ctx.ready);
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, l * cpa + c));
                 }
             }
         }
-        let Some((t, l, c)) = best else { break };
+        let Some((t, i)) = best else { break };
+        let (l, c) = (i / cpa, i % cpa);
 
-        let ctx = &mut lanes[l][c];
-        let task_idx = ctx.tasks[ctx.task_pos];
+        let ctx = &mut ctxs[i];
+        let task_idx = task_of(l, c, ctx.task_pos);
         let step = workload.tasks[task_idx].steps[ctx.step_pos];
 
         match step {
@@ -354,7 +351,7 @@ pub fn run(workload: &Workload, cfg: &SpartaConfig) -> Result<SpartaReport> {
         if ctx.step_pos >= workload.tasks[task_idx].steps.len() {
             ctx.step_pos = 0;
             ctx.task_pos += 1;
-            if ctx.task_pos >= ctx.tasks.len() {
+            if task_of(l, c, ctx.task_pos) >= n_tasks {
                 ctx.done = true;
             }
         }

@@ -55,6 +55,27 @@ impl Adc {
     }
 }
 
+/// Reusable scratch buffers for the `mvm*` kernels.
+///
+/// The MVM entry points historically rebuilt `vec![0.0; cols]` (and the
+/// quantised input vector) on every call — and once per *bit plane* in
+/// [`Crossbar::mvm_bit_serial`]. Callers in inner loops (tiled inference,
+/// benchmarks) construct one `MvmScratch` and thread it through the
+/// `*_with`/`*_into` variants; the plain entry points allocate a throwaway
+/// scratch so one-shot call sites are unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct MvmScratch {
+    quantised: Vec<(f64, u32)>,
+    currents: Vec<f64>,
+}
+
+impl MvmScratch {
+    /// An empty scratch; buffers grow to the largest geometry seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A programmed crossbar holding one weight matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Crossbar {
@@ -238,7 +259,6 @@ impl Crossbar {
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows, or
     /// [`ImcError::InvalidConfig`] if `input_bits` is 0 or above 12.
-    #[allow(clippy::needless_range_loop)]
     pub fn mvm_bit_serial(
         &self,
         x: &[f64],
@@ -247,6 +267,28 @@ impl Crossbar {
         adc: &Adc,
         rng: &mut impl Rng,
         ledger: &mut EnergyLedger,
+    ) -> Result<Vec<f64>> {
+        let mut scratch = MvmScratch::new();
+        self.mvm_bit_serial_with(x, x_max, input_bits, adc, rng, ledger, &mut scratch)
+    }
+
+    /// [`Crossbar::mvm_bit_serial`] with caller-owned scratch buffers, for
+    /// call sites that run many MVMs back to back. Bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows, or
+    /// [`ImcError::InvalidConfig`] if `input_bits` is 0 or above 12.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mvm_bit_serial_with(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        input_bits: u32,
+        adc: &Adc,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+        scratch: &mut MvmScratch,
     ) -> Result<Vec<f64>> {
         let (rows, cols) = self.dims();
         if x.len() != rows {
@@ -262,36 +304,40 @@ impl Crossbar {
         }
         // Signed-magnitude input quantisation.
         let qmax = ((1u32 << input_bits) - 1) as f64;
-        let quantised: Vec<(f64, u32)> = x
-            .iter()
-            .map(|&v| {
-                let norm = (v / x_max).clamp(-1.0, 1.0);
-                (norm.signum(), (norm.abs() * qmax).round() as u32)
-            })
-            .collect();
+        scratch.quantised.clear();
+        scratch.quantised.extend(x.iter().map(|&v| {
+            let norm = (v / x_max).clamp(-1.0, 1.0);
+            (norm.signum(), (norm.abs() * qmax).round() as u32)
+        }));
         let fs = self.adc_full_scale();
         let mut y = vec![0.0; cols];
         for bit in 0..input_bits {
             // Binary drivers: ±READ_VOLTAGE or 0 — no DAC conversion events.
             ledger.record(OpKind::AnalogCrossbarMac, (rows * cols * 2) as u64);
-            let mut currents = vec![0.0; cols];
-            for (r, &(sign, mag)) in quantised.iter().enumerate() {
+            scratch.currents.clear();
+            scratch.currents.resize(cols, 0.0);
+            for (r, &(sign, mag)) in scratch.quantised.iter().enumerate() {
                 if (mag >> bit) & 1 == 0 {
                     continue;
                 }
                 let v = sign * READ_VOLTAGE;
-                for c in 0..cols {
-                    let gp = self.device.read(self.g_pos[(r, c)], rng);
-                    let gn = self.device.read(self.g_neg[(r, c)], rng);
-                    currents[c] += v * (gp - gn);
+                for ((acc, &gp0), &gn0) in scratch
+                    .currents
+                    .iter_mut()
+                    .zip(self.g_pos.row(r))
+                    .zip(self.g_neg.row(r))
+                {
+                    let gp = self.device.read(gp0, rng);
+                    let gn = self.device.read(gn0, rng);
+                    *acc += v * (gp - gn);
                 }
             }
             let plane_weight = (1u32 << bit) as f64 / qmax;
-            for (c, i) in currents.into_iter().enumerate() {
+            for (o, &i) in y.iter_mut().zip(&scratch.currents) {
                 ledger.record(OpKind::AdcConversion, 1);
                 ledger.record(OpKind::AluInt32, 1); // shift-add recombine
                 let q = adc.quantize(i, fs);
-                y[c] += self.current_to_output(q, x_max) * plane_weight;
+                *o += self.current_to_output(q, x_max) * plane_weight;
             }
         }
         Ok(y)
@@ -304,7 +350,6 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
-    #[allow(clippy::needless_range_loop)]
     pub fn column_currents(
         &self,
         x: &[f64],
@@ -312,6 +357,26 @@ impl Crossbar {
         rng: &mut impl Rng,
         ledger: &mut EnergyLedger,
     ) -> Result<Vec<f64>> {
+        let mut currents = Vec::new();
+        self.column_currents_into(x, x_max, rng, ledger, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// [`Crossbar::column_currents`] writing into a caller-owned buffer
+    /// (cleared and resized to the column count) — the allocation-free path
+    /// the tile architecture uses when accumulating across row blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::GeometryMismatch`] if `x.len()` ≠ rows.
+    pub fn column_currents_into(
+        &self,
+        x: &[f64],
+        x_max: f64,
+        rng: &mut impl Rng,
+        ledger: &mut EnergyLedger,
+        currents: &mut Vec<f64>,
+    ) -> Result<()> {
         let (rows, cols) = self.dims();
         if x.len() != rows {
             return Err(ImcError::GeometryMismatch {
@@ -321,16 +386,21 @@ impl Crossbar {
         }
         ledger.record(OpKind::DacConversion, rows as u64);
         ledger.record(OpKind::AnalogCrossbarMac, (rows * cols * 2) as u64);
-        let mut currents = vec![0.0; cols];
-        for r in 0..rows {
-            let v = (x[r] / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
-            for c in 0..cols {
-                let gp = self.device.read(self.g_pos[(r, c)], rng);
-                let gn = self.device.read(self.g_neg[(r, c)], rng);
-                currents[c] += v * (gp - gn);
+        currents.clear();
+        currents.resize(cols, 0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            let v = (xr / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
+            for ((acc, &gp0), &gn0) in currents
+                .iter_mut()
+                .zip(self.g_pos.row(r))
+                .zip(self.g_neg.row(r))
+            {
+                let gp = self.device.read(gp0, rng);
+                let gn = self.device.read(gn0, rng);
+                *acc += v * (gp - gn);
             }
         }
-        Ok(currents)
+        Ok(())
     }
 
     /// Converts a differential column current (µA) back to weight-domain
@@ -339,7 +409,6 @@ impl Crossbar {
         current * x_max * self.weight_scale / (READ_VOLTAGE * self.device.window())
     }
 
-    #[allow(clippy::needless_range_loop)]
     fn mvm_inner(
         &self,
         x: &[f64],
@@ -357,18 +426,19 @@ impl Crossbar {
             });
         }
         let mut currents = vec![0.0; cols];
-        for r in 0..rows {
-            let v = (x[r] / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
-            for c in 0..cols {
+        for (r, &xr) in x.iter().enumerate() {
+            let v = (xr / x_max).clamp(-1.0, 1.0) * READ_VOLTAGE;
+            for ((acc, &gp0), &gn0) in currents
+                .iter_mut()
+                .zip(self.g_pos.row(r))
+                .zip(self.g_neg.row(r))
+            {
                 let (gp, gn) = if noisy {
-                    (
-                        self.device.read(self.g_pos[(r, c)], rng),
-                        self.device.read(self.g_neg[(r, c)], rng),
-                    )
+                    (self.device.read(gp0, rng), self.device.read(gn0, rng))
                 } else {
-                    (self.g_pos[(r, c)], self.g_neg[(r, c)])
+                    (gp0, gn0)
                 };
-                currents[c] += v * (gp - gn);
+                *acc += v * (gp - gn);
             }
         }
         if noisy {

@@ -148,20 +148,16 @@ pub struct Mlp {
 
 impl Mlp {
     /// Full-precision forward pass returning class logits.
+    ///
+    /// Uses [`Matrix::matvec_t`] on the row-major weights directly — no
+    /// per-forward transposed copies of `w1`/`w2` — with bit-identical
+    /// results to the historical `transposed().matvec(x)` path.
     pub fn logits(&self, x: &[f64]) -> Vec<f64> {
-        let mut h = self
-            .w1
-            .transposed()
-            .matvec(x)
-            .expect("dims fixed at training");
+        let mut h = self.w1.matvec_t(x).expect("dims fixed at training");
         for (v, b) in h.iter_mut().zip(&self.b1) {
             *v = (*v + b).max(0.0);
         }
-        let mut o = self
-            .w2
-            .transposed()
-            .matvec(&h)
-            .expect("dims fixed at training");
+        let mut o = self.w2.matvec_t(&h).expect("dims fixed at training");
         for (v, b) in o.iter_mut().zip(&self.b2) {
             *v += b;
         }
@@ -182,12 +178,10 @@ impl Mlp {
         correct as f64 / data.len() as f64
     }
 
-    /// The layer list in the format the IMC mapper consumes.
-    pub fn as_layers(&self) -> Vec<(Matrix, Vec<f64>)> {
-        vec![
-            (self.w1.clone(), self.b1.clone()),
-            (self.w2.clone(), self.b2.clone()),
-        ]
+    /// Borrowed layer list in the format the IMC mapper consumes
+    /// ([`ImcAccelerator::map_network_refs`]) — no weight or bias clones.
+    pub fn layers(&self) -> [(&Matrix, &[f64]); 2] {
+        [(&self.w1, &self.b1), (&self.w2, &self.b2)]
     }
 }
 
@@ -232,13 +226,13 @@ pub fn train_mlp(data: &Dataset, hidden: usize, epochs: usize, lr: f64, seed: u6
         for &idx in &order {
             let x = &data.features[idx];
             let y = data.labels[idx];
-            // Forward.
-            let mut h_pre = w1.transposed().matvec(x).expect("shape");
+            // Forward (matvec_t: no per-sample transposed weight copies).
+            let mut h_pre = w1.matvec_t(x).expect("shape");
             for (v, b) in h_pre.iter_mut().zip(&b1) {
                 *v += b;
             }
             let h: Vec<f64> = h_pre.iter().map(|&v| v.max(0.0)).collect();
-            let mut o = w2.transposed().matvec(&h).expect("shape");
+            let mut o = w2.matvec_t(&h).expect("shape");
             for (v, b) in o.iter_mut().zip(&b2) {
                 *v += b;
             }
@@ -303,8 +297,8 @@ pub fn imc_accuracy<P: Programmer>(
     seed: u64,
 ) -> Result<ImcEvaluation> {
     let mut rng = rng_for(seed, "imc-deploy");
-    let mut acc = ImcAccelerator::map_network(
-        &mlp.as_layers(),
+    let mut acc = ImcAccelerator::map_network_refs(
+        &mlp.layers(),
         scenario.device,
         scenario.tile,
         programmer,

@@ -163,19 +163,24 @@ impl ImcTileLayer {
         let adc = Adc::new(cfg.adc_bits);
         let mut y = vec![0.0; self.out_dim];
         let row_blocks = self.tiles.len();
+        // Scratch reused across column blocks: the accumulated currents of
+        // one block and the per-tile contribution being summed into them.
+        let mut currents: Vec<f64> = Vec::new();
+        let mut tile_currents: Vec<f64> = Vec::new();
         for (cb, _) in self.tiles[0].iter().enumerate() {
             let c0 = cb * cfg.tile_cols;
             if cfg.analog_accumulation {
                 // Sum raw currents across row blocks, convert once.
                 let cols = self.tiles[0][cb].dims().1;
-                let mut currents = vec![0.0; cols];
+                currents.clear();
+                currents.resize(cols, 0.0);
                 for rb in 0..row_blocks {
                     let tile = &self.tiles[rb][cb];
                     let r0 = rb * cfg.tile_rows;
                     let rows = tile.dims().0;
                     let xs = &x[r0..r0 + rows];
-                    let c = tile.column_currents(xs, x_max, rng, ledger)?;
-                    for (acc, i) in currents.iter_mut().zip(&c) {
+                    tile.column_currents_into(xs, x_max, rng, ledger, &mut tile_currents)?;
+                    for (acc, i) in currents.iter_mut().zip(&tile_currents) {
                         *acc += i;
                     }
                 }
@@ -185,7 +190,7 @@ impl ImcTileLayer {
                 } else {
                     1.0
                 };
-                for (j, i) in currents.into_iter().enumerate() {
+                for (j, &i) in currents.iter().enumerate() {
                     ledger.record(OpKind::AdcConversion, 1);
                     let q = adc.quantize(i, fs);
                     y[c0 + j] = self.tiles[0][cb].current_to_output(q, x_max) * comp;
@@ -228,12 +233,34 @@ pub struct ImcAccelerator {
 impl ImcAccelerator {
     /// Builds an accelerator by mapping each `(weights, bias)` pair.
     ///
+    /// Convenience wrapper over [`ImcAccelerator::map_network_refs`] for
+    /// callers that already hold owned pairs; callers with a trained model
+    /// should pass borrows instead of cloning layers into this shape.
+    ///
     /// # Errors
     ///
     /// Propagates mapping errors; also rejects an empty layer list and
     /// mismatched inter-layer dimensions.
     pub fn map_network<P: Programmer>(
         layers: &[(Matrix, Vec<f64>)],
+        device: DeviceModel,
+        cfg: TileConfig,
+        programmer: &P,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let refs: Vec<(&Matrix, &[f64])> = layers.iter().map(|(w, b)| (w, b.as_slice())).collect();
+        Self::map_network_refs(&refs, device, cfg, programmer, rng)
+    }
+
+    /// Builds an accelerator from borrowed `(weights, bias)` layers — the
+    /// clone-free mapping path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors; also rejects an empty layer list and
+    /// mismatched inter-layer dimensions.
+    pub fn map_network_refs<P: Programmer>(
+        layers: &[(&Matrix, &[f64])],
         device: DeviceModel,
         cfg: TileConfig,
         programmer: &P,

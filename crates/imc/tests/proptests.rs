@@ -86,6 +86,77 @@ f2_core::ptest! {
         }
     }
 
+    /// Reusing bit-serial MVM scratch buffers across calls is bit-identical
+    /// to allocating fresh buffers per call, for any geometry, input
+    /// precision and seed — the noise-RNG draw order is part of the
+    /// contract.
+    fn mvm_scratch_reuse_bit_identical(g) {
+        let rows = g.usize_in(2..20);
+        let cols = g.usize_in(2..20);
+        let bits = g.u32_in(1..9);
+        let seed = g.u64();
+        let w = Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 7 + c * 3 + seed as usize) % 17) as f64) / 8.0 - 1.0
+        });
+        let mut rng = rng_for(seed, "prop-mvm-prog");
+        let xbar = Crossbar::program(DeviceModel::rram(), &w, &ProgramVerify::default(), &mut rng)
+            .expect("valid weights");
+        let x: Vec<f64> = (0..rows).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
+        let adc = Adc::new(8);
+        let mut rng_fresh = rng_for(seed, "prop-mvm-run");
+        let mut rng_reuse = rng_for(seed, "prop-mvm-run");
+        let mut scratch = f2_imc::crossbar::MvmScratch::new();
+        for _ in 0..3 {
+            let mut ledger_fresh = EnergyLedger::new();
+            let mut ledger_reuse = EnergyLedger::new();
+            let fresh = xbar
+                .mvm_bit_serial(&x, 1.0, bits, &adc, &mut rng_fresh, &mut ledger_fresh)
+                .expect("valid geometry");
+            let reused = xbar
+                .mvm_bit_serial_with(
+                    &x, 1.0, bits, &adc, &mut rng_reuse, &mut ledger_reuse, &mut scratch,
+                )
+                .expect("valid geometry");
+            assert_eq!(fresh.len(), reused.len());
+            for (a, b) in fresh.iter().zip(&reused) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    /// The MLP forward pass over row-major weights (`matvec_t`) is
+    /// bit-identical to the historical transposed-copy reference, for any
+    /// layer shape and weight values.
+    fn mlp_forward_matches_transposed_reference(g) {
+        use f2_imc::eval::Mlp;
+        let dim = g.usize_in(1..16);
+        let hidden = g.usize_in(1..16);
+        let classes = g.usize_in(1..8);
+        let seed = g.u64() as usize;
+        let noise = |r: usize, c: usize| (((r * 13 + c * 5 + seed) % 23) as f64) / 11.0 - 1.0;
+        let mlp = Mlp {
+            w1: Matrix::from_fn(dim, hidden, noise),
+            b1: (0..hidden).map(|i| noise(i, 1)).collect(),
+            w2: Matrix::from_fn(hidden, classes, noise),
+            b2: (0..classes).map(|i| noise(i, 2)).collect(),
+        };
+        let x: Vec<f64> = (0..dim).map(|i| noise(i, 3)).collect();
+        let fast = mlp.logits(&x);
+        // Reference: the pre-optimization transposed-copy path.
+        let mut h = mlp.w1.transposed().matvec(&x).expect("shape");
+        for (v, b) in h.iter_mut().zip(&mlp.b1) {
+            *v = (*v + b).max(0.0);
+        }
+        let mut o = mlp.w2.transposed().matvec(&h).expect("shape");
+        for (v, b) in o.iter_mut().zip(&mlp.b2) {
+            *v += b;
+        }
+        assert_eq!(fast.len(), o.len());
+        for (a, b) in fast.iter().zip(&o) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
     /// Energy ledgers merge additively.
     fn ledger_merge_additive(g) {
         use f2_core::energy::OpKind;

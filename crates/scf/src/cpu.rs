@@ -58,8 +58,23 @@ impl Default for CycleModel {
     }
 }
 
+/// Number of direct-mapped decode-cache slots (must be a power of two).
+const DECODE_CACHE_SLOTS: usize = 256;
+
+/// One decoded instruction, tagged with the PC and raw word it came from.
+#[derive(Debug, Clone, Copy)]
+struct CachedDecode {
+    pc: u32,
+    word: u32,
+    instr: Instr,
+}
+
 /// An RV32IM hart.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares architectural state only (registers, PC, counters and
+/// the cycle model); the decode cache is a microarchitectural detail and is
+/// excluded.
+#[derive(Debug, Clone)]
 pub struct Cpu {
     regs: [u32; 32],
     pc: u32,
@@ -67,7 +82,21 @@ pub struct Cpu {
     hart_id: u32,
     cycle_counter: u64,
     instret_counter: u64,
+    decode_cache: Vec<Option<CachedDecode>>,
 }
+
+impl PartialEq for Cpu {
+    fn eq(&self, other: &Self) -> bool {
+        self.regs == other.regs
+            && self.pc == other.pc
+            && self.cycle_model == other.cycle_model
+            && self.hart_id == other.hart_id
+            && self.cycle_counter == other.cycle_counter
+            && self.instret_counter == other.instret_counter
+    }
+}
+
+impl Eq for Cpu {}
 
 impl Cpu {
     /// Creates a core with all registers zero and the PC at `reset_pc`.
@@ -79,6 +108,7 @@ impl Cpu {
             hart_id: 0,
             cycle_counter: 0,
             instret_counter: 0,
+            decode_cache: vec![None; DECODE_CACHE_SLOTS],
         }
     }
 
@@ -157,8 +187,23 @@ impl Cpu {
     ///
     /// Propagates decode and memory faults.
     pub fn step(&mut self, mem: &mut impl Memory) -> Result<(Option<HaltReason>, u64)> {
+        // The fetch always hits memory so self-modifying code stays exact;
+        // the decode is skipped when the cached (pc, word) pair still
+        // matches what was fetched.
         let word = mem.load_u32(self.pc)?;
-        let instr = decode(word, self.pc)?;
+        let slot = ((self.pc >> 2) as usize) & (DECODE_CACHE_SLOTS - 1);
+        let instr = match self.decode_cache[slot] {
+            Some(entry) if entry.pc == self.pc && entry.word == word => entry.instr,
+            _ => {
+                let instr = decode(word, self.pc)?;
+                self.decode_cache[slot] = Some(CachedDecode {
+                    pc: self.pc,
+                    word,
+                    instr,
+                });
+                instr
+            }
+        };
         let m = self.cycle_model;
         let mut cost = m.base;
         let mut next_pc = self.pc.wrapping_add(4);
@@ -560,6 +605,37 @@ mod tests {
             cpu.run(&mut mem, 10),
             Err(ScfError::IllegalInstruction { .. })
         ));
+    }
+
+    #[test]
+    fn self_modifying_code_invalidates_cached_decode() {
+        // Execute the instruction at pc 0 once (populating the decode
+        // cache), overwrite it in memory, loop back, and check the new
+        // instruction takes effect: the cache is validated against the
+        // freshly fetched word every step.
+        let mut mem = FlatMemory::new(64 * 1024);
+        mem.store_u32(0x400, asm::addi(3, 0, 42)).expect("in range");
+        let program = [
+            asm::addi(3, 0, 1), // patch target
+            asm::bne(4, 0, 20), // second pass: skip to ecall
+            asm::lw(5, 0, 0x400),
+            asm::sw(5, 0, 0),   // overwrite the instruction at pc 0
+            asm::addi(4, 0, 1), // mark second pass
+            asm::jal(0, -20),   // back to the patched instruction
+            asm::ecall(),
+        ];
+        mem.load_program(0, &program);
+        let mut cpu = Cpu::new(0);
+        cpu.run(&mut mem, 10_000).expect("program halts");
+        assert_eq!(cpu.reg(3), 42);
+    }
+
+    #[test]
+    fn equality_ignores_decode_cache_state() {
+        let (warm, _) = run_program(&[asm::addi(1, 0, 7), asm::ecall()]);
+        let mut cold = warm.clone();
+        cold.decode_cache = vec![None; DECODE_CACHE_SLOTS];
+        assert_eq!(warm, cold);
     }
 
     #[test]

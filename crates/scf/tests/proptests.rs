@@ -2,7 +2,7 @@
 
 use f2_scf::cpu::Cpu;
 use f2_scf::isa::{asm, decode};
-use f2_scf::memory::FlatMemory;
+use f2_scf::memory::{FlatMemory, Memory};
 
 /// Runs a 2-operand program: x1 = a; x2 = b; x3 = op(x1, x2); ecall.
 fn run_binop(build: impl Fn(u8, u8, u8) -> u32, a: u32, b: u32) -> u32 {
@@ -99,6 +99,84 @@ f2_core::ptest! {
             asm::jalr(rd, rs1, imm),
         ] {
             assert!(decode(word, 0).is_ok(), "word {word:#010x} failed to decode");
+        }
+    }
+
+    /// The decoded-instruction cache is semantically invisible: running a
+    /// random program on one long-lived hart (warm cache) matches a
+    /// reference that decodes afresh every step (a new hart per step, its
+    /// architectural state carried over by hand) — instruction for
+    /// instruction, cycle for cycle — including programs that store into
+    /// their own instruction stream.
+    fn decode_cache_invisible(g) {
+        let len = g.usize_in(4..32);
+        let mut program: Vec<u32> = Vec::new();
+        for _ in 0..len {
+            let rd = 1 + (g.u8() % 7);
+            let rs1 = g.u8() % 8;
+            let rs2 = g.u8() % 8;
+            let word = match g.usize_in(0..8) {
+                0 => asm::add(rd, rs1, rs2),
+                1 => asm::mul(rd, rs1, rs2),
+                2 => asm::sltu(rd, rs1, rs2),
+                3 => asm::sw(rs2, 0, 0x400 + 4 * (rs1 as i32 % 8)),
+                4 => asm::lw(rd, 0, 0x400 + 4 * (rs2 as i32 % 8)),
+                // Self-modifying store into the program region itself.
+                5 => asm::sw(rs2, 0, 4 * (rd as i32 % len as i32)),
+                // Forward branch over the next instruction.
+                6 => asm::bne(rs1, rs2, 8),
+                _ => asm::addi(rd, rs1, g.i32_in(-16..16)),
+            };
+            program.push(word);
+        }
+        program.push(asm::ecall());
+        let budget = 4 * program.len() as u64 + 16;
+
+        // Cached run: one hart end to end.
+        let mut mem_cached = FlatMemory::with_program(0, &program);
+        let mut cached = Cpu::new(0);
+        let cached_out = cached.run(&mut mem_cached, budget);
+
+        // Reference run: a fresh hart (empty cache) per step.
+        let mut mem_ref = FlatMemory::with_program(0, &program);
+        let mut regs = [0u32; 32];
+        let mut pc = 0u32;
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let ref_out = loop {
+            if instructions >= budget {
+                break Err(f2_scf::error::ScfError::Timeout);
+            }
+            let mut fresh = Cpu::new(pc);
+            for (i, &v) in regs.iter().enumerate().skip(1) {
+                fresh.set_reg(i as u8, v);
+            }
+            match fresh.step(&mut mem_ref) {
+                Err(e) => break Err(e),
+                Ok((halt, cost)) => {
+                    instructions += 1;
+                    cycles += cost;
+                    for (i, v) in regs.iter_mut().enumerate() {
+                        *v = fresh.reg(i as u8);
+                    }
+                    pc = fresh.pc();
+                    if let Some(h) = halt {
+                        break Ok(f2_scf::cpu::RunStats { halt: h, instructions, cycles });
+                    }
+                }
+            }
+        };
+
+        assert_eq!(cached_out, ref_out);
+        for i in 0..32u8 {
+            assert_eq!(cached.reg(i), regs[i as usize], "register x{i} diverged");
+        }
+        for addr in (0x400..0x420).step_by(4) {
+            assert_eq!(
+                mem_cached.load_u32(addr).expect("in range"),
+                mem_ref.load_u32(addr).expect("in range"),
+                "data word at {addr:#x} diverged"
+            );
         }
     }
 
