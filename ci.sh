@@ -1,10 +1,36 @@
 #!/usr/bin/env bash
 # CI pipeline for the flagship2 workspace. Fully offline: the workspace is
 # hermetic (zero external crates — see tests/hermetic.rs), so every step
-# works without registry access. Run it locally before pushing; the GitHub
-# workflow (.github/workflows/ci.yml) runs exactly this script.
+# works without registry access.
+#
+#   ./ci.sh            # run every stage (local pre-push gate)
+#   ./ci.sh <stage>    # one stage: build|test|style|golden|trace|perf|serve
+#
+# The GitHub workflow (.github/workflows/ci.yml) runs the same stages as
+# named steps with per-step timeouts, and uploads the /tmp/f2-*.json
+# artifacts on failure — which is why per-stage invocations leave those
+# files behind and only a full local `all` run cleans them up.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+STAGE="${1:-all}"
+F2="./target/release/f2"
+PORT_FILE=/tmp/f2-serve.port
+SERVE_PID=""
+
+# On every exit: never leak a server process; on full local runs, also
+# sweep the scratch artifacts (CI keeps them for upload-on-failure).
+cleanup() {
+    if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "cleanup: killing leftover f2 serve (pid $SERVE_PID)"
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [[ "$STAGE" == all ]]; then
+        rm -f /tmp/f2-*.json "$PORT_FILE"
+    fi
+}
+trap cleanup EXIT
 
 run() {
     echo
@@ -13,33 +39,123 @@ run() {
 }
 
 # Tier-1 verify: release build + full workspace test suite.
-run cargo build --release --offline --workspace --all-targets
-run cargo test --quiet --offline --workspace
+stage_build() {
+    run cargo build --release --offline --workspace --all-targets
+}
+
+stage_test() {
+    run cargo test --quiet --offline --workspace
+}
 
 # Style gates.
-run cargo fmt --all -- --check
-run cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_style() {
+    run cargo fmt --all -- --check
+    run cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
 # Experiment smoke: run the whole registry at quick fidelity and pipe the
 # KPI reports through the golden comparator (tests/golden/*.json).
-F2="./target/release/f2"
-run bash -c "$F2 run all --quick --json | $F2 check"
+stage_golden() {
+    run bash -c "$F2 run all --quick --json | $F2 check"
+}
 
 # Observability smoke: a traced quick run must produce a well-formed
 # Chrome trace with one span per registered experiment, per-worker
 # executor spans, and finite `exec.chunk_imbalance` gauges (--threads 8
 # exercises the work-stealing path on the skewed experiment sweeps).
-TRACE=/tmp/f2-trace.json
-run bash -c "$F2 run all --quick --threads 8 --trace $TRACE > /dev/null"
-run "$F2" check-trace "$TRACE" --require-experiments --require-workers
+stage_trace() {
+    local trace=/tmp/f2-trace.json
+    run bash -c "$F2 run all --quick --threads 8 --trace $trace > /dev/null"
+    run "$F2" check-trace "$trace" --require-experiments --require-workers
+}
 
 # Perf smoke: run the curated hot-kernel suite at quick fidelity and
 # compare p10 times against the committed baseline. Wall-clock numbers
 # are machine-dependent (never KPIs), so the threshold is generous —
 # this only catches order-of-magnitude regressions.
-BENCH=/tmp/f2-bench.json
-run bash -c "$F2 bench --quick --out $BENCH > /dev/null"
-run "$F2" check-bench BENCH_PR5.json --current "$BENCH" --max-regress 50
+stage_perf() {
+    local bench=/tmp/f2-bench.json
+    run bash -c "$F2 bench --quick --out $bench > /dev/null"
+    run "$F2" check-bench BENCH_PR6.json --current "$bench" --max-regress 50
+}
 
-echo
-echo "CI OK"
+# Serve smoke: boot the real daemon on an ephemeral port, drive it with
+# the load generator, and demand a clean shutdown. Every client step is
+# wrapped in `timeout` so a hung accept loop fails the job fast instead
+# of stalling the workflow until the job-level timeout.
+stage_serve() {
+    rm -f "$PORT_FILE"
+    echo
+    echo "==> f2 serve + f2 loadgen smoke (ephemeral port)"
+    "$F2" serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" --threads 2 &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$PORT_FILE" ]] && break
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "serve smoke: server died before binding" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$PORT_FILE" ]]; then
+        echo "serve smoke: server never wrote $PORT_FILE" >&2
+        exit 1
+    fi
+    local addr
+    addr="$(tr -d '[:space:]' < "$PORT_FILE")"
+    echo "    listening on $addr (pid $SERVE_PID)"
+
+    # Mixed burst over ten distinct keys: zero failures, bodies
+    # bit-identical per key.
+    run timeout 60 "$F2" loadgen --addr "$addr" --wait 10 --mix sweep \
+        --rps 40 --duration 2 --out /tmp/f2-loadgen.json
+
+    # A repeated identical request after one warmup round must be served
+    # 100% from the sharded cache.
+    run timeout 60 "$F2" loadgen --addr "$addr" --mix cached --rps 40 \
+        --duration 1 --warmup 1 --expect-all-hits \
+        --out /tmp/f2-loadgen-cached.json
+
+    # The service-level bench labels exist and measure a live stack (the
+    # bench boots its own in-process server).
+    run bash -c "timeout 120 $F2 bench --quick --filter serve/ \
+        --out /tmp/f2-bench-serve.json > /dev/null"
+    run grep -q '"label":"serve/p99_latency"' /tmp/f2-bench-serve.json
+    run grep -q '"label":"serve/throughput"' /tmp/f2-bench-serve.json
+
+    # Clean shutdown through the protocol; the daemon must exit 0.
+    run timeout 10 "$F2" loadgen --addr "$addr" --shutdown
+    local code=0
+    wait "$SERVE_PID" || code=$?
+    SERVE_PID=""
+    if [[ "$code" -ne 0 ]]; then
+        echo "serve smoke: server exited with status $code" >&2
+        exit 1
+    fi
+    echo "    server shut down cleanly"
+}
+
+case "$STAGE" in
+    build) stage_build ;;
+    test) stage_test ;;
+    style) stage_style ;;
+    golden) stage_golden ;;
+    trace) stage_trace ;;
+    perf) stage_perf ;;
+    serve) stage_serve ;;
+    all)
+        stage_build
+        stage_test
+        stage_style
+        stage_golden
+        stage_trace
+        stage_perf
+        stage_serve
+        echo
+        echo "CI OK"
+        ;;
+    *)
+        echo "usage: ci.sh [build|test|style|golden|trace|perf|serve|all]" >&2
+        exit 2
+        ;;
+esac

@@ -6,5 +6,5 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = flagship2::experiments::registry();
-    ExitCode::from(f2_bench::runner::main_with(&registry, &args))
+    ExitCode::from(f2_bench::runner::main_with(registry, &args))
 }

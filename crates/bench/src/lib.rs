@@ -23,6 +23,7 @@
 pub use f2_core::experiment::render::{fmt, print_table, section};
 use f2_core::json::{Json, ToJson};
 
+pub mod loadgen;
 pub mod runner;
 pub mod suite;
 

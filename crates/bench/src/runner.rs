@@ -148,6 +148,11 @@ pub enum Command {
         /// Allowed p10 slowdown per kernel, in percent.
         max_regress: f64,
     },
+    /// `f2 serve [--addr HOST:PORT] [--threads N] [--shards N]
+    /// [--port-file PATH]`
+    Serve(f2_core::serve::ServeConfig),
+    /// `f2 loadgen [flags]`
+    Loadgen(crate::loadgen::LoadgenOptions),
 }
 
 /// The repo-local default snapshot directory, resolved at compile time.
@@ -189,6 +194,24 @@ Commands:
                                      the suite now
       --max-regress <pct>            allowed p10 slowdown per kernel
                                      (default 50)
+  serve [flags]                      run the batched experiment service
+      --addr <host:port>             bind address (default 127.0.0.1:0,
+                                     port 0 = ephemeral)
+      --threads <N>                  worker threads of the batch pool
+      --shards <N>                   result-cache shard count (default 16)
+      --port-file <path>             write the bound host:port here
+  loadgen [flags]                    drive a running server and report
+                                     throughput/latency
+      --addr <host:port>             server address (required in practice)
+      --rps <N>                      target request rate (default 50)
+      --duration <S>                 timed window in seconds (default 2)
+      --connections <N>              concurrent connections (default 4)
+      --mix <health|cached|sweep>    request profile (default sweep)
+      --warmup <N>                   untimed cache-priming rounds
+      --wait <S>                     wait for /healthz before the run
+      --out <report.json>            write the f2-loadgen-v1 JSON report
+      --expect-all-hits              fail on any cache miss
+      --shutdown                     POST /shutdown instead of load
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -357,6 +380,100 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 current,
                 max_regress,
             })
+        }
+        "serve" => {
+            let mut cfg = f2_core::serve::ServeConfig::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        cfg.addr = it.next().ok_or("--addr needs host:port")?.to_string();
+                    }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        cfg.threads = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid thread count {v}"))?;
+                    }
+                    "--shards" => {
+                        let v = it.next().ok_or("--shards needs a value")?;
+                        cfg.shards = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid shard count {v}"))?;
+                    }
+                    "--port-file" => {
+                        cfg.port_file =
+                            Some(PathBuf::from(it.next().ok_or("--port-file needs a path")?));
+                    }
+                    other => return Err(format!("unknown `serve` flag {other}")),
+                }
+            }
+            Ok(Command::Serve(cfg))
+        }
+        "loadgen" => {
+            let mut opts = crate::loadgen::LoadgenOptions::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        opts.addr = it.next().ok_or("--addr needs host:port")?.to_string();
+                    }
+                    "--rps" => {
+                        let v = it.next().ok_or("--rps needs a value")?;
+                        opts.rps = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| r.is_finite() && *r > 0.0)
+                            .ok_or_else(|| format!("invalid request rate {v}"))?;
+                    }
+                    "--duration" => {
+                        let v = it.next().ok_or("--duration needs seconds")?;
+                        opts.duration_s = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|d| d.is_finite() && *d > 0.0)
+                            .ok_or_else(|| format!("invalid duration {v}"))?;
+                    }
+                    "--connections" => {
+                        let v = it.next().ok_or("--connections needs a value")?;
+                        opts.connections = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid connection count {v}"))?;
+                    }
+                    "--mix" => {
+                        opts.mix = crate::loadgen::Mix::parse(
+                            it.next().ok_or("--mix needs a profile name")?,
+                        )?;
+                    }
+                    "--warmup" => {
+                        let v = it.next().ok_or("--warmup needs a round count")?;
+                        opts.warmup = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid warmup rounds {v}"))?;
+                    }
+                    "--wait" => {
+                        let v = it.next().ok_or("--wait needs seconds")?;
+                        opts.wait_s = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w >= 0.0)
+                            .ok_or_else(|| format!("invalid wait {v}"))?;
+                    }
+                    "--out" => {
+                        opts.out = Some(PathBuf::from(
+                            it.next().ok_or("--out needs an output path")?,
+                        ));
+                    }
+                    "--expect-all-hits" => opts.expect_all_hits = true,
+                    "--shutdown" => opts.shutdown = true,
+                    other => return Err(format!("unknown `loadgen` flag {other}")),
+                }
+            }
+            Ok(Command::Loadgen(opts))
         }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
@@ -858,14 +975,38 @@ pub fn check_bench(
     }
 }
 
-/// Full CLI entry point used by `src/bin/f2.rs`.
-pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
+/// Runs the batched experiment service until a `POST /shutdown` arrives;
+/// returns the process exit code (0 clean shutdown, 1 a server thread
+/// panicked, 2 the bind failed).
+pub fn serve(registry: Registry, config: f2_core::serve::ServeConfig) -> u8 {
+    let addr = config.addr.clone();
+    match f2_core::serve::start(registry, config) {
+        Ok(handle) => match handle.wait() {
+            Ok(()) => {
+                eprintln!("f2 serve: shut down cleanly");
+                0
+            }
+            Err(e) => {
+                eprintln!("f2 serve: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("f2 serve: cannot start on {addr}: {e}");
+            2
+        }
+    }
+}
+
+/// Full CLI entry point used by `src/bin/f2.rs`. Takes the registry by
+/// value because `serve` moves it into the server's worker threads.
+pub fn main_with(registry: Registry, args: &[String]) -> u8 {
     match parse_args(args) {
         Ok(Command::List { json }) => {
-            list(registry, json);
+            list(&registry, json);
             0
         }
-        Ok(Command::Run(opts)) => run(registry, &opts),
+        Ok(Command::Run(opts)) => run(&registry, &opts),
         Ok(Command::Check { golden_dir }) => {
             let stdin = std::io::stdin();
             let mut lock = stdin.lock();
@@ -875,13 +1016,15 @@ pub fn main_with(registry: &Registry, args: &[String]) -> u8 {
             path,
             require_experiments,
             require_workers,
-        }) => check_trace(registry, &path, require_experiments, require_workers),
+        }) => check_trace(&registry, &path, require_experiments, require_workers),
         Ok(Command::Bench(opts)) => bench(&opts),
         Ok(Command::CheckBench {
             baseline,
             current,
             max_regress,
         }) => check_bench(&baseline, current.as_deref(), max_regress),
+        Ok(Command::Serve(config)) => serve(registry, config),
+        Ok(Command::Loadgen(opts)) => crate::loadgen::run(&opts),
         Err(msg) => {
             eprintln!("{msg}");
             2
@@ -1279,6 +1422,84 @@ mod tests {
         assert_eq!(bench(&none), 1);
         let _ = std::fs::remove_file(&out);
         let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let Command::Serve(cfg) = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:9000",
+            "--threads",
+            "4",
+            "--shards",
+            "8",
+            "--port-file",
+            "/tmp/p.txt",
+        ]))
+        .expect("parses") else {
+            panic!("expected serve");
+        };
+        assert_eq!(cfg.addr, "127.0.0.1:9000");
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.port_file, Some(PathBuf::from("/tmp/p.txt")));
+        // Defaults: ephemeral loopback port, standard shard count.
+        let Command::Serve(cfg) = parse_args(&args(&["serve"])).expect("parses") else {
+            panic!("expected serve");
+        };
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.shards, f2_core::serve::cache::SHARDS);
+        assert!(parse_args(&args(&["serve", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--shards", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "positional"])).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let Command::Loadgen(opts) = parse_args(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9000",
+            "--rps",
+            "80",
+            "--duration",
+            "1.5",
+            "--connections",
+            "2",
+            "--mix",
+            "cached",
+            "--warmup",
+            "1",
+            "--wait",
+            "10",
+            "--out",
+            "/tmp/l.json",
+            "--expect-all-hits",
+        ]))
+        .expect("parses") else {
+            panic!("expected loadgen");
+        };
+        assert_eq!(opts.addr, "127.0.0.1:9000");
+        assert_eq!(opts.rps, 80.0);
+        assert_eq!(opts.duration_s, 1.5);
+        assert_eq!(opts.connections, 2);
+        assert_eq!(opts.mix, crate::loadgen::Mix::Cached);
+        assert_eq!(opts.warmup, 1);
+        assert_eq!(opts.wait_s, 10.0);
+        assert_eq!(opts.out, Some(PathBuf::from("/tmp/l.json")));
+        assert!(opts.expect_all_hits);
+        assert!(!opts.shutdown);
+        let Command::Loadgen(opts) = parse_args(&args(&["loadgen", "--shutdown"])).expect("parses")
+        else {
+            panic!("expected loadgen");
+        };
+        assert!(opts.shutdown);
+        assert!(parse_args(&args(&["loadgen", "--rps", "0"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--rps", "-3"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--duration", "nope"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--mix", "chaos"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--wait", "-1"])).is_err());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! time in: the IMC crossbar and MLP forward pass, the RV32IM ISS and the
 //! multicore cluster step loop, SPARTA's event-driven simulator and the
 //! ASAP-seeded list scheduler, the DNA storage channel, and the parallel
-//! Pareto sweep. Labels are stable `group/function` strings — they are the
-//! keys `f2 check-bench` joins baseline and current runs on, so renaming
-//! one is a breaking change to every committed `BENCH_*.json`.
+//! Pareto sweep — plus two service-level benchmarks (`serve/*`) that drive
+//! a live in-process `f2 serve` daemon over loopback TCP. Labels are
+//! stable `group/function` strings — they are the keys `f2 check-bench`
+//! joins baseline and current runs on, so renaming one is a breaking
+//! change to every committed `BENCH_*.json`.
 //!
 //! All numbers are wall-clock and machine-dependent: they are **never**
 //! KPIs and never appear in golden snapshots. The JSON report exists solely
@@ -19,6 +21,7 @@ use f2_core::exec::Pool;
 use f2_core::json::{Json, ToJson};
 use f2_core::pareto::{DesignSpace, Direction};
 use f2_core::rng::{rng_for, Rng};
+use f2_core::serve::{self, http};
 use f2_core::tensor::Matrix;
 use f2_core::workload::graph::rmat;
 
@@ -63,6 +66,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Harness {
     bench_hls(&mut h, cfg.quick);
     bench_dna(&mut h, cfg.quick);
     bench_core(&mut h, cfg.quick, cfg.threads);
+    bench_serve(&mut h, cfg);
     h
 }
 
@@ -227,12 +231,83 @@ fn bench_core(h: &mut Harness, quick: bool, threads: usize) {
     });
 }
 
+/// Serve: end-to-end service-level numbers over a live in-process server
+/// (loopback TCP, real HTTP parsing, batching dispatcher, sharded cache).
+/// The cache is primed first, so both benchmarks measure the *service*
+/// path — parse, route, cache lookup, response write — not the experiment.
+///
+/// `p99_latency` times one cached `POST /run` round-trip per iteration
+/// (the statistic gated in CI is benchkit's outlier-robust p10 of those
+/// round-trips; the label names the service-level quantity it stands in
+/// for). `throughput` times a burst of [`BURST`] keep-alive requests, so
+/// its per-iteration cost is the inverse of sustained request throughput.
+fn bench_serve(h: &mut Harness, cfg: &SuiteConfig) {
+    /// Requests per `serve/throughput` iteration.
+    const BURST: usize = 32;
+    /// The identical cached request both benchmarks replay.
+    const BODY: &[u8] =
+        b"{\"experiment\":\"fig1_landscape\",\"seed\":0,\"quick\":true,\"threads\":1}";
+    let wants = |label: &str| {
+        cfg.filter
+            .as_deref()
+            .is_none_or(|needle| label.contains(needle))
+    };
+    // Don't boot a server when the filter excludes both serve labels.
+    if !wants("serve/p99_latency") && !wants("serve/throughput") {
+        return;
+    }
+    let server = serve::start(
+        flagship2::experiments::registry(),
+        serve::ServeConfig {
+            threads: 2,
+            shards: 8,
+            ..serve::ServeConfig::default()
+        },
+    )
+    .expect("bind an ephemeral loopback port");
+    let addr = server.addr();
+    let connect = || {
+        let stream = std::net::TcpStream::connect(addr).expect("server is listening");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("socket option");
+        let _ = stream.set_nodelay(true);
+        std::io::BufReader::new(stream)
+    };
+    let post_run = |client: &mut std::io::BufReader<std::net::TcpStream>| {
+        http::write_request(client.get_mut(), "POST", "/run", "bench", BODY)
+            .expect("request written");
+        let resp = http::parse_response(client).expect("response parses");
+        assert_eq!(resp.status, 200, "serve bench request failed");
+        resp
+    };
+    // Prime the cache: every measured request below is a pure hit.
+    post_run(&mut connect());
+
+    let mut group = h.group("serve");
+    group.bench_function("p99_latency", |bch| {
+        let mut client = connect();
+        bch.iter(|| post_run(&mut client));
+    });
+    group.bench_function("throughput", |bch| {
+        let mut client = connect();
+        bch.iter(|| {
+            for _ in 0..BURST {
+                post_run(&mut client);
+            }
+        });
+    });
+    drop(group);
+    server.shutdown();
+    server.join().expect("server joins cleanly after the bench");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// The eight stable labels, in registration order.
-    pub const EXPECTED_LABELS: [&str; 8] = [
+    /// The ten stable labels, in registration order.
+    pub const EXPECTED_LABELS: [&str; 10] = [
         "imc/mvm_bit_serial",
         "imc/eval_forward",
         "scf/cpu_run",
@@ -241,6 +316,8 @@ mod tests {
         "hls/schedule_asap",
         "dna/channel",
         "core/pareto_sweep",
+        "serve/p99_latency",
+        "serve/throughput",
     ];
 
     #[test]

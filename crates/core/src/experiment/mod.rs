@@ -334,7 +334,7 @@ impl ExperimentCtx {
 
 /// One reproduced experiment (a table or figure of the paper, or a
 /// registered auxiliary suite such as the kernel micro-benches).
-pub trait Experiment: Sync {
+pub trait Experiment: Sync + Send {
     /// Stable identifier used by `f2 run <name>` and the golden snapshot
     /// file name.
     fn name(&self) -> &'static str;

@@ -1,0 +1,674 @@
+//! Hand-rolled HTTP/1.1 request/response parsing for the `f2 serve`
+//! daemon and the `f2 loadgen` client.
+//!
+//! Deliberately tiny: request line + headers + `Content-Length` body, no
+//! chunked transfer encoding, no multipart, no TLS. Every limit is a hard
+//! constant and every parse failure maps to a clean 4xx status through
+//! [`HttpError::status`] — a malformed client can never panic the server,
+//! only earn an error response (the property `ptest` pins below).
+//!
+//! The same line/header/body machinery parses responses on the client
+//! side ([`parse_response`]), so the server and the load generator agree
+//! on one wire format by construction.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request/status line, in bytes.
+pub const MAX_START_LINE: usize = 8 * 1024;
+/// Longest accepted single header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted on one message.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted message body, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target (`/run`, `/healthz`, …), as sent.
+    pub path: String,
+    /// `1` for HTTP/1.1 (keep-alive default), `0` for HTTP/1.0.
+    pub minor_version: u8,
+    /// Headers in wire order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty when the header is absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup; first match wins.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.minor_version == 1,
+        }
+    }
+}
+
+/// A parsed HTTP response (client side) — also the server's builder for
+/// outgoing responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Reason phrase, as sent.
+    pub reason: String,
+    /// Headers in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response carrying a JSON body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            reason: reason_phrase(status).to_string(),
+            headers: vec![("Content-Type".to_string(), "application/json".to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error-object response: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let doc = crate::json::Json::Obj(vec![(
+            "error".to_string(),
+            crate::json::Json::Str(message.to_string()),
+        )]);
+        Self::json(status, doc.encode())
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Case-insensitive header lookup; first match wins.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Serialises the response, adding `Content-Length` and a
+    /// `Connection` header matching `keep_alive`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(out, "Connection: {conn}\r\n\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+fn header_lookup<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Why a message failed to parse. [`HttpError::status`] maps each variant
+/// to the response the server writes back — always 4xx for client-shaped
+/// input, `None` for dead connections where no response can land.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first byte of a message: the peer closed an
+    /// idle keep-alive connection. Not an error condition.
+    Closed,
+    /// The underlying transport failed (includes read timeouts).
+    Io(std::io::Error),
+    /// EOF in the middle of the start line or a header line.
+    TruncatedMessage,
+    /// Request/status line longer than [`MAX_START_LINE`].
+    StartLineTooLong,
+    /// Request/status line not of the expected three-token shape.
+    MalformedStartLine(String),
+    /// HTTP version other than 1.0/1.1.
+    UnsupportedVersion(String),
+    /// One header line longer than [`MAX_HEADER_LINE`].
+    HeaderTooLong,
+    /// More than [`MAX_HEADERS`] headers.
+    TooManyHeaders,
+    /// A header line without a `name: value` shape.
+    MalformedHeader(String),
+    /// `Content-Length` not a non-negative integer (or conflicting
+    /// duplicates).
+    BadContentLength(String),
+    /// `Transfer-Encoding` is not supported at all.
+    UnsupportedTransferEncoding,
+    /// Declared body larger than [`MAX_BODY`].
+    BodyTooLarge(usize),
+    /// EOF before `Content-Length` bytes of body arrived.
+    TruncatedBody {
+        /// Bytes the `Content-Length` header promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+            HttpError::TruncatedMessage => write!(f, "connection closed mid-message"),
+            HttpError::StartLineTooLong => {
+                write!(f, "start line exceeds {MAX_START_LINE} bytes")
+            }
+            HttpError::MalformedStartLine(l) => write!(f, "malformed start line {l:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::HeaderTooLong => {
+                write!(f, "header line exceeds {MAX_HEADER_LINE} bytes")
+            }
+            HttpError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
+            HttpError::MalformedHeader(l) => write!(f, "malformed header line {l:?}"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length {v:?}"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported")
+            }
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY}")
+            }
+            HttpError::TruncatedBody { expected, got } => {
+                write!(f, "body truncated: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl HttpError {
+    /// The status code of the error response this failure earns, or
+    /// `None` when the connection is gone and no response can be written.
+    /// Every parse failure of client-supplied bytes maps to a 4xx — the
+    /// server never answers malformed input with a 5xx or a panic.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::TruncatedMessage
+            | HttpError::MalformedStartLine(_)
+            | HttpError::UnsupportedVersion(_)
+            | HttpError::MalformedHeader(_)
+            | HttpError::BadContentLength(_)
+            | HttpError::UnsupportedTransferEncoding
+            | HttpError::TruncatedBody { .. } => Some(400),
+            HttpError::StartLineTooLong => Some(414),
+            HttpError::HeaderTooLong | HttpError::TooManyHeaders => Some(431),
+            HttpError::BodyTooLarge(_) => Some(413),
+        }
+    }
+}
+
+/// Reads one CRLF/LF-terminated line of at most `cap` bytes (terminator
+/// stripped). `Ok(None)` is clean EOF before the first byte; EOF
+/// mid-line is [`HttpError::TruncatedMessage`]; over-long lines map
+/// through `too_long`.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    cap: usize,
+    too_long: fn() -> HttpError,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(HttpError::Io)?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::TruncatedMessage);
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > cap {
+                return Err(too_long());
+            }
+            return Ok(Some(line));
+        }
+        line.extend_from_slice(buf);
+        let consumed = buf.len();
+        reader.consume(consumed);
+        if line.len() > cap {
+            return Err(too_long());
+        }
+    }
+}
+
+/// Parses the header block shared by requests and responses; stops at the
+/// blank separator line.
+fn parse_headers(reader: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_capped(reader, MAX_HEADER_LINE, || HttpError::HeaderTooLong)?
+            .ok_or(HttpError::TruncatedMessage)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::MalformedHeader(text));
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::MalformedHeader(text.clone()));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+}
+
+/// Resolves the body length from the header block, enforcing the
+/// [`MAX_BODY`] cap and rejecting `Transfer-Encoding` and conflicting
+/// duplicate `Content-Length` headers.
+fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    if header_lookup(headers, "transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut length: Option<usize> = None;
+    for (name, value) in headers {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed = value
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength(value.clone()))?;
+        if let Some(prev) = length {
+            if prev != parsed {
+                return Err(HttpError::BadContentLength(value.clone()));
+            }
+        }
+        length = Some(parsed);
+    }
+    let length = length.unwrap_or(0);
+    if length > MAX_BODY {
+        return Err(HttpError::BodyTooLarge(length));
+    }
+    Ok(length)
+}
+
+/// Reads exactly `length` body bytes; EOF earlier is
+/// [`HttpError::TruncatedBody`].
+fn read_body(reader: &mut impl BufRead, length: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; length];
+    let mut got = 0;
+    while got < length {
+        match reader.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(HttpError::TruncatedBody {
+                    expected: length,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+fn parse_version(token: &str) -> Result<u8, HttpError> {
+    match token {
+        "HTTP/1.1" => Ok(1),
+        "HTTP/1.0" => Ok(0),
+        other => Err(HttpError::UnsupportedVersion(other.to_string())),
+    }
+}
+
+/// Parses one request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on clean EOF before the first byte (the normal
+/// end of a keep-alive connection); any other variant describes the first
+/// protocol violation and maps to a 4xx via [`HttpError::status`].
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let line = read_line_capped(reader, MAX_START_LINE, || HttpError::StartLineTooLong)?
+        .ok_or(HttpError::Closed)?;
+    let text = String::from_utf8_lossy(&line).into_owned();
+    let mut tokens = text.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version), None) =
+        (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+    else {
+        return Err(HttpError::MalformedStartLine(text.clone()));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::MalformedStartLine(text.clone()));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::MalformedStartLine(text.clone()));
+    }
+    let minor_version = parse_version(version)?;
+    let headers = parse_headers(reader)?;
+    let length = body_length(&headers)?;
+    let body = read_body(reader, length)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        minor_version,
+        headers,
+        body,
+    })
+}
+
+/// Parses one response from the stream (the `f2 loadgen` client path).
+///
+/// # Errors
+///
+/// Same contract as [`parse_request`]; malformed server output surfaces
+/// as the first protocol violation.
+pub fn parse_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
+    let line = read_line_capped(reader, MAX_START_LINE, || HttpError::StartLineTooLong)?
+        .ok_or(HttpError::Closed)?;
+    let text = String::from_utf8_lossy(&line).into_owned();
+    let mut tokens = text.split_ascii_whitespace();
+    let (Some(version), Some(status)) = (tokens.next(), tokens.next()) else {
+        return Err(HttpError::MalformedStartLine(text.clone()));
+    };
+    parse_version(version)?;
+    let status: u16 = status
+        .parse()
+        .map_err(|_| HttpError::MalformedStartLine(text.clone()))?;
+    let reason = tokens.collect::<Vec<_>>().join(" ");
+    let headers = parse_headers(reader)?;
+    let length = body_length(&headers)?;
+    let body = read_body(reader, length)?;
+    Ok(Response {
+        status,
+        reason,
+        headers,
+        body,
+    })
+}
+
+/// Serialises a request the way `f2 loadgen` sends it.
+pub fn write_request(
+    out: &mut impl Write,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(out, "{method} {path} HTTP/1.1\r\nHost: {host}\r\n")?;
+    if !body.is_empty() {
+        write!(out, "Content-Type: application/json\r\n")?;
+    }
+    write!(out, "Content-Length: {}\r\n\r\n", body.len())?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut &bytes[..])
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("valid");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.minor_version, 1);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").expect("valid");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_lines_are_accepted() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").expect("valid");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_semantics() {
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("valid")
+            .keep_alive());
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n")
+            .expect("valid")
+            .keep_alive());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .expect("valid")
+            .keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert_eq!(HttpError::Closed.status(), None);
+    }
+
+    #[test]
+    fn malformed_start_lines_are_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"\xff\xfe\xfd\r\n\r\n",
+        ] {
+            let err = parse(raw).expect_err("malformed");
+            assert_eq!(err.status(), Some(400), "{err}");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_400() {
+        let err = parse(b"GET / HTTP/2.0\r\n\r\n").expect_err("unsupported");
+        assert!(matches!(err, HttpError::UnsupportedVersion(_)));
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn oversized_start_line_is_414() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_START_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(parse(&raw).expect_err("too long").status(), Some(414));
+    }
+
+    #[test]
+    fn oversized_and_overmany_headers_are_431() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_LINE + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse(&raw).expect_err("too long").status(), Some(431));
+
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&raw).expect_err("too many").status(), Some(431));
+    }
+
+    #[test]
+    fn malformed_headers_are_400() {
+        for raw in [
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).expect_err("malformed").status(), Some(400));
+        }
+    }
+
+    #[test]
+    fn content_length_abuse_is_rejected() {
+        let err = parse(b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n").expect_err("junk");
+        assert_eq!(err.status(), Some(400));
+        let err = parse(b"POST /run HTTP/1.1\r\nContent-Length: -4\r\n\r\n").expect_err("neg");
+        assert_eq!(err.status(), Some(400));
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde")
+            .expect_err("conflict");
+        assert_eq!(err.status(), Some(400));
+        // Agreeing duplicates are tolerated.
+        let req = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab")
+            .expect("agreeing");
+        assert_eq!(req.body, b"ab");
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse(raw.as_bytes()).expect_err("too large");
+        assert!(matches!(err, HttpError::BodyTooLarge(_)));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn truncated_body_and_message_are_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").expect_err("short");
+        assert!(matches!(
+            err,
+            HttpError::TruncatedBody {
+                expected: 10,
+                got: 3
+            }
+        ));
+        assert_eq!(err.status(), Some(400));
+        let err = parse(b"GET / HTTP/1.1\r\nHost: x").expect_err("mid-header EOF");
+        assert_eq!(err.status(), Some(400));
+        let err = parse(b"GET / HT").expect_err("mid-line EOF");
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let err = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect_err("unsupported");
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::json(200, "{\"ok\":true}").with_header("X-F2-Cache", "hit");
+        let mut wire = Vec::new();
+        resp.write(&mut wire, true).expect("writes");
+        let parsed = parse_response(&mut &wire[..]).expect("parses");
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.header("x-f2-cache"), Some("hit"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn error_response_carries_a_json_error_object() {
+        let resp = Response::error(404, "unknown experiment `nope`");
+        let doc = crate::json::Json::parse(std::str::from_utf8(&resp.body).unwrap())
+            .expect("well-formed");
+        assert_eq!(
+            doc.get("error").and_then(crate::json::Json::as_str),
+            Some("unknown experiment `nope`")
+        );
+        assert_eq!(resp.reason, "Not Found");
+    }
+
+    #[test]
+    fn request_write_parse_roundtrip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/run", "127.0.0.1:1", b"{\"x\":1}").expect("writes");
+        let req = parse(&wire).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"{\"x\":1}");
+        assert_eq!(req.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes() {
+        crate::ptest::run("http_parse_no_panic", |g| {
+            let bytes = g.bytes(0..512);
+            // Any outcome is fine; the property is the absence of panics
+            // plus the 4xx mapping on every parse error.
+            if let Err(e) = parse(&bytes) {
+                match e.status() {
+                    Some(code) => assert!(
+                        (400..500).contains(&code),
+                        "parse error must map to 4xx, got {code}"
+                    ),
+                    None => assert!(matches!(e, HttpError::Closed | HttpError::Io(_))),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn structured_requests_roundtrip_through_the_parser() {
+        crate::ptest::run("http_request_roundtrip", |g| {
+            const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
+            let method = METHODS[g.usize_in(0..METHODS.len())];
+            let seg = g.usize_in(0..3);
+            let path = format!("/p{seg}");
+            let body = g.bytes(0..200);
+            let mut wire = Vec::new();
+            write_request(&mut wire, method, &path, "h", &body).expect("writes");
+            let req = parse(&wire).expect("own writer output must parse");
+            assert_eq!(req.method, method);
+            assert_eq!(req.path, path);
+            assert_eq!(req.body, body);
+        });
+    }
+}

@@ -1,0 +1,994 @@
+//! `f2 serve` — a hermetic, zero-dependency HTTP/1.1 experiment service.
+//!
+//! The one-shot `f2 run` pipeline answers "what does experiment X
+//! report"; this module turns that into a long-running daemon that
+//! answers it **per request, at scale**:
+//!
+//! * a hand-rolled HTTP/1.1 front end ([`http`]) over
+//!   [`std::net::TcpListener`] — request line + headers +
+//!   `Content-Length` bodies, keep-alive connections, hard input limits,
+//!   every malformed input answered with a clean 4xx;
+//! * a content-addressed, mutex-striped result cache ([`cache`]) keyed by
+//!   `(experiment, seed, quick, threads)` — runs are pure functions of
+//!   that tuple, so repeated queries are O(lookup) and responses are
+//!   byte-identical whether computed or replayed;
+//! * a batching dispatcher: connection handlers park their `/run`
+//!   requests on a queue, and a single dispatcher drains *everything
+//!   pending* per wake-up, coalesces duplicate keys, and fans the misses
+//!   out over the work-stealing [`crate::exec::Pool`] — concurrent
+//!   traffic batches onto the executor instead of oversubscribing the
+//!   machine. Backpressure is structural: each connection blocks on its
+//!   own in-flight request, so at most one job per open connection is
+//!   ever queued.
+//!
+//! Endpoints: `GET /healthz`, `GET /experiments`, `GET /metrics`,
+//! `POST /run` (`{"experiment", "seed"?, "quick"?, "threads"?}`) and
+//! `POST /shutdown`. `/run` responses carry an `X-F2-Cache: hit|miss`
+//! header; the body never encodes cache state, so cached and fresh
+//! responses stay bit-identical.
+
+pub mod cache;
+pub mod http;
+
+use crate::exec::Pool;
+use crate::experiment::{ExperimentCtx, Registry};
+use crate::json::{Json, ToJson};
+use crate::trace;
+use cache::{CacheKey, ShardedCache};
+use http::{Request, Response};
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifies the JSON layout of a `/run` response body.
+pub const RUN_SCHEMA: &str = "f2-serve-v1";
+/// Identifies the JSON layout of the `/metrics` document.
+pub const METRICS_SCHEMA: &str = "f2-serve-metrics-v1";
+/// Largest `threads` value a `/run` request may ask for.
+pub const MAX_RUN_THREADS: u64 = 256;
+
+/// How a server instance is configured.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` asks the kernel for an ephemeral port (the
+    /// bound address is printed to stderr and written to `port_file`).
+    pub addr: String,
+    /// Worker threads of the batch-execution pool.
+    pub threads: usize,
+    /// Shard count of the result cache.
+    pub shards: usize,
+    /// When set, the bound `host:port` is written here after bind — how
+    /// scripts discover an ephemeral port.
+    pub port_file: Option<PathBuf>,
+    /// Per-connection read timeout; bounds how long an idle or stalled
+    /// client can pin a handler thread (and therefore how long shutdown
+    /// can take).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: crate::exec::num_threads(),
+            shards: cache::SHARDS,
+            port_file: None,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic service counters, exported by `GET /metrics`.
+#[derive(Default)]
+struct Stats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    http_errors: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    runs: AtomicU64,
+    run_failures: AtomicU64,
+    batches: AtomicU64,
+    batched_runs: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// One queued `/run` awaiting the dispatcher.
+struct Job {
+    key: CacheKey,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// What the dispatcher hands back to a waiting connection handler.
+#[derive(Clone)]
+struct Reply {
+    status: u16,
+    body: Arc<Vec<u8>>,
+    /// `X-F2-Cache` header value (`None` on failures).
+    cache: Option<&'static str>,
+}
+
+/// State shared by the accept loop, connection handlers and dispatcher.
+struct Shared {
+    registry: Registry,
+    pool: Pool,
+    cache: ShardedCache<Arc<Vec<u8>>>,
+    queue: Mutex<Vec<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    stats: Stats,
+    started: Instant,
+}
+
+/// A running server: the bound address plus the accept/dispatch threads.
+/// Dropping the handle shuts the server down and joins its threads;
+/// [`ServerHandle::join`] does the same but surfaces thread panics.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatch: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates shutdown: stops accepting, lets in-flight requests
+    /// finish, drains the queue. Idempotent; `POST /shutdown` calls the
+    /// same path.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server shuts down on its own (a `POST /shutdown`
+    /// or an earlier [`ServerHandle::shutdown`]) and joins the server
+    /// threads — the daemon path of `f2 serve`. Unlike
+    /// [`ServerHandle::join`], this does **not** initiate shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Reports a server thread that exited by panic.
+    pub fn wait(mut self) -> Result<(), String> {
+        self.join_threads()
+    }
+
+    /// Shuts down (if not already) and joins the server threads.
+    ///
+    /// # Errors
+    ///
+    /// Reports a server thread that exited by panic.
+    pub fn join(mut self) -> Result<(), String> {
+        initiate_shutdown(&self.shared);
+        self.join_threads()
+    }
+
+    fn join_threads(&mut self) -> Result<(), String> {
+        for (name, handle) in [
+            ("accept", self.accept.take()),
+            ("dispatch", self.dispatch.take()),
+        ] {
+            if let Some(handle) = handle {
+                handle
+                    .join()
+                    .map_err(|_| format!("server {name} thread panicked"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        for handle in [self.accept.take(), self.dispatch.take()]
+            .into_iter()
+            .flatten()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds the listener and starts the server threads.
+///
+/// # Errors
+///
+/// Propagates bind/port-file IO failures.
+pub fn start(registry: Registry, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    if let Some(path) = &config.port_file {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    eprintln!(
+        "f2 serve: listening on {addr} ({} experiment(s), {} pool worker(s), {} cache shard(s))",
+        registry.entries().len(),
+        config.threads,
+        config.shards
+    );
+    let shared = Arc::new(Shared {
+        registry,
+        pool: Pool::new(config.threads),
+        cache: ShardedCache::new(config.shards),
+        queue: Mutex::new(Vec::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        stats: Stats::default(),
+        started: Instant::now(),
+    });
+    let dispatch = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || dispatch_loop(&shared))
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let read_timeout = config.read_timeout;
+        std::thread::spawn(move || accept_loop(&listener, &shared, read_timeout))
+    };
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        dispatch: Some(dispatch),
+    })
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    // Unblock the accept loop: it re-checks the flag per accepted
+    // connection, so one self-connection wakes it.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, read_timeout: Duration) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                }));
+                // Reap finished handlers so the vec stays bounded by the
+                // number of *open* connections.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(e) => eprintln!("f2 serve: accept error: {e}"),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::parse_request(&mut reader) {
+            Ok(req) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                trace::counter("serve.request", 1);
+                let resp = route(&req, shared);
+                let class = match resp.status {
+                    200..=299 => &shared.stats.responses_2xx,
+                    400..=499 => &shared.stats.responses_4xx,
+                    _ => &shared.stats.responses_5xx,
+                };
+                class.fetch_add(1, Ordering::Relaxed);
+                // Evaluated after routing so a `/shutdown` (or any
+                // concurrent shutdown) also closes this connection.
+                let keep_alive = req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                if resp.write(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    shared.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = Response::error(status, &e.to_string()).write(reader.get_mut(), false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/experiments") => experiments(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/run") => run_request(req, shared),
+        ("POST", "/shutdown") => {
+            initiate_shutdown(shared);
+            Response::json(200, "{\"status\":\"shutting-down\"}")
+        }
+        (_, "/healthz" | "/experiments" | "/metrics") => {
+            Response::error(405, &format!("{} requires GET", req.path))
+        }
+        (_, "/run" | "/shutdown") => Response::error(405, &format!("{} requires POST", req.path)),
+        (_, path) => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let doc = Json::Obj(vec![
+        ("status".to_string(), "ok".to_json()),
+        (
+            "experiments".to_string(),
+            shared.registry.entries().len().to_json(),
+        ),
+        (
+            "uptime_ms".to_string(),
+            (shared.started.elapsed().as_millis() as u64).to_json(),
+        ),
+    ]);
+    Response::json(200, doc.encode())
+}
+
+fn experiments(shared: &Shared) -> Response {
+    let entries: Vec<Json> = shared
+        .registry
+        .entries()
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".to_string(), e.name().to_json()),
+                ("summary".to_string(), e.summary().to_json()),
+                (
+                    "tags".to_string(),
+                    Json::Arr(e.tags().iter().map(|t| t.to_json()).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::Arr(entries).encode())
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let s = &shared.stats;
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_json();
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), METRICS_SCHEMA.to_json()),
+        (
+            "uptime_ms".to_string(),
+            (shared.started.elapsed().as_millis() as u64).to_json(),
+        ),
+        ("connections".to_string(), load(&s.connections)),
+        ("requests_total".to_string(), load(&s.requests)),
+        ("http_errors".to_string(), load(&s.http_errors)),
+        (
+            "responses".to_string(),
+            Json::Obj(vec![
+                ("ok_2xx".to_string(), load(&s.responses_2xx)),
+                ("client_error_4xx".to_string(), load(&s.responses_4xx)),
+                ("server_error_5xx".to_string(), load(&s.responses_5xx)),
+            ]),
+        ),
+        (
+            "runs".to_string(),
+            Json::Obj(vec![
+                ("total".to_string(), load(&s.runs)),
+                ("failed".to_string(), load(&s.run_failures)),
+            ]),
+        ),
+        (
+            "batch".to_string(),
+            Json::Obj(vec![
+                ("count".to_string(), load(&s.batches)),
+                ("runs".to_string(), load(&s.batched_runs)),
+                ("max_size".to_string(), load(&s.max_batch)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("shards".to_string(), shared.cache.shards().to_json()),
+                ("entries".to_string(), shared.cache.len().to_json()),
+                ("hits".to_string(), shared.cache.hits().to_json()),
+                ("misses".to_string(), shared.cache.misses().to_json()),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.encode())
+}
+
+/// Extracts a non-negative integer from a JSON number (rejects
+/// fractional, negative and precision-losing values).
+fn json_u64(value: &Json) -> Option<u64> {
+    let v = value.as_f64()?;
+    if v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= 2f64.powi(53) {
+        Some(v as u64)
+    } else {
+        None
+    }
+}
+
+/// Parses and validates a `/run` body into a cache key; the error side is
+/// the 4xx response to send back.
+fn parse_run_body(body: &[u8], registry: &Registry) -> Result<CacheKey, Box<Response>> {
+    let err = |status: u16, msg: &str| Err(Box::new(Response::error(status, msg)));
+    let Ok(text) = std::str::from_utf8(body) else {
+        return err(400, "body must be UTF-8 JSON");
+    };
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return err(400, &format!("invalid JSON body: {e}")),
+    };
+    let Json::Obj(members) = &doc else {
+        return err(400, "body must be a JSON object");
+    };
+    for (name, _) in members {
+        if !matches!(name.as_str(), "experiment" | "seed" | "quick" | "threads") {
+            return err(400, &format!("unknown member `{name}`"));
+        }
+    }
+    let Some(experiment) = doc.get("experiment").and_then(Json::as_str) else {
+        return err(400, "missing `experiment` string member");
+    };
+    if registry.find(experiment).is_none() {
+        return err(404, &format!("unknown experiment `{experiment}`"));
+    }
+    let seed = match doc.get("seed") {
+        None => crate::rng::DEFAULT_SEED,
+        Some(v) => match json_u64(v) {
+            Some(seed) => seed,
+            None => return err(400, "`seed` must be a non-negative integer"),
+        },
+    };
+    let quick = match doc.get("quick") {
+        None => true,
+        Some(v) => match v.as_bool() {
+            Some(q) => q,
+            None => return err(400, "`quick` must be a boolean"),
+        },
+    };
+    let threads = match doc.get("threads") {
+        None => 1,
+        Some(v) => match json_u64(v) {
+            Some(t) if (1..=MAX_RUN_THREADS).contains(&t) => t as usize,
+            _ => {
+                return err(
+                    400,
+                    &format!("`threads` must be an integer in 1..={MAX_RUN_THREADS}"),
+                )
+            }
+        },
+    };
+    Ok(CacheKey {
+        experiment: experiment.to_string(),
+        seed,
+        quick,
+        threads,
+    })
+}
+
+fn run_request(req: &Request, shared: &Arc<Shared>) -> Response {
+    let key = match parse_run_body(&req.body, &shared.registry) {
+        Ok(key) => key,
+        Err(resp) => return *resp,
+    };
+    shared.stats.runs.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Response::error(503, "server is shutting down");
+        }
+        queue.push(Job { key, reply: tx });
+    }
+    shared.queue_cv.notify_one();
+    match rx.recv() {
+        Ok(reply) => {
+            if reply.status >= 500 {
+                shared.stats.run_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut resp = Response::json(reply.status, reply.body.as_slice().to_vec());
+            if let Some(outcome) = reply.cache {
+                resp = resp.with_header("X-F2-Cache", outcome);
+            }
+            resp
+        }
+        Err(_) => {
+            shared.stats.run_failures.fetch_add(1, Ordering::Relaxed);
+            Response::error(503, "server is shutting down")
+        }
+    }
+}
+
+/// The batching dispatcher: drains *all* pending jobs per wake-up,
+/// serves hits immediately, coalesces duplicate keys and fans the misses
+/// out over the pool in one batch.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if queue.is_empty() {
+                // Shutdown with nothing pending; handlers reject new jobs
+                // under the same lock, so nothing can race in after this.
+                return;
+            }
+            std::mem::take(&mut *queue)
+        };
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batched_runs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        trace::counter("serve.batch", 1);
+
+        // Hits answer immediately; misses coalesce per key.
+        let mut pending: Vec<(CacheKey, Vec<mpsc::Sender<Reply>>)> = Vec::new();
+        for job in batch {
+            if let Some(body) = shared.cache.get(&job.key) {
+                let _ = job.reply.send(Reply {
+                    status: 200,
+                    body,
+                    cache: Some("hit"),
+                });
+            } else {
+                match pending.iter_mut().find(|(key, _)| *key == job.key) {
+                    Some((_, waiters)) => waiters.push(job.reply),
+                    None => pending.push((job.key, vec![job.reply])),
+                }
+            }
+        }
+        if pending.is_empty() {
+            continue;
+        }
+        let keys: Vec<CacheKey> = pending.iter().map(|(key, _)| key.clone()).collect();
+        let results = shared
+            .pool
+            .map(&keys, |key| run_experiment(&shared.registry, key));
+        for ((key, waiters), result) in pending.into_iter().zip(results) {
+            let reply = match result {
+                Ok(body) => {
+                    let body = Arc::new(body);
+                    shared.cache.insert(key, Arc::clone(&body));
+                    Reply {
+                        status: 200,
+                        body,
+                        cache: Some("miss"),
+                    }
+                }
+                Err(message) => Reply {
+                    status: 500,
+                    body: Arc::new(
+                        Json::Obj(vec![("error".to_string(), message.to_json())])
+                            .encode()
+                            .into_bytes(),
+                    ),
+                    cache: None,
+                },
+            };
+            for waiter in waiters {
+                let _ = waiter.send(reply.clone());
+            }
+        }
+    }
+}
+
+/// Runs one experiment for the dispatcher. Panics are caught per item so
+/// a misbehaving experiment earns its waiters a 500 instead of killing
+/// the dispatcher (or the whole pool batch).
+fn run_experiment(registry: &Registry, key: &CacheKey) -> Result<Vec<u8>, String> {
+    let Some(exp) = registry.find(&key.experiment) else {
+        // Routed before enqueueing; defensive for registry changes.
+        return Err(format!("unknown experiment `{}`", key.experiment));
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ctx = ExperimentCtx::quiet(key.seed, key.quick, key.threads);
+        exp.run(&mut ctx)
+    }));
+    match outcome {
+        Ok(Ok(report)) => Ok(Json::Obj(vec![
+            ("schema".to_string(), RUN_SCHEMA.to_json()),
+            ("experiment".to_string(), key.experiment.to_json()),
+            ("seed".to_string(), key.seed.to_json()),
+            ("quick".to_string(), key.quick.to_json()),
+            ("threads".to_string(), key.threads.to_json()),
+            ("report".to_string(), report.to_json()),
+        ])
+        .encode()
+        .into_bytes()),
+        Ok(Err(e)) => Err(format!("experiment `{}` failed: {e}", key.experiment)),
+        Err(_) => Err(format!("experiment `{}` panicked", key.experiment)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentReport};
+    use std::io::Write;
+
+    /// Deterministic fixture: KPIs derived from the run seed.
+    struct EchoSeed;
+
+    impl Experiment for EchoSeed {
+        fn name(&self) -> &'static str {
+            "echo_seed"
+        }
+        fn summary(&self) -> &'static str {
+            "serve test fixture"
+        }
+        fn tags(&self) -> &'static [&'static str] {
+            &["serve-test"]
+        }
+        fn run(&self, ctx: &mut ExperimentCtx) -> crate::Result<ExperimentReport> {
+            ctx.kpi("seed", ctx.seed() as f64);
+            ctx.kpi("draw", f64::from(ctx.rng_for("echo").next_u32()));
+            Ok(ctx.report(self.name()))
+        }
+    }
+
+    /// Fixture that panics — must earn a 500, not kill the server.
+    struct Boom;
+
+    impl Experiment for Boom {
+        fn name(&self) -> &'static str {
+            "boom"
+        }
+        fn summary(&self) -> &'static str {
+            "panics"
+        }
+        fn tags(&self) -> &'static [&'static str] {
+            &["serve-test"]
+        }
+        fn run(&self, _ctx: &mut ExperimentCtx) -> crate::Result<ExperimentReport> {
+            panic!("boom fixture always panics");
+        }
+    }
+
+    /// Fixture that fails cleanly.
+    struct Fails;
+
+    impl Experiment for Fails {
+        fn name(&self) -> &'static str {
+            "fails"
+        }
+        fn summary(&self) -> &'static str {
+            "errors"
+        }
+        fn tags(&self) -> &'static [&'static str] {
+            &["serve-test"]
+        }
+        fn run(&self, _ctx: &mut ExperimentCtx) -> crate::Result<ExperimentReport> {
+            Err(crate::CoreError::InvalidParameter {
+                name: "fixture".to_string(),
+                reason: "always fails".to_string(),
+            })
+        }
+    }
+
+    fn test_server() -> ServerHandle {
+        let mut registry = Registry::new();
+        registry.register(Box::new(EchoSeed));
+        registry.register(Box::new(Boom));
+        registry.register(Box::new(Fails));
+        start(
+            registry,
+            ServeConfig {
+                threads: 2,
+                shards: 4,
+                read_timeout: Duration::from_secs(5),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    /// One round-trip on a fresh connection.
+    fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Response {
+        let mut client = connect(addr);
+        request(&mut client, method, path, body)
+    }
+
+    fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+        let stream = TcpStream::connect(addr).expect("server is listening");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("socket option");
+        BufReader::new(stream)
+    }
+
+    fn request(
+        client: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Response {
+        http::write_request(client.get_mut(), method, path, "test", body).expect("request sent");
+        http::parse_response(client).expect("response parses")
+    }
+
+    fn parse_body(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("well-formed body")
+    }
+
+    #[test]
+    fn healthz_experiments_and_metrics_endpoints() {
+        let server = test_server();
+        let addr = server.addr();
+
+        let health = roundtrip(addr, "GET", "/healthz", b"");
+        assert_eq!(health.status, 200);
+        let doc = parse_body(&health);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("experiments").and_then(Json::as_f64), Some(3.0));
+
+        let list = roundtrip(addr, "GET", "/experiments", b"");
+        let listed = parse_body(&list);
+        let names: Vec<&str> = listed
+            .as_array()
+            .expect("array")
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, vec!["echo_seed", "boom", "fails"]);
+
+        let metrics = roundtrip(addr, "GET", "/metrics", b"");
+        let doc = parse_body(&metrics);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert!(doc.get("cache").and_then(|c| c.get("shards")).is_some());
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn run_computes_then_replays_bit_identically_from_cache() {
+        let server = test_server();
+        let addr = server.addr();
+        let body = br#"{"experiment":"echo_seed","seed":5}"#;
+
+        let first = roundtrip(addr, "POST", "/run", body);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("x-f2-cache"), Some("miss"));
+        let doc = parse_body(&first);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(RUN_SCHEMA));
+        assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(5.0));
+        let kpi_seed = doc
+            .get("report")
+            .and_then(|r| r.get("kpis"))
+            .and_then(Json::as_array)
+            .and_then(|k| k[0].get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(kpi_seed, Some(5.0));
+
+        let second = roundtrip(addr, "POST", "/run", body);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header("x-f2-cache"), Some("hit"));
+        assert_eq!(
+            second.body, first.body,
+            "cached replay must be bit-identical"
+        );
+
+        // A different seed is a different key and a different body.
+        let other = roundtrip(
+            addr,
+            "POST",
+            "/run",
+            br#"{"experiment":"echo_seed","seed":6}"#,
+        );
+        assert_eq!(other.header("x-f2-cache"), Some("miss"));
+        assert_ne!(other.body, first.body);
+
+        // The metrics document reflects the cache traffic.
+        let metrics = parse_body(&roundtrip(addr, "GET", "/metrics", b""));
+        let cache = metrics.get("cache").expect("cache block");
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(2.0));
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = test_server();
+        let mut client = connect(server.addr());
+        for seed in 0..5u64 {
+            let body = format!("{{\"experiment\":\"echo_seed\",\"seed\":{seed}}}");
+            let resp = request(&mut client, "POST", "/run", body.as_bytes());
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.header("connection"), Some("keep-alive"));
+        }
+        let resp = request(&mut client, "GET", "/healthz", b"");
+        assert_eq!(resp.status, 200);
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn malformed_inputs_earn_clean_4xx_responses() {
+        let server = test_server();
+        let addr = server.addr();
+
+        // Raw protocol garbage on the wire: answered with a 400, not a
+        // dropped connection or a panic.
+        let mut client = connect(addr);
+        client
+            .get_mut()
+            .write_all(b"THIS IS NOT HTTP\r\n\r\n")
+            .expect("written");
+        let resp = http::parse_response(&mut client).expect("error response parses");
+        assert_eq!(resp.status, 400);
+
+        for (body, want) in [
+            (&b"{not json"[..], 400),
+            (b"[1,2,3]", 400),
+            (br#"{"experiment":"echo_seed","sed":1}"#, 400),
+            (br#"{"experiment":"no_such_experiment"}"#, 404),
+            (br#"{"seed":1}"#, 400),
+            (br#"{"experiment":"echo_seed","seed":-1}"#, 400),
+            (br#"{"experiment":"echo_seed","seed":1.5}"#, 400),
+            (br#"{"experiment":"echo_seed","quick":"yes"}"#, 400),
+            (br#"{"experiment":"echo_seed","threads":0}"#, 400),
+            (br#"{"experiment":"echo_seed","threads":100000}"#, 400),
+        ] {
+            let resp = roundtrip(addr, "POST", "/run", body);
+            assert_eq!(
+                resp.status,
+                want,
+                "body {:?}",
+                String::from_utf8_lossy(body)
+            );
+            assert!(parse_body(&resp).get("error").is_some());
+        }
+
+        assert_eq!(roundtrip(addr, "GET", "/run", b"").status, 405);
+        assert_eq!(roundtrip(addr, "PATCH", "/healthz", b"").status, 405);
+        assert_eq!(roundtrip(addr, "GET", "/nope", b"").status, 404);
+
+        // The server is still healthy after all that abuse.
+        assert_eq!(roundtrip(addr, "GET", "/healthz", b"").status, 200);
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn failing_and_panicking_experiments_earn_500_and_leave_the_server_alive() {
+        let server = test_server();
+        let addr = server.addr();
+        let failed = roundtrip(addr, "POST", "/run", br#"{"experiment":"fails"}"#);
+        assert_eq!(failed.status, 500);
+        assert!(parse_body(&failed).get("error").is_some());
+
+        let boomed = roundtrip(addr, "POST", "/run", br#"{"experiment":"boom"}"#);
+        assert_eq!(boomed.status, 500);
+
+        // Failures are not cached; the next healthy request still works.
+        let ok = roundtrip(addr, "POST", "/run", br#"{"experiment":"echo_seed"}"#);
+        assert_eq!(ok.status, 200);
+        let metrics = parse_body(&roundtrip(addr, "GET", "/metrics", b""));
+        let runs = metrics.get("runs").expect("runs block");
+        assert_eq!(runs.get("failed").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            metrics
+                .get("cache")
+                .and_then(|c| c.get("entries"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn concurrent_identical_and_distinct_requests_are_consistent() {
+        let server = test_server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = connect(addr);
+                    let mut bodies = Vec::new();
+                    for k in 0..6u64 {
+                        let seed = k % 3; // identical across client threads
+                        let body = format!("{{\"experiment\":\"echo_seed\",\"seed\":{seed}}}");
+                        let resp = request(&mut client, "POST", "/run", body.as_bytes());
+                        assert_eq!(resp.status, 200, "client {i}");
+                        bodies.push((seed, resp.body));
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        let mut canonical: std::collections::HashMap<u64, Vec<u8>> =
+            std::collections::HashMap::new();
+        for t in threads {
+            for (seed, body) in t.join().expect("client thread") {
+                let entry = canonical.entry(seed).or_insert_with(|| body.clone());
+                assert_eq!(*entry, body, "all responses for one key are bit-identical");
+            }
+        }
+        assert_eq!(canonical.len(), 3);
+        let metrics = parse_body(&roundtrip(addr, "GET", "/metrics", b""));
+        let cache = metrics.get("cache").expect("cache block");
+        let hits = cache.get("hits").and_then(Json::as_f64).expect("hits");
+        let misses = cache.get("misses").and_then(Json::as_f64).expect("misses");
+        assert_eq!(hits + misses, 48.0, "one counted lookup per /run");
+        assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(3.0));
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server_cleanly() {
+        let server = test_server();
+        let addr = server.addr();
+        let resp = roundtrip(addr, "POST", "/shutdown", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("close"));
+        server.join().expect("clean join");
+        // The listener is gone: a fresh connection must fail (the socket
+        // may accept briefly on some platforms, so poll for refusal).
+        let refused = (0..50).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            TcpStream::connect(addr).is_err()
+        });
+        assert!(refused, "listener must stop accepting after shutdown");
+    }
+
+    #[test]
+    fn port_file_records_the_bound_address() {
+        let path = std::env::temp_dir().join("f2-serve-port-test.txt");
+        let _ = std::fs::remove_file(&path);
+        let mut registry = Registry::new();
+        registry.register(Box::new(EchoSeed));
+        let server = start(
+            registry,
+            ServeConfig {
+                port_file: Some(path.clone()),
+                threads: 1,
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let written = std::fs::read_to_string(&path).expect("port file written");
+        assert_eq!(written.trim(), server.addr().to_string());
+        server.join().expect("clean join");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_u64_accepts_integers_only() {
+        assert_eq!(json_u64(&Json::Num(0.0)), Some(0));
+        assert_eq!(json_u64(&Json::Num(42.0)), Some(42));
+        assert_eq!(json_u64(&Json::Num(-1.0)), None);
+        assert_eq!(json_u64(&Json::Num(1.5)), None);
+        assert_eq!(json_u64(&Json::Num(f64::NAN)), None);
+        assert_eq!(json_u64(&Json::Num(2f64.powi(60))), None);
+        assert_eq!(json_u64(&Json::Str("7".to_string())), None);
+    }
+}
