@@ -1,7 +1,7 @@
 //! This thrust's registry entries for the unified `f2` runner.
 
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 use f2_core::workload::dnn::fsrcnn;
 
 use crate::fpga_model::table1_rows;
@@ -23,7 +23,9 @@ impl HtconvQuality {
     fn layer_quality(&self, ctx: &mut ExperimentCtx) {
         // Quick mode halves the scene size and count; the saving/PSNR
         // trade-off shape is scale-invariant.
-        let (scene_dim, scenes_n) = if ctx.quick() { (64, 2) } else { (96, 4) };
+        let (scene_d, scenes_d) = if ctx.quick() { (64, 2) } else { (96, 4) };
+        let scene_dim = ctx.param_u64("scene_dim", scene_d) as usize;
+        let scenes_n = ctx.param_u64("scenes", scenes_d);
         let lr_dim = scene_dim / 2;
         ctx.section(&format!(
             "HTCONV layer: fovea fraction vs MAC saving and PSNR ({scene_dim}x{scene_dim} scenes)"
@@ -127,7 +129,7 @@ impl HtconvQuality {
     }
 
     fn end_to_end_inference(&self, ctx: &mut ExperimentCtx) {
-        let in_dim = if ctx.quick() { 32 } else { 48 };
+        let in_dim = ctx.param_u64("in_dim", if ctx.quick() { 32 } else { 48 }) as usize;
         ctx.section(&format!(
             "End-to-end FSRCNN(8,3,1) inference ({in_dim}x{in_dim}), exact vs HTCONV final layer"
         ));
@@ -169,6 +171,20 @@ impl Experiment for HtconvQuality {
 
     fn tags(&self) -> &'static [&'static str] {
         &["e5", "approx", "figure"]
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64(
+                "scene_dim",
+                "square scene edge, must be even (quick 64, full 96)",
+            ),
+            ParamSpec::u64("scenes", "synthetic scenes averaged (quick 2, full 4)"),
+            ParamSpec::u64(
+                "in_dim",
+                "end-to-end inference input edge (quick 32, full 48)",
+            ),
+        ]
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {

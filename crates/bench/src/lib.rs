@@ -10,19 +10,20 @@
 //! cargo run -p f2-bench --release --bin f2 -- list
 //! cargo run -p f2-bench --release --bin f2 -- run all --quick
 //! cargo run -p f2-bench --release --bin f2 -- run imc_energy --json
+//! cargo run -p f2-bench --release --bin f2 -- campaign sweep.json
 //! ```
 //!
 //! The historical per-experiment binaries (`fig1_landscape`,
-//! `sparta_speedup`, …) still exist as thin wrappers that forward to the
-//! runner, so older invocations keep working.
+//! `sparta_speedup`, …) are gone; `f2 run <name>` is the only spelling.
 //!
 //! Table/number formatting lives in [`f2_core::experiment::render`]
-//! (re-exported here for the wrappers); golden-KPI snapshot plumbing in
-//! [`f2_core::experiment::golden`].
+//! (re-exported here); golden-KPI snapshot plumbing in
+//! [`f2_core::experiment::golden`]; scenario sweeps in [`campaign`].
 
 pub use f2_core::experiment::render::{fmt, print_table, section};
 use f2_core::json::{Json, ToJson};
 
+pub mod campaign;
 pub mod loadgen;
 pub mod runner;
 pub mod suite;

@@ -3,18 +3,25 @@
 //! One binary drives every experiment in the registry:
 //!
 //! ```text
-//! f2 list [--json]                 # inventory: names, tags, summaries
+//! f2 list [--json]                 # inventory: names, tags, summaries, params
 //! f2 run <name|tag|all> [flags]    # run a selection
 //! f2 check [--golden <dir>]        # compare `--json` lines on stdin to snapshots
+//! f2 campaign <manifest.json>      # expand a manifest and sweep scenarios
 //! ```
 //!
-//! `run` flags: `--quick` (reduced problem sizes, the fidelity the golden
-//! snapshots pin), `--json` (machine-readable lines instead of tables),
-//! `--threads N`, `--seed N`, `--trace <out.json>` (Chrome/Perfetto trace
-//! of the run) and `--metrics` (trace summary appended to the output). The
-//! deprecated `F2_BENCH_JSON` environment alias still switches `--json`
-//! on, and `F2_TRACE` switches `--trace` on (`F2_TRACE=1` writes
-//! `f2-trace.json`, any other truthy value is used as the output path).
+//! `run` builds a [`Scenario`] — the first-class run configuration of
+//! seed, fidelity, threads and per-experiment params — from its flags:
+//! `--quick` (reduced problem sizes, the fidelity the golden snapshots
+//! pin), `--threads N`, `--seed N`, `--param key=value` (a tunable
+//! dimension the selected experiments declare; repeatable) and
+//! `--scenario <file.json>` (replace the whole scenario with a JSON
+//! document; later flags still override its members). Output flags:
+//! `--json` (machine-readable lines instead of tables), `--trace
+//! <out.json>` (Chrome/Perfetto trace of the run) and `--metrics` (trace
+//! summary appended to the output). The deprecated `F2_BENCH_JSON`
+//! environment alias still switches `--json` on, and `F2_TRACE` switches
+//! `--trace` on (`F2_TRACE=1` writes `f2-trace.json`, any other truthy
+//! value is used as the output path).
 //!
 //! `check` closes the CI loop as a plain UNIX pipe, and `check-trace`
 //! validates a trace file the same way CI does:
@@ -30,6 +37,7 @@ use std::path::PathBuf;
 
 use f2_core::experiment::{golden, ExperimentCtx, ExperimentReport, Registry};
 use f2_core::json::{Json, ToJson};
+use f2_core::scenario::{Fidelity, ParamValue, Scenario};
 
 /// Environment variable enabling `--trace` without a flag: truthy values
 /// switch tracing on; anything that is not `1`/`true` is the output path.
@@ -54,14 +62,10 @@ fn trace_env_path() -> Option<PathBuf> {
 pub struct RunOptions {
     /// Experiment name, tag, or `all`.
     pub selector: String,
-    /// Reduced problem sizes (the fidelity golden snapshots pin).
-    pub quick: bool,
     /// Emit machine-readable JSON lines instead of human-readable tables.
     pub json: bool,
-    /// Worker threads for `ExperimentCtx::exec` sweeps.
-    pub threads: usize,
-    /// Root seed for all experiment randomness.
-    pub seed: u64,
+    /// The complete run configuration: seed, fidelity, threads, params.
+    pub scenario: Scenario,
     /// Write a Chrome trace-event JSON of the run to this path.
     pub trace: Option<PathBuf>,
     /// Append the human-readable trace summary to the run output.
@@ -72,10 +76,12 @@ impl Default for RunOptions {
     fn default() -> Self {
         Self {
             selector: "all".to_string(),
-            quick: false,
             json: crate::json_env_enabled(),
-            threads: f2_core::exec::num_threads(),
-            seed: f2_core::rng::DEFAULT_SEED,
+            scenario: Scenario::new(
+                f2_core::rng::DEFAULT_SEED,
+                Fidelity::Full,
+                f2_core::exec::num_threads(),
+            ),
             trace: trace_env_path(),
             metrics: false,
         }
@@ -153,6 +159,8 @@ pub enum Command {
     Serve(f2_core::serve::ServeConfig),
     /// `f2 loadgen [flags]`
     Loadgen(crate::loadgen::LoadgenOptions),
+    /// `f2 campaign <manifest.json> [flags]`
+    Campaign(crate::campaign::CampaignOptions),
 }
 
 /// The repo-local default snapshot directory, resolved at compile time.
@@ -171,6 +179,11 @@ Commands:
       --json                         machine-readable JSON lines
       --threads <N>                  worker threads for sweeps
       --seed <N>                     root seed (default 0xF1A65817)
+      --param <key=value>            set a tunable dimension the selected
+                                     experiments declare (repeatable; see
+                                     `f2 list --json`)
+      --scenario <file.json>         load the whole scenario from a JSON
+                                     document (later flags still override)
       --trace <out.json>             write a Chrome/Perfetto trace of the run
                                      (or set F2_TRACE=<path>)
       --metrics                      append the trace summary (hot spans,
@@ -200,6 +213,16 @@ Commands:
       --threads <N>                  worker threads of the batch pool
       --shards <N>                   result-cache shard count (default 16)
       --port-file <path>             write the bound host:port here
+  campaign <manifest.json> [flags]   expand a scenario manifest and sweep it
+      --out <report.json>            merged f2-campaign-v1 output path
+                                     (default <manifest>.out.json)
+      --checkpoint <file.jsonl>      per-scenario checkpoint journal
+                                     (default <manifest>.checkpoint.jsonl)
+      --resume                       reuse finished scenarios from the
+                                     checkpoint instead of recomputing
+      --threads <N>                  pool workers sweeping the campaign
+      --golden <dist.json>           check the merged KPI distributions
+                                     against this golden (F2_BLESS=1 writes)
   loadgen [flags]                    drive a running server and report
                                      throughput/latency
       --addr <host:port>             server address (required in practice)
@@ -236,13 +259,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "run" => {
             let mut opts = RunOptions::default();
             let mut selector = None;
+            // Flags apply in order, so `--scenario base.json --seed 9`
+            // loads the file and then overrides its seed.
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--quick" => opts.quick = true,
+                    "--quick" => opts.scenario.fidelity = Fidelity::Quick,
                     "--json" => opts.json = true,
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a value")?;
-                        opts.threads = v
+                        opts.scenario.threads = v
                             .parse::<usize>()
                             .ok()
                             .filter(|&n| n > 0)
@@ -250,7 +275,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--seed" => {
                         let v = it.next().ok_or("--seed needs a value")?;
-                        opts.seed = v.parse::<u64>().map_err(|_| format!("invalid seed {v}"))?;
+                        opts.scenario.seed =
+                            v.parse::<u64>().map_err(|_| format!("invalid seed {v}"))?;
+                    }
+                    "--param" => {
+                        let v = it.next().ok_or("--param needs key=value")?;
+                        let (key, raw) = v
+                            .split_once('=')
+                            .filter(|(k, _)| !k.is_empty())
+                            .ok_or_else(|| format!("invalid --param {v}; expected key=value"))?;
+                        opts.scenario.set_param(key, ParamValue::parse(raw));
+                    }
+                    "--scenario" => {
+                        let path = it.next().ok_or("--scenario needs a JSON file path")?;
+                        let text = std::fs::read_to_string(path)
+                            .map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+                        let doc = Json::parse(&text)
+                            .map_err(|e| format!("scenario {path}: malformed JSON: {e}"))?;
+                        opts.scenario = Scenario::from_json(&doc)
+                            .map_err(|e| format!("scenario {path}: {e}"))?;
                     }
                     "--trace" => {
                         opts.trace = Some(PathBuf::from(
@@ -475,6 +518,47 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Loadgen(opts))
         }
+        "campaign" => {
+            let mut manifest = None;
+            let mut opts = crate::campaign::CampaignOptions::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => {
+                        opts.out = Some(PathBuf::from(
+                            it.next().ok_or("--out needs an output path")?,
+                        ));
+                    }
+                    "--checkpoint" => {
+                        opts.checkpoint =
+                            Some(PathBuf::from(it.next().ok_or("--checkpoint needs a path")?));
+                    }
+                    "--resume" => opts.resume = true,
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        opts.threads = v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid thread count {v}"))?;
+                    }
+                    "--golden" => {
+                        opts.golden = Some(PathBuf::from(
+                            it.next().ok_or("--golden needs a dist-golden path")?,
+                        ));
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown `campaign` flag {flag}"));
+                    }
+                    file => {
+                        if manifest.replace(PathBuf::from(file)).is_some() {
+                            return Err("multiple manifests; pass exactly one".into());
+                        }
+                    }
+                }
+            }
+            opts.manifest = manifest.ok_or("missing manifest: pass a campaign JSON file")?;
+            Ok(Command::Campaign(opts))
+        }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -487,6 +571,17 @@ pub fn list(registry: &Registry, json: bool) {
             .entries()
             .iter()
             .map(|e| {
+                let params: Vec<Json> = e
+                    .params()
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".to_string(), p.name.to_json()),
+                            ("kind".to_string(), p.kind.label().to_json()),
+                            ("help".to_string(), p.help.to_json()),
+                        ])
+                    })
+                    .collect();
                 Json::Obj(vec![
                     ("name".to_string(), e.name().to_json()),
                     ("summary".to_string(), e.summary().to_json()),
@@ -494,6 +589,7 @@ pub fn list(registry: &Registry, json: bool) {
                         "tags".to_string(),
                         Json::Arr(e.tags().iter().map(|t| t.to_json()).collect()),
                     ),
+                    ("params".to_string(), Json::Arr(params)),
                 ])
             })
             .collect();
@@ -537,15 +633,30 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
             return 2;
         }
     };
+    // Every scenario param must be a dimension at least one selected
+    // experiment declares — a typo'd `--param` would otherwise run the
+    // defaults silently.
+    for (key, _) in opts.scenario.params() {
+        let declared = selected
+            .iter()
+            .any(|e| e.params().iter().any(|p| p.name == key));
+        if !declared {
+            eprintln!(
+                "f2 run: no selected experiment declares param `{key}`; \
+                 see `f2 list --json`"
+            );
+            return 2;
+        }
+    }
     let session = (opts.trace.is_some() || opts.metrics).then(f2_core::trace::session);
     let mut failures = 0;
     for exp in selected {
         let _span = f2_core::trace::span(&format!("experiment:{}", exp.name()));
         let mut ctx = if opts.json {
-            ExperimentCtx::quiet(opts.seed, opts.quick, opts.threads)
+            ExperimentCtx::quiet_scenario(&opts.scenario)
         } else {
             println!("\n##### {} — {}", exp.name(), exp.summary());
-            ExperimentCtx::new(opts.seed, opts.quick, opts.threads)
+            ExperimentCtx::from_scenario(&opts.scenario)
         };
         match exp.run(&mut ctx) {
             Ok(report) => {
@@ -1025,25 +1136,12 @@ pub fn main_with(registry: Registry, args: &[String]) -> u8 {
         }) => check_bench(&baseline, current.as_deref(), max_regress),
         Ok(Command::Serve(config)) => serve(registry, config),
         Ok(Command::Loadgen(opts)) => crate::loadgen::run(&opts),
+        Ok(Command::Campaign(opts)) => crate::campaign::run(&registry, &opts),
         Err(msg) => {
             eprintln!("{msg}");
             2
         }
     }
-}
-
-/// Entry point for the legacy one-experiment wrapper binaries: runs `name`
-/// at full fidelity with default seed/threads, honouring the deprecated
-/// `F2_BENCH_JSON` alias.
-pub fn forward(registry: &Registry, name: &str) -> u8 {
-    eprintln!("note: this binary is a thin wrapper; prefer `f2 run {name}`");
-    run(
-        registry,
-        &RunOptions {
-            selector: name.to_string(),
-            ..RunOptions::default()
-        },
-    )
 }
 
 #[cfg(test)]
@@ -1066,6 +1164,10 @@ mod tests {
             "3",
             "--seed",
             "7",
+            "--param",
+            "cells=800",
+            "--param",
+            "mode=dense",
             "--trace",
             "/tmp/t.json",
             "--metrics",
@@ -1074,10 +1176,60 @@ mod tests {
             panic!("expected run");
         };
         assert_eq!(opts.selector, "imc");
-        assert!(opts.quick && opts.json && opts.metrics);
-        assert_eq!(opts.threads, 3);
-        assert_eq!(opts.seed, 7);
+        assert!(opts.json && opts.metrics);
+        assert_eq!(opts.scenario.fidelity, Fidelity::Quick);
+        assert_eq!(opts.scenario.threads, 3);
+        assert_eq!(opts.scenario.seed, 7);
+        assert_eq!(opts.scenario.param("cells"), Some(&ParamValue::Num(800.0)));
+        assert_eq!(
+            opts.scenario.param("mode"),
+            Some(&ParamValue::Str("dense".to_string()))
+        );
         assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.json")));
+    }
+
+    #[test]
+    fn run_scenario_file_loads_and_later_flags_override() {
+        let path = std::env::temp_dir().join("f2-runner-scenario-test.json");
+        std::fs::write(
+            &path,
+            r#"{"seed":11,"fidelity":"quick","threads":2,"params":{"cells":640}}"#,
+        )
+        .expect("writable tmp");
+        let path_s = path.to_string_lossy().to_string();
+        let Command::Run(opts) = parse_args(&args(&[
+            "run",
+            "imc",
+            "--scenario",
+            &path_s,
+            "--seed",
+            "12",
+        ]))
+        .expect("parses") else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.seed, 12, "later --seed overrides the file");
+        assert_eq!(opts.scenario.threads, 2);
+        assert_eq!(opts.scenario.fidelity, Fidelity::Quick);
+        assert_eq!(opts.scenario.param("cells"), Some(&ParamValue::Num(640.0)));
+        // Flag order matters the other way round too: the file replaces
+        // everything set before it.
+        let Command::Run(opts) = parse_args(&args(&[
+            "run",
+            "imc",
+            "--seed",
+            "12",
+            "--scenario",
+            &path_s,
+        ]))
+        .expect("parses") else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.scenario.seed, 11);
+        assert!(parse_args(&args(&["run", "imc", "--scenario", "/no/such/file.json"])).is_err());
+        assert!(parse_args(&args(&["run", "imc", "--param", "noequals"])).is_err());
+        assert!(parse_args(&args(&["run", "imc", "--param", "=3"])).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1174,10 +1326,8 @@ mod tests {
         let path = std::env::temp_dir().join("f2-runner-trace-test.json");
         let opts = RunOptions {
             selector: "all".to_string(),
-            quick: true,
             json: true,
-            threads: 2,
-            seed: 1,
+            scenario: Scenario::new(1, Fidelity::Quick, 2),
             trace: Some(path.clone()),
             metrics: false,
         };
@@ -1204,6 +1354,55 @@ mod tests {
                 && e.get("name").and_then(Json::as_str) == Some("demo.points")
         }));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_rejects_params_no_selected_experiment_declares() {
+        let mut registry = Registry::new();
+        registry.register(Box::new(TracedDemo));
+        let opts = RunOptions {
+            selector: "all".to_string(),
+            json: true,
+            scenario: Scenario::new(1, Fidelity::Quick, 1)
+                .with_param("no_such_knob", ParamValue::Num(3.0)),
+            trace: None,
+            metrics: false,
+        };
+        assert_eq!(
+            run(&registry, &opts),
+            2,
+            "undeclared param is a usage error"
+        );
+    }
+
+    #[test]
+    fn parses_campaign_flags() {
+        let Command::Campaign(opts) = parse_args(&args(&[
+            "campaign",
+            "manifest.json",
+            "--out",
+            "/tmp/c.json",
+            "--checkpoint",
+            "/tmp/c.jsonl",
+            "--resume",
+            "--threads",
+            "4",
+            "--golden",
+            "/tmp/d.json",
+        ]))
+        .expect("parses") else {
+            panic!("expected campaign");
+        };
+        assert_eq!(opts.manifest, PathBuf::from("manifest.json"));
+        assert_eq!(opts.out, Some(PathBuf::from("/tmp/c.json")));
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("/tmp/c.jsonl")));
+        assert!(opts.resume);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.golden, Some(PathBuf::from("/tmp/d.json")));
+        assert!(parse_args(&args(&["campaign"])).is_err());
+        assert!(parse_args(&args(&["campaign", "a.json", "b.json"])).is_err());
+        assert!(parse_args(&args(&["campaign", "a.json", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["campaign", "a.json", "--nope"])).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod render;
 
 use crate::json::{Json, ToJson};
 use crate::rng::ChaCha8Rng;
+use crate::scenario::{Fidelity, ParamValue, Scenario};
 use crate::{CoreError, Result};
 use std::fmt::Display;
 
@@ -141,8 +142,7 @@ enum Output {
 /// never re-read `F2_THREADS` per parallel call, and every sweep in a run
 /// shares one scheduling policy.
 pub struct ExperimentCtx {
-    seed: u64,
-    quick: bool,
+    scenario: Scenario,
     pool: crate::exec::Pool,
     output: Output,
     kpis: Vec<Kpi>,
@@ -153,16 +153,13 @@ pub struct ExperimentCtx {
 }
 
 impl ExperimentCtx {
-    /// A context that prints tables and notes to stdout as they are emitted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    pub fn new(seed: u64, quick: bool, threads: usize) -> Self {
+    /// A context for the given scenario that prints tables and notes to
+    /// stdout as they are emitted. The executor pool is sized from
+    /// `scenario.threads`.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
         Self {
-            seed,
-            quick,
-            pool: crate::exec::Pool::new(threads),
+            scenario: scenario.clone(),
+            pool: crate::exec::Pool::new(scenario.threads),
             output: Output::Stdout,
             kpis: Vec::new(),
             records: Vec::new(),
@@ -170,28 +167,102 @@ impl ExperimentCtx {
         }
     }
 
-    /// A context that buffers human-readable output instead of printing it
-    /// (retrieve it with [`ExperimentCtx::rendered`]).
+    /// A scenario context that buffers human-readable output instead of
+    /// printing it (retrieve it with [`ExperimentCtx::rendered`]).
+    pub fn quiet_scenario(scenario: &Scenario) -> Self {
+        let mut ctx = Self::from_scenario(scenario);
+        ctx.output = Output::Buffer(String::new());
+        ctx
+    }
+
+    /// Compatibility constructor for the legacy `(seed, quick, threads)`
+    /// tuple: a stdout context over a param-free [`Scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(seed: u64, quick: bool, threads: usize) -> Self {
+        Self::from_scenario(&Scenario::from_legacy(seed, quick, threads))
+    }
+
+    /// Compatibility constructor: like [`ExperimentCtx::new`] but buffering
+    /// output (retrieve it with [`ExperimentCtx::rendered`]).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn quiet(seed: u64, quick: bool, threads: usize) -> Self {
-        let mut ctx = Self::new(seed, quick, threads);
-        ctx.output = Output::Buffer(String::new());
-        ctx
+        Self::quiet_scenario(&Scenario::from_legacy(seed, quick, threads))
+    }
+
+    /// The scenario this context runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// The global experiment seed.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.scenario.seed
+    }
+
+    /// The run's fidelity axis.
+    pub fn fidelity(&self) -> Fidelity {
+        self.scenario.fidelity
     }
 
     /// True when the run should trade fidelity for speed (CI smoke runs,
     /// golden snapshot tests). Quick mode must preserve every claim shape —
     /// only problem sizes shrink.
     pub fn quick(&self) -> bool {
-        self.quick
+        self.scenario.fidelity.is_quick()
+    }
+
+    /// Reads an integer-valued scenario param, falling back to `default`
+    /// when the scenario does not override it. Experiments must pass the
+    /// exact value they previously hard-coded as the default so the
+    /// default scenario stays bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario sets the param to a string or to a number
+    /// that is not a non-negative integer representable in 53 bits — an
+    /// override that silently truncated would corrupt the sweep.
+    pub fn param_u64(&self, name: &str, default: u64) -> u64 {
+        match self.scenario.param(name) {
+            None => default,
+            Some(ParamValue::Num(v))
+                if v.is_finite() && *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) =>
+            {
+                *v as u64
+            }
+            Some(other) => panic!("param `{name}` must be a non-negative integer, got {other:?}"),
+        }
+    }
+
+    /// Reads a numeric scenario param, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario sets the param to a string.
+    pub fn param_f64(&self, name: &str, default: f64) -> f64 {
+        match self.scenario.param(name) {
+            None => default,
+            Some(ParamValue::Num(v)) => *v,
+            Some(other) => panic!("param `{name}` must be a number, got {other:?}"),
+        }
+    }
+
+    /// Reads a string scenario param, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario sets the param to a number.
+    pub fn param_str(&self, name: &str, default: &str) -> String {
+        match self.scenario.param(name) {
+            None => default.to_string(),
+            Some(ParamValue::Str(s)) => s.clone(),
+            Some(other) => panic!("param `{name}` must be a string, got {other:?}"),
+        }
     }
 
     /// The worker-thread budget of the shared executor pool.
@@ -202,7 +273,7 @@ impl ExperimentCtx {
     /// Derives the deterministic RNG stream for `label`, scoped to the run's
     /// seed. Same seed + same label = bit-identical stream.
     pub fn rng_for(&self, label: &str) -> ChaCha8Rng {
-        crate::rng::rng_for(self.seed, label)
+        crate::rng::rng_for(self.scenario.seed, label)
     }
 
     /// The run's shared work-stealing executor ([`crate::exec::Pool`]),
@@ -332,6 +403,70 @@ impl ExperimentCtx {
     }
 }
 
+/// The value kind of one declared experiment param.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Non-negative integer (read via [`ExperimentCtx::param_u64`]).
+    U64,
+    /// Finite number (read via [`ExperimentCtx::param_f64`]).
+    F64,
+    /// String (read via [`ExperimentCtx::param_str`]).
+    Str,
+}
+
+impl ParamKind {
+    /// The lowercase name used in `f2 list --json` and docs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamKind::U64 => "u64",
+            ParamKind::F64 => "f64",
+            ParamKind::Str => "str",
+        }
+    }
+}
+
+/// One tunable dimension an experiment declares: the contract between
+/// `ctx.param_*` reads inside [`Experiment::run`] and the scenario params
+/// the runner, server and campaign expander accept for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Param name as read by `ctx.param_*`.
+    pub name: &'static str,
+    /// Expected value kind.
+    pub kind: ParamKind,
+    /// One-line description, including the quick/full defaults.
+    pub help: &'static str,
+}
+
+impl ParamSpec {
+    /// A `u64` param spec.
+    pub const fn u64(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ParamKind::U64,
+            help,
+        }
+    }
+
+    /// An `f64` param spec.
+    pub const fn f64(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ParamKind::F64,
+            help,
+        }
+    }
+
+    /// A string param spec.
+    pub const fn str(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            kind: ParamKind::Str,
+            help,
+        }
+    }
+}
+
 /// One reproduced experiment (a table or figure of the paper, or a
 /// registered auxiliary suite such as the kernel micro-benches).
 pub trait Experiment: Sync + Send {
@@ -346,6 +481,13 @@ pub trait Experiment: Sync + Send {
     /// Conventionally the thrust (`"imc"`, `"scf"`, …) plus the paper
     /// experiment id (`"e4"`).
     fn tags(&self) -> &'static [&'static str];
+
+    /// The tunable dimensions this experiment reads via `ctx.param_*`.
+    /// Scenario params outside this list are rejected by the runner and
+    /// the server before the experiment runs. Default: no params.
+    fn params(&self) -> Vec<ParamSpec> {
+        Vec::new()
+    }
 
     /// Runs the experiment against `ctx` and returns its KPI report
     /// (normally `Ok(ctx.report(self.name()))`).
@@ -541,6 +683,70 @@ mod tests {
             ctx.exec().map(&items, |&x| x * x),
             items.iter().map(|&x| x * x).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn ctx_reads_scenario_params_with_defaults() {
+        let scenario = Scenario::from_legacy(3, true, 2)
+            .with_param("cells", ParamValue::Num(800.0))
+            .with_param("scale", ParamValue::Num(0.5))
+            .with_param("pattern", ParamValue::Str("diag".into()));
+        let ctx = ExperimentCtx::quiet_scenario(&scenario);
+        assert_eq!(ctx.seed(), 3);
+        assert!(ctx.quick());
+        assert_eq!(ctx.threads(), 2);
+        assert_eq!(ctx.scenario(), &scenario);
+        assert_eq!(ctx.param_u64("cells", 500), 800);
+        assert_eq!(ctx.param_u64("absent", 500), 500);
+        assert_eq!(ctx.param_f64("scale", 1.0), 0.5);
+        assert_eq!(ctx.param_f64("absent", 1.0), 1.0);
+        assert_eq!(ctx.param_str("pattern", "dense"), "diag");
+        assert_eq!(ctx.param_str("absent", "dense"), "dense");
+    }
+
+    #[test]
+    fn legacy_constructors_are_param_free_scenarios() {
+        let ctx = ExperimentCtx::quiet(9, false, 4);
+        assert!(!ctx.quick());
+        assert_eq!(ctx.fidelity(), Fidelity::Full);
+        assert_eq!(ctx.scenario(), &Scenario::from_legacy(9, false, 4));
+        assert!(ctx.scenario().params().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a non-negative integer")]
+    fn fractional_u64_param_rejected() {
+        let s = Scenario::default().with_param("n", ParamValue::Num(1.5));
+        let _ = ExperimentCtx::quiet_scenario(&s).param_u64("n", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a number")]
+    fn string_for_f64_param_rejected() {
+        let s = Scenario::default().with_param("x", ParamValue::Str("nope".into()));
+        let _ = ExperimentCtx::quiet_scenario(&s).param_f64("x", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a string")]
+    fn number_for_str_param_rejected() {
+        let s = Scenario::default().with_param("x", ParamValue::Num(1.0));
+        let _ = ExperimentCtx::quiet_scenario(&s).param_str("x", "dense");
+    }
+
+    #[test]
+    fn param_specs_describe_their_kind() {
+        let spec = ParamSpec::u64("cells", "crossbar cells (quick 500, full 2000)");
+        assert_eq!(spec.kind.label(), "u64");
+        assert_eq!(ParamSpec::f64("s", "h").kind, ParamKind::F64);
+        assert_eq!(ParamSpec::str("p", "h").kind, ParamKind::Str);
+        // The trait default declares no params.
+        assert!(Dummy {
+            name: "a",
+            tags: &[]
+        }
+        .params()
+        .is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod platform;
 pub mod ptest;
 pub mod rng;
 pub mod roofline;
+pub mod scenario;
 pub mod serve;
 pub mod tensor;
 pub mod trace;

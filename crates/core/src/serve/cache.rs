@@ -1,19 +1,21 @@
 //! The content-addressed result cache behind `f2 serve`.
 //!
-//! Experiment runs are pure functions of `(experiment, seed, quick,
-//! threads)` — the executor guarantees bit-identical reports at any
-//! thread count, and every draw of randomness is derived from the seed —
-//! so a completed response body can be replayed verbatim for any later
-//! request with the same key. The cache shards its map [`SHARDS`]-ways by
-//! a deterministic FNV-1a hash of the key, so concurrent lookups from the
-//! connection handlers and the batch dispatcher contend on different
-//! mutexes instead of one global lock.
+//! Experiment runs are pure functions of `(experiment, scenario)` — the
+//! executor guarantees bit-identical reports at any thread count, and
+//! every draw of randomness is derived from the scenario's seed — so a
+//! completed response body can be replayed verbatim for any later request
+//! with the same key, including fully parameterized scenarios. The cache
+//! shards its map [`SHARDS`]-ways by a deterministic FNV-1a hash of the
+//! key (built on [`crate::scenario::Scenario::content_hash`]), so
+//! concurrent lookups from the connection handlers and the batch
+//! dispatcher contend on different mutexes instead of one global lock.
 //!
 //! Every lookup bumps a hit or miss counter (per shard, aggregated on
 //! read) and mirrors the event into the [`crate::trace`] metrics stream
 //! as `serve.cache.hit` / `serve.cache.miss` counters — zero-cost when no
 //! trace session is live.
 
+use crate::scenario::Scenario;
 use crate::trace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,35 +30,30 @@ pub const SHARDS: usize = 16;
 pub struct CacheKey {
     /// Registry name of the experiment.
     pub experiment: String,
-    /// Root seed of the run.
-    pub seed: u64,
-    /// Quick (reduced-size) fidelity.
-    pub quick: bool,
-    /// Worker-thread budget of the run's pool (results are thread-count
-    /// invariant, but the key keeps distinct configurations distinct).
-    pub threads: usize,
+    /// The complete run configuration (seed, fidelity, threads, params).
+    pub scenario: Scenario,
 }
 
 impl CacheKey {
+    /// The legacy `(experiment, seed, quick, threads)` tuple as a key over
+    /// a param-free scenario.
+    pub fn legacy(experiment: &str, seed: u64, quick: bool, threads: usize) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            scenario: Scenario::from_legacy(seed, quick, threads),
+        }
+    }
+
     /// Deterministic FNV-1a hash over all fields — the shard selector.
-    /// Hand-rolled instead of [`std::hash::DefaultHasher`] so shard
-    /// assignment is stable across processes and runs.
+    /// Built on the scenario's stable content hash (same FNV-1a family)
+    /// instead of [`std::hash::DefaultHasher`] so shard assignment is
+    /// stable across processes and runs.
     pub fn fnv1a(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        eat(self.experiment.as_bytes());
-        eat(&[0]);
-        eat(&self.seed.to_le_bytes());
-        eat(&[u8::from(self.quick)]);
-        eat(&(self.threads as u64).to_le_bytes());
-        h
+        let mut bytes = Vec::with_capacity(self.experiment.len() + 9);
+        bytes.extend_from_slice(self.experiment.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&self.scenario.content_hash().to_le_bytes());
+        crate::rng::fnv1a(&bytes)
     }
 }
 
@@ -191,22 +188,15 @@ mod tests {
     use std::sync::Arc;
 
     fn key(experiment: &str, seed: u64) -> CacheKey {
-        CacheKey {
-            experiment: experiment.to_string(),
-            seed,
-            quick: true,
-            threads: 1,
-        }
+        CacheKey::legacy(experiment, seed, true, 1)
     }
 
     /// A deterministic stand-in for an encoded report body.
     fn body_for(k: &CacheKey) -> Vec<u8> {
         format!(
-            "{}/{}/{}/{}:{:016x}",
+            "{}/{}:{:016x}",
             k.experiment,
-            k.seed,
-            k.quick,
-            k.threads,
+            k.scenario.encode_canonical(),
             k.fnv1a()
         )
         .into_bytes()
@@ -229,21 +219,26 @@ mod tests {
 
     #[test]
     fn distinct_key_fields_are_distinct_entries() {
+        use crate::scenario::ParamValue;
         let cache: ShardedCache<u32> = ShardedCache::new(4);
         let base = key("demo", 1);
-        let mut quick_off = base.clone();
-        quick_off.quick = false;
-        let mut more_threads = base.clone();
-        more_threads.threads = 8;
+        let quick_off = CacheKey::legacy("demo", 1, false, 1);
+        let more_threads = CacheKey::legacy("demo", 1, true, 8);
+        let with_param = CacheKey {
+            experiment: "demo".to_string(),
+            scenario: base.scenario.clone().with_param("n", ParamValue::Num(64.0)),
+        };
         cache.insert(base.clone(), 1);
         cache.insert(quick_off.clone(), 2);
         cache.insert(more_threads.clone(), 3);
-        cache.insert(key("demo", 2), 4);
-        cache.insert(key("other", 1), 5);
-        assert_eq!(cache.len(), 5);
+        cache.insert(with_param.clone(), 4);
+        cache.insert(key("demo", 2), 5);
+        cache.insert(key("other", 1), 6);
+        assert_eq!(cache.len(), 6);
         assert_eq!(cache.get(&base), Some(1));
         assert_eq!(cache.get(&quick_off), Some(2));
         assert_eq!(cache.get(&more_threads), Some(3));
+        assert_eq!(cache.get(&with_param), Some(4));
     }
 
     #[test]

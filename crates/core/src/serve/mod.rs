@@ -9,9 +9,10 @@
 //!   `Content-Length` bodies, keep-alive connections, hard input limits,
 //!   every malformed input answered with a clean 4xx;
 //! * a content-addressed, mutex-striped result cache ([`cache`]) keyed by
-//!   `(experiment, seed, quick, threads)` — runs are pure functions of
-//!   that tuple, so repeated queries are O(lookup) and responses are
-//!   byte-identical whether computed or replayed;
+//!   `(experiment, scenario)` via the scenario's stable content hash —
+//!   runs are pure functions of their [`crate::scenario::Scenario`], so
+//!   repeated queries are O(lookup) and responses are byte-identical
+//!   whether computed or replayed, including parameterized scenarios;
 //! * a batching dispatcher: connection handlers park their `/run`
 //!   requests on a queue, and a single dispatcher drains *everything
 //!   pending* per wake-up, coalesces duplicate keys, and fans the misses
@@ -22,10 +23,12 @@
 //!   ever queued.
 //!
 //! Endpoints: `GET /healthz`, `GET /experiments`, `GET /metrics`,
-//! `POST /run` (`{"experiment", "seed"?, "quick"?, "threads"?}`) and
-//! `POST /shutdown`. `/run` responses carry an `X-F2-Cache: hit|miss`
-//! header; the body never encodes cache state, so cached and fresh
-//! responses stay bit-identical.
+//! `POST /run` (`{"experiment", "seed"?, "quick"?, "threads"?}` or
+//! `{"experiment", "scenario": {...}}` with a full scenario block —
+//! the two forms are mutually exclusive) and `POST /shutdown`. `/run`
+//! responses carry an `X-F2-Cache: hit|miss` header; the body never
+//! encodes cache state, so cached and fresh responses stay
+//! bit-identical.
 
 pub mod cache;
 pub mod http;
@@ -33,6 +36,7 @@ pub mod http;
 use crate::exec::Pool;
 use crate::experiment::{ExperimentCtx, Registry};
 use crate::json::{Json, ToJson};
+use crate::scenario::{Fidelity, Scenario};
 use crate::trace;
 use cache::{CacheKey, ShardedCache};
 use http::{Request, Response};
@@ -427,7 +431,10 @@ fn json_u64(value: &Json) -> Option<u64> {
 }
 
 /// Parses and validates a `/run` body into a cache key; the error side is
-/// the 4xx response to send back.
+/// the 4xx response to send back. The body carries either the legacy
+/// `seed`/`quick`/`threads` members or a full `scenario` block — mixing
+/// the two is rejected, and scenario params must be dimensions the target
+/// experiment declares.
 fn parse_run_body(body: &[u8], registry: &Registry) -> Result<CacheKey, Box<Response>> {
     let err = |status: u16, msg: &str| Err(Box::new(Response::error(status, msg)));
     let Ok(text) = std::str::from_utf8(body) else {
@@ -441,47 +448,77 @@ fn parse_run_body(body: &[u8], registry: &Registry) -> Result<CacheKey, Box<Resp
         return err(400, "body must be a JSON object");
     };
     for (name, _) in members {
-        if !matches!(name.as_str(), "experiment" | "seed" | "quick" | "threads") {
+        if !matches!(
+            name.as_str(),
+            "experiment" | "seed" | "quick" | "threads" | "scenario"
+        ) {
             return err(400, &format!("unknown member `{name}`"));
         }
     }
     let Some(experiment) = doc.get("experiment").and_then(Json::as_str) else {
         return err(400, "missing `experiment` string member");
     };
-    if registry.find(experiment).is_none() {
+    let Some(exp) = registry.find(experiment) else {
         return err(404, &format!("unknown experiment `{experiment}`"));
+    };
+    let scenario = if let Some(block) = doc.get("scenario") {
+        if doc.get("seed").is_some() || doc.get("quick").is_some() || doc.get("threads").is_some() {
+            return err(
+                400,
+                "`scenario` excludes the legacy `seed`/`quick`/`threads` members",
+            );
+        }
+        match Scenario::from_json(block) {
+            Ok(s) => s,
+            Err(e) => return err(400, &format!("invalid `scenario`: {e}")),
+        }
+    } else {
+        let seed = match doc.get("seed") {
+            None => crate::rng::DEFAULT_SEED,
+            Some(v) => match json_u64(v) {
+                Some(seed) => seed,
+                None => return err(400, "`seed` must be a non-negative integer"),
+            },
+        };
+        let quick = match doc.get("quick") {
+            None => true,
+            Some(v) => match v.as_bool() {
+                Some(q) => q,
+                None => return err(400, "`quick` must be a boolean"),
+            },
+        };
+        let threads = match doc.get("threads") {
+            None => 1,
+            Some(v) => match json_u64(v) {
+                Some(t) if (1..=MAX_RUN_THREADS).contains(&t) => t as usize,
+                _ => {
+                    return err(
+                        400,
+                        &format!("`threads` must be an integer in 1..={MAX_RUN_THREADS}"),
+                    )
+                }
+            },
+        };
+        Scenario::from_legacy(seed, quick, threads)
+    };
+    if scenario.threads as u64 > MAX_RUN_THREADS {
+        return err(
+            400,
+            &format!("`threads` must be an integer in 1..={MAX_RUN_THREADS}"),
+        );
     }
-    let seed = match doc.get("seed") {
-        None => crate::rng::DEFAULT_SEED,
-        Some(v) => match json_u64(v) {
-            Some(seed) => seed,
-            None => return err(400, "`seed` must be a non-negative integer"),
-        },
-    };
-    let quick = match doc.get("quick") {
-        None => true,
-        Some(v) => match v.as_bool() {
-            Some(q) => q,
-            None => return err(400, "`quick` must be a boolean"),
-        },
-    };
-    let threads = match doc.get("threads") {
-        None => 1,
-        Some(v) => match json_u64(v) {
-            Some(t) if (1..=MAX_RUN_THREADS).contains(&t) => t as usize,
-            _ => {
-                return err(
-                    400,
-                    &format!("`threads` must be an integer in 1..={MAX_RUN_THREADS}"),
-                )
-            }
-        },
-    };
+    let declared = exp.params();
+    for (key, _) in scenario.params() {
+        if !declared.iter().any(|p| p.name == key) {
+            return err(
+                400,
+                &format!("experiment `{experiment}` has no param `{key}`"),
+            );
+        }
+    }
     Ok(CacheKey {
         experiment: experiment.to_string(),
-        seed,
-        quick,
-        threads,
+        scenario,
     })
 }
 
@@ -609,20 +646,32 @@ fn run_experiment(registry: &Registry, key: &CacheKey) -> Result<Vec<u8>, String
         return Err(format!("unknown experiment `{}`", key.experiment));
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut ctx = ExperimentCtx::quiet(key.seed, key.quick, key.threads);
+        let mut ctx = ExperimentCtx::quiet_scenario(&key.scenario);
         exp.run(&mut ctx)
     }));
+    let scenario = &key.scenario;
+    // Param-free quick/full runs keep the legacy body shape so pre-scenario
+    // clients (and cached pre-scenario responses) stay byte-compatible;
+    // parameterized or scaled runs embed the full canonical scenario.
+    let legacy_shape = scenario.params().is_empty()
+        && !matches!(scenario.fidelity, Fidelity::Scale(_))
+        && scenario.seed <= (1u64 << 53);
     match outcome {
-        Ok(Ok(report)) => Ok(Json::Obj(vec![
-            ("schema".to_string(), RUN_SCHEMA.to_json()),
-            ("experiment".to_string(), key.experiment.to_json()),
-            ("seed".to_string(), key.seed.to_json()),
-            ("quick".to_string(), key.quick.to_json()),
-            ("threads".to_string(), key.threads.to_json()),
-            ("report".to_string(), report.to_json()),
-        ])
-        .encode()
-        .into_bytes()),
+        Ok(Ok(report)) => {
+            let mut members = vec![
+                ("schema".to_string(), RUN_SCHEMA.to_json()),
+                ("experiment".to_string(), key.experiment.to_json()),
+            ];
+            if legacy_shape {
+                members.push(("seed".to_string(), scenario.seed.to_json()));
+                members.push(("quick".to_string(), scenario.fidelity.is_quick().to_json()));
+                members.push(("threads".to_string(), scenario.threads.to_json()));
+            } else {
+                members.push(("scenario".to_string(), scenario.to_json()));
+            }
+            members.push(("report".to_string(), report.to_json()));
+            Ok(Json::Obj(members).encode().into_bytes())
+        }
         Ok(Err(e)) => Err(format!("experiment `{}` failed: {e}", key.experiment)),
         Err(_) => Err(format!("experiment `{}` panicked", key.experiment)),
     }
@@ -631,10 +680,11 @@ fn run_experiment(registry: &Registry, key: &CacheKey) -> Result<Vec<u8>, String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{Experiment, ExperimentReport};
+    use crate::experiment::{Experiment, ExperimentReport, ParamSpec};
     use std::io::Write;
 
-    /// Deterministic fixture: KPIs derived from the run seed.
+    /// Deterministic fixture: KPIs derived from the run seed and the one
+    /// declared scenario param.
     struct EchoSeed;
 
     impl Experiment for EchoSeed {
@@ -647,8 +697,12 @@ mod tests {
         fn tags(&self) -> &'static [&'static str] {
             &["serve-test"]
         }
+        fn params(&self) -> Vec<ParamSpec> {
+            vec![ParamSpec::f64("scale", "multiplier on the seed KPI")]
+        }
         fn run(&self, ctx: &mut ExperimentCtx) -> crate::Result<ExperimentReport> {
-            ctx.kpi("seed", ctx.seed() as f64);
+            let scale = ctx.param_f64("scale", 1.0);
+            ctx.kpi("seed", ctx.seed() as f64 * scale);
             ctx.kpi("draw", f64::from(ctx.rng_for("echo").next_u32()));
             Ok(ctx.report(self.name()))
         }
@@ -817,6 +871,78 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_scenario_runs_compute_and_replay_bit_identically() {
+        let server = test_server();
+        let addr = server.addr();
+        let body = br#"{"experiment":"echo_seed","scenario":{"seed":5,"params":{"scale":3}}}"#;
+
+        let first = roundtrip(addr, "POST", "/run", body);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("x-f2-cache"), Some("miss"));
+        let doc = parse_body(&first);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(RUN_SCHEMA));
+        // Parameterized runs embed the canonical scenario, not the legacy
+        // seed/quick/threads members.
+        assert!(doc.get("seed").is_none());
+        let scenario = doc.get("scenario").expect("scenario member");
+        assert_eq!(scenario.get("seed").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            scenario
+                .get("params")
+                .and_then(|p| p.get("scale"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let kpi_seed = doc
+            .get("report")
+            .and_then(|r| r.get("kpis"))
+            .and_then(Json::as_array)
+            .and_then(|k| k[0].get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(kpi_seed, Some(15.0), "scale param reached the experiment");
+
+        let second = roundtrip(addr, "POST", "/run", body);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header("x-f2-cache"), Some("hit"));
+        assert_eq!(
+            second.body, first.body,
+            "cached parameterized replay must be bit-identical"
+        );
+        server.join().expect("clean join");
+    }
+
+    #[test]
+    fn param_free_scenario_and_legacy_members_share_one_cache_entry() {
+        let server = test_server();
+        let addr = server.addr();
+        // `{"seed":5}` as a scenario block defaults to quick fidelity on
+        // one thread — exactly the legacy members' configuration, so the
+        // two forms must hash to the same key and replay the same body.
+        let legacy = roundtrip(
+            addr,
+            "POST",
+            "/run",
+            br#"{"experiment":"echo_seed","seed":5}"#,
+        );
+        assert_eq!(legacy.header("x-f2-cache"), Some("miss"));
+        let scenario = roundtrip(
+            addr,
+            "POST",
+            "/run",
+            br#"{"experiment":"echo_seed","scenario":{"seed":5}}"#,
+        );
+        assert_eq!(scenario.header("x-f2-cache"), Some("hit"));
+        assert_eq!(scenario.body, legacy.body);
+        // And the legacy-shaped body survives: param-free quick runs keep
+        // the pre-scenario response members.
+        let doc = parse_body(&scenario);
+        assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("scenario").is_none());
+        server.join().expect("clean join");
+    }
+
+    #[test]
     fn keep_alive_serves_many_requests_on_one_connection() {
         let server = test_server();
         let mut client = connect(server.addr());
@@ -857,6 +983,23 @@ mod tests {
             (br#"{"experiment":"echo_seed","quick":"yes"}"#, 400),
             (br#"{"experiment":"echo_seed","threads":0}"#, 400),
             (br#"{"experiment":"echo_seed","threads":100000}"#, 400),
+            // Scenario-block validation: legacy members are mutually
+            // exclusive with `scenario`, params must be declared by the
+            // experiment, and the block itself must be a valid scenario.
+            (
+                br#"{"experiment":"echo_seed","scenario":{"seed":1},"seed":1}"#,
+                400,
+            ),
+            (
+                br#"{"experiment":"echo_seed","scenario":{"params":{"nope":1}}}"#,
+                400,
+            ),
+            (
+                br#"{"experiment":"echo_seed","scenario":{"threads":100000}}"#,
+                400,
+            ),
+            (br#"{"experiment":"echo_seed","scenario":[1]}"#, 400),
+            (br#"{"experiment":"echo_seed","scenario":{"sed":1}}"#, 400),
         ] {
             let resp = roundtrip(addr, "POST", "/run", body);
             assert_eq!(

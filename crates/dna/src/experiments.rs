@@ -1,7 +1,7 @@
 //! This thrust's registry entries for the unified `f2` runner.
 
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 
 use crate::accelerator::{AcceleratorConfig, CpuBaseline};
 use crate::channel::ChannelModel;
@@ -25,16 +25,17 @@ pub struct DnaThroughput;
 
 impl DnaThroughput {
     fn software_kernels(&self, ctx: &mut ExperimentCtx) {
-        let pairs_n = if ctx.quick() { 50 } else { 200 };
+        let pairs_n = ctx.param_u64("pairs", if ctx.quick() { 50 } else { 200 });
+        let strand_len = ctx.param_u64("strand_len", 150) as usize;
         ctx.section(&format!(
-            "Software kernel throughput (this machine, 150-base pairs, {pairs_n} pairs)"
+            "Software kernel throughput (this machine, {strand_len}-base pairs, {pairs_n} pairs)"
         ));
         let mut rng = ctx.rng_for("e9");
         let pairs: Vec<(DnaSequence, DnaSequence)> = (0..pairs_n)
             .map(|_| {
                 let s = |rng: &mut _| {
                     DnaSequence::from_bases(
-                        (0..150)
+                        (0..strand_len)
                             .map(|_| DnaBase::from_bits(f2_core::rng::Rng::gen(rng)))
                             .collect(),
                     )
@@ -160,6 +161,16 @@ impl Experiment for DnaThroughput {
         &["e9", "dna", "fpga"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64(
+                "pairs",
+                "software-kernel sequence pairs (quick 50, full 200)",
+            ),
+            ParamSpec::u64("strand_len", "bases per generated strand (default 150)"),
+        ]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         {
             let _phase = ctx.span("dna:software_kernels");
@@ -191,6 +202,19 @@ impl Experiment for DnaPipeline {
 
     fn tags(&self) -> &'static [&'static str] {
         &["e10", "dna", "figure"]
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64(
+                "sweep_seeds",
+                "seeds per substitution-sweep point (quick 3, full 5)",
+            ),
+            ParamSpec::f64(
+                "sub_scale",
+                "error-regime multiplier on every swept substitution rate (default 1)",
+            ),
+        ]
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
@@ -256,12 +280,17 @@ impl Experiment for DnaPipeline {
         );
 
         // Quick mode trims the sweep and the per-point seed count; the
-        // clean-recovery/breakdown shape is what the KPIs pin.
-        let (subs, seeds): (&[f64], u64) = if ctx.quick() {
+        // clean-recovery/breakdown shape is what the KPIs pin. `sub_scale`
+        // shifts the whole sweep into a harsher or milder error regime.
+        let (base_subs, seeds_d): (&[f64], u64) = if ctx.quick() {
             (&[0.005, 0.02, 0.1], 3)
         } else {
             (&[0.005, 0.01, 0.02, 0.05, 0.1], 5)
         };
+        let seeds = ctx.param_u64("sweep_seeds", seeds_d);
+        let sub_scale = ctx.param_f64("sub_scale", 1.0);
+        let subs: Vec<f64> = base_subs.iter().map(|s| s * sub_scale).collect();
+        let subs = subs.as_slice();
         drop(roundtrip_phase);
         ctx.section(&format!(
             "Substitution-rate sweep (recovery probability over {seeds} seeds)"

@@ -1,7 +1,7 @@
 //! This thrust's registry entries for the unified `f2` runner.
 
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 
 use crate::device::ComputeDevice;
 use crate::pipeline::{run_inference, run_training, PipelineReport, PipelineSpec, Stage};
@@ -56,8 +56,16 @@ impl Experiment for HeteroPipeline {
         &["e7", "hetero"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::u64(
+            "num_samples",
+            "campaign samples through the pipeline (default: segmentation spec)",
+        )]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        let spec = PipelineSpec::segmentation_default();
+        let mut spec = PipelineSpec::segmentation_default();
+        spec.num_samples = ctx.param_u64("num_samples", spec.num_samples);
         let nvme = StorageDevice::nvme_ssd();
         ctx.note(&format!(
             "Workload: {} ({} MACs/sample), {} samples of {:.1} KB",
@@ -162,8 +170,16 @@ impl Experiment for StorageIo {
         &["e8", "hetero", "storage"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::u64(
+            "num_samples",
+            "samples through the I/O path (default: segmentation spec)",
+        )]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
-        let spec = PipelineSpec::segmentation_default();
+        let mut spec = PipelineSpec::segmentation_default();
+        spec.num_samples = ctx.param_u64("num_samples", spec.num_samples);
         let gpu = ComputeDevice::datacenter_gpu();
         let fpga = ComputeDevice::fpga_card();
         let base_train = run_training(&spec, &gpu, &StorageDevice::nvme_ssd());

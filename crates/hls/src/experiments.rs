@@ -1,7 +1,7 @@
 //! This thrust's registry entries for the unified `f2` runner.
 
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 use f2_core::workload::graph::rmat;
 
 use crate::sparta::{bfs_workload, run, spmv_workload, CacheConfig, SpartaConfig};
@@ -28,11 +28,19 @@ impl Experiment for SpartaSpeedup {
         &["e2", "hls", "sparta"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64("rmat_scale", "log2 RMAT vertices (quick 8, full 10)"),
+            ParamSpec::u64("rmat_edge_factor", "RMAT edges per vertex (default 8)"),
+        ]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         // Quick mode shrinks the RMAT graph two scales; the claim shapes
         // (speedup > 1, monotone latency hiding) survive intact.
-        let scale = if ctx.quick() { 8 } else { 10 };
-        let graph = rmat(scale, 8, f2_core::rng::DEFAULT_SEED);
+        let scale = ctx.param_u64("rmat_scale", if ctx.quick() { 8 } else { 10 }) as u32;
+        let edge_factor = ctx.param_u64("rmat_edge_factor", 8) as usize;
+        let graph = rmat(scale, edge_factor, f2_core::rng::DEFAULT_SEED);
         ctx.note(&format!(
             "Workload graphs: RMAT scale-{scale} ({} vertices, {} edges, power-law)",
             graph.num_nodes(),

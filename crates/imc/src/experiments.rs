@@ -2,7 +2,7 @@
 
 use f2_core::energy::{EnergyLedger, OpEnergy, OpKind, TechNode};
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 use f2_core::kpi::Megahertz;
 use f2_core::tensor::Matrix;
 
@@ -23,7 +23,7 @@ pub struct ImcAccuracy;
 
 impl ImcAccuracy {
     fn programming_table(&self, ctx: &mut ExperimentCtx) {
-        let cells = if ctx.quick() { 500 } else { 2000 };
+        let cells = ctx.param_u64("cells", if ctx.quick() { 500 } else { 2000 }) as usize;
         ctx.section(&format!(
             "Programming error vs pulse budget (RRAM, {cells} cells)"
         ));
@@ -63,11 +63,14 @@ impl ImcAccuracy {
 
     fn accuracy_table(&self, ctx: &mut ExperimentCtx) {
         ctx.section("Deployed MLP accuracy (6-class synthetic task, tiled IMC)");
-        let (train_n, test_n, epochs) = if ctx.quick() {
+        let (train_d, test_d, epochs_d) = if ctx.quick() {
             (40, 24, 10)
         } else {
             (80, 40, 15)
         };
+        let train_n = ctx.param_u64("train_n", train_d) as usize;
+        let test_n = ctx.param_u64("test_n", test_d) as usize;
+        let epochs = ctx.param_u64("epochs", epochs_d) as usize;
         let (train, test) = make_train_test(6, 12, train_n, test_n, 0.25, 7);
         let mlp = train_mlp(&train, 20, epochs, 0.05, 9);
         let float_acc = mlp.accuracy(&test);
@@ -171,6 +174,18 @@ impl Experiment for ImcAccuracy {
         &["e3", "imc"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64("cells", "programmed RRAM cells (quick 500, full 2000)"),
+            ParamSpec::u64(
+                "train_n",
+                "MLP training samples per class (quick 40, full 80)",
+            ),
+            ParamSpec::u64("test_n", "MLP test samples per class (quick 24, full 40)"),
+            ParamSpec::u64("epochs", "MLP training epochs (quick 10, full 15)"),
+        ]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         {
             let _phase = ctx.span("imc:programming");
@@ -190,7 +205,7 @@ pub struct ImcEnergy;
 
 impl ImcEnergy {
     fn mvm_energy_breakdown(&self, ctx: &mut ExperimentCtx) {
-        let n = if ctx.quick() { 64 } else { 128 };
+        let n = ctx.param_u64("mvm_n", if ctx.quick() { 64 } else { 128 }) as usize;
         ctx.section(&format!(
             "{n}x{n} MVM energy: analog IMC vs digital MAC baseline (45nm)"
         ));
@@ -467,6 +482,13 @@ impl Experiment for ImcEnergy {
 
     fn tags(&self) -> &'static [&'static str] {
         &["e4", "imc", "energy"]
+    }
+
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec::u64(
+            "mvm_n",
+            "square MVM dimension of the energy breakdown (quick 64, full 128)",
+        )]
     }
 
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use f2_core::experiment::render::fmt;
-use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport};
+use f2_core::experiment::{Experiment, ExperimentCtx, ExperimentReport, ParamSpec};
 use f2_core::kpi::GigabytesPerSecond;
 use f2_core::workload::transformer::{bert_base_block, tiny_block, TransformerConfig};
 
@@ -192,11 +192,7 @@ pub struct TcdmBanking;
 
 impl TcdmBanking {
     fn vector_len(ctx: &ExperimentCtx) -> u32 {
-        if ctx.quick() {
-            256
-        } else {
-            512
-        }
+        ctx.param_u64("vector_len", if ctx.quick() { 256 } else { 512 }) as u32
     }
 
     fn preload_n(n: u32) -> impl Fn(&mut MulticoreCluster) + Sync {
@@ -243,13 +239,24 @@ impl Experiment for TcdmBanking {
         &["e12", "scf", "iss"]
     }
 
+    fn params(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::u64(
+                "vector_len",
+                "SPMD vector-add elements (quick 256, full 512)",
+            ),
+            ParamSpec::u64("cores", "ISS cores in the banking sweep (default 8)"),
+        ]
+    }
+
     fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
         let n = Self::vector_len(ctx);
+        let cores = ctx.param_u64("cores", 8) as usize;
         let program = vector_add_program(n);
         let preload = Self::preload_n(n);
 
         ctx.section(&format!(
-            "8-core SPMD vector-add ({n} elements): TCDM banks vs conflicts"
+            "{cores}-core SPMD vector-add ({n} elements): TCDM banks vs conflicts"
         ));
         let bank_counts: &[usize] = if ctx.quick() {
             &[1, 4, 16, 64]
@@ -259,7 +266,7 @@ impl Experiment for TcdmBanking {
         let configs: Vec<MulticoreConfig> = bank_counts
             .iter()
             .map(|&banks| MulticoreConfig {
-                cores: 8,
+                cores,
                 tcdm_banks: banks,
                 tcdm_words_per_bank: 4096 / banks,
                 max_cycles: 50_000_000,
