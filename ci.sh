@@ -5,7 +5,7 @@
 #
 #   ./ci.sh            # run every stage (local pre-push gate)
 #   ./ci.sh <stage>    # one stage: build|test|style|golden|trace|perf|
-#                      #            campaign|serve
+#                      #            campaign|serve|obs
 #
 # The GitHub workflow (.github/workflows/ci.yml) runs the same stages as
 # named steps with per-step timeouts, and uploads the /tmp/f2-*.json
@@ -162,6 +162,71 @@ stage_serve() {
     echo "    server shut down cleanly"
 }
 
+# Request-scoped observability smoke: boot the daemon with a structured
+# access log, drive traced traffic (loadgen stamps X-F2-Trace-Id on every
+# /run and fails on any un-echoed id), scrape the /debug/recent flight
+# recorder, validate both artifacts with `f2 check-log`, and assert a
+# campaign sweep emits progress heartbeats ending at done == total.
+stage_obs() {
+    local log=/tmp/f2-serve-log.json recent=/tmp/f2-serve-recent.json
+    rm -f "$PORT_FILE" "$log" "$recent"
+    echo
+    echo "==> observability smoke (serve --log, /debug/recent, check-log)"
+    "$F2" serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" --threads 2 \
+        --log "$log" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$PORT_FILE" ]] && break
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "obs smoke: server died before binding" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$PORT_FILE" ]]; then
+        echo "obs smoke: server never wrote $PORT_FILE" >&2
+        exit 1
+    fi
+    local addr
+    addr="$(tr -d '[:space:]' < "$PORT_FILE")"
+    echo "    listening on $addr (pid $SERVE_PID, access log $log)"
+
+    run timeout 60 "$F2" loadgen --addr "$addr" --wait 10 --mix sweep \
+        --rps 40 --duration 1 --recent "$recent" \
+        --out /tmp/f2-loadgen-obs.json
+
+    run timeout 10 "$F2" loadgen --addr "$addr" --shutdown
+    local code=0
+    wait "$SERVE_PID" || code=$?
+    SERVE_PID=""
+    if [[ "$code" -ne 0 ]]; then
+        echo "obs smoke: server exited with status $code" >&2
+        exit 1
+    fi
+
+    # Both the access log and the flight-recorder dump hold well-formed
+    # f2-serve-log-v1 records.
+    run "$F2" check-log "$log"
+    run "$F2" check-log "$recent"
+    run grep -q '"trace_id":"lg-' "$log"
+
+    # Campaign progress heartbeats: the journal ends with done == total
+    # and every event carries the progress schema.
+    local out=/tmp/f2-campaign-obs.json ckpt=/tmp/f2-campaign-obs-ckpt.json
+    local progress=/tmp/f2-campaign-progress.json
+    rm -f "$out" "$ckpt" "$progress"
+    run timeout 120 "$F2" campaign tests/campaign/smoke.json --out "$out" \
+        --checkpoint "$ckpt" --threads 4 --progress "$progress"
+    run grep -q '"schema":"f2-campaign-progress-v1"' "$progress"
+    if ! tail -n 1 "$progress" | grep -q '"done":32,"total":32'; then
+        echo "obs smoke: final progress event does not cover the sweep:" >&2
+        tail -n 1 "$progress" >&2
+        exit 1
+    fi
+    rm -f "$out" "$ckpt"
+    echo "    access log, flight recorder and progress heartbeats verified"
+}
+
 case "$STAGE" in
     build) stage_build ;;
     test) stage_test ;;
@@ -171,6 +236,7 @@ case "$STAGE" in
     perf) stage_perf ;;
     campaign) stage_campaign ;;
     serve) stage_serve ;;
+    obs) stage_obs ;;
     all)
         stage_build
         stage_test
@@ -180,11 +246,12 @@ case "$STAGE" in
         stage_perf
         stage_campaign
         stage_serve
+        stage_obs
         echo
         echo "CI OK"
         ;;
     *)
-        echo "usage: ci.sh [build|test|style|golden|trace|perf|campaign|serve|all]" >&2
+        echo "usage: ci.sh [build|test|style|golden|trace|perf|campaign|serve|obs|all]" >&2
         exit 2
         ;;
 esac

@@ -54,11 +54,20 @@
 //! `f2-campaign-dist-v1` snapshot (`F2_BLESS=1` rewrites it) — a
 //! distribution-level golden, so a 1000-scenario sweep is gated by one
 //! small reviewable file.
+//!
+//! `--progress <file.jsonl>` makes a long sweep monitorable: it appends
+//! `f2-campaign-progress-v1` heartbeat events (scenarios done/total,
+//! elapsed, fresh-scenario throughput, ETA), throttled to one event per
+//! [`PROGRESS_EVERY`] plus an unconditional final `done == total` event.
+//! Heartbeats never touch the checkpoint journal or the merged report,
+//! so resume stays bit-identical with or without them.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use f2_core::exec::Pool;
 use f2_core::experiment::{golden, ExperimentCtx, Registry};
@@ -74,6 +83,12 @@ pub const SCHEMA: &str = "f2-campaign-v1";
 pub const CHECKPOINT_SCHEMA: &str = "f2-campaign-checkpoint-v1";
 /// Schema tag of the distribution golden snapshot.
 pub const DIST_SCHEMA: &str = "f2-campaign-dist-v1";
+/// Schema tag of the `--progress` heartbeat events.
+pub const PROGRESS_SCHEMA: &str = "f2-campaign-progress-v1";
+
+/// Minimum spacing between throttled progress heartbeats; the final
+/// `done == total` event is always written regardless.
+pub const PROGRESS_EVERY: Duration = Duration::from_millis(500);
 
 /// Relative tolerance of the distribution-golden comparison (`count` is
 /// compared exactly).
@@ -94,6 +109,9 @@ pub struct CampaignOptions {
     pub threads: usize,
     /// Distribution golden to check (or bless under `F2_BLESS=1`).
     pub golden: Option<PathBuf>,
+    /// Append [`PROGRESS_SCHEMA`] heartbeat events here (truncated at
+    /// startup). `None` disables them — the zero-cost default.
+    pub progress: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -105,6 +123,84 @@ impl Default for CampaignOptions {
             resume: false,
             threads: f2_core::exec::num_threads(),
             golden: None,
+            progress: None,
+        }
+    }
+}
+
+/// Heartbeat writer for `--progress`. Worker threads bump the fresh
+/// completion counter as scenarios finish (success or failure — the
+/// heartbeat tracks sweep residency, not outcomes); writes are throttled
+/// under the sink lock so the journal stays small no matter how fast the
+/// pool drains. Checkpoint-replayed scenarios count as done up front but
+/// are excluded from the throughput/ETA estimate, which only fresh work
+/// informs.
+struct Progress {
+    total: usize,
+    /// Scenarios replayed from the checkpoint before the pool started.
+    resumed: usize,
+    started: Instant,
+    fresh_done: AtomicUsize,
+    /// The journal plus the instant of the last written event.
+    sink: Mutex<(std::fs::File, Option<Instant>)>,
+}
+
+impl Progress {
+    fn new(file: std::fs::File, total: usize, resumed: usize) -> Self {
+        Self {
+            total,
+            resumed,
+            started: Instant::now(),
+            fresh_done: AtomicUsize::new(0),
+            sink: Mutex::new((file, None)),
+        }
+    }
+
+    fn event(&self, done: usize, elapsed: Duration) -> Json {
+        let fresh = done.saturating_sub(self.resumed);
+        let secs = elapsed.as_secs_f64();
+        let throughput = if secs > 0.0 { fresh as f64 / secs } else { 0.0 };
+        let remaining = self.total.saturating_sub(done);
+        // ETA is unknowable until fresh work has landed; encode that as
+        // null rather than a fake number.
+        let eta_ms = if throughput > 0.0 {
+            (remaining as f64 / throughput * 1e3).to_json()
+        } else {
+            Json::Null
+        };
+        Json::Obj(vec![
+            ("schema".to_string(), PROGRESS_SCHEMA.to_json()),
+            ("done".to_string(), (done as u64).to_json()),
+            ("total".to_string(), (self.total as u64).to_json()),
+            ("elapsed_ms".to_string(), (secs * 1e3).to_json()),
+            ("throughput_per_s".to_string(), throughput.to_json()),
+            ("eta_ms".to_string(), eta_ms),
+        ])
+    }
+
+    /// One scenario finished on a worker; maybe emit a heartbeat.
+    fn bump(&self) {
+        self.fresh_done.fetch_add(1, Ordering::Relaxed);
+        self.tick(false);
+    }
+
+    /// Writes a heartbeat unless one landed within [`PROGRESS_EVERY`];
+    /// `force` skips the throttle (the final event).
+    fn tick(&self, force: bool) {
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = sink.1 {
+                if now.duration_since(last) < PROGRESS_EVERY {
+                    return;
+                }
+            }
+        }
+        sink.1 = Some(now);
+        let done = self.resumed + self.fresh_done.load(Ordering::Relaxed);
+        let event = self.event(done, now.duration_since(self.started));
+        if let Err(e) = writeln!(sink.0, "{}", event.encode()) {
+            eprintln!("f2 campaign: progress write failed: {e}");
         }
     }
 }
@@ -649,6 +745,19 @@ pub fn run(registry: &Registry, opts: &CampaignOptions) -> u8 {
         pending.len(),
         opts.threads
     );
+    let progress = match &opts.progress {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(Progress::new(f, items.len(), completed.len())),
+            Err(e) => {
+                eprintln!(
+                    "f2 campaign: cannot create progress {}: {e}",
+                    path.display()
+                );
+                return 2;
+            }
+        },
+        None => None,
+    };
     let pool = Pool::new(opts.threads);
     let fresh: Vec<(usize, Result<Json, String>)> = pool.map(&pending, |item| {
         let res = run_item(registry, item);
@@ -661,8 +770,14 @@ pub fn run(registry: &Registry, opts: &CampaignOptions) -> u8 {
                 );
             }
         }
+        if let Some(p) = &progress {
+            p.bump();
+        }
         (item.index, res)
     });
+    if let Some(p) = &progress {
+        p.tick(true);
+    }
 
     let mut results: BTreeMap<usize, Json> = completed.into_iter().collect();
     let mut failures = 0usize;
@@ -942,6 +1057,7 @@ mod tests {
             resume: false,
             threads: 2,
             golden: None,
+            progress: None,
         };
         assert_eq!(run(&reg, &opts), 0);
         let full = std::fs::read(&out).expect("output written");
@@ -992,6 +1108,76 @@ mod tests {
         };
         assert_eq!(run(&reg, &mismatched), 2);
         for p in [&manifest, &out, &ckpt, &other] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn progress_heartbeats_track_the_sweep_and_end_complete() {
+        let reg = registry();
+        let manifest = tmp("f2-campaign-progress-manifest.json");
+        let out = tmp("f2-campaign-progress-out.json");
+        let ckpt = tmp("f2-campaign-progress-ckpt.jsonl");
+        let prog = tmp("f2-campaign-progress-events.jsonl");
+        std::fs::write(&manifest, MANIFEST).expect("writable tmp");
+        let opts = CampaignOptions {
+            manifest: manifest.clone(),
+            out: Some(out.clone()),
+            checkpoint: Some(ckpt.clone()),
+            resume: false,
+            threads: 2,
+            golden: None,
+            progress: Some(prog.clone()),
+        };
+        assert_eq!(run(&reg, &opts), 0);
+        let baseline = std::fs::read(&out).expect("output written");
+        let journal = std::fs::read_to_string(&prog).expect("progress written");
+        let events: Vec<Json> = journal
+            .lines()
+            .map(|l| Json::parse(l).expect("well-formed event"))
+            .collect();
+        assert!(!events.is_empty(), "at least the final event");
+        let mut last_done = 0.0;
+        for e in &events {
+            assert_eq!(
+                e.get("schema").and_then(Json::as_str),
+                Some(PROGRESS_SCHEMA)
+            );
+            assert_eq!(e.get("total").and_then(Json::as_f64), Some(12.0));
+            let done = e.get("done").and_then(Json::as_f64).expect("done");
+            assert!(done >= last_done, "done is monotonic");
+            last_done = done;
+            assert!(e.get("elapsed_ms").and_then(Json::as_f64).expect("elapsed") >= 0.0);
+            let tput = e
+                .get("throughput_per_s")
+                .and_then(Json::as_f64)
+                .expect("throughput");
+            assert!(tput >= 0.0);
+            // ETA is a number once fresh work landed, null before.
+            match e.get("eta_ms") {
+                Some(Json::Null) => assert_eq!(tput, 0.0),
+                Some(v) => assert!(v.as_f64().expect("numeric eta") >= 0.0),
+                None => panic!("missing eta_ms"),
+            }
+        }
+        let finale = events.last().expect("nonempty");
+        assert_eq!(finale.get("done").and_then(Json::as_f64), Some(12.0));
+
+        // Heartbeats never perturb the sweep itself: a re-run without
+        // them produces a bit-identical merged report and checkpoint.
+        let journal_lines = std::fs::read_to_string(&ckpt)
+            .expect("ckpt")
+            .lines()
+            .count();
+        assert_eq!(journal_lines, 13, "header + one line per scenario");
+        std::fs::remove_file(&out).expect("drop output");
+        let silent = CampaignOptions {
+            progress: None,
+            ..opts
+        };
+        assert_eq!(run(&reg, &silent), 0);
+        assert_eq!(std::fs::read(&out).expect("rerun output"), baseline);
+        for p in [&manifest, &out, &ckpt, &prog] {
             let _ = std::fs::remove_file(p);
         }
     }

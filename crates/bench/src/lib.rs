@@ -18,7 +18,10 @@
 //!
 //! Table/number formatting lives in [`f2_core::experiment::render`]
 //! (re-exported here); golden-KPI snapshot plumbing in
-//! [`f2_core::experiment::golden`]; scenario sweeps in [`campaign`].
+//! [`f2_core::experiment::golden`]; scenario sweeps in [`campaign`]
+//! (with `--progress` heartbeats); service load generation with trace-ID
+//! echo checking in [`loadgen`]; the `f2 check-log` access-log validator
+//! next to the other `check-*` gates in [`runner`].
 
 pub use f2_core::experiment::render::{fmt, print_table, section};
 use f2_core::json::{Json, ToJson};

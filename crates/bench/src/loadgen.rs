@@ -3,18 +3,25 @@
 //! Replays a named request mix against a running server at a target rate
 //! and reports service-level numbers: completed/failed requests, cache
 //! hit/miss split (from the server's `X-F2-Cache` header), response-body
-//! consistency, throughput and latency percentiles. The CI serve smoke is
-//! built on the exit code: any failed request, any body that differs from
-//! an earlier response to the identical request, or a cache miss under
-//! `--expect-all-hits` fails the run.
+//! consistency, per-status-code counts, throughput and latency
+//! percentiles. Every `POST /run` carries a deterministic
+//! `X-F2-Trace-Id` and the client asserts the server echoes it back —
+//! an end-to-end check of the serve observability path under load. The
+//! CI serve smoke is built on the exit code: any failed request, any
+//! body that differs from an earlier response to the identical request,
+//! any un-echoed trace id, or a cache miss under `--expect-all-hits`
+//! fails the run. `--recent <file.jsonl>` scrapes the server's
+//! `/debug/recent` flight recorder after the run and re-emits its
+//! records one per line, ready for `f2 check-log`.
 //!
 //! All throughput/latency numbers are wall-clock and machine-dependent —
 //! they are service diagnostics, **never** golden KPIs (the same rule as
 //! the `f2 bench` suite).
 
+use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use f2_core::json::{Json, ToJson};
@@ -125,6 +132,9 @@ pub struct LoadgenOptions {
     pub expect_all_hits: bool,
     /// Do not generate load: `POST /shutdown` and exit.
     pub shutdown: bool,
+    /// After the run, scrape `GET /debug/recent` and write its records
+    /// one per line here (`f2 check-log` input).
+    pub recent: Option<PathBuf>,
 }
 
 impl Default for LoadgenOptions {
@@ -140,8 +150,16 @@ impl Default for LoadgenOptions {
             out: None,
             expect_all_hits: false,
             shutdown: false,
+            recent: None,
         }
     }
+}
+
+/// The deterministic trace id stamped on the `i`-th timed `/run` request.
+/// The `lg-` prefix keeps client-minted ids visually distinct from the
+/// server's `f2-` ones in logs and flight-recorder dumps.
+pub fn trace_id(i: usize) -> String {
+    format!("lg-{i:08x}")
 }
 
 /// The merged outcome of a load run.
@@ -172,6 +190,12 @@ pub struct LoadReport {
     pub max_ms: f64,
     /// Mean latency over completed requests, in milliseconds.
     pub mean_ms: f64,
+    /// Responses per HTTP status code (transport errors are not counted
+    /// here — they never produced a status line).
+    pub status_counts: BTreeMap<u16, u64>,
+    /// `/run` responses whose `X-F2-Trace-Id` did not echo the id the
+    /// client sent — must always be zero.
+    pub echo_mismatches: u64,
 }
 
 impl LoadReport {
@@ -200,6 +224,19 @@ impl LoadReport {
             ("p99_ms".to_string(), Json::Num(self.p99_ms)),
             ("max_ms".to_string(), Json::Num(self.max_ms)),
             ("mean_ms".to_string(), Json::Num(self.mean_ms)),
+            (
+                "status_counts".to_string(),
+                Json::Obj(
+                    self.status_counts
+                        .iter()
+                        .map(|(code, n)| (code.to_string(), n.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "echo_mismatches".to_string(),
+                self.echo_mismatches.to_json(),
+            ),
         ])
     }
 }
@@ -225,8 +262,25 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
-        http::write_request(self.reader.get_mut(), method, path, &self.host, body)
-            .map_err(|e| format!("write failed: {e}"))?;
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, String> {
+        http::write_request_with_headers(
+            self.reader.get_mut(),
+            method,
+            path,
+            &self.host,
+            headers,
+            body,
+        )
+        .map_err(|e| format!("write failed: {e}"))?;
         http::parse_response(&mut self.reader).map_err(|e| format!("read failed: {e}"))
     }
 }
@@ -277,6 +331,8 @@ struct WorkerOutcome {
     /// `(request index, body hash)` per completed request, merged into the
     /// global identity check after the join.
     bodies: Vec<(usize, u64)>,
+    status_counts: BTreeMap<u16, u64>,
+    echo_mismatches: u64,
 }
 
 /// Replays the worker's slice of the schedule. `interval` paces the
@@ -305,20 +361,41 @@ fn worker(
             out.failed += 1;
             continue;
         };
+        // Only /run participates in trace-id propagation; the server
+        // does not echo ids on /healthz.
+        let traced = path == "/run";
+        let id = trace_id(i);
         let sent_at = Instant::now();
-        match c.request(method, path, body.as_bytes()) {
-            Ok(resp) if resp.status == 200 => {
-                out.completed += 1;
-                out.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
-                match resp.header("x-f2-cache") {
-                    Some("hit") => out.cache_hits += 1,
-                    Some("miss") => out.cache_misses += 1,
-                    _ => {}
+        let result = if traced {
+            c.request_with_headers(
+                method,
+                path,
+                &[(f2_core::serve::TRACE_HEADER, id.as_str())],
+                body.as_bytes(),
+            )
+        } else {
+            c.request(method, path, body.as_bytes())
+        };
+        match result {
+            Ok(resp) => {
+                *out.status_counts.entry(resp.status).or_insert(0) += 1;
+                if traced && resp.header("x-f2-trace-id") != Some(id.as_str()) {
+                    out.echo_mismatches += 1;
                 }
-                out.bodies
-                    .push((i % opts.mix.distinct(), body_hash(&resp.body)));
+                if resp.status == 200 {
+                    out.completed += 1;
+                    out.latencies_ns.push(sent_at.elapsed().as_nanos() as u64);
+                    match resp.header("x-f2-cache") {
+                        Some("hit") => out.cache_hits += 1,
+                        Some("miss") => out.cache_misses += 1,
+                        _ => {}
+                    }
+                    out.bodies
+                        .push((i % opts.mix.distinct(), body_hash(&resp.body)));
+                } else {
+                    out.failed += 1;
+                }
             }
-            Ok(_) => out.failed += 1,
             Err(_) => {
                 out.failed += 1;
                 // The connection is in an unknown state; reconnect.
@@ -395,6 +472,10 @@ pub fn execute(opts: &LoadgenOptions) -> Result<LoadReport, String> {
         report.failed += out.failed;
         report.cache_hits += out.cache_hits;
         report.cache_misses += out.cache_misses;
+        report.echo_mismatches += out.echo_mismatches;
+        for (code, n) in out.status_counts {
+            *report.status_counts.entry(code).or_insert(0) += n;
+        }
         latencies.extend(out.latencies_ns);
         for (req, hash) in out.bodies {
             let first = canonical.entry(req).or_insert(hash);
@@ -415,6 +496,46 @@ pub fn execute(opts: &LoadgenOptions) -> Result<LoadReport, String> {
         latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1.0e6
     };
     Ok(report)
+}
+
+/// Scrapes `GET /debug/recent` and renders its records as JSONL, one
+/// flight-recorder record per line (the shape `f2 check-log` validates).
+///
+/// # Errors
+///
+/// Returns a description when the endpoint is unreachable, answers
+/// non-200, or serves a document without records.
+pub fn fetch_recent(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr, Duration::from_secs(5))?;
+    let resp = client.request("GET", "/debug/recent", b"")?;
+    if resp.status != 200 {
+        return Err(format!("/debug/recent answered {}", resp.status));
+    }
+    let text = std::str::from_utf8(&resp.body)
+        .map_err(|_| "/debug/recent body is not UTF-8".to_string())?;
+    let doc =
+        Json::parse(text).map_err(|e| format!("/debug/recent body is malformed JSON: {e}"))?;
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or("/debug/recent has no `records` array")?;
+    if records.is_empty() {
+        return Err("/debug/recent holds no records — did any /run land?".to_string());
+    }
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record.encode());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Fetches the flight recorder into `path` as JSONL.
+fn dump_recent(addr: &str, path: &Path) -> Result<usize, String> {
+    let lines = fetch_recent(addr)?;
+    let count = lines.lines().count();
+    std::fs::write(path, lines).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(count)
 }
 
 /// Full `f2 loadgen` entry point; prints the summary and returns the
@@ -483,6 +604,25 @@ pub fn run(opts: &LoadgenOptions) -> u8 {
         );
         failures += 1;
     }
+    if report.echo_mismatches > 0 {
+        eprintln!(
+            "f2 loadgen: {} /run response(s) did not echo the client's X-F2-Trace-Id",
+            report.echo_mismatches
+        );
+        failures += 1;
+    }
+    if let Some(path) = &opts.recent {
+        match dump_recent(&opts.addr, path) {
+            Ok(n) => eprintln!(
+                "f2 loadgen: wrote {n} flight-recorder record(s) to {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("f2 loadgen: {e}");
+                failures += 1;
+            }
+        }
+    }
     if let Some(out) = &opts.out {
         match std::fs::write(out, format!("{}\n", report.to_json(opts).encode())) {
             Ok(()) => eprintln!("f2 loadgen: wrote report to {}", out.display()),
@@ -541,11 +681,24 @@ mod tests {
             sent: 10,
             completed: 10,
             throughput_rps: 123.4,
+            status_counts: [(200, 9), (503, 1)].into_iter().collect(),
             ..LoadReport::default()
         };
         let doc = report.to_json(&LoadgenOptions::default());
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(doc.get("completed").and_then(Json::as_f64), Some(10.0));
         assert_eq!(doc.get("mix").and_then(Json::as_str), Some("sweep"));
+        let counts = doc.get("status_counts").expect("status counts");
+        assert_eq!(counts.get("200").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(counts.get("503").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("echo_mismatches").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_server_valid() {
+        assert_eq!(trace_id(0), "lg-00000000");
+        assert_eq!(trace_id(0xBEEF), "lg-0000beef");
+        assert_ne!(trace_id(1), trace_id(2));
+        assert!(f2_core::serve::valid_trace_id(&trace_id(usize::MAX)));
     }
 }

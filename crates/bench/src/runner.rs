@@ -161,6 +161,12 @@ pub enum Command {
     Loadgen(crate::loadgen::LoadgenOptions),
     /// `f2 campaign <manifest.json> [flags]`
     Campaign(crate::campaign::CampaignOptions),
+    /// `f2 check-log <file.jsonl>`
+    CheckLog {
+        /// Access log written by `serve --log`, or `/debug/recent`
+        /// records re-emitted one-per-line (`loadgen --recent`).
+        path: PathBuf,
+    },
 }
 
 /// The repo-local default snapshot directory, resolved at compile time.
@@ -213,6 +219,8 @@ Commands:
       --threads <N>                  worker threads of the batch pool
       --shards <N>                   result-cache shard count (default 16)
       --port-file <path>             write the bound host:port here
+      --log <file.jsonl>             append one f2-serve-log-v1 record per
+                                     /run request (access/event log)
   campaign <manifest.json> [flags]   expand a scenario manifest and sweep it
       --out <report.json>            merged f2-campaign-v1 output path
                                      (default <manifest>.out.json)
@@ -223,6 +231,8 @@ Commands:
       --threads <N>                  pool workers sweeping the campaign
       --golden <dist.json>           check the merged KPI distributions
                                      against this golden (F2_BLESS=1 writes)
+      --progress <file.jsonl>        append f2-campaign-progress-v1
+                                     heartbeats (done/total, throughput, ETA)
   loadgen [flags]                    drive a running server and report
                                      throughput/latency
       --addr <host:port>             server address (required in practice)
@@ -235,6 +245,11 @@ Commands:
       --out <report.json>            write the f2-loadgen-v1 JSON report
       --expect-all-hits              fail on any cache miss
       --shutdown                     POST /shutdown instead of load
+      --recent <file.jsonl>          after the run, scrape /debug/recent and
+                                     write its records one per line
+  check-log <file.jsonl>             validate an access log written by
+                                     `serve --log` (one f2-serve-log-v1
+                                     record per line)
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -451,6 +466,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         cfg.port_file =
                             Some(PathBuf::from(it.next().ok_or("--port-file needs a path")?));
                     }
+                    "--log" => {
+                        cfg.log = Some(PathBuf::from(it.next().ok_or("--log needs a path")?));
+                    }
                     other => return Err(format!("unknown `serve` flag {other}")),
                 }
             }
@@ -513,6 +531,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--expect-all-hits" => opts.expect_all_hits = true,
                     "--shutdown" => opts.shutdown = true,
+                    "--recent" => {
+                        opts.recent = Some(PathBuf::from(
+                            it.next().ok_or("--recent needs an output path")?,
+                        ));
+                    }
                     other => return Err(format!("unknown `loadgen` flag {other}")),
                 }
             }
@@ -546,6 +569,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             it.next().ok_or("--golden needs a dist-golden path")?,
                         ));
                     }
+                    "--progress" => {
+                        opts.progress =
+                            Some(PathBuf::from(it.next().ok_or("--progress needs a path")?));
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(format!("unknown `campaign` flag {flag}"));
                     }
@@ -558,6 +585,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             opts.manifest = manifest.ok_or("missing manifest: pass a campaign JSON file")?;
             Ok(Command::Campaign(opts))
+        }
+        "check-log" => {
+            let mut path = None;
+            for a in it {
+                match a.as_str() {
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown `check-log` flag {flag}"));
+                    }
+                    file => {
+                        if path.replace(PathBuf::from(file)).is_some() {
+                            return Err("multiple log files; pass exactly one".into());
+                        }
+                    }
+                }
+            }
+            Ok(Command::CheckLog {
+                path: path.ok_or("missing log file: pass the `serve --log` output")?,
+            })
         }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
@@ -801,6 +846,99 @@ pub fn check_trace(
             path.display(),
             span_names.len(),
             events.len()
+        );
+        0
+    } else {
+        1
+    }
+}
+
+/// One well-formedness problem with a single access-log record, or `None`
+/// when the record is valid. Factored out of [`check_log`] so each rule
+/// reads as one early return.
+fn check_log_record(doc: &Json) -> Option<String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(f2_core::serve::LOG_SCHEMA) {
+        return Some(format!("schema is not {:?}", f2_core::serve::LOG_SCHEMA));
+    }
+    match doc.get("trace_id").and_then(Json::as_str) {
+        Some(id) if !id.is_empty() => {}
+        _ => return Some("missing or empty `trace_id`".to_string()),
+    }
+    // Experiment/scenario may legitimately be empty (a request rejected
+    // before the body resolved), but they must be present as strings and
+    // agree: a resolved experiment always has its 16-hex scenario hash.
+    let experiment = doc.get("experiment").and_then(Json::as_str);
+    let scenario = doc.get("scenario").and_then(Json::as_str);
+    let (Some(experiment), Some(scenario)) = (experiment, scenario) else {
+        return Some("missing `experiment`/`scenario` strings".to_string());
+    };
+    if !experiment.is_empty()
+        && (scenario.len() != 16 || !scenario.bytes().all(|b| b.is_ascii_hexdigit()))
+    {
+        return Some(format!("scenario {scenario:?} is not a 16-hex-digit hash"));
+    }
+    match doc.get("cache") {
+        Some(Json::Null) => {}
+        Some(j) if matches!(j.as_str(), Some("hit" | "miss")) => {}
+        _ => return Some("`cache` must be \"hit\", \"miss\" or null".to_string()),
+    }
+    match doc.get("status").and_then(Json::as_f64) {
+        Some(s) if s.fract() == 0.0 && (100.0..=599.0).contains(&s) => {}
+        _ => return Some("`status` is not an HTTP status code".to_string()),
+    }
+    for key in ["queue_ms", "run_ms", "total_ms"] {
+        match doc.get(key).and_then(Json::as_f64) {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            _ => return Some(format!("`{key}` missing or not a non-negative number")),
+        }
+    }
+    None
+}
+
+/// Validates a JSONL access log written by `serve --log` (or
+/// `/debug/recent` records re-emitted one per line by `loadgen --recent`):
+/// every non-empty line must parse as one `f2-serve-log-v1` object with a
+/// non-empty trace id, a `hit`/`miss`/`null` cache outcome, an HTTP status
+/// code and finite non-negative latencies, and the file must hold at least
+/// one record. Returns the process exit code (0 valid, 1 invalid,
+/// 2 unreadable).
+pub fn check_log(path: &std::path::Path) -> u8 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("f2 check-log: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let mut records = 0usize;
+    let mut failures = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let doc = match Json::parse(line) {
+            Ok(d) => d,
+            Err(e) => {
+                failures.push(format!("line {lineno}: malformed JSON: {e}"));
+                continue;
+            }
+        };
+        records += 1;
+        if let Some(problem) = check_log_record(&doc) {
+            failures.push(format!("line {lineno}: {problem}"));
+        }
+    }
+    if records == 0 && failures.is_empty() {
+        failures.push("no records: the log is empty".to_string());
+    }
+    for f in &failures {
+        eprintln!("f2 check-log: {}: {f}", path.display());
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "f2 check-log: {}: {records} record(s), well-formed",
+            path.display()
         );
         0
     } else {
@@ -1137,6 +1275,7 @@ pub fn main_with(registry: Registry, args: &[String]) -> u8 {
         Ok(Command::Serve(config)) => serve(registry, config),
         Ok(Command::Loadgen(opts)) => crate::loadgen::run(&opts),
         Ok(Command::Campaign(opts)) => crate::campaign::run(&registry, &opts),
+        Ok(Command::CheckLog { path }) => check_log(&path),
         Err(msg) => {
             eprintln!("{msg}");
             2
@@ -1389,6 +1528,8 @@ mod tests {
             "4",
             "--golden",
             "/tmp/d.json",
+            "--progress",
+            "/tmp/p.jsonl",
         ]))
         .expect("parses") else {
             panic!("expected campaign");
@@ -1399,6 +1540,7 @@ mod tests {
         assert!(opts.resume);
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.golden, Some(PathBuf::from("/tmp/d.json")));
+        assert_eq!(opts.progress, Some(PathBuf::from("/tmp/p.jsonl")));
         assert!(parse_args(&args(&["campaign"])).is_err());
         assert!(parse_args(&args(&["campaign", "a.json", "b.json"])).is_err());
         assert!(parse_args(&args(&["campaign", "a.json", "--threads", "0"])).is_err());
@@ -1457,6 +1599,99 @@ mod tests {
         .expect("writable tmp");
         assert_eq!(check_trace(&registry, &path, false, false), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parses_check_log() {
+        let Command::CheckLog { path } =
+            parse_args(&args(&["check-log", "serve.jsonl"])).expect("parses")
+        else {
+            panic!("expected check-log");
+        };
+        assert_eq!(path, PathBuf::from("serve.jsonl"));
+        assert!(parse_args(&args(&["check-log"])).is_err());
+        assert!(parse_args(&args(&["check-log", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["check-log", "a", "--nope"])).is_err());
+    }
+
+    /// One well-formed access-log line with the given members spliced in.
+    fn log_line(trace_id: &str, cache: &str, status: u64) -> String {
+        format!(
+            "{{\"schema\":\"f2-serve-log-v1\",\"trace_id\":\"{trace_id}\",\
+             \"experiment\":\"echo_seed\",\
+             \"scenario\":\"00000000deadbeef\",\"cache\":{cache},\
+             \"status\":{status},\"queue_ms\":0.4,\"run_ms\":1.5,\
+             \"total_ms\":2.1}}"
+        )
+    }
+
+    #[test]
+    fn check_log_accepts_a_well_formed_access_log() {
+        let path = std::env::temp_dir().join("f2-check-log-ok.jsonl");
+        let lines = [
+            log_line("f2-0000000000000001", "\"miss\"", 200),
+            log_line("client-id.7", "\"hit\"", 200),
+            log_line("f2-0000000000000002", "null", 500),
+            // Parse errors leave experiment/scenario empty — still valid.
+            "{\"schema\":\"f2-serve-log-v1\",\"trace_id\":\"t\",\
+             \"experiment\":\"\",\"scenario\":\"\",\"cache\":null,\
+             \"status\":400,\"queue_ms\":0,\"run_ms\":0,\"total_ms\":0.1}"
+                .to_string(),
+        ];
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).expect("writable tmp");
+        assert_eq!(check_log(&path), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_log_rejects_missing_malformed_and_empty() {
+        let dir = std::env::temp_dir();
+        let missing = dir.join("f2-check-log-missing.jsonl");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(check_log(&missing), 2);
+        let empty = dir.join("f2-check-log-empty.jsonl");
+        std::fs::write(&empty, "\n\n").expect("writable tmp");
+        assert_eq!(check_log(&empty), 1, "a log with zero records is invalid");
+        let bad = dir.join("f2-check-log-bad.jsonl");
+        std::fs::write(
+            &bad,
+            format!("{}\n{{not json\n", log_line("t", "null", 200)),
+        )
+        .expect("writable tmp");
+        assert_eq!(check_log(&bad), 1);
+        let _ = std::fs::remove_file(&empty);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn check_log_rejects_ill_formed_records() {
+        let cases: &[(&str, String)] = &[
+            (
+                "wrong-schema",
+                log_line("t", "null", 200).replace("log-v1", "log-v9"),
+            ),
+            ("empty-trace-id", log_line("", "null", 200)),
+            ("bad-cache", log_line("t", "\"maybe\"", 200)),
+            ("bad-status", log_line("t", "null", 42)),
+            (
+                "fractional-status",
+                log_line("t", "null", 200).replace(":200,", ":200.5,"),
+            ),
+            (
+                "negative-latency",
+                log_line("t", "null", 200).replace("\"run_ms\":1.5", "\"run_ms\":-1.5"),
+            ),
+            (
+                "short-scenario-hash",
+                log_line("t", "null", 200).replace("00000000deadbeef", "beef"),
+            ),
+        ];
+        for (label, line) in cases {
+            let path = std::env::temp_dir().join(format!("f2-check-log-{label}.jsonl"));
+            std::fs::write(&path, format!("{line}\n")).expect("writable tmp");
+            assert_eq!(check_log(&path), 1, "{label} must be rejected");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]
@@ -1635,6 +1870,8 @@ mod tests {
             "8",
             "--port-file",
             "/tmp/p.txt",
+            "--log",
+            "/tmp/s.jsonl",
         ]))
         .expect("parses") else {
             panic!("expected serve");
@@ -1643,6 +1880,7 @@ mod tests {
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.port_file, Some(PathBuf::from("/tmp/p.txt")));
+        assert_eq!(cfg.log, Some(PathBuf::from("/tmp/s.jsonl")));
         // Defaults: ephemeral loopback port, standard shard count.
         let Command::Serve(cfg) = parse_args(&args(&["serve"])).expect("parses") else {
             panic!("expected serve");
@@ -1675,6 +1913,8 @@ mod tests {
             "--out",
             "/tmp/l.json",
             "--expect-all-hits",
+            "--recent",
+            "/tmp/r.jsonl",
         ]))
         .expect("parses") else {
             panic!("expected loadgen");
@@ -1688,6 +1928,7 @@ mod tests {
         assert_eq!(opts.wait_s, 10.0);
         assert_eq!(opts.out, Some(PathBuf::from("/tmp/l.json")));
         assert!(opts.expect_all_hits);
+        assert_eq!(opts.recent, Some(PathBuf::from("/tmp/r.jsonl")));
         assert!(!opts.shutdown);
         let Command::Loadgen(opts) = parse_args(&args(&["loadgen", "--shutdown"])).expect("parses")
         else {

@@ -281,8 +281,29 @@ fn bench_serve(h: &mut Harness, cfg: &SuiteConfig) {
         assert_eq!(resp.status, 200, "serve bench request failed");
         resp
     };
-    // Prime the cache: every measured request below is a pure hit.
-    post_run(&mut connect());
+    // Prime the cache (and check trace-id propagation end-to-end on the
+    // way): every measured request below is a pure hit, and the measured
+    // iterations stay header-free so the workload matches the committed
+    // baselines byte for byte.
+    {
+        let mut client = connect();
+        http::write_request_with_headers(
+            client.get_mut(),
+            "POST",
+            "/run",
+            "bench",
+            &[(serve::TRACE_HEADER, "bench-prime")],
+            BODY,
+        )
+        .expect("request written");
+        let resp = http::parse_response(&mut client).expect("response parses");
+        assert_eq!(resp.status, 200, "serve bench priming failed");
+        assert_eq!(
+            resp.header("x-f2-trace-id"),
+            Some("bench-prime"),
+            "serve must echo the client's trace id"
+        );
+    }
 
     let mut group = h.group("serve");
     group.bench_function("p99_latency", |bch| {

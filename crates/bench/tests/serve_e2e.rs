@@ -112,6 +112,7 @@ fn loadgen_cached_burst_is_all_hits_after_one_warmup_round() {
         out: None,
         expect_all_hits: true,
         shutdown: false,
+        recent: None,
     };
     let report = loadgen::execute(&opts).expect("server reachable");
     assert!(report.completed > 0, "burst must complete requests");
@@ -123,6 +124,15 @@ fn loadgen_cached_burst_is_all_hits_after_one_warmup_round() {
     );
     assert_eq!(report.cache_hits, report.completed);
     assert!(report.throughput_rps > 0.0);
+    assert_eq!(
+        report.echo_mismatches, 0,
+        "every /run must echo the client's trace id"
+    );
+    assert_eq!(
+        report.status_counts.get(&200).copied(),
+        Some(report.completed),
+        "every response was a 200 and every 200 was counted"
+    );
     assert_eq!(loadgen::run(&opts), 0, "exit code agrees with the report");
     server.join().expect("clean join");
 }
@@ -142,14 +152,37 @@ fn loadgen_sweep_exercises_distinct_keys_then_shutdown_stops_the_server() {
         out: None,
         expect_all_hits: false,
         shutdown: false,
+        recent: None,
     })
     .expect("server reachable");
     assert!(report.completed > 0);
     assert_eq!(report.failed, 0);
     assert_eq!(report.body_mismatches, 0);
+    assert_eq!(report.echo_mismatches, 0);
     // Ten distinct keys were computed at most once each; everything else
     // came from the cache.
     assert!(report.cache_misses <= 10);
+
+    // The flight recorder replays the traffic in the access-log record
+    // shape — dumped as JSONL, it passes `f2 check-log`.
+    let recent = loadgen::fetch_recent(&addr).expect("flight recorder answers");
+    assert!(recent.lines().count() > 0);
+    for line in recent.lines() {
+        let record = Json::parse(line).expect("record is one JSON object");
+        assert_eq!(
+            record.get("schema").and_then(Json::as_str),
+            Some(serve::LOG_SCHEMA)
+        );
+        let id = record
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("trace id");
+        assert!(id.starts_with("lg-"), "loadgen stamped every /run: {id}");
+    }
+    let dump = std::env::temp_dir().join("f2-serve-e2e-recent.jsonl");
+    std::fs::write(&dump, &recent).expect("writable tmp");
+    assert_eq!(f2_bench::runner::check_log(&dump), 0);
+    let _ = std::fs::remove_file(&dump);
 
     // The --shutdown path stops the daemon; wait() observes it without
     // initiating anything itself.

@@ -24,6 +24,14 @@
 //! let a100ish = Roofline::new(312e12, 2.0e12);
 //! assert!(a100ish.attainable(1.0) <= 2.0e12);
 //! ```
+//!
+//! Cross-cutting infrastructure rides alongside the modelling vocabulary:
+//! [`trace`] (Chrome-trace spans plus the log-scale [`trace::Histogram`]
+//! behind serve's latency percentiles), [`serve`] (the batched experiment
+//! daemon with request-scoped observability — trace-ID propagation,
+//! `f2-serve-metrics-v2`, the `f2-serve-log-v1` access log, and the
+//! `/debug/recent` flight recorder), [`exec`] (the work-stealing pool) and
+//! [`experiment`] (registry + golden-KPI plumbing).
 
 pub mod benchkit;
 pub mod bf16;

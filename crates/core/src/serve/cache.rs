@@ -178,6 +178,18 @@ impl<V: Clone> ShardedCache<V> {
             .map(|s| s.misses.load(Ordering::Relaxed))
             .sum()
     }
+
+    /// Fraction of counted lookups that hit (`0.0` before any lookup) —
+    /// the `cache.hit_rate` member of the v2 metrics document.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +217,7 @@ mod tests {
     #[test]
     fn get_insert_and_counters() {
         let cache: ShardedCache<Arc<Vec<u8>>> = ShardedCache::new(4);
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups yet");
         let k = key("demo", 7);
         assert!(cache.get(&k).is_none());
         assert!(cache.insert(k.clone(), Arc::new(b"v1".to_vec())));
@@ -215,6 +228,7 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12, "1 hit of 2 lookups");
     }
 
     #[test]

@@ -434,7 +434,24 @@ pub fn write_request(
     host: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_request_with_headers(out, method, path, host, &[], body)
+}
+
+/// [`write_request`] plus caller-supplied headers (e.g. the
+/// `X-F2-Trace-Id` the load generator stamps on every `/run`). Headers
+/// are written verbatim after `Host`, before the body framing.
+pub fn write_request_with_headers(
+    out: &mut impl Write,
+    method: &str,
+    path: &str,
+    host: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(out, "{method} {path} HTTP/1.1\r\nHost: {host}\r\n")?;
+    for (name, value) in headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
     if !body.is_empty() {
         write!(out, "Content-Type: application/json\r\n")?;
     }
@@ -635,6 +652,32 @@ mod tests {
         assert_eq!(req.path, "/run");
         assert_eq!(req.body, b"{\"x\":1}");
         assert_eq!(req.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn request_with_custom_headers_roundtrips() {
+        let mut wire = Vec::new();
+        write_request_with_headers(
+            &mut wire,
+            "POST",
+            "/run",
+            "127.0.0.1:1",
+            &[("X-F2-Trace-Id", "lg-0042"), ("X-Extra", "v")],
+            b"{}",
+        )
+        .expect("writes");
+        let req = parse(&wire).expect("parses");
+        assert_eq!(req.header("x-f2-trace-id"), Some("lg-0042"));
+        assert_eq!(req.header("x-extra"), Some("v"));
+        assert_eq!(req.body, b"{}");
+        // The zero-header variant writes byte-identical wire format to
+        // the original `write_request`.
+        let mut plain = Vec::new();
+        write_request(&mut plain, "POST", "/run", "127.0.0.1:1", b"{}").expect("writes");
+        let mut explicit = Vec::new();
+        write_request_with_headers(&mut explicit, "POST", "/run", "127.0.0.1:1", &[], b"{}")
+            .expect("writes");
+        assert_eq!(plain, explicit);
     }
 
     #[test]

@@ -85,6 +85,22 @@ pub struct SpanRecord {
 
 /// Log-scale histogram: buckets at half-power-of-two resolution covering
 /// `2^-30 .. 2^34` (~1e-9 to ~1.7e10), plus exact count/sum/min/max.
+///
+/// # The empty-histogram contract
+///
+/// A histogram with `count == 0` (fresh from [`Histogram::new`] or
+/// [`Histogram::default`]) answers every derived query with a sentinel
+/// rather than panicking or returning `NaN`:
+///
+/// * [`Histogram::quantile`] returns `0.0` for every `q`;
+/// * [`Histogram::mean`] returns `0.0`;
+/// * `min` is `f64::INFINITY` and `max` is `f64::NEG_INFINITY` — the
+///   identity elements of [`Histogram::merge`], so merging an empty
+///   histogram into any other is a no-op on all fields.
+///
+/// Consumers rendering an empty histogram (e.g. the `/metrics` endpoint of
+/// `f2 serve`) must therefore gate on `count` before emitting `min`/`max`:
+/// the sentinels are not JSON-encodable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     buckets: Vec<u64>,
@@ -805,6 +821,68 @@ mod tests {
         h.observe(1e300); // clamps into the top bucket
         assert_eq!(h.count, 3);
         assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_answers_with_sentinels() {
+        let h = Histogram::new();
+        assert_eq!(h.count, 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty quantile({q}) is 0.0");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min, f64::INFINITY);
+        assert_eq!(h.max, f64::NEG_INFINITY);
+        // Merging an empty histogram into a populated one is a no-op.
+        let mut populated = Histogram::new();
+        populated.observe(4.0);
+        let before = populated.clone();
+        populated.merge(&h);
+        assert_eq!(populated, before);
+    }
+
+    #[test]
+    fn single_sample_histogram_collapses_every_quantile() {
+        let mut h = Histogram::new();
+        h.observe(7.5);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 7.5);
+        assert_eq!(h.max, 7.5);
+        assert!((h.mean() - 7.5).abs() < 1e-12);
+        // Quantiles clamp into [min, max], so one sample pins them all.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.5, "single-sample quantile({q})");
+        }
+    }
+
+    #[test]
+    fn histograms_merge_across_sessions() {
+        // Two *separate* trace sessions each record into the same named
+        // histogram; reports are per-session, so cross-session aggregation
+        // happens by merging the reported histograms explicitly.
+        let s1 = session();
+        observe("serve.lat", 1.0);
+        observe("serve.lat", 2.0);
+        let r1 = s1.finish();
+        let s2 = session();
+        observe("serve.lat", 8.0);
+        let r2 = s2.finish();
+        let h1 = r1.histogram("serve.lat").expect("session 1 recorded");
+        let h2 = r2.histogram("serve.lat").expect("session 2 recorded");
+        assert_eq!((h1.count, h2.count), (2, 1), "sessions stay isolated");
+        let mut merged = h1.clone();
+        merged.merge(h2);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.min, 1.0);
+        assert_eq!(merged.max, 8.0);
+        assert!((merged.sum - 11.0).abs() < 1e-12);
+        let (p50, p100) = (merged.quantile(0.5), merged.quantile(1.0));
+        assert!(p50 <= p100);
+        assert!(p50 >= merged.min && p100 <= merged.max);
+        // Merge is symmetric on every aggregate.
+        let mut other_way = h2.clone();
+        other_way.merge(h1);
+        assert_eq!(merged, other_way);
     }
 
     #[test]
