@@ -55,9 +55,12 @@ stage_style() {
 }
 
 # Experiment smoke: run the whole registry at quick fidelity and pipe the
-# KPI reports through the golden comparator (tests/golden/*.json).
+# KPI reports through the golden comparator (tests/golden/*.json). The
+# sparse-dataflow explorer is additionally gated alone, by name, so a
+# registry wiring regression cannot silently drop it from `all`.
 stage_golden() {
     run bash -c "$F2 run all --quick --json | $F2 check"
+    run bash -c "$F2 run hls/spdataflow --quick --json | $F2 check"
 }
 
 # Observability smoke: a traced quick run must produce a well-formed
@@ -79,7 +82,7 @@ stage_trace() {
 stage_perf() {
     local bench=/tmp/f2-bench.json
     run bash -c "$F2 bench --quick --out $bench > /dev/null"
-    run "$F2" check-bench BENCH_PR6.json --current "$bench" --max-regress 20
+    run "$F2" check-bench BENCH_PR9.json --current "$bench" --max-regress 20
 }
 
 # Campaign smoke: expand the 32-scenario manifest, sweep it, and gate the
@@ -104,6 +107,14 @@ stage_campaign() {
     run cmp /tmp/f2-campaign-first.json "$out"
     rm -f /tmp/f2-campaign-first.json "$ckpt"
     echo "    resumed campaign merged bit-identically"
+
+    # Sparse-dataflow sweep: dataflow × pattern × tiling × buffer, gated on
+    # its own dist golden (adaptive-vs-fixed ratios are part of the gate).
+    rm -f "$out" "$ckpt"
+    run timeout 120 "$F2" campaign tests/campaign/spdataflow.json \
+        --out "$out" --checkpoint "$ckpt" --threads 4 \
+        --golden tests/campaign/spdataflow.golden.json
+    rm -f "$out" "$ckpt"
 }
 
 # Serve smoke: boot the real daemon on an ephemeral port, drive it with

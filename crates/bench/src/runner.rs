@@ -718,6 +718,12 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
             }
             Err(e) => {
                 eprintln!("f2 run: experiment {} failed: {e}", exp.name());
+                // Invalid scenario params are a usage error, not an
+                // experiment failure — surface them as exit 2 immediately,
+                // matching the bad-selector and undeclared-param paths.
+                if matches!(e, f2_core::CoreError::InvalidParameter { .. }) {
+                    return 2;
+                }
                 failures += 1;
             }
         }
@@ -1493,6 +1499,49 @@ mod tests {
                 && e.get("name").and_then(Json::as_str) == Some("demo.points")
         }));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_maps_invalid_scenario_params_to_exit_2() {
+        struct Picky;
+        impl Experiment for Picky {
+            fn name(&self) -> &'static str {
+                "picky"
+            }
+            fn summary(&self) -> &'static str {
+                "invalid-param exit-code fixture"
+            }
+            fn tags(&self) -> &'static [&'static str] {
+                &["demo"]
+            }
+            fn params(&self) -> Vec<f2_core::experiment::ParamSpec> {
+                vec![f2_core::experiment::ParamSpec::u64("n", "must be positive")]
+            }
+            fn run(&self, ctx: &mut ExperimentCtx) -> f2_core::Result<ExperimentReport> {
+                if ctx.param_u64("n", 1) == 0 {
+                    return Err(f2_core::CoreError::InvalidParameter {
+                        name: "n".to_string(),
+                        reason: "must be positive".to_string(),
+                    });
+                }
+                Ok(ctx.report(self.name()))
+            }
+        }
+        let mut registry = Registry::new();
+        registry.register(Box::new(Picky));
+        let opts = |n| RunOptions {
+            selector: "all".to_string(),
+            json: true,
+            scenario: Scenario::new(1, Fidelity::Quick, 1).with_param("n", ParamValue::Num(n)),
+            trace: None,
+            metrics: false,
+        };
+        assert_eq!(run(&registry, &opts(1.0)), 0);
+        assert_eq!(
+            run(&registry, &opts(0.0)),
+            2,
+            "invalid scenario param must be a usage error"
+        );
     }
 
     #[test]

@@ -25,11 +25,13 @@ use f2_core::serve::{self, http};
 use f2_core::tensor::Matrix;
 use f2_core::workload::graph::rmat;
 
+use f2_core::workload::sparse::{generate, SparseMatrix, SparsityPattern};
 use f2_dna::channel::ChannelModel;
 use f2_dna::sequence::{DnaBase, DnaSequence};
 use f2_hls::ir::dot_product_kernel;
 use f2_hls::schedule::{list_schedule, OpLatency, ResourceBudget};
-use f2_hls::sparta::{run as sparta_run, spmv_workload, CacheConfig, SpartaConfig};
+use f2_hls::sparta::{run as sparta_run, CacheConfig, Kernel, SpartaConfig, WorkloadBuilder};
+use f2_hls::spdataflow::{spgemm_cost, Dataflow, Policy, SpConfig};
 use f2_imc::crossbar::{Adc, Crossbar, MvmScratch};
 use f2_imc::device::DeviceModel;
 use f2_imc::eval::{make_train_test, train_mlp};
@@ -169,7 +171,9 @@ fn bench_scf(h: &mut Harness, quick: bool) {
 fn bench_hls(h: &mut Harness, quick: bool) {
     let mut group = h.group("hls");
     let graph = rmat(if quick { 7 } else { 8 }, 8, 5);
-    let wl = spmv_workload(&graph);
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph))
+        .kernel(Kernel::Spmv)
+        .build();
     let cfg = SpartaConfig {
         accelerators: 4,
         contexts_per_accel: 8,
@@ -188,6 +192,24 @@ fn bench_hls(h: &mut Harness, quick: bool) {
     let budget = ResourceBudget::new(4, 4, 2);
     group.bench_function("schedule_asap", |bch| {
         bch.iter(|| list_schedule(&dfg, &lat, &budget).expect("feasible"))
+    });
+
+    // SpGEMM analytical cost models on a mixed-sparsity (power-law) matrix:
+    // the cheapest fixed dataflow's symbolic pass, then the adaptive DP.
+    let rows = if quick { 256 } else { 1024 };
+    let m = generate(SparsityPattern::PowerLaw, rows, rows, 8, 5).expect("valid spec");
+    let sp_cfg = SpConfig {
+        tile_rows: 8,
+        buffer_words: 512,
+        ..SpConfig::default()
+    };
+    group.bench_function("spgemm_inner", |bch| {
+        bch.iter(|| {
+            spgemm_cost(&m, &m, Policy::Fixed(Dataflow::Inner), &sp_cfg).expect("valid config")
+        })
+    });
+    group.bench_function("spgemm_adaptive", |bch| {
+        bch.iter(|| spgemm_cost(&m, &m, Policy::Adaptive, &sp_cfg).expect("valid config"))
     });
 }
 
@@ -327,14 +349,16 @@ fn bench_serve(h: &mut Harness, cfg: &SuiteConfig) {
 mod tests {
     use super::*;
 
-    /// The ten stable labels, in registration order.
-    pub const EXPECTED_LABELS: [&str; 10] = [
+    /// The twelve stable labels, in registration order.
+    pub const EXPECTED_LABELS: [&str; 12] = [
         "imc/mvm_bit_serial",
         "imc/eval_forward",
         "scf/cpu_run",
         "scf/multicore_step",
         "hls/sparta_spmv",
         "hls/schedule_asap",
+        "hls/spgemm_inner",
+        "hls/spgemm_adaptive",
         "dna/channel",
         "core/pareto_sweep",
         "serve/p99_latency",

@@ -7,7 +7,11 @@
 //!   breakdown (used by `f2-scf`).
 //! * [`graph`] — sparse graphs in CSR form plus reference kernels
 //!   (BFS, SpMV, PageRank) for the §III irregular-workload experiments.
+//! * [`sparse`] — seeded procedural sparse matrices (uniform, banded,
+//!   power-law, block-diagonal) with exact nnz/row-histogram stats, the
+//!   substrate of the `f2-hls` sparse-dataflow design-space explorer.
 
 pub mod dnn;
 pub mod graph;
+pub mod sparse;
 pub mod transformer;

@@ -1,0 +1,510 @@
+//! Seeded procedural sparse matrices in CSR form.
+//!
+//! The §III sparse-dataflow design-space explorer (`f2-hls::spdataflow`)
+//! evaluates SpMV/SpGEMM dataflows *per sparsity structure*, so it needs a
+//! family of reproducible matrix generators covering the structures real
+//! irregular workloads exhibit:
+//!
+//! * [`SparsityPattern::Uniform`] — Erdős–Rényi-style rows, every row close
+//!   to the target density (the "easy" regular-sparse case).
+//! * [`SparsityPattern::Banded`] — dense diagonal band (stencils, tridiagonal
+//!   solvers); perfectly regular reuse.
+//! * [`SparsityPattern::PowerLaw`] — RMAT-row-style skew: a few very dense
+//!   head rows and a long sparse tail, with column popularity skewed the
+//!   same way. This is the *mixed-sparsity* case where no single dataflow
+//!   wins everywhere.
+//! * [`SparsityPattern::BlockDiagonal`] — dense blocks on the diagonal
+//!   (graph communities, batched small GEMMs).
+//!
+//! Every generator is a pure function of `(pattern, shape, density, seed)` —
+//! column draws come from [`rng_for`] streams labelled by pattern, so the
+//! same inputs produce bit-identical matrices on any thread count.
+
+use crate::error::CoreError;
+use crate::rng::{rng_for, Rng};
+use crate::workload::graph::CsrGraph;
+use crate::Result;
+
+/// Number of log2 buckets in [`SparseStats::row_hist`].
+pub const HIST_BUCKETS: usize = 8;
+
+/// The procedural sparsity-structure families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparsityPattern {
+    /// Uniform random columns, every row near the target density.
+    Uniform,
+    /// Dense diagonal band of half-width `nnz_per_row / 2`.
+    Banded,
+    /// Power-law (RMAT-row-style) row degrees and column popularity.
+    PowerLaw,
+    /// Dense `nnz_per_row`-sized blocks on the diagonal.
+    BlockDiagonal,
+}
+
+impl SparsityPattern {
+    /// All patterns, in the order campaign manifests usually sweep them.
+    pub const ALL: [SparsityPattern; 4] = [
+        SparsityPattern::Uniform,
+        SparsityPattern::Banded,
+        SparsityPattern::PowerLaw,
+        SparsityPattern::BlockDiagonal,
+    ];
+
+    /// The stable name used in scenario params and campaign manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SparsityPattern::Uniform => "uniform",
+            SparsityPattern::Banded => "banded",
+            SparsityPattern::PowerLaw => "powerlaw",
+            SparsityPattern::BlockDiagonal => "block",
+        }
+    }
+
+    /// Parses a pattern name (the inverse of [`SparsityPattern::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an unknown name, listing
+    /// the legal values.
+    pub fn parse(name: &str) -> Result<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "pattern".to_string(),
+                reason: format!("unknown pattern `{name}`; expected uniform|banded|powerlaw|block"),
+            })
+    }
+}
+
+/// A sparse matrix in compressed-sparse-row form with `f64` values.
+///
+/// The procedural generators emit rows with strictly increasing,
+/// duplicate-free columns. [`SparseMatrix::from_csr_graph`] instead keeps
+/// the graph's per-row edge order (duplicates included) *verbatim*, so
+/// memory traces built from a converted graph are bit-identical to traces
+/// built from the graph directly — the dataflow cost models only need
+/// in-range columns, which [`SparseMatrix::from_parts`] checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from raw CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidWorkload`] if the CSR arrays are
+    /// inconsistent (bad `row_ptr` shape, out-of-range columns,
+    /// value/column length mismatch).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let invalid = |msg: String| CoreError::InvalidWorkload(msg);
+        if row_ptr.len() != rows + 1 {
+            return Err(invalid(format!(
+                "row_ptr has {} entries, expected rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 || row_ptr[rows] != col_idx.len() {
+            return Err(invalid(
+                "row_ptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if col_idx.len() != values.len() {
+            return Err(invalid(format!(
+                "{} columns vs {} values",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(invalid(format!("row {r}: row_ptr decreases")));
+            }
+        }
+        if let Some(&c) = col_idx.iter().find(|&&c| c >= cols) {
+            return Err(invalid(format!("column {c} out of range (cols = {cols})")));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Views a [`CsrGraph`] as its (square) adjacency matrix.
+    ///
+    /// The graph's CSR arrays are copied *verbatim* — per-row edge order and
+    /// duplicate edges included — so a memory trace built from the converted
+    /// matrix is bit-identical to one built from the graph directly.
+    pub fn from_csr_graph(graph: &CsrGraph) -> Self {
+        Self {
+            rows: graph.num_nodes(),
+            cols: graph.num_nodes(),
+            row_ptr: graph.row_ptr().to_vec(),
+            col_idx: graph.col_idx().to_vec(),
+            values: graph.edge_weights().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of entries stored, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// CSR row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// CSR column-index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// CSR value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Stored entries of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Number of stored entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Per-column nonzero counts (the column histogram the inner-product
+    /// dataflow's cost model needs).
+    pub fn col_nnz(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// Exact nnz and row-degree statistics.
+    pub fn stats(&self) -> SparseStats {
+        let mut stats = SparseStats {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz(),
+            min_row_nnz: usize::MAX,
+            max_row_nnz: 0,
+            mean_row_nnz: 0.0,
+            empty_rows: 0,
+            row_hist: [0; HIST_BUCKETS],
+        };
+        if self.rows == 0 {
+            stats.min_row_nnz = 0;
+            return stats;
+        }
+        for r in 0..self.rows {
+            let d = self.row_nnz(r);
+            stats.min_row_nnz = stats.min_row_nnz.min(d);
+            stats.max_row_nnz = stats.max_row_nnz.max(d);
+            if d == 0 {
+                stats.empty_rows += 1;
+            }
+            stats.row_hist[hist_bucket(d)] += 1;
+        }
+        stats.mean_row_nnz = self.nnz() as f64 / self.rows as f64;
+        stats
+    }
+}
+
+/// Exact nnz / row-degree statistics of one [`SparseMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Smallest row degree.
+    pub min_row_nnz: usize,
+    /// Largest row degree.
+    pub max_row_nnz: usize,
+    /// Mean row degree (`nnz / rows`).
+    pub mean_row_nnz: f64,
+    /// Rows with no stored entries.
+    pub empty_rows: usize,
+    /// Log2-bucketed row-degree histogram: bucket 0 counts empty rows,
+    /// bucket `i ≥ 1` counts rows with degree in `[2^(i-1), 2^i)`, and the
+    /// last bucket absorbs everything denser.
+    pub row_hist: [usize; HIST_BUCKETS],
+}
+
+/// Bucket index of row degree `d` in [`SparseStats::row_hist`].
+fn hist_bucket(d: usize) -> usize {
+    if d == 0 {
+        return 0;
+    }
+    let b = usize::BITS as usize - d.leading_zeros() as usize; // floor(log2) + 1
+    b.min(HIST_BUCKETS - 1)
+}
+
+/// Generates a `rows × cols` matrix of `pattern` with a target density of
+/// `nnz_per_row` stored entries per row (exact meaning varies slightly per
+/// pattern — banded and block-diagonal are structural, so their realised
+/// density comes from the band/block geometry). Same arguments, same matrix,
+/// bit for bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when a dimension or the density
+/// target is zero.
+pub fn generate(
+    pattern: SparsityPattern,
+    rows: usize,
+    cols: usize,
+    nnz_per_row: usize,
+    seed: u64,
+) -> Result<SparseMatrix> {
+    for (name, v) in [("rows", rows), ("cols", cols), ("nnz_per_row", nnz_per_row)] {
+        if v == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: name.to_string(),
+                reason: "must be positive".to_string(),
+            });
+        }
+    }
+    let mut rng = rng_for(seed, &format!("sparse/{}", pattern.name()));
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+
+    // Power-law row degrees: deg(i) ∝ 1 / (i + 1)^ALPHA, normalised so the
+    // mean degree matches `nnz_per_row`. Head rows are clamped to `cols`.
+    const ALPHA: f64 = 0.8;
+    let zipf_scale = if pattern == SparsityPattern::PowerLaw {
+        let norm: f64 = (0..rows).map(|i| (i as f64 + 1.0).powf(-ALPHA)).sum();
+        nnz_per_row as f64 * rows as f64 / norm
+    } else {
+        0.0
+    };
+
+    let mut row: Vec<usize> = Vec::new();
+    for i in 0..rows {
+        row.clear();
+        match pattern {
+            SparsityPattern::Uniform => {
+                draw_distinct(&mut row, nnz_per_row.min(cols), cols, &mut rng, false);
+            }
+            SparsityPattern::Banded => {
+                let hw = (nnz_per_row / 2).max(1);
+                let lo = i.saturating_sub(hw);
+                let hi = (i + hw + 1).min(cols);
+                row.extend(lo..hi);
+            }
+            SparsityPattern::PowerLaw => {
+                let deg = (zipf_scale * (i as f64 + 1.0).powf(-ALPHA)).round() as usize;
+                let deg = deg.clamp(1, cols);
+                if deg * 4 >= cols {
+                    // Dense head row: a contiguous prefix, the limit shape of
+                    // the skewed column draw (and guaranteed to terminate).
+                    row.extend(0..deg);
+                } else {
+                    draw_distinct(&mut row, deg, cols, &mut rng, true);
+                }
+            }
+            SparsityPattern::BlockDiagonal => {
+                let bs = nnz_per_row.max(2);
+                let start = ((i / bs) * bs).min(cols.saturating_sub(1));
+                let end = (start + bs).min(cols);
+                row.extend(start..end);
+            }
+        }
+        row.sort_unstable();
+        row.dedup();
+        for &c in &row {
+            col_idx.push(c);
+            values.push(rng.gen_range(0.0..1.0) + 0.5);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    SparseMatrix::from_parts(rows, cols, row_ptr, col_idx, values)
+}
+
+/// Draws `want` distinct columns in `0..cols` into `out`. With `skewed`,
+/// column popularity follows the squared-uniform law (low columns hot) —
+/// the column-side analogue of the power-law row degrees.
+fn draw_distinct(out: &mut Vec<usize>, want: usize, cols: usize, rng: &mut impl Rng, skewed: bool) {
+    debug_assert!(want <= cols);
+    while out.len() < want {
+        let c = if skewed {
+            let u = rng.gen_range(0.0..1.0f64);
+            ((u * u * cols as f64) as usize).min(cols - 1)
+        } else {
+            rng.gen_range(0..cols)
+        };
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::graph::{gnm_random, rmat};
+
+    #[test]
+    fn generators_cover_all_patterns() {
+        for pattern in SparsityPattern::ALL {
+            let m = generate(pattern, 64, 64, 8, 7).expect("valid spec");
+            assert_eq!(m.rows(), 64);
+            assert_eq!(m.cols(), 64);
+            assert!(m.nnz() > 0, "{pattern:?} generated an empty matrix");
+            let stats = m.stats();
+            assert_eq!(stats.nnz, m.nnz());
+            assert_eq!(stats.row_hist.iter().sum::<usize>(), 64);
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for pattern in SparsityPattern::ALL {
+            let a = generate(pattern, 48, 48, 6, 11).expect("valid");
+            let b = generate(pattern, 48, 48, 6, 11).expect("valid");
+            assert_eq!(a, b, "{pattern:?} must be reproducible");
+            let c = generate(pattern, 48, 48, 6, 12).expect("valid");
+            if pattern != SparsityPattern::Banded && pattern != SparsityPattern::BlockDiagonal {
+                assert_ne!(
+                    a.col_idx(),
+                    c.col_idx(),
+                    "{pattern:?} must react to the seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn powerlaw_rows_are_skewed() {
+        let m = generate(SparsityPattern::PowerLaw, 256, 256, 8, 3).expect("valid");
+        let stats = m.stats();
+        assert!(
+            stats.max_row_nnz >= 8 * stats.min_row_nnz.max(1),
+            "head {} vs tail {} not skewed",
+            stats.max_row_nnz,
+            stats.min_row_nnz
+        );
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let m = generate(SparsityPattern::Banded, 100, 100, 10, 1).expect("valid");
+        for r in 0..100 {
+            for &c in m.row_cols(r) {
+                assert!(r.abs_diff(c) <= 5, "({r},{c}) escapes the band");
+            }
+        }
+    }
+
+    #[test]
+    fn block_diagonal_stays_in_block() {
+        let m = generate(SparsityPattern::BlockDiagonal, 64, 64, 8, 1).expect("valid");
+        for r in 0..64 {
+            for &c in m.row_cols(r) {
+                assert_eq!(r / 8, c / 8, "({r},{c}) escapes its block");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_names_round_trip() {
+        for p in SparsityPattern::ALL {
+            assert_eq!(SparsityPattern::parse(p.name()).expect("known"), p);
+        }
+        assert!(SparsityPattern::parse("diagonal").is_err());
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        assert!(generate(SparsityPattern::Uniform, 0, 8, 2, 1).is_err());
+        assert!(generate(SparsityPattern::Uniform, 8, 0, 2, 1).is_err());
+        assert!(generate(SparsityPattern::Uniform, 8, 8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_csr_invariants() {
+        assert!(SparseMatrix::from_parts(2, 4, vec![0, 1, 2], vec![1, 3], vec![1.0, 2.0]).is_ok());
+        // Wrong row_ptr length.
+        assert!(SparseMatrix::from_parts(2, 4, vec![0, 1], vec![1], vec![1.0]).is_err());
+        // Column out of range.
+        assert!(SparseMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Value length mismatch.
+        assert!(SparseMatrix::from_parts(1, 4, vec![0, 1], vec![1], vec![]).is_err());
+        // Decreasing row_ptr.
+        assert!(SparseMatrix::from_parts(2, 4, vec![0, 2, 2], vec![1, 3], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn csr_graph_conversion_is_verbatim() {
+        for g in [gnm_random(40, 160, 9), rmat(6, 8, 9)] {
+            let m = SparseMatrix::from_csr_graph(&g);
+            assert_eq!(m.rows(), g.num_nodes());
+            assert_eq!(m.cols(), g.num_nodes());
+            assert_eq!(m.nnz(), g.num_edges());
+            assert_eq!(m.row_ptr(), g.row_ptr());
+            assert_eq!(m.col_idx(), g.col_idx());
+            assert_eq!(m.values(), g.edge_weights());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(1024), HIST_BUCKETS - 1);
+    }
+}

@@ -332,3 +332,56 @@ fn pareto_sweep_parallel_propagates_panics() {
         "evaluator panic must propagate to the caller"
     );
 }
+
+f2_core::ptest! {
+    /// Every sparsity-pattern generator is a pure function of
+    /// (pattern, shape, density, seed): regenerating is bit-identical, and
+    /// the CSR invariants plus exact stats hold for arbitrary specs.
+    fn sparse_generators_are_seed_deterministic(g) {
+        use f2_core::workload::sparse::{generate, SparsityPattern};
+        let pattern = SparsityPattern::ALL[g.usize_in(0..SparsityPattern::ALL.len())];
+        let rows = g.usize_in(1..96);
+        let cols = g.usize_in(1..96);
+        let nnz_per_row = g.usize_in(1..12);
+        let seed = g.u64();
+        let m = generate(pattern, rows, cols, nnz_per_row, seed).expect("valid spec");
+        let again = generate(pattern, rows, cols, nnz_per_row, seed).expect("valid spec");
+        assert_eq!(m, again, "same seed must be bit-identical");
+        assert_eq!(m.row_ptr().len(), rows + 1);
+        assert_eq!(m.nnz(), m.col_idx().len());
+        for r in 0..rows {
+            let row = m.row_cols(r);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "rows sorted, no dups");
+            assert!(row.iter().all(|&c| c < cols), "columns in range");
+        }
+        let stats = m.stats();
+        assert_eq!(stats.nnz, m.nnz());
+        assert_eq!(stats.row_hist.iter().sum::<usize>(), rows);
+        assert_eq!(
+            stats.empty_rows,
+            (0..rows).filter(|&r| m.row_nnz(r) == 0).count()
+        );
+    }
+
+    /// Generation is thread-count-invariant: matrices produced on worker
+    /// pools of any width match the single-threaded result exactly.
+    fn sparse_generation_is_thread_count_invariant(g) {
+        use f2_core::workload::sparse::{generate, SparsityPattern};
+        let pattern = SparsityPattern::ALL[g.usize_in(0..SparsityPattern::ALL.len())];
+        let rows = g.usize_in(1..64);
+        let nnz_per_row = g.usize_in(1..10);
+        let seed = g.u64();
+        let seeds: Vec<u64> = (0..8).map(|i| seed.wrapping_add(i)).collect();
+        let reference: Vec<_> = seeds
+            .iter()
+            .map(|&s| generate(pattern, rows, rows, nnz_per_row, s).expect("valid spec"))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            let parallel = pool.map(&seeds, |&s| {
+                generate(pattern, rows, rows, nnz_per_row, s).expect("valid spec")
+            });
+            assert_eq!(parallel, reference, "threads={threads} must be bit-identical");
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //!    template: hardware thread contexts that hide external-memory latency by
 //!    context switching, a NoC to multiple memory channels, and memory-side
 //!    caching.
+//! 7. [`spdataflow`] — analytical SpMV/SpGEMM dataflow cost models
+//!    (inner-product, outer-product, multi-row Gustavson, adaptive
+//!    per-row-block) over procedural sparse matrices, for dataflow ×
+//!    sparsity-pattern × tiling design-space exploration.
 //!
 //! ```
 //! use f2_hls::ir::Dfg;
@@ -54,6 +58,7 @@ pub mod ir;
 pub mod pipeline;
 pub mod schedule;
 pub mod sparta;
+pub mod spdataflow;
 
 pub use error::HlsError;
 

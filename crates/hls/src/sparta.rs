@@ -20,12 +20,16 @@
 //! * Optional memory-side caches (direct-mapped, per channel).
 //!
 //! Workloads are memory traces generated from real graph kernels over real
-//! CSR graphs (see [`spmv_workload`] / [`bfs_workload`]), so the irregular
-//! access pattern the paper targets is preserved exactly.
+//! sparse matrices: [`WorkloadBuilder`] lowers a kernel ([`Kernel::Spmv`] /
+//! [`Kernel::Bfs`]) over a [`SparseMatrix`] into a [`Workload`] trace, so
+//! the irregular access pattern the paper targets is preserved exactly.
+//! (The legacy `spmv_workload` / `bfs_workload` free functions survive one
+//! release as deprecated shims over the builder.)
 
 use crate::error::HlsError;
 use crate::Result;
 use f2_core::workload::graph::CsrGraph;
+use f2_core::workload::sparse::SparseMatrix;
 
 /// Direct-mapped memory-side cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,15 +87,30 @@ impl SpartaConfig {
         }
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration exhaustively — every path a scenario
+    /// parameter can reach, not just the obvious zero counts. Magic
+    /// defaults like [`CacheConfig::small`] compose with user-supplied
+    /// latencies, so cache geometry *and* its relation to the memory
+    /// latency are checked here.
     ///
     /// # Errors
     ///
-    /// Returns [`HlsError::InvalidConfig`] if any count is zero.
+    /// Returns [`HlsError::InvalidConfig`] when any count is zero, the
+    /// cache geometry is degenerate or overflows, or a cache hit would be
+    /// slower than external memory.
     pub fn validate(&self) -> Result<()> {
         if self.accelerators == 0 || self.contexts_per_accel == 0 || self.mem_channels == 0 {
             return Err(HlsError::InvalidConfig(
                 "accelerators, contexts and channels must be positive".to_string(),
+            ));
+        }
+        if self
+            .accelerators
+            .checked_mul(self.contexts_per_accel)
+            .is_none()
+        {
+            return Err(HlsError::InvalidConfig(
+                "accelerators x contexts overflows".to_string(),
             ));
         }
         if self.mem_latency == 0 {
@@ -104,6 +123,17 @@ impl SpartaConfig {
                 return Err(HlsError::InvalidConfig(
                     "cache geometry must be positive".to_string(),
                 ));
+            }
+            if c.lines.checked_mul(c.line_words).is_none() {
+                return Err(HlsError::InvalidConfig(
+                    "cache capacity overflows".to_string(),
+                ));
+            }
+            if u64::from(c.hit_latency) >= u64::from(self.mem_latency) {
+                return Err(HlsError::InvalidConfig(format!(
+                    "cache hit latency {} must be below memory latency {}",
+                    c.hit_latency, self.mem_latency
+                )));
             }
         }
         Ok(())
@@ -374,67 +404,139 @@ pub fn speedup_vs_baseline(workload: &Workload, cfg: &SpartaConfig) -> Result<f6
     Ok(base.cycles as f64 / opt.cycles.max(1) as f64)
 }
 
-// Address-space layout for graph workloads (word addresses, 8-byte words).
+// Address-space layout for sparse workloads (word addresses, 8-byte words).
 const ROW_PTR_BASE: u64 = 0;
 const COL_IDX_BASE: u64 = 1 << 24;
 const WEIGHT_BASE: u64 = 2 << 24;
 const VEC_X_BASE: u64 = 3 << 24;
 const VEC_Y_BASE: u64 = 4 << 24;
 
-/// Builds the SpMV memory trace over a CSR graph: per-vertex tasks that read
-/// the row extent, stream the column/weight arrays, gather `x[col]`
-/// irregularly, and write `y[u]`.
-pub fn spmv_workload(graph: &CsrGraph) -> Workload {
-    let row_ptr = graph.row_ptr();
-    let tasks = (0..graph.num_nodes())
-        .map(|u| {
-            let mut steps = vec![
-                Step::Load(ROW_PTR_BASE + u as u64),
-                Step::Load(ROW_PTR_BASE + u as u64 + 1),
-            ];
-            for e in row_ptr[u]..row_ptr[u + 1] {
-                let col = graph.col_idx()[e] as u64;
-                steps.push(Step::Load(COL_IDX_BASE + e as u64));
-                steps.push(Step::Load(WEIGHT_BASE + e as u64));
-                steps.push(Step::Load(VEC_X_BASE + col)); // irregular gather
-                steps.push(Step::Compute(2)); // multiply-accumulate
-            }
-            steps.push(Step::Store(VEC_Y_BASE + u as u64));
-            Task { steps }
-        })
-        .collect();
-    Workload { tasks }
+/// The sparse kernels [`WorkloadBuilder`] can lower into a memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Sparse matrix–vector product `y = A·x`: stream each row, gather
+    /// `x[col]` irregularly, one multiply-accumulate per stored entry.
+    Spmv,
+    /// BFS frontier expansion: per-vertex level check plus an irregular
+    /// read-modify-write of the neighbour levels.
+    Bfs,
 }
 
-/// Builds a BFS frontier-expansion trace: for every vertex, check its level
-/// and scan neighbours, touching the level array irregularly.
+/// Lowers a [`Kernel`] over a [`SparseMatrix`] into a SPARTA [`Workload`]
+/// trace — the single place trace generation lives.
+///
+/// One task per matrix row, so the simulator's round-robin task
+/// distribution maps rows onto lanes/contexts exactly as SPARTA's OpenMP
+/// front-end lowers a `parallel for` over rows.
+///
+/// ```
+/// use f2_core::workload::sparse::{generate, SparsityPattern};
+/// use f2_hls::sparta::{Kernel, WorkloadBuilder};
+///
+/// let m = generate(SparsityPattern::Uniform, 32, 32, 4, 1).expect("valid");
+/// let trace = WorkloadBuilder::new(&m).kernel(Kernel::Spmv).build();
+/// assert_eq!(trace.tasks.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder<'a> {
+    matrix: &'a SparseMatrix,
+    kernel: Kernel,
+}
+
+impl<'a> WorkloadBuilder<'a> {
+    /// Starts a builder over `matrix`, defaulting to [`Kernel::Spmv`].
+    pub fn new(matrix: &'a SparseMatrix) -> Self {
+        Self {
+            matrix,
+            kernel: Kernel::Spmv,
+        }
+    }
+
+    /// Selects the kernel to lower.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Generates the memory trace.
+    pub fn build(&self) -> Workload {
+        let m = self.matrix;
+        let row_ptr = m.row_ptr();
+        let tasks = (0..m.rows())
+            .map(|u| {
+                let mut steps = match self.kernel {
+                    Kernel::Spmv => vec![
+                        Step::Load(ROW_PTR_BASE + u as u64),
+                        Step::Load(ROW_PTR_BASE + u as u64 + 1),
+                    ],
+                    Kernel::Bfs => vec![
+                        Step::Load(VEC_X_BASE + u as u64), // level[u]
+                        Step::Compute(1),                  // frontier membership test
+                        Step::Load(ROW_PTR_BASE + u as u64),
+                        Step::Load(ROW_PTR_BASE + u as u64 + 1),
+                    ],
+                };
+                for e in row_ptr[u]..row_ptr[u + 1] {
+                    let col = m.col_idx()[e] as u64;
+                    match self.kernel {
+                        Kernel::Spmv => {
+                            steps.push(Step::Load(COL_IDX_BASE + e as u64));
+                            steps.push(Step::Load(WEIGHT_BASE + e as u64));
+                            steps.push(Step::Load(VEC_X_BASE + col)); // irregular gather
+                            steps.push(Step::Compute(2)); // multiply-accumulate
+                        }
+                        Kernel::Bfs => {
+                            steps.push(Step::Load(COL_IDX_BASE + e as u64));
+                            steps.push(Step::Load(VEC_X_BASE + col)); // level[v] — irregular
+                            steps.push(Step::Compute(1));
+                            steps.push(Step::Store(VEC_X_BASE + col)); // conditional update
+                        }
+                    }
+                }
+                if self.kernel == Kernel::Spmv {
+                    steps.push(Step::Store(VEC_Y_BASE + u as u64));
+                }
+                Task { steps }
+            })
+            .collect();
+        Workload { tasks }
+    }
+}
+
+/// Builds the SpMV memory trace over a CSR graph.
+#[deprecated(
+    note = "build traces with `WorkloadBuilder::new(&SparseMatrix::from_csr_graph(g)).build()`"
+)]
+pub fn spmv_workload(graph: &CsrGraph) -> Workload {
+    WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph))
+        .kernel(Kernel::Spmv)
+        .build()
+}
+
+/// Builds a BFS frontier-expansion trace over a CSR graph.
+#[deprecated(
+    note = "build traces with `WorkloadBuilder::new(&SparseMatrix::from_csr_graph(g)).kernel(Kernel::Bfs).build()`"
+)]
 pub fn bfs_workload(graph: &CsrGraph) -> Workload {
-    let row_ptr = graph.row_ptr();
-    let tasks = (0..graph.num_nodes())
-        .map(|u| {
-            let mut steps = vec![
-                Step::Load(VEC_X_BASE + u as u64), // level[u]
-                Step::Compute(1),                  // frontier membership test
-                Step::Load(ROW_PTR_BASE + u as u64),
-                Step::Load(ROW_PTR_BASE + u as u64 + 1),
-            ];
-            for e in row_ptr[u]..row_ptr[u + 1] {
-                let v = graph.col_idx()[e] as u64;
-                steps.push(Step::Load(COL_IDX_BASE + e as u64));
-                steps.push(Step::Load(VEC_X_BASE + v)); // level[v] — irregular
-                steps.push(Step::Compute(1));
-                steps.push(Step::Store(VEC_X_BASE + v)); // conditional update
-            }
-            Task { steps }
-        })
-        .collect();
-    Workload { tasks }
+    WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph))
+        .kernel(Kernel::Bfs)
+        .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use f2_core::workload::graph::{gnm_random, rmat};
+    use f2_core::workload::graph::{gnm_random, rmat, CsrGraph};
+
+    fn spmv_trace(graph: &CsrGraph) -> Workload {
+        WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph)).build()
+    }
+
+    fn bfs_trace(graph: &CsrGraph) -> Workload {
+        WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph))
+            .kernel(Kernel::Bfs)
+            .build()
+    }
 
     fn one_task(steps: Vec<Step>) -> Workload {
         Workload {
@@ -547,7 +649,7 @@ mod tests {
     #[test]
     fn utilization_bounded() {
         let g = gnm_random(64, 256, 11);
-        let wl = spmv_workload(&g);
+        let wl = spmv_trace(&g);
         let mut cfg = basic_cfg();
         cfg.accelerators = 2;
         cfg.contexts_per_accel = 4;
@@ -559,7 +661,7 @@ mod tests {
     #[test]
     fn spmv_workload_counts_match_graph() {
         let g = gnm_random(32, 128, 5);
-        let wl = spmv_workload(&g);
+        let wl = spmv_trace(&g);
         assert_eq!(wl.tasks.len(), 32);
         // 2 row_ptr + 3 per edge + 1 store
         assert_eq!(wl.total_mem_ops(), 2 * 32 + 3 * 128 + 32);
@@ -571,7 +673,7 @@ mod tests {
         // The headline §III claim: multithreaded accelerators win on
         // irregular workloads by hiding memory latency.
         let g = rmat(8, 8, 3);
-        let wl = spmv_workload(&g);
+        let wl = spmv_trace(&g);
         let cfg = SpartaConfig {
             accelerators: 4,
             contexts_per_accel: 8,
@@ -588,7 +690,7 @@ mod tests {
     #[test]
     fn more_contexts_never_hurt_much() {
         let g = gnm_random(128, 512, 7);
-        let wl = bfs_workload(&g);
+        let wl = bfs_trace(&g);
         let mut prev: Option<u64> = None;
         for ctxs in [1, 2, 4, 8] {
             let mut cfg = basic_cfg();

@@ -115,3 +115,71 @@ f2_core::ptest! {
         }
     }
 }
+
+f2_core::ptest! {
+    /// The adaptive dataflow schedule never costs more than the cheapest
+    /// fixed dataflow plus its own switching overhead, on any generated
+    /// pattern under any tiling × buffer configuration.
+    fn adaptive_dataflow_is_bounded_by_fixed(g) {
+        use f2_core::workload::sparse::{generate, SparsityPattern};
+        use f2_hls::spdataflow::{spgemm_cost, spmv_cost, Dataflow, Policy, SpConfig};
+        let pattern = SparsityPattern::ALL[g.usize_in(0..SparsityPattern::ALL.len())];
+        let rows = g.usize_in(1..128);
+        let nnz_per_row = g.usize_in(1..10);
+        let m = generate(pattern, rows, rows, nnz_per_row, g.u64()).expect("valid spec");
+        let cfg = SpConfig {
+            tile_rows: g.usize_in(1..48),
+            buffer_words: g.usize_in(1..4096),
+            dram_cycles_per_word: g.usize_in(1..16) as u32,
+            switch_penalty: g.usize_in(0..256) as u32,
+        };
+        let adaptive = spgemm_cost(&m, &m, Policy::Adaptive, &cfg).expect("valid config");
+        let overhead = adaptive.switches * u64::from(cfg.switch_penalty);
+        for df in Dataflow::ALL {
+            let fixed = spgemm_cost(&m, &m, Policy::Fixed(df), &cfg).expect("valid config");
+            assert!(
+                adaptive.cycles <= fixed.cycles + overhead,
+                "{pattern:?}/{}: adaptive {} > fixed {} + {overhead}",
+                df.name(), adaptive.cycles, fixed.cycles
+            );
+            // The DP makes the stronger bound hold too: never worse than
+            // any fixed dataflow, switch costs included.
+            assert!(adaptive.cycles <= fixed.cycles);
+        }
+        let sp_adaptive = spmv_cost(&m, Policy::Adaptive, &cfg).expect("valid config");
+        for df in Dataflow::ALL {
+            let fixed = spmv_cost(&m, Policy::Fixed(df), &cfg).expect("valid config");
+            assert!(sp_adaptive.cycles <= fixed.cycles);
+        }
+    }
+
+    /// The `WorkloadBuilder` traces are bit-identical to the deprecated
+    /// free-function shims on arbitrary CSR graphs (including duplicate
+    /// edges and unsorted rows from the random generators).
+    fn workload_builder_matches_deprecated_shims(g) {
+        use f2_core::workload::graph::{gnm_random, rmat};
+        use f2_core::workload::sparse::SparseMatrix;
+        use f2_hls::sparta::{Kernel, WorkloadBuilder};
+        let seed = g.u64();
+        let graph = if g.usize_in(0..2) == 0 {
+            gnm_random(g.usize_in(1..64), g.usize_in(0..256), seed)
+        } else {
+            rmat(g.usize_in(2..7) as u32, g.usize_in(1..8), seed)
+        };
+        let m = SparseMatrix::from_csr_graph(&graph);
+        #[allow(deprecated)]
+        let legacy_spmv = f2_hls::sparta::spmv_workload(&graph);
+        #[allow(deprecated)]
+        let legacy_bfs = f2_hls::sparta::bfs_workload(&graph);
+        assert_eq!(
+            WorkloadBuilder::new(&m).kernel(Kernel::Spmv).build(),
+            legacy_spmv,
+            "SpMV trace must be bit-identical"
+        );
+        assert_eq!(
+            WorkloadBuilder::new(&m).kernel(Kernel::Bfs).build(),
+            legacy_bfs,
+            "BFS trace must be bit-identical"
+        );
+    }
+}

@@ -11,12 +11,15 @@
 
 use flagship2::core::rng::DEFAULT_SEED;
 use flagship2::core::workload::graph::rmat;
+use flagship2::core::workload::sparse::SparseMatrix;
 use flagship2::hls::binding::bind;
 use flagship2::hls::dse::explore_kernel;
 use flagship2::hls::fpga::{implement, ComponentLibrary, FpgaDevice};
 use flagship2::hls::ir::dot_product_kernel;
 use flagship2::hls::schedule::{list_schedule, OpLatency, ResourceBudget};
-use flagship2::hls::sparta::{bfs_workload, speedup_vs_baseline, CacheConfig, SpartaConfig};
+use flagship2::hls::sparta::{
+    speedup_vs_baseline, CacheConfig, Kernel, SpartaConfig, WorkloadBuilder,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. One pass of the flow, spelled out.
@@ -65,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. SPARTA for the irregular part.
     let g = rmat(9, 8, DEFAULT_SEED);
-    let wl = bfs_workload(&g);
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&g))
+        .kernel(Kernel::Bfs)
+        .build();
     let cfg = SpartaConfig {
         accelerators: 4,
         contexts_per_accel: 8,

@@ -8,11 +8,12 @@ use flagship2::core::kpi::{Gflops, Watts};
 use flagship2::core::rng::rng_for;
 use flagship2::core::tensor::Matrix;
 use flagship2::core::workload::graph::rmat;
+use flagship2::core::workload::sparse::SparseMatrix;
 use flagship2::core::workload::transformer::bert_base_block;
 use flagship2::dna::pipeline::{run_pipeline, PipelineConfig};
 use flagship2::hls::ir::dot_product_kernel;
 use flagship2::hls::schedule::{list_schedule, OpLatency, ResourceBudget};
-use flagship2::hls::sparta::{run, spmv_workload, CacheConfig, SpartaConfig};
+use flagship2::hls::sparta::{run, CacheConfig, Kernel, SpartaConfig, WorkloadBuilder};
 use flagship2::imc::crossbar::{Adc, Crossbar};
 use flagship2::imc::device::DeviceModel;
 use flagship2::imc::program::ProgramVerify;
@@ -32,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §III — SPARTA hides memory latency on an irregular graph workload.
     let graph = rmat(8, 8, 1);
-    let workload = spmv_workload(&graph);
+    let workload = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph))
+        .kernel(Kernel::Spmv)
+        .build();
     let cfg = SpartaConfig {
         accelerators: 4,
         contexts_per_accel: 8,

@@ -30,11 +30,13 @@ mod tests {
     use super::*;
 
     /// The paper reproduces fourteen experiments (E1–E13 plus the TCDM
-    /// ablation); the registry also carries the kernel micro-bench suite.
+    /// ablation); the registry also carries the kernel micro-bench suite and
+    /// the sparse-dataflow design-space explorer.
     const EXPECTED: &[&str] = &[
         "fig1_landscape",
         "fig7_riscv_sota",
         "sparta_speedup",
+        "hls/spdataflow",
         "imc_accuracy",
         "imc_energy",
         "htconv_quality",

@@ -17,11 +17,12 @@ use f2_core::bf16::Bf16;
 use f2_core::rng::{rng_for, Rng};
 use f2_core::tensor::Matrix;
 use f2_core::workload::graph::rmat;
+use f2_core::workload::sparse::SparseMatrix;
 use f2_dna::levenshtein::{levenshtein_banded, levenshtein_dp, levenshtein_myers};
 use f2_dna::sequence::{DnaBase, DnaSequence};
 use f2_hls::ir::dot_product_kernel;
 use f2_hls::schedule::{list_schedule, OpLatency, ResourceBudget};
-use f2_hls::sparta::{run as sparta_run, spmv_workload, CacheConfig, SpartaConfig};
+use f2_hls::sparta::{run as sparta_run, CacheConfig, Kernel, SpartaConfig, WorkloadBuilder};
 use f2_imc::crossbar::{Adc, Crossbar};
 use f2_imc::device::DeviceModel;
 use f2_imc::program::ProgramVerify;
@@ -107,7 +108,9 @@ fn bench_sparta(h: &mut Harness) {
     let mut group = h.group("sparta_spmv_rmat8");
     group.sample_size(10);
     let graph = rmat(8, 8, 5);
-    let wl = spmv_workload(&graph);
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph))
+        .kernel(Kernel::Spmv)
+        .build();
     let cfg = SpartaConfig {
         accelerators: 4,
         contexts_per_accel: 8,

@@ -9,9 +9,12 @@ use flagship2::core::workload::graph::{bfs, rmat};
 /// confirm the Pareto front prefers more contexts only while they pay off.
 #[test]
 fn core_dse_engine_explores_sparta_configs() {
-    use flagship2::hls::sparta::{run, spmv_workload, SpartaConfig};
+    use flagship2::core::workload::sparse::SparseMatrix;
+    use flagship2::hls::sparta::{run, Kernel, SpartaConfig, WorkloadBuilder};
     let graph = rmat(8, 8, DEFAULT_SEED);
-    let wl = spmv_workload(&graph);
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph))
+        .kernel(Kernel::Spmv)
+        .build();
     let space = DesignSpace::new()
         .axis("contexts", [1.0, 2.0, 4.0, 8.0, 16.0])
         .axis("channels", [1.0, 2.0, 4.0]);
@@ -51,14 +54,18 @@ fn core_dse_engine_explores_sparta_configs() {
 /// software kernel computes (the workload generator walks the same CSR).
 #[test]
 fn sparta_workload_covers_whole_graph() {
-    use flagship2::hls::sparta::{bfs_workload, spmv_workload};
+    use flagship2::core::workload::sparse::SparseMatrix;
+    use flagship2::hls::sparta::{Kernel, WorkloadBuilder};
     let graph = rmat(8, 4, 3);
     let levels = bfs(&graph, 0);
     let reachable = levels.iter().filter(|&&l| l != usize::MAX).count();
     assert!(reachable > 1, "test graph must be partly connected");
     // One task per vertex in both generated workloads.
-    assert_eq!(bfs_workload(&graph).tasks.len(), graph.num_nodes());
-    assert_eq!(spmv_workload(&graph).tasks.len(), graph.num_nodes());
+    let m = SparseMatrix::from_csr_graph(&graph);
+    for kernel in [Kernel::Bfs, Kernel::Spmv] {
+        let wl = WorkloadBuilder::new(&m).kernel(kernel).build();
+        assert_eq!(wl.tasks.len(), graph.num_nodes());
+    }
 }
 
 /// Train in float (imc crate), deploy on the IMC tile architecture, and
@@ -152,13 +159,11 @@ fn reports_are_clonable_comparable_and_serializable() {
 #[test]
 fn report_json_round_trips() {
     use flagship2::core::json::{Json, ToJson};
-    use flagship2::hls::sparta::{run, spmv_workload, SpartaConfig};
+    use flagship2::core::workload::sparse::SparseMatrix;
+    use flagship2::hls::sparta::{run, SpartaConfig, WorkloadBuilder};
     let graph = rmat(6, 4, DEFAULT_SEED);
-    let report = run(
-        &spmv_workload(&graph),
-        &SpartaConfig::sequential_baseline(100),
-    )
-    .expect("valid config");
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph)).build();
+    let report = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
     let doc = report.to_json();
     let parsed = Json::parse(&doc.encode()).expect("well-formed");
     assert_eq!(parsed, doc);

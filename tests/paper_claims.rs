@@ -32,9 +32,12 @@ fn e1_fig1_landscape_ordering() {
 
 #[test]
 fn e2_sparta_beats_sequential_hls() {
-    use flagship2::hls::sparta::{run, spmv_workload, CacheConfig, SpartaConfig};
+    use flagship2::core::workload::sparse::SparseMatrix;
+    use flagship2::hls::sparta::{run, CacheConfig, Kernel, SpartaConfig, WorkloadBuilder};
     let graph = rmat(9, 8, DEFAULT_SEED);
-    let wl = spmv_workload(&graph);
+    let wl = WorkloadBuilder::new(&SparseMatrix::from_csr_graph(&graph))
+        .kernel(Kernel::Spmv)
+        .build();
     let base = run(&wl, &SpartaConfig::sequential_baseline(100)).expect("valid config");
     let cfg = SpartaConfig {
         accelerators: 4,
