@@ -65,12 +65,14 @@ stage_golden() {
 
 # Observability smoke: a traced quick run must produce a well-formed
 # Chrome trace with one span per registered experiment, per-worker
-# executor spans, and finite `exec.chunk_imbalance` gauges (--threads 8
-# exercises the work-stealing path on the skewed experiment sweeps).
+# executor spans, finite `exec.chunk_imbalance` gauges (--threads 8
+# exercises the work-stealing path on the skewed experiment sweeps), and
+# the ISS block-cache series (scf.bb.* counters + block-length histogram).
 stage_trace() {
     local trace=/tmp/f2-trace.json
     run bash -c "$F2 run all --quick --threads 8 --trace $trace > /dev/null"
-    run "$F2" check-trace "$trace" --require-experiments --require-workers
+    run "$F2" check-trace "$trace" --require-experiments --require-workers \
+        --require-scf-bb
 }
 
 # Perf smoke: run the curated hot-kernel suite at quick fidelity and
@@ -82,7 +84,25 @@ stage_trace() {
 stage_perf() {
     local bench=/tmp/f2-bench.json
     run bash -c "$F2 bench --quick --out $bench > /dev/null"
-    run "$F2" check-bench BENCH_PR9.json --current "$bench" --max-regress 20
+    run "$F2" check-bench BENCH_PR10.json --current "$bench" --max-regress 20
+    # Improvement gate for the block-compiler PR: the two ISS labels must
+    # hold >= 5x over the retired per-instruction-dispatch baseline
+    # (BENCH_PR9.json had scf/cpu_run p10 37125 ns and scf/multicore_step
+    # p10 132790 ns; the limits below are those values / 5, frozen here
+    # because the old baseline file itself is gone).
+    local cu mc
+    cu="$(grep -o '"label":"scf/cpu_run"[^}]*' "$bench" \
+        | grep -o '"p10_ns":[0-9]*' | cut -d: -f2)"
+    mc="$(grep -o '"label":"scf/multicore_step"[^}]*' "$bench" \
+        | grep -o '"p10_ns":[0-9]*' | cut -d: -f2)"
+    if [[ -z "$cu" || -z "$mc" || "$cu" -gt 7425 || "$mc" -gt 26558 ]]; then
+        echo "perf: scf block-engine 5x gate failed" \
+            "(cpu_run p10=${cu:-missing} ns, limit 7425;" \
+            "multicore_step p10=${mc:-missing} ns, limit 26558)" >&2
+        exit 1
+    fi
+    echo "    scf block-engine 5x gate: cpu_run p10 ${cu} ns (<= 7425)," \
+        "multicore_step p10 ${mc} ns (<= 26558)"
 }
 
 # Campaign smoke: expand the 32-scenario manifest, sweep it, and gate the

@@ -133,7 +133,8 @@ pub enum Command {
         /// Snapshot directory (defaults to the repo's `tests/golden`).
         golden_dir: PathBuf,
     },
-    /// `f2 check-trace <file> [--require-experiments] [--require-workers]`
+    /// `f2 check-trace <file> [--require-experiments] [--require-workers]
+    /// [--require-scf-bb]`
     CheckTrace {
         /// Trace file written by `run --trace`.
         path: PathBuf,
@@ -141,10 +142,13 @@ pub enum Command {
         require_experiments: bool,
         /// Demand per-worker executor spans (`exec:worker`).
         require_workers: bool,
+        /// Demand the ISS block-cache counters (`scf.bb.*`).
+        require_scf_bb: bool,
     },
     /// `f2 bench [flags]`
     Bench(BenchOptions),
-    /// `f2 check-bench <baseline.json> [--current <file>] [--max-regress <pct>]`
+    /// `f2 check-bench <baseline.json> [--current <file>] [--max-regress <pct>]
+    /// [--min-speedup <label=factor>]...`
     CheckBench {
         /// Committed baseline report (`f2 bench --out`).
         baseline: PathBuf,
@@ -153,6 +157,9 @@ pub enum Command {
         current: Option<PathBuf>,
         /// Allowed p10 slowdown per kernel, in percent.
         max_regress: f64,
+        /// Labels that must have *improved*: current p10 must be at most
+        /// baseline p10 divided by the factor.
+        min_speedups: Vec<(String, f64)>,
     },
     /// `f2 serve [--addr HOST:PORT] [--threads N] [--shards N]
     /// [--port-file PATH]`
@@ -199,6 +206,9 @@ Commands:
   check-trace <file> [flags]         validate a trace written by `run --trace`
       --require-experiments          demand one span per registered experiment
       --require-workers              demand per-worker executor spans
+      --require-scf-bb               demand the ISS block-cache counters
+                                     (scf.bb.hits/misses/invalidations and
+                                     the scf.bb.block_len histogram)
   bench [flags]                      run the curated hot-kernel suite
       --quick                        smaller sizes (baseline/CI configuration)
       --samples <N>                  measured samples per benchmark
@@ -213,6 +223,8 @@ Commands:
                                      the suite now
       --max-regress <pct>            allowed p10 slowdown per kernel
                                      (default 50)
+      --min-speedup <label=factor>   demand the label improved: current p10
+                                     at most baseline/factor (repeatable)
   serve [flags]                      run the batched experiment service
       --addr <host:port>             bind address (default 127.0.0.1:0,
                                      port 0 = ephemeral)
@@ -345,10 +357,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut path = None;
             let mut require_experiments = false;
             let mut require_workers = false;
+            let mut require_scf_bb = false;
             for a in it {
                 match a.as_str() {
                     "--require-experiments" => require_experiments = true,
                     "--require-workers" => require_workers = true,
+                    "--require-scf-bb" => require_scf_bb = true,
                     flag if flag.starts_with('-') => {
                         return Err(format!("unknown `check-trace` flag {flag}"));
                     }
@@ -363,6 +377,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 path: path.ok_or("missing trace file: pass the `run --trace` output")?,
                 require_experiments,
                 require_workers,
+                require_scf_bb,
             })
         }
         "bench" => {
@@ -408,6 +423,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut baseline = None;
             let mut current = None;
             let mut max_regress = 50.0f64;
+            let mut min_speedups = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--current" => {
@@ -423,6 +439,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .filter(|p| p.is_finite() && *p >= 0.0)
                             .ok_or_else(|| format!("invalid regression bound {v}"))?;
                     }
+                    "--min-speedup" => {
+                        let v = it.next().ok_or("--min-speedup needs <label=factor>")?;
+                        let (label, factor) = v
+                            .split_once('=')
+                            .ok_or_else(|| format!("--min-speedup {v}: expected label=factor"))?;
+                        let factor = factor
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|f| f.is_finite() && *f >= 1.0)
+                            .ok_or_else(|| format!("invalid speedup factor {factor}"))?;
+                        min_speedups.push((label.to_string(), factor));
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(format!("unknown `check-bench` flag {flag}"));
                     }
@@ -437,6 +465,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 baseline: baseline.ok_or("missing baseline: pass a `bench --out` report")?,
                 current,
                 max_regress,
+                min_speedups,
             })
         }
         "serve" => {
@@ -762,13 +791,16 @@ pub fn run(registry: &Registry, opts: &RunOptions) -> u8 {
 /// per registry entry; `require_workers` demands `exec:worker` spans plus at
 /// least one `exec.chunk_imbalance` gauge event. Every `exec.chunk_imbalance`
 /// gauge present must carry a finite value (non-finite values encode as JSON
-/// `null`).
+/// `null`). `require_scf_bb` demands the ISS block-cache series: the
+/// `scf.bb.hits`/`scf.bb.misses`/`scf.bb.invalidations` counters and the
+/// `scf.bb.block_len` histogram summary, all exported as `"ph":"C"` events.
 /// Returns the process exit code (0 valid, 1 invalid, 2 unreadable).
 pub fn check_trace(
     registry: &Registry,
     path: &std::path::Path,
     require_experiments: bool,
     require_workers: bool,
+    require_scf_bb: bool,
 ) -> u8 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -793,10 +825,16 @@ pub fn check_trace(
     };
     let mut failures = Vec::new();
     let mut span_names = Vec::new();
+    let mut counter_names = Vec::new();
     let mut imbalance_events = 0usize;
     for (i, event) in events.iter().enumerate() {
         let ph = event.get("ph").and_then(Json::as_str);
         let name = event.get("name").and_then(Json::as_str);
+        if ph == Some("C") {
+            if let Some(n) = name {
+                counter_names.push(n.to_string());
+            }
+        }
         // Non-finite gauge values encode as JSON `null` and would silently
         // poison downstream trace viewers — reject them here.
         if ph == Some("C") && name == Some("exec.chunk_imbalance") {
@@ -841,6 +879,18 @@ pub fn check_trace(
         }
         if imbalance_events == 0 {
             failures.push("missing `exec.chunk_imbalance` gauge events".to_string());
+        }
+    }
+    if require_scf_bb {
+        for want in [
+            "scf.bb.hits",
+            "scf.bb.misses",
+            "scf.bb.invalidations",
+            "scf.bb.block_len",
+        ] {
+            if !counter_names.iter().any(|n| n == want) {
+                failures.push(format!("missing ISS block-cache series `{want}`"));
+            }
         }
     }
     for f in &failures {
@@ -1167,12 +1217,18 @@ fn compare_bench(
 /// configuration. Wall-clock numbers are machine-dependent, so baselines
 /// only mean something on the machine that produced them; CI regenerates
 /// its own current run and uses a generous bound.
+///
+/// `min_speedups` inverts the check for selected labels: each named kernel
+/// must have *improved*, with current p10 at most baseline p10 divided by
+/// the factor. This is how a PR proves a claimed optimisation landed — the
+/// gate compares against the *previous* baseline before it is re-blessed.
 /// Returns the process exit code (0 ok, 1 regressed/malformed,
 /// 2 unreadable).
 pub fn check_bench(
     baseline: &std::path::Path,
     current: Option<&std::path::Path>,
     max_regress: f64,
+    min_speedups: &[(String, f64)],
 ) -> u8 {
     let base = match load_bench_doc(baseline) {
         Ok(d) => d,
@@ -1209,7 +1265,22 @@ pub fn check_bench(
                 .collect()
         }
     };
-    let failures = compare_bench(&base.p10_ns, &cur_p10, max_regress);
+    let mut failures = compare_bench(&base.p10_ns, &cur_p10, max_regress);
+    for (label, factor) in min_speedups {
+        let base_p10 = base.p10_ns.iter().find(|(l, _)| l == label);
+        let cur = cur_p10.iter().find(|(l, _)| l == label);
+        match (base_p10, cur) {
+            (Some((_, b)), Some((_, c))) if *c * factor <= *b => {}
+            (Some((_, b)), Some((_, c))) => failures.push(format!(
+                "{label}: p10 {c:.0} ns is only {:.2}x faster than baseline \
+                 {b:.0} ns (required {factor:.2}x)",
+                b / c
+            )),
+            _ => failures.push(format!(
+                "{label}: --min-speedup label absent from baseline or current"
+            )),
+        }
+    }
     for f in &failures {
         eprintln!("f2 check-bench: {f}");
     }
@@ -1271,13 +1342,21 @@ pub fn main_with(registry: Registry, args: &[String]) -> u8 {
             path,
             require_experiments,
             require_workers,
-        }) => check_trace(&registry, &path, require_experiments, require_workers),
+            require_scf_bb,
+        }) => check_trace(
+            &registry,
+            &path,
+            require_experiments,
+            require_workers,
+            require_scf_bb,
+        ),
         Ok(Command::Bench(opts)) => bench(&opts),
         Ok(Command::CheckBench {
             baseline,
             current,
             max_regress,
-        }) => check_bench(&baseline, current.as_deref(), max_regress),
+            min_speedups,
+        }) => check_bench(&baseline, current.as_deref(), max_regress, &min_speedups),
         Ok(Command::Serve(config)) => serve(registry, config),
         Ok(Command::Loadgen(opts)) => crate::loadgen::run(&opts),
         Ok(Command::Campaign(opts)) => crate::campaign::run(&registry, &opts),
@@ -1396,10 +1475,12 @@ mod tests {
             path,
             require_experiments,
             require_workers,
+            require_scf_bb,
         } = parse_args(&args(&[
             "check-trace",
             "/tmp/t.json",
             "--require-experiments",
+            "--require-scf-bb",
         ]))
         .expect("parses")
         else {
@@ -1408,6 +1489,7 @@ mod tests {
         assert_eq!(path, PathBuf::from("/tmp/t.json"));
         assert!(require_experiments);
         assert!(!require_workers);
+        assert!(require_scf_bb);
     }
 
     #[test]
@@ -1478,7 +1560,7 @@ mod tests {
         };
         assert_eq!(run(&registry, &opts), 0);
         // The CI validation path accepts it, including the strict flags.
-        assert_eq!(check_trace(&registry, &path, true, true), 0);
+        assert_eq!(check_trace(&registry, &path, true, true, false), 0);
         let text = std::fs::read_to_string(&path).expect("trace written");
         let doc = Json::parse(&text).expect("well-formed");
         let events = doc
@@ -1602,13 +1684,13 @@ mod tests {
         let dir = std::env::temp_dir();
         let missing = dir.join("f2-check-trace-missing.json");
         let _ = std::fs::remove_file(&missing);
-        assert_eq!(check_trace(&registry, &missing, false, false), 2);
+        assert_eq!(check_trace(&registry, &missing, false, false, false), 2);
         let bad = dir.join("f2-check-trace-bad.json");
         std::fs::write(&bad, "{not json").expect("writable tmp");
-        assert_eq!(check_trace(&registry, &bad, false, false), 1);
+        assert_eq!(check_trace(&registry, &bad, false, false, false), 1);
         let empty = dir.join("f2-check-trace-empty.json");
         std::fs::write(&empty, "{\"traceEvents\":[]}").expect("writable tmp");
-        assert_eq!(check_trace(&registry, &empty, false, false), 1);
+        assert_eq!(check_trace(&registry, &empty, false, false, false), 1);
         let _ = std::fs::remove_file(&bad);
         let _ = std::fs::remove_file(&empty);
     }
@@ -1626,9 +1708,10 @@ mod tests {
              \"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1}]}",
         )
         .expect("writable tmp");
-        assert_eq!(check_trace(&registry, &path, false, false), 0);
-        assert_eq!(check_trace(&registry, &path, true, false), 1);
-        assert_eq!(check_trace(&registry, &path, false, true), 1);
+        assert_eq!(check_trace(&registry, &path, false, false, false), 0);
+        assert_eq!(check_trace(&registry, &path, true, false, false), 1);
+        assert_eq!(check_trace(&registry, &path, false, true, false), 1);
+        assert_eq!(check_trace(&registry, &path, false, false, true), 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -1646,7 +1729,46 @@ mod tests {
              \"pid\":1,\"tid\":1,\"args\":{\"value\":null}}]}",
         )
         .expect("writable tmp");
-        assert_eq!(check_trace(&registry, &path, false, false), 1);
+        assert_eq!(check_trace(&registry, &path, false, false, false), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_trace_enforces_scf_bb_series() {
+        let registry = Registry::new();
+        let dir = std::env::temp_dir();
+        let path = dir.join("f2-check-trace-scf-bb.json");
+        std::fs::write(
+            &path,
+            "{\"traceEvents\":[{\"name\":\"other\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1},\
+             {\"name\":\"scf.bb.hits\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\
+             \"tid\":0,\"args\":{\"value\":7}},\
+             {\"name\":\"scf.bb.misses\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\
+             \"tid\":0,\"args\":{\"value\":3}},\
+             {\"name\":\"scf.bb.invalidations\",\"ph\":\"C\",\"ts\":1,\
+             \"pid\":1,\"tid\":0,\"args\":{\"value\":0}},\
+             {\"name\":\"scf.bb.block_len\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\
+             \"tid\":0,\"args\":{\"count\":3,\"p50\":4,\"p90\":6,\"p99\":6,\
+             \"max\":6}}]}",
+        )
+        .expect("writable tmp");
+        assert_eq!(check_trace(&registry, &path, false, false, true), 0);
+        // Dropping any one series fails the strict flag: rewrite without
+        // the histogram summary.
+        std::fs::write(
+            &path,
+            "{\"traceEvents\":[{\"name\":\"other\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1},\
+             {\"name\":\"scf.bb.hits\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\
+             \"tid\":0,\"args\":{\"value\":7}},\
+             {\"name\":\"scf.bb.misses\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\
+             \"tid\":0,\"args\":{\"value\":3}},\
+             {\"name\":\"scf.bb.invalidations\",\"ph\":\"C\",\"ts\":1,\
+             \"pid\":1,\"tid\":0,\"args\":{\"value\":0}}]}",
+        )
+        .expect("writable tmp");
+        assert_eq!(check_trace(&registry, &path, false, false, true), 1);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -1778,6 +1900,7 @@ mod tests {
             baseline,
             current,
             max_regress,
+            min_speedups,
         } = parse_args(&args(&["check-bench", "BENCH.json"])).expect("parses")
         else {
             panic!("expected check-bench");
@@ -1785,21 +1908,40 @@ mod tests {
         assert_eq!(baseline, PathBuf::from("BENCH.json"));
         assert_eq!(current, None);
         assert_eq!(max_regress, 50.0);
-        let Command::CheckBench { max_regress, .. } = parse_args(&args(&[
+        assert!(min_speedups.is_empty());
+        let Command::CheckBench {
+            max_regress,
+            min_speedups,
+            ..
+        } = parse_args(&args(&[
             "check-bench",
             "b.json",
             "--current",
             "c.json",
             "--max-regress",
             "25",
+            "--min-speedup",
+            "scf/cpu_run=5",
+            "--min-speedup",
+            "scf/multicore_step=2.5",
         ]))
-        .expect("parses") else {
+        .expect("parses")
+        else {
             panic!("expected check-bench");
         };
         assert_eq!(max_regress, 25.0);
+        assert_eq!(
+            min_speedups,
+            vec![
+                ("scf/cpu_run".to_string(), 5.0),
+                ("scf/multicore_step".to_string(), 2.5)
+            ]
+        );
         assert!(parse_args(&args(&["check-bench"])).is_err());
         assert!(parse_args(&args(&["check-bench", "a", "b"])).is_err());
         assert!(parse_args(&args(&["check-bench", "a", "--max-regress", "-5"])).is_err());
+        assert!(parse_args(&args(&["check-bench", "a", "--min-speedup", "x"])).is_err());
+        assert!(parse_args(&args(&["check-bench", "a", "--min-speedup", "x=0.5"])).is_err());
     }
 
     fn bench_doc(records: &[(&str, u64)]) -> String {
@@ -1828,11 +1970,45 @@ mod tests {
         std::fs::write(&base, bench_doc(&[("g/a", 100), ("g/b", 200)])).expect("writable tmp");
         std::fs::write(&fast, bench_doc(&[("g/a", 110), ("g/b", 150)])).expect("writable tmp");
         std::fs::write(&slow, bench_doc(&[("g/a", 400), ("g/b", 200)])).expect("writable tmp");
-        assert_eq!(check_bench(&base, Some(&fast), 50.0), 0);
-        assert_eq!(check_bench(&base, Some(&slow), 50.0), 1);
+        assert_eq!(check_bench(&base, Some(&fast), 50.0, &[]), 0);
+        assert_eq!(check_bench(&base, Some(&slow), 50.0, &[]), 1);
         // A tighter bound turns the mild slowdown into a failure too.
-        assert_eq!(check_bench(&base, Some(&fast), 5.0), 1);
+        assert_eq!(check_bench(&base, Some(&fast), 5.0, &[]), 1);
         for p in [&base, &fast, &slow] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn check_bench_min_speedup_demands_an_improvement() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("f2-check-bench-ms-base.json");
+        let cur = dir.join("f2-check-bench-ms-cur.json");
+        std::fs::write(&base, bench_doc(&[("g/a", 1000), ("g/b", 1000)])).expect("writable tmp");
+        // g/a sped up 5x, g/b only 2x.
+        std::fs::write(&cur, bench_doc(&[("g/a", 200), ("g/b", 500)])).expect("writable tmp");
+        let ms = |pairs: &[(&str, f64)]| -> Vec<(String, f64)> {
+            pairs.iter().map(|(l, f)| (l.to_string(), *f)).collect()
+        };
+        assert_eq!(
+            check_bench(&base, Some(&cur), 50.0, &ms(&[("g/a", 5.0)])),
+            0
+        );
+        assert_eq!(
+            check_bench(&base, Some(&cur), 50.0, &ms(&[("g/a", 5.0), ("g/b", 2.0)])),
+            0
+        );
+        assert_eq!(
+            check_bench(&base, Some(&cur), 50.0, &ms(&[("g/b", 5.0)])),
+            1,
+            "2x when 5x is demanded must fail"
+        );
+        assert_eq!(
+            check_bench(&base, Some(&cur), 50.0, &ms(&[("g/ghost", 2.0)])),
+            1,
+            "a --min-speedup label absent from the reports must fail"
+        );
+        for p in [&base, &cur] {
             let _ = std::fs::remove_file(p);
         }
     }
@@ -1845,21 +2021,21 @@ mod tests {
         std::fs::write(&base, bench_doc(&[("g/a", 100), ("g/b", 200)])).expect("writable tmp");
         std::fs::write(&partial, bench_doc(&[("g/a", 100)])).expect("writable tmp");
         assert_eq!(
-            check_bench(&base, Some(&partial), 50.0),
+            check_bench(&base, Some(&partial), 50.0, &[]),
             1,
             "baseline kernel missing from current must fail"
         );
         // Extra current kernels are fine.
-        assert_eq!(check_bench(&partial, Some(&base), 50.0), 0);
+        assert_eq!(check_bench(&partial, Some(&base), 50.0, &[]), 0);
         let missing = dir.join("f2-check-bench-missing.json");
         let _ = std::fs::remove_file(&missing);
-        assert_eq!(check_bench(&missing, Some(&base), 50.0), 2);
+        assert_eq!(check_bench(&missing, Some(&base), 50.0, &[]), 2);
         let bad = dir.join("f2-check-bench-bad.json");
         std::fs::write(&bad, "{not json").expect("writable tmp");
-        assert_eq!(check_bench(&bad, Some(&base), 50.0), 1);
+        assert_eq!(check_bench(&bad, Some(&base), 50.0, &[]), 1);
         let wrong = dir.join("f2-check-bench-wrong-schema.json");
         std::fs::write(&wrong, "{\"schema\":\"other\",\"records\":[]}").expect("writable tmp");
-        assert_eq!(check_bench(&wrong, Some(&base), 50.0), 1);
+        assert_eq!(check_bench(&wrong, Some(&base), 50.0, &[]), 1);
         for p in [&base, &partial, &bad, &wrong] {
             let _ = std::fs::remove_file(p);
         }
@@ -1889,10 +2065,10 @@ mod tests {
         };
         assert_eq!(bench(&opts), 0);
         // The report round-trips through check-bench against itself.
-        assert_eq!(check_bench(&out, Some(&out), 50.0), 0);
+        assert_eq!(check_bench(&out, Some(&out), 50.0, &[]), 0);
         // The trace holds the kernel's bench span and passes validation.
         let registry = Registry::new();
-        assert_eq!(check_trace(&registry, &trace, false, false), 0);
+        assert_eq!(check_trace(&registry, &trace, false, false, false), 0);
         let text = std::fs::read_to_string(&trace).expect("trace written");
         assert!(text.contains("bench:dna/channel"));
         // An all-excluding filter is an error.

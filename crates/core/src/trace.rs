@@ -631,8 +631,9 @@ impl TraceReport {
     /// Exports the session as Chrome trace-event JSON (the
     /// `chrome://tracing` / Perfetto "JSON Array with metadata" format):
     /// spans become complete (`"ph":"X"`) events with microsecond
-    /// timestamps, counters and gauges become `"ph":"C"` events at the
-    /// end of the session.
+    /// timestamps; counters, gauges and histogram summaries (count plus
+    /// p50/p90/p99/max) become `"ph":"C"` events at the end of the
+    /// session.
     pub fn to_chrome_json(&self) -> Json {
         fn obj(members: Vec<(&str, Json)>) -> Json {
             Json::Obj(
@@ -692,6 +693,28 @@ impl TraceReport {
                 ("pid", Json::Num(1.0)),
                 ("tid", Json::Num(0.0)),
                 ("args", obj(vec![("value", Json::Num(*value))])),
+            ]));
+        }
+        // Histograms export their summary statistics as one counter event
+        // per series (full bucket vectors would bloat the trace and render
+        // poorly); the detailed distribution stays in `TraceReport`.
+        for (name, hist) in &self.histograms {
+            events.push(obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::Num(end_ts)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(0.0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("count", Json::Num(hist.count as f64)),
+                        ("p50", Json::Num(hist.quantile(0.5))),
+                        ("p90", Json::Num(hist.quantile(0.9))),
+                        ("p99", Json::Num(hist.quantile(0.99))),
+                        ("max", Json::Num(hist.max)),
+                    ]),
+                ),
             ]));
         }
         obj(vec![

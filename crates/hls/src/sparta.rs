@@ -23,12 +23,9 @@
 //! sparse matrices: [`WorkloadBuilder`] lowers a kernel ([`Kernel::Spmv`] /
 //! [`Kernel::Bfs`]) over a [`SparseMatrix`] into a [`Workload`] trace, so
 //! the irregular access pattern the paper targets is preserved exactly.
-//! (The legacy `spmv_workload` / `bfs_workload` free functions survive one
-//! release as deprecated shims over the builder.)
 
 use crate::error::HlsError;
 use crate::Result;
-use f2_core::workload::graph::CsrGraph;
 use f2_core::workload::sparse::SparseMatrix;
 
 /// Direct-mapped memory-side cache configuration.
@@ -501,26 +498,6 @@ impl<'a> WorkloadBuilder<'a> {
             .collect();
         Workload { tasks }
     }
-}
-
-/// Builds the SpMV memory trace over a CSR graph.
-#[deprecated(
-    note = "build traces with `WorkloadBuilder::new(&SparseMatrix::from_csr_graph(g)).build()`"
-)]
-pub fn spmv_workload(graph: &CsrGraph) -> Workload {
-    WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph))
-        .kernel(Kernel::Spmv)
-        .build()
-}
-
-/// Builds a BFS frontier-expansion trace over a CSR graph.
-#[deprecated(
-    note = "build traces with `WorkloadBuilder::new(&SparseMatrix::from_csr_graph(g)).kernel(Kernel::Bfs).build()`"
-)]
-pub fn bfs_workload(graph: &CsrGraph) -> Workload {
-    WorkloadBuilder::new(&SparseMatrix::from_csr_graph(graph))
-        .kernel(Kernel::Bfs)
-        .build()
 }
 
 #[cfg(test)]

@@ -153,33 +153,4 @@ f2_core::ptest! {
         }
     }
 
-    /// The `WorkloadBuilder` traces are bit-identical to the deprecated
-    /// free-function shims on arbitrary CSR graphs (including duplicate
-    /// edges and unsorted rows from the random generators).
-    fn workload_builder_matches_deprecated_shims(g) {
-        use f2_core::workload::graph::{gnm_random, rmat};
-        use f2_core::workload::sparse::SparseMatrix;
-        use f2_hls::sparta::{Kernel, WorkloadBuilder};
-        let seed = g.u64();
-        let graph = if g.usize_in(0..2) == 0 {
-            gnm_random(g.usize_in(1..64), g.usize_in(0..256), seed)
-        } else {
-            rmat(g.usize_in(2..7) as u32, g.usize_in(1..8), seed)
-        };
-        let m = SparseMatrix::from_csr_graph(&graph);
-        #[allow(deprecated)]
-        let legacy_spmv = f2_hls::sparta::spmv_workload(&graph);
-        #[allow(deprecated)]
-        let legacy_bfs = f2_hls::sparta::bfs_workload(&graph);
-        assert_eq!(
-            WorkloadBuilder::new(&m).kernel(Kernel::Spmv).build(),
-            legacy_spmv,
-            "SpMV trace must be bit-identical"
-        );
-        assert_eq!(
-            WorkloadBuilder::new(&m).kernel(Kernel::Bfs).build(),
-            legacy_bfs,
-            "BFS trace must be bit-identical"
-        );
-    }
 }

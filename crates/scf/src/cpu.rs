@@ -5,10 +5,32 @@
 //! 1-cycle taken-branch penalty. The ISS is architecturally exact (register
 //! and memory state match the RV32IM spec); the cycle model is the standard
 //! first-order pipeline abstraction used for cluster sizing.
+//!
+//! # Basic-block compilation
+//!
+//! The hot path does not interpret one instruction at a time. On first
+//! execution [`Cpu`] decodes the straight-line run starting at the current
+//! PC — up to and including the next jump/branch/`ecall`/`ebreak`/CSR
+//! instruction, capped at [`BB_MAX_LEN`] — into a [`BasicBlock`] held in a
+//! direct-mapped cache keyed by entry PC, then executes whole blocks with
+//! no per-step fetch or decode. Execution stays bit-identical to the plain
+//! interpreter ([`Cpu::step`]):
+//!
+//! * every instruction updates the PC and the `cycle`/`instret` counters
+//!   individually, so mid-block CSR reads, faults and budget stops observe
+//!   exactly the interpreter's state;
+//! * each block remembers the exact words it was compiled from, and a
+//!   successful store overlapping any cached block's byte range invalidates
+//!   that block — a store into the *currently running* block additionally
+//!   aborts it after the current instruction, so the modified tail is
+//!   recompiled from the freshly written memory (self-modifying code is
+//!   exact);
+//! * `run` drops all blocks on entry, because the caller may have rewritten
+//!   memory since the previous call.
 
 use crate::error::ScfError;
 use crate::isa::{decode, AluOp, BranchCond, CsrOp, Instr, MemWidth, MulDivOp};
-use crate::memory::Memory;
+use crate::memory::{FlatMemory, Memory};
 use crate::Result;
 
 /// Why a run ended.
@@ -58,22 +80,199 @@ impl Default for CycleModel {
     }
 }
 
-/// Number of direct-mapped decode-cache slots (must be a power of two).
-const DECODE_CACHE_SLOTS: usize = 256;
+/// Number of direct-mapped block-cache slots (must be a power of two).
+const BB_CACHE_SLOTS: usize = 256;
 
-/// One decoded instruction, tagged with the PC and raw word it came from.
+/// Maximum instructions compiled into one basic block.
+const BB_MAX_LEN: usize = 64;
+
+/// A pre-decoded straight-line run of instructions.
+///
+/// `words` holds the exact instruction words fetched at compile time (the
+/// block's fingerprint): faults and boundary replays report/re-execute the
+/// very word the block was built from, and stores into `[entry_pc, end_pc)`
+/// invalidate the block, so a block only ever executes against the memory
+/// image it was compiled from.
+#[derive(Debug, Clone)]
+struct BasicBlock {
+    entry_pc: u32,
+    /// Exclusive end of the fetched byte range.
+    end_pc: u32,
+    words: Vec<u32>,
+    instrs: Vec<Instr>,
+    /// Upper bound on the cycles one full pass over the block can consume
+    /// (every instruction charged its worst case). When the remaining cycle
+    /// budget exceeds this bound — the overwhelmingly common case — the
+    /// dispatch loop runs the block without per-instruction budget checks,
+    /// which cannot change behavior because the checks could not have fired.
+    worst_cost: u64,
+}
+
+/// Worst-case cycle cost of `instr` under `m` (taken branches, loads and
+/// divides charged their maximum).
+fn worst_case_cost(instr: Instr, m: &CycleModel) -> u64 {
+    m.base
+        + match instr {
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } => m.taken_branch_extra,
+            Instr::Load { .. } => m.load_extra,
+            Instr::MulDiv { op, .. } => match op {
+                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => m.mul_extra,
+                _ => m.div_extra,
+            },
+            _ => 0,
+        }
+}
+
+/// True when `instr` must terminate a basic block.
+fn ends_block(instr: Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Jal { .. }
+            | Instr::Jalr { .. }
+            | Instr::Branch { .. }
+            | Instr::Ecall
+            | Instr::Ebreak
+            | Instr::Csr { .. }
+    )
+}
+
+/// Byte-range overlap test (`u64` arithmetic dodges address wrap-around).
+fn overlaps(addr: u32, len: u32, lo: u32, hi: u32) -> bool {
+    (addr as u64) < hi as u64 && addr as u64 + len as u64 > lo as u64
+}
+
+/// Decodes the straight-line run starting at `pc`.
+///
+/// Instructions accumulate until a terminator is *included*, the length cap
+/// is reached, or the next word fails to fetch or decode (the block ends
+/// before the bad word; dispatching at it later falls back to the
+/// interpreter, which surfaces the exact fault). Returns `Ok(None)` when
+/// not even the first word compiles, and propagates [`ScfError::Yield`]
+/// when the first fetch hits a partitioned-stepping boundary.
+#[inline(never)] // cold next to the dispatch loop; keeps its Vec frames out of the hot path
+fn compile_block(pc: u32, mem: &mut impl Memory, m: &CycleModel) -> Result<Option<BasicBlock>> {
+    let mut words = Vec::new();
+    let mut instrs = Vec::new();
+    let mut worst_cost = 0u64;
+    let mut cur = pc;
+    loop {
+        let word = match mem.load_u32(cur) {
+            Ok(word) => word,
+            Err(ScfError::Yield) if instrs.is_empty() => return Err(ScfError::Yield),
+            Err(_) => break,
+        };
+        let Ok(instr) = decode(word, cur) else { break };
+        words.push(word);
+        instrs.push(instr);
+        worst_cost = worst_cost.saturating_add(worst_case_cost(instr, m));
+        cur = cur.wrapping_add(4);
+        if ends_block(instr) || instrs.len() >= BB_MAX_LEN || cur < pc {
+            break;
+        }
+    }
+    if instrs.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(BasicBlock {
+        entry_pc: pc,
+        end_pc: cur,
+        words,
+        instrs,
+        worst_cost,
+    }))
+}
+
+/// Why [`Cpu::exec_blocks`] stopped.
+#[derive(Debug)]
+pub(crate) enum BlockExit {
+    /// `ecall`/`ebreak` retired; `issued_at` is the cycle it issued (its
+    /// cost is already charged to the cycle accumulator).
+    Halt { reason: HaltReason, issued_at: u64 },
+    /// The memory view raised [`ScfError::Yield`]: the next instruction
+    /// touches shared memory and must be replayed under real arbitration.
+    /// `predecoded` carries its decoded form when it came out of a compiled
+    /// block (the common case), letting the replay skip fetch and decode.
+    Yield { predecoded: Option<(Instr, u32)> },
+    /// The instruction budget ran out before a halt.
+    InstrCap,
+    /// The cycle budget ran out before a halt.
+    CycleCap,
+    /// An architectural fault; CPU state is exactly the interpreter's state
+    /// at the fault (the faulting instruction retired nothing).
+    Fault(ScfError),
+}
+
+/// The data operation of a boundary instruction that
+/// [`Cpu::resolve_boundary`] could fully evaluate ahead of its replay.
 #[derive(Debug, Clone, Copy)]
-struct CachedDecode {
+pub(crate) enum BoundaryOp {
+    /// An aligned word load into `rd`.
+    LoadWord { rd: u8 },
+    /// An aligned word store of `value`.
+    StoreWord { value: u32 },
+}
+
+/// A boundary instruction resolved at yield time: its address, operation
+/// and cycle cost are architecturally final the moment the core suspends
+/// (nothing else runs on this core before the replay), so the cluster's
+/// event loop can apply it straight to the shared memory and skip the
+/// second trip through the execution engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResolvedBoundary {
+    pub(crate) addr: u32,
+    pub(crate) op: BoundaryOp,
+    pub(crate) cost: u64,
+}
+
+/// Rare per-instruction side effects the dispatch loop must react to.
+///
+/// The common case is `Ok(None)` — a plain register/PC/counter update with
+/// nothing for the loop to inspect — so the retire path costs the loop one
+/// branch on the `Option` tag instead of separate halt and store checks.
+enum ExecEvent {
+    /// `ecall`/`ebreak` retired.
+    Halt { reason: HaltReason },
+    /// `(address, bytes)` of a successful store, for SMC invalidation.
+    Store { addr: u32, len: u32 },
+}
+
+/// The per-instruction architectural state the dispatch loop keeps in
+/// locals (i.e. registers) instead of `Cpu` fields.
+///
+/// Writing the PC and the counters through `&mut self` on every retired
+/// instruction creates a loop-carried store-to-load-forwarding chain that
+/// alone costs several cycles per emulated instruction; executing against
+/// this struct and syncing with [`Cpu`] only at call boundaries removes
+/// the chain while keeping every mid-block observation (CSR reads, fault
+/// states) exact, because the sync happens before any of those escape.
+#[derive(Clone, Copy)]
+struct HotState {
     pc: u32,
-    word: u32,
-    instr: Instr,
+    cycle: u64,
+    instret: u64,
+}
+
+impl HotState {
+    fn load(cpu: &Cpu) -> Self {
+        Self {
+            pc: cpu.pc,
+            cycle: cpu.cycle_counter,
+            instret: cpu.instret_counter,
+        }
+    }
+
+    fn store(self, cpu: &mut Cpu) {
+        cpu.pc = self.pc;
+        cpu.cycle_counter = self.cycle;
+        cpu.instret_counter = self.instret;
+    }
 }
 
 /// An RV32IM hart.
 ///
 /// Equality compares architectural state only (registers, PC, counters and
-/// the cycle model); the decode cache is a microarchitectural detail and is
-/// excluded.
+/// the cycle model); the block cache and its statistics are
+/// microarchitectural details and are excluded.
 #[derive(Debug, Clone)]
 pub struct Cpu {
     regs: [u32; 32],
@@ -82,7 +281,22 @@ pub struct Cpu {
     hart_id: u32,
     cycle_counter: u64,
     instret_counter: u64,
-    decode_cache: Vec<Option<CachedDecode>>,
+    blocks: Vec<Option<Box<BasicBlock>>>,
+    /// Conservative cover of every cached block's byte range; stores outside
+    /// `[code_lo, code_hi)` cannot touch compiled code. `lo > hi` = empty.
+    code_lo: u32,
+    code_hi: u32,
+    // Block-cache statistics, drained by `flush_bb_counters`.
+    bb_hits: u64,
+    bb_misses: u64,
+    bb_invalidations: u64,
+    bb_lens: Vec<u32>,
+    /// `(slot, pc)` continuation hint left by a boundary yield: the next
+    /// [`Cpu::exec_blocks`] call re-enters the suspended block at `pc`
+    /// (the instruction after the replayed one) without a dispatch probe.
+    /// Purely an optimization — it is revalidated against the cache before
+    /// use and cleared whenever cached code is dropped.
+    resume: Option<(usize, u32)>,
 }
 
 impl PartialEq for Cpu {
@@ -108,7 +322,14 @@ impl Cpu {
             hart_id: 0,
             cycle_counter: 0,
             instret_counter: 0,
-            decode_cache: vec![None; DECODE_CACHE_SLOTS],
+            blocks: vec![None; BB_CACHE_SLOTS],
+            code_lo: u32::MAX,
+            code_hi: 0,
+            bb_hits: 0,
+            bb_misses: 0,
+            bb_invalidations: 0,
+            bb_lens: Vec::new(),
+            resume: None,
         }
     }
 
@@ -122,14 +343,14 @@ impl Cpu {
         self.cycle_counter
     }
 
-    fn csr_read(&self, csr: u16, pc: u32, word: u32) -> Result<u32> {
+    fn csr_read(&self, csr: u16, hot: &HotState, word: u32) -> Result<u32> {
         match csr {
-            0xC00 => Ok(self.cycle_counter as u32),
-            0xC80 => Ok((self.cycle_counter >> 32) as u32),
-            0xC02 => Ok(self.instret_counter as u32),
-            0xC82 => Ok((self.instret_counter >> 32) as u32),
+            0xC00 => Ok(hot.cycle as u32),
+            0xC80 => Ok((hot.cycle >> 32) as u32),
+            0xC02 => Ok(hot.instret as u32),
+            0xC82 => Ok((hot.instret >> 32) as u32),
             0xF14 => Ok(self.hart_id),
-            _ => Err(ScfError::IllegalInstruction { pc, word }),
+            _ => Err(ScfError::IllegalInstruction { pc: hot.pc, word }),
         }
     }
 
@@ -139,15 +360,18 @@ impl Cpu {
         self
     }
 
-    /// Register value (`x0` always reads 0).
+    /// Register value (`x0` always reads 0). The index is masked to the
+    /// architectural 5 bits, which also keeps the accessor bounds-check
+    /// free inside the block dispatch loop.
     pub fn reg(&self, index: u8) -> u32 {
-        self.regs[index as usize]
+        self.regs[(index & 31) as usize]
     }
 
-    /// Writes a register (`x0` writes are ignored, per spec).
+    /// Writes a register (`x0` writes are ignored, per spec; the index is
+    /// masked to 5 bits like [`Cpu::reg`]).
     pub fn set_reg(&mut self, index: u8, value: u32) {
-        if index != 0 {
-            self.regs[index as usize] = value;
+        if (index & 31) != 0 {
+            self.regs[(index & 31) as usize] = value;
         }
     }
 
@@ -156,64 +380,432 @@ impl Cpu {
         self.pc
     }
 
+    /// Drops every compiled block (and the cached-code range cover).
+    pub(crate) fn clear_block_cache(&mut self) {
+        for slot in &mut self.blocks {
+            *slot = None;
+        }
+        self.code_lo = u32::MAX;
+        self.code_hi = 0;
+        self.resume = None;
+    }
+
+    /// Drains the block-cache statistics into the process-wide trace sinks.
+    ///
+    /// Counters are emitted unconditionally — a zero delta still creates
+    /// the series — so a traced run always carries the `scf.bb.*` names.
+    /// Accumulating in plain fields and flushing once per run keeps the
+    /// block dispatch loop free of atomic loads.
+    pub(crate) fn flush_bb_counters(&mut self) {
+        f2_core::trace::counter("scf.bb.hits", self.bb_hits);
+        f2_core::trace::counter("scf.bb.misses", self.bb_misses);
+        f2_core::trace::counter("scf.bb.invalidations", self.bb_invalidations);
+        self.bb_hits = 0;
+        self.bb_misses = 0;
+        self.bb_invalidations = 0;
+        for len in self.bb_lens.drain(..) {
+            f2_core::trace::observe("scf.bb.block_len", f64::from(len));
+        }
+    }
+
     /// Runs until `ecall`/`ebreak` or the step budget is exhausted.
+    ///
+    /// Architectural results are bit-identical to stepping [`Cpu::step`] in
+    /// a loop; instruction words may however be *fetched* in straight-line
+    /// batches by the block compiler, so memories with load side effects
+    /// should be driven through `step` instead.
     ///
     /// # Errors
     ///
     /// Returns [`ScfError::Timeout`] if the budget runs out, and propagates
     /// decode/memory faults.
     pub fn run(&mut self, mem: &mut impl Memory, max_instructions: u64) -> Result<RunStats> {
-        let mut instructions = 0;
-        let mut cycles = 0;
-        while instructions < max_instructions {
-            let (halted, cost) = self.step(mem)?;
-            instructions += 1;
-            cycles += cost;
-            if let Some(halt) = halted {
-                return Ok(RunStats {
-                    halt,
-                    instructions,
-                    cycles,
-                });
-            }
+        // Plain flat memories (the common case) run through a non-generic
+        // engine entry compiled inside this crate; see `Memory::as_flat`.
+        if let Some(flat) = mem.as_flat() {
+            return self.run_flat(flat, max_instructions);
         }
-        Err(ScfError::Timeout)
+        self.run_inner(mem, max_instructions)
     }
 
-    /// Executes one instruction; returns the halt reason (if any) and its
-    /// cycle cost.
+    /// Non-generic [`Cpu::run`] for a bare [`FlatMemory`]. Monomorphized
+    /// here, once, so every consumer links the same engine object code.
+    fn run_flat(&mut self, mem: &mut FlatMemory, max_instructions: u64) -> Result<RunStats> {
+        self.run_inner(mem, max_instructions)
+    }
+
+    fn run_inner(&mut self, mem: &mut impl Memory, max_instructions: u64) -> Result<RunStats> {
+        // Public entry point: the caller may have rewritten memory since
+        // the previous call, so compiled blocks cannot be trusted here.
+        self.clear_block_cache();
+        let mut instructions = 0;
+        let mut cycles = 0;
+        let exit = self.exec_blocks(
+            mem,
+            max_instructions,
+            u64::MAX,
+            &mut instructions,
+            &mut cycles,
+        );
+        self.flush_bb_counters();
+        match exit {
+            BlockExit::Halt { reason, .. } => Ok(RunStats {
+                halt: reason,
+                instructions,
+                cycles,
+            }),
+            BlockExit::InstrCap | BlockExit::CycleCap => Err(ScfError::Timeout),
+            BlockExit::Fault(e) => Err(e),
+            BlockExit::Yield { .. } => Err(ScfError::Yield),
+        }
+    }
+
+    /// Executes one instruction through the plain interpreter: fetch,
+    /// decode, execute. This is the reference semantics the block engine
+    /// must match bit-for-bit; it touches no cache state.
     ///
     /// # Errors
     ///
     /// Propagates decode and memory faults.
     pub fn step(&mut self, mem: &mut impl Memory) -> Result<(Option<HaltReason>, u64)> {
-        // The fetch always hits memory so self-modifying code stays exact;
-        // the decode is skipped when the cached (pc, word) pair still
-        // matches what was fetched.
         let word = mem.load_u32(self.pc)?;
-        let slot = ((self.pc >> 2) as usize) & (DECODE_CACHE_SLOTS - 1);
-        let instr = match self.decode_cache[slot] {
-            Some(entry) if entry.pc == self.pc && entry.word == word => entry.instr,
-            _ => {
-                let instr = decode(word, self.pc)?;
-                self.decode_cache[slot] = Some(CachedDecode {
-                    pc: self.pc,
-                    word,
-                    instr,
-                });
-                instr
+        let instr = decode(word, self.pc)?;
+        self.replay_boundary(instr, word, mem)
+    }
+
+    /// Replays one pre-decoded instruction (a shared-memory boundary hit
+    /// during block execution) against the real, arbitrating memory view.
+    pub(crate) fn replay_boundary(
+        &mut self,
+        instr: Instr,
+        word: u32,
+        mem: &mut impl Memory,
+    ) -> Result<(Option<HaltReason>, u64)> {
+        let mut hot = HotState::load(self);
+        let before = hot.cycle;
+        let event = self.exec_one(instr, || word, mem, &mut hot, self.cycle_model)?;
+        hot.store(self);
+        let halt = match event {
+            Some(ExecEvent::Halt { reason }) => Some(reason),
+            _ => None,
+        };
+        Ok((halt, hot.cycle - before))
+    }
+
+    /// Pre-evaluates a yielded boundary instruction when it is a plain
+    /// aligned word load or store: address, stored value and cycle cost
+    /// come straight from the (final) register file. Returns `None` for
+    /// every other shape — sub-word or misaligned accesses keep the exact
+    /// [`Cpu::replay_boundary`] semantics, including their fault text.
+    pub(crate) fn resolve_boundary(&self, instr: Instr) -> Option<ResolvedBoundary> {
+        match instr {
+            Instr::Load {
+                width: MemWidth::W,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                addr.is_multiple_of(4).then_some(ResolvedBoundary {
+                    addr,
+                    op: BoundaryOp::LoadWord { rd },
+                    cost: self.cycle_model.base + self.cycle_model.load_extra,
+                })
+            }
+            Instr::Store {
+                width: MemWidth::W,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                addr.is_multiple_of(4).then_some(ResolvedBoundary {
+                    addr,
+                    op: BoundaryOp::StoreWord {
+                        value: self.reg(rs2),
+                    },
+                    cost: self.cycle_model.base,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Retires a boundary instruction whose data operation was applied
+    /// externally (see [`Cpu::resolve_boundary`]): the exact epilogue
+    /// [`Cpu::exec_one`] runs for a non-branching instruction.
+    pub(crate) fn finish_boundary(&mut self, cost: u64) {
+        self.pc = self.pc.wrapping_add(4);
+        self.cycle_counter += cost;
+        self.instret_counter += 1;
+    }
+
+    /// Runs through the block cache until a halt, a budget limit, a fault,
+    /// or a [`ScfError::Yield`] from `mem`.
+    ///
+    /// `instructions` and `cycles` accumulate across the call; `cycles` is
+    /// the core-local clock (the cluster seeds it with the core's next
+    /// issue cycle so block execution runs ahead on the real timeline).
+    /// Both budgets are checked before every instruction, and every
+    /// instruction updates `self` exactly as the interpreter would, so
+    /// mid-block faults, yields and budget stops leave architectural state
+    /// bit-identical to a stepped execution.
+    pub(crate) fn exec_blocks(
+        &mut self,
+        mem: &mut impl Memory,
+        max_instructions: u64,
+        max_cycles: u64,
+        instructions: &mut u64,
+        cycles: &mut u64,
+    ) -> BlockExit {
+        // Continuation hint from the previous call's boundary yield,
+        // revalidated below before use (the cache may have changed).
+        let mut resume = self.resume.take();
+        // `hot` is authoritative for the PC and the counters inside this
+        // function; it syncs back into `self` at the single exit below and
+        // around the interpreter fallback. The cycle model is immutable
+        // during a run, so one copy serves the whole dispatch loop.
+        let mut hot = HotState::load(self);
+        let model = self.cycle_model;
+        // The external budget counters advance in lockstep with
+        // `hot.instret`/`hot.cycle`, so the loop maintains only the hot
+        // pair and derives the externals from the entry offsets — two
+        // counter increments per retired instruction instead of four,
+        // written back once at the exit.
+        let ins0 = *instructions;
+        let cyc0 = *cycles;
+        let hi0 = hot.instret;
+        let hc0 = hot.cycle;
+        let exit = 'run: loop {
+            if ins0 + (hot.instret - hi0) >= max_instructions {
+                break 'run BlockExit::InstrCap;
+            }
+            if cyc0 + (hot.cycle - hc0) >= max_cycles {
+                break 'run BlockExit::CycleCap;
+            }
+            // Dispatch: a valid resume hint drops straight back into the
+            // suspended block at the instruction after the replayed one
+            // (boundary instructions are loads/stores, so the replay
+            // advanced the PC by exactly one word); otherwise probe the
+            // cache at the current PC and compile on miss.
+            let resumed = resume.take().and_then(|(slot, pc)| {
+                if pc != hot.pc {
+                    return None;
+                }
+                let b = self.blocks[slot].as_ref()?;
+                (b.entry_pc < pc && pc < b.end_pc)
+                    .then(|| (slot, ((pc - b.entry_pc) >> 2) as usize))
+            });
+            let (slot, mut start) = if let Some(hit) = resumed {
+                self.bb_hits += 1;
+                hit
+            } else {
+                let slot = ((hot.pc >> 2) as usize) & (BB_CACHE_SLOTS - 1);
+                let cached = matches!(&self.blocks[slot], Some(b) if b.entry_pc == hot.pc);
+                if cached {
+                    self.bb_hits += 1;
+                } else {
+                    match compile_block(hot.pc, mem, &model) {
+                        Err(_) => break 'run BlockExit::Yield { predecoded: None },
+                        Ok(None) => {
+                            // Not even one instruction compiles: take a
+                            // plain interpreter step so the fault surfaces
+                            // with its exact (pc, word) context.
+                            hot.store(self);
+                            match self.step(mem) {
+                                Err(ScfError::Yield) => {
+                                    break 'run BlockExit::Yield { predecoded: None }
+                                }
+                                Err(e) => break 'run BlockExit::Fault(e),
+                                Ok((halt, _cost)) => {
+                                    // The step ran on `self` directly, so
+                                    // reloading `hot` folds its cost and
+                                    // retirement into the mirrored deltas.
+                                    let issued_at = cyc0 + (hot.cycle - hc0);
+                                    hot = HotState::load(self);
+                                    if let Some(reason) = halt {
+                                        break 'run BlockExit::Halt { reason, issued_at };
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                        Ok(Some(block)) => {
+                            self.bb_misses += 1;
+                            self.bb_lens.push(block.instrs.len() as u32);
+                            self.code_lo = self.code_lo.min(block.entry_pc);
+                            self.code_hi = self.code_hi.max(block.end_pc);
+                            self.blocks[slot] = Some(Box::new(block));
+                        }
+                    }
+                }
+                (slot, 0)
+            };
+            // Execute with the block taken out of its slot: stores hitting
+            // *other* cached blocks invalidate them in place, while a store
+            // into this block's own range aborts execution after the
+            // current instruction and drops the block, so the modified tail
+            // recompiles from the freshly written memory.
+            let block = self.blocks[slot].take().expect("block was just cached");
+            let mut reinstall = true;
+            let mut exit = None;
+            // Self-loop passes (the hot-loop shape below) are counted
+            // locally and folded into `bb_hits` once at the end, keeping
+            // the per-pass cost to a register increment.
+            let mut loop_hits: u64 = 0;
+            // Passes already proven to fit both budgets; while positive the
+            // per-pass budget arithmetic is skipped entirely.
+            let mut free_passes: u64 = 0;
+            'exec: loop {
+                // One full pass over the rest of the block retires at most
+                // `len - start` instructions and `worst_cost` cycles; when
+                // both fit the remaining budgets, the per-instruction checks
+                // below cannot fire and are skipped (the loop-invariant
+                // `checked` flag unswitches the loop). When whole extra
+                // passes also fit, their count is banked in `free_passes`
+                // so a tight self-loop re-enters without recomputing.
+                let checked = if free_passes > 0 {
+                    free_passes -= 1;
+                    false
+                } else {
+                    let rest = (block.instrs.len() - start) as u64;
+                    let ins_now = ins0 + (hot.instret - hi0);
+                    let cyc_now = cyc0 + (hot.cycle - hc0);
+                    let c = ins_now.saturating_add(rest) > max_instructions
+                        || cyc_now.saturating_add(block.worst_cost) > max_cycles;
+                    if !c {
+                        let len = (block.instrs.len() as u64).max(1);
+                        let worst = block.worst_cost.max(1);
+                        free_passes = ((max_instructions - ins_now - rest) / len)
+                            .min((max_cycles - cyc_now - block.worst_cost) / worst);
+                    }
+                    c
+                };
+                for (i, &instr) in block.instrs[start..].iter().enumerate() {
+                    if checked {
+                        if ins0 + (hot.instret - hi0) >= max_instructions {
+                            exit = Some(BlockExit::InstrCap);
+                            break 'exec;
+                        }
+                        if cyc0 + (hot.cycle - hc0) >= max_cycles {
+                            exit = Some(BlockExit::CycleCap);
+                            break 'exec;
+                        }
+                    }
+                    let cyc_before = hot.cycle;
+                    match self.exec_one(instr, || block.words[start + i], mem, &mut hot, model) {
+                        Ok(None) => {}
+                        Ok(Some(ExecEvent::Store { addr, len })) => {
+                            if overlaps(addr, len, self.code_lo, self.code_hi) {
+                                self.invalidate_overlapping(addr, len);
+                                if overlaps(addr, len, block.entry_pc, block.end_pc) {
+                                    self.bb_invalidations += 1;
+                                    reinstall = false;
+                                    // Stores never halt, so execution can
+                                    // stop here unconditionally; the
+                                    // modified tail recompiles from the
+                                    // freshly written memory.
+                                    break 'exec;
+                                }
+                            }
+                        }
+                        Ok(Some(ExecEvent::Halt { reason })) => {
+                            exit = Some(BlockExit::Halt {
+                                reason,
+                                issued_at: cyc0 + (cyc_before - hc0),
+                            });
+                            break 'exec;
+                        }
+                        Err(ScfError::Yield) => {
+                            // The PC still points at the yielding
+                            // instruction; after its replay the block
+                            // continues one word further on.
+                            self.resume = Some((slot, hot.pc.wrapping_add(4)));
+                            exit = Some(BlockExit::Yield {
+                                predecoded: Some((instr, block.words[start + i])),
+                            });
+                            break 'exec;
+                        }
+                        Err(e) => {
+                            exit = Some(BlockExit::Fault(e));
+                            break 'exec;
+                        }
+                    }
+                }
+                // The block ran to its end. If its terminator branched back
+                // to its own entry (the shape of every hot loop), re-enter
+                // it directly and skip the dispatch probe entirely.
+                if reinstall && hot.pc == block.entry_pc {
+                    loop_hits += 1;
+                    start = 0;
+                    continue;
+                }
+                break;
+            }
+            self.bb_hits += loop_hits;
+            if reinstall {
+                self.blocks[slot] = Some(block);
+            }
+            if let Some(exit) = exit {
+                break 'run exit;
             }
         };
-        let m = self.cycle_model;
+        *instructions = ins0 + (hot.instret - hi0);
+        *cycles = cyc0 + (hot.cycle - hc0);
+        hot.store(self);
+        exit
+    }
+
+    /// Drops every cached block overlapping the stored byte range. The
+    /// `[code_lo, code_hi)` cover stays conservative (it never shrinks
+    /// here), which only costs a redundant scan on a later nearby store.
+    fn invalidate_overlapping(&mut self, addr: u32, len: u32) {
+        for slot in &mut self.blocks {
+            if let Some(block) = slot {
+                if overlaps(addr, len, block.entry_pc, block.end_pc) {
+                    *slot = None;
+                    self.bb_invalidations += 1;
+                }
+            }
+        }
+        // Any invalidation may have hit the suspended block; dropping the
+        // hint just costs the next dispatch a cache probe.
+        self.resume = None;
+    }
+
+    /// Executes one already-decoded instruction. On `Ok` the PC and the
+    /// `cycle`/`instret` counters advance; on `Err` all architectural state
+    /// is untouched — which is what makes abort-and-replay at shared-memory
+    /// boundaries exact.
+    ///
+    /// `inline(always)`: this is the body of the block-dispatch loop; as an
+    /// outlined call the result and the decoded operands round-trip through
+    /// memory on every retired instruction, which roughly doubles the
+    /// interpreter's cost per instruction. The common case returns
+    /// `Ok(None)` — one tag branch in the caller — and the raw instruction
+    /// word is passed lazily because only the CSR arm (illegal-CSR
+    /// diagnostics) ever needs it. The PC and the counters live in `hot`
+    /// (see [`HotState`]) so the loop never touches them through
+    /// `&mut self`.
+    #[inline(always)]
+    fn exec_one(
+        &mut self,
+        instr: Instr,
+        word: impl FnOnce() -> u32,
+        mem: &mut impl Memory,
+        hot: &mut HotState,
+        m: CycleModel,
+    ) -> Result<Option<ExecEvent>> {
         let mut cost = m.base;
-        let mut next_pc = self.pc.wrapping_add(4);
+        let mut next_pc = hot.pc.wrapping_add(4);
+        let mut event = None;
 
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd, imm as u32),
-            Instr::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u32)),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, hot.pc.wrapping_add(imm as u32)),
             Instr::Jal { rd, offset } => {
                 self.set_reg(rd, next_pc);
-                next_pc = self.pc.wrapping_add(offset as u32);
+                next_pc = hot.pc.wrapping_add(offset as u32);
                 cost += m.taken_branch_extra;
             }
             Instr::Jalr { rd, rs1, offset } => {
@@ -238,7 +830,7 @@ impl Cpu {
                     BranchCond::Geu => a >= b,
                 };
                 if taken {
-                    next_pc = self.pc.wrapping_add(offset as u32);
+                    next_pc = hot.pc.wrapping_add(offset as u32);
                     cost += m.taken_branch_extra;
                 }
             }
@@ -267,11 +859,21 @@ impl Cpu {
             } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let value = self.reg(rs2);
-                match width {
-                    MemWidth::B | MemWidth::Bu => mem.store_u8(addr, value as u8)?,
-                    MemWidth::H | MemWidth::Hu => mem.store_u16(addr, value as u16)?,
-                    MemWidth::W => mem.store_u32(addr, value)?,
-                }
+                let len = match width {
+                    MemWidth::B | MemWidth::Bu => {
+                        mem.store_u8(addr, value as u8)?;
+                        1
+                    }
+                    MemWidth::H | MemWidth::Hu => {
+                        mem.store_u16(addr, value as u16)?;
+                        2
+                    }
+                    MemWidth::W => {
+                        mem.store_u32(addr, value)?;
+                        4
+                    }
+                };
+                event = Some(ExecEvent::Store { addr, len });
             }
             Instr::OpImm { op, rd, rs1, imm } => {
                 let value = alu(op, self.reg(rs1), imm as u32);
@@ -293,20 +895,18 @@ impl Cpu {
                 };
             }
             Instr::Ecall => {
-                self.pc = next_pc;
-                self.cycle_counter += cost;
-                self.instret_counter += 1;
-                return Ok((Some(HaltReason::Ecall), cost));
+                event = Some(ExecEvent::Halt {
+                    reason: HaltReason::Ecall,
+                })
             }
             Instr::Ebreak => {
-                self.pc = next_pc;
-                self.cycle_counter += cost;
-                self.instret_counter += 1;
-                return Ok((Some(HaltReason::Ebreak), cost));
+                event = Some(ExecEvent::Halt {
+                    reason: HaltReason::Ebreak,
+                })
             }
             Instr::Fence => {}
             Instr::Csr { op, rd, src, csr } => {
-                let old = self.csr_read(csr, self.pc, word)?;
+                let old = self.csr_read(csr, hot, word())?;
                 self.set_reg(rd, old);
                 // Counter CSRs are read-only; set/clear with x0 (and any
                 // write form) leaves them unchanged in this model.
@@ -317,10 +917,10 @@ impl Cpu {
                 }
             }
         }
-        self.pc = next_pc;
-        self.cycle_counter += cost;
-        self.instret_counter += 1;
-        Ok((None, cost))
+        hot.pc = next_pc;
+        hot.cycle += cost;
+        hot.instret += 1;
+        Ok(event)
     }
 }
 
@@ -561,6 +1161,22 @@ mod tests {
     }
 
     #[test]
+    fn fault_after_straight_line_prefix_reports_exact_pc() {
+        // The block compiler stops before the undecodable word; the prefix
+        // retires normally and the fault carries the interpreter's context.
+        let mut mem = FlatMemory::with_program(0, &[asm::addi(1, 0, 3), 0xFFFF_FFFF]);
+        let mut cpu = Cpu::new(0);
+        match cpu.run(&mut mem, 10) {
+            Err(ScfError::IllegalInstruction { pc, word }) => {
+                assert_eq!(pc, 4);
+                assert_eq!(word, 0xFFFF_FFFF);
+            }
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+        assert_eq!(cpu.reg(1), 3);
+    }
+
+    #[test]
     fn cycle_csr_measures_elapsed_cycles() {
         // rdcycle; three addis; rdcycle; difference must be 4 cycles
         // (csr read is charged after the first read completes).
@@ -609,10 +1225,9 @@ mod tests {
 
     #[test]
     fn self_modifying_code_invalidates_cached_decode() {
-        // Execute the instruction at pc 0 once (populating the decode
-        // cache), overwrite it in memory, loop back, and check the new
-        // instruction takes effect: the cache is validated against the
-        // freshly fetched word every step.
+        // Execute the instruction at pc 0 once (compiling it into a block),
+        // overwrite it in memory, loop back, and check the new instruction
+        // takes effect: the store invalidates the block covering pc 0.
         let mut mem = FlatMemory::new(64 * 1024);
         mem.store_u32(0x400, asm::addi(3, 0, 42)).expect("in range");
         let program = [
@@ -631,10 +1246,56 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_decode_cache_state() {
+    fn store_into_running_block_takes_effect_immediately() {
+        // The store patches the very next instruction of its own block; the
+        // interpreter (fetching every step) executes the patched word, so
+        // the block engine must abort mid-block and recompile the tail.
+        let mut mem = FlatMemory::new(64 * 1024);
+        mem.store_u32(0x400, asm::addi(3, 0, 99)).expect("in range");
+        let program = [
+            asm::lw(5, 0, 0x400),
+            asm::sw(5, 0, 8),   // patch the next instruction (byte 8)
+            asm::addi(3, 0, 7), // replaced before it executes
+            asm::ecall(),
+        ];
+        mem.load_program(0, &program);
+        let mut cpu = Cpu::new(0);
+        let stats = cpu.run(&mut mem, 100).expect("program halts");
+        assert_eq!(cpu.reg(3), 99);
+        assert_eq!(stats.instructions, 4);
+    }
+
+    #[test]
+    fn loops_hit_the_block_cache() {
+        // Ten-iteration fibonacci loop: entry block, loop-body block and
+        // ecall block compile once each; every further iteration hits.
+        let program = [
+            asm::addi(1, 0, 0),
+            asm::addi(2, 0, 1),
+            asm::addi(3, 0, 10),
+            asm::add(4, 1, 2),
+            asm::addi(1, 2, 0),
+            asm::addi(2, 4, 0),
+            asm::addi(3, 3, -1),
+            asm::bne(3, 0, -16),
+            asm::ecall(),
+        ];
+        let mut mem = FlatMemory::with_program(0, &program);
+        let mut cpu = Cpu::new(0);
+        let mut instructions = 0;
+        let mut cycles = 0;
+        let exit = cpu.exec_blocks(&mut mem, u64::MAX, u64::MAX, &mut instructions, &mut cycles);
+        assert!(matches!(exit, BlockExit::Halt { .. }));
+        assert_eq!(cpu.bb_misses, 3);
+        assert_eq!(cpu.bb_hits, 8);
+        assert_eq!(cpu.reg(1), 55);
+    }
+
+    #[test]
+    fn equality_ignores_block_cache_state() {
         let (warm, _) = run_program(&[asm::addi(1, 0, 7), asm::ecall()]);
         let mut cold = warm.clone();
-        cold.decode_cache = vec![None; DECODE_CACHE_SLOTS];
+        cold.clear_block_cache();
         assert_eq!(warm, cold);
     }
 

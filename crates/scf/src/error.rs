@@ -22,6 +22,12 @@ pub enum ScfError {
     },
     /// The core exceeded its step budget without halting.
     Timeout,
+    /// Internal partitioned-stepping marker: a core's private run-ahead hit
+    /// a shared-memory boundary and must synchronize with the cluster. This
+    /// is raised by boundary-aware [`crate::memory::Memory`] views and is
+    /// consumed inside [`crate::multicore::MulticoreCluster::run`]; it never
+    /// escapes the public `run` APIs.
+    Yield,
     /// A configuration parameter was invalid.
     InvalidConfig(String),
 }
@@ -36,6 +42,7 @@ impl fmt::Display for ScfError {
                 write!(f, "memory fault at {addr:#010x}: {cause}")
             }
             ScfError::Timeout => write!(f, "core did not halt within its step budget"),
+            ScfError::Yield => write!(f, "internal partitioned-stepping yield"),
             ScfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

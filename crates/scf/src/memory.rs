@@ -9,9 +9,83 @@
 
 use crate::error::ScfError;
 use crate::Result;
+use std::cell::RefCell;
+
+// Zeroed-buffer recycling for simulator state.
+//
+// Experiment sweeps and the bench suite construct and drop whole clusters in
+// a tight loop; routing the multi-hundred-KiB state buffers through the
+// system allocator each time makes construction cost depend on allocator
+// tuning state (observed on 1-vCPU CI machines as a sustained minor-fault
+// storm: glibc trims the freed buffers and every page refaults on the next
+// iteration). Instead, dropped buffers return — re-zeroed only over their
+// dirty span — to a small thread-local pool, making construction
+// O(touched state) and allocator-independent. Pool invariant: every stored
+// buffer is entirely zero.
+
+const POOL_CAP: usize = 32;
+
+thread_local! {
+    static BYTE_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static WORD_POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_zeroed_bytes(len: usize) -> Vec<u8> {
+    BYTE_POOL
+        .with(|p| {
+            let mut p = p.borrow_mut();
+            p.iter()
+                .position(|b| b.len() == len)
+                .map(|i| p.swap_remove(i))
+        })
+        .unwrap_or_else(|| vec![0; len])
+}
+
+fn recycle_bytes(mut buf: Vec<u8>, dirty: usize) {
+    BYTE_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP && !buf.is_empty() {
+            let hi = dirty.min(buf.len());
+            buf[..hi].fill(0);
+            p.push(buf);
+        }
+    });
+}
+
+fn take_zeroed_words(len: usize) -> Vec<u32> {
+    WORD_POOL
+        .with(|p| {
+            let mut p = p.borrow_mut();
+            p.iter()
+                .position(|b| b.len() == len)
+                .map(|i| p.swap_remove(i))
+        })
+        .unwrap_or_else(|| vec![0; len])
+}
+
+fn recycle_words(mut buf: Vec<u32>, dirty: usize) {
+    WORD_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP && !buf.is_empty() {
+            let hi = dirty.min(buf.len());
+            buf[..hi].fill(0);
+            p.push(buf);
+        }
+    });
+}
 
 /// Byte-addressable memory interface used by the ISS core.
 pub trait Memory {
+    /// Fast-path hook: returns the underlying [`FlatMemory`] when the
+    /// implementation is exactly a flat memory with no routing on top.
+    /// [`crate::cpu::Cpu::run`] uses this to dispatch into a non-generic
+    /// engine entry compiled once inside this crate, so hot-loop code
+    /// quality does not depend on which downstream crate monomorphized
+    /// the generic entry point.
+    fn as_flat(&mut self) -> Option<&mut FlatMemory> {
+        None
+    }
+
     /// Loads one byte.
     ///
     /// # Errors
@@ -100,16 +174,38 @@ pub trait Memory {
 }
 
 /// A flat byte memory of fixed size starting at address 0.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares contents only. The backing buffer comes from (and
+/// returns to) a thread-local recycling pool; `dirty_hi` conservatively
+/// bounds the bytes that may be nonzero so re-zeroing on drop touches only
+/// the written span.
+#[derive(Debug, Clone)]
 pub struct FlatMemory {
     bytes: Vec<u8>,
+    /// Exclusive upper bound of possibly-nonzero bytes.
+    dirty_hi: u32,
+}
+
+impl PartialEq for FlatMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for FlatMemory {}
+
+impl Drop for FlatMemory {
+    fn drop(&mut self) {
+        recycle_bytes(std::mem::take(&mut self.bytes), self.dirty_hi as usize);
+    }
 }
 
 impl FlatMemory {
     /// Creates a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Self {
         Self {
-            bytes: vec![0; size],
+            bytes: take_zeroed_bytes(size),
+            dirty_hi: 0,
         }
     }
 
@@ -135,6 +231,7 @@ impl FlatMemory {
             let addr = base as usize + i * 4;
             assert!(addr + 4 <= self.bytes.len(), "program exceeds memory");
             self.bytes[addr..addr + 4].copy_from_slice(&word.to_le_bytes());
+            self.dirty_hi = self.dirty_hi.max((addr + 4) as u32);
         }
     }
 
@@ -150,6 +247,10 @@ impl FlatMemory {
 }
 
 impl Memory for FlatMemory {
+    fn as_flat(&mut self) -> Option<&mut FlatMemory> {
+        Some(self)
+    }
+
     fn load_u8(&mut self, addr: u32) -> Result<u8> {
         self.bytes
             .get(addr as usize)
@@ -164,6 +265,83 @@ impl Memory for FlatMemory {
         match self.bytes.get_mut(addr as usize) {
             Some(slot) => {
                 *slot = value;
+                self.dirty_hi = self.dirty_hi.max(addr.saturating_add(1));
+                Ok(())
+            }
+            None => Err(ScfError::MemoryFault {
+                addr,
+                cause: "store beyond memory size",
+            }),
+        }
+    }
+
+    // Single-slice fast paths: the trait defaults decompose into per-byte
+    // accesses, which makes the instruction fetch four bounds checks per
+    // step — the hottest operation of the whole ISS.
+
+    fn load_u32(&mut self, addr: u32) -> Result<u32> {
+        if !addr.is_multiple_of(4) {
+            return Err(ScfError::MemoryFault {
+                addr,
+                cause: "misaligned word load",
+            });
+        }
+        match self.bytes.get(addr as usize..addr as usize + 4) {
+            Some(b) => Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice"))),
+            None => Err(ScfError::MemoryFault {
+                addr,
+                cause: "load beyond memory size",
+            }),
+        }
+    }
+
+    fn store_u32(&mut self, addr: u32, value: u32) -> Result<()> {
+        if !addr.is_multiple_of(4) {
+            return Err(ScfError::MemoryFault {
+                addr,
+                cause: "misaligned word store",
+            });
+        }
+        match self.bytes.get_mut(addr as usize..addr as usize + 4) {
+            Some(b) => {
+                b.copy_from_slice(&value.to_le_bytes());
+                self.dirty_hi = self.dirty_hi.max(addr.saturating_add(4));
+                Ok(())
+            }
+            None => Err(ScfError::MemoryFault {
+                addr,
+                cause: "store beyond memory size",
+            }),
+        }
+    }
+
+    fn load_u16(&mut self, addr: u32) -> Result<u16> {
+        if !addr.is_multiple_of(2) {
+            return Err(ScfError::MemoryFault {
+                addr,
+                cause: "misaligned half-word load",
+            });
+        }
+        match self.bytes.get(addr as usize..addr as usize + 2) {
+            Some(b) => Ok(u16::from_le_bytes(b.try_into().expect("2-byte slice"))),
+            None => Err(ScfError::MemoryFault {
+                addr,
+                cause: "load beyond memory size",
+            }),
+        }
+    }
+
+    fn store_u16(&mut self, addr: u32, value: u16) -> Result<()> {
+        if !addr.is_multiple_of(2) {
+            return Err(ScfError::MemoryFault {
+                addr,
+                cause: "misaligned half-word store",
+            });
+        }
+        match self.bytes.get_mut(addr as usize..addr as usize + 2) {
+            Some(b) => {
+                b.copy_from_slice(&value.to_le_bytes());
+                self.dirty_hi = self.dirty_hi.max(addr.saturating_add(2));
                 Ok(())
             }
             None => Err(ScfError::MemoryFault {
@@ -175,16 +353,46 @@ impl Memory for FlatMemory {
 }
 
 /// Banked, word-interleaved L1 TCDM with per-cycle conflict accounting.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Like [`FlatMemory`], the data array is pool-recycled: `dirty_hi` bounds
+/// the word indices that may be nonzero, and dropping the TCDM re-zeroes
+/// only that span before returning the buffer to the thread-local pool.
+#[derive(Debug, Clone)]
 pub struct Tcdm {
     banks: usize,
     words_per_bank: usize,
     data: Vec<u32>,
-    // Bank access bookkeeping for the current cycle.
+    /// Exclusive upper bound of possibly-nonzero word indices.
+    dirty_hi: u32,
+    // Bank access bookkeeping for the current cycle. `bank_busy[b]` is the
+    // number of requests bank `b` served in `bank_stamp[b]`; a stale stamp
+    // means "no requests this cycle", so `tick` is O(1) instead of clearing
+    // every bank (the partitioned-stepping engine ticks per boundary event).
     current_cycle: u64,
-    bank_busy: Vec<u64>, // requests already served this cycle per bank
+    bank_stamp: Vec<u64>, // cycle the bank's busy count belongs to
+    bank_busy: Vec<u64>,  // requests already served that cycle per bank
     conflict_stalls: u64,
     accesses: u64,
+}
+
+impl PartialEq for Tcdm {
+    fn eq(&self, other: &Self) -> bool {
+        // `dirty_hi` is a recycling detail, not observable state.
+        self.banks == other.banks
+            && self.words_per_bank == other.words_per_bank
+            && self.data == other.data
+            && self.current_cycle == other.current_cycle
+            && self.bank_stamp == other.bank_stamp
+            && self.bank_busy == other.bank_busy
+            && self.conflict_stalls == other.conflict_stalls
+            && self.accesses == other.accesses
+    }
+}
+
+impl Drop for Tcdm {
+    fn drop(&mut self) {
+        recycle_words(std::mem::take(&mut self.data), self.dirty_hi as usize);
+    }
 }
 
 impl Tcdm {
@@ -208,8 +416,10 @@ impl Tcdm {
         Ok(Self {
             banks,
             words_per_bank,
-            data: vec![0; banks * words_per_bank],
+            data: take_zeroed_words(banks * words_per_bank),
+            dirty_hi: 0,
             current_cycle: 0,
+            bank_stamp: vec![0; banks],
             bank_busy: vec![0; banks],
             conflict_stalls: 0,
             accesses: 0,
@@ -236,12 +446,11 @@ impl Tcdm {
         self.conflict_stalls
     }
 
-    /// Begins a new arbitration cycle.
+    /// Begins a new arbitration cycle. O(1): per-bank busy counts carry the
+    /// cycle they were recorded in, so stale counts are ignored lazily by
+    /// [`Tcdm::access`] instead of being cleared here.
     pub fn tick(&mut self, cycle: u64) {
-        if cycle != self.current_cycle {
-            self.current_cycle = cycle;
-            self.bank_busy.iter_mut().for_each(|b| *b = 0);
-        }
+        self.current_cycle = cycle;
     }
 
     fn bank_of(&self, word_index: usize) -> usize {
@@ -262,6 +471,10 @@ impl Tcdm {
             });
         }
         let bank = self.bank_of(word_index);
+        if self.bank_stamp[bank] != self.current_cycle {
+            self.bank_stamp[bank] = self.current_cycle;
+            self.bank_busy[bank] = 0;
+        }
         let stall = self.bank_busy[bank];
         self.bank_busy[bank] += 1;
         self.conflict_stalls += stall;
@@ -293,6 +506,7 @@ impl Tcdm {
         match self.data.get_mut(word_index) {
             Some(slot) => {
                 *slot = value;
+                self.dirty_hi = self.dirty_hi.max((word_index as u32).saturating_add(1));
                 Ok(())
             }
             None => Err(ScfError::MemoryFault {

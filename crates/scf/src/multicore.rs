@@ -4,10 +4,23 @@
 //! The analytical Compute Unit model ([`crate::cluster`]) sizes transformer
 //! workloads; this module complements it with an *execution-driven*
 //! simulation in the Snitch-cluster style: N ISS cores run real RV32IM
-//! programs in cycle lockstep against the shared word-interleaved L1, and
-//! every same-cycle bank conflict stalls the losing core — the behaviour
-//! that makes TCDM banking a first-order design parameter of §VII's Compute
-//! Units.
+//! programs against the shared word-interleaved L1, and every same-cycle
+//! bank conflict stalls the losing core — the behaviour that makes TCDM
+//! banking a first-order design parameter of §VII's Compute Units.
+//!
+//! # Partitioned stepping
+//!
+//! Cores only interact through the shared TCDM (private memories are
+//! disjoint), so the engine does not simulate them in cycle lockstep.
+//! Instead each core runs privately through the block compiler
+//! ([`crate::cpu::Cpu`]) until it hits a *boundary event* — an access at or
+//! above [`TCDM_BASE`], a halt, a fault, or the cycle budget — and only
+//! boundary events are ordered globally. Processing them in `(cycle, core
+//! index)` order reproduces the lockstep loop's fixed-priority arbitration
+//! exactly: `tcdm_accesses`, `conflict_stalls`, per-core cycle/instruction
+//! counts, fault choice and timeout behaviour are all bit-identical to
+//! [`MulticoreCluster::run_lockstep`], which is kept as the executable
+//! reference model.
 //!
 //! Memory map seen by each core:
 //!
@@ -17,8 +30,9 @@
 //! A core's hart id is pre-loaded into register `x10` (a0), matching the
 //! bare-metal convention, so one binary can be SPMD-parallelised.
 
-use crate::cpu::{Cpu, HaltReason};
+use crate::cpu::{BlockExit, BoundaryOp, Cpu, HaltReason};
 use crate::error::ScfError;
+use crate::isa::Instr;
 use crate::memory::{FlatMemory, Memory, Tcdm};
 use crate::Result;
 
@@ -97,10 +111,15 @@ impl CoreView<'_> {
 }
 
 impl Memory for CoreView<'_> {
+    // Sub-word TCDM traffic goes through the same bank arbitration as word
+    // traffic: one `Tcdm::access` per byte/half-word load or store (the
+    // store is a read-modify-write of one word, but a single bank request).
+
     fn load_u8(&mut self, addr: u32) -> Result<u8> {
         if addr >= TCDM_BASE {
-            // Byte lanes of the TCDM word.
-            let word = self.tcdm.read_word(((addr - TCDM_BASE) / 4) as usize)?;
+            let idx = ((addr - TCDM_BASE) / 4) as usize;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
+            let word = self.tcdm.read_word(idx)?;
             Ok((word >> (8 * (addr % 4))) as u8)
         } else {
             self.private.load_u8(addr)
@@ -110,12 +129,49 @@ impl Memory for CoreView<'_> {
     fn store_u8(&mut self, addr: u32, value: u8) -> Result<()> {
         if addr >= TCDM_BASE {
             let idx = ((addr - TCDM_BASE) / 4) as usize;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
             let lane = 8 * (addr % 4);
             let word = self.tcdm.read_word(idx)?;
             let word = (word & !(0xFF << lane)) | ((value as u32) << lane);
             self.tcdm.write_word(idx, word)
         } else {
             self.private.store_u8(addr, value)
+        }
+    }
+
+    fn load_u16(&mut self, addr: u32) -> Result<u16> {
+        if addr >= TCDM_BASE {
+            if !addr.is_multiple_of(2) {
+                return Err(ScfError::MemoryFault {
+                    addr,
+                    cause: "misaligned half-word load",
+                });
+            }
+            let idx = ((addr - TCDM_BASE) / 4) as usize;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
+            let word = self.tcdm.read_word(idx)?;
+            Ok((word >> (8 * (addr % 4))) as u16)
+        } else {
+            self.private.load_u16(addr)
+        }
+    }
+
+    fn store_u16(&mut self, addr: u32, value: u16) -> Result<()> {
+        if addr >= TCDM_BASE {
+            if !addr.is_multiple_of(2) {
+                return Err(ScfError::MemoryFault {
+                    addr,
+                    cause: "misaligned half-word store",
+                });
+            }
+            let idx = ((addr - TCDM_BASE) / 4) as usize;
+            self.stall_from_tcdm += self.tcdm.access(idx)?;
+            let lane = 8 * (addr % 4);
+            let word = self.tcdm.read_word(idx)?;
+            let word = (word & !(0xFFFF << lane)) | ((value as u32) << lane);
+            self.tcdm.write_word(idx, word)
+        } else {
+            self.private.store_u16(addr, value)
         }
     }
 
@@ -143,6 +199,125 @@ impl Memory for CoreView<'_> {
         } else {
             self.private.store_u32(addr, value)
         }
+    }
+}
+
+/// A core's memory view during private run-ahead: only the private memory
+/// is reachable; any shared-TCDM access raises [`ScfError::Yield`] so the
+/// engine can replay the instruction under real bank arbitration.
+struct PrivateView<'a> {
+    private: &'a mut FlatMemory,
+}
+
+impl Memory for PrivateView<'_> {
+    fn load_u8(&mut self, addr: u32) -> Result<u8> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.load_u8(addr)
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) -> Result<()> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.store_u8(addr, value)
+    }
+
+    fn load_u16(&mut self, addr: u32) -> Result<u16> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.load_u16(addr)
+    }
+
+    fn store_u16(&mut self, addr: u32, value: u16) -> Result<()> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.store_u16(addr, value)
+    }
+
+    fn load_u32(&mut self, addr: u32) -> Result<u32> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.load_u32(addr)
+    }
+
+    fn store_u32(&mut self, addr: u32, value: u32) -> Result<()> {
+        if addr >= TCDM_BASE {
+            return Err(ScfError::Yield);
+        }
+        self.private.store_u32(addr, value)
+    }
+}
+
+/// A core's pending boundary event, produced by private run-ahead.
+enum Pending {
+    /// The next instruction touches the TCDM; `predecoded` skips its fetch
+    /// and decode when it came out of a compiled block.
+    Boundary(Option<(Instr, u32)>),
+    /// An aligned word load/store into the TCDM, fully resolved at yield
+    /// time (the core's registers are final while it is suspended). The
+    /// event loop applies it straight to the banks: one `Tcdm::access`
+    /// after `tick`, then the data move — the same sequence `CoreView`
+    /// would perform, without re-dispatching the instruction.
+    Direct {
+        /// TCDM word index.
+        idx: usize,
+        op: BoundaryOp,
+        /// The instruction's own cycle cost (conflict stalls come from
+        /// `Tcdm::access` at replay time).
+        cost: u64,
+    },
+    /// The core faulted; surfaces when the event becomes globally earliest.
+    Fault(ScfError),
+    /// The core reached the cycle budget without halting.
+    Capped,
+}
+
+/// Runs one core privately to its next boundary event and records the
+/// outcome in the engine's per-core state. On halt, `time` becomes
+/// `u64::MAX` so the event-pick min scan skips the core for free.
+#[allow(clippy::too_many_arguments)]
+fn advance_core(
+    cpu: &mut Cpu,
+    private: &mut FlatMemory,
+    max_cycles: u64,
+    time: &mut u64,
+    instructions: &mut u64,
+    halted_at: &mut Option<u64>,
+    pending: &mut Option<Pending>,
+    live: &mut usize,
+) {
+    let mut view = PrivateView { private };
+    let mut cycles = *time;
+    let exit = cpu.exec_blocks(&mut view, u64::MAX, max_cycles, instructions, &mut cycles);
+    *time = cycles;
+    match exit {
+        BlockExit::Halt { issued_at, .. } => {
+            *halted_at = Some(issued_at);
+            *time = u64::MAX;
+            *live -= 1;
+        }
+        BlockExit::Yield { predecoded } => {
+            // Word-sized, aligned TCDM accesses — the overwhelming share of
+            // boundary traffic — are resolved here so their replay bypasses
+            // the full dispatch path. Anything else (sub-word, misaligned,
+            // TCDM-resident code) keeps the generic replay.
+            let direct = predecoded
+                .and_then(|(instr, _)| cpu.resolve_boundary(instr))
+                .filter(|r| r.addr >= TCDM_BASE)
+                .map(|r| Pending::Direct {
+                    idx: ((r.addr - TCDM_BASE) / 4) as usize,
+                    op: r.op,
+                    cost: r.cost,
+                });
+            *pending = Some(direct.unwrap_or(Pending::Boundary(predecoded)));
+        }
+        BlockExit::Fault(e) => *pending = Some(Pending::Fault(e)),
+        BlockExit::CycleCap | BlockExit::InstrCap => *pending = Some(Pending::Capped),
     }
 }
 
@@ -198,7 +373,172 @@ impl MulticoreCluster {
         &self.cpus[hart]
     }
 
-    /// Runs all cores to completion in cycle lockstep.
+    /// Runs all cores to completion with partitioned stepping.
+    ///
+    /// Each core runs privately through the block compiler until its next
+    /// boundary event (TCDM access, halt, fault or cycle budget); events
+    /// are then processed in global `(cycle, core index)` order, which
+    /// reproduces the lockstep arbiter exactly (first core index wins
+    /// within a cycle, matching the fixed-priority interconnect). The
+    /// report — and every KPI derived from it — is bit-identical to
+    /// [`MulticoreCluster::run_lockstep`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the globally earliest per-core fault; returns
+    /// [`ScfError::Timeout`] if any core would still be running at
+    /// `max_cycles`. After an error, the *other* cores' architectural state
+    /// is unspecified (they may have privately run ahead of the fault).
+    pub fn run(&mut self) -> Result<MulticoreReport> {
+        let result = self.run_partitioned();
+        for cpu in &mut self.cpus {
+            cpu.flush_bb_counters();
+        }
+        result
+    }
+
+    fn run_partitioned(&mut self) -> Result<MulticoreReport> {
+        let n = self.config.cores;
+        let max_cycles = self.config.max_cycles;
+        // Per-core engine state: next event cycle (`u64::MAX` once halted,
+        // so the min scan skips the core for free), retired instructions,
+        // halt cycle, and the pending boundary event.
+        let mut time = vec![0u64; n];
+        let mut instructions = vec![0u64; n];
+        let mut halted_at: Vec<Option<u64>> = vec![None; n];
+        let mut pending: Vec<Option<Pending>> = (0..n).map(|_| None).collect();
+        let mut live = n;
+
+        // Seed: advance every core to its first boundary. Private execution
+        // is invisible to other cores, so run-ahead order does not matter;
+        // afterwards only the core whose event was just processed needs to
+        // run ahead again.
+        for hart in 0..n {
+            advance_core(
+                &mut self.cpus[hart],
+                &mut self.private[hart],
+                max_cycles,
+                &mut time[hart],
+                &mut instructions[hart],
+                &mut halted_at[hart],
+                &mut pending[hart],
+                &mut live,
+            );
+        }
+        loop {
+            if live == 0 {
+                // Lockstep counts one cycle past the last halting issue.
+                let last = halted_at.iter().map(|h| h.unwrap_or(0)).max();
+                return Ok(MulticoreReport {
+                    cycles: last.unwrap_or(0) + 1,
+                    instructions,
+                    tcdm_accesses: self.tcdm.accesses(),
+                    conflict_stalls: self.tcdm.conflict_stalls(),
+                });
+            }
+            // Globally earliest event; `<` keeps the lowest core index on
+            // ties, exactly like the lockstep hart loop within one cycle.
+            let mut hart = 0;
+            let mut now = time[0];
+            for (h, &t) in time.iter().enumerate().skip(1) {
+                if t < now {
+                    now = t;
+                    hart = h;
+                }
+            }
+            if now >= max_cycles {
+                return Err(ScfError::Timeout);
+            }
+            match pending[hart].take().expect("live cores ran ahead") {
+                Pending::Fault(e) => return Err(e),
+                // `Capped` implies `now >= max_cycles`, handled above.
+                Pending::Capped => return Err(ScfError::Timeout),
+                Pending::Direct { idx, op, cost } => {
+                    // Same arbitration sequence as the generic path below:
+                    // open the cycle, one bank request, then the data move.
+                    // A block-compiled boundary PC is always in private
+                    // memory and a load/store cannot halt, so the halt and
+                    // TCDM-resident-code checks below do not apply here.
+                    self.tcdm.tick(now);
+                    let extra = self.tcdm.access(idx)? as u64;
+                    match op {
+                        BoundaryOp::LoadWord { rd } => {
+                            let value = self.tcdm.read_word(idx)?;
+                            self.cpus[hart].set_reg(rd, value);
+                        }
+                        BoundaryOp::StoreWord { value } => {
+                            self.tcdm.write_word(idx, value)?;
+                        }
+                    }
+                    self.cpus[hart].finish_boundary(cost);
+                    instructions[hart] += 1;
+                    time[hart] = now + 1 + cost.saturating_sub(1) + extra;
+                    advance_core(
+                        &mut self.cpus[hart],
+                        &mut self.private[hart],
+                        max_cycles,
+                        &mut time[hart],
+                        &mut instructions[hart],
+                        &mut halted_at[hart],
+                        &mut pending[hart],
+                        &mut live,
+                    );
+                }
+                Pending::Boundary(predecoded) => {
+                    // Events arrive with nondecreasing cycles, so `tick`
+                    // opens each arbitration cycle exactly once and the
+                    // within-cycle `bank_busy` counts match lockstep.
+                    self.tcdm.tick(now);
+                    let pc = self.cpus[hart].pc();
+                    let mut view = CoreView {
+                        private: &mut self.private[hart],
+                        tcdm: &mut self.tcdm,
+                        stall_from_tcdm: 0,
+                    };
+                    let (halt, cost) = match predecoded {
+                        Some((instr, word)) => {
+                            self.cpus[hart].replay_boundary(instr, word, &mut view)?
+                        }
+                        // The PC itself is in the TCDM (or unfetchable from
+                        // the private view): interpret one full step under
+                        // arbitration, paying the fetch access.
+                        None => self.cpus[hart].step(&mut view)?,
+                    };
+                    instructions[hart] += 1;
+                    let extra = view.stall_from_tcdm as u64;
+                    if pc >= TCDM_BASE {
+                        // A TCDM-resident instruction was interpreted
+                        // outside the block engine; its store side effects
+                        // bypass SMC tracking, so drop this core's blocks.
+                        self.cpus[hart].clear_block_cache();
+                    }
+                    if halt.is_some() {
+                        halted_at[hart] = Some(now);
+                        time[hart] = u64::MAX;
+                        live -= 1;
+                    } else {
+                        // Lockstep: stall = (cost - 1) + extra after the
+                        // issue cycle, so the next issue is at
+                        // now + max(cost, 1) + extra.
+                        time[hart] = now + 1 + cost.saturating_sub(1) + extra;
+                        advance_core(
+                            &mut self.cpus[hart],
+                            &mut self.private[hart],
+                            max_cycles,
+                            &mut time[hart],
+                            &mut instructions[hart],
+                            &mut halted_at[hart],
+                            &mut pending[hart],
+                            &mut live,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs all cores to completion in cycle lockstep — the executable
+    /// reference model for [`MulticoreCluster::run`].
     ///
     /// Each simulated cycle, every core whose stall counter is zero retires
     /// one instruction; the instruction's own latency plus any TCDM conflict
@@ -210,7 +550,7 @@ impl MulticoreCluster {
     ///
     /// Propagates per-core faults; returns [`ScfError::Timeout`] if any core
     /// exceeds `max_cycles`.
-    pub fn run(&mut self) -> Result<MulticoreReport> {
+    pub fn run_lockstep(&mut self) -> Result<MulticoreReport> {
         let n = self.config.cores;
         let mut halted = vec![false; n];
         let mut stall = vec![0u64; n];
@@ -537,6 +877,133 @@ mod tests {
             let cycles = cluster.tcdm_mut().read_word(8 + hart).expect("in range");
             assert!(cycles > 0, "hart {hart} cycle CSR should be nonzero");
         }
+    }
+
+    /// Preload `a` and `b` operand vectors for [`vector_add_program`].
+    fn preload_vadd(cluster: &mut MulticoreCluster, n: u32) {
+        for i in 0..n as usize {
+            cluster
+                .tcdm_mut()
+                .write_word(i, 7 * i as u32)
+                .expect("in range");
+            cluster
+                .tcdm_mut()
+                .write_word(n as usize + i, 100 + i as u32)
+                .expect("in range");
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_lockstep_reference() {
+        // The partitioned engine must reproduce the lockstep model
+        // bit-for-bit: report, per-core architectural state and TCDM image.
+        let n = 96u32;
+        let program = vector_add_program(n);
+        for (cores, banks) in [(1usize, 4usize), (2, 8), (4, 2), (8, 32)] {
+            let cfg = MulticoreConfig {
+                cores,
+                tcdm_banks: banks,
+                tcdm_words_per_bank: 2048 / banks,
+                max_cycles: 1_000_000,
+            };
+            let mut fast = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+            let mut reference = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+            preload_vadd(&mut fast, n);
+            preload_vadd(&mut reference, n);
+            let a = fast.run().expect("programs halt");
+            let b = reference.run_lockstep().expect("programs halt");
+            assert_eq!(a, b, "cores={cores} banks={banks}");
+            for hart in 0..cores {
+                assert_eq!(fast.cpu(hart), reference.cpu(hart), "hart {hart} state");
+            }
+            for idx in 0..2048 {
+                assert_eq!(
+                    fast.tcdm_mut().read_word(idx).expect("in range"),
+                    reference.tcdm_mut().read_word(idx).expect("in range"),
+                    "TCDM word {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_timeout_matches_lockstep() {
+        let program = vector_add_program(64);
+        let cfg = MulticoreConfig {
+            cores: 2,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 64,
+            max_cycles: 50,
+        };
+        let mut fast = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        let mut reference = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        assert_eq!(fast.run(), Err(ScfError::Timeout));
+        assert_eq!(reference.run_lockstep(), Err(ScfError::Timeout));
+    }
+
+    #[test]
+    fn code_executing_from_tcdm_matches_lockstep() {
+        // A routine placed *in the TCDM* (word index 8): every fetch pays
+        // bank arbitration, which the partitioned engine handles by
+        // degrading to interpreted boundary steps. Must stay bit-identical
+        // to lockstep, including the fetch traffic in `tcdm_accesses`.
+        let program = [
+            asm::lui(6, (TCDM_BASE >> 12) as i32),
+            asm::jalr(1, 6, 32), // call the TCDM-resident routine
+            asm::sw(8, 0, 0x200),
+            asm::ecall(),
+        ];
+        let routine = [asm::addi(8, 10, 9), asm::jalr(0, 1, 0)];
+        let cfg = MulticoreConfig {
+            cores: 2,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 10_000,
+        };
+        let mut fast = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        let mut reference = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        for cluster in [&mut fast, &mut reference] {
+            for (i, &word) in routine.iter().enumerate() {
+                cluster
+                    .tcdm_mut()
+                    .write_word(8 + i, word)
+                    .expect("in range");
+            }
+        }
+        let a = fast.run().expect("programs halt");
+        let b = reference.run_lockstep().expect("programs halt");
+        assert_eq!(a, b);
+        for hart in 0..2 {
+            assert_eq!(fast.cpu(hart), reference.cpu(hart), "hart {hart} state");
+            assert_eq!(fast.cpu(hart).reg(8), hart as u32 + 9);
+        }
+        assert!(a.tcdm_accesses >= 4, "TCDM fetches must be arbitrated");
+    }
+
+    #[test]
+    fn sub_word_tcdm_traffic_is_arbitrated() {
+        // Bug fix: byte/half-word TCDM accesses count in `tcdm_accesses`
+        // and pay conflict stalls exactly like word accesses.
+        let program = [
+            asm::lui(6, (TCDM_BASE >> 12) as i32),
+            asm::addi(5, 0, 0x21),
+            asm::sb(5, 6, 0),   // 1 access
+            asm::lbu(7, 6, 0),  // 1 access
+            asm::sh(5, 6, 2),   // 1 access (RMW, single bank request)
+            asm::lhu(28, 6, 2), // 1 access
+            asm::ecall(),
+        ];
+        let cfg = MulticoreConfig {
+            cores: 1,
+            tcdm_banks: 4,
+            tcdm_words_per_bank: 16,
+            max_cycles: 1000,
+        };
+        let mut cluster = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        let report = cluster.run().expect("program halts");
+        assert_eq!(report.tcdm_accesses, 4);
+        assert_eq!(cluster.cpu(0).reg(7), 0x21);
+        assert_eq!(cluster.cpu(0).reg(28), 0x21);
     }
 
     #[test]

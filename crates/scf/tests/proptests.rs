@@ -102,15 +102,23 @@ f2_core::ptest! {
         }
     }
 
-    /// The decoded-instruction cache is semantically invisible: running a
-    /// random program on one long-lived hart (warm cache) matches a
-    /// reference that decodes afresh every step (a new hart per step, its
-    /// architectural state carried over by hand) — instruction for
-    /// instruction, cycle for cycle — including programs that store into
-    /// their own instruction stream.
-    fn decode_cache_invisible(g) {
+    /// The basic-block compiler is semantically invisible: running a random
+    /// *looping* program on one long-lived hart (compiled blocks reused
+    /// across iterations) matches a reference that fetches and decodes
+    /// afresh every step (a new hart per step, its architectural state
+    /// carried over by hand) — instruction for instruction, cycle for
+    /// cycle. The loop body includes stores into its own instruction words,
+    /// so later iterations re-execute blocks the first pass has patched:
+    /// the invalidation rule, not just cold decode, is under test.
+    fn block_compiler_invisible(g) {
         let len = g.usize_in(4..32);
-        let mut program: Vec<u32> = Vec::new();
+        // addi x9, x0, passes; loop: <len random body words>; addi x9,-1;
+        // bne x9, x0, loop; ecall. Body registers stay below x8, so the x9
+        // countdown survives — though a patched-in garbage word may fault
+        // or a forward branch may skip the decrement; both sides must then
+        // fail identically (fault or budget timeout).
+        let passes = g.i32_in(2..4);
+        let mut program: Vec<u32> = vec![asm::addi(9, 0, passes)];
         for _ in 0..len {
             let rd = 1 + (g.u8() % 7);
             let rs1 = g.u8() % 8;
@@ -121,16 +129,19 @@ f2_core::ptest! {
                 2 => asm::sltu(rd, rs1, rs2),
                 3 => asm::sw(rs2, 0, 0x400 + 4 * (rs1 as i32 % 8)),
                 4 => asm::lw(rd, 0, 0x400 + 4 * (rs2 as i32 % 8)),
-                // Self-modifying store into the program region itself.
-                5 => asm::sw(rs2, 0, 4 * (rd as i32 % len as i32)),
+                // Self-modifying store into the loop body itself (words
+                // 1..=len), so an already-executed block gets patched.
+                5 => asm::sw(rs2, 0, 4 * (1 + rd as i32 % len as i32)),
                 // Forward branch over the next instruction.
                 6 => asm::bne(rs1, rs2, 8),
                 _ => asm::addi(rd, rs1, g.i32_in(-16..16)),
             };
             program.push(word);
         }
+        program.push(asm::addi(9, 9, -1));
+        program.push(asm::bne(9, 0, -(4 * (len as i32 + 1))));
         program.push(asm::ecall());
-        let budget = 4 * program.len() as u64 + 16;
+        let budget = 4 * (passes as u64 + 1) * program.len() as u64 + 16;
 
         // Cached run: one hart end to end.
         let mut mem_cached = FlatMemory::with_program(0, &program);
@@ -176,6 +187,74 @@ f2_core::ptest! {
                 mem_cached.load_u32(addr).expect("in range"),
                 mem_ref.load_u32(addr).expect("in range"),
                 "data word at {addr:#x} diverged"
+            );
+        }
+    }
+
+    /// Partitioned stepping reproduces the lockstep reference exactly for
+    /// random SPMD programs at 1/2/8 cores: the `MulticoreReport`, every
+    /// core's architectural state, and the shared-TCDM image are all
+    /// bit-identical. The loop body mixes word, byte and half-word TCDM
+    /// traffic (hart-strided, so banks genuinely conflict) with private
+    /// scratch accesses.
+    fn partitioned_stepping_matches_lockstep(g) {
+        use f2_scf::multicore::{MulticoreCluster, MulticoreConfig, TCDM_BASE};
+        let cores = [1usize, 2, 8][g.usize_in(0..3)];
+        let banks = [1usize, 2, 4, 8][g.usize_in(0..4)];
+        let body_len = g.usize_in(3..10);
+        let passes = g.i32_in(1..8);
+        // Prologue: x9 = countdown, x6 = TCDM_BASE + 4*hart (a0 = hart id).
+        let mut program = vec![
+            asm::addi(9, 0, passes),
+            asm::lui(6, (TCDM_BASE >> 12) as i32),
+            asm::slli(7, 10, 2),
+            asm::add(6, 6, 7),
+        ];
+        for _ in 0..body_len {
+            let rd = 1 + (g.u8() % 5); // x1..x5: x6/x7/x9..x11 preserved
+            let rs1 = g.u8() % 8;
+            let rs2 = g.u8() % 8;
+            let word = match g.usize_in(0..10) {
+                0 => asm::add(rd, rs1, rs2),
+                1 => asm::mul(rd, rs1, rs2),
+                2 => asm::lw(rd, 6, 4 * g.i32_in(0..16)),
+                3 => asm::sw(rs2, 6, 4 * g.i32_in(0..16)),
+                4 => asm::lbu(rd, 6, g.i32_in(0..64)),
+                5 => asm::sb(rs2, 6, g.i32_in(0..64)),
+                6 => asm::lhu(rd, 6, 2 * g.i32_in(0..32)),
+                7 => asm::sh(rs2, 6, 2 * g.i32_in(0..32)),
+                8 => asm::sw(rs2, 0, 0x400 + 4 * (rs1 as i32 % 8)),
+                _ => asm::addi(rd, rs1, g.i32_in(-16..16)),
+            };
+            program.push(word);
+        }
+        program.push(asm::addi(9, 9, -1));
+        program.push(asm::bne(9, 0, -(4 * (body_len as i32 + 1))));
+        program.push(asm::ecall());
+
+        let cfg = MulticoreConfig {
+            cores,
+            tcdm_banks: banks,
+            tcdm_words_per_bank: 512 / banks,
+            max_cycles: 1_000_000,
+        };
+        let mut fast = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        let mut reference = MulticoreCluster::spmd(cfg, &program).expect("valid config");
+        for i in 0..64usize {
+            fast.tcdm_mut().write_word(i, (11 * i) as u32).expect("in range");
+            reference.tcdm_mut().write_word(i, (11 * i) as u32).expect("in range");
+        }
+        let a = fast.run().expect("SPMD program halts");
+        let b = reference.run_lockstep().expect("SPMD program halts");
+        assert_eq!(a, b, "cores={cores} banks={banks}");
+        for hart in 0..cores {
+            assert_eq!(fast.cpu(hart), reference.cpu(hart), "hart {hart} state");
+        }
+        for idx in 0..512usize {
+            assert_eq!(
+                fast.tcdm_mut().read_word(idx).expect("in range"),
+                reference.tcdm_mut().read_word(idx).expect("in range"),
+                "TCDM word {idx}"
             );
         }
     }
